@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the scalar iteration's design choices:
+//! seed rules, update styles and step counts — the software cost of the
+//! knobs the ablation experiments evaluate for accuracy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iterl2norm::{iterate, InitRule, IterConfig, UpdateStyle};
+use softfloat::{Fp16, Fp32};
+use std::hint::black_box;
+
+fn bench_step_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iterate_fp32_steps");
+    group.sample_size(60);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let m = Fp32::from_f64(341.33);
+    for steps in [1u32, 3, 5, 10] {
+        let cfg = IterConfig::fixed_steps(steps);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &cfg, |b, cfg| {
+            b.iter(|| iterate(black_box(m), cfg).final_a())
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iterate_update_style");
+    group.sample_size(60);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let m = Fp16::from_f64(21.7);
+    for (name, update) in [
+        ("separate", UpdateStyle::Separate),
+        ("fused", UpdateStyle::Fused),
+    ] {
+        let cfg = IterConfig {
+            update,
+            ..IterConfig::fixed_steps(5)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| iterate(black_box(m), cfg).final_a())
+        });
+    }
+    group.finish();
+}
+
+fn bench_init_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iterate_init_rule");
+    group.sample_size(60);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let m = Fp32::from_f64(55.5);
+    for (name, init) in [
+        ("eq6", InitRule::HwExponent),
+        ("oracle", InitRule::ExactRsqrt),
+        ("const", InitRule::Constant(0.2)),
+    ] {
+        let cfg = IterConfig {
+            init,
+            ..IterConfig::fixed_steps(5)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| iterate(black_box(m), cfg).final_a())
+        });
+    }
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_step_counts(c);
+    bench_update_styles(c);
+    bench_init_rules(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

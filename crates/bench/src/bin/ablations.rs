@@ -1,0 +1,5 @@
+//! Run the design-choice ablations (seed, λ, reduction order, FISR-FP16,
+//! fused updates, tolerance stop).
+fn main() -> std::io::Result<()> {
+    benchkit::experiments::ablations::run(benchkit::trials())
+}

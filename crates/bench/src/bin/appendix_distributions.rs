@@ -1,0 +1,4 @@
+//! Run the distribution-robustness appendix sweep.
+fn main() -> std::io::Result<()> {
+    benchkit::experiments::appendix_distributions::run(benchkit::trials())
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 3 (precision vs input length + error histograms).
+fn main() -> std::io::Result<()> {
+    benchkit::experiments::fig3_precision::run(benchkit::trials())
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 4 (error vs iteration steps at d = 1024).
+fn main() -> std::io::Result<()> {
+    benchkit::experiments::fig4_convergence::run(benchkit::trials())
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 5 (macro latency vs input length).
+fn main() -> std::io::Result<()> {
+    benchkit::experiments::fig5_latency::run()
+}

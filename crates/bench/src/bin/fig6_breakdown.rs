@@ -1,0 +1,4 @@
+//! Regenerate Fig. 6 (area/power breakdowns per block).
+fn main() -> std::io::Result<()> {
+    benchkit::experiments::fig6_breakdown::run()
+}

@@ -1,0 +1,18 @@
+//! Run the complete evaluation section (every table and figure) in order,
+//! followed by the design-choice ablations and the distribution appendix.
+fn main() -> std::io::Result<()> {
+    let trials = benchkit::trials();
+    println!("IterL2Norm reproduction — full evaluation ({trials} trials per point)");
+    benchkit::experiments::fig3_precision::run(trials)?;
+    benchkit::experiments::table1_fisr_cmp::run(trials)?;
+    benchkit::experiments::fig4_convergence::run(trials)?;
+    benchkit::experiments::fig5_latency::run()?;
+    benchkit::experiments::table2_synthesis::run()?;
+    benchkit::experiments::fig6_breakdown::run()?;
+    benchkit::experiments::table3_comparison::run()?;
+    benchkit::experiments::table4_llm::run(benchkit::llm_tokens())?;
+    benchkit::experiments::ablations::run(trials)?;
+    benchkit::experiments::appendix_distributions::run(trials)?;
+    println!("\nAll experiments done; CSVs under results/.");
+    Ok(())
+}

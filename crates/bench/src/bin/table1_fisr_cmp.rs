@@ -1,0 +1,4 @@
+//! Regenerate Table I (IterL2Norm vs FISR on OPT embedding lengths).
+fn main() -> std::io::Result<()> {
+    benchkit::experiments::table1_fisr_cmp::run(benchkit::trials())
+}

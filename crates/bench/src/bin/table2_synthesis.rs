@@ -1,0 +1,4 @@
+//! Regenerate Table II (synthesis results per format).
+fn main() -> std::io::Result<()> {
+    benchkit::experiments::table2_synthesis::run()
+}

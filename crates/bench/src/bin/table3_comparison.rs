@@ -1,0 +1,4 @@
+//! Regenerate Table III (comparison with prior implementations).
+fn main() -> std::io::Result<()> {
+    benchkit::experiments::table3_comparison::run()
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table IV (LLM-level perplexity evaluation).
+fn main() -> std::io::Result<()> {
+    benchkit::experiments::table4_llm::run(benchkit::llm_tokens())
+}

@@ -1,0 +1,259 @@
+//! Ablations of the design choices DESIGN.md calls out — not paper
+//! figures, but the experiments that justify Eqs. (6) and (10) and probe
+//! the extensions the paper leaves open:
+//!
+//! 1. seed quality (Eq. 6 vs naive constant vs oracle 1/√m),
+//! 2. update-rate rule (Eq. 10 vs oracle 0.69/m vs fixed constants),
+//! 3. reduction order (hardware adder trees vs linear accumulation),
+//! 4. FISR in FP16 with a derived magic constant (the paper restricts
+//!    FISR to 8-bit-exponent formats),
+//! 5. fused (FMA) vs separately rounded update steps,
+//! 6. tolerance-driven early exit: steps actually needed vs δ_max.
+
+use iterl2norm::baselines::Fisr;
+use iterl2norm::{iterate, InitRule, IterConfig, IterL2Norm, LambdaRule, StopRule, UpdateStyle};
+use softfloat::{Float, Fp16, Fp32};
+use workloads::VectorGen;
+
+use crate::io::{banner, print_table, write_csv};
+use crate::sweep::precision_sweep;
+
+fn sweep_config<F: Float>(d: usize, trials: u64, config: IterConfig) -> f64 {
+    precision_sweep::<F, _>(d, trials, &IterL2Norm::with_config(config)).avg_abs
+}
+
+fn init_ablation(trials: u64, csv: &mut Vec<String>) {
+    banner("Ablation 1 — seed quality (d = 1024, FP32, avg error vs steps)");
+    let configs: [(&str, InitRule); 3] = [
+        ("eq6-exponent", InitRule::HwExponent),
+        ("constant-1.0", InitRule::Constant(1.0)),
+        ("oracle-rsqrt", InitRule::ExactRsqrt),
+    ];
+    let mut rows = Vec::new();
+    for steps in [1u32, 2, 3, 5, 8] {
+        let mut row = vec![steps.to_string()];
+        for (name, init) in configs {
+            let cfg = IterConfig {
+                init,
+                ..IterConfig::fixed_steps(steps)
+            };
+            let err = sweep_config::<Fp32>(1024, trials, cfg);
+            row.push(if err.is_finite() {
+                format!("{err:.2e}")
+            } else {
+                "diverged".to_string()
+            });
+            csv.push(format!("init,{name},{steps},{err:.6e}"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &["steps", "eq6-exponent", "constant-1.0", "oracle-rsqrt"],
+        &rows,
+    );
+    println!("  For m = ‖y‖² ≈ 341 (d = 1024 uniform), a constant seed of 1.0 starts far");
+    println!("  outside the basin of attraction and diverges — the failure Eq. (6) prevents.");
+}
+
+fn lambda_ablation(trials: u64, csv: &mut Vec<String>) {
+    banner("Ablation 2 — update-rate rule (d = 1024, FP32, 5 steps)");
+    let configs: [(&str, LambdaRule); 4] = [
+        ("eq10-exponent", LambdaRule::HwExponent),
+        ("oracle-0.69/m", LambdaRule::ExactInverse),
+        ("fixed-1e-3", LambdaRule::Constant(1e-3)),
+        ("fixed-1e-2", LambdaRule::Constant(1e-2)),
+    ];
+    let mut rows = Vec::new();
+    for (name, lambda) in configs {
+        let cfg = IterConfig {
+            lambda,
+            ..IterConfig::fixed_steps(5)
+        };
+        let err = sweep_config::<Fp32>(1024, trials, cfg);
+        rows.push(vec![
+            name.to_string(),
+            if err.is_finite() {
+                format!("{err:.2e}")
+            } else {
+                "diverged".to_string()
+            },
+        ]);
+        csv.push(format!("lambda,{name},5,{err:.6e}"));
+    }
+    print_table(&["rule", "avg err"], &rows);
+    println!("  A fixed λ must be tuned to the scale of m; too small never converges in 5");
+    println!("  steps, too large oscillates. Eq. (10) adapts by exponent shift alone.");
+}
+
+fn reduce_order_ablation(trials: u64, csv: &mut Vec<String>) {
+    banner("Ablation 3 — reduction order (FP16, 5 steps)");
+    use iterl2norm::reference;
+    use iterl2norm::{layer_norm, LayerNormInputs, ReduceOrder};
+    let mut rows = Vec::new();
+    for d in [256usize, 1024] {
+        let gen = VectorGen::paper();
+        let mut tree = iterl2norm::metrics::ErrorStats::new();
+        let mut linear = iterl2norm::metrics::ErrorStats::new();
+        for i in 0..trials {
+            let x: Vec<Fp16> = gen.vector(d, i);
+            let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
+            let truth = reference::normalize_f64(&xf, 1e-5);
+            let zt = layer_norm(
+                LayerNormInputs::unscaled(&x).with_reduce(ReduceOrder::HwTree),
+                &IterL2Norm::with_steps(5),
+            )
+            .expect("nonempty");
+            let zl = layer_norm(
+                LayerNormInputs::unscaled(&x).with_reduce(ReduceOrder::Linear),
+                &IterL2Norm::with_steps(5),
+            )
+            .expect("nonempty");
+            tree.record_vec(&zt, &truth);
+            linear.record_vec(&zl, &truth);
+        }
+        rows.push(vec![
+            d.to_string(),
+            format!("{:.3e}", tree.avg_abs),
+            format!("{:.3e}", linear.avg_abs),
+        ]);
+        csv.push(format!("reduce,{d},tree,{:.6e}", tree.avg_abs));
+        csv.push(format!("reduce,{d},linear,{:.6e}", linear.avg_abs));
+    }
+    print_table(&["d", "hw-tree avg err", "linear avg err"], &rows);
+    println!("  Adder trees accumulate in balanced pairs, so the hardware order is at least");
+    println!("  as accurate as linear accumulation in coarse formats.");
+}
+
+fn fisr_fp16_ablation(trials: u64, csv: &mut Vec<String>) {
+    banner("Ablation 4 — FISR extended to FP16 (derived magic; paper declines this)");
+    println!(
+        "  derived FP16 magic: {:#06x}",
+        Fisr::derive_magic::<Fp16>()
+    );
+    let mut rows = Vec::new();
+    for d in [768usize, 1024, 4096] {
+        let ei = precision_sweep::<Fp16, _>(d, trials, &IterL2Norm::with_steps(5));
+        let ef = precision_sweep::<Fp16, _>(d, trials, &Fisr::canonical::<Fp16>());
+        rows.push(vec![
+            d.to_string(),
+            format!("{:.3e}/{:.1e}", ei.avg_abs, ei.max_abs),
+            format!("{:.3e}/{:.1e}", ef.avg_abs, ef.max_abs),
+            if ei.avg_abs < ef.avg_abs {
+                "IterL2Norm"
+            } else {
+                "FISR"
+            }
+            .to_string(),
+        ]);
+        csv.push(format!("fisr16,{d},{:.6e},{:.6e}", ei.avg_abs, ef.avg_abs));
+    }
+    print_table(
+        &["d", "IterL2 avg/max", "FISR-FP16 avg/max", "winner(avg)"],
+        &rows,
+    );
+    println!("  The 5-bit exponent halves the log-domain resolution of the bit trick, but a");
+    println!("  derived magic still works — both methods sit at the FP16 format floor.");
+}
+
+fn fused_update_ablation(trials: u64, csv: &mut Vec<String>) {
+    banner("Ablation 5 — fused (FMA) vs separately rounded update steps (FP16)");
+    let mut rows = Vec::new();
+    for steps in [2u32, 3, 5] {
+        let sep = sweep_config::<Fp16>(
+            1024,
+            trials,
+            IterConfig {
+                update: UpdateStyle::Separate,
+                ..IterConfig::fixed_steps(steps)
+            },
+        );
+        let fused = sweep_config::<Fp16>(
+            1024,
+            trials,
+            IterConfig {
+                update: UpdateStyle::Fused,
+                ..IterConfig::fixed_steps(steps)
+            },
+        );
+        rows.push(vec![
+            steps.to_string(),
+            format!("{sep:.3e}"),
+            format!("{fused:.3e}"),
+        ]);
+        csv.push(format!("fused,{steps},{sep:.6e},{fused:.6e}"));
+    }
+    print_table(&["steps", "separate avg err", "fused avg err"], &rows);
+    println!("  Two fewer roundings per step: the fused variant never does worse, and an");
+    println!("  FMA-based macro would need the same cycle count (fused ops are 2-cycle too).");
+}
+
+fn tolerance_ablation(csv: &mut Vec<String>) {
+    banner("Ablation 6 — tolerance-driven early exit (Algorithm 1's while-loop)");
+    let gen = VectorGen::paper();
+    let mut rows = Vec::new();
+    for d in [64usize, 1024] {
+        for delta_max in [1e-2f64, 1e-3, 1e-4] {
+            let stats = |stop: StopRule| {
+                let mut total_steps = 0u64;
+                let mut max_steps_seen = 0u32;
+                const N: u64 = 200;
+                for i in 0..N {
+                    let x: Vec<Fp32> = gen.vector(d, i);
+                    let m = iterl2norm::hworder::hw_sum_sq(&x);
+                    let trace = iterate(
+                        m,
+                        &IterConfig {
+                            stop,
+                            ..IterConfig::default()
+                        },
+                    );
+                    total_steps += trace.len() as u64;
+                    max_steps_seen = max_steps_seen.max(trace.len() as u32);
+                }
+                (total_steps as f64 / N as f64, max_steps_seen)
+            };
+            let (signed_avg, signed_max) = stats(StopRule::Tolerance {
+                delta_max,
+                max_steps: 50,
+            });
+            let (abs_avg, abs_max) = stats(StopRule::ToleranceAbs {
+                delta_max,
+                max_steps: 50,
+            });
+            rows.push(vec![
+                d.to_string(),
+                format!("{delta_max:.0e}"),
+                format!("{signed_avg:.2} (max {signed_max})"),
+                format!("{abs_avg:.2} (max {abs_max})"),
+            ]);
+            csv.push(format!(
+                "tolerance,{d},{delta_max:e},{signed_avg:.3},{abs_avg:.3}"
+            ));
+        }
+    }
+    print_table(
+        &["d", "delta_max", "signed Δa>δ steps", "|Δa|>δ steps"],
+        &rows,
+    );
+    println!("  Reproduction note: for uniform(−1,1) inputs, E(m) is even at these lengths,");
+    println!("  so the Eq. 6 seed approaches a∞ from above and every Δa is negative — the");
+    println!("  *signed* while-condition of Algorithm 1 as printed exits after one step.");
+    println!("  The |Δa| form recovers the intended 2–5 step early exit.");
+}
+
+/// Run all six ablations with `trials` vectors per data point.
+///
+/// # Errors
+///
+/// Propagates CSV-write failures.
+pub fn run(trials: u64) -> std::io::Result<()> {
+    let mut csv = Vec::new();
+    init_ablation(trials, &mut csv);
+    lambda_ablation(trials, &mut csv);
+    reduce_order_ablation(trials, &mut csv);
+    fisr_fp16_ablation(trials, &mut csv);
+    fused_update_ablation(trials, &mut csv);
+    tolerance_ablation(&mut csv);
+    write_csv("ablations", "ablation,key,param,value,extra", &csv)?;
+    Ok(())
+}

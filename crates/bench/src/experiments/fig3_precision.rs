@@ -1,0 +1,80 @@
+//! Fig. 3: approximation precision of IterL2Norm vs input length `d` in
+//! FP32/FP16/BFloat16, plus the d = 384 error histograms (the insets).
+
+use iterl2norm::IterL2Norm;
+use softfloat::{Bf16, Float, Fp16, Fp32};
+
+use crate::io::{banner, print_table, write_csv};
+use crate::sweep::{error_histogram, precision_sweep};
+
+/// The Fig. 3 x-axis: 64 ≤ d ≤ 1024 in chunk steps.
+pub const LENGTHS: [usize; 16] = [
+    64, 128, 192, 256, 320, 384, 448, 512, 576, 640, 704, 768, 832, 896, 960, 1024,
+];
+
+fn sweep_format<F: Float>(trials: u64, rows: &mut Vec<Vec<String>>, csv: &mut Vec<String>) {
+    let method = IterL2Norm::with_steps(5);
+    for &d in &LENGTHS {
+        let stats = precision_sweep::<F, _>(d, trials, &method);
+        rows.push(vec![
+            F::NAME.to_string(),
+            d.to_string(),
+            format!("{:.3e}", stats.avg_abs),
+            format!("{:.3e}", stats.max_abs),
+        ]);
+        csv.push(format!(
+            "{},{},{:.6e},{:.6e}",
+            F::NAME,
+            d,
+            stats.avg_abs,
+            stats.max_abs
+        ));
+    }
+}
+
+fn histogram_format<F: Float>(trials: u64, csv: &mut Vec<String>) {
+    let method = IterL2Norm::with_steps(5);
+    let hist = error_histogram::<F, _>(384, trials, &method);
+    println!(
+        "  {} error distribution at d = 384 ({} elements, {} exactly zero):",
+        F::NAME,
+        hist.total(),
+        hist.exact_zero
+    );
+    for (edge, count) in hist.bins() {
+        let bar_units = (count as f64 / hist.total() as f64 * 60.0).round() as usize;
+        println!(
+            "    1e{:>3} .. 1e{:>3}  {:>8}  {}",
+            edge as i64,
+            edge as i64 + 1,
+            count,
+            "#".repeat(bar_units)
+        );
+        csv.push(format!("{},{},{}", F::NAME, edge, count));
+    }
+}
+
+/// Run the Fig. 3 sweep with `trials` vectors per point.
+///
+/// # Errors
+///
+/// Propagates CSV-write failures.
+pub fn run(trials: u64) -> std::io::Result<()> {
+    banner("Fig. 3 — IterL2Norm precision vs input length (5 iteration steps)");
+    println!("  {trials} uniform(-1,1) vectors per (d, format); ground truth: f64 LayerNorm");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    sweep_format::<Fp32>(trials, &mut rows, &mut csv);
+    sweep_format::<Fp16>(trials, &mut rows, &mut csv);
+    sweep_format::<Bf16>(trials, &mut rows, &mut csv);
+    print_table(&["format", "d", "avg |err|", "max |err|"], &rows);
+    write_csv("fig3_precision", "format,d,avg_abs_err,max_abs_err", &csv)?;
+
+    banner("Fig. 3 insets — error histograms at d = 384");
+    let mut hist_csv = Vec::new();
+    histogram_format::<Fp32>(trials, &mut hist_csv);
+    histogram_format::<Fp16>(trials, &mut hist_csv);
+    histogram_format::<Bf16>(trials, &mut hist_csv);
+    write_csv("fig3_histogram", "format,log10_bin_lower,count", &hist_csv)?;
+    Ok(())
+}

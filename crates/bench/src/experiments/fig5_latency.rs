@@ -1,0 +1,77 @@
+//! Fig. 5: measured latency of the macro (five iteration steps) vs input
+//! length d, from the cycle-accurate simulator.
+
+use macrosim::schedule::{batch_latency_cycles, latency_cycles};
+use macrosim::{IterL2NormMacro, MacroConfig};
+use softfloat::Fp32;
+use synthmodel::CostModel;
+use workloads::VectorGen;
+
+use crate::io::{banner, print_table, write_csv};
+
+/// Run the Fig. 5 latency sweep (also cross-checks the executed macro
+/// against the closed-form schedule at every point, and prices each run
+/// through the cost model — the energy column the paper's motivation
+/// implies but does not tabulate).
+///
+/// # Errors
+///
+/// Propagates CSV-write failures.
+pub fn run() -> std::io::Result<()> {
+    banner("Fig. 5 — macro latency vs input length (5 iteration steps, 100 MHz)");
+    let gen = VectorGen::paper();
+    let cost = CostModel::saed32().report::<Fp32>();
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for d in (64..=1024).step_by(64) {
+        // Execute the simulator to confirm the closed form.
+        let mut mac = IterL2NormMacro::<Fp32>::new(MacroConfig::new(d).expect("d within range"));
+        mac.load_input(&gen.vector::<Fp32>(d, 0))
+            .expect("length matches");
+        let run = mac.run().expect("vector loaded");
+        let formula = latency_cycles(d, 5);
+        assert_eq!(run.cycles, formula, "simulator vs formula at d = {d}");
+        let us = run.cycles as f64 / 100.0; // 100 MHz → cycles/100 µs⁻¹
+        let nj = cost.energy_nj(run.cycles, 100.0);
+        let pj_elem = cost.energy_per_element_pj(d, run.cycles, 100.0);
+        rows.push(vec![
+            d.to_string(),
+            d.div_ceil(64).to_string(),
+            run.cycles.to_string(),
+            format!("{us:.2}"),
+            format!("{nj:.1}"),
+            format!("{pj_elem:.1}"),
+        ]);
+        csv.push(format!(
+            "{d},{},{},{us:.3},{nj:.3},{pj_elem:.3}",
+            d.div_ceil(64),
+            run.cycles
+        ));
+    }
+    print_table(
+        &[
+            "d",
+            "chunks",
+            "cycles",
+            "us @100MHz",
+            "nJ/vector (FP32)",
+            "pJ/element",
+        ],
+        &rows,
+    );
+    println!(
+        "\n  band: {}..{} cycles for 64 <= d <= 1024 (paper: 116..227); format-independent",
+        latency_cycles(64, 5),
+        latency_cycles(1024, 5)
+    );
+    println!(
+        "  batching: 16 x d=64 vectors from one buffer load take {} cycles total",
+        batch_latency_cycles(64, 5, 16)
+    );
+    write_csv(
+        "fig5_latency",
+        "d,chunks,cycles,us_at_100mhz,nj_per_vector,pj_per_element",
+        &csv,
+    )?;
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! One module per paper table/figure; each exposes `run()`.
+
+pub mod ablations;
+pub mod appendix_distributions;
+pub mod fig3_precision;
+pub mod fig4_convergence;
+pub mod fig5_latency;
+pub mod fig6_breakdown;
+pub mod table1_fisr_cmp;
+pub mod table2_synthesis;
+pub mod table3_comparison;
+pub mod table4_llm;

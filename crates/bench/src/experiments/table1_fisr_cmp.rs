@@ -1,0 +1,97 @@
+//! Table I: precision comparison between IterL2Norm and FISR for the
+//! embedding lengths of the OPT model family, in FP32 and BFloat16.
+
+use iterl2norm::baselines::Fisr;
+use iterl2norm::IterL2Norm;
+use softfloat::{Bf16, Float, Fp32};
+
+use crate::io::{banner, print_table, write_csv};
+use crate::sweep::precision_sweep;
+
+/// The OPT embedding lengths of Table I (OPT-125M … OPT-175B).
+pub const OPT_LENGTHS: [usize; 9] = [768, 1024, 2048, 2560, 4096, 5120, 7168, 9216, 12288];
+
+fn compare_format<F: Float>(
+    trials: u64,
+    scale: f64,
+    unit: &str,
+    rows: &mut Vec<Vec<String>>,
+    csv: &mut Vec<String>,
+) -> (usize, usize) {
+    let iter = IterL2Norm::with_steps(5);
+    let fisr = Fisr::canonical::<F>();
+    // The paper's FISR accuracy sits between one and two Newton steps; the
+    // 2-step column brackets its operating point (see EXPERIMENTS.md).
+    let fisr2 = Fisr::with_newton_steps::<F>(2);
+    let mut iter_wins = 0;
+    let mut total = 0;
+    for &d in &OPT_LENGTHS {
+        let si = precision_sweep::<F, _>(d, trials, &iter);
+        let sf = precision_sweep::<F, _>(d, trials, &fisr);
+        let sf2 = precision_sweep::<F, _>(d, trials, &fisr2);
+        let win = si.avg_abs < sf.avg_abs;
+        iter_wins += usize::from(win);
+        total += 1;
+        rows.push(vec![
+            F::NAME.to_string(),
+            d.to_string(),
+            format!("{:.3}/{:.1}", si.avg_abs / scale, si.max_abs / scale),
+            format!("{:.3}/{:.1}", sf.avg_abs / scale, sf.max_abs / scale),
+            format!("{:.3}/{:.1}", sf2.avg_abs / scale, sf2.max_abs / scale),
+            if win { "IterL2Norm" } else { "FISR" }.to_string(),
+        ]);
+        csv.push(format!(
+            "{},{},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e}",
+            F::NAME,
+            d,
+            si.avg_abs,
+            si.max_abs,
+            sf.avg_abs,
+            sf.max_abs,
+            sf2.avg_abs,
+            sf2.max_abs
+        ));
+    }
+    println!(
+        "  {}: IterL2Norm wins average precision in {iter_wins} of {total} cases vs 1-step FISR (errors in {unit})",
+        F::NAME
+    );
+    (iter_wins, total)
+}
+
+/// Run the Table I comparison with `trials` vectors per point.
+///
+/// # Errors
+///
+/// Propagates CSV-write failures.
+pub fn run(trials: u64) -> std::io::Result<()> {
+    banner("Table I — IterL2Norm vs FISR on OPT embedding lengths");
+    println!(
+        "  {trials} vectors per point; 5 iteration steps; FISR = canonical magic + 1 Newton step"
+    );
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let (w32, t32) = compare_format::<Fp32>(trials, 1e-4, "x1e-4", &mut rows, &mut csv);
+    let (wbf, tbf) = compare_format::<Bf16>(trials, 1e-3, "x1e-3", &mut rows, &mut csv);
+    print_table(
+        &[
+            "format",
+            "d",
+            "IterL2 avg/max",
+            "FISR1 avg/max",
+            "FISR2 avg/max",
+            "winner(avg)",
+        ],
+        &rows,
+    );
+    println!(
+        "\n  paper: 6/9 FP32 wins and 5/9 BFloat16 wins; measured vs 1-step FISR: {w32}/{t32} and {wbf}/{tbf}"
+    );
+    println!("  (the paper's FISR operating point lies between the FISR1 and FISR2 columns)");
+    write_csv(
+        "table1_fisr_cmp",
+        "format,d,iterl2_avg,iterl2_max,fisr1_avg,fisr1_max,fisr2_avg,fisr2_max",
+        &csv,
+    )?;
+    Ok(())
+}

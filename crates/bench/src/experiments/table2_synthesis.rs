@@ -1,0 +1,82 @@
+//! Table II: synthesis results of the macro per format, from the analytic
+//! cost model, with the paper's published numbers and deltas alongside.
+
+use softfloat::{Bf16, Fp16, Fp32};
+use synthmodel::{CostModel, MacroCost};
+
+use crate::io::{banner, print_table, write_csv};
+
+/// The paper's Table II values: (format, memory kib, cells, area mm²,
+/// area w/o Add+Mul, power mW).
+pub const PAPER: [(&str, f64, f64, f64, f64, f64); 3] = [
+    ("FP32", 96.5, 269_300.0, 2.4, 1.7, 22.9),
+    ("FP16", 48.3, 100_100.0, 1.1, 0.8, 8.4),
+    ("BF16", 48.3, 87_000.0, 1.0, 0.8, 7.3),
+];
+
+fn row(cost: &MacroCost, paper: &(&str, f64, f64, f64, f64, f64)) -> Vec<String> {
+    let pct = |got: f64, want: f64| format!("{:+.1}%", 100.0 * (got - want) / want);
+    vec![
+        cost.format.to_string(),
+        format!("{:.1} ({})", cost.memory_kib, pct(cost.memory_kib, paper.1)),
+        format!(
+            "{:.1}k ({})",
+            cost.total_cells as f64 / 1e3,
+            pct(cost.total_cells as f64, paper.2)
+        ),
+        format!("{:.2} ({})", cost.area_mm2, pct(cost.area_mm2, paper.3)),
+        format!(
+            "{:.2} ({})",
+            cost.area_wo_addmul_mm2,
+            pct(cost.area_wo_addmul_mm2, paper.4)
+        ),
+        format!("{:.1} ({})", cost.power_mw, pct(cost.power_mw, paper.5)),
+    ]
+}
+
+/// Run the Table II report.
+///
+/// # Errors
+///
+/// Propagates CSV-write failures.
+pub fn run() -> std::io::Result<()> {
+    banner("Table II — synthesis model vs paper (32/28nm, 100 MHz, 1.05 V)");
+    println!("  model values with (delta vs paper) per cell");
+    let model = CostModel::saed32();
+    let reports = [
+        model.report::<Fp32>(),
+        model.report::<Fp16>(),
+        model.report::<Bf16>(),
+    ];
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .zip(PAPER.iter())
+        .map(|(c, p)| row(c, p))
+        .collect();
+    print_table(
+        &[
+            "format",
+            "memory kib",
+            "#cells",
+            "area mm2",
+            "w/o Add+Mul",
+            "power mW",
+        ],
+        &rows,
+    );
+    let csv: Vec<String> = reports
+        .iter()
+        .map(|c| {
+            format!(
+                "{},{:.2},{},{:.4},{:.4},{:.3}",
+                c.format, c.memory_kib, c.total_cells, c.area_mm2, c.area_wo_addmul_mm2, c.power_mw
+            )
+        })
+        .collect();
+    write_csv(
+        "table2_synthesis",
+        "format,memory_kib,cells,area_mm2,area_wo_addmul_mm2,power_mw",
+        &csv,
+    )?;
+    Ok(())
+}

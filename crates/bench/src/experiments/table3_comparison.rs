@@ -1,0 +1,77 @@
+//! Table III: comparison with previous on-chip layer-normalization
+//! implementations (literature constants + our model rows).
+
+use synthmodel::{comparison_rows, CostModel};
+
+use crate::io::{banner, print_table, write_csv};
+
+fn fmt_opt(v: Option<f64>, unit: &str) -> String {
+    v.map(|x| {
+        if x >= 0.1 {
+            format!("{x:.1}{unit}")
+        } else {
+            format!("{x:.4}{unit}")
+        }
+    })
+    .unwrap_or_else(|| "-".to_string())
+}
+
+/// Run the Table III comparison report.
+///
+/// # Errors
+///
+/// Propagates CSV-write failures.
+pub fn run() -> std::io::Result<()> {
+    banner("Table III — comparison with previous layer-normalization hardware");
+    let rows_data = comparison_rows(&CostModel::saed32());
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.implementation.to_string(),
+                r.technology.to_string(),
+                r.method.to_string(),
+                r.operations.to_string(),
+                r.format.clone(),
+                fmt_opt(r.area_mm2, " mm2"),
+                fmt_opt(r.power_mw, " mW"),
+                fmt_opt(r.clock_mhz, " MHz"),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "implementation",
+            "tech",
+            "method",
+            "operations",
+            "format",
+            "area",
+            "power",
+            "clock",
+        ],
+        &rows,
+    );
+    let csv: Vec<String> = rows_data
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{},\"{}\",{},{},{},{}",
+                r.implementation,
+                r.technology,
+                r.method,
+                r.operations,
+                r.format,
+                r.area_mm2.map(|v| v.to_string()).unwrap_or_default(),
+                r.power_mw.map(|v| v.to_string()).unwrap_or_default(),
+                r.clock_mhz.map(|v| v.to_string()).unwrap_or_default()
+            )
+        })
+        .collect();
+    write_csv(
+        "table3_comparison",
+        "implementation,tech,method,operations,format,area_mm2,power_mw,clock_mhz",
+        &csv,
+    )?;
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! Table IV: LLM-level evaluation — perplexity change when every LayerNorm
+//! in a decoder-only model is replaced by IterL2Norm, for iteration counts
+//! 3/4/5/10 in FP32/FP16/BFloat16 on two synthetic corpora.
+//!
+//! Substitutions vs the paper (DESIGN.md §4): OPT-125M/350M → bigram-
+//! constructed substitutes with the same block architecture (pre-norm /
+//! post-norm); WikiText-2/BST → seeded Zipf+Markov corpora.
+
+use softfloat::{Bf16, Float, Fp16, Fp32};
+use textgen::Corpus;
+use transformer::{BigramCorpusStats, Model, ModelSpec, NormMethod, TransformerConfig};
+
+use crate::io::{banner, print_table, write_csv};
+
+/// Iteration counts swept by Table IV.
+pub const STEPS: [u32; 4] = [3, 4, 5, 10];
+
+/// Vocabulary (= d_model for the bigram construction).
+const VOCAB: usize = 48;
+
+struct TaskSetup {
+    task: &'static str,
+    corpus: Corpus,
+}
+
+fn tasks() -> Vec<TaskSetup> {
+    vec![
+        TaskSetup {
+            task: "Wikitext-2(syn)",
+            corpus: Corpus::wiki_like(VOCAB, 2025),
+        },
+        TaskSetup {
+            task: "BST(syn)",
+            corpus: Corpus::bst_like(VOCAB, 2026),
+        },
+    ]
+}
+
+fn eval_format<F: Float>(
+    spec: &ModelSpec,
+    tokens: &[u16],
+    model_name: &str,
+    task: &str,
+    rows: &mut Vec<Vec<String>>,
+    csv: &mut Vec<String>,
+) {
+    let model = Model::<F>::from_spec(spec);
+    let baseline = model.perplexity(tokens, &NormMethod::exact());
+    for &steps in &STEPS {
+        let ppl = model.perplexity(tokens, &NormMethod::iterl2(steps));
+        rows.push(vec![
+            task.to_string(),
+            model_name.to_string(),
+            F::NAME.to_string(),
+            format!("{baseline:.2}"),
+            steps.to_string(),
+            format!("{ppl:.2} ({:+.2})", ppl - baseline),
+        ]);
+        csv.push(format!(
+            "{task},{model_name},{},{baseline:.4},{steps},{ppl:.4},{:.4}",
+            F::NAME,
+            ppl - baseline
+        ));
+    }
+}
+
+/// Run the Table IV substitute with `n_tokens` evaluation tokens.
+///
+/// # Errors
+///
+/// Propagates CSV-write failures.
+pub fn run(n_tokens: usize) -> std::io::Result<()> {
+    banner("Table IV — LLM-level evaluation (substitute models/corpora, see DESIGN.md)");
+    println!("  {n_tokens} evaluation tokens per cell; baseline = exact LayerNorm (eps 1e-5)");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+
+    let models: [(&str, TransformerConfig); 2] = [
+        (
+            "OPT-125M-like(pre)",
+            TransformerConfig::opt125m_like(VOCAB, VOCAB),
+        ),
+        (
+            "OPT-350M-like(post)",
+            TransformerConfig::opt350m_like(VOCAB, VOCAB),
+        ),
+    ];
+
+    for setup in tasks() {
+        let stats = BigramCorpusStats::from_fn(VOCAB, |p, n| setup.corpus.bigram_prob(p, n).ln());
+        let tokens = setup.corpus.generate(n_tokens, 1);
+        let floor = setup.corpus.entropy_rate_bits(20_000).exp2();
+        println!(
+            "  {}: entropy-rate perplexity floor ≈ {floor:.2}",
+            setup.task
+        );
+        for (model_name, config) in &models {
+            // Embedding scale chosen so m = ‖y‖² ≈ c²·(1 − 1/V) lands on the
+            // iteration's slowest-converging significand (≈1.99, even
+            // exponent) — the adversarial case trained-OPT activations also
+            // hit; with a lucky significand every delta is +0.00 from 3
+            // steps on (the paper's OPT-350M rows).
+            let c = (1.99 / (1.0 - 1.0 / VOCAB as f64)).sqrt();
+            let spec = ModelSpec::bigram_scaled(*config, &stats, 0.02, c, 7);
+            eval_format::<Fp32>(&spec, &tokens, model_name, setup.task, &mut rows, &mut csv);
+            eval_format::<Fp16>(&spec, &tokens, model_name, setup.task, &mut rows, &mut csv);
+            eval_format::<Bf16>(&spec, &tokens, model_name, setup.task, &mut rows, &mut csv);
+        }
+    }
+    print_table(
+        &[
+            "task",
+            "model",
+            "format",
+            "baseline",
+            "steps",
+            "perplexity (delta)",
+        ],
+        &rows,
+    );
+    println!("\n  paper shape: deltas shrink toward +0.00 from 3 -> 5 -> 10 iteration steps.");
+    write_csv(
+        "table4_llm",
+        "task,model,format,baseline_ppl,steps,ppl,delta",
+        &csv,
+    )?;
+    Ok(())
+}

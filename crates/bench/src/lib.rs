@@ -1,0 +1,40 @@
+//! Experiment harness regenerating every table and figure of the
+//! IterL2Norm paper.
+//!
+//! Each experiment lives in [`experiments`] as a `run()` function that
+//! prints the paper-shaped table to stdout and writes a CSV under
+//! `results/`; the `src/bin/*` binaries are thin wrappers, and
+//! `run_all` executes the full evaluation section in order.
+//!
+//! Knobs (environment variables):
+//!
+//! * `ITERL2_TRIALS` — random vectors per data point (default 1000, the
+//!   paper's count).
+//! * `ITERL2_LLM_TOKENS` — evaluation tokens for the Table IV substitute
+//!   (default 1000).
+//! * `ITERL2_RESULTS` — output directory (default `results/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod io;
+pub mod sweep;
+
+/// Number of random trial vectors per data point (`ITERL2_TRIALS`,
+/// default 1000 — the paper's setting).
+pub fn trials() -> u64 {
+    std::env::var("ITERL2_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+/// Evaluation tokens for the LLM-level experiment (`ITERL2_LLM_TOKENS`,
+/// default 1000).
+pub fn llm_tokens() -> usize {
+    std::env::var("ITERL2_LLM_TOKENS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}

@@ -1,0 +1,86 @@
+//! Shared measurement routines: precision sweeps against the f64 ground
+//! truth, exactly as the paper's evaluation section defines them.
+
+use iterl2norm::metrics::{ErrorHistogram, ErrorStats};
+use iterl2norm::reference;
+use iterl2norm::{layer_norm, LayerNormInputs, RsqrtScale};
+use softfloat::Float;
+use workloads::VectorGen;
+
+/// PyTorch's LayerNorm ε, used by the ground-truth reference (the paper's
+/// ground truth is the PyTorch CPU LayerNorm).
+pub const TRUTH_EPS: f64 = 1e-5;
+
+/// Run `trials` random uniform(−1, 1) vectors of length `d` through
+/// `method` in format `F` and accumulate elementwise absolute errors
+/// against the f64 reference of the *same quantized inputs*.
+pub fn precision_sweep<F: Float, S: RsqrtScale<F>>(
+    d: usize,
+    trials: u64,
+    method: &S,
+) -> ErrorStats {
+    let gen = VectorGen::paper();
+    let mut stats = ErrorStats::new();
+    for i in 0..trials {
+        let x: Vec<F> = gen.vector(d, i);
+        let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
+        let z = layer_norm(LayerNormInputs::unscaled(&x), method).expect("nonempty input");
+        let truth = reference::normalize_f64(&xf, TRUTH_EPS);
+        stats.record_vec(&z, &truth);
+    }
+    stats
+}
+
+/// Same sweep, but binning every elementwise error into a log₁₀ histogram
+/// (the Fig. 3 insets).
+pub fn error_histogram<F: Float, S: RsqrtScale<F>>(
+    d: usize,
+    trials: u64,
+    method: &S,
+) -> ErrorHistogram {
+    let gen = VectorGen::paper();
+    let mut hist = ErrorHistogram::new(-9.0, 1.0, 9); // 1e−9 … 1
+    for i in 0..trials {
+        let x: Vec<F> = gen.vector(d, i);
+        let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
+        let z = layer_norm(LayerNormInputs::unscaled(&x), method).expect("nonempty input");
+        let truth = reference::normalize_f64(&xf, TRUTH_EPS);
+        for (a, t) in z.iter().zip(&truth) {
+            hist.record((a.to_f64() - t).abs());
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iterl2norm::IterL2Norm;
+    use softfloat::{Bf16, Fp32};
+
+    #[test]
+    fn sweep_counts_every_element() {
+        let stats = precision_sweep::<Fp32, _>(64, 10, &IterL2Norm::with_steps(5));
+        assert_eq!(stats.count, 640);
+        assert!(stats.avg_abs < 1e-2);
+        assert!(stats.max_abs >= stats.avg_abs);
+    }
+
+    #[test]
+    fn bf16_error_floor_is_format_bound() {
+        // BF16 has ~8·10⁻³ ulp at 1.0: the average error must sit in the
+        // representation-floor regime the paper reports (≈3·10⁻³).
+        let stats = precision_sweep::<Bf16, _>(256, 20, &IterL2Norm::with_steps(5));
+        assert!(
+            stats.avg_abs > 1e-4 && stats.avg_abs < 2e-2,
+            "bf16 avg {}",
+            stats.avg_abs
+        );
+    }
+
+    #[test]
+    fn histogram_totals_match_element_count() {
+        let h = error_histogram::<Fp32, _>(32, 5, &IterL2Norm::with_steps(5));
+        assert_eq!(h.total(), 160);
+    }
+}

@@ -1,0 +1,87 @@
+//! Smoke tests: every experiment runs end-to-end at reduced scale and
+//! leaves its CSV behind. (Full-scale runs are the release binaries.)
+
+use std::sync::Once;
+
+static INIT: Once = Once::new();
+
+fn results_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("iterl2-bench-smoke");
+    INIT.call_once(|| {
+        std::env::set_var("ITERL2_RESULTS", &dir);
+    });
+    dir
+}
+
+fn assert_csv(name: &str) {
+    let path = results_dir().join(format!("{name}.csv"));
+    let content = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+    assert!(content.lines().count() > 1, "{name}.csv has no data rows");
+}
+
+#[test]
+fn fig3_smoke() {
+    let _ = results_dir();
+    benchkit::experiments::fig3_precision::run(2).unwrap();
+    assert_csv("fig3_precision");
+    assert_csv("fig3_histogram");
+}
+
+#[test]
+fn table1_smoke() {
+    let _ = results_dir();
+    benchkit::experiments::table1_fisr_cmp::run(2).unwrap();
+    assert_csv("table1_fisr_cmp");
+}
+
+#[test]
+fn fig4_smoke() {
+    let _ = results_dir();
+    benchkit::experiments::fig4_convergence::run(2).unwrap();
+    assert_csv("fig4_convergence");
+}
+
+#[test]
+fn fig5_smoke() {
+    let _ = results_dir();
+    benchkit::experiments::fig5_latency::run().unwrap();
+    assert_csv("fig5_latency");
+}
+
+#[test]
+fn table2_and_fig6_smoke() {
+    let _ = results_dir();
+    benchkit::experiments::table2_synthesis::run().unwrap();
+    benchkit::experiments::fig6_breakdown::run().unwrap();
+    assert_csv("table2_synthesis");
+    assert_csv("fig6_breakdown");
+}
+
+#[test]
+fn table3_smoke() {
+    let _ = results_dir();
+    benchkit::experiments::table3_comparison::run().unwrap();
+    assert_csv("table3_comparison");
+}
+
+#[test]
+fn table4_smoke() {
+    let _ = results_dir();
+    benchkit::experiments::table4_llm::run(40).unwrap();
+    assert_csv("table4_llm");
+}
+
+#[test]
+fn ablations_smoke() {
+    let _ = results_dir();
+    benchkit::experiments::ablations::run(3).unwrap();
+    assert_csv("ablations");
+}
+
+#[test]
+fn knobs_read_environment() {
+    // Defaults when unset (the var used here is never set by these tests).
+    assert_eq!(benchkit::trials(), 1000);
+    assert_eq!(benchkit::llm_tokens(), 1000);
+}

@@ -1,0 +1,109 @@
+//! Tiny flag parser: `--key value` options plus positional arguments.
+//! Hand-rolled so the workspace stays within its minimal dependency set.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: `--key value` pairs plus positionals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Parsed {
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+    positionals: Vec<String>,
+}
+
+/// Option keys that take a value; anything else starting with `--` is a
+/// boolean flag.
+const VALUED: [&str; 6] = ["format", "steps", "d", "m", "seed", "trials"];
+
+impl Parsed {
+    /// Parse an argument list.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a valued option with no following value.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = Parsed::default();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if VALUED.contains(&key) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("option --{key} needs a value"))?;
+                    out.options.insert(key.to_string(), value.clone());
+                } else {
+                    out.flags.push(key.to_string());
+                }
+            } else {
+                out.positionals.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Reports unparsable values.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mixed_options_flags_positionals() {
+        let p = Parsed::parse(&sv(&["--format", "fp16", "--utilization", "1.5", "-2.0"])).unwrap();
+        assert_eq!(p.get("format"), Some("fp16"));
+        assert!(p.flag("utilization"));
+        assert_eq!(p.positionals(), &["1.5".to_string(), "-2.0".to_string()]);
+    }
+
+    #[test]
+    fn numeric_defaults_and_parsing() {
+        let p = Parsed::parse(&sv(&["--steps", "7"])).unwrap();
+        assert_eq!(p.num("steps", 5u32).unwrap(), 7);
+        assert_eq!(p.num("d", 64usize).unwrap(), 64);
+        let bad = Parsed::parse(&sv(&["--steps", "x"])).unwrap();
+        assert!(bad.num("steps", 5u32).is_err());
+    }
+
+    #[test]
+    fn valued_option_requires_value() {
+        assert!(Parsed::parse(&sv(&["--format"])).is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_positionals_not_flags() {
+        let p = Parsed::parse(&sv(&["-2.5", "3.0"])).unwrap();
+        assert_eq!(p.positionals().len(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Subcommand implementations.
+
+use iterl2norm::{iterate, layer_norm_detailed, IterConfig, IterL2Norm, LayerNormInputs};
+use macrosim::{activity_trace, utilization, IterL2NormMacro, MacroConfig};
+use softfloat::{Bf16, Fp16, Fp32};
+use synthmodel::CostModel;
+use workloads::VectorGen;
+
+use crate::args::Parsed;
+
+/// Usage text shown by `help` and on errors.
+pub const USAGE: &str = "\
+iterl2norm — fast iterative L2-normalization (DATE 2025 reproduction)
+
+USAGE:
+  iterl2norm normalize [--format fp32|fp16|bf16] [--steps N] V1 V2 …
+      Layer-normalize the given values, printing output and error vs exact.
+  iterl2norm rsqrt --m VALUE [--format …] [--steps N]
+      Show the scalar iteration trace toward 1/sqrt(m).
+  iterl2norm macro --d LEN [--steps N] [--format …] [--utilization]
+      Run the cycle-accurate macro on a random vector of length LEN.
+  iterl2norm cost [--format …]
+      Print the 32/28nm cost-model report (Table II row + breakdown).
+  iterl2norm demo [--d LEN] [--format …] [--seed S]
+      Normalize a random uniform(-1,1) vector end to end.
+  iterl2norm help
+      This text.";
+
+fn format_name(parsed: &Parsed) -> Result<&str, String> {
+    match parsed.get("format").unwrap_or("fp32") {
+        f @ ("fp32" | "fp16" | "bf16") => Ok(match f {
+            "fp32" => "fp32",
+            "fp16" => "fp16",
+            _ => "bf16",
+        }),
+        other => Err(format!("unknown format '{other}' (fp32|fp16|bf16)")),
+    }
+}
+
+/// Dispatch a closure over the selected format.
+macro_rules! with_format {
+    ($parsed:expr, $f:ident => $body:expr) => {{
+        match format_name($parsed)? {
+            "fp16" => {
+                type $f = Fp16;
+                $body
+            }
+            "bf16" => {
+                type $f = Bf16;
+                $body
+            }
+            _ => {
+                type $f = Fp32;
+                $body
+            }
+        }
+    }};
+}
+
+/// `normalize` subcommand.
+pub fn normalize(parsed: &Parsed) -> Result<(), String> {
+    let steps: u32 = parsed.num("steps", 5)?;
+    let values: Vec<f64> = parsed
+        .positionals()
+        .iter()
+        .map(|s| s.parse().map_err(|_| format!("not a number: '{s}'")))
+        .collect::<Result<_, _>>()?;
+    if values.is_empty() {
+        return Err("normalize needs at least one value".into());
+    }
+    with_format!(parsed, F => {
+        let x: Vec<F> = values.iter().map(|&v| F::from_f64(v)).collect();
+        let out = layer_norm_detailed(
+            LayerNormInputs::unscaled(&x),
+            &IterL2Norm::with_steps(steps),
+        )
+        .map_err(|e| e.to_string())?;
+        let exact = iterl2norm::reference::normalize_f64(&values, 0.0);
+        println!("format {}  d {}  steps {steps}", F::NAME, values.len());
+        println!("mean {:.6}  m {:.6}  scale {:.6}", out.mean.to_f64(), out.m.to_f64(), out.scale.to_f64());
+        let mut max_err = 0.0f64;
+        for (i, (z, e)) in out.z.iter().zip(&exact).enumerate() {
+            println!("  z[{i}] = {:+.6}   (exact {:+.6})", z.to_f64(), e);
+            max_err = max_err.max((z.to_f64() - e).abs());
+        }
+        println!("max |err| vs exact: {max_err:.3e}");
+        Ok(())
+    })
+}
+
+/// `rsqrt` subcommand.
+pub fn rsqrt(parsed: &Parsed) -> Result<(), String> {
+    let m_val: f64 = parsed.num("m", f64::NAN)?;
+    if !m_val.is_finite() || m_val < 0.0 {
+        return Err("rsqrt needs --m with a nonnegative value".into());
+    }
+    let steps: u32 = parsed.num("steps", 5)?;
+    with_format!(parsed, F => {
+        let m = F::from_f64(m_val);
+        let trace = iterate(m, &IterConfig::fixed_steps(steps));
+        let target = if m_val > 0.0 { 1.0 / m_val.sqrt() } else { f64::INFINITY };
+        println!("format {}  m = {}  target 1/sqrt(m) = {target:.9}", F::NAME, m.to_f64());
+        println!("a0     = {:.9}   (Eq. 6 exponent seed)", trace.a0.to_f64());
+        println!("lambda = {:.9}   (Eq. 10 exponent rate)", trace.lambda.to_f64());
+        for (i, a) in trace.steps.iter().enumerate() {
+            let rel = if target.is_finite() { (a.to_f64() - target) / target } else { 0.0 };
+            println!("step {:>2}: a = {:.9}   rel err {rel:+.3e}", i + 1, a.to_f64());
+        }
+        Ok(())
+    })
+}
+
+/// `macro` subcommand.
+pub fn macro_sim(parsed: &Parsed) -> Result<(), String> {
+    let d: usize = parsed.num("d", 64)?;
+    let steps: u32 = parsed.num("steps", 5)?;
+    let seed: u64 = parsed.num("seed", 0)?;
+    with_format!(parsed, F => {
+        let config = MacroConfig::new(d).map_err(|e| e.to_string())?.with_steps(steps);
+        let mut mac = IterL2NormMacro::<F>::new(config);
+        let x: Vec<F> = VectorGen::paper().vector(d, seed);
+        mac.load_input(&x).map_err(|e| e.to_string())?;
+        let run = mac.run().map_err(|e| e.to_string())?;
+        println!("format {}  d {d}  steps {steps}", F::NAME);
+        println!("latency: {} cycles ({:.2} us at 100 MHz)", run.cycles, run.cycles as f64 / 100.0);
+        println!("phases:");
+        for span in &run.phases {
+            println!("  {:>11}  {:>4}..{:<4} ({:>3} cycles)", span.phase.name(), span.start, span.end, span.end - span.start);
+        }
+        println!("m = {:.6}, a_inf = {:.9}", run.ms[0].to_f64(), run.a_finals[0].to_f64());
+        if parsed.flag("utilization") {
+            let u = utilization(&activity_trace(d, steps));
+            println!("unit utilization over {} cycles:", u.cycles);
+            println!("  input read  {:>5.1}%", u.input_read * 100.0);
+            println!("  input write {:>5.1}%", u.input_write * 100.0);
+            println!("  mul block   {:>5.1}%", u.mul * 100.0);
+            println!("  add block   {:>5.1}%", u.add * 100.0);
+            println!("  scalar unit {:>5.1}%", u.scalar * 100.0);
+        }
+        Ok(())
+    })
+}
+
+/// `cost` subcommand.
+pub fn cost(parsed: &Parsed) -> Result<(), String> {
+    let model = CostModel::saed32();
+    with_format!(parsed, F => {
+        let report = model.report::<F>();
+        println!("{} macro, 32/28nm @ 100 MHz / 1.05 V (analytic model):", report.format);
+        println!("  memory      {:.1} kib", report.memory_kib);
+        println!("  cells       {:.1}k", report.total_cells as f64 / 1e3);
+        println!("  area        {:.2} mm2  ({:.2} mm2 without Add/Mul blocks)", report.area_mm2, report.area_wo_addmul_mm2);
+        println!("  power       {:.1} mW", report.power_mw);
+        println!("  breakdown:");
+        for b in &report.blocks {
+            println!(
+                "    {:>9}: {:.3} mm2 ({:>4.1}%), {:.2} mW ({:>4.1}%)",
+                b.block.name(),
+                b.area_mm2,
+                report.area_share(b.block),
+                b.power_mw,
+                report.power_share(b.block)
+            );
+        }
+        Ok(())
+    })
+}
+
+/// `demo` subcommand.
+pub fn demo(parsed: &Parsed) -> Result<(), String> {
+    let d: usize = parsed.num("d", 768)?;
+    let seed: u64 = parsed.num("seed", 0)?;
+    let steps: u32 = parsed.num("steps", 5)?;
+    with_format!(parsed, F => {
+        let x: Vec<F> = VectorGen::paper().vector(d, seed);
+        let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
+        let out = layer_norm_detailed(
+            LayerNormInputs::unscaled(&x),
+            &IterL2Norm::with_steps(steps),
+        )
+        .map_err(|e| e.to_string())?;
+        let exact = iterl2norm::reference::normalize_f64(&xf, 1e-5);
+        let stats = iterl2norm::metrics::abs_error_stats(&out.z, &exact);
+        println!(
+            "format {}  d {d}  steps {steps}  seed {seed}",
+            F::NAME
+        );
+        println!("m = {:.4}  scale = {:.6}", out.m.to_f64(), out.scale.to_f64());
+        println!("avg |err| {:.3e}   max |err| {:.3e}   over {} elements", stats.avg_abs, stats.max_abs, stats.count);
+        Ok(())
+    })
+}

@@ -1,0 +1,64 @@
+//! Command-level tests: every subcommand succeeds on valid input and
+//! reports a clear error on invalid input.
+
+use crate::args::Parsed;
+use crate::commands;
+
+fn parsed(args: &[&str]) -> Parsed {
+    let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    Parsed::parse(&owned).expect("valid test args")
+}
+
+#[test]
+fn normalize_happy_path_all_formats() {
+    for fmt in ["fp32", "fp16", "bf16"] {
+        let p = parsed(&["--format", fmt, "1.5", "-2.0", "0.25", "3.0"]);
+        commands::normalize(&p).unwrap_or_else(|e| panic!("{fmt}: {e}"));
+    }
+}
+
+#[test]
+fn normalize_rejects_empty_and_garbage() {
+    assert!(commands::normalize(&parsed(&[])).is_err());
+    let err = commands::normalize(&parsed(&["1.0", "abc"])).unwrap_err();
+    assert!(
+        err.contains("abc"),
+        "error should name the bad token: {err}"
+    );
+}
+
+#[test]
+fn normalize_rejects_unknown_format() {
+    let err = commands::normalize(&parsed(&["--format", "fp8", "1.0"])).unwrap_err();
+    assert!(err.contains("fp8"));
+}
+
+#[test]
+fn rsqrt_happy_and_invalid() {
+    commands::rsqrt(&parsed(&["--m", "10.5", "--steps", "3"])).unwrap();
+    assert!(commands::rsqrt(&parsed(&[])).is_err()); // missing --m
+    assert!(commands::rsqrt(&parsed(&["--m", "-1"])).is_err());
+}
+
+#[test]
+fn macro_happy_and_out_of_range() {
+    commands::macro_sim(&parsed(&["--d", "128"])).unwrap();
+    commands::macro_sim(&parsed(&[
+        "--d",
+        "384",
+        "--utilization",
+        "--format",
+        "bf16",
+    ]))
+    .unwrap();
+    let err = commands::macro_sim(&parsed(&["--d", "2048"])).unwrap_err();
+    assert!(err.contains("2048"));
+}
+
+#[test]
+fn cost_and_demo_run() {
+    for fmt in ["fp32", "fp16", "bf16"] {
+        commands::cost(&parsed(&["--format", fmt])).unwrap();
+    }
+    commands::demo(&parsed(&["--d", "96", "--seed", "3"])).unwrap();
+}

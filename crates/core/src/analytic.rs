@@ -1,0 +1,157 @@
+//! The analytical solution of the iteration's continuous-time limit
+//! (paper Eqs. 7–10) and the convergence predictions derived from it.
+//!
+//! Eq. (7), `τ da/dt = −m²a(a² − 1/m)`, has the closed-form solution
+//! Eq. (8); discretizing `t = n·Δt` and substituting `λ = Δt/τ` yields
+//! Eq. (9):
+//!
+//! ```text
+//! a(n) = a₀·[(1 − m·a₀²)·e^(−2mnλ) + m·a₀²]^(−1/2)
+//! ```
+//!
+//! The exponential transient `e^(−2mnλ)` is what dictates convergence: the
+//! paper requires it to fall below `δ_c = 10⁻³` within `n_c = 5` steps,
+//! giving the λ lower bound implemented by
+//! [`lambda_from_exponent`](crate::lambda_from_exponent).
+
+/// Paper's transient tolerance `δ_c`.
+pub const DELTA_C: f64 = 1e-3;
+
+/// Paper's target step count `n_c`.
+pub const N_C: u32 = 5;
+
+/// Eq. (9): predicted `a` after `n` steps of the *continuous* dynamics.
+///
+/// The Euler iteration (Eq. 5) tracks this closely for the λ values Eq. (10)
+/// produces; the experiments compare the two.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::analytic::a_continuous;
+///
+/// // Far along the trajectory the fixed point 1/√m is reached.
+/// let a = a_continuous(4.0, 0.4, 0.2, 1_000);
+/// assert!((a - 0.5).abs() < 1e-12);
+/// ```
+pub fn a_continuous(m: f64, a0: f64, lambda: f64, n: u32) -> f64 {
+    if m == 0.0 {
+        return a0;
+    }
+    let ma02 = m * a0 * a0;
+    let transient = (1.0 - ma02) * (-2.0 * m * f64::from(n) * lambda).exp();
+    a0 / (transient + ma02).sqrt()
+}
+
+/// The λ lower bound of the convergence condition: `λ > −ln δ_c/(2·m·n_c)`
+/// (text above Eq. 10).
+pub fn lambda_lower_bound(m: f64, n_c: u32, delta_c: f64) -> f64 {
+    assert!(m > 0.0, "lambda bound needs m > 0");
+    -(delta_c.ln()) / (2.0 * m * f64::from(n_c))
+}
+
+/// Steps the continuous model needs for the transient to fall below
+/// `delta_c`: `n ≥ −ln δ_c/(2·m·λ)`.
+pub fn steps_to_converge(m: f64, lambda: f64, delta_c: f64) -> u32 {
+    assert!(m > 0.0 && lambda > 0.0, "needs m > 0 and λ > 0");
+    (-(delta_c.ln()) / (2.0 * m * lambda)).ceil().max(0.0) as u32
+}
+
+/// Relative error of the continuous-model prediction after `n` steps:
+/// `|a(n) − 1/√m| · √m`.
+pub fn predicted_relative_error(m: f64, a0: f64, lambda: f64, n: u32) -> f64 {
+    let a = a_continuous(m, a0, lambda, n);
+    (a - 1.0 / m.sqrt()).abs() * m.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{a0_from_exponent, lambda_from_exponent};
+    use softfloat::Fp32;
+
+    #[test]
+    fn continuous_solution_satisfies_fixed_point() {
+        for &m in &[0.1, 1.0, 5.0, 123.0] {
+            let a = a_continuous(m, 0.7 / m.sqrt(), 0.5 / m, 500);
+            assert!((a - 1.0 / m.sqrt()).abs() < 1e-9, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn continuous_solution_at_n0_is_a0() {
+        assert_eq!(a_continuous(3.0, 0.4, 0.1, 0), 0.4);
+        assert_eq!(a_continuous(0.0, 0.4, 0.1, 100), 0.4);
+    }
+
+    #[test]
+    fn paper_lambda_bound_value() {
+        // With δ_c = 10⁻³ and n_c = 5: λ > 0.69/m (paper: "λ > 0.69 m⁻¹").
+        let bound = lambda_lower_bound(1.0, N_C, DELTA_C);
+        assert!((bound - 0.69).abs() < 0.002, "bound = {bound}");
+    }
+
+    #[test]
+    fn eq10_lambda_meets_the_bound_scaled_by_two() {
+        // Eq. 10 guarantees λ·m ≥ 0.345, which with the worst-case
+        // significand factor of 2 still satisfies λ > 0.69/(2m)·2 — i.e. the
+        // transient after 5 steps is ≤ δ_c^(1/2) in the worst case and ≤ δ_c
+        // for significand 1. Verify the transient is small either way.
+        for &m_val in &[1.0, 1.5, 1.99, 4.0, 100.0, 0.01] {
+            let m = Fp32::from_f64(m_val);
+            let lambda = lambda_from_exponent(m).to_f64();
+            let transient = (-2.0 * m_val * 5.0 * lambda).exp();
+            assert!(
+                transient < 0.04,
+                "transient {transient} too large for m = {m_val}"
+            );
+        }
+    }
+
+    #[test]
+    fn steps_to_converge_matches_inverse_relation() {
+        let m = 2.0;
+        let lambda = 0.345;
+        let n = steps_to_converge(m, lambda, DELTA_C);
+        // −ln(1e−3)/(2·2·0.345) = 6.9077/1.38 ≈ 5.005 → 6 steps.
+        assert_eq!(n, 6);
+        // Twice the λ halves the step count (up to ceiling).
+        assert!(steps_to_converge(m, 2.0 * lambda, DELTA_C) <= n.div_ceil(2) + 1);
+    }
+
+    #[test]
+    fn predicted_error_decreases_monotonically() {
+        let m = 7.0;
+        let a0 = a0_from_exponent(Fp32::from_f64(m)).to_f64();
+        let lambda = lambda_from_exponent(Fp32::from_f64(m)).to_f64();
+        let mut last = f64::INFINITY;
+        for n in 0..10 {
+            let e = predicted_relative_error(m, a0, lambda, n);
+            assert!(e <= last + 1e-15, "error grew at n = {n}");
+            last = e;
+        }
+        assert!(last < 1e-4);
+    }
+
+    #[test]
+    fn discrete_iteration_tracks_continuous_model() {
+        // For the λ of Eq. 10, the Euler discretization must stay within a
+        // few percent of the closed-form trajectory over the first 5 steps.
+        use crate::{iterate, IterConfig};
+        let m_val = 3.7;
+        let m = Fp32::from_f64(m_val);
+        let trace = iterate(m, &IterConfig::fixed_steps(5));
+        let a0 = trace.a0.to_f64();
+        let lambda = trace.lambda.to_f64();
+        for (i, a_disc) in trace.steps.iter().enumerate() {
+            let a_cont = a_continuous(m_val, a0, lambda, (i + 1) as u32);
+            let rel = (a_disc.to_f64() - a_cont).abs() / a_cont;
+            assert!(
+                rel < 0.08,
+                "step {}: discrete {} vs continuous {a_cont}",
+                i + 1,
+                a_disc.to_f64()
+            );
+        }
+    }
+}

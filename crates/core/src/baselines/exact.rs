@@ -1,0 +1,103 @@
+//! The costly baseline: in-format `1/√(σ² + ε)` with a real divider and
+//! square-root unit — exactly the hardware the paper's method exists to
+//! avoid. Useful as the precision ceiling for in-format computation.
+
+use softfloat::Float;
+
+use crate::layernorm::RsqrtScale;
+
+/// Exact (correctly rounded, in-format) reciprocal square root of the
+/// variance, with optional ε.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::baselines::ExactRsqrtNorm;
+/// use iterl2norm::RsqrtScale;
+/// use softfloat::{Float, Fp32};
+///
+/// let exact = ExactRsqrtNorm::no_eps();
+/// // m = 16, d = 4 → σ² = 4 → scale = 1/2.
+/// let s = exact.scale_factor(Fp32::from_f64(16.0), 4);
+/// assert_eq!(s.to_f64(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExactRsqrtNorm {
+    /// Added to the variance before the square root (PyTorch uses 1e−5).
+    pub eps: f64,
+}
+
+impl ExactRsqrtNorm {
+    /// ε = 0: the pure mathematical normalization.
+    pub fn no_eps() -> Self {
+        ExactRsqrtNorm { eps: 0.0 }
+    }
+
+    /// PyTorch-compatible ε = 1e−5.
+    pub fn torch_eps() -> Self {
+        ExactRsqrtNorm { eps: 1e-5 }
+    }
+}
+
+impl<F: Float> RsqrtScale<F> for ExactRsqrtNorm {
+    /// `s = 1/√(m·d⁻¹ + ε)` with every operation correctly rounded in `F`.
+    fn scale_factor(&self, m: F, d: usize) -> F {
+        let inv_d = F::from_f64(1.0 / d as f64);
+        let var = m * inv_d + F::from_f64(self.eps);
+        F::one() / var.sqrt()
+    }
+
+    fn method_name(&self) -> &'static str {
+        "exact-rsqrt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layernorm::{layer_norm, LayerNormInputs};
+    use crate::reference;
+    use softfloat::{Fp16, Fp32};
+
+    #[test]
+    fn matches_f64_reference_to_format_precision() {
+        let vals: Vec<f64> = (0..256)
+            .map(|i| ((i * 97 % 200) as f64) / 100.0 - 1.0)
+            .collect();
+        let x: Vec<Fp32> = vals.iter().map(|&v| Fp32::from_f64(v)).collect();
+        let z = layer_norm(LayerNormInputs::unscaled(&x), &ExactRsqrtNorm::no_eps()).unwrap();
+        let truth = reference::normalize_f64(&vals, 0.0);
+        for (a, t) in z.iter().zip(&truth) {
+            assert!((a.to_f64() - t).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn eps_variants() {
+        let m = Fp32::from_f64(0.0);
+        // Zero variance with ε: finite scale; without: division by zero → ∞.
+        let with_eps: Fp32 = ExactRsqrtNorm::torch_eps().scale_factor(m, 8);
+        assert!(with_eps.is_finite());
+        let no_eps: Fp32 = ExactRsqrtNorm::no_eps().scale_factor(m, 8);
+        assert!(no_eps.is_infinite());
+    }
+
+    #[test]
+    fn fp16_scale_is_correctly_rounded() {
+        // Compare against f64-computed reference rounded to fp16: the
+        // in-format path may differ by a couple of ulps because the
+        // intermediate m·d⁻¹ rounds, but for exact powers of two it must
+        // agree exactly.
+        let s: Fp16 = ExactRsqrtNorm::no_eps().scale_factor(Fp16::from_f64(64.0), 16);
+        // σ² = 4, rsqrt = 0.5.
+        assert_eq!(s.to_f64(), 0.5);
+    }
+
+    #[test]
+    fn method_name_is_stable() {
+        assert_eq!(
+            RsqrtScale::<Fp32>::method_name(&ExactRsqrtNorm::no_eps()),
+            "exact-rsqrt"
+        );
+    }
+}

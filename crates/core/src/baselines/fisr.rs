@@ -1,0 +1,185 @@
+//! The fast inverse square root (FISR) baseline \[12\].
+//!
+//! The Quake III trick: reinterpret the float's bits as an integer, compute
+//! `i = magic − (i >> 1)` (a crude log-domain `x^(−1/2)`), reinterpret back
+//! and polish with Newton–Raphson steps `y ← y·(3/2 − x/2·y²)`. The paper
+//! compares IterL2Norm's precision against a FISR-based layer normalization
+//! for FP32 and BFloat16 (Table I), noting FISR "is designed for FP formats
+//! with an 8b exponent" — the generic magic-constant derivation below also
+//! covers FP16 as an extension ablation.
+
+use softfloat::Float;
+
+use crate::layernorm::RsqrtScale;
+
+/// σ in the standard magic-constant derivation
+/// `magic = ⌊(3/2)·2^M·(bias − σ)⌋` (Lomont's analysis of the trick).
+const SIGMA: f64 = 0.045_046_6;
+
+/// Fast-inverse-square-root normalizer with a configurable magic constant
+/// and Newton step count.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::baselines::Fisr;
+/// use softfloat::{Float, Fp32};
+///
+/// let fisr = Fisr::canonical::<Fp32>();
+/// assert_eq!(fisr.magic, 0x5F37_59DF); // the famous constant
+/// let y = fisr.rsqrt(Fp32::from_f64(4.0));
+/// assert!((y.to_f64() - 0.5).abs() < 1e-3); // one Newton step: ~0.1% error
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fisr {
+    /// The bit-trick constant (format-specific).
+    pub magic: u32,
+    /// Newton–Raphson polish steps (the original uses 1).
+    pub newton_steps: u32,
+}
+
+impl Fisr {
+    /// The canonical FISR for format `F`: the classic `0x5F3759DF` for
+    /// FP32, its 16-bit truncation `0x5F37` for BFloat16 (a BF16 value is
+    /// the top half of the equal-valued FP32), and the derived constant for
+    /// any other format. One Newton step, as in the original code.
+    pub fn canonical<F: Float>() -> Self {
+        let magic = match (F::EXP_BITS, F::MANT_BITS) {
+            (8, 23) => 0x5F37_59DF,
+            (8, 7) => 0x5F37,
+            _ => Self::derive_magic::<F>(),
+        };
+        Fisr {
+            magic,
+            newton_steps: 1,
+        }
+    }
+
+    /// A FISR with the canonical magic but a custom Newton step count.
+    pub fn with_newton_steps<F: Float>(newton_steps: u32) -> Self {
+        Fisr {
+            newton_steps,
+            ..Self::canonical::<F>()
+        }
+    }
+
+    /// Derive the magic constant for an arbitrary format:
+    /// `⌊(3/2)·2^M·(bias − σ)⌋` with σ ≈ 0.0450466.
+    ///
+    /// For (8, 23) this lands within a few ulps of `0x5F3759DF`; for FP16
+    /// (5, 10) it produces `0x59BB`-family constants.
+    pub fn derive_magic<F: Float>() -> u32 {
+        let l = (F::MANT_BITS as f64).exp2();
+        (1.5 * l * (F::BIAS as f64 - SIGMA)).floor() as u32
+    }
+
+    /// Approximate `1/√x` with the bit trick plus Newton polish, entirely
+    /// in format `F` arithmetic (what a FISR hardware block computes).
+    ///
+    /// Negative, zero and non-finite inputs get whatever the bit trick
+    /// produces — faithful to the original, which performs no special-case
+    /// handling.
+    pub fn rsqrt<F: Float>(&self, x: F) -> F {
+        let i = self.magic.wrapping_sub(x.to_bits() >> 1);
+        let mut y = F::from_bits(i);
+        let half = F::from_f64(0.5);
+        let three_halves = F::from_f64(1.5);
+        let x2 = half * x;
+        for _ in 0..self.newton_steps {
+            y = y * (three_halves - x2 * y * y);
+        }
+        y
+    }
+}
+
+impl<F: Float> RsqrtScale<F> for Fisr {
+    /// FISR-based layer normalization computes `ŷ = y·rsqrt(σ²)` with
+    /// `σ² = m·d⁻¹` (`d⁻¹` pre-stored, as in the macro).
+    fn scale_factor(&self, m: F, d: usize) -> F {
+        let inv_d = F::from_f64(1.0 / d as f64);
+        self.rsqrt(m * inv_d)
+    }
+
+    fn method_name(&self) -> &'static str {
+        "FISR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::{Bf16, Fp16, Fp32};
+
+    #[test]
+    fn canonical_constants() {
+        assert_eq!(Fisr::canonical::<Fp32>().magic, 0x5F37_59DF);
+        assert_eq!(Fisr::canonical::<Bf16>().magic, 0x5F37);
+        // FP16's derived constant: 1.5·1024·(15 − 0.045) ≈ 22970.
+        let m = Fisr::canonical::<Fp16>().magic;
+        assert!((22_900..23_050).contains(&m), "fp16 magic {m:#06x}");
+    }
+
+    #[test]
+    fn derived_fp32_magic_is_near_canonical() {
+        let derived = Fisr::derive_magic::<Fp32>();
+        let diff = (derived as i64 - 0x5F37_59DF_i64).abs();
+        assert!(diff < 32, "derived magic {derived:#010x} too far off");
+    }
+
+    #[test]
+    fn one_newton_step_accuracy_fp32() {
+        // Classic result: ~0.17% worst-case relative error after one step.
+        let fisr = Fisr::canonical::<Fp32>();
+        let mut worst: f64 = 0.0;
+        for i in 0..1000 {
+            let x = 0.01 + i as f64 * 0.97;
+            let y = fisr.rsqrt(Fp32::from_f64(x)).to_f64();
+            let rel = (y - 1.0 / x.sqrt()).abs() * x.sqrt();
+            worst = worst.max(rel);
+        }
+        assert!(worst < 2.5e-3, "worst rel err {worst}");
+        assert!(worst > 1e-4, "suspiciously accurate — is Newton running?");
+    }
+
+    #[test]
+    fn more_newton_steps_reduce_error() {
+        let x = Fp32::from_f64(3.7);
+        let expect = 1.0 / 3.7f64.sqrt();
+        let e1 = (Fisr::with_newton_steps::<Fp32>(1).rsqrt(x).to_f64() - expect).abs();
+        let e2 = (Fisr::with_newton_steps::<Fp32>(2).rsqrt(x).to_f64() - expect).abs();
+        assert!(e2 < e1);
+        let e0 = (Fisr::with_newton_steps::<Fp32>(0).rsqrt(x).to_f64() - expect).abs();
+        assert!(e1 < e0);
+    }
+
+    #[test]
+    fn bf16_rsqrt_is_coarse_but_sane() {
+        let fisr = Fisr::canonical::<Bf16>();
+        for &x in &[0.25, 1.0, 4.0, 100.0] {
+            let y = fisr.rsqrt(Bf16::from_f64(x)).to_f64();
+            let rel = (y - 1.0 / x.sqrt()).abs() * x.sqrt();
+            assert!(rel < 0.03, "x = {x}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn works_across_wide_dynamic_range() {
+        let fisr = Fisr::canonical::<Fp32>();
+        for e in -30..30 {
+            let x = (e as f64).exp2() * 1.3;
+            let y = fisr.rsqrt(Fp32::from_f64(x)).to_f64();
+            let rel = (y - 1.0 / x.sqrt()).abs() * x.sqrt();
+            assert!(rel < 2.5e-3, "x = {x}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn scale_factor_uses_variance_not_m() {
+        use crate::layernorm::RsqrtScale;
+        let fisr = Fisr::canonical::<Fp32>();
+        // m = 64, d = 64 → σ² = 1 → scale ≈ 1.
+        let s: f64 = RsqrtScale::<Fp32>::scale_factor(&fisr, Fp32::from_f64(64.0), 64).to_f64();
+        assert!((s - 1.0).abs() < 5e-3, "scale {s}");
+        assert_eq!(RsqrtScale::<Fp32>::method_name(&fisr), "FISR");
+    }
+}

@@ -1,0 +1,203 @@
+//! Integer-only layer normalization with an iterative integer square root,
+//! SwiftTron \[8\] style.
+//!
+//! \[8\] normalizes INT32 vectors using the Newton integer square root of
+//! Crandall & Pomerance \[17\] plus integer division — the "addition,
+//! division, bit shift" operation profile of Table III. This module
+//! reproduces that flow: quantize, integer mean/variance, integer isqrt,
+//! integer division, dequantize.
+
+/// Newton (Heron) integer square root: `⌊√n⌋` for any `u64`.
+///
+/// Iterates `x ← (x + n/x)/2` from a power-of-two overestimate; converges
+/// in O(log log n) steps.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::baselines::intsqrt::isqrt_newton;
+/// assert_eq!(isqrt_newton(0), 0);
+/// assert_eq!(isqrt_newton(15), 3);
+/// assert_eq!(isqrt_newton(16), 4);
+/// assert_eq!(isqrt_newton(u64::MAX), 4294967295);
+/// ```
+pub fn isqrt_newton(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    // Initial overestimate: 2^⌈bits/2⌉ ≥ √n.
+    let bits = 64 - n.leading_zeros();
+    let mut x = 1u64 << bits.div_ceil(2);
+    loop {
+        let next = (x + n / x) >> 1;
+        if next >= x {
+            // Newton from above is monotone decreasing until it stabilizes.
+            return x;
+        }
+        x = next;
+    }
+}
+
+/// Fixed-point layer normalization in the style of \[8\].
+///
+/// Inputs are `i32` fixed-point values with `frac_bits` fractional bits;
+/// outputs use `out_frac_bits`. All arithmetic is integer: sums in `i64`,
+/// one integer square root, one integer division per element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntLayerNorm {
+    /// Fractional bits of the input fixed-point format.
+    pub frac_bits: u32,
+    /// Fractional bits of the output fixed-point format.
+    pub out_frac_bits: u32,
+}
+
+impl Default for IntLayerNorm {
+    /// Q16.16 in, Q16.16 out.
+    fn default() -> Self {
+        IntLayerNorm {
+            frac_bits: 16,
+            out_frac_bits: 16,
+        }
+    }
+}
+
+impl IntLayerNorm {
+    /// Quantize an `f64` slice into the input fixed-point format
+    /// (saturating).
+    pub fn quantize(&self, x: &[f64]) -> Vec<i32> {
+        let scale = (self.frac_bits as f64).exp2();
+        x.iter()
+            .map(|&v| (v * scale).round().clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+            .collect()
+    }
+
+    /// Dequantize an output vector back to `f64`.
+    pub fn dequantize(&self, q: &[i32]) -> Vec<f64> {
+        let scale = (self.out_frac_bits as f64).exp2();
+        q.iter().map(|&v| v as f64 / scale).collect()
+    }
+
+    /// Integer-only normalization `(x − μ)/σ` (γ = 1, β = 0).
+    ///
+    /// Returns an empty vector for empty input; a zero vector when the
+    /// integer variance underflows to 0.
+    pub fn normalize(&self, q: &[i32]) -> Vec<i32> {
+        let d = q.len();
+        if d == 0 {
+            return Vec::new();
+        }
+        // Integer mean, rounded.
+        let sum: i64 = q.iter().map(|&v| i64::from(v)).sum();
+        let mean = div_round(sum, d as i64);
+        let y: Vec<i64> = q.iter().map(|&v| i64::from(v) - mean).collect();
+        // Integer variance in input fixed-point squared units.
+        let m: i64 = y.iter().map(|&v| v * v).sum();
+        let var = (m / d as i64) as u64;
+        // σ in input units: isqrt of variance (which carries 2·frac_bits
+        // fractional bits, so σ carries frac_bits — consistent with y).
+        let sigma = isqrt_newton(var);
+        if sigma == 0 {
+            return vec![0; d];
+        }
+        // out = y · 2^out_frac / σ (integer division, [8]'s costly step).
+        y.iter()
+            .map(|&v| {
+                let scaled = (v as i128) << self.out_frac_bits;
+                div_round_i128(scaled, sigma as i128) as i32
+            })
+            .collect()
+    }
+}
+
+fn div_round(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    let r = a % b;
+    if 2 * r.abs() >= b.abs() {
+        q + a.signum() * b.signum()
+    } else {
+        q
+    }
+}
+
+fn div_round_i128(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    let r = a % b;
+    if 2 * r.abs() >= b.abs() {
+        q + a.signum() * b.signum()
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn isqrt_newton_exhaustive_small() {
+        for n in 0u64..5000 {
+            let r = isqrt_newton(n);
+            assert!(r * r <= n, "isqrt({n}) = {r}");
+            assert!((r + 1) * (r + 1) > n, "isqrt({n}) = {r}");
+        }
+    }
+
+    #[test]
+    fn isqrt_newton_perfect_squares() {
+        for k in [1u64, 7, 100, 65535, 1 << 20, (1 << 31) - 1] {
+            assert_eq!(isqrt_newton(k * k), k);
+            assert_eq!(isqrt_newton(k * k + 1), k);
+            if k > 1 {
+                assert_eq!(isqrt_newton(k * k - 1), k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn div_round_half_away() {
+        assert_eq!(div_round(7, 2), 4);
+        assert_eq!(div_round(-7, 2), -4);
+        assert_eq!(div_round(6, 2), 3);
+        assert_eq!(div_round(5, 3), 2);
+        assert_eq!(div_round(4, 3), 1);
+    }
+
+    #[test]
+    fn integer_normalization_tracks_reference() {
+        let vals: Vec<f64> = (0..128)
+            .map(|i| ((i * 73 % 199) as f64) / 100.0 - 1.0)
+            .collect();
+        let ln = IntLayerNorm::default();
+        let q = ln.quantize(&vals);
+        let out = ln.dequantize(&ln.normalize(&q));
+        let truth = reference::normalize_f64(&vals, 0.0);
+        for (a, t) in out.iter().zip(&truth) {
+            assert!((a - t).abs() < 5e-3, "int layernorm {a} vs reference {t}");
+        }
+    }
+
+    #[test]
+    fn constant_vector_normalizes_to_zero() {
+        let ln = IntLayerNorm::default();
+        let q = ln.quantize(&[2.5; 32]);
+        assert!(ln.normalize(&q).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let ln = IntLayerNorm::default();
+        assert!(ln.normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let ln = IntLayerNorm {
+            frac_bits: 30,
+            out_frac_bits: 16,
+        };
+        let q = ln.quantize(&[1e10, -1e10]);
+        assert_eq!(q[0], i32::MAX);
+        assert_eq!(q[1], i32::MIN);
+    }
+}

@@ -1,0 +1,175 @@
+//! Piecewise-linear lookup-table reciprocal square root, in the style of
+//! NN-LUT \[9\]: store `(base, slope)` pairs for segments of `1/√w` over
+//! `w ∈ [1, 4)` and evaluate with one multiply and one add; the input's
+//! exponent is handled by an exact power-of-two scale.
+
+use softfloat::Float;
+
+use crate::layernorm::RsqrtScale;
+
+/// LUT-based `1/√x` approximation.
+///
+/// Construction precomputes the table in `f64` (that is offline work — the
+/// hardware ROM); evaluation uses only format-`F` multiply/add plus exponent
+/// arithmetic, matching the operation budget reported for \[9\]
+/// ("multiplication, addition").
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::baselines::LutRsqrt;
+/// use softfloat::{Float, Fp32};
+///
+/// let lut = LutRsqrt::new(64);
+/// let y = lut.rsqrt(Fp32::from_f64(9.0)).to_f64();
+/// assert!((y - 1.0 / 3.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutRsqrt {
+    /// Segment count over `w ∈ [1, 4)`.
+    segments: usize,
+    /// Segment left endpoints `w_i` (f64; quantized on use).
+    knots: Vec<f64>,
+    /// `1/√w_i` values.
+    bases: Vec<f64>,
+    /// Per-segment slopes `(f(w_{i+1}) − f(w_i))/h`.
+    slopes: Vec<f64>,
+}
+
+impl LutRsqrt {
+    /// Build a table with `segments` uniform segments over `[1, 4)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0`.
+    pub fn new(segments: usize) -> Self {
+        assert!(segments > 0, "need at least one segment");
+        let h = 3.0 / segments as f64;
+        let mut knots = Vec::with_capacity(segments);
+        let mut bases = Vec::with_capacity(segments);
+        let mut slopes = Vec::with_capacity(segments);
+        for i in 0..segments {
+            let w0 = 1.0 + i as f64 * h;
+            let w1 = w0 + h;
+            let f0 = 1.0 / w0.sqrt();
+            let f1 = 1.0 / w1.sqrt();
+            knots.push(w0);
+            bases.push(f0);
+            slopes.push((f1 - f0) / h);
+        }
+        LutRsqrt {
+            segments,
+            knots,
+            bases,
+            slopes,
+        }
+    }
+
+    /// Number of table segments.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Approximate `1/√x` for positive finite `x`.
+    ///
+    /// Nonpositive or non-finite inputs return NaN (unlike FISR, a LUT
+    /// block can cheaply detect them from the exponent field).
+    pub fn rsqrt<F: Float>(&self, x: F) -> F {
+        if x.is_nan() || x.is_infinite() || x.is_zero() || x.is_sign_negative() {
+            return F::from_f64(f64::NAN);
+        }
+        // Normalize x = w·2^e' with e' even and w ∈ [1, 4).
+        let e = x.exponent_field() as i32 - F::BIAS;
+        let (e_even, w_exp_field) = if e.rem_euclid(2) == 0 {
+            (e, F::BIAS as u32) // w = sig ∈ [1, 2)
+        } else {
+            (e - 1, F::BIAS as u32 + 1) // w = 2·sig ∈ [2, 4)
+        };
+        // Rebuild w in-format from the original mantissa bits (exact).
+        let mant = x.to_bits() & ((1u32 << F::MANT_BITS) - 1);
+        let w = F::from_fields(false, w_exp_field, mant);
+        // Segment index from the f64 view (hardware: top mantissa bits).
+        let wf = w.to_f64();
+        let idx = (((wf - 1.0) / 3.0) * self.segments as f64)
+            .floor()
+            .clamp(0.0, (self.segments - 1) as f64) as usize;
+        // In-format PWL evaluation: base + slope·(w − w_i).
+        let base = F::from_f64(self.bases[idx]);
+        let slope = F::from_f64(self.slopes[idx]);
+        let knot = F::from_f64(self.knots[idx]);
+        let y = base + slope * (w - knot);
+        // Apply 2^(−e'/2), an exact exponent shift.
+        y.scale_by_pow2(-e_even / 2)
+    }
+}
+
+impl<F: Float> RsqrtScale<F> for LutRsqrt {
+    fn scale_factor(&self, m: F, d: usize) -> F {
+        let inv_d = F::from_f64(1.0 / d as f64);
+        self.rsqrt(m * inv_d)
+    }
+
+    fn method_name(&self) -> &'static str {
+        "LUT-rsqrt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::{Bf16, Fp32};
+
+    #[test]
+    fn accuracy_improves_with_segments() {
+        let worst = |segments: usize| -> f64 {
+            let lut = LutRsqrt::new(segments);
+            let mut w: f64 = 0.0;
+            for i in 0..500 {
+                let x = 0.3 + i as f64 * 0.05;
+                let y = lut.rsqrt(Fp32::from_f64(x)).to_f64();
+                w = w.max((y - 1.0 / x.sqrt()).abs() * x.sqrt());
+            }
+            w
+        };
+        let e8 = worst(8);
+        let e32 = worst(32);
+        let e128 = worst(128);
+        assert!(e32 < e8);
+        assert!(e128 < e32);
+        // PWL error scales ~1/segments²: 16× fewer segments ≈ 256× error.
+        assert!(e128 < 1e-4, "128-segment error {e128}");
+    }
+
+    #[test]
+    fn exponent_parity_handled() {
+        let lut = LutRsqrt::new(64);
+        // Both parities of the exponent around the same significand.
+        for &x in &[2.0, 4.0, 8.0, 16.0, 0.5, 0.25, 0.125] {
+            let y = lut.rsqrt(Fp32::from_f64(x)).to_f64();
+            let rel = (y - 1.0 / x.sqrt()).abs() * x.sqrt();
+            assert!(rel < 1e-3, "x = {x}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_return_nan() {
+        let lut = LutRsqrt::new(16);
+        assert!(lut.rsqrt(Fp32::ZERO).is_nan());
+        assert!(lut.rsqrt(Fp32::from_f64(-1.0)).is_nan());
+        assert!(lut.rsqrt(Fp32::INFINITY).is_nan());
+        assert!(lut.rsqrt(Fp32::NAN).is_nan());
+    }
+
+    #[test]
+    fn coarse_format_still_works() {
+        let lut = LutRsqrt::new(32);
+        let y = lut.rsqrt(Bf16::from_f64(25.0)).to_f64();
+        assert!((y - 0.2).abs() < 5e-3, "bf16 rsqrt(25) = {y}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_rejected() {
+        let _ = LutRsqrt::new(0);
+    }
+}

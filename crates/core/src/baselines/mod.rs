@@ -1,0 +1,24 @@
+//! The comparison methods of the paper's evaluation and related-work
+//! sections.
+//!
+//! * [`Fisr`] — the fast inverse square root \[12\] (magic constant + Newton
+//!   steps), the method Table I compares against and the one \[10\] implements
+//!   in 28 nm CMOS.
+//! * [`LutRsqrt`] — a piecewise-linear lookup-table approximation of
+//!   `1/√x`, NN-LUT \[9\] style.
+//! * [`ExactRsqrtNorm`] — in-format `1/√(m/d + ε)` using a real divider and
+//!   square root: the costly baseline the paper's whole premise avoids.
+//! * [`intsqrt`] — integer-only layer normalization with an iterative
+//!   integer square root and division, SwiftTron \[8\] style.
+//! * [`sole`] — INT8 layer normalization with dynamically compressed
+//!   low-bit statistics and a LUT inverse square root, SOLE \[11\] style.
+
+mod exact;
+mod fisr;
+pub mod intsqrt;
+mod lut;
+pub mod sole;
+
+pub use exact::ExactRsqrtNorm;
+pub use fisr::Fisr;
+pub use lut::LutRsqrt;

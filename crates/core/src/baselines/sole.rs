@@ -1,0 +1,255 @@
+//! SOLE-style INT8 layer normalization \[11\]: dynamic compression of the
+//! statistics datapath to low-bit integers, power-of-two factor
+//! quantization, and a lookup table for the inverse square root.
+//!
+//! \[11\] computes the mean and standard deviation in 4-bit arithmetic after
+//! dynamically right-shifting the inputs, and reads `1/σ` from a LUT. The
+//! operation profile is Table III's "multiplication, addition, bit shift".
+
+/// SOLE-style integer layer normalization.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::baselines::sole::SoleLayerNorm;
+///
+/// let sole = SoleLayerNorm::default();
+/// let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+/// let (q, scale) = sole.quantize(&x);
+/// let z = sole.normalize(&q);
+/// // Output is normalized to roughly unit variance in Q4.3 fixed point.
+/// let _ = (z, scale);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoleLayerNorm {
+    /// Bit width of the compressed statistics datapath (SOLE uses 4).
+    pub stat_bits: u32,
+    /// log₂ of the inverse-sqrt LUT size.
+    pub lut_index_bits: u32,
+    /// Fractional bits of the Q-format output (output is `value·2^frac`).
+    pub out_frac_bits: u32,
+}
+
+impl Default for SoleLayerNorm {
+    /// SOLE's configuration: 4-bit square path, 64-entry LUT, Q3.4 output.
+    fn default() -> Self {
+        SoleLayerNorm {
+            stat_bits: 4,
+            lut_index_bits: 6,
+            out_frac_bits: 4,
+        }
+    }
+}
+
+impl SoleLayerNorm {
+    /// Power-of-two symmetric quantization of `x` into INT8: returns the
+    /// quantized vector and the scale exponent `s` such that
+    /// `x ≈ q·2^(−s)`.
+    pub fn quantize(&self, x: &[f64]) -> (Vec<i8>, i32) {
+        let max = x.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        if max == 0.0 {
+            return (vec![0; x.len()], 0);
+        }
+        // Largest s with max·2^s ≤ 127: power-of-two factor quantization.
+        let s = (127.0 / max).log2().floor() as i32;
+        let q = x
+            .iter()
+            .map(|&v| (v * (s as f64).exp2()).round().clamp(-128.0, 127.0) as i8)
+            .collect();
+        (q, s)
+    }
+
+    /// Normalize an INT8 vector to zero mean / unit variance, returned in
+    /// the configured Q output format (`value·2^out_frac_bits`).
+    ///
+    /// The mean uses plain INT8 accumulation (adders are cheap); the
+    /// *square* path — where low bit width pays off in multiplier area —
+    /// dynamically compresses the deviations to `stat_bits`-wide integers
+    /// before squaring, which is the approximation SOLE trades for its
+    /// tiny datapath (our version omits SOLE's error-compensation terms;
+    /// see DESIGN.md).
+    pub fn normalize(&self, q: &[i8]) -> Vec<i8> {
+        let d = q.len();
+        if d == 0 {
+            return Vec::new();
+        }
+        // Exact integer mean (accumulation is adder-only).
+        let sum: i64 = q.iter().map(|&v| i64::from(v)).sum();
+        let mean = div_round(sum, d as i64);
+        let dev: Vec<i64> = q.iter().map(|&v| i64::from(v) - mean).collect();
+
+        // Dynamic compression of the deviations for the square path.
+        let max_mag = dev.iter().map(|&v| v.unsigned_abs()).max().unwrap_or(0);
+        if max_mag == 0 {
+            return vec![0; d];
+        }
+        let width = 64 - max_mag.leading_zeros();
+        let keep = self.stat_bits - 1; // sign occupies one bit
+        let shift = width.saturating_sub(keep);
+        // Variance of the compressed deviations; the 4^shift factor is
+        // restored through the rsqrt exponent below.
+        let var_c: i64 = dev
+            .iter()
+            .map(|&y| {
+                let c = y >> shift;
+                c * c
+            })
+            .sum::<i64>()
+            / d as i64;
+        if var_c == 0 {
+            return vec![0; d];
+        }
+
+        // LUT inverse square root of the compressed variance, Q2.14.
+        let inv_sigma_q14 = self.lut_rsqrt_q14(var_c as u64);
+
+        // out = y·invσ_c·2^(out_frac−14−shift): the shift restores the
+        // compression factor inside σ (σ = σ_c·2^shift).
+        dev.iter()
+            .map(|&y| {
+                let prod = y * i64::from(inv_sigma_q14); // Q14 · int
+                let sh = 14 + shift as i64 - i64::from(self.out_frac_bits);
+                let val = if sh >= 0 {
+                    div_round(prod, 1i64 << sh)
+                } else {
+                    prod << (-sh)
+                };
+                val.clamp(-128, 127) as i8
+            })
+            .collect()
+    }
+
+    /// Dequantize an output vector from the Q format.
+    pub fn dequantize_output(&self, z: &[i8]) -> Vec<f64> {
+        let scale = (self.out_frac_bits as f64).exp2();
+        z.iter().map(|&v| f64::from(v) / scale).collect()
+    }
+
+    /// LUT lookup: `⌊2^14/√v⌋`-style fixed point with the variance first
+    /// range-reduced to `[1, 4)·4^k` (bit shifts only).
+    fn lut_rsqrt_q14(&self, v: u64) -> u16 {
+        debug_assert!(v > 0);
+        // Range reduction: v = w·4^k with w ∈ [1, 4).
+        let msb = 63 - v.leading_zeros();
+        let k = (msb / 2) as i32;
+        let w_times = (v as f64) / (4f64).powi(k); // ∈ [1, 4)
+                                                   // Index the LUT by the top bits of w.
+        let entries = 1usize << self.lut_index_bits;
+        let idx = (((w_times - 1.0) / 3.0) * entries as f64)
+            .floor()
+            .clamp(0.0, (entries - 1) as f64) as usize;
+        // Table entry: midpoint rsqrt of the segment, in Q14 (ROM content —
+        // precomputed offline, like the hardware's).
+        let w_mid = 1.0 + (idx as f64 + 0.5) * 3.0 / entries as f64;
+        let r = 1.0 / w_mid.sqrt(); // ∈ (0.5, 1]
+        let q14 = (r * (14f64).exp2()).round() as u32;
+        // Undo the 4^k: rsqrt scales by 2^(−k).
+        let scaled = q14 >> k.max(0);
+        scaled.min(u32::from(u16::MAX)) as u16
+    }
+}
+
+fn div_round(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    let r = a % b;
+    if 2 * r.abs() >= b.abs() {
+        q + a.signum() * b.signum()
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn quantize_round_trip_scale() {
+        let sole = SoleLayerNorm::default();
+        let x = vec![0.5, -0.25, 0.125, 0.9];
+        let (q, s) = sole.quantize(&x);
+        for (&qi, &xi) in q.iter().zip(&x) {
+            let back = f64::from(qi) / (s as f64).exp2();
+            assert!(
+                (back - xi).abs() < (1.0 / (s as f64).exp2()),
+                "{back} vs {xi}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_vector_quantizes_to_zero() {
+        let sole = SoleLayerNorm::default();
+        let (q, s) = sole.quantize(&[0.0; 8]);
+        assert!(q.iter().all(|&v| v == 0));
+        assert_eq!(s, 0);
+        assert!(sole.normalize(&q).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn normalized_output_tracks_reference_coarsely() {
+        // INT8 out with 4-bit statistics: expect ~0.1–0.3 absolute error —
+        // the low-precision trade SOLE makes (vs ~1e−3 for IterL2Norm in
+        // BF16). The *shape* must still be right: strong correlation with
+        // the exact normalization.
+        let sole = SoleLayerNorm::default();
+        let x: Vec<f64> = (0..128)
+            .map(|i| ((i * 37) % 97) as f64 / 25.0 - 2.0)
+            .collect();
+        let (q, _s) = sole.quantize(&x);
+        let z = sole.dequantize_output(&sole.normalize(&q));
+        let truth = reference::normalize_f64(&x, 0.0);
+        let dot: f64 = z.iter().zip(&truth).map(|(a, b)| a * b).sum();
+        let nz: f64 = z.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let nt: f64 = truth.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let cosine = dot / (nz * nt);
+        assert!(cosine > 0.98, "cosine similarity {cosine}");
+        let max_err = z
+            .iter()
+            .zip(&truth)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 0.5, "max err {max_err}");
+    }
+
+    #[test]
+    fn constant_vector_normalizes_to_zero() {
+        let sole = SoleLayerNorm::default();
+        let (q, _) = sole.quantize(&[1.75; 32]);
+        assert!(sole.normalize(&q).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let sole = SoleLayerNorm::default();
+        assert!(sole.normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn wider_stats_path_is_more_accurate() {
+        let narrow = SoleLayerNorm {
+            stat_bits: 4,
+            ..SoleLayerNorm::default()
+        };
+        let wide = SoleLayerNorm {
+            stat_bits: 8,
+            ..SoleLayerNorm::default()
+        };
+        let x: Vec<f64> = (0..256).map(|i| (i as f64 * 0.11).sin() * 3.0).collect();
+        let truth = reference::normalize_f64(&x, 0.0);
+        let err = |s: &SoleLayerNorm| {
+            let (q, _) = s.quantize(&x);
+            let z = s.dequantize_output(&s.normalize(&q));
+            z.iter()
+                .zip(&truth)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+                / x.len() as f64
+        };
+        assert!(
+            err(&wide) <= err(&narrow) * 1.2,
+            "wide stats should not be much worse"
+        );
+    }
+}

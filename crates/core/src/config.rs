@@ -1,0 +1,173 @@
+//! Configuration of the IterL2Norm iteration: stopping rule, initialization
+//! and update-rate selection.
+
+/// When to stop the scalar iteration.
+///
+/// The paper's Algorithm 1 iterates `while Δa > δ_max` (a *signed*
+/// comparison — an overshooting negative step also terminates the loop);
+/// the hardware macro instead runs a programmable fixed number of steps
+/// (`n_c`, 5 in the evaluation). Both are supported.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopRule {
+    /// Run exactly this many update steps (the macro's behaviour).
+    FixedSteps(u32),
+    /// Iterate while the signed step `Δa > δ_max` (Algorithm 1 as written),
+    /// with a hard cap on the number of steps as a safety net.
+    ///
+    /// Note a quirk this reproduction surfaced: when `E(m)` is even, the
+    /// Eq. (6) seed satisfies `a₀ ≥ a∞`, the iteration approaches the fixed
+    /// point *from above*, every Δa is negative — and the signed comparison
+    /// exits after a single step. Use [`StopRule::ToleranceAbs`] for the
+    /// presumably intended magnitude test.
+    Tolerance {
+        /// δ_max: the largest tolerated update step.
+        delta_max: f64,
+        /// Upper bound on iterations regardless of convergence.
+        max_steps: u32,
+    },
+    /// Iterate while `|Δa| > δ_max` — the magnitude form of Algorithm 1's
+    /// loop condition, robust to the approach direction.
+    ToleranceAbs {
+        /// δ_max: the largest tolerated update-step magnitude.
+        delta_max: f64,
+        /// Upper bound on iterations regardless of convergence.
+        max_steps: u32,
+    },
+}
+
+impl Default for StopRule {
+    /// Five fixed steps — the paper's evaluation setting.
+    fn default() -> Self {
+        StopRule::FixedSteps(5)
+    }
+}
+
+/// How the iteration seed `a₀` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum InitRule {
+    /// Paper Eq. (6): `a₀ = 2^(−(E(m)−bias+1)/2)`, built from the exponent
+    /// field of `m` with one add, one subtract and one arithmetic shift
+    /// (see [`a0_from_exponent`](crate::a0_from_exponent)).
+    #[default]
+    HwExponent,
+    /// Oracle initialization `a₀ = 1/√m` computed in `f64` — the ablation
+    /// upper bound on what a perfect seed would buy.
+    ExactRsqrt,
+    /// A fixed constant seed (e.g. `1.0`), the naive baseline whose slow
+    /// convergence motivates Eq. (6).
+    Constant(f64),
+}
+
+/// How the update rate λ is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LambdaRule {
+    /// Paper Eq. (10): `λ = 0.345·2^(−(E(m)−bias))` — the stored constant
+    /// 0.345 with its exponent shifted by the exponent of `m`
+    /// (see [`lambda_from_exponent`](crate::lambda_from_exponent)).
+    #[default]
+    HwExponent,
+    /// Oracle rate `λ = 0.69/m` computed in `f64` — what Eq. (10)
+    /// approximates without a divider.
+    ExactInverse,
+    /// A fixed constant λ, the naive baseline (requires the caller to know
+    /// the scale of `m` in advance).
+    Constant(f64),
+}
+
+/// How each Eq. (5) update step is evaluated in hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateStyle {
+    /// Six separately rounded operations (the macro of Fig. 2b).
+    #[default]
+    Separate,
+    /// Fused multiply-adds where the dataflow allows:
+    /// `t₃ = fma(−t₁, a, 1)` and `a' = fma(t₄, t₃, a)` — two roundings
+    /// fewer per step. An ablation of a plausible FMA-based macro.
+    Fused,
+}
+
+/// Full configuration of the scalar iteration.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::{IterConfig, StopRule};
+///
+/// // The paper's hardware configuration: 5 steps, exponent-trick seed and λ.
+/// let hw = IterConfig::default();
+/// assert_eq!(hw.stop, StopRule::FixedSteps(5));
+///
+/// // Algorithm 1 as written: tolerance-driven loop.
+/// let alg1 = IterConfig {
+///     stop: StopRule::Tolerance { delta_max: 1e-6, max_steps: 50 },
+///     ..IterConfig::default()
+/// };
+/// assert_ne!(alg1.stop, hw.stop);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IterConfig {
+    /// Stopping rule (default: 5 fixed steps).
+    pub stop: StopRule,
+    /// Seed selection (default: Eq. 6 exponent trick).
+    pub init: InitRule,
+    /// Update-rate selection (default: Eq. 10 exponent trick).
+    pub lambda: LambdaRule,
+    /// Update-step evaluation (default: separately rounded operations).
+    pub update: UpdateStyle,
+}
+
+impl IterConfig {
+    /// The paper's macro configuration with a custom step count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iterl2norm::{IterConfig, StopRule};
+    /// assert_eq!(IterConfig::fixed_steps(3).stop, StopRule::FixedSteps(3));
+    /// ```
+    pub fn fixed_steps(steps: u32) -> Self {
+        IterConfig {
+            stop: StopRule::FixedSteps(steps),
+            ..IterConfig::default()
+        }
+    }
+
+    /// Algorithm 1's tolerance-driven loop with a safety cap.
+    pub fn tolerance(delta_max: f64, max_steps: u32) -> Self {
+        IterConfig {
+            stop: StopRule::Tolerance {
+                delta_max,
+                max_steps,
+            },
+            ..IterConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_evaluation_setting() {
+        let cfg = IterConfig::default();
+        assert_eq!(cfg.stop, StopRule::FixedSteps(5));
+        assert_eq!(cfg.init, InitRule::HwExponent);
+        assert_eq!(cfg.lambda, LambdaRule::HwExponent);
+    }
+
+    #[test]
+    fn constructors_set_stop_rule_only() {
+        let cfg = IterConfig::fixed_steps(10);
+        assert_eq!(cfg.stop, StopRule::FixedSteps(10));
+        assert_eq!(cfg.init, InitRule::HwExponent);
+        let tol = IterConfig::tolerance(1e-4, 20);
+        assert_eq!(
+            tol.stop,
+            StopRule::Tolerance {
+                delta_max: 1e-4,
+                max_steps: 20
+            }
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type shared by the normalization entry points.
+
+use core::fmt;
+
+/// Error returned by [`layer_norm`](crate::layer_norm) and friends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NormError {
+    /// The input vector was empty.
+    EmptyInput,
+    /// `gamma` had a different length than the input.
+    GammaLengthMismatch {
+        /// Input length `d`.
+        expected: usize,
+        /// Observed `gamma.len()`.
+        actual: usize,
+    },
+    /// `beta` had a different length than the input.
+    BetaLengthMismatch {
+        /// Input length `d`.
+        expected: usize,
+        /// Observed `beta.len()`.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormError::EmptyInput => write!(f, "input vector is empty"),
+            NormError::GammaLengthMismatch { expected, actual } => write!(
+                f,
+                "gamma length {actual} does not match input length {expected}"
+            ),
+            NormError::BetaLengthMismatch { expected, actual } => write!(
+                f,
+                "beta length {actual} does not match input length {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NormError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = NormError::GammaLengthMismatch {
+            expected: 8,
+            actual: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('8') && s.contains('4'));
+        assert!(s.chars().next().unwrap().is_lowercase());
+        assert_eq!(NormError::EmptyInput.to_string(), "input vector is empty");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<NormError>();
+    }
+}

@@ -1,0 +1,488 @@
+//! The scalar IterL2Norm iteration (paper Eqs. 5, 6 and 10).
+
+use softfloat::Float;
+
+use crate::config::{InitRule, IterConfig, LambdaRule, StopRule, UpdateStyle};
+
+/// Initialization of `a₀` from the exponent field of `m` (paper Eq. 6):
+///
+/// ```text
+/// a₀ = 2^(−(E(m) − bias + 1)/2)
+/// ```
+///
+/// built exactly the way the macro's initialize module does it — one
+/// subtraction, one addition and one arithmetic right shift on the biased
+/// exponent field, written next to a zero mantissa. The `/2` therefore
+/// floors toward −∞; the paper's analysis gives `0.7 < a₀/a∞ < 1` for odd
+/// unbiased exponents of `m` and `1 ≤ a₀/a∞ < √2` for even ones — both
+/// firmly inside the iteration's basin of attraction.
+///
+/// `m = 0` and subnormal `m` read an exponent field of 0, which seeds the
+/// largest representable power of two the formula produces — harmless,
+/// because for `m = 0` every update step is 0 and the normalized output of
+/// an all-equal vector is 0 regardless of `a`.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::a0_from_exponent;
+/// use softfloat::{Float, Fp32};
+///
+/// // m = 16 = 2⁴ ⇒ a₀ = 2^(−(4+1)/2) = 2^−2 (shift floors 5/2 to 2).
+/// let a0 = a0_from_exponent(Fp32::from_f64(16.0));
+/// assert_eq!(a0.to_f64(), 0.25);
+/// // True a∞ = 1/√16 = 0.25: the seed is exact here.
+/// ```
+pub fn a0_from_exponent<F: Float>(m: F) -> F {
+    let e_field = m.exponent_field() as i32; // E(m)
+    let s = e_field - F::BIAS + 1; // E(m) − bias + 1
+    let shift = s >> 1; // arithmetic shift: floors toward −∞
+    let a0_field = F::BIAS - shift;
+    // Clamp into the normal range: exponent field 0 would denote zero and
+    // the all-ones field denotes inf/NaN. Saturation only triggers for
+    // extreme m (overflow/underflow territory); the clamped seed still
+    // converges, just more slowly.
+    let max_field = (1i32 << F::EXP_BITS) - 2;
+    let a0_field = a0_field.clamp(1, max_field) as u32;
+    F::from_fields(false, a0_field, 0)
+}
+
+/// Update-rate selection from the exponent field of `m` (paper Eq. 10):
+///
+/// ```text
+/// λ = 0.345 · 2^(−(E(m) − bias))
+/// ```
+///
+/// The constant 0.345 comes from requiring the exponential transient of the
+/// analytical solution (Eq. 9) to fall below `δ_c = 10⁻³` within `n_c = 5`
+/// steps: `λ > −ln δ_c/(2·m·n_c) = 0.69/m`, and since
+/// `2^(−E(m)+bias) ≥ 1/(2m)` holds for every significand, doubling the
+/// coefficient to `0.345·2` = 0.69 is guaranteed by the exponent shift
+/// alone — no divider needed.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::lambda_from_exponent;
+/// use softfloat::{Float, Fp32};
+///
+/// let m = Fp32::from_f64(8.0); // E(m) − bias = 3
+/// let lambda = lambda_from_exponent(m);
+/// assert_eq!(lambda.to_f64(), 0.345f32 as f64 / 8.0);
+/// ```
+pub fn lambda_from_exponent<F: Float>(m: F) -> F {
+    let e = m.exponent_field() as i32 - F::BIAS;
+    F::from_f64(0.345).scale_by_pow2(-e)
+}
+
+/// One update step of Eq. (5), in the exact operation order of the macro's
+/// update module (Fig. 2b): `t₁ = m·a`, `t₂ = t₁·a`, `t₃ = 1 − t₂`,
+/// `t₄ = λ·t₁`, `Δa = t₄·t₃`.
+///
+/// Both this software implementation and the cycle-accurate macro simulator
+/// call this function, which is what makes them bit-exactly comparable.
+#[inline]
+pub fn update_step<F: Float>(m: F, a: F, lambda: F) -> F {
+    let t1 = m * a;
+    let t2 = t1 * a;
+    let t3 = F::one() - t2;
+    let t4 = lambda * t1;
+    t4 * t3
+}
+
+/// One update step evaluated with fused multiply-adds
+/// ([`UpdateStyle::Fused`]): `t₃ = fma(−t₁, a, 1)` and the returned value
+/// folds into the caller's `a' = fma(t₄, t₃, a)` — see [`apply_update`].
+#[inline]
+pub fn update_step_fused<F: Float>(m: F, a: F, lambda: F) -> (F, F) {
+    let t1 = m * a;
+    let t3 = (-t1).mul_add(a, F::one());
+    let t4 = lambda * t1;
+    (t4, t3)
+}
+
+/// Apply one update step in the configured style, returning the new `a`
+/// and the step value Δa (for the tolerance stop rule, the separate-path
+/// Δa; for the fused path, the rounded product `t₄·t₃`).
+#[inline]
+pub fn apply_update<F: Float>(m: F, a: F, lambda: F, style: UpdateStyle) -> (F, F) {
+    match style {
+        UpdateStyle::Separate => {
+            let da = update_step(m, a, lambda);
+            (a + da, da)
+        }
+        UpdateStyle::Fused => {
+            let (t4, t3) = update_step_fused(m, a, lambda);
+            (t4.mul_add(t3, a), t4 * t3)
+        }
+    }
+}
+
+/// Step-by-step record of one iteration run, for convergence analysis
+/// (Fig. 4) and debugging.
+#[derive(Debug, Clone)]
+pub struct IterTrace<F> {
+    /// The seed `a₀`.
+    pub a0: F,
+    /// The update rate λ used.
+    pub lambda: F,
+    /// `a` after each executed step (`a_1, a_2, …`).
+    pub steps: Vec<F>,
+}
+
+impl<F: Float> IterTrace<F> {
+    /// The final `a` (the seed if no step executed).
+    pub fn final_a(&self) -> F {
+        *self.steps.last().unwrap_or(&self.a0)
+    }
+
+    /// Number of update steps executed.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when no update step was executed.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Run the scalar iteration on `m = ‖y‖²` and return the full trace.
+///
+/// Use [`IterL2Norm`] for the plain "give me `a∞`" interface; this function
+/// exposes the intermediate steps for the convergence experiments.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::{iterate, IterConfig};
+/// use softfloat::{Float, Fp32};
+///
+/// let m = Fp32::from_f64(10.0);
+/// let trace = iterate(m, &IterConfig::fixed_steps(5));
+/// let a = trace.final_a().to_f64();
+/// assert!((a - 1.0 / 10.0f64.sqrt()).abs() < 1e-4);
+/// assert_eq!(trace.len(), 5);
+/// ```
+pub fn iterate<F: Float>(m: F, cfg: &IterConfig) -> IterTrace<F> {
+    let a0 = match cfg.init {
+        InitRule::HwExponent => a0_from_exponent(m),
+        InitRule::ExactRsqrt => {
+            let md = m.to_f64();
+            if md > 0.0 {
+                F::from_f64(1.0 / md.sqrt())
+            } else {
+                a0_from_exponent(m)
+            }
+        }
+        InitRule::Constant(c) => F::from_f64(c),
+    };
+    let lambda = match cfg.lambda {
+        LambdaRule::HwExponent => lambda_from_exponent(m),
+        LambdaRule::ExactInverse => {
+            let md = m.to_f64();
+            if md > 0.0 {
+                F::from_f64(0.69 / md)
+            } else {
+                lambda_from_exponent(m)
+            }
+        }
+        LambdaRule::Constant(c) => F::from_f64(c),
+    };
+    let mut trace = IterTrace {
+        a0,
+        lambda,
+        steps: Vec::new(),
+    };
+    let mut a = a0;
+    match cfg.stop {
+        StopRule::FixedSteps(n) => {
+            for _ in 0..n {
+                let (next, _da) = apply_update(m, a, lambda, cfg.update);
+                a = next;
+                trace.steps.push(a);
+            }
+        }
+        StopRule::Tolerance {
+            delta_max,
+            max_steps,
+        } => {
+            let dmax = F::from_f64(delta_max);
+            for _ in 0..max_steps {
+                let (next, da) = apply_update(m, a, lambda, cfg.update);
+                a = next;
+                trace.steps.push(a);
+                // Algorithm 1: continue while Δa > δ_max (signed comparison,
+                // so an overshoot terminates too). NaN also terminates.
+                if !matches!(da.partial_cmp(&dmax), Some(core::cmp::Ordering::Greater)) {
+                    break;
+                }
+            }
+        }
+        StopRule::ToleranceAbs {
+            delta_max,
+            max_steps,
+        } => {
+            let dmax = F::from_f64(delta_max);
+            for _ in 0..max_steps {
+                let (next, da) = apply_update(m, a, lambda, cfg.update);
+                a = next;
+                trace.steps.push(a);
+                if !matches!(
+                    da.abs().partial_cmp(&dmax),
+                    Some(core::cmp::Ordering::Greater)
+                ) {
+                    break;
+                }
+            }
+        }
+    }
+    trace
+}
+
+/// The IterL2Norm normalizer: computes `a∞ ≈ 1/‖y‖₂` from `m = ‖y‖²₂` and
+/// serves as the scale-factor provider for
+/// [`layer_norm`](crate::layer_norm).
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::{IterL2Norm, RsqrtScale};
+/// use softfloat::{Float, Fp16};
+///
+/// let norm = IterL2Norm::with_steps(5);
+/// // For a d=4 vector with ‖y‖² = 4: scale = √4 · 1/√4 = 1.
+/// let s = norm.scale_factor(Fp16::from_f64(4.0), 4);
+/// assert!((s.to_f64() - 1.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IterL2Norm {
+    /// Iteration configuration (stop rule, seed, update rate).
+    pub config: IterConfig,
+}
+
+impl IterL2Norm {
+    /// Paper-default normalizer (Eq. 6 seed, Eq. 10 rate, 5 steps).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Normalizer running a fixed number of steps (the macro's `n_c`).
+    pub fn with_steps(steps: u32) -> Self {
+        IterL2Norm {
+            config: IterConfig::fixed_steps(steps),
+        }
+    }
+
+    /// Normalizer with a fully custom configuration.
+    pub fn with_config(config: IterConfig) -> Self {
+        IterL2Norm { config }
+    }
+
+    /// Compute `a∞ ≈ 1/‖y‖₂` from `m = ‖y‖²₂`.
+    pub fn a_infinity<F: Float>(&self, m: F) -> F {
+        iterate(m, &self.config).final_a()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::{Bf16, Fp16, Fp32};
+
+    #[test]
+    fn a0_is_within_paper_bounds_across_significands() {
+        // Paper Sec. III-B: with the bit-built seed the ratio a₀/a∞ lies in
+        // [1/√2, √2) across all significands and exponent parities.
+        for e in -40..40 {
+            for frac in 0..16 {
+                let m_val = (1.0 + frac as f64 / 16.0) * (e as f64).exp2();
+                let m = Fp32::from_f64(m_val);
+                let a0 = a0_from_exponent(m).to_f64();
+                let a_inf = 1.0 / m.to_f64().sqrt();
+                let ratio = a0 / a_inf;
+                assert!(
+                    (0.7..1.4143).contains(&ratio),
+                    "a0/a_inf = {ratio} out of basin for m = {m_val}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a0_costs_only_field_arithmetic() {
+        // The seed must always be an exact power of two (zero mantissa).
+        for &m_val in &[0.001, 0.1, 1.0, 3.7, 12.0, 1e4, 1e10] {
+            let a0 = a0_from_exponent(Fp32::from_f64(m_val));
+            assert_eq!(a0.to_bits() & 0x007F_FFFF, 0, "a0 has mantissa bits");
+            assert!(!a0.is_sign_negative());
+        }
+    }
+
+    #[test]
+    fn a0_handles_zero_and_subnormal_m() {
+        let a0 = a0_from_exponent(Fp32::ZERO);
+        assert!(a0.is_finite() && !a0.is_zero());
+        let sub = Fp32::MIN_SUBNORMAL;
+        assert!(a0_from_exponent(sub).is_finite());
+    }
+
+    #[test]
+    fn lambda_satisfies_convergence_inequality() {
+        // Eq. 10 must guarantee λ > 0.69/(2m)·… specifically λ·m ∈ [0.345, 0.69).
+        for e in -30..30 {
+            for frac in 0..8 {
+                let m_val = (1.0 + frac as f64 / 8.0) * (e as f64).exp2();
+                let m = Fp32::from_f64(m_val);
+                let lm = lambda_from_exponent(m).to_f64() * m.to_f64();
+                assert!(
+                    (0.34..0.70).contains(&lm),
+                    "λ·m = {lm} outside [0.345, 0.69) for m = {m_val}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_converges_in_five_steps_fp32() {
+        for &m_val in &[0.037, 0.5, 1.0, 2.0, 3.99, 21.3, 341.0, 4096.0, 1e-3] {
+            let m = Fp32::from_f64(m_val);
+            let trace = iterate(m, &IterConfig::fixed_steps(5));
+            let a = trace.final_a().to_f64();
+            let expect = 1.0 / m_val.sqrt();
+            let rel = (a - expect).abs() / expect;
+            assert!(
+                rel < 5e-3,
+                "m = {m_val}: a = {a}, expected {expect}, rel err {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_error_shrinks_with_steps() {
+        let m = Fp32::from_f64(7.3);
+        let expect = 1.0 / 7.3f64.sqrt();
+        let mut last_err = f64::INFINITY;
+        for steps in 1..=5 {
+            let a = iterate(m, &IterConfig::fixed_steps(steps))
+                .final_a()
+                .to_f64();
+            let err = (a - expect).abs();
+            assert!(
+                err <= last_err * 1.05,
+                "error grew at step {steps}: {err} > {last_err}"
+            );
+            last_err = err;
+        }
+        assert!(last_err < 1e-3 * expect);
+    }
+
+    #[test]
+    fn tolerance_rule_stops_early() {
+        let m = Fp32::from_f64(2.0);
+        let trace = iterate(m, &IterConfig::tolerance(1e-7, 100));
+        assert!(trace.len() < 100, "tolerance loop never converged");
+        let a = trace.final_a().to_f64();
+        assert!((a - 1.0 / 2.0f64.sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_m_is_a_fixed_point() {
+        let trace = iterate(Fp32::ZERO, &IterConfig::fixed_steps(5));
+        assert_eq!(trace.final_a().to_bits(), trace.a0.to_bits());
+    }
+
+    #[test]
+    fn works_in_fp16_and_bf16() {
+        for &m_val in &[0.25f64, 1.7, 100.0, 340.0] {
+            let expect = 1.0 / m_val.sqrt();
+            let a16 = iterate(Fp16::from_f64(m_val), &IterConfig::fixed_steps(5))
+                .final_a()
+                .to_f64();
+            assert!(
+                (a16 - expect).abs() / expect < 2e-2,
+                "fp16 m={m_val}: {a16} vs {expect}"
+            );
+            let ab = iterate(Bf16::from_f64(m_val), &IterConfig::fixed_steps(5))
+                .final_a()
+                .to_f64();
+            assert!(
+                (ab - expect).abs() / expect < 3e-2,
+                "bf16 m={m_val}: {ab} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_init_rule_converges_immediately() {
+        let m = Fp32::from_f64(5.0);
+        let cfg = IterConfig {
+            init: InitRule::ExactRsqrt,
+            ..IterConfig::fixed_steps(2)
+        };
+        let a = iterate(m, &cfg).final_a().to_f64();
+        assert!((a - 1.0 / 5.0f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_init_converges_slower_than_hw() {
+        // For m far from 1, a constant seed of 1.0 leaves more error after
+        // 5 steps than the exponent-trick seed (for m = 0.01 the naive seed
+        // starts at u₀ = √m·a₀ = 0.1, deep below the fixed point).
+        let m = Fp32::from_f64(0.01);
+        let expect = 1.0 / 0.01f64.sqrt();
+        let hw = iterate(m, &IterConfig::fixed_steps(5)).final_a().to_f64();
+        let naive_cfg = IterConfig {
+            init: InitRule::Constant(1.0),
+            ..IterConfig::fixed_steps(5)
+        };
+        let naive = iterate(m, &naive_cfg).final_a().to_f64();
+        assert!(hw.is_finite());
+        assert!((hw - expect).abs() < (naive - expect).abs());
+    }
+
+    #[test]
+    fn constant_init_outside_basin_diverges() {
+        // A constant seed of 1.0 for a huge m puts u₀ = √m far outside the
+        // basin of attraction: the iteration blows up — exactly the failure
+        // mode Eq. (6) exists to prevent.
+        let m = Fp32::from_f64(500.0);
+        let naive_cfg = IterConfig {
+            init: InitRule::Constant(1.0),
+            ..IterConfig::fixed_steps(5)
+        };
+        let naive = iterate(m, &naive_cfg).final_a();
+        let expect = 1.0 / 500.0f64.sqrt();
+        let off = (naive.to_f64() - expect).abs();
+        assert!(
+            naive.is_nan() || off > 1.0,
+            "expected divergence, got {naive:?}"
+        );
+        // The hardware seed converges fine on the same m.
+        let hw = iterate(m, &IterConfig::fixed_steps(5)).final_a().to_f64();
+        assert!((hw - expect).abs() / expect < 5e-3);
+    }
+
+    #[test]
+    fn trace_records_every_step() {
+        let m = Fp32::from_f64(3.0);
+        let trace = iterate(m, &IterConfig::fixed_steps(7));
+        assert_eq!(trace.len(), 7);
+        assert!(!trace.is_empty());
+        assert_eq!(
+            trace.final_a().to_bits(),
+            trace.steps.last().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn update_step_matches_formula_order() {
+        // The documented order: Δa = (λ·(m·a)) · (1 − (m·a)·a).
+        let m = Fp32::from_f64(2.5);
+        let a = Fp32::from_f64(0.6);
+        let l = Fp32::from_f64(0.1);
+        let t1 = m * a;
+        let expect = (l * t1) * (Fp32::ONE - t1 * a);
+        assert_eq!(update_step(m, a, l).to_bits(), expect.to_bits());
+    }
+}

@@ -1,0 +1,383 @@
+//! The IterL2Norm-based layer-normalization pipeline (paper Algorithm 1).
+
+use softfloat::Float;
+
+use crate::error::NormError;
+use crate::hworder::ReduceOrder;
+use crate::iteration::IterL2Norm;
+
+/// A provider of the normalization scale factor `s ≈ √d/‖y‖₂`.
+///
+/// Layer normalization's steps 1 and 3 (mean shift, affine output) are
+/// common to every method; the methods differ only in how they turn
+/// `m = ‖y‖²₂` into the multiplier applied to `y`. [`IterL2Norm`], the FISR
+/// baseline ([`baselines::Fisr`](crate::baselines::Fisr)), the LUT baseline
+/// and the exact in-format reference all implement this trait, so a single
+/// [`layer_norm`] pipeline serves every comparison in the paper.
+pub trait RsqrtScale<F: Float> {
+    /// Compute the factor `s` such that `ŷ = s·y` is the normalized vector,
+    /// given `m = ‖y‖²₂` and the vector length `d`.
+    fn scale_factor(&self, m: F, d: usize) -> F;
+
+    /// Short method name for reports (e.g. `"IterL2Norm"`, `"FISR"`).
+    fn method_name(&self) -> &'static str;
+}
+
+impl<F: Float> RsqrtScale<F> for IterL2Norm {
+    /// `s = a∞ · √d`, with `√d` pre-stored in the format (the macro keeps
+    /// it in memory next to `d⁻¹`).
+    fn scale_factor(&self, m: F, d: usize) -> F {
+        let sqrt_d = F::from_f64((d as f64).sqrt());
+        self.a_infinity(m) * sqrt_d
+    }
+
+    fn method_name(&self) -> &'static str {
+        "IterL2Norm"
+    }
+}
+
+/// Borrowed inputs to [`layer_norm`]: the vector plus optional affine
+/// parameters and the reduction order.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::{LayerNormInputs, ReduceOrder};
+/// use softfloat::{Float, Fp32};
+///
+/// let x = vec![Fp32::from_f64(1.0); 4];
+/// let inputs = LayerNormInputs::unscaled(&x).with_reduce(ReduceOrder::Linear);
+/// assert_eq!(inputs.x.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LayerNormInputs<'a, F> {
+    /// The input vector `x` (length `d`).
+    pub x: &'a [F],
+    /// Per-element scale γ; `None` means γ = 1 (the multiply is skipped).
+    pub gamma: Option<&'a [F]>,
+    /// Per-element shift β; `None` means β = 0 (the add is skipped).
+    pub beta: Option<&'a [F]>,
+    /// Reduction order for the mean and `m` computations.
+    pub reduce: ReduceOrder,
+}
+
+impl<'a, F: Float> LayerNormInputs<'a, F> {
+    /// Inputs with affine parameters (the full Algorithm 1).
+    pub fn new(x: &'a [F], gamma: &'a [F], beta: &'a [F]) -> Self {
+        LayerNormInputs {
+            x,
+            gamma: Some(gamma),
+            beta: Some(beta),
+            reduce: ReduceOrder::default(),
+        }
+    }
+
+    /// Inputs without affine parameters (γ = 1, β = 0) — what the paper's
+    /// precision experiments measure.
+    pub fn unscaled(x: &'a [F]) -> Self {
+        LayerNormInputs {
+            x,
+            gamma: None,
+            beta: None,
+            reduce: ReduceOrder::default(),
+        }
+    }
+
+    /// Same inputs with a different reduction order.
+    pub fn with_reduce(mut self, reduce: ReduceOrder) -> Self {
+        self.reduce = reduce;
+        self
+    }
+}
+
+/// Intermediate results of one layer-normalization run, exposed so callers
+/// (tests, the macro-equivalence checks, the experiment harness) don't have
+/// to recompute them.
+#[derive(Debug, Clone)]
+pub struct LayerNormOutput<F> {
+    /// The final output `z = γ·ŷ + β`.
+    pub z: Vec<F>,
+    /// The mean `x̄` (already rounded to the format).
+    pub mean: F,
+    /// `m = ‖y‖²₂` of the mean-shifted vector.
+    pub m: F,
+    /// The applied scale factor `s ≈ √d/‖y‖₂`.
+    pub scale: F,
+}
+
+/// Layer-normalize `x` with the given scale method, returning only the
+/// output vector. See [`layer_norm_detailed`] for the intermediates.
+///
+/// # Errors
+///
+/// Returns [`NormError::EmptyInput`] for an empty vector and the length
+/// mismatch variants when γ/β disagree with `x.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::{layer_norm, IterL2Norm, LayerNormInputs};
+/// use softfloat::{Float, Fp32};
+///
+/// # fn main() -> Result<(), iterl2norm::NormError> {
+/// let x: Vec<Fp32> = (0..64).map(|i| Fp32::from_f64((i as f64).sin())).collect();
+/// let z = layer_norm(LayerNormInputs::unscaled(&x), &IterL2Norm::new())?;
+/// assert_eq!(z.len(), 64);
+/// # Ok(())
+/// # }
+/// ```
+pub fn layer_norm<F: Float, S: RsqrtScale<F> + ?Sized>(
+    inputs: LayerNormInputs<'_, F>,
+    method: &S,
+) -> Result<Vec<F>, NormError> {
+    layer_norm_detailed(inputs, method).map(|out| out.z)
+}
+
+/// Layer-normalize `x`, returning the output vector together with the mean,
+/// `m` and scale factor (paper Algorithm 1, any [`RsqrtScale`] method).
+///
+/// The pipeline follows the macro's dataflow exactly:
+///
+/// 1. `x̄ = (Σxᵢ)·d⁻¹` with `d⁻¹` pre-stored (rounded to the format),
+/// 2. `yᵢ = xᵢ − x̄`,
+/// 3. `m = Σyᵢ²` (reduction order per [`LayerNormInputs::reduce`]),
+/// 4. `s = method.scale_factor(m, d)`,
+/// 5. `ŷᵢ = yᵢ·s`, then `zᵢ = ŷᵢ·γᵢ + βᵢ`.
+///
+/// # Errors
+///
+/// Returns [`NormError::EmptyInput`] for an empty vector and the length
+/// mismatch variants when γ/β disagree with `x.len()`.
+pub fn layer_norm_detailed<F: Float, S: RsqrtScale<F> + ?Sized>(
+    inputs: LayerNormInputs<'_, F>,
+    method: &S,
+) -> Result<LayerNormOutput<F>, NormError> {
+    let x = inputs.x;
+    let d = x.len();
+    if d == 0 {
+        return Err(NormError::EmptyInput);
+    }
+    if let Some(g) = inputs.gamma {
+        if g.len() != d {
+            return Err(NormError::GammaLengthMismatch {
+                expected: d,
+                actual: g.len(),
+            });
+        }
+    }
+    if let Some(b) = inputs.beta {
+        if b.len() != d {
+            return Err(NormError::BetaLengthMismatch {
+                expected: d,
+                actual: b.len(),
+            });
+        }
+    }
+
+    // Step 1: mean shift. The macro multiplies by the pre-stored d⁻¹.
+    let inv_d = F::from_f64(1.0 / d as f64);
+    let mean = inputs.reduce.sum(x) * inv_d;
+    let y: Vec<F> = x.iter().map(|&xi| xi - mean).collect();
+
+    // Step 2 (replaced): m = ‖y‖², then the method's scale factor.
+    let m = inputs.reduce.sum_sq(&y);
+    let scale = method.scale_factor(m, d);
+
+    // Step 3: ŷ = y·s, z = ŷ·γ + β.
+    let mut z: Vec<F> = y.iter().map(|&yi| yi * scale).collect();
+    if let Some(g) = inputs.gamma {
+        for (zi, &gi) in z.iter_mut().zip(g) {
+            *zi = *zi * gi;
+        }
+    }
+    if let Some(b) = inputs.beta {
+        for (zi, &bi) in z.iter_mut().zip(b) {
+            *zi = *zi + bi;
+        }
+    }
+    Ok(LayerNormOutput { z, mean, m, scale })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use softfloat::{Bf16, Fp16, Fp32};
+
+    fn to_f64s<F: Float>(v: &[F]) -> Vec<f64> {
+        v.iter().map(|x| x.to_f64()).collect()
+    }
+
+    fn from_f64s<F: Float>(v: &[f64]) -> Vec<F> {
+        v.iter().map(|&x| F::from_f64(x)).collect()
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let x: Vec<Fp32> = vec![];
+        let err = layer_norm(LayerNormInputs::unscaled(&x), &IterL2Norm::new());
+        assert_eq!(err.unwrap_err(), NormError::EmptyInput);
+    }
+
+    #[test]
+    fn gamma_beta_length_mismatch_is_rejected() {
+        let x = from_f64s::<Fp32>(&[1.0, 2.0, 3.0]);
+        let g = from_f64s::<Fp32>(&[1.0, 1.0]);
+        let b = from_f64s::<Fp32>(&[0.0, 0.0, 0.0]);
+        let err = layer_norm(LayerNormInputs::new(&x, &g, &b), &IterL2Norm::new());
+        assert_eq!(
+            err.unwrap_err(),
+            NormError::GammaLengthMismatch {
+                expected: 3,
+                actual: 2
+            }
+        );
+        let b2 = from_f64s::<Fp32>(&[0.0]);
+        let g2 = from_f64s::<Fp32>(&[1.0, 1.0, 1.0]);
+        let err2 = layer_norm(LayerNormInputs::new(&x, &g2, &b2), &IterL2Norm::new());
+        assert_eq!(
+            err2.unwrap_err(),
+            NormError::BetaLengthMismatch {
+                expected: 3,
+                actual: 1
+            }
+        );
+    }
+
+    #[test]
+    fn output_tracks_f64_reference_fp32() {
+        let vals: Vec<f64> = (0..128)
+            .map(|i| ((i * 37 % 100) as f64 / 50.0) - 1.0)
+            .collect();
+        let x = from_f64s::<Fp32>(&vals);
+        let z = layer_norm(LayerNormInputs::unscaled(&x), &IterL2Norm::new()).unwrap();
+        let expect = reference::normalize_f64(&to_f64s(&x), 0.0);
+        for (a, e) in z.iter().zip(&expect) {
+            assert!(
+                (a.to_f64() - e).abs() < 1e-3,
+                "approx {} vs exact {e}",
+                a.to_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn output_mean_is_near_zero_and_std_near_one() {
+        let vals: Vec<f64> = (0..256).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x = from_f64s::<Fp32>(&vals);
+        let z = layer_norm(LayerNormInputs::unscaled(&x), &IterL2Norm::new()).unwrap();
+        let zf = to_f64s(&z);
+        let mean: f64 = zf.iter().sum::<f64>() / zf.len() as f64;
+        let var: f64 = zf.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / zf.len() as f64;
+        // The scalar iteration's residual after 5 steps can reach the
+        // 10⁻²–10⁻³ range for unlucky significands of m (the paper's Fig. 4
+        // notes FP32 "needs a few additional iteration steps"): the std is
+        // near 1 but not exactly 1.
+        assert!(mean.abs() < 1e-4, "mean {mean}");
+        assert!((var.sqrt() - 1.0).abs() < 1e-2, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn gamma_beta_are_applied_after_normalization() {
+        let vals: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let x = from_f64s::<Fp32>(&vals);
+        let gamma = from_f64s::<Fp32>(&vec![2.0; 32]);
+        let beta = from_f64s::<Fp32>(&vec![0.5; 32]);
+        let plain = layer_norm(LayerNormInputs::unscaled(&x), &IterL2Norm::new()).unwrap();
+        let affine =
+            layer_norm(LayerNormInputs::new(&x, &gamma, &beta), &IterL2Norm::new()).unwrap();
+        for (p, a) in plain.iter().zip(&affine) {
+            let expect = p.to_f64() * 2.0 + 0.5;
+            assert!((a.to_f64() - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn constant_vector_normalizes_to_beta() {
+        // x constant ⇒ y = 0 ⇒ m = 0 ⇒ output 0·γ + β = β.
+        let x = from_f64s::<Fp32>(&vec![3.25; 64]);
+        let gamma = from_f64s::<Fp32>(&vec![1.5; 64]);
+        let beta = from_f64s::<Fp32>(&vec![-0.75; 64]);
+        let z = layer_norm(LayerNormInputs::new(&x, &gamma, &beta), &IterL2Norm::new()).unwrap();
+        for zi in &z {
+            assert_eq!(zi.to_f64(), -0.75);
+        }
+    }
+
+    #[test]
+    fn detailed_output_exposes_consistent_intermediates() {
+        let vals: Vec<f64> = (0..64)
+            .map(|i| ((i * 13 % 29) as f64) / 29.0 - 0.5)
+            .collect();
+        let x = from_f64s::<Fp32>(&vals);
+        let out = layer_norm_detailed(LayerNormInputs::unscaled(&x), &IterL2Norm::new()).unwrap();
+        // m must be within format tolerance of the exact ‖y‖².
+        let mean = out.mean.to_f64();
+        let exact_m: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum();
+        assert!((out.m.to_f64() - exact_m).abs() / exact_m < 1e-5);
+        // scale ≈ √d/‖y‖.
+        let expect_scale = (64f64).sqrt() / exact_m.sqrt();
+        assert!((out.scale.to_f64() - expect_scale).abs() / expect_scale < 1e-3);
+        assert_eq!(out.z.len(), 64);
+    }
+
+    #[test]
+    fn scale_invariance_of_normalized_output() {
+        // Layer norm is invariant to affine input transforms: (a·x + b)
+        // normalizes to the same vector as x, up to format rounding.
+        let vals: Vec<f64> = (0..96).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+        let x = from_f64s::<Fp32>(&vals);
+        let shifted: Vec<f64> = vals.iter().map(|v| 4.0 * v + 10.0).collect();
+        let xs = from_f64s::<Fp32>(&shifted);
+        let z1 = layer_norm(LayerNormInputs::unscaled(&x), &IterL2Norm::new()).unwrap();
+        let z2 = layer_norm(LayerNormInputs::unscaled(&xs), &IterL2Norm::new()).unwrap();
+        for (a, b) in z1.iter().zip(&z2) {
+            assert!(
+                (a.to_f64() - b.to_f64()).abs() < 2e-3,
+                "{} vs {}",
+                a.to_f64(),
+                b.to_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn works_across_all_three_formats() {
+        fn run<F: Float>() -> f64 {
+            let vals: Vec<f64> = (0..384).map(|i| (i as f64 * 0.537).sin() * 0.9).collect();
+            let x: Vec<F> = vals.iter().map(|&v| F::from_f64(v)).collect();
+            let z = layer_norm(LayerNormInputs::unscaled(&x), &IterL2Norm::new()).unwrap();
+            let exact = reference::normalize_f64(&vals, 0.0);
+            z.iter()
+                .zip(&exact)
+                .map(|(a, e)| (a.to_f64() - e).abs())
+                .fold(0.0, f64::max)
+        }
+        // Note: the x vector is quantized to each format first, so part of
+        // the error is representation error; bounds are format-scaled.
+        assert!(run::<Fp32>() < 1e-3);
+        assert!(run::<Fp16>() < 2e-2);
+        assert!(run::<Bf16>() < 1e-1);
+    }
+
+    #[test]
+    fn linear_and_hw_orders_agree_loosely_but_not_bitwise_in_general() {
+        let vals: Vec<f64> = (0..640)
+            .map(|i| ((i * 2654435761u64 % 1000) as f64) / 500.0 - 1.0)
+            .collect();
+        let x = from_f64s::<Fp32>(&vals);
+        let hw = layer_norm(
+            LayerNormInputs::unscaled(&x).with_reduce(ReduceOrder::HwTree),
+            &IterL2Norm::new(),
+        )
+        .unwrap();
+        let lin = layer_norm(
+            LayerNormInputs::unscaled(&x).with_reduce(ReduceOrder::Linear),
+            &IterL2Norm::new(),
+        )
+        .unwrap();
+        for (a, b) in hw.iter().zip(&lin) {
+            assert!((a.to_f64() - b.to_f64()).abs() < 1e-4);
+        }
+    }
+}

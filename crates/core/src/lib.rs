@@ -1,0 +1,74 @@
+//! IterL2Norm: fast iterative L2-normalization (DATE 2025 reproduction).
+//!
+//! Layer normalization divides a mean-shifted vector `y` by its standard
+//! deviation — the only step of the transformer's LayerNorm that needs
+//! division and square root, which are expensive to put next to an on-chip
+//! matrix engine. IterL2Norm replaces that step with a *scalar* fixed-point
+//! iteration (paper Eq. 5)
+//!
+//! ```text
+//! Δa = λ·m·a·(1 − m·a²),   a ← a + Δa,   m = ‖y‖²₂
+//! ```
+//!
+//! whose stable fixed point is `a∞ = 1/‖y‖₂`, so `ŷ = √d·a∞·y` is the
+//! normalized vector. Two bit-level tricks make it converge within five
+//! steps: the initial `a₀` is built from the exponent field of `m`
+//! (Eq. 6, [`a0_from_exponent`]) and the update rate λ from an exponent
+//! shift of the constant 0.345 (Eq. 10, [`lambda_from_exponent`]).
+//!
+//! This crate implements the full algorithm generically over the
+//! [`softfloat::Float`] formats (FP32/FP16/BFloat16), the baselines the
+//! paper compares against ([`baselines`]), the exact `f64` reference
+//! ([`mod@reference`]), the hardware reduction order used by the macro
+//! ([`hworder`]), the analytical convergence model ([`analytic`]) and the
+//! error metrics of the evaluation section ([`metrics`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use iterl2norm::{layer_norm, IterL2Norm, LayerNormInputs};
+//! use softfloat::{Float, Fp32};
+//!
+//! # fn main() -> Result<(), iterl2norm::NormError> {
+//! let x: Vec<Fp32> = [0.5, -1.25, 2.0, 0.125]
+//!     .iter()
+//!     .map(|&v| Fp32::from_f64(v))
+//!     .collect();
+//! let norm = IterL2Norm::with_steps(5);
+//! let z = layer_norm(LayerNormInputs::unscaled(&x), &norm)?;
+//!
+//! // The output is (x − mean)/std to within the format's precision.
+//! let exact = iterl2norm::reference::normalize_f64(
+//!     &x.iter().map(|v| v.to_f64()).collect::<Vec<_>>(),
+//!     0.0,
+//! );
+//! for (approx, exact) in z.iter().zip(&exact) {
+//!     assert!((approx.to_f64() - exact).abs() < 1e-5);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod baselines;
+mod config;
+mod error;
+pub mod hworder;
+mod iteration;
+mod layernorm;
+pub mod metrics;
+pub mod reference;
+
+pub use config::{InitRule, IterConfig, LambdaRule, StopRule, UpdateStyle};
+pub use error::NormError;
+pub use hworder::ReduceOrder;
+pub use iteration::{
+    a0_from_exponent, apply_update, iterate, lambda_from_exponent, update_step, update_step_fused,
+    IterL2Norm, IterTrace,
+};
+pub use layernorm::{
+    layer_norm, layer_norm_detailed, LayerNormInputs, LayerNormOutput, RsqrtScale,
+};

@@ -1,0 +1,220 @@
+//! Error metrics of the paper's evaluation section: average/maximum
+//! absolute error against the `f64` ground truth (Fig. 3, Table I) and the
+//! error histograms of the Fig. 3 insets.
+
+use softfloat::Float;
+
+/// Aggregate absolute-error statistics over one or more vectors.
+///
+/// The paper's measure: elementwise `|approx − truth|`, averaged (and
+/// maximized) over all elements of all trial vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Mean of `|approx − truth|` over every element observed.
+    pub avg_abs: f64,
+    /// Maximum of `|approx − truth|` over every element observed.
+    pub max_abs: f64,
+    /// Number of elements observed.
+    pub count: usize,
+}
+
+impl ErrorStats {
+    /// Accumulator for streaming element observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one `(approx, truth)` element pair.
+    pub fn record(&mut self, approx: f64, truth: f64) {
+        let err = (approx - truth).abs();
+        let n = self.count as f64;
+        self.avg_abs = (self.avg_abs * n + err) / (n + 1.0);
+        self.max_abs = self.max_abs.max(err);
+        self.count += 1;
+    }
+
+    /// Record a whole vector pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn record_vec<F: Float>(&mut self, approx: &[F], truth: &[f64]) {
+        assert_eq!(approx.len(), truth.len(), "length mismatch");
+        for (a, &t) in approx.iter().zip(truth) {
+            self.record(a.to_f64(), t);
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &ErrorStats) {
+        if other.count == 0 {
+            return;
+        }
+        let total = (self.count + other.count) as f64;
+        self.avg_abs =
+            (self.avg_abs * self.count as f64 + other.avg_abs * other.count as f64) / total;
+        self.max_abs = self.max_abs.max(other.max_abs);
+        self.count += other.count;
+    }
+}
+
+/// One-shot absolute-error statistics for a single vector pair.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::metrics::abs_error_stats;
+/// use softfloat::{Float, Fp32};
+///
+/// let approx = vec![Fp32::from_f64(1.0), Fp32::from_f64(2.5)];
+/// let truth = vec![1.0, 2.0];
+/// let stats = abs_error_stats(&approx, &truth);
+/// assert_eq!(stats.max_abs, 0.5);
+/// assert_eq!(stats.avg_abs, 0.25);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn abs_error_stats<F: Float>(approx: &[F], truth: &[f64]) -> ErrorStats {
+    let mut s = ErrorStats::new();
+    s.record_vec(approx, truth);
+    s
+}
+
+/// Fixed-bin histogram of absolute errors on a log₁₀ scale, matching the
+/// Fig. 3 insets (error distribution over 1,000 vectors at d = 384).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorHistogram {
+    /// Lower edge (log₁₀ of absolute error) of the first bin.
+    pub log10_min: f64,
+    /// Bin width in decades.
+    pub decade_width: f64,
+    /// Bin counts; the first/last bins absorb under/overflow.
+    pub counts: Vec<u64>,
+    /// Count of exactly-zero errors (−∞ on the log scale).
+    pub exact_zero: u64,
+}
+
+impl ErrorHistogram {
+    /// Histogram spanning `[10^log10_min, 10^(log10_min + bins·width))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `decade_width <= 0`.
+    pub fn new(log10_min: f64, decade_width: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(decade_width > 0.0, "decade width must be positive");
+        ErrorHistogram {
+            log10_min,
+            decade_width,
+            counts: vec![0; bins],
+            exact_zero: 0,
+        }
+    }
+
+    /// Record one absolute error value.
+    pub fn record(&mut self, abs_err: f64) {
+        if abs_err == 0.0 {
+            self.exact_zero += 1;
+            return;
+        }
+        let pos = (abs_err.log10() - self.log10_min) / self.decade_width;
+        let idx = pos.floor().clamp(0.0, (self.counts.len() - 1) as f64) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Total recorded observations (including exact zeros).
+    pub fn total(&self) -> u64 {
+        self.exact_zero + self.counts.iter().sum::<u64>()
+    }
+
+    /// `(bin_lower_log10, count)` pairs for report printing.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.log10_min + i as f64 * self.decade_width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::Fp32;
+
+    #[test]
+    fn streaming_average_matches_batch() {
+        let mut s = ErrorStats::new();
+        let pairs = [(1.0, 1.1), (2.0, 1.7), (0.5, 0.5), (3.0, 3.4)];
+        for (a, t) in pairs {
+            s.record(a, t);
+        }
+        let errs: Vec<f64> = pairs.iter().map(|(a, t)| (a - t).abs()).collect();
+        let avg = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!((s.avg_abs - avg).abs() < 1e-12);
+        assert!((s.max_abs - 0.4).abs() < 1e-12);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = ErrorStats::new();
+        a.record(1.0, 0.9);
+        a.record(2.0, 2.2);
+        let mut b = ErrorStats::new();
+        b.record(5.0, 5.5);
+        let mut merged = a;
+        merged.merge(&b);
+        let mut all = ErrorStats::new();
+        for (x, t) in [(1.0, 0.9), (2.0, 2.2), (5.0, 5.5)] {
+            all.record(x, t);
+        }
+        assert!((merged.avg_abs - all.avg_abs).abs() < 1e-12);
+        assert_eq!(merged.max_abs, all.max_abs);
+        assert_eq!(merged.count, all.count);
+        // Merging an empty accumulator is a no-op.
+        let before = merged;
+        merged.merge(&ErrorStats::new());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn record_vec_converts_formats() {
+        let approx = [Fp32::from_f64(1.5), Fp32::from_f64(-0.5)];
+        let truth = [1.0, 0.0];
+        let s = abs_error_stats(&approx, &truth);
+        assert_eq!(s.max_abs, 0.5);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn record_vec_rejects_mismatched_lengths() {
+        let approx = [Fp32::from_f64(1.0)];
+        let _ = abs_error_stats(&approx, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn histogram_bins_and_saturation() {
+        let mut h = ErrorHistogram::new(-6.0, 1.0, 6); // 1e-6 … 1
+        h.record(1e-5); // bin 1 ([1e-5, 1e-4))
+        h.record(3e-5); // bin 1
+        h.record(0.5); // bin 5
+        h.record(10.0); // overflow → last bin
+        h.record(1e-9); // underflow → first bin
+        h.record(0.0); // exact zero
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[5], 2);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.exact_zero, 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_bin_edges_are_reported() {
+        let h = ErrorHistogram::new(-4.0, 0.5, 4);
+        let edges: Vec<f64> = h.bins().map(|(e, _)| e).collect();
+        assert_eq!(edges, vec![-4.0, -3.5, -3.0, -2.5]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Exact `f64` reference layer normalization — the experiments' ground
+//! truth.
+//!
+//! The paper measures "absolute error" against PyTorch's CPU LayerNorm.
+//! PyTorch computes `(x − μ)/√(σ² + ε)` with biased variance and
+//! `ε = 10⁻⁵` by default. This module computes the same thing in `f64`,
+//! which is strictly tighter than any of the evaluated formats, with ε as a
+//! parameter (pass 0 for the pure mathematical normalization).
+
+/// Mean of a slice (0 for an empty slice).
+pub fn mean_f64(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Biased variance (division by `d`, as layer normalization uses).
+pub fn variance_f64(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mu = mean_f64(x);
+    x.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / x.len() as f64
+}
+
+/// `(x − μ)/√(σ² + ε)`: normalization without the affine output step
+/// (γ = 1, β = 0). Returns an empty vector for empty input.
+///
+/// # Examples
+///
+/// ```
+/// use iterl2norm::reference::normalize_f64;
+///
+/// let z = normalize_f64(&[1.0, 2.0, 3.0, 4.0], 0.0);
+/// let mean: f64 = z.iter().sum::<f64>() / 4.0;
+/// let var: f64 = z.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 4.0;
+/// assert!(mean.abs() < 1e-12);
+/// assert!((var - 1.0).abs() < 1e-12);
+/// ```
+pub fn normalize_f64(x: &[f64], eps: f64) -> Vec<f64> {
+    let mu = mean_f64(x);
+    let var = variance_f64(x);
+    let denom = (var + eps).sqrt();
+    if denom == 0.0 {
+        return vec![0.0; x.len()];
+    }
+    x.iter().map(|&v| (v - mu) / denom).collect()
+}
+
+/// Full layer normalization `γ·(x − μ)/√(σ² + ε) + β` in `f64`.
+///
+/// # Panics
+///
+/// Panics if `gamma` or `beta` lengths differ from `x`.
+pub fn layer_norm_f64(x: &[f64], gamma: &[f64], beta: &[f64], eps: f64) -> Vec<f64> {
+    assert_eq!(gamma.len(), x.len(), "gamma length mismatch");
+    assert_eq!(beta.len(), x.len(), "beta length mismatch");
+    normalize_f64(x, eps)
+        .into_iter()
+        .zip(gamma.iter().zip(beta))
+        .map(|(n, (&g, &b))| n * g + b)
+        .collect()
+}
+
+/// PyTorch's default ε for `nn.LayerNorm`.
+pub const TORCH_DEFAULT_EPS: f64 = 1e-5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_data() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean_f64(&x), 5.0);
+        assert_eq!(variance_f64(&x), 4.0); // classic example, σ = 2
+    }
+
+    #[test]
+    fn empty_input_conventions() {
+        assert_eq!(mean_f64(&[]), 0.0);
+        assert_eq!(variance_f64(&[]), 0.0);
+        assert!(normalize_f64(&[], 0.0).is_empty());
+    }
+
+    #[test]
+    fn normalized_output_has_unit_std() {
+        let x: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 1.3).sin() * 7.0 + 3.0)
+            .collect();
+        let z = normalize_f64(&x, 0.0);
+        assert!((mean_f64(&z)).abs() < 1e-12);
+        assert!((variance_f64(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eps_damps_small_variance() {
+        let x = [1.0, 1.0 + 1e-8];
+        let no_eps = normalize_f64(&x, 0.0);
+        let with_eps = normalize_f64(&x, TORCH_DEFAULT_EPS);
+        assert!(no_eps[1] > 0.9); // normalizes to ±1
+        assert!(with_eps[1].abs() < 1e-2); // ε dominates the tiny variance
+    }
+
+    #[test]
+    fn constant_input_yields_zeros() {
+        let x = [5.0; 16];
+        assert!(normalize_f64(&x, 0.0).iter().all(|&v| v == 0.0));
+        assert!(normalize_f64(&x, 1e-5).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn affine_parameters_apply() {
+        let x = [1.0, 3.0];
+        let z = layer_norm_f64(&x, &[2.0, 2.0], &[1.0, 1.0], 0.0);
+        // normalized = [−1, 1] → ×2 + 1 = [−1, 3]
+        assert!((z[0] - -1.0).abs() < 1e-12);
+        assert!((z[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma length mismatch")]
+    fn mismatched_gamma_panics() {
+        let _ = layer_norm_f64(&[1.0, 2.0], &[1.0], &[0.0, 0.0], 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the scalar iteration: convergence across the
+//! whole (significand, parity) landscape, stop-rule semantics, trace
+//! invariants and configuration interplay.
+
+use iterl2norm::{
+    a0_from_exponent, iterate, lambda_from_exponent, InitRule, IterConfig, LambdaRule, StopRule,
+    UpdateStyle,
+};
+use proptest::prelude::*;
+use softfloat::{Bf16, Float, Fp16, Fp32};
+
+/// m values spanning every significand and both exponent parities within
+/// a wide, format-safe exponent range.
+fn m_strategy() -> impl Strategy<Value = f64> {
+    (-24i32..24, 0u32..256).prop_map(|(e, frac)| (1.0 + frac as f64 / 256.0) * (e as f64).exp2())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Eq. 6: the bit-built seed always lands in [a∞/√2, a∞·√2).
+    #[test]
+    fn seed_always_within_sqrt2_of_fixed_point(m_val in m_strategy()) {
+        let m = Fp32::from_f64(m_val);
+        let a0 = a0_from_exponent(m).to_f64();
+        let a_inf = 1.0 / m.to_f64().sqrt();
+        let ratio = a0 / a_inf;
+        prop_assert!((0.707..1.4143).contains(&ratio), "ratio {ratio} for m {m_val}");
+    }
+
+    /// Eq. 10: λ·m always lies in [0.345, 0.69) — the convergence window.
+    #[test]
+    fn lambda_m_always_in_window(m_val in m_strategy()) {
+        let m = Fp32::from_f64(m_val);
+        let lm = lambda_from_exponent(m).to_f64() * m.to_f64();
+        prop_assert!((0.34..0.70).contains(&lm), "λ·m = {lm} for m {m_val}");
+    }
+
+    /// Eight steps land within 0.5% of 1/√m for every significand/parity.
+    #[test]
+    fn eight_steps_converge_everywhere_fp32(m_val in m_strategy()) {
+        let m = Fp32::from_f64(m_val);
+        let a = iterate(m, &IterConfig::fixed_steps(8)).final_a().to_f64();
+        let rel = (a * m.to_f64().sqrt() - 1.0).abs();
+        prop_assert!(rel < 5e-3, "rel err {rel} at m {m_val}");
+    }
+
+    /// The paper's five steps stay within the documented residual band
+    /// (≤ ~6% worst case over significands, usually far better).
+    #[test]
+    fn five_step_residual_band(m_val in m_strategy()) {
+        let m = Fp32::from_f64(m_val);
+        let a = iterate(m, &IterConfig::fixed_steps(5)).final_a().to_f64();
+        let rel = (a * m.to_f64().sqrt() - 1.0).abs();
+        prop_assert!(rel < 0.06, "5-step residual {rel} at m {m_val}");
+    }
+
+    /// Fused and separate update styles agree to format precision-ish
+    /// (they differ only in two roundings per step).
+    #[test]
+    fn fused_and_separate_agree_closely(m_val in m_strategy()) {
+        let m = Fp32::from_f64(m_val);
+        let sep = iterate(m, &IterConfig { update: UpdateStyle::Separate, ..IterConfig::fixed_steps(5) });
+        let fus = iterate(m, &IterConfig { update: UpdateStyle::Fused, ..IterConfig::fixed_steps(5) });
+        let a = sep.final_a().to_f64();
+        let b = fus.final_a().to_f64();
+        prop_assert!((a - b).abs() / a.abs().max(1e-30) < 1e-3,
+            "separate {a} vs fused {b} at m {m_val}");
+    }
+
+    /// The tolerance cap is respected and the trace length matches.
+    #[test]
+    fn tolerance_cap_respected(m_val in m_strategy(), cap in 1u32..20) {
+        let m = Fp32::from_f64(m_val);
+        let trace = iterate(m, &IterConfig {
+            stop: StopRule::ToleranceAbs { delta_max: 0.0, max_steps: cap },
+            ..IterConfig::default()
+        });
+        // δ_max = 0 never satisfies |Δa| ≤ 0 until Δa rounds to exactly 0,
+        // so the loop usually runs to the cap — never beyond it.
+        prop_assert!(trace.len() as u32 <= cap);
+    }
+
+    /// FixedSteps(n) runs exactly n steps and the trace records them all.
+    #[test]
+    fn fixed_steps_trace_length(m_val in m_strategy(), n in 0u32..12) {
+        let m = Fp32::from_f64(m_val);
+        let trace = iterate(m, &IterConfig::fixed_steps(n));
+        prop_assert_eq!(trace.len() as u32, n);
+        if n == 0 {
+            prop_assert_eq!(trace.final_a().to_bits(), trace.a0.to_bits());
+        }
+    }
+
+    /// The |Δa| tolerance rule always runs at least one step, and when it
+    /// exits *before* the cap the final step magnitude really was within
+    /// δ_max (δ_max is an absolute threshold; for tiny m the fixed point
+    /// a∞ = 1/√m is huge and the loop correctly runs to the cap instead).
+    #[test]
+    fn abs_tolerance_exit_implies_small_step(m_val in m_strategy()) {
+        let m = Fp32::from_f64(m_val);
+        let t = iterate(m, &IterConfig {
+            stop: StopRule::ToleranceAbs { delta_max: 1e-4, max_steps: 30 },
+            ..IterConfig::default()
+        });
+        prop_assert!(!t.is_empty());
+        if (t.len() as u32) < 30 {
+            // Early exit: the last recorded step difference must be small
+            // (allowing the rounding slack of a + Δa in FP32).
+            let last = t.steps[t.len() - 1].to_f64();
+            let prev = if t.len() >= 2 { t.steps[t.len() - 2].to_f64() } else { t.a0.to_f64() };
+            let slack = 1e-4 + last.abs() * 1e-6;
+            prop_assert!((last - prev).abs() <= 1e-4 + slack,
+                "early exit with step {} at m {}", (last - prev).abs(), m_val);
+        }
+    }
+
+    /// The oracle seed dominates: with InitRule::ExactRsqrt the residual
+    /// after 3 steps is never worse than with the Eq. 6 seed.
+    #[test]
+    fn oracle_seed_dominates(m_val in m_strategy()) {
+        let m = Fp32::from_f64(m_val);
+        let target = 1.0 / m.to_f64().sqrt();
+        let hw = iterate(m, &IterConfig::fixed_steps(3)).final_a().to_f64();
+        let oracle = iterate(m, &IterConfig {
+            init: InitRule::ExactRsqrt,
+            ..IterConfig::fixed_steps(3)
+        }).final_a().to_f64();
+        prop_assert!((oracle - target).abs() <= (hw - target).abs() + 1e-9);
+    }
+
+    /// Oracle λ and Eq. 10 λ both converge; neither diverges anywhere.
+    #[test]
+    fn lambda_rules_never_diverge(m_val in m_strategy()) {
+        let m = Fp32::from_f64(m_val);
+        for lambda in [LambdaRule::HwExponent, LambdaRule::ExactInverse] {
+            let a = iterate(m, &IterConfig { lambda, ..IterConfig::fixed_steps(10) })
+                .final_a();
+            prop_assert!(a.is_finite(), "diverged with {lambda:?} at m {m_val}");
+            let rel = (a.to_f64() * m.to_f64().sqrt() - 1.0).abs();
+            prop_assert!(rel < 0.05, "{lambda:?}: residual {rel} at m {m_val}");
+        }
+    }
+}
+
+macro_rules! format_convergence {
+    ($name:ident, $F:ty, $tol:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            #[test]
+            fn $name(e in -8i32..8, frac in 0u32..64) {
+                let m_val = (1.0 + frac as f64 / 64.0) * (e as f64).exp2();
+                let m = <$F>::from_f64(m_val);
+                let a = iterate(m, &IterConfig::fixed_steps(8)).final_a().to_f64();
+                let rel = (a * m.to_f64().sqrt() - 1.0).abs();
+                prop_assert!(rel < $tol, "{}: residual {rel} at m {m_val}", <$F>::NAME);
+            }
+        }
+    };
+}
+
+format_convergence!(fp16_converges_to_format_floor, Fp16, 2e-3);
+format_convergence!(bf16_converges_to_format_floor, Bf16, 2e-2);

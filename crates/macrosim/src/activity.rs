@@ -1,0 +1,317 @@
+//! Per-cycle unit-activity traces: what every datapath unit is doing on
+//! each cycle of a normalization run.
+//!
+//! The phase schedule ([`crate::schedule`]) prices each phase in closed
+//! form; this module expands the same micro-op structure into an explicit
+//! cycle-by-cycle trace — one entry per clock — so the timing model can be
+//! inspected (waveform-style), checked for structural invariants (single
+//! buffer port, pipeline drain lengths) and summarized into the unit
+//! utilizations that motivate sharing the Mul/Add blocks with a MatMul
+//! engine (the paper's Table II † argument).
+
+use crate::schedule::{
+    self, Phase, ADD_LAT, HANDSHAKE, ITER_INIT_CYCLES, ITER_STEP_CYCLES, MUL_LAT, PHASE_SETUP,
+};
+
+/// One clock cycle's unit activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleActivity {
+    /// Cycle index from the start handshake.
+    pub cycle: u32,
+    /// The phase this cycle belongs to (`None` during the handshake).
+    pub phase: Option<Phase>,
+    /// Input buffer read port busy.
+    pub input_read: bool,
+    /// Input buffer write port busy.
+    pub input_write: bool,
+    /// Mul block processing (any pipeline stage occupied).
+    pub mul_busy: bool,
+    /// Add block processing (any pipeline stage occupied).
+    pub add_busy: bool,
+    /// Iteration-controller scalar unit busy.
+    pub scalar_busy: bool,
+}
+
+impl CycleActivity {
+    fn idle(cycle: u32, phase: Option<Phase>) -> Self {
+        CycleActivity {
+            cycle,
+            phase,
+            input_read: false,
+            input_write: false,
+            mul_busy: false,
+            add_busy: false,
+            scalar_busy: false,
+        }
+    }
+}
+
+/// Fraction of cycles each unit is busy over a whole run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Input-buffer read port.
+    pub input_read: f64,
+    /// Input-buffer write port.
+    pub input_write: f64,
+    /// Mul block.
+    pub mul: f64,
+    /// Add block.
+    pub add: f64,
+    /// Scalar iteration unit.
+    pub scalar: f64,
+    /// Total cycles in the run.
+    pub cycles: u32,
+}
+
+/// Expand the schedule into a per-cycle activity trace for one vector of
+/// length `d` with `n_steps` iteration steps.
+///
+/// The trace length always equals [`schedule::latency_cycles`] — asserted
+/// by tests for every chunk count and step count.
+///
+/// # Examples
+///
+/// ```
+/// use macrosim::activity::activity_trace;
+/// use macrosim::schedule::latency_cycles;
+///
+/// let trace = activity_trace(384, 5);
+/// assert_eq!(trace.len() as u32, latency_cycles(384, 5));
+/// ```
+pub fn activity_trace(d: usize, n_steps: u32) -> Vec<CycleActivity> {
+    let c = schedule::chunks(d);
+    let mut trace: Vec<CycleActivity> = Vec::new();
+    let mut cycle = 0u32;
+
+    let push_idle = |trace: &mut Vec<CycleActivity>, cycle: &mut u32, n: u32, phase| {
+        for _ in 0..n {
+            trace.push(CycleActivity::idle(*cycle, phase));
+            *cycle += 1;
+        }
+    };
+
+    // Start handshake.
+    push_idle(&mut trace, &mut cycle, HANDSHAKE - 1, None);
+
+    for phase in Phase::ORDER {
+        let phase_len = schedule::phase_cycles(phase, d, n_steps);
+        let start = cycle;
+        match phase {
+            Phase::MeanSum => {
+                push_idle(&mut trace, &mut cycle, PHASE_SETUP, Some(phase));
+                for i in 0..c + ADD_LAT {
+                    let mut a = CycleActivity::idle(cycle, Some(phase));
+                    a.input_read = i < c;
+                    // Add block holds work from the first issue until the
+                    // last result drains.
+                    a.add_busy = true;
+                    trace.push(a);
+                    cycle += 1;
+                }
+            }
+            Phase::MeanFold | Phase::MFold => {
+                push_idle(&mut trace, &mut cycle, PHASE_SETUP, Some(phase));
+                for _pass in 0..schedule::fold_passes(c) {
+                    for _ in 0..1 + ADD_LAT {
+                        let mut a = CycleActivity::idle(cycle, Some(phase));
+                        a.add_busy = true; // tree occupied for the whole pass
+                        trace.push(a);
+                        cycle += 1;
+                    }
+                }
+            }
+            Phase::MeanScale | Phase::ScalePrep => {
+                push_idle(&mut trace, &mut cycle, PHASE_SETUP, Some(phase));
+                for _ in 0..MUL_LAT {
+                    let mut a = CycleActivity::idle(cycle, Some(phase));
+                    a.mul_busy = true;
+                    trace.push(a);
+                    cycle += 1;
+                }
+            }
+            Phase::Shift => {
+                push_idle(&mut trace, &mut cycle, PHASE_SETUP, Some(phase));
+                // Read and write alternate on the banked buffer: 2 cycles
+                // per chunk, subtract flows through the Add block.
+                for i in 0..2 * c {
+                    let mut a = CycleActivity::idle(cycle, Some(phase));
+                    a.input_read = i % 2 == 0;
+                    a.input_write = i % 2 == 1;
+                    a.add_busy = true;
+                    trace.push(a);
+                    cycle += 1;
+                }
+                for _ in 0..ADD_LAT {
+                    let mut a = CycleActivity::idle(cycle, Some(phase));
+                    a.add_busy = true;
+                    a.input_write = true; // final results drain to the buffer
+                    trace.push(a);
+                    cycle += 1;
+                }
+            }
+            Phase::MSum => {
+                push_idle(&mut trace, &mut cycle, PHASE_SETUP, Some(phase));
+                for i in 0..c + MUL_LAT + ADD_LAT {
+                    let mut a = CycleActivity::idle(cycle, Some(phase));
+                    a.input_read = i < c;
+                    a.mul_busy = i < c + MUL_LAT;
+                    a.add_busy = i >= MUL_LAT;
+                    trace.push(a);
+                    cycle += 1;
+                }
+            }
+            Phase::IterInit => {
+                push_idle(&mut trace, &mut cycle, PHASE_SETUP, Some(phase));
+                for _ in 0..ITER_INIT_CYCLES {
+                    let mut a = CycleActivity::idle(cycle, Some(phase));
+                    a.scalar_busy = true;
+                    trace.push(a);
+                    cycle += 1;
+                }
+            }
+            Phase::Iterate => {
+                for _ in 0..n_steps * ITER_STEP_CYCLES {
+                    let mut a = CycleActivity::idle(cycle, Some(phase));
+                    a.scalar_busy = true;
+                    trace.push(a);
+                    cycle += 1;
+                }
+            }
+            Phase::Output => {
+                push_idle(&mut trace, &mut cycle, PHASE_SETUP, Some(phase));
+                // Three datapath passes per chunk (×s, ×γ, +β) share the
+                // 64-lane units; reads issue on the first pass slot.
+                for i in 0..3 * c {
+                    let mut a = CycleActivity::idle(cycle, Some(phase));
+                    a.input_read = i % 3 == 0;
+                    a.mul_busy = true;
+                    a.add_busy = i % 3 == 2;
+                    trace.push(a);
+                    cycle += 1;
+                }
+                for i in 0..MUL_LAT + MUL_LAT + ADD_LAT {
+                    let mut a = CycleActivity::idle(cycle, Some(phase));
+                    a.mul_busy = i < MUL_LAT + MUL_LAT;
+                    a.add_busy = true;
+                    trace.push(a);
+                    cycle += 1;
+                }
+            }
+        }
+        debug_assert_eq!(
+            cycle - start,
+            phase_len,
+            "trace/schedule mismatch in {phase:?}"
+        );
+    }
+    // Done-handshake cycle.
+    push_idle(&mut trace, &mut cycle, 1, None);
+    trace
+}
+
+/// Summarize a trace into per-unit utilizations.
+pub fn utilization(trace: &[CycleActivity]) -> Utilization {
+    let n = trace.len() as f64;
+    let frac = |f: fn(&CycleActivity) -> bool| trace.iter().filter(|a| f(a)).count() as f64 / n;
+    Utilization {
+        input_read: frac(|a| a.input_read),
+        input_write: frac(|a| a.input_write),
+        mul: frac(|a| a.mul_busy),
+        add: frac(|a| a.add_busy),
+        scalar: frac(|a| a.scalar_busy),
+        cycles: trace.len() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::latency_cycles;
+
+    #[test]
+    fn trace_length_equals_schedule_everywhere() {
+        for d in [1usize, 64, 65, 128, 384, 512, 576, 1000, 1024] {
+            for n in [0u32, 1, 3, 5, 10] {
+                let trace = activity_trace(d, n);
+                assert_eq!(trace.len() as u32, latency_cycles(d, n), "d = {d}, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_are_consecutive() {
+        let trace = activity_trace(256, 5);
+        for (i, a) in trace.iter().enumerate() {
+            assert_eq!(a.cycle as usize, i);
+        }
+    }
+
+    #[test]
+    fn single_buffer_port_per_direction() {
+        // The banked buffer has one shared read pointer: read and write
+        // never collide on the same cycle except the shift drain.
+        let trace = activity_trace(1024, 5);
+        let collisions = trace
+            .iter()
+            .filter(|a| a.input_read && a.input_write)
+            .count();
+        assert_eq!(collisions, 0, "read/write port collision");
+    }
+
+    #[test]
+    fn phases_appear_in_order_and_cover_the_run() {
+        let trace = activity_trace(128, 5);
+        let mut seen = Vec::new();
+        for a in &trace {
+            if let Some(p) = a.phase {
+                if seen.last() != Some(&p) {
+                    seen.push(p);
+                }
+            }
+        }
+        assert_eq!(seen, Phase::ORDER.to_vec());
+    }
+
+    #[test]
+    fn scalar_unit_busy_exactly_during_iteration() {
+        let trace = activity_trace(256, 5);
+        let scalar_cycles = trace.iter().filter(|a| a.scalar_busy).count() as u32;
+        assert_eq!(
+            scalar_cycles,
+            crate::schedule::ITER_INIT_CYCLES + 5 * crate::schedule::ITER_STEP_CYCLES
+        );
+        for a in &trace {
+            if a.scalar_busy {
+                assert!(
+                    matches!(a.phase, Some(Phase::IterInit) | Some(Phase::Iterate)),
+                    "scalar unit active outside iteration at cycle {}",
+                    a.cycle
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_shape() {
+        // At d = 1024 the streaming phases dominate; at d = 64 the fixed
+        // iteration dominates and datapath utilization drops.
+        let big = utilization(&activity_trace(1024, 5));
+        let small = utilization(&activity_trace(64, 5));
+        assert!(big.add > small.add, "{} vs {}", big.add, small.add);
+        assert!(big.input_read > small.input_read);
+        assert!(small.scalar > big.scalar);
+        assert!(big.mul > 0.0 && big.mul < 1.0);
+        // Exactly the latency the schedule predicts.
+        assert_eq!(big.cycles, latency_cycles(1024, 5));
+    }
+
+    #[test]
+    fn mul_block_idle_during_mean_phase() {
+        let trace = activity_trace(512, 5);
+        for a in &trace {
+            if a.phase == Some(Phase::MeanSum) {
+                assert!(!a.mul_busy, "Mul block active during mean-sum");
+            }
+        }
+    }
+}

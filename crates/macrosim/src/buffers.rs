@@ -1,0 +1,373 @@
+//! Storage and arithmetic blocks of the macro (paper Fig. 1).
+
+use iterl2norm::hworder;
+use softfloat::Float;
+
+use crate::error::MacroError;
+
+/// Number of parallel input-buffer banks (`n_b`).
+pub const NUM_BANKS: usize = 8;
+/// Rows per bank (`h_b`).
+pub const BANK_ROWS: usize = 16;
+/// Elements per bank row (`w_b`).
+pub const BANK_WIDTH: usize = 8;
+/// Maximum supported vector length (`d_max = n_b · h_b · w_b`).
+pub const D_MAX: usize = NUM_BANKS * BANK_ROWS * BANK_WIDTH;
+/// Elements consumed per access (`n_b · w_b` — one row across all banks).
+pub const CHUNK: usize = NUM_BANKS * BANK_WIDTH;
+
+/// The 8-bank input buffer with the paper's interleaved data layout:
+/// bank `b`, row `i` stores `x[w_b(b + n_b·i) .. w_b(b + n_b·i + 1))`
+/// (Fig. 1b), so one shared read pointer fetches 64 consecutive elements.
+///
+/// # Examples
+///
+/// ```
+/// use macrosim::InputBuffer;
+/// use softfloat::{Float, Fp32};
+///
+/// let mut buf = InputBuffer::<Fp32>::new();
+/// let x: Vec<Fp32> = (0..128).map(|i| Fp32::from_f64(i as f64)).collect();
+/// buf.write_vector(0, &x);
+/// // Row 1 across the banks returns elements 64..128.
+/// let row = buf.read_row(1);
+/// assert_eq!(row[0].to_f64(), 64.0);
+/// assert_eq!(row[63].to_f64(), 127.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InputBuffer<F> {
+    /// `banks[b][i]` is one `w_b`-wide row.
+    banks: Vec<Vec<[F; BANK_WIDTH]>>,
+}
+
+impl<F: Float> Default for InputBuffer<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Float> InputBuffer<F> {
+    /// An empty (zeroed) buffer.
+    pub fn new() -> Self {
+        InputBuffer {
+            banks: vec![vec![[F::zero(); BANK_WIDTH]; BANK_ROWS]; NUM_BANKS],
+        }
+    }
+
+    /// Write `data` starting at element offset `start` using the banked
+    /// layout; elements beyond the end of `data` are left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + data.len()` exceeds [`D_MAX`].
+    pub fn write_vector(&mut self, start: usize, data: &[F]) {
+        assert!(
+            start + data.len() <= D_MAX,
+            "write of {} elements at {start} exceeds buffer capacity {D_MAX}",
+            data.len()
+        );
+        for (k, &v) in data.iter().enumerate() {
+            let flat = start + k;
+            let (bank, row, col) = Self::address(flat);
+            self.banks[bank][row][col] = v;
+        }
+    }
+
+    /// Read the 64-element row `i` across all banks — the macro's unit of
+    /// access (`x[n_b·w_b·i .. n_b·w_b·(i+1))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= BANK_ROWS`.
+    pub fn read_row(&self, row: usize) -> [F; CHUNK] {
+        assert!(row < BANK_ROWS, "row {row} out of range");
+        let mut out = [F::zero(); CHUNK];
+        for bank in 0..NUM_BANKS {
+            out[bank * BANK_WIDTH..(bank + 1) * BANK_WIDTH].copy_from_slice(&self.banks[bank][row]);
+        }
+        out
+    }
+
+    /// Overwrite the 64-element row `i` across all banks (used by the shift
+    /// controller to write back the mean-shifted vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= BANK_ROWS`.
+    pub fn write_row(&mut self, row: usize, values: &[F; CHUNK]) {
+        assert!(row < BANK_ROWS, "row {row} out of range");
+        for bank in 0..NUM_BANKS {
+            self.banks[bank][row]
+                .copy_from_slice(&values[bank * BANK_WIDTH..(bank + 1) * BANK_WIDTH]);
+        }
+    }
+
+    /// Read one element by flat index (test/debug access path).
+    pub fn element(&self, flat: usize) -> F {
+        let (bank, row, col) = Self::address(flat);
+        self.banks[bank][row][col]
+    }
+
+    /// Map a flat element index to `(bank, row, column)` per Fig. 1b.
+    fn address(flat: usize) -> (usize, usize, usize) {
+        let group = flat / BANK_WIDTH; // which w_b-wide group
+        let col = flat % BANK_WIDTH;
+        let bank = group % NUM_BANKS;
+        let row = group / NUM_BANKS;
+        (bank, row, col)
+    }
+}
+
+/// The Mul block: 64 parallel format-specific multipliers with a 2-cycle
+/// latency (paper Sec. IV). Numerically a lane-wise product.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MulBlock;
+
+impl MulBlock {
+    /// Pipeline latency in cycles.
+    pub const LATENCY: u32 = 2;
+
+    /// Lane-wise product of two 64-element operand sets.
+    pub fn multiply<F: Float>(&self, a: &[F; CHUNK], b: &[F; CHUNK]) -> [F; CHUNK] {
+        let mut out = [F::zero(); CHUNK];
+        for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b.iter())) {
+            *o = x * y;
+        }
+        out
+    }
+
+    /// Lane-wise product against a broadcast scalar (scale application).
+    pub fn multiply_scalar<F: Float>(&self, a: &[F; CHUNK], s: F) -> [F; CHUNK] {
+        let mut out = [F::zero(); CHUNK];
+        for (o, &x) in out.iter_mut().zip(a.iter()) {
+            *o = x * s;
+        }
+        out
+    }
+}
+
+/// The Add block: eight 8-input L1 adder trees plus one 8-input L2 tree
+/// (paper Fig. 1c), 2-cycle latency. Sums 64 elements per access; also
+/// performs the lane-wise add/subtract used by the shift and β stages.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AddBlock;
+
+impl AddBlock {
+    /// Pipeline latency in cycles.
+    pub const LATENCY: u32 = 2;
+
+    /// Tree-sum of one 64-element chunk in the hardware reduction order.
+    pub fn reduce<F: Float>(&self, chunk: &[F; CHUNK]) -> F {
+        hworder::chunk_sum(chunk)
+    }
+
+    /// Tree-sum of up to 8 partial sums (one L1 tree pass).
+    pub fn reduce_partials<F: Float>(&self, partials: &[F]) -> F {
+        hworder::tree_sum8(partials)
+    }
+
+    /// Lane-wise `a − s` against a broadcast scalar (the mean shift).
+    pub fn subtract_scalar<F: Float>(&self, a: &[F; CHUNK], s: F) -> [F; CHUNK] {
+        let mut out = [F::zero(); CHUNK];
+        for (o, &x) in out.iter_mut().zip(a.iter()) {
+            *o = x - s;
+        }
+        out
+    }
+
+    /// Lane-wise `a + b` (the β stage).
+    pub fn add<F: Float>(&self, a: &[F; CHUNK], b: &[F; CHUNK]) -> [F; CHUNK] {
+        let mut out = [F::zero(); CHUNK];
+        for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b.iter())) {
+            *o = x + y;
+        }
+        out
+    }
+}
+
+/// The partial-sum buffer: up to 16 chunk sums awaiting the fold pass.
+#[derive(Debug, Clone)]
+pub struct PartialSumBuffer<F> {
+    entries: Vec<F>,
+}
+
+impl<F: Float> Default for PartialSumBuffer<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Float> PartialSumBuffer<F> {
+    /// Capacity in entries (`d_max / chunk = 16`).
+    pub const CAPACITY: usize = D_MAX / CHUNK;
+
+    /// An empty buffer.
+    pub fn new() -> Self {
+        PartialSumBuffer {
+            entries: Vec::with_capacity(Self::CAPACITY),
+        }
+    }
+
+    /// Append one partial sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacroError::BufferFull`] past 16 entries.
+    pub fn push(&mut self, value: F) -> Result<(), MacroError> {
+        if self.entries.len() >= Self::CAPACITY {
+            return Err(MacroError::BufferFull {
+                capacity: Self::CAPACITY,
+            });
+        }
+        self.entries.push(value);
+        Ok(())
+    }
+
+    /// Current contents.
+    pub fn entries(&self) -> &[F] {
+        &self.entries
+    }
+
+    /// Clear for the next reduction phase.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Fold the buffered partials to a single value through 8-input tree
+    /// passes, returning the result and the number of passes used.
+    pub fn fold(&self, add: &AddBlock) -> (F, u32) {
+        if self.entries.is_empty() {
+            return (F::zero(), 0);
+        }
+        let mut vals = self.entries.clone();
+        let mut passes = 0;
+        while vals.len() > 1 {
+            vals = vals
+                .chunks(hworder::TREE_WIDTH)
+                .map(|c| add.reduce_partials(c))
+                .collect();
+            passes += 1;
+        }
+        (vals[0], passes.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::Fp32;
+
+    fn fv(vals: impl IntoIterator<Item = f64>) -> Vec<Fp32> {
+        vals.into_iter().map(Fp32::from_f64).collect()
+    }
+
+    #[test]
+    fn banked_layout_matches_paper_fig1b() {
+        // Element w_b·(b + n_b·i) + c lives in bank b, row i, column c.
+        let mut buf = InputBuffer::<Fp32>::new();
+        let x = fv((0..1024).map(|i| i as f64));
+        buf.write_vector(0, &x);
+        // x[0..8] → bank 0 row 0; x[8..16] → bank 1 row 0; …
+        assert_eq!(buf.element(0).to_f64(), 0.0);
+        assert_eq!(buf.element(8).to_f64(), 8.0);
+        // x[64..72] → bank 0 row 1.
+        let row1 = buf.read_row(1);
+        assert_eq!(row1[0].to_f64(), 64.0);
+        assert_eq!(row1[8].to_f64(), 72.0);
+        // Last row.
+        let row15 = buf.read_row(15);
+        assert_eq!(row15[63].to_f64(), 1023.0);
+    }
+
+    #[test]
+    fn row_write_read_round_trip() {
+        let mut buf = InputBuffer::<Fp32>::new();
+        let mut row = [Fp32::ZERO; CHUNK];
+        for (i, r) in row.iter_mut().enumerate() {
+            *r = Fp32::from_f64(i as f64 * 0.5);
+        }
+        buf.write_row(7, &row);
+        let back = buf.read_row(7);
+        for (a, b) in row.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer capacity")]
+    fn overfull_write_panics() {
+        let mut buf = InputBuffer::<Fp32>::new();
+        let x = fv((0..1025).map(|i| i as f64));
+        buf.write_vector(0, &x);
+    }
+
+    #[test]
+    fn mul_block_is_lanewise() {
+        let mul = MulBlock;
+        let mut a = [Fp32::ZERO; CHUNK];
+        let mut b = [Fp32::ZERO; CHUNK];
+        for i in 0..CHUNK {
+            a[i] = Fp32::from_f64(i as f64);
+            b[i] = Fp32::from_f64(2.0);
+        }
+        let p = mul.multiply(&a, &b);
+        for (i, v) in p.iter().enumerate() {
+            assert_eq!(v.to_f64(), 2.0 * i as f64);
+        }
+        let q = mul.multiply_scalar(&a, Fp32::from_f64(3.0));
+        assert_eq!(q[5].to_f64(), 15.0);
+    }
+
+    #[test]
+    fn add_block_reduce_matches_hworder() {
+        let add = AddBlock;
+        let mut a = [Fp32::ZERO; CHUNK];
+        for (i, v) in a.iter_mut().enumerate() {
+            *v = Fp32::from_f64((i % 9) as f64 - 4.0);
+        }
+        assert_eq!(
+            add.reduce(&a).to_bits(),
+            iterl2norm::hworder::chunk_sum(&a).to_bits()
+        );
+    }
+
+    #[test]
+    fn add_block_scalar_ops() {
+        let add = AddBlock;
+        let a = [Fp32::from_f64(5.0); CHUNK];
+        let shifted = add.subtract_scalar(&a, Fp32::from_f64(2.0));
+        assert!(shifted.iter().all(|v| v.to_f64() == 3.0));
+        let b = [Fp32::from_f64(1.5); CHUNK];
+        let sum = add.add(&a, &b);
+        assert!(sum.iter().all(|v| v.to_f64() == 6.5));
+    }
+
+    #[test]
+    fn partial_sum_buffer_capacity_and_fold() {
+        let mut buf = PartialSumBuffer::<Fp32>::new();
+        for i in 0..16 {
+            buf.push(Fp32::from_f64(i as f64)).unwrap();
+        }
+        assert!(matches!(
+            buf.push(Fp32::ONE),
+            Err(MacroError::BufferFull { capacity: 16 })
+        ));
+        let (total, passes) = buf.fold(&AddBlock);
+        assert_eq!(total.to_f64(), 120.0);
+        assert_eq!(passes, 2); // 16 → 2 → 1
+        buf.clear();
+        assert!(buf.entries().is_empty());
+        let (zero, passes0) = buf.fold(&AddBlock);
+        assert!(zero.is_zero());
+        assert_eq!(passes0, 0);
+    }
+
+    #[test]
+    fn single_partial_folds_in_one_pass() {
+        let mut buf = PartialSumBuffer::<Fp32>::new();
+        buf.push(Fp32::from_f64(7.0)).unwrap();
+        let (v, passes) = buf.fold(&AddBlock);
+        assert_eq!(v.to_f64(), 7.0);
+        assert_eq!(passes, 1);
+    }
+}

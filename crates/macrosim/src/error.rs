@@ -1,0 +1,66 @@
+//! Error type for macro configuration and data loading.
+
+use core::fmt;
+
+/// Errors raised by [`IterL2NormMacro`](crate::IterL2NormMacro).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MacroError {
+    /// Input length 0 or above the buffer capacity `d_max = 1024`.
+    UnsupportedLength {
+        /// The requested vector length.
+        d: usize,
+    },
+    /// A loaded vector's length does not match the configured `d`.
+    LengthMismatch {
+        /// Configured vector length.
+        expected: usize,
+        /// Observed slice length.
+        actual: usize,
+    },
+    /// More vectors loaded than the buffer can hold (`⌊1024/d⌋`).
+    BufferFull {
+        /// Buffer capacity in vectors for the configured `d`.
+        capacity: usize,
+    },
+    /// `run` called with no input vector loaded.
+    NothingLoaded,
+}
+
+impl fmt::Display for MacroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MacroError::UnsupportedLength { d } => {
+                write!(f, "input length {d} outside the supported range 1..=1024")
+            }
+            MacroError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "vector length {actual} does not match configured d = {expected}"
+                )
+            }
+            MacroError::BufferFull { capacity } => {
+                write!(f, "input buffer already holds {capacity} vectors")
+            }
+            MacroError::NothingLoaded => write!(f, "no input vector loaded"),
+        }
+    }
+}
+
+impl std::error::Error for MacroError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_parameters() {
+        let e = MacroError::UnsupportedLength { d: 2048 };
+        assert!(e.to_string().contains("2048"));
+        let e = MacroError::LengthMismatch {
+            expected: 64,
+            actual: 65,
+        };
+        assert!(e.to_string().contains("64") && e.to_string().contains("65"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Cycle-accurate simulator of the IterL2Norm macro (paper Sec. IV).
+//!
+//! The macro normalizes up to 1024-element vectors next to a MatMul engine:
+//! an 8-bank input buffer feeds a 64-multiplier Mul block and an Add block
+//! of nine 8-input adder trees, sequenced by a set of controllers (mean,
+//! shift, m, iteration, output). This crate models that machine at two
+//! levels simultaneously:
+//!
+//! * **numerics** — every datapath operation is performed with
+//!   [`softfloat`] arithmetic in the exact order of the hardware (the same
+//!   primitives as [`iterl2norm::hworder`]), so the simulated outputs are
+//!   bit-exact with what the RTL would produce;
+//! * **timing** — an explicit phase schedule ([`schedule`]) counts cycles
+//!   per the block latencies (2-cycle multipliers and adder trees, one
+//!   64-element chunk per cycle of issue), reproducing the paper's Fig. 5
+//!   staircase: 116 cycles at d = 64 up to 227 cycles at d = 1024 with five
+//!   iteration steps.
+//!
+//! The paper evaluated the same design on a Virtex-7 FPGA and in 32/28 nm
+//! CMOS; this simulator is the software stand-in for those artifacts (see
+//! DESIGN.md §4).
+//!
+//! # Examples
+//!
+//! ```
+//! use macrosim::{IterL2NormMacro, MacroConfig};
+//! use softfloat::{Float, Fp32};
+//!
+//! # fn main() -> Result<(), macrosim::MacroError> {
+//! let x: Vec<Fp32> = (0..64).map(|i| Fp32::from_f64((i as f64).sin())).collect();
+//! let mut mac = IterL2NormMacro::new(MacroConfig::new(64)?);
+//! mac.load_input(&x)?;
+//! let run = mac.run()?;
+//! assert_eq!(run.outputs.len(), 1); // one loaded vector…
+//! assert_eq!(run.outputs[0].len(), 64); // …of 64 normalized elements
+//! assert_eq!(run.cycles, 116); // d = 64, five iteration steps
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+mod buffers;
+mod error;
+mod macro_unit;
+pub mod schedule;
+
+pub use activity::{activity_trace, utilization, CycleActivity, Utilization};
+pub use buffers::{
+    AddBlock, InputBuffer, MulBlock, PartialSumBuffer, BANK_ROWS, BANK_WIDTH, D_MAX, NUM_BANKS,
+};
+pub use error::MacroError;
+pub use macro_unit::{IterL2NormMacro, MacroConfig, MacroRun, PhaseSpan};

@@ -1,0 +1,601 @@
+//! The macro itself: configuration, buffer loading and the FSM run.
+
+use iterl2norm::{a0_from_exponent, lambda_from_exponent, update_step};
+use softfloat::Float;
+
+use crate::buffers::{AddBlock, InputBuffer, MulBlock, PartialSumBuffer, CHUNK, D_MAX};
+use crate::error::MacroError;
+use crate::schedule::{self, Phase};
+
+/// Static configuration of one macro instance.
+///
+/// # Examples
+///
+/// ```
+/// use macrosim::MacroConfig;
+///
+/// let cfg = MacroConfig::new(384)?;
+/// assert_eq!(cfg.d, 384);
+/// assert_eq!(cfg.n_steps, 5);
+/// assert_eq!(cfg.vector_capacity(), 2); // ⌊1024/384⌋
+/// # Ok::<(), macrosim::MacroError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacroConfig {
+    /// Vector length `d` (1..=1024).
+    pub d: usize,
+    /// Programmable iteration step count `n_c` (paper default 5).
+    pub n_steps: u32,
+}
+
+impl MacroConfig {
+    /// Configuration for `d`-element vectors with the default 5 iteration
+    /// steps.
+    ///
+    /// # Errors
+    ///
+    /// [`MacroError::UnsupportedLength`] when `d` is 0 or above 1024.
+    pub fn new(d: usize) -> Result<Self, MacroError> {
+        if d == 0 || d > D_MAX {
+            return Err(MacroError::UnsupportedLength { d });
+        }
+        Ok(MacroConfig { d, n_steps: 5 })
+    }
+
+    /// Same configuration with a different programmed step count.
+    pub fn with_steps(mut self, n_steps: u32) -> Self {
+        self.n_steps = n_steps;
+        self
+    }
+
+    /// How many vectors of length `d` fit in the input buffer
+    /// (`⌊d_max/d⌋`).
+    pub fn vector_capacity(&self) -> usize {
+        D_MAX / self.d
+    }
+}
+
+/// Start/end cycle of one phase in an execution log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Which phase.
+    pub phase: Phase,
+    /// First cycle of the phase.
+    pub start: u32,
+    /// One past the last cycle of the phase.
+    pub end: u32,
+}
+
+/// The result of one macro run.
+#[derive(Debug, Clone)]
+pub struct MacroRun<F> {
+    /// Normalized output vectors, one per loaded input, each `d` long.
+    pub outputs: Vec<Vec<F>>,
+    /// Total latency in cycles (the paper's Fig. 5 quantity for one vector).
+    pub cycles: u32,
+    /// Per-phase cycle spans of the *first* vector's normalization.
+    pub phases: Vec<PhaseSpan>,
+    /// Mean x̄ per vector (intermediate, exposed for verification).
+    pub means: Vec<F>,
+    /// `m = ‖y‖²` per vector.
+    pub ms: Vec<F>,
+    /// Final `a∞` per vector.
+    pub a_finals: Vec<F>,
+}
+
+/// Cycle-accurate model of the IterL2Norm macro.
+///
+/// Load up to `⌊1024/d⌋` vectors plus optional γ/β parameters, then [`run`]
+/// to obtain bit-exact outputs and the cycle count. See the crate docs for
+/// a complete example.
+///
+/// [`run`]: IterL2NormMacro::run
+#[derive(Debug, Clone)]
+pub struct IterL2NormMacro<F> {
+    config: MacroConfig,
+    input: InputBuffer<F>,
+    gamma: Vec<F>,
+    beta: Vec<F>,
+    loaded: usize,
+    mul: MulBlock,
+    add: AddBlock,
+}
+
+impl<F: Float> IterL2NormMacro<F> {
+    /// A macro with empty buffers (γ = 1, β = 0 until loaded).
+    pub fn new(config: MacroConfig) -> Self {
+        IterL2NormMacro {
+            config,
+            input: InputBuffer::new(),
+            gamma: vec![F::one(); config.d],
+            beta: vec![F::zero(); config.d],
+            loaded: 0,
+            mul: MulBlock,
+            add: AddBlock,
+        }
+    }
+
+    /// The configuration this macro was built with.
+    pub fn config(&self) -> MacroConfig {
+        self.config
+    }
+
+    /// Number of vectors currently loaded.
+    pub fn loaded_vectors(&self) -> usize {
+        self.loaded
+    }
+
+    /// Load one input vector into the banked buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`MacroError::LengthMismatch`] if `x.len() != d`;
+    /// [`MacroError::BufferFull`] past `⌊1024/d⌋` vectors.
+    pub fn load_input(&mut self, x: &[F]) -> Result<(), MacroError> {
+        if x.len() != self.config.d {
+            return Err(MacroError::LengthMismatch {
+                expected: self.config.d,
+                actual: x.len(),
+            });
+        }
+        if self.loaded >= self.config.vector_capacity() {
+            return Err(MacroError::BufferFull {
+                capacity: self.config.vector_capacity(),
+            });
+        }
+        self.input.write_vector(self.loaded * self.config.d, x);
+        self.loaded += 1;
+        Ok(())
+    }
+
+    /// Load the scale parameters γ.
+    ///
+    /// # Errors
+    ///
+    /// [`MacroError::LengthMismatch`] if the length differs from `d`.
+    pub fn load_gamma(&mut self, gamma: &[F]) -> Result<(), MacroError> {
+        if gamma.len() != self.config.d {
+            return Err(MacroError::LengthMismatch {
+                expected: self.config.d,
+                actual: gamma.len(),
+            });
+        }
+        self.gamma.copy_from_slice(gamma);
+        Ok(())
+    }
+
+    /// Load the shift parameters β.
+    ///
+    /// # Errors
+    ///
+    /// [`MacroError::LengthMismatch`] if the length differs from `d`.
+    pub fn load_beta(&mut self, beta: &[F]) -> Result<(), MacroError> {
+        if beta.len() != self.config.d {
+            return Err(MacroError::LengthMismatch {
+                expected: self.config.d,
+                actual: beta.len(),
+            });
+        }
+        self.beta.copy_from_slice(beta);
+        Ok(())
+    }
+
+    /// Clear loaded vectors (buffers are re-zeroed).
+    pub fn reset(&mut self) {
+        self.input = InputBuffer::new();
+        self.loaded = 0;
+    }
+
+    /// Normalize every loaded vector, returning bit-exact outputs, the
+    /// cycle count and the per-phase execution log.
+    ///
+    /// # Errors
+    ///
+    /// [`MacroError::NothingLoaded`] if no vector was loaded.
+    pub fn run(&mut self) -> Result<MacroRun<F>, MacroError> {
+        if self.loaded == 0 {
+            return Err(MacroError::NothingLoaded);
+        }
+        let d = self.config.d;
+        let n_steps = self.config.n_steps;
+
+        let mut outputs = Vec::with_capacity(self.loaded);
+        let mut means = Vec::with_capacity(self.loaded);
+        let mut ms = Vec::with_capacity(self.loaded);
+        let mut a_finals = Vec::with_capacity(self.loaded);
+        let mut phases = Vec::new();
+
+        let mut cycle = schedule::HANDSHAKE;
+        for vec_idx in 0..self.loaded {
+            let base = vec_idx * d;
+            let log = |phase: Phase, cycle: &mut u32| {
+                let span = PhaseSpan {
+                    phase,
+                    start: *cycle,
+                    end: *cycle + schedule::phase_cycles(phase, d, n_steps),
+                };
+                *cycle = span.end;
+                span
+            };
+
+            // --- Mean-sum: stream chunks into the partial-sum buffer.
+            let span = log(Phase::MeanSum, &mut cycle);
+            let mut psum = PartialSumBuffer::new();
+            for chunk_idx in 0..schedule::chunks(d) as usize {
+                let (row, valid) = self.fetch_chunk(base, chunk_idx);
+                let masked = mask_tail(&row, valid);
+                psum.push(self.add.reduce(&masked))?;
+            }
+            if vec_idx == 0 {
+                phases.push(span);
+            }
+
+            // --- Mean-fold + scale by pre-stored d⁻¹.
+            let span = log(Phase::MeanFold, &mut cycle);
+            let (total, _passes) = psum.fold(&self.add);
+            if vec_idx == 0 {
+                phases.push(span);
+            }
+            let span = log(Phase::MeanScale, &mut cycle);
+            let inv_d = F::from_f64(1.0 / d as f64);
+            let mean = total * inv_d;
+            if vec_idx == 0 {
+                phases.push(span);
+            }
+
+            // --- Shift: y = x − x̄, written back to the input buffer.
+            let span = log(Phase::Shift, &mut cycle);
+            for chunk_idx in 0..schedule::chunks(d) as usize {
+                let (row, valid) = self.fetch_chunk(base, chunk_idx);
+                let shifted = self.add.subtract_scalar(&row, mean);
+                let masked = mask_tail(&shifted, valid);
+                self.store_chunk(base, chunk_idx, &masked);
+            }
+            if vec_idx == 0 {
+                phases.push(span);
+            }
+
+            // --- m = ‖y‖²: square through Mul, reduce through Add.
+            let span = log(Phase::MSum, &mut cycle);
+            psum.clear();
+            for chunk_idx in 0..schedule::chunks(d) as usize {
+                let (row, _valid) = self.fetch_chunk(base, chunk_idx);
+                let squared = self.mul.multiply(&row, &row);
+                psum.push(self.add.reduce(&squared))?;
+            }
+            if vec_idx == 0 {
+                phases.push(span);
+            }
+            let span = log(Phase::MFold, &mut cycle);
+            let (m, _passes) = psum.fold(&self.add);
+            if vec_idx == 0 {
+                phases.push(span);
+            }
+
+            // --- Iteration controller: init (Fig. 2a) + updates (Fig. 2b).
+            let span = log(Phase::IterInit, &mut cycle);
+            let a0 = a0_from_exponent(m);
+            let lambda = lambda_from_exponent(m);
+            if vec_idx == 0 {
+                phases.push(span);
+            }
+            let span = log(Phase::Iterate, &mut cycle);
+            let mut a = a0;
+            for _ in 0..n_steps {
+                a = a + update_step(m, a, lambda);
+            }
+            if vec_idx == 0 {
+                phases.push(span);
+            }
+
+            // --- Output: s = a∞·√d, then ŷ = y·s, z = ŷ·γ + β.
+            let span = log(Phase::ScalePrep, &mut cycle);
+            let sqrt_d = F::from_f64((d as f64).sqrt());
+            let scale = a * sqrt_d;
+            if vec_idx == 0 {
+                phases.push(span);
+            }
+            let span = log(Phase::Output, &mut cycle);
+            let mut z = Vec::with_capacity(d);
+            for chunk_idx in 0..schedule::chunks(d) as usize {
+                let (row, valid) = self.fetch_chunk(base, chunk_idx);
+                let yhat = self.mul.multiply_scalar(&row, scale);
+                let gamma_row = self.param_chunk(&self.gamma, chunk_idx);
+                let scaled = self.mul.multiply(&yhat, &gamma_row);
+                let beta_row = self.param_chunk(&self.beta, chunk_idx);
+                let out = self.add.add(&scaled, &beta_row);
+                z.extend_from_slice(&out[..valid]);
+            }
+            if vec_idx == 0 {
+                phases.push(span);
+            }
+
+            outputs.push(z);
+            means.push(mean);
+            ms.push(m);
+            a_finals.push(a);
+        }
+
+        Ok(MacroRun {
+            outputs,
+            cycles: if self.loaded == 1 {
+                cycle
+            } else {
+                schedule::batch_latency_cycles(d, n_steps, self.loaded as u32)
+            },
+            phases,
+            means,
+            ms,
+            a_finals,
+        })
+    }
+
+    /// Read chunk `chunk_idx` of the vector at element offset `base`,
+    /// returning the 64 lanes plus how many are valid (non-padding).
+    fn fetch_chunk(&self, base: usize, chunk_idx: usize) -> ([F; CHUNK], usize) {
+        let d = self.config.d;
+        let start = chunk_idx * CHUNK;
+        let valid = (d - start).min(CHUNK);
+        let mut row = [F::zero(); CHUNK];
+        for (lane, slot) in row.iter_mut().enumerate().take(valid) {
+            *slot = self.input.element(base + start + lane);
+        }
+        row.iter_mut()
+            .skip(valid)
+            .for_each(|slot| *slot = F::zero());
+        (row, valid)
+    }
+
+    /// Write chunk `chunk_idx` of the vector at offset `base` back to the
+    /// buffer.
+    fn store_chunk(&mut self, base: usize, chunk_idx: usize, values: &[F; CHUNK]) {
+        let d = self.config.d;
+        let start = chunk_idx * CHUNK;
+        let valid = (d - start).min(CHUNK);
+        self.input.write_vector(base + start, &values[..valid]);
+    }
+
+    /// Fetch a 64-lane chunk of a parameter buffer (γ or β), zero-padded.
+    fn param_chunk(&self, params: &[F], chunk_idx: usize) -> [F; CHUNK] {
+        let start = chunk_idx * CHUNK;
+        let valid = (params.len() - start).min(CHUNK);
+        let mut row = [F::zero(); CHUNK];
+        row[..valid].copy_from_slice(&params[start..start + valid]);
+        row
+    }
+}
+
+/// Zero lanes at and beyond `valid` (the controllers mask the tail of the
+/// final chunk so padding never contaminates the reductions).
+fn mask_tail<F: Float>(row: &[F; CHUNK], valid: usize) -> [F; CHUNK] {
+    let mut out = *row;
+    for lane in out.iter_mut().skip(valid) {
+        *lane = F::zero();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::{Bf16, Fp16, Fp32};
+
+    fn input(d: usize) -> Vec<Fp32> {
+        (0..d)
+            .map(|i| Fp32::from_f64(((i * 2654435761usize) % 1000) as f64 / 500.0 - 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(MacroConfig::new(0).is_err());
+        assert!(MacroConfig::new(1025).is_err());
+        assert!(MacroConfig::new(1).is_ok());
+        assert!(MacroConfig::new(1024).is_ok());
+        assert_eq!(MacroConfig::new(64).unwrap().vector_capacity(), 16);
+        assert_eq!(MacroConfig::new(1000).unwrap().vector_capacity(), 1);
+    }
+
+    #[test]
+    fn run_requires_loaded_vector() {
+        let mut mac = IterL2NormMacro::<Fp32>::new(MacroConfig::new(64).unwrap());
+        assert_eq!(mac.run().unwrap_err(), MacroError::NothingLoaded);
+    }
+
+    #[test]
+    fn load_validates_lengths() {
+        let mut mac = IterL2NormMacro::<Fp32>::new(MacroConfig::new(64).unwrap());
+        let short = input(32);
+        assert!(matches!(
+            mac.load_input(&short),
+            Err(MacroError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            mac.load_gamma(&short),
+            Err(MacroError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            mac.load_beta(&short),
+            Err(MacroError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn buffer_capacity_enforced() {
+        let mut mac = IterL2NormMacro::<Fp32>::new(MacroConfig::new(512).unwrap());
+        mac.load_input(&input(512)).unwrap();
+        mac.load_input(&input(512)).unwrap();
+        assert!(matches!(
+            mac.load_input(&input(512)),
+            Err(MacroError::BufferFull { capacity: 2 })
+        ));
+        mac.reset();
+        assert_eq!(mac.loaded_vectors(), 0);
+        mac.load_input(&input(512)).unwrap();
+    }
+
+    #[test]
+    fn latency_matches_schedule_formula() {
+        for d in [64usize, 128, 384, 512, 576, 1000, 1024] {
+            let mut mac = IterL2NormMacro::<Fp32>::new(MacroConfig::new(d).unwrap());
+            mac.load_input(&input(d)).unwrap();
+            let run = mac.run().unwrap();
+            assert_eq!(run.cycles, schedule::latency_cycles(d, 5), "d = {d}");
+        }
+    }
+
+    #[test]
+    fn paper_fig5_band() {
+        // Five iteration steps: 116 cycles at d = 64, 227 at d = 1024.
+        let lat = |d: usize| {
+            let mut mac = IterL2NormMacro::<Fp32>::new(MacroConfig::new(d).unwrap());
+            mac.load_input(&input(d)).unwrap();
+            mac.run().unwrap().cycles
+        };
+        assert_eq!(lat(64), 116);
+        assert_eq!(lat(1024), 227);
+        for d in (64..=1024).step_by(64) {
+            let l = lat(d);
+            assert!((116..=227).contains(&l), "latency {l} out of band at {d}");
+        }
+    }
+
+    #[test]
+    fn latency_is_format_independent() {
+        let d = 384;
+        let cycles32 = {
+            let mut mac = IterL2NormMacro::<Fp32>::new(MacroConfig::new(d).unwrap());
+            mac.load_input(&input(d)).unwrap();
+            mac.run().unwrap().cycles
+        };
+        let cycles16 = {
+            let mut mac = IterL2NormMacro::<Fp16>::new(MacroConfig::new(d).unwrap());
+            let x: Vec<Fp16> = (0..d)
+                .map(|i| Fp16::from_f64((i % 17) as f64 / 10.0))
+                .collect();
+            mac.load_input(&x).unwrap();
+            mac.run().unwrap().cycles
+        };
+        let cyclesb = {
+            let mut mac = IterL2NormMacro::<Bf16>::new(MacroConfig::new(d).unwrap());
+            let x: Vec<Bf16> = (0..d)
+                .map(|i| Bf16::from_f64((i % 13) as f64 / 8.0))
+                .collect();
+            mac.load_input(&x).unwrap();
+            mac.run().unwrap().cycles
+        };
+        assert_eq!(cycles32, cycles16);
+        assert_eq!(cycles32, cyclesb);
+    }
+
+    #[test]
+    fn phase_log_is_contiguous_and_ordered() {
+        let mut mac = IterL2NormMacro::<Fp32>::new(MacroConfig::new(256).unwrap());
+        mac.load_input(&input(256)).unwrap();
+        let run = mac.run().unwrap();
+        assert_eq!(run.phases.len(), Phase::ORDER.len());
+        let mut expected_start = schedule::HANDSHAKE;
+        for (span, &phase) in run.phases.iter().zip(Phase::ORDER.iter()) {
+            assert_eq!(span.phase, phase);
+            assert_eq!(span.start, expected_start);
+            assert!(span.end > span.start);
+            expected_start = span.end;
+        }
+        assert_eq!(expected_start, run.cycles);
+    }
+
+    #[test]
+    fn output_is_normalized() {
+        let d = 320;
+        let mut mac = IterL2NormMacro::<Fp32>::new(MacroConfig::new(d).unwrap());
+        mac.load_input(&input(d)).unwrap();
+        let run = mac.run().unwrap();
+        let z: Vec<f64> = run.outputs[0].iter().map(|v| v.to_f64()).collect();
+        let mean: f64 = z.iter().sum::<f64>() / d as f64;
+        let var: f64 = z.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d as f64;
+        assert!(mean.abs() < 1e-4, "mean {mean}");
+        assert!((var.sqrt() - 1.0).abs() < 1e-2, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn gamma_beta_are_applied() {
+        let d = 64;
+        let x = input(d);
+        let mut plain = IterL2NormMacro::<Fp32>::new(MacroConfig::new(d).unwrap());
+        plain.load_input(&x).unwrap();
+        let base = plain.run().unwrap().outputs[0].clone();
+
+        let mut affine = IterL2NormMacro::<Fp32>::new(MacroConfig::new(d).unwrap());
+        affine.load_input(&x).unwrap();
+        affine.load_gamma(&vec![Fp32::from_f64(2.0); d]).unwrap();
+        affine.load_beta(&vec![Fp32::from_f64(-1.0); d]).unwrap();
+        let z = affine.run().unwrap().outputs[0].clone();
+        for (b, a) in base.iter().zip(&z) {
+            let expect = b.to_f64() * 2.0 - 1.0;
+            assert!((a.to_f64() - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_normalizes_each_vector_independently() {
+        let d = 256;
+        let cfg = MacroConfig::new(d).unwrap();
+        let x1 = input(d);
+        let x2: Vec<Fp32> = (0..d).map(|i| Fp32::from_f64((i as f64).cos())).collect();
+
+        let mut batch = IterL2NormMacro::<Fp32>::new(cfg);
+        batch.load_input(&x1).unwrap();
+        batch.load_input(&x2).unwrap();
+        let run = batch.run().unwrap();
+        assert_eq!(run.outputs.len(), 2);
+        assert_eq!(run.cycles, schedule::batch_latency_cycles(d, 5, 2));
+
+        // Each output matches a solo run on the same vector, bit for bit.
+        for (i, x) in [x1, x2].iter().enumerate() {
+            let mut solo = IterL2NormMacro::<Fp32>::new(cfg);
+            solo.load_input(x).unwrap();
+            let solo_run = solo.run().unwrap();
+            for (a, b) in run.outputs[i].iter().zip(&solo_run.outputs[0]) {
+                assert_eq!(a.to_bits(), b.to_bits(), "vector {i} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn non_multiple_of_chunk_lengths_mask_padding() {
+        // d = 100: the second chunk has 36 valid lanes; padding must not
+        // leak into the mean or m.
+        let d = 100;
+        let x: Vec<Fp32> = (0..d)
+            .map(|i| Fp32::from_f64(1.0 + (i % 3) as f64))
+            .collect();
+        let mut mac = IterL2NormMacro::<Fp32>::new(MacroConfig::new(d).unwrap());
+        mac.load_input(&x).unwrap();
+        let run = mac.run().unwrap();
+        let vals: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
+        let exact_mean: f64 = vals.iter().sum::<f64>() / d as f64;
+        assert!(
+            (run.means[0].to_f64() - exact_mean).abs() < 1e-5,
+            "mean {} vs {exact_mean}",
+            run.means[0].to_f64()
+        );
+        assert_eq!(run.outputs[0].len(), d);
+    }
+
+    #[test]
+    fn intermediates_are_exposed_per_vector() {
+        let d = 128;
+        let mut mac = IterL2NormMacro::<Fp32>::new(MacroConfig::new(d).unwrap());
+        mac.load_input(&input(d)).unwrap();
+        mac.load_input(&input(d)).unwrap();
+        let run = mac.run().unwrap();
+        assert_eq!(run.means.len(), 2);
+        assert_eq!(run.ms.len(), 2);
+        assert_eq!(run.a_finals.len(), 2);
+        // a∞² · m ≈ 1.
+        for (a, m) in run.a_finals.iter().zip(&run.ms) {
+            let prod = a.to_f64() * a.to_f64() * m.to_f64();
+            assert!((prod - 1.0).abs() < 2e-2, "a²m = {prod}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The macro's phase schedule and cycle model (paper Sec. IV / Fig. 5).
+//!
+//! Every phase streams 64-element chunks through the Mul/Add blocks at one
+//! issue per cycle, plus the block pipeline latencies (2 cycles each) and a
+//! fixed FSM setup cost per phase. The scalar iteration runs 6 dependent
+//! two-cycle operations per step (Fig. 2b). With five iteration steps this
+//! model produces exactly the paper's measured band: 116 cycles at d = 64
+//! rising to 227 cycles at d = 1024, stepping with ⌈d/64⌉ — and, like the
+//! hardware, the count is independent of the data format (all operators are
+//! two-cycle regardless of width).
+//!
+//! ```
+//! use macrosim::schedule::latency_cycles;
+//!
+//! assert_eq!(latency_cycles(64, 5), 116);
+//! assert_eq!(latency_cycles(1024, 5), 227);
+//! ```
+
+/// Elements processed per issue cycle (the 64-lane datapath).
+pub const CHUNK: usize = 64;
+
+/// Mul block pipeline latency.
+pub const MUL_LAT: u32 = 2;
+/// Add block (adder tree) pipeline latency.
+pub const ADD_LAT: u32 = 2;
+/// FSM setup cost charged at each phase boundary.
+pub const PHASE_SETUP: u32 = 2;
+/// Start/done handshake with the main controller.
+pub const HANDSHAKE: u32 = 3;
+/// Cycles per scalar-iteration step: six dependent 2-cycle operations
+/// (`t₁ = m·a`, `t₂ = t₁·a`, `t₃ = 1 − t₂`, `t₄ = λ·t₁`, `Δa = t₄·t₃`,
+/// `a' = a + Δa`).
+pub const ITER_STEP_CYCLES: u32 = 12;
+/// Cycles for the iteration init module (build a₀, build λ — Fig. 2a).
+pub const ITER_INIT_CYCLES: u32 = 4;
+
+/// The execution phases of one vector normalization, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Stream all chunks through the Add block, buffering partial sums.
+    MeanSum,
+    /// Fold the partial-sum buffer to the full sum.
+    MeanFold,
+    /// Multiply the sum by the pre-stored d⁻¹.
+    MeanScale,
+    /// Read, subtract x̄, write back (two buffer accesses per chunk).
+    Shift,
+    /// Stream chunks through Mul (square) and Add, buffering partials.
+    MSum,
+    /// Fold the partial-sum buffer to m.
+    MFold,
+    /// Build a₀ (Eq. 6) and λ (Eq. 10).
+    IterInit,
+    /// Run the scalar update steps.
+    Iterate,
+    /// Multiply a∞ by the pre-stored √d.
+    ScalePrep,
+    /// Stream chunks through Mul (×s), Mul (×γ), Add (+β) to the output.
+    Output,
+}
+
+impl Phase {
+    /// All phases in execution order.
+    pub const ORDER: [Phase; 10] = [
+        Phase::MeanSum,
+        Phase::MeanFold,
+        Phase::MeanScale,
+        Phase::Shift,
+        Phase::MSum,
+        Phase::MFold,
+        Phase::IterInit,
+        Phase::Iterate,
+        Phase::ScalePrep,
+        Phase::Output,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::MeanSum => "mean-sum",
+            Phase::MeanFold => "mean-fold",
+            Phase::MeanScale => "mean-scale",
+            Phase::Shift => "shift",
+            Phase::MSum => "m-sum",
+            Phase::MFold => "m-fold",
+            Phase::IterInit => "iter-init",
+            Phase::Iterate => "iterate",
+            Phase::ScalePrep => "scale-prep",
+            Phase::Output => "output",
+        }
+    }
+}
+
+/// Number of chunks for a `d`-element vector (`⌈d/64⌉`).
+pub fn chunks(d: usize) -> u32 {
+    d.div_ceil(CHUNK) as u32
+}
+
+/// Tree passes needed to fold `c` partial sums to one value (minimum 1 —
+/// even a single partial transits the Add block once).
+pub fn fold_passes(c: u32) -> u32 {
+    let mut n = c.max(1);
+    let mut passes = 0;
+    while n > 1 {
+        n = n.div_ceil(8);
+        passes += 1;
+    }
+    passes.max(1)
+}
+
+/// Cycle cost of one phase for a vector of `d` elements with `n_steps`
+/// iteration steps.
+pub fn phase_cycles(phase: Phase, d: usize, n_steps: u32) -> u32 {
+    let c = chunks(d);
+    match phase {
+        // One read issue per chunk, results drain through the adder trees.
+        Phase::MeanSum => PHASE_SETUP + c + ADD_LAT,
+        Phase::MeanFold => PHASE_SETUP + fold_passes(c) * (1 + ADD_LAT),
+        Phase::MeanScale => PHASE_SETUP + MUL_LAT,
+        // Read + write-back per chunk: two buffer accesses.
+        Phase::Shift => PHASE_SETUP + 2 * c + ADD_LAT,
+        // Chunks traverse Mul then Add back-to-back.
+        Phase::MSum => PHASE_SETUP + c + MUL_LAT + ADD_LAT,
+        Phase::MFold => PHASE_SETUP + fold_passes(c) * (1 + ADD_LAT),
+        Phase::IterInit => PHASE_SETUP + ITER_INIT_CYCLES,
+        Phase::Iterate => n_steps * ITER_STEP_CYCLES,
+        Phase::ScalePrep => PHASE_SETUP + MUL_LAT,
+        // Three multiplier/adder passes share the 64-lane datapath: ×s, ×γ,
+        // +β — three issues per chunk plus the three block latencies.
+        Phase::Output => PHASE_SETUP + 3 * c + MUL_LAT + MUL_LAT + ADD_LAT,
+    }
+}
+
+/// Total normalization latency for one `d`-element vector with `n_steps`
+/// iteration steps (the quantity plotted in the paper's Fig. 5).
+pub fn latency_cycles(d: usize, n_steps: u32) -> u32 {
+    HANDSHAKE
+        + Phase::ORDER
+            .iter()
+            .map(|&p| phase_cycles(p, d, n_steps))
+            .sum::<u32>()
+}
+
+/// Latency for a batch of `n_vec` equal-length vectors normalized
+/// sequentially from one loaded buffer (paper: "multiple (⌊d_max/d⌋) input
+/// vectors can be buffered and sequentially normalized"). The handshake is
+/// paid once.
+pub fn batch_latency_cycles(d: usize, n_steps: u32, n_vec: u32) -> u32 {
+    HANDSHAKE + n_vec * (latency_cycles(d, n_steps) - HANDSHAKE)
+}
+
+/// Cycles to load one `d`-element vector plus γ and β through the input
+/// channels (one chunk per cycle per buffer, sequential; not part of the
+/// Fig. 5 normalization latency, which assumes pre-loaded buffers).
+pub fn load_cycles(d: usize) -> u32 {
+    3 * chunks(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_endpoints() {
+        assert_eq!(latency_cycles(64, 5), 116);
+        assert_eq!(latency_cycles(1024, 5), 227);
+    }
+
+    #[test]
+    fn latency_steps_with_chunk_count_only() {
+        // d values inside one chunk bucket share a latency.
+        assert_eq!(latency_cycles(65, 5), latency_cycles(128, 5));
+        assert_eq!(latency_cycles(100, 5), latency_cycles(128, 5));
+        assert_ne!(latency_cycles(128, 5), latency_cycles(129, 5));
+    }
+
+    #[test]
+    fn latency_monotone_in_d() {
+        let mut last = 0;
+        for d in (64..=1024).step_by(64) {
+            let l = latency_cycles(d, 5);
+            assert!(l > last, "latency not increasing at d = {d}");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn per_chunk_slope_is_seven_cycles() {
+        // Within the single-fold region (C ≤ 8) each extra chunk costs
+        // 1 (mean read) + 2 (shift) + 1 (m read) + 3 (output) = 7 cycles.
+        let l2 = latency_cycles(128, 5);
+        let l3 = latency_cycles(192, 5);
+        assert_eq!(l3 - l2, 7);
+        // Crossing into the two-pass fold region adds 2·3 extra cycles once.
+        let l8 = latency_cycles(512, 5);
+        let l9 = latency_cycles(576, 5);
+        assert_eq!(l9 - l8, 7 + 6);
+    }
+
+    #[test]
+    fn latency_scales_with_iteration_steps() {
+        let l5 = latency_cycles(256, 5);
+        let l10 = latency_cycles(256, 10);
+        assert_eq!(l10 - l5, 5 * ITER_STEP_CYCLES);
+        let l0 = latency_cycles(256, 0);
+        assert_eq!(l5 - l0, 5 * ITER_STEP_CYCLES);
+    }
+
+    #[test]
+    fn fold_passes_boundaries() {
+        assert_eq!(fold_passes(1), 1);
+        assert_eq!(fold_passes(8), 1);
+        assert_eq!(fold_passes(9), 2);
+        assert_eq!(fold_passes(16), 2);
+    }
+
+    #[test]
+    fn chunk_count() {
+        assert_eq!(chunks(1), 1);
+        assert_eq!(chunks(64), 1);
+        assert_eq!(chunks(65), 2);
+        assert_eq!(chunks(1024), 16);
+    }
+
+    #[test]
+    fn batch_amortizes_handshake_only() {
+        let single = latency_cycles(128, 5);
+        let batch = batch_latency_cycles(128, 5, 8);
+        assert_eq!(batch, HANDSHAKE + 8 * (single - HANDSHAKE));
+    }
+
+    #[test]
+    fn phase_names_cover_order() {
+        let names: Vec<&str> = Phase::ORDER.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 10);
+        assert!(names.contains(&"iterate"));
+    }
+}

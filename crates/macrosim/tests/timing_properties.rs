@@ -1,0 +1,91 @@
+//! Property-based tests of the timing model: monotonicity, bucket
+//! structure, trace/schedule consistency and batching arithmetic.
+
+use macrosim::schedule::{
+    batch_latency_cycles, chunks, fold_passes, latency_cycles, load_cycles, phase_cycles, Phase,
+    HANDSHAKE, ITER_STEP_CYCLES,
+};
+use macrosim::{activity_trace, utilization};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Latency is non-decreasing in d and exactly constant within one
+    /// 64-element chunk bucket.
+    #[test]
+    fn latency_monotone_and_bucketed(d in 1usize..=1023, n in 0u32..12) {
+        let l1 = latency_cycles(d, n);
+        let l2 = latency_cycles(d + 1, n);
+        prop_assert!(l2 >= l1);
+        if chunks(d) == chunks(d + 1) {
+            prop_assert_eq!(l1, l2);
+        }
+    }
+
+    /// Latency is affine in the step count with slope ITER_STEP_CYCLES.
+    #[test]
+    fn latency_affine_in_steps(d in 1usize..=1024, n in 0u32..20) {
+        let base = latency_cycles(d, 0);
+        prop_assert_eq!(latency_cycles(d, n), base + n * ITER_STEP_CYCLES);
+    }
+
+    /// The phase costs sum (plus handshake) to the total latency.
+    #[test]
+    fn phases_sum_to_total(d in 1usize..=1024, n in 0u32..10) {
+        let sum: u32 = Phase::ORDER.iter().map(|&p| phase_cycles(p, d, n)).sum();
+        prop_assert_eq!(sum + HANDSHAKE, latency_cycles(d, n));
+    }
+
+    /// The expanded per-cycle trace always matches the closed form.
+    #[test]
+    fn trace_matches_schedule(d in 1usize..=1024, n in 0u32..8) {
+        let trace = activity_trace(d, n);
+        prop_assert_eq!(trace.len() as u32, latency_cycles(d, n));
+        // Cycle indices are consecutive from zero.
+        for (i, a) in trace.iter().enumerate() {
+            prop_assert_eq!(a.cycle as usize, i);
+        }
+    }
+
+    /// Batching arithmetic: n vectors cost n × (single − handshake) +
+    /// handshake.
+    #[test]
+    fn batch_arithmetic(d in 1usize..=1024, n_vec in 1u32..16, steps in 0u32..8) {
+        let single = latency_cycles(d, steps);
+        prop_assert_eq!(
+            batch_latency_cycles(d, steps, n_vec),
+            HANDSHAKE + n_vec * (single - HANDSHAKE)
+        );
+    }
+
+    /// fold_passes is the ⌈log₈⌉ chain and never zero.
+    #[test]
+    fn fold_passes_is_log8(c in 1u32..=64) {
+        let p = fold_passes(c);
+        prop_assert!(p >= 1);
+        // 8^p ≥ c and 8^(p−1) < c (for c > 1).
+        prop_assert!(8u64.pow(p) >= u64::from(c));
+        if c > 1 {
+            prop_assert!(8u64.pow(p - 1) < u64::from(c));
+        }
+    }
+
+    /// Loading scales linearly with the chunk count (3 buffers).
+    #[test]
+    fn load_cycles_linear(d in 1usize..=1024) {
+        prop_assert_eq!(load_cycles(d), 3 * chunks(d));
+    }
+
+    /// Utilizations are valid fractions and the Add block is the busiest
+    /// datapath unit at full length (it serves mean, shift, m and output).
+    #[test]
+    fn utilization_fractions_valid(dc in 1usize..=16) {
+        let d = dc * 64;
+        let u = utilization(&activity_trace(d, 5));
+        for f in [u.input_read, u.input_write, u.mul, u.add, u.scalar] {
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+        prop_assert!(u.add >= u.mul, "add {} < mul {}", u.add, u.mul);
+    }
+}

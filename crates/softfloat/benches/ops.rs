@@ -1,0 +1,45 @@
+//! Criterion microbenchmarks of the softfloat primitives — the emulation
+//! cost underlying every higher-level experiment (each op is ~a dozen
+//! integer instructions; hardware would take 2 cycles at 100 MHz).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softfloat::{Bf16, Float, Fp16, Fp32};
+use std::hint::black_box;
+
+fn bench_format<F: Float>(c: &mut Criterion, name: &str) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(100);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let a = F::from_f64(1.234567);
+    let b = F::from_f64(-0.987654);
+    let p = F::from_f64(3.5);
+    group.bench_function(BenchmarkId::from_parameter("add"), |bench| {
+        bench.iter(|| black_box(a) + black_box(b))
+    });
+    group.bench_function(BenchmarkId::from_parameter("mul"), |bench| {
+        bench.iter(|| black_box(a) * black_box(b))
+    });
+    group.bench_function(BenchmarkId::from_parameter("div"), |bench| {
+        bench.iter(|| black_box(a) / black_box(b))
+    });
+    group.bench_function(BenchmarkId::from_parameter("sqrt"), |bench| {
+        bench.iter(|| black_box(p).sqrt())
+    });
+    group.bench_function(BenchmarkId::from_parameter("fma"), |bench| {
+        bench.iter(|| black_box(a).mul_add(black_box(b), black_box(p)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("from_f64"), |bench| {
+        bench.iter(|| F::from_f64(black_box(0.333_333_333)))
+    });
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    bench_format::<Fp32>(c, "softfloat_fp32");
+    bench_format::<Fp16>(c, "softfloat_fp16");
+    bench_format::<Bf16>(c, "softfloat_bf16");
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

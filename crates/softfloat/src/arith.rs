@@ -1,0 +1,652 @@
+//! Correctly rounded add/sub/mul/div/sqrt for [`Sf`].
+//!
+//! Every routine follows the classic unpack → integer arithmetic with
+//! guard/round/sticky bits → round-to-nearest-even pack pipeline, which is
+//! how synthesized floating-point operators behave.
+
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::round::shr_sticky;
+use crate::sf::{Sf, Unpacked};
+
+impl<const E: u32, const M: u32> Sf<E, M> {
+    /// Correctly rounded addition (round to nearest, ties to even).
+    ///
+    /// Exposed as the [`Add`] operator; the named method exists so the
+    /// macro simulator can refer to "the adder" explicitly.
+    pub fn add_rne(self, rhs: Self) -> Self {
+        use Unpacked::*;
+        match (self.unpack(), rhs.unpack()) {
+            (Nan, _) | (_, Nan) => Self::NAN,
+            (Inf(sa), Inf(sb)) => {
+                if sa == sb {
+                    self
+                } else {
+                    Self::NAN // ∞ + (−∞)
+                }
+            }
+            (Inf(_), _) => self,
+            (_, Inf(_)) => rhs,
+            (Zero(sa), Zero(sb)) => {
+                // RNE: −0 + −0 = −0, every other zero combination is +0.
+                if sa && sb {
+                    Self::NEG_ZERO
+                } else {
+                    Self::ZERO
+                }
+            }
+            (Zero(_), Finite { .. }) => rhs,
+            (Finite { .. }, Zero(_)) => self,
+            (
+                Finite {
+                    sign: sa,
+                    exp: ea,
+                    sig: siga,
+                },
+                Finite {
+                    sign: sb,
+                    exp: eb,
+                    sig: sigb,
+                },
+            ) => add_finite::<E, M>(sa, ea, siga, sb, eb, sigb),
+        }
+    }
+
+    /// Correctly rounded subtraction; `a − b = a + (−b)` including for zeros.
+    pub fn sub_rne(self, rhs: Self) -> Self {
+        self.add_rne(rhs.negate())
+    }
+
+    /// Correctly rounded multiplication (round to nearest, ties to even).
+    pub fn mul_rne(self, rhs: Self) -> Self {
+        use Unpacked::*;
+        let sign = self.is_sign_negative() ^ rhs.is_sign_negative();
+        match (self.unpack(), rhs.unpack()) {
+            (Nan, _) | (_, Nan) => Self::NAN,
+            (Inf(_), Zero(_)) | (Zero(_), Inf(_)) => Self::NAN,
+            (Inf(_), _) | (_, Inf(_)) => {
+                if sign {
+                    Self::NEG_INFINITY
+                } else {
+                    Self::INFINITY
+                }
+            }
+            (Zero(_), _) | (_, Zero(_)) => {
+                if sign {
+                    Self::NEG_ZERO
+                } else {
+                    Self::ZERO
+                }
+            }
+            (
+                Finite {
+                    exp: ea, sig: siga, ..
+                },
+                Finite {
+                    exp: eb, sig: sigb, ..
+                },
+            ) => {
+                // siga, sigb ∈ [2^M, 2^(M+1)); product ∈ [2^2M, 2^(2M+2)).
+                let prod = siga * sigb;
+                // value = prod · 2^(ea + eb − 2M)
+                //       = prod · 2^((ea + eb + 2 − M) − (M + 2)).
+                Self::normalize_round_pack(sign, ea + eb + 2 - M as i32, prod)
+            }
+        }
+    }
+
+    /// Correctly rounded division (round to nearest, ties to even).
+    pub fn div_rne(self, rhs: Self) -> Self {
+        use Unpacked::*;
+        let sign = self.is_sign_negative() ^ rhs.is_sign_negative();
+        match (self.unpack(), rhs.unpack()) {
+            (Nan, _) | (_, Nan) => Self::NAN,
+            (Inf(_), Inf(_)) | (Zero(_), Zero(_)) => Self::NAN,
+            (Inf(_), _) | (_, Zero(_)) => {
+                if sign {
+                    Self::NEG_INFINITY
+                } else {
+                    Self::INFINITY
+                }
+            }
+            (Zero(_), _) | (_, Inf(_)) => {
+                if sign {
+                    Self::NEG_ZERO
+                } else {
+                    Self::ZERO
+                }
+            }
+            (
+                Finite {
+                    exp: ea, sig: siga, ..
+                },
+                Finite {
+                    exp: eb, sig: sigb, ..
+                },
+            ) => {
+                // q = ⌊siga·2^(M+3) / sigb⌋ ∈ (2^(M+2), 2^(M+4));
+                // value = (siga/sigb)·2^(ea−eb) = q·2^(ea−eb−(M+3)) (+rem).
+                let num = siga << (M + 3);
+                let q = num / sigb;
+                let rem = num % sigb;
+                let sig = q | u64::from(rem != 0);
+                // value = sig · 2^((ea − eb − 1) − (M + 2)) when MSB at M+2;
+                // normalize_round_pack fixes up the MSB-at-M+3 case.
+                Self::normalize_round_pack(sign, ea - eb - 1, sig)
+            }
+        }
+    }
+
+    /// Fused multiply-add `a·b + c` with a single rounding, as a hardware
+    /// FMA unit computes it.
+    ///
+    /// The exact product (≤ 2M+2 bits) is aligned against `c` in a wide
+    /// integer accumulator and rounded once — so `fma(a, b, c)` can differ
+    /// from `a*b + c` by the intermediate rounding the latter performs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use softfloat::Fp32;
+    /// let a = Fp32::from_f64(1.0 + 1e-7);
+    /// let b = Fp32::from_f64(1.0 - 1e-7);
+    /// let c = Fp32::from_f64(-1.0);
+    /// // a·b = 1 − 1e−14: the two-op path rounds the product to exactly 1.0
+    /// // and returns +0; the fused path keeps the −1e−14.
+    /// assert_eq!((a * b + c).to_f64(), 0.0);
+    /// assert!(a.mul_add(b, c).to_f64() < 0.0);
+    /// ```
+    pub fn mul_add(self, rhs: Self, addend: Self) -> Self {
+        use Unpacked::*;
+        let prod_sign = self.is_sign_negative() ^ rhs.is_sign_negative();
+        match (self.unpack(), rhs.unpack(), addend.unpack()) {
+            (Nan, ..) | (_, Nan, _) | (_, _, Nan) => Self::NAN,
+            (Inf(_), Zero(_), _) | (Zero(_), Inf(_), _) => Self::NAN,
+            (Inf(_), _, Inf(sc)) | (_, Inf(_), Inf(sc)) => {
+                if prod_sign == sc {
+                    if sc {
+                        Self::NEG_INFINITY
+                    } else {
+                        Self::INFINITY
+                    }
+                } else {
+                    Self::NAN // ∞ − ∞
+                }
+            }
+            (Inf(_), _, _) | (_, Inf(_), _) => {
+                if prod_sign {
+                    Self::NEG_INFINITY
+                } else {
+                    Self::INFINITY
+                }
+            }
+            (_, _, Inf(sc)) => {
+                if sc {
+                    Self::NEG_INFINITY
+                } else {
+                    Self::INFINITY
+                }
+            }
+            (Zero(_), _, _) | (_, Zero(_), _) => {
+                // Product is ±0: result is the addend, except (+0) + (−0)
+                // style interactions which follow the add rules.
+                match addend.unpack() {
+                    Zero(sc) => {
+                        if prod_sign && sc {
+                            Self::NEG_ZERO
+                        } else {
+                            Self::ZERO
+                        }
+                    }
+                    _ => addend,
+                }
+            }
+            (
+                Finite {
+                    exp: ea, sig: siga, ..
+                },
+                Finite {
+                    exp: eb, sig: sigb, ..
+                },
+                Zero(_),
+            ) => {
+                let prod = siga * sigb;
+                Self::normalize_round_pack(prod_sign, ea + eb + 2 - M as i32, prod)
+            }
+            (
+                Finite {
+                    exp: ea, sig: siga, ..
+                },
+                Finite {
+                    exp: eb, sig: sigb, ..
+                },
+                Finite {
+                    sign: sc,
+                    exp: ec,
+                    sig: sigc,
+                },
+            ) => {
+                // Exact product in u128 (≤ 2M+2 ≤ 48 bits), then align the
+                // product and the addend to a common power-of-two unit.
+                // value(prod) = prod · 2^(pu), value(c) = sigc · 2^(cu).
+                let mut mag_p = (siga as u128) * (sigb as u128);
+                let mut unit_p = ea + eb - 2 * M as i32;
+                let mut mag_c = sigc as u128;
+                let mut unit_c = ec - M as i32;
+                // Either operand is at most 48 bits wide, so 72 bits of
+                // left-shift headroom fully separates them; beyond that the
+                // lower operand degenerates to a sticky bit.
+                const MAX_SHIFT: i32 = 72;
+                if unit_p > unit_c {
+                    let diff = unit_p - unit_c;
+                    if diff > MAX_SHIFT {
+                        // The addend sits entirely below the shifted
+                        // product's guard range: keep it as a sticky bit at
+                        // the product's new unit.
+                        mag_p <<= MAX_SHIFT as u32;
+                        unit_p -= MAX_SHIFT;
+                        mag_c = u128::from(mag_c != 0);
+                        unit_c = unit_p;
+                    } else {
+                        mag_p <<= diff as u32;
+                        unit_p = unit_c;
+                    }
+                } else if unit_c > unit_p {
+                    let diff = unit_c - unit_p;
+                    if diff > MAX_SHIFT {
+                        mag_c <<= MAX_SHIFT as u32;
+                        unit_c -= MAX_SHIFT;
+                        mag_p = u128::from(mag_p != 0);
+                        unit_p = unit_c;
+                    } else {
+                        mag_c <<= diff as u32;
+                        unit_c = unit_p;
+                    }
+                }
+                debug_assert_eq!(unit_p, unit_c);
+                let unit = unit_p;
+                let (sign, mag) = if prod_sign == sc {
+                    (prod_sign, mag_p + mag_c)
+                } else if mag_p >= mag_c {
+                    (prod_sign, mag_p - mag_c)
+                } else {
+                    (sc, mag_c - mag_p)
+                };
+                if mag == 0 {
+                    return Self::ZERO; // exact cancellation → +0 (RNE)
+                }
+                // Reduce the u128 magnitude to ≤ 61 bits with sticky, then
+                // hand off to the shared normalize/round path.
+                let msb = 127 - mag.leading_zeros();
+                let (sig64, adj) = if msb > 60 {
+                    let down = msb - 60;
+                    let lost = mag & ((1u128 << down) - 1);
+                    (((mag >> down) as u64) | u64::from(lost != 0), down as i32)
+                } else {
+                    (mag as u64, 0)
+                };
+                // value = sig64 · 2^(unit + adj) = sig64 · 2^(exp − (M+2)).
+                Self::normalize_round_pack(sign, unit + adj + M as i32 + 2, sig64)
+            }
+        }
+    }
+
+    /// Exact multiplication by `2^k` (like C's `ldexp`).
+    ///
+    /// Only rounds when the result enters the subnormal range; overflows
+    /// saturate to ±∞, underflows flush through the subnormal grid to ±0.
+    /// NaN and ±∞ pass through unchanged. This is the primitive behind the
+    /// paper's Eq. (10): `λ = 0.345 · 2^(−(E(m) − bias))` is a stored
+    /// constant with its exponent field adjusted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use softfloat::Fp32;
+    /// let x = Fp32::from_f64(0.345);
+    /// assert_eq!(x.scale_by_pow2(3).to_f64(), 0.345f32 as f64 * 8.0);
+    /// assert!(Fp32::MAX.scale_by_pow2(1).is_infinite());
+    /// ```
+    pub fn scale_by_pow2(self, k: i32) -> Self {
+        match self.unpack() {
+            Unpacked::Nan => Self::NAN,
+            Unpacked::Inf(_) | Unpacked::Zero(_) => self,
+            Unpacked::Finite { sign, exp, sig } => {
+                // Clamp the exponent shift so i32 arithmetic cannot wrap;
+                // anything beyond ±2·(range) saturates identically.
+                let k = k.clamp(-(1 << 24), 1 << 24);
+                Self::round_pack(sign, exp + k, sig << 2)
+            }
+        }
+    }
+
+    /// Correctly rounded square root (round to nearest, ties to even).
+    ///
+    /// `sqrt(−0) = −0`; any other negative input yields NaN.
+    pub fn sqrt(self) -> Self {
+        use Unpacked::*;
+        match self.unpack() {
+            Nan => Self::NAN,
+            Inf(false) => Self::INFINITY,
+            Inf(true) => Self::NAN,
+            Zero(s) => {
+                if s {
+                    Self::NEG_ZERO
+                } else {
+                    Self::ZERO
+                }
+            }
+            Finite { sign: true, .. } => Self::NAN,
+            Finite {
+                sign: false,
+                exp,
+                sig,
+            } => {
+                // value = sig · 2^(exp − M). Absorb the exponent parity into
+                // the radicand so the square root's exponent is integral:
+                // A = sig << (M + 4 + p) with p ≡ exp (mod 2), then
+                // r = isqrt(A) has its MSB at bit M+2 and
+                // value = r² · 2^(exp − p − 2(M+2) … ) ⇒ r_exp = (exp − p)/2.
+                let p = exp.rem_euclid(2) as u32;
+                let a = sig << (M + 4 + p);
+                let (root, rem) = isqrt_u64(a);
+                let sig_r = root | u64::from(rem != 0);
+                let r_exp = (exp - p as i32) / 2;
+                Self::round_pack(false, r_exp, sig_r)
+            }
+        }
+    }
+}
+
+/// Finite + finite with round-to-nearest-even.
+fn add_finite<const E: u32, const M: u32>(
+    mut sa: bool,
+    mut ea: i32,
+    mut siga: u64,
+    mut sb: bool,
+    mut eb: i32,
+    mut sigb: u64,
+) -> Sf<E, M> {
+    // Ensure |a| ≥ |b| so the result sign is a's and the alignment shift is
+    // applied to b.
+    if ea < eb || (ea == eb && siga < sigb) {
+        core::mem::swap(&mut sa, &mut sb);
+        core::mem::swap(&mut ea, &mut eb);
+        core::mem::swap(&mut siga, &mut sigb);
+    }
+    // Three guard bits: hidden bit moves from M to M+3.
+    let ext_a = siga << 3;
+    let ext_b = shr_sticky(sigb << 3, (ea - eb) as u32);
+    if sa == sb {
+        // Magnitudes add; MSB lands at bit M+3 or M+4.
+        let sum = ext_a + ext_b;
+        // value = sum · 2^(ea − (M+3)) = sum · 2^((ea − 1) − (M+2)).
+        Sf::normalize_round_pack(sa, ea - 1, sum)
+    } else {
+        // Magnitudes subtract; catastrophic cancellation only occurs when
+        // the alignment shift was ≤ 1, in which case no sticky bits were
+        // lost, so the left renormalization below is exact.
+        let diff = ext_a - ext_b;
+        if diff == 0 {
+            // Exact cancellation: RNE yields +0.
+            return Sf::ZERO;
+        }
+        Sf::normalize_round_pack(sa, ea - 1, diff)
+    }
+}
+
+/// Integer square root with remainder: returns `(⌊√a⌋, a − ⌊√a⌋²)`.
+fn isqrt_u64(a: u64) -> (u64, u64) {
+    if a == 0 {
+        return (0, 0);
+    }
+    // Digit-by-digit (restoring) method, MSB-first.
+    let mut rem: u64 = 0;
+    let mut root: u64 = 0;
+    // Start at the highest even bit position at or above a's MSB.
+    let msb = 63 - a.leading_zeros();
+    let mut shift = msb & !1; // largest even index ≤ msb
+    loop {
+        rem = (rem << 2) | ((a >> shift) & 0b11);
+        root <<= 1;
+        let cand = (root << 1) | 1;
+        if rem >= cand {
+            rem -= cand;
+            root |= 1;
+        }
+        if shift == 0 {
+            break;
+        }
+        shift -= 2;
+    }
+    (root, rem)
+}
+
+impl<const E: u32, const M: u32> Add for Sf<E, M> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        self.add_rne(rhs)
+    }
+}
+
+impl<const E: u32, const M: u32> Sub for Sf<E, M> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self.sub_rne(rhs)
+    }
+}
+
+impl<const E: u32, const M: u32> Mul for Sf<E, M> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        self.mul_rne(rhs)
+    }
+}
+
+impl<const E: u32, const M: u32> Div for Sf<E, M> {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        self.div_rne(rhs)
+    }
+}
+
+impl<const E: u32, const M: u32> Neg for Sf<E, M> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        self.negate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bf16, Fp16, Fp32};
+
+    fn f32_of(x: Fp32) -> f32 {
+        f32::from_bits(x.to_bits())
+    }
+
+    #[test]
+    fn isqrt_small_values() {
+        for a in 0u64..10_000 {
+            let (r, rem) = isqrt_u64(a);
+            assert_eq!(r * r + rem, a);
+            assert!(r * r <= a);
+            assert!((r + 1) * (r + 1) > a);
+        }
+    }
+
+    #[test]
+    fn isqrt_large_values() {
+        for &a in &[
+            u64::MAX >> 12,
+            1 << 52,
+            (1 << 52) - 1,
+            (1 << 52) + 1,
+            0x000F_FFFF_FFFF_FFFF,
+        ] {
+            let (r, rem) = isqrt_u64(a);
+            assert_eq!(r.checked_mul(r).unwrap() + rem, a);
+            assert!((r + 1).checked_mul(r + 1).map(|s| s > a).unwrap_or(true));
+        }
+    }
+
+    #[test]
+    fn add_matches_native_f32_on_simple_cases() {
+        let cases = [
+            (0.1f32, 0.2f32),
+            (1.0, 1e-10),
+            (1.5, -1.5),
+            (3.25, -3.0),
+            (1e30, 1e30),
+            (-1e-40, 1e-41), // subnormal territory
+            (f32::MAX, f32::MAX),
+        ];
+        for (a, b) in cases {
+            let sa = Fp32::from_bits(a.to_bits());
+            let sb = Fp32::from_bits(b.to_bits());
+            assert_eq!(
+                (sa + sb).to_bits(),
+                (a + b).to_bits(),
+                "add mismatch for {a} + {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn mul_matches_native_f32_on_simple_cases() {
+        let cases = [
+            (0.1f32, 0.2f32),
+            (3.0, 1.0 / 3.0),
+            (1e30, 1e30),
+            (1e-30, 1e-30),
+            (f32::MIN_POSITIVE, 0.5),
+            (-7.25, 0.125),
+        ];
+        for (a, b) in cases {
+            let sa = Fp32::from_bits(a.to_bits());
+            let sb = Fp32::from_bits(b.to_bits());
+            assert_eq!(
+                (sa * sb).to_bits(),
+                (a * b).to_bits(),
+                "mul mismatch for {a} * {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn div_matches_native_f32_on_simple_cases() {
+        let cases = [
+            (1.0f32, 3.0f32),
+            (2.0, 7.0),
+            (1e-30, 1e30),
+            (f32::MAX, 0.5),
+            (-1.0, 0.1),
+        ];
+        for (a, b) in cases {
+            let sa = Fp32::from_bits(a.to_bits());
+            let sb = Fp32::from_bits(b.to_bits());
+            assert_eq!(
+                (sa / sb).to_bits(),
+                (a / b).to_bits(),
+                "div mismatch for {a} / {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_matches_native_f32_on_simple_cases() {
+        for &a in &[2.0f32, 3.0, 0.5, 1e-38, 1e-41, 1e38, 152.0, 0.0225] {
+            let sa = Fp32::from_bits(a.to_bits());
+            assert_eq!(
+                sa.sqrt().to_bits(),
+                a.sqrt().to_bits(),
+                "sqrt mismatch for {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn special_value_arithmetic() {
+        let inf = Fp32::INFINITY;
+        let nan = Fp32::NAN;
+        let one = Fp32::ONE;
+        let zero = Fp32::ZERO;
+
+        assert!((inf + inf.negate()).is_nan());
+        assert!((inf - inf).is_nan());
+        assert_eq!((inf + one).to_bits(), inf.to_bits());
+        assert!((nan + one).is_nan());
+        assert!((inf * zero).is_nan());
+        assert!((zero / zero).is_nan());
+        assert!((inf / inf).is_nan());
+        assert_eq!((one / zero).to_bits(), inf.to_bits());
+        assert!((one.negate() / zero).is_infinite());
+        assert!((one.negate() / zero).is_sign_negative());
+        assert_eq!((one / inf).to_bits(), zero.to_bits());
+        assert!(one.negate().sqrt().is_nan());
+        assert_eq!(Fp32::NEG_ZERO.sqrt().to_bits(), Fp32::NEG_ZERO.to_bits());
+        assert_eq!(inf.sqrt().to_bits(), inf.to_bits());
+    }
+
+    #[test]
+    fn signed_zero_rules() {
+        let pz = Fp32::ZERO;
+        let nz = Fp32::NEG_ZERO;
+        assert_eq!((nz + nz).to_bits(), nz.to_bits());
+        assert_eq!((pz + nz).to_bits(), pz.to_bits());
+        assert_eq!((nz + pz).to_bits(), pz.to_bits());
+        // x − x = +0 under RNE.
+        let x = Fp32::from_f64(5.5);
+        assert_eq!((x - x).to_bits(), pz.to_bits());
+        // Signs multiply through zero.
+        assert!((nz * Fp32::ONE).is_sign_negative());
+        assert!(!(nz * nz.negate()).is_sign_negative() || (nz * nz.negate()).is_zero());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let max = Fp16::MAX;
+        assert!((max + max).is_infinite());
+        assert!((max * max).is_infinite());
+        assert!((max.negate() * max).is_sign_negative());
+    }
+
+    #[test]
+    fn subnormal_arithmetic_round_trips() {
+        // Adding the smallest subnormal to itself doubles it exactly.
+        let tiny = Fp16::MIN_SUBNORMAL;
+        let two_tiny = tiny + tiny;
+        assert_eq!(two_tiny.to_bits(), 2);
+        // Multiplying the smallest normal by 0.5 produces a subnormal.
+        let half_min = Fp16::MIN_POSITIVE * Fp16::from_f64(0.5);
+        assert!(half_min.is_subnormal());
+    }
+
+    #[test]
+    fn bf16_coarse_rounding() {
+        // BF16 has 7 mantissa bits, so the grid spacing at 256 is 2.
+        // 256 + 1 = 257 ties between 256 and 258 → even mantissa wins: 256.
+        // 256 + 3 = 259 ties between 258 and 260 → even mantissa wins: 260.
+        let a = Bf16::from_f64(256.0);
+        let b = Bf16::from_f64(1.0);
+        assert_eq!((a + b).to_f64(), 256.0);
+        let c = Bf16::from_f64(3.0);
+        assert_eq!((a + c).to_f64(), 260.0);
+        // 256 + 2 is exactly on the grid.
+        let d = Bf16::from_f64(2.0);
+        assert_eq!((a + d).to_f64(), 258.0);
+    }
+
+    #[test]
+    fn operators_delegate_to_named_methods() {
+        let a = Fp32::from_f64(1.25);
+        let b = Fp32::from_f64(-0.5);
+        assert_eq!((a + b).to_bits(), a.add_rne(b).to_bits());
+        assert_eq!((a - b).to_bits(), a.sub_rne(b).to_bits());
+        assert_eq!((a * b).to_bits(), a.mul_rne(b).to_bits());
+        assert_eq!((a / b).to_bits(), a.div_rne(b).to_bits());
+        assert_eq!((-a).to_bits(), a.negate().to_bits());
+        assert_eq!(f32_of(-a), -1.25);
+    }
+}

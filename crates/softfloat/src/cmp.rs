@@ -1,0 +1,142 @@
+//! IEEE 754 comparison semantics for [`Sf`].
+
+use core::cmp::Ordering;
+
+use crate::sf::Sf;
+
+impl<const E: u32, const M: u32> PartialEq for Sf<E, M> {
+    /// IEEE equality: `−0 == +0`, and NaN compares unequal to everything
+    /// including itself. Use [`Sf::to_bits`] for bit-pattern identity.
+    fn eq(&self, other: &Self) -> bool {
+        if self.is_nan() || other.is_nan() {
+            return false;
+        }
+        if self.is_zero() && other.is_zero() {
+            return true;
+        }
+        self.0 == other.0
+    }
+}
+
+impl<const E: u32, const M: u32> PartialOrd for Sf<E, M> {
+    /// IEEE ordering: NaN is unordered (`None`); zeros of either sign are
+    /// equal; otherwise sign-magnitude ordering.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        if self.is_zero() && other.is_zero() {
+            return Some(Ordering::Equal);
+        }
+        Some(self.to_ordered_bits().cmp(&other.to_ordered_bits()))
+    }
+}
+
+impl<const E: u32, const M: u32> Sf<E, M> {
+    /// IEEE 754 `minNum`: the smaller operand; if exactly one operand is
+    /// NaN, the other is returned.
+    pub fn min(self, other: Self) -> Self {
+        match (self.is_nan(), other.is_nan()) {
+            (true, true) => Self::NAN,
+            (true, false) => other,
+            (false, true) => self,
+            (false, false) => {
+                if self <= other {
+                    self
+                } else {
+                    other
+                }
+            }
+        }
+    }
+
+    /// IEEE 754 `maxNum`: the larger operand; if exactly one operand is
+    /// NaN, the other is returned.
+    pub fn max(self, other: Self) -> Self {
+        match (self.is_nan(), other.is_nan()) {
+            (true, true) => Self::NAN,
+            (true, false) => other,
+            (false, true) => self,
+            (false, false) => {
+                if self >= other {
+                    self
+                } else {
+                    other
+                }
+            }
+        }
+    }
+
+    /// Total order on bit patterns (IEEE 754 `totalOrder`): orders NaNs and
+    /// distinguishes −0 < +0. Useful for sorting test corpora.
+    pub fn total_cmp(&self, other: &Self) -> Ordering {
+        fn key<const E: u32, const M: u32>(x: &Sf<E, M>) -> i64 {
+            let b = x.0 as i64;
+            if b & (Sf::<E, M>::SIGN_MASK as i64) != 0 {
+                !b // negative range reversed
+            } else {
+                b | (Sf::<E, M>::SIGN_MASK as i64) << 1
+            }
+        }
+        key(self).cmp(&key(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Fp32;
+
+    #[test]
+    fn ieee_equality_semantics() {
+        assert_eq!(Fp32::ZERO, Fp32::NEG_ZERO);
+        assert_ne!(Fp32::NAN, Fp32::NAN);
+        assert_eq!(Fp32::ONE, Fp32::ONE);
+        assert_ne!(Fp32::ONE, Fp32::ONE.negate());
+    }
+
+    #[test]
+    fn ordering_matches_value_order() {
+        let vals = [-1e30, -2.0, -1.0, -1e-40, 0.0, 1e-40, 0.5, 1.0, 1e30];
+        for (i, &a) in vals.iter().enumerate() {
+            for (j, &b) in vals.iter().enumerate() {
+                let sa = Fp32::from_f64(a);
+                let sb = Fp32::from_f64(b);
+                assert_eq!(
+                    sa.partial_cmp(&sb),
+                    i.partial_cmp(&j),
+                    "ordering mismatch for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    // The point of this test *is* the operator behaviour on unordered
+    // values, so the negated-comparison lint does not apply.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn nan_is_unordered() {
+        assert_eq!(Fp32::NAN.partial_cmp(&Fp32::ONE), None);
+        assert_eq!(Fp32::ONE.partial_cmp(&Fp32::NAN), None);
+        assert!(!(Fp32::NAN < Fp32::ONE));
+        assert!(!(Fp32::NAN >= Fp32::ONE));
+    }
+
+    #[test]
+    fn min_max_skip_single_nan() {
+        assert_eq!(Fp32::NAN.min(Fp32::ONE).to_bits(), Fp32::ONE.to_bits());
+        assert_eq!(Fp32::ONE.max(Fp32::NAN).to_bits(), Fp32::ONE.to_bits());
+        assert!(Fp32::NAN.min(Fp32::NAN).is_nan());
+        let a = Fp32::from_f64(-3.0);
+        let b = Fp32::from_f64(2.0);
+        assert_eq!(a.min(b).to_f64(), -3.0);
+        assert_eq!(a.max(b).to_f64(), 2.0);
+    }
+
+    #[test]
+    fn total_cmp_orders_zeros_and_nans() {
+        use core::cmp::Ordering::*;
+        assert_eq!(Fp32::NEG_ZERO.total_cmp(&Fp32::ZERO), Less);
+        assert_eq!(Fp32::NAN.total_cmp(&Fp32::INFINITY), Greater);
+        assert_eq!(Fp32::NEG_INFINITY.total_cmp(&Fp32::from_f64(-1e30)), Less);
+    }
+}

@@ -1,0 +1,194 @@
+//! Conversions between [`Sf`] formats and host `f64`/`f32`.
+
+use crate::round::shr_sticky;
+use crate::sf::{Sf, Unpacked};
+
+impl<const E: u32, const M: u32> Sf<E, M> {
+    /// Round an `f64` into this format (round to nearest, ties to even).
+    ///
+    /// Because `f64` carries at least 29 more significand bits and a wider
+    /// exponent range than any supported format, rounding once from the
+    /// `f64` value is the correctly rounded conversion.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use softfloat::Bf16;
+    /// // 1.0039… is one BF16 ulp above 1; 1.002 rounds down to 1.0.
+    /// assert_eq!(Bf16::from_f64(1.002).to_f64(), 1.0);
+    /// assert_eq!(Bf16::from_f64(1.006).to_f64(), 1.0078125);
+    /// ```
+    pub fn from_f64(x: f64) -> Self {
+        let bits = x.to_bits();
+        let sign = bits >> 63 != 0;
+        let exp_field = ((bits >> 52) & 0x7FF) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        if exp_field == 0x7FF {
+            return if frac != 0 {
+                Self::NAN
+            } else if sign {
+                Self::NEG_INFINITY
+            } else {
+                Self::INFINITY
+            };
+        }
+        if exp_field == 0 && frac == 0 {
+            return if sign { Self::NEG_ZERO } else { Self::ZERO };
+        }
+        // Normalize (f64 subnormals have exp_field 0 and no hidden bit).
+        let (mut exp, mut sig) = if exp_field == 0 {
+            (-1022i32, frac)
+        } else {
+            (exp_field - 1023, frac | (1 << 52))
+        };
+        let msb = 63 - sig.leading_zeros();
+        if msb < 52 {
+            sig <<= 52 - msb;
+            exp -= (52 - msb) as i32;
+        }
+        // Hidden bit now at 52; move it to M+2 with sticky preservation.
+        let shifted = shr_sticky(sig, 52 - (M + 2));
+        Self::round_pack(sign, exp, shifted)
+    }
+
+    /// Exact widening conversion to `f64`.
+    ///
+    /// Always lossless: every supported format has at most 24 significand
+    /// bits and its exponent range fits inside `f64`'s normal range.
+    pub fn to_f64(self) -> f64 {
+        match self.unpack() {
+            Unpacked::Nan => f64::NAN,
+            Unpacked::Inf(s) => {
+                if s {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Unpacked::Zero(s) => {
+                if s {
+                    -0.0
+                } else {
+                    0.0
+                }
+            }
+            Unpacked::Finite { sign, exp, sig } => {
+                // sig has its hidden bit at M; re-home it at f64's bit 52.
+                let frac = (sig << (52 - M)) & ((1u64 << 52) - 1);
+                let exp_field = (exp + 1023) as u64; // always in (0, 2047)
+                let bits = (u64::from(sign) << 63) | (exp_field << 52) | frac;
+                f64::from_bits(bits)
+            }
+        }
+    }
+}
+
+impl Sf<8, 23> {
+    /// Reinterpret a host `f32` bit pattern (exact, bit-identical).
+    pub fn from_f32(x: f32) -> Self {
+        Self::from_bits(x.to_bits())
+    }
+
+    /// Reinterpret as a host `f32` (exact, bit-identical).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(self.to_bits())
+    }
+}
+
+impl<const E: u32, const M: u32> From<f64> for Sf<E, M> {
+    fn from(x: f64) -> Self {
+        Self::from_f64(x)
+    }
+}
+
+impl From<f32> for Sf<8, 23> {
+    fn from(x: f32) -> Self {
+        Self::from_f32(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Bf16, Fp16, Fp32};
+
+    #[test]
+    fn fp32_from_f64_matches_native_cast() {
+        let cases = [
+            0.0,
+            -0.0,
+            1.0,
+            0.1,
+            1.0 / 3.0,
+            core::f64::consts::PI,
+            1e-45,
+            1e-40,
+            3.4e38,
+            3.5e38, // overflows f32
+            -7.25,
+            6.1e-5,
+        ];
+        for &x in &cases {
+            let ours = Fp32::from_f64(x).to_bits();
+            let native = (x as f32).to_bits();
+            assert_eq!(ours, native, "from_f64 mismatch for {x}");
+        }
+    }
+
+    #[test]
+    fn fp32_to_f64_matches_native_widening() {
+        for &x in &[0.1f32, 1.5, -2.75e-40, f32::MIN_POSITIVE, f32::MAX] {
+            let ours = Fp32::from_bits(x.to_bits()).to_f64();
+            assert_eq!(ours.to_bits(), (x as f64).to_bits());
+        }
+    }
+
+    #[test]
+    fn specials_round_trip() {
+        assert!(Fp16::from_f64(f64::NAN).is_nan());
+        assert!(Fp16::from_f64(f64::INFINITY).is_infinite());
+        assert!(Fp16::from_f64(f64::NEG_INFINITY).is_sign_negative());
+        assert!(Fp16::from_f64(1e10).is_infinite()); // overflow fp16
+        assert!(Fp32::NAN.to_f64().is_nan());
+        assert_eq!(Fp32::INFINITY.to_f64(), f64::INFINITY);
+        assert_eq!(Bf16::NEG_ZERO.to_f64().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn fp16_known_values() {
+        assert_eq!(Fp16::from_f64(1.0).to_bits(), 0x3C00);
+        assert_eq!(Fp16::from_f64(-2.0).to_bits(), 0xC000);
+        assert_eq!(Fp16::from_f64(65504.0).to_bits(), 0x7BFF); // fp16 max
+        assert!(Fp16::from_f64(65520.0).is_infinite()); // rounds past max
+        assert_eq!(Fp16::from_f64(5.960464477539063e-8).to_bits(), 0x0001); // min subnormal
+    }
+
+    #[test]
+    fn bf16_is_truncated_rounded_f32() {
+        // BF16(x) should equal rounding the f32 to 8-bit mantissa with RNE,
+        // except exactly at bf16 tie boundaries where the two-step path
+        // double-rounds; skip those (none of the sampled values hit one).
+        for &x in &[1.0f64, 0.1, 3.14159, 1e20, 1e-20, -123.456] {
+            let f = x as f32;
+            let fb = f.to_bits();
+            if fb & 0xFFFF == 0x8000 {
+                continue; // tie boundary: two-step rounding is ambiguous
+            }
+            let b = Bf16::from_f64(x);
+            let lsb = (fb >> 16) & 1;
+            let rounded = (fb + 0x7FFF + lsb) >> 16;
+            assert_eq!(b.to_bits(), rounded, "bf16 mismatch for {x}");
+        }
+    }
+
+    #[test]
+    fn round_trip_through_f64_is_identity() {
+        // Every finite value must survive to_f64 → from_f64 unchanged.
+        for bits in (0..=0xFFFFu32).step_by(7) {
+            let v = Fp16::from_bits(bits);
+            if v.is_nan() {
+                continue;
+            }
+            assert_eq!(Fp16::from_f64(v.to_f64()).to_bits(), v.to_bits());
+        }
+    }
+}

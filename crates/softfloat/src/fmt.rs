@@ -1,0 +1,59 @@
+//! `Debug` and `Display` implementations for [`Sf`].
+
+use core::fmt;
+
+use crate::sf::Sf;
+
+impl<const E: u32, const M: u32> fmt::Debug for Sf<E, M> {
+    /// Shows the format name, the decimal value and the raw bit pattern,
+    /// e.g. `FP16(1.5; 0x3e00)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = (Self::BITS as usize).div_ceil(4);
+        write!(
+            f,
+            "{}({}; {:#0pad$x})",
+            Self::NAME,
+            self.to_f64(),
+            self.0,
+            pad = width + 2
+        )
+    }
+}
+
+impl<const E: u32, const M: u32> fmt::Display for Sf<E, M> {
+    /// Displays the exact decimal value (via the lossless `f64` widening).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+impl<const E: u32, const M: u32> Default for Sf<E, M> {
+    /// Positive zero, matching `f32`/`f64`.
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Fp16, Fp32};
+
+    #[test]
+    fn debug_is_never_empty_and_names_format() {
+        let s = format!("{:?}", Fp16::from_f64(1.5));
+        assert!(s.contains("FP16"));
+        assert!(s.contains("1.5"));
+        assert!(s.contains("0x3e00"));
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(format!("{}", Fp32::from_f64(0.25)), "0.25");
+        assert_eq!(format!("{}", Fp32::NEG_INFINITY), "-inf");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert!(Fp32::default().is_zero());
+    }
+}

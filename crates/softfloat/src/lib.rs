@@ -1,0 +1,234 @@
+//! Bit-accurate software IEEE-754 floating point for hardware modelling.
+//!
+//! The IterL2Norm paper evaluates its normalization algorithm in three
+//! floating-point formats (FP32, FP16, BFloat16) and exploits *bit-level*
+//! structure — the exponent field of `m = ‖y‖²` seeds the iteration, and the
+//! update rate is built by exponent arithmetic on a stored constant. Host
+//! `f32` covers only one of the three formats and hides exactly the bit-level
+//! behaviour the paper relies on, so this crate implements the formats in
+//! software, down to round-to-nearest-even, subnormals, infinities and NaN.
+//!
+//! The central type is [`Sf<E, M>`](Sf), a binary floating-point number with
+//! `E` exponent bits and `M` mantissa bits (plus a sign bit), stored in the
+//! low `1 + E + M` bits of a `u32`. Three aliases cover the paper's formats:
+//!
+//! * [`Fp32`] = `Sf<8, 23>` — IEEE binary32,
+//! * [`Fp16`] = `Sf<5, 10>` — IEEE binary16,
+//! * [`Bf16`] = `Sf<8, 7>` — bfloat16.
+//!
+//! All arithmetic ([`Add`](core::ops::Add), [`Sub`](core::ops::Sub),
+//! [`Mul`](core::ops::Mul), [`Div`](core::ops::Div), [`Sf::sqrt`]) is
+//! correctly rounded to nearest-even, matching what a synthesized FP operator
+//! (or an x86 SSE unit, for FP32) produces.
+//!
+//! # Examples
+//!
+//! ```
+//! use softfloat::{Bf16, Float, Fp32};
+//!
+//! // 0.1 + 0.2 in FP32, exactly as hardware computes it.
+//! let x = Fp32::from_f64(0.1) + Fp32::from_f64(0.2);
+//! assert_eq!(x.to_f64(), (0.1f32 + 0.2f32) as f64);
+//!
+//! // The same sum in bfloat16 is much coarser.
+//! let y = Bf16::from_f64(0.1) + Bf16::from_f64(0.2);
+//! assert!((y.to_f64() - 0.3).abs() > 1e-4);
+//!
+//! // Bit-field access used by the IterL2Norm initialization trick.
+//! let m = Fp32::from_f64(12.5);
+//! assert_eq!(m.exponent_field() as i32 - Fp32::BIAS, 3); // 12.5 = 1.5625 · 2³
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arith;
+mod cmp;
+mod convert;
+mod fmt;
+mod round;
+mod sf;
+
+pub use sf::{Class, Sf};
+
+/// IEEE binary32: 8 exponent bits, 23 mantissa bits, bias 127.
+pub type Fp32 = Sf<8, 23>;
+/// IEEE binary16: 5 exponent bits, 10 mantissa bits, bias 15.
+pub type Fp16 = Sf<5, 10>;
+/// bfloat16: 8 exponent bits, 7 mantissa bits, bias 127 (truncated binary32).
+pub type Bf16 = Sf<8, 7>;
+
+/// A software floating-point format usable by format-generic algorithms.
+///
+/// Implemented once for every [`Sf<E, M>`](Sf) instantiation; algorithm code
+/// (the IterL2Norm iteration, FISR, the macro simulator) is written against
+/// this trait so that a single implementation serves FP32, FP16 and BFloat16
+/// — the genericity the paper claims over "various FP formats".
+///
+/// # Examples
+///
+/// ```
+/// use softfloat::{Float, Fp16};
+///
+/// fn square<F: Float>(x: F) -> F {
+///     x * x
+/// }
+/// assert_eq!(square(Fp16::from_f64(3.0)).to_f64(), 9.0);
+/// ```
+pub trait Float:
+    Copy
+    + Clone
+    + PartialEq
+    + PartialOrd
+    + core::fmt::Debug
+    + core::fmt::Display
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + core::ops::Div<Output = Self>
+    + core::ops::Neg<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Number of exponent bits.
+    const EXP_BITS: u32;
+    /// Number of explicit mantissa bits.
+    const MANT_BITS: u32;
+    /// Exponent bias (e.g. 127 for FP32/BFloat16, 15 for FP16).
+    const BIAS: i32;
+    /// Total storage width in bits (`1 + EXP_BITS + MANT_BITS`).
+    const BITS: u32;
+    /// Short human-readable format name (`"FP32"`, `"FP16"`, `"BF16"`).
+    const NAME: &'static str;
+
+    /// Positive zero.
+    fn zero() -> Self;
+    /// The value 1.
+    fn one() -> Self;
+    /// Round an `f64` into this format (round to nearest, ties to even).
+    fn from_f64(x: f64) -> Self;
+    /// Exact widening conversion to `f64` (always lossless for ≤32-bit formats).
+    fn to_f64(self) -> f64;
+    /// Raw bit pattern in the low [`Float::BITS`] bits.
+    fn to_bits(self) -> u32;
+    /// Reconstruct from a raw bit pattern (high bits ignored).
+    fn from_bits(bits: u32) -> Self;
+    /// The biased exponent field (0 = zero/subnormal, all-ones = inf/NaN).
+    fn exponent_field(self) -> u32;
+    /// Assemble a value from sign, biased exponent field and mantissa field.
+    fn from_fields(sign: bool, exp_field: u32, mantissa: u32) -> Self;
+    /// Exact multiplication by 2^k (ldexp); rounds only on subnormal entry,
+    /// saturates to ±∞ on overflow.
+    fn scale_by_pow2(self, k: i32) -> Self;
+    /// Correctly rounded square root.
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add `self·b + c` with a single rounding.
+    fn mul_add(self, b: Self, c: Self) -> Self;
+    /// `true` for NaN.
+    fn is_nan(self) -> bool;
+    /// `true` for ±∞.
+    fn is_infinite(self) -> bool;
+    /// `true` for ±0.
+    fn is_zero(self) -> bool;
+    /// `true` when neither NaN nor infinite.
+    fn is_finite(self) -> bool;
+    /// Sign bit (also `true` for −0 and negative NaN payloads).
+    fn is_sign_negative(self) -> bool;
+    /// Absolute value (clears the sign bit; bit-level operation).
+    fn abs(self) -> Self;
+}
+
+impl<const E: u32, const M: u32> Float for Sf<E, M> {
+    const EXP_BITS: u32 = E;
+    const MANT_BITS: u32 = M;
+    const BIAS: i32 = Sf::<E, M>::BIAS;
+    const BITS: u32 = Sf::<E, M>::BITS;
+    const NAME: &'static str = Sf::<E, M>::NAME;
+
+    fn zero() -> Self {
+        Sf::ZERO
+    }
+    fn one() -> Self {
+        Sf::ONE
+    }
+    fn from_f64(x: f64) -> Self {
+        Sf::from_f64(x)
+    }
+    fn to_f64(self) -> f64 {
+        Sf::to_f64(self)
+    }
+    fn to_bits(self) -> u32 {
+        Sf::to_bits(self)
+    }
+    fn from_bits(bits: u32) -> Self {
+        Sf::from_bits(bits)
+    }
+    fn exponent_field(self) -> u32 {
+        Sf::exponent_field(self)
+    }
+    fn from_fields(sign: bool, exp_field: u32, mantissa: u32) -> Self {
+        Sf::from_fields(sign, exp_field, mantissa)
+    }
+    fn scale_by_pow2(self, k: i32) -> Self {
+        Sf::scale_by_pow2(self, k)
+    }
+    fn sqrt(self) -> Self {
+        Sf::sqrt(self)
+    }
+    fn mul_add(self, b: Self, c: Self) -> Self {
+        Sf::mul_add(self, b, c)
+    }
+    fn is_nan(self) -> bool {
+        Sf::is_nan(self)
+    }
+    fn is_infinite(self) -> bool {
+        Sf::is_infinite(self)
+    }
+    fn is_zero(self) -> bool {
+        Sf::is_zero(self)
+    }
+    fn is_finite(self) -> bool {
+        Sf::is_finite(self)
+    }
+    fn is_sign_negative(self) -> bool {
+        Sf::is_sign_negative(self)
+    }
+    fn abs(self) -> Self {
+        Sf::abs(self)
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn formats_are_send_sync() {
+        assert_send_sync::<Fp32>();
+        assert_send_sync::<Fp16>();
+        assert_send_sync::<Bf16>();
+    }
+
+    #[test]
+    fn trait_constants_match_formats() {
+        assert_eq!(<Fp32 as Float>::BIAS, 127);
+        assert_eq!(<Fp16 as Float>::BIAS, 15);
+        assert_eq!(<Bf16 as Float>::BIAS, 127);
+        assert_eq!(<Fp32 as Float>::BITS, 32);
+        assert_eq!(<Fp16 as Float>::BITS, 16);
+        assert_eq!(<Bf16 as Float>::BITS, 16);
+    }
+
+    #[test]
+    fn generic_square_works_for_all_formats() {
+        fn square<F: Float>(v: f64) -> f64 {
+            (F::from_f64(v) * F::from_f64(v)).to_f64()
+        }
+        assert_eq!(square::<Fp32>(3.0), 9.0);
+        assert_eq!(square::<Fp16>(3.0), 9.0);
+        assert_eq!(square::<Bf16>(3.0), 9.0);
+    }
+}

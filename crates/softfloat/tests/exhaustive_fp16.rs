@@ -1,0 +1,177 @@
+//! Exhaustive and near-exhaustive verification of the FP16 instantiation.
+//!
+//! FP16 has only 65,536 bit patterns, so single-operand behaviour can be
+//! verified for *every* value, and two-operand behaviour for a dense
+//! stratified subset, against exact oracles:
+//!
+//! * add/mul: computing in `f64` is exact (11-bit significands; products
+//!   need 22 bits, aligned sums stay within 53 bits), so rounding the `f64`
+//!   result once to FP16 is the correctly rounded answer by construction.
+//! * sqrt: the half-ulp bracket `(r − u/2)² ≤ x ≤ (r + u/2)²` is exactly
+//!   representable in `f64` (12-bit endpoints square to ≤24 bits), giving an
+//!   exact correctness certificate without trusting any rounded sqrt.
+
+use softfloat::{Fp16, Sf};
+
+fn all_finite_fp16() -> impl Iterator<Item = Fp16> {
+    (0u32..=0xFFFF)
+        .map(Fp16::from_bits)
+        .filter(|v| v.is_finite())
+}
+
+#[test]
+fn exhaustive_f64_round_trip() {
+    for bits in 0u32..=0xFFFF {
+        let v = Fp16::from_bits(bits);
+        if v.is_nan() {
+            assert!(Fp16::from_f64(v.to_f64()).is_nan());
+        } else {
+            assert_eq!(
+                Fp16::from_f64(v.to_f64()).to_bits(),
+                bits,
+                "round-trip failed for {bits:#06x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exhaustive_classify_agrees_with_f64_semantics() {
+    for bits in 0u32..=0xFFFF {
+        let v = Fp16::from_bits(bits);
+        let d = v.to_f64();
+        assert_eq!(v.is_nan(), d.is_nan(), "{bits:#06x}");
+        assert_eq!(v.is_infinite(), d.is_infinite(), "{bits:#06x}");
+        assert_eq!(v.is_zero(), d == 0.0 && d.is_finite(), "{bits:#06x}");
+        if !v.is_nan() {
+            assert_eq!(v.is_sign_negative(), d.is_sign_negative(), "{bits:#06x}");
+        }
+    }
+}
+
+#[test]
+fn exhaustive_sqrt_is_correctly_rounded() {
+    for v in all_finite_fp16() {
+        if v.is_sign_negative() {
+            if v.is_zero() {
+                assert_eq!(v.sqrt().to_bits(), v.to_bits()); // sqrt(−0) = −0
+            } else {
+                assert!(v.sqrt().is_nan());
+            }
+            continue;
+        }
+        let r = v.sqrt();
+        let x = v.to_f64();
+        if v.is_zero() {
+            assert!(r.is_zero());
+            continue;
+        }
+        assert!(r.is_finite() && !r.is_sign_negative());
+        // Half-ulp bracket certificate. Predecessor/successor midpoints are
+        // exactly representable in f64, and so are their squares.
+        let rb = r.to_bits();
+        let r_lo_mid = (r.to_f64() + Fp16::from_bits(rb.saturating_sub(1)).to_f64()) / 2.0;
+        let r_hi_mid = (r.to_f64() + Fp16::from_bits(rb + 1).to_f64()) / 2.0;
+        // x must lie within [r_lo_mid², r_hi_mid²]; at an exact boundary the
+        // mantissa must be even (ties-to-even).
+        let lo2 = r_lo_mid * r_lo_mid;
+        let hi2 = r_hi_mid * r_hi_mid;
+        assert!(
+            lo2 <= x && x <= hi2,
+            "sqrt({x}) = {r:?} outside half-ulp bracket [{lo2}, {hi2}]"
+        );
+        if x == lo2 || x == hi2 {
+            assert_eq!(rb & 1, 0, "tie not rounded to even for sqrt({x})");
+        }
+    }
+}
+
+#[test]
+fn stratified_add_matches_exact_f64_oracle() {
+    // A stride-based stratified subset: every 23rd pattern against every
+    // 41st pattern — ~2 million pairs covering all exponent/sign strata.
+    let lhs: Vec<Fp16> = (0u32..=0xFFFF).step_by(23).map(Fp16::from_bits).collect();
+    let rhs: Vec<Fp16> = (0u32..=0xFFFF).step_by(41).map(Fp16::from_bits).collect();
+    for &a in &lhs {
+        for &b in &rhs {
+            let ours = a + b;
+            let exact = a.to_f64() + b.to_f64(); // exact in f64
+            let oracle = Fp16::from_f64(exact);
+            if oracle.is_nan() {
+                assert!(ours.is_nan(), "add({a:?}, {b:?})");
+            } else {
+                assert_eq!(ours.to_bits(), oracle.to_bits(), "add({a:?}, {b:?})");
+            }
+        }
+    }
+}
+
+#[test]
+fn stratified_mul_matches_exact_f64_oracle() {
+    let lhs: Vec<Fp16> = (0u32..=0xFFFF).step_by(29).map(Fp16::from_bits).collect();
+    let rhs: Vec<Fp16> = (0u32..=0xFFFF).step_by(37).map(Fp16::from_bits).collect();
+    for &a in &lhs {
+        for &b in &rhs {
+            let ours = a * b;
+            let exact = a.to_f64() * b.to_f64(); // exact in f64 (22-bit product)
+            let oracle = Fp16::from_f64(exact);
+            if oracle.is_nan() {
+                assert!(ours.is_nan(), "mul({a:?}, {b:?})");
+            } else {
+                assert_eq!(ours.to_bits(), oracle.to_bits(), "mul({a:?}, {b:?})");
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_ordered_bits_monotone_over_all_finite() {
+    // Sort all finite FP16 values by to_ordered_bits and verify the f64
+    // values come out non-decreasing (with −0/+0 mapping to equal keys).
+    let mut values: Vec<Fp16> = all_finite_fp16().collect();
+    values.sort_by_key(|v| v.to_ordered_bits());
+    for w in values.windows(2) {
+        assert!(
+            w[0].to_f64() <= w[1].to_f64(),
+            "ordered-bit sort violated value order: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn exhaustive_toy_format_add_matches_oracle() {
+    // An 8-bit toy format Sf<4, 3> is small enough to check *every* pair:
+    // 256 × 256 = 65,536 additions and multiplications against the exact
+    // f64 oracle (same exactness argument as FP16, with room to spare).
+    type Toy = Sf<4, 3>;
+    for ab in 0u32..=0xFF {
+        let a = Toy::from_bits(ab);
+        for bb in 0u32..=0xFF {
+            let b = Toy::from_bits(bb);
+            let sum = a + b;
+            let prod = a * b;
+            let sum_oracle = Toy::from_f64(a.to_f64() + b.to_f64());
+            let prod_oracle = Toy::from_f64(a.to_f64() * b.to_f64());
+            if sum_oracle.is_nan() {
+                assert!(sum.is_nan(), "toy add({ab:#04x}, {bb:#04x})");
+            } else {
+                assert_eq!(
+                    sum.to_bits(),
+                    sum_oracle.to_bits(),
+                    "toy add({ab:#04x}, {bb:#04x})"
+                );
+            }
+            if prod_oracle.is_nan() {
+                assert!(prod.is_nan(), "toy mul({ab:#04x}, {bb:#04x})");
+            } else {
+                assert_eq!(
+                    prod.to_bits(),
+                    prod_oracle.to_bits(),
+                    "toy mul({ab:#04x}, {bb:#04x})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Fused multiply-add verification: FP32 against the host's correctly
+//! rounded `f32::mul_add`, FP16 against an exact f64 oracle, plus the
+//! fusion-visible cases that separate FMA from multiply-then-add.
+
+use rand::{RngExt, SeedableRng};
+use softfloat::{Fp16, Fp32};
+
+fn check_fp32(a: f32, b: f32, c: f32) {
+    let ours = Fp32::from_bits(a.to_bits())
+        .mul_add(Fp32::from_bits(b.to_bits()), Fp32::from_bits(c.to_bits()));
+    let native = a.mul_add(b, c);
+    if native.is_nan() {
+        assert!(
+            ours.is_nan(),
+            "fma({a:?},{b:?},{c:?}): native NaN, ours {ours:?}"
+        );
+    } else {
+        assert_eq!(
+            ours.to_bits(),
+            native.to_bits(),
+            "fma({a:?} [{:#010x}], {b:?} [{:#010x}], {c:?} [{:#010x}]): native {native:?} [{:#010x}]",
+            a.to_bits(),
+            b.to_bits(),
+            c.to_bits(),
+            native.to_bits()
+        );
+    }
+}
+
+#[test]
+fn random_triples_match_native_fma() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF0A);
+    for _ in 0..200_000 {
+        let a = f32::from_bits(rng.random::<u32>());
+        let b = f32::from_bits(rng.random::<u32>());
+        let c = f32::from_bits(rng.random::<u32>());
+        check_fp32(a, b, c);
+    }
+}
+
+#[test]
+fn cancellation_triples_match_native_fma() {
+    // a·b ≈ −c: the regime where fusion matters most.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF0B);
+    for _ in 0..100_000 {
+        let a = f32::from_bits((rng.random::<u32>() & 0x007F_FFFF) | 0x3F80_0000); // [1, 2)
+        let b = f32::from_bits((rng.random::<u32>() & 0x007F_FFFF) | 0x3F80_0000);
+        let c = -(a * b); // rounds; fma(a, b, c) recovers the residual
+        check_fp32(a, b, c);
+        check_fp32(a, b, -c);
+        check_fp32(a, -b, c);
+    }
+}
+
+#[test]
+fn directed_edge_cases() {
+    let vals = [
+        0.0f32,
+        -0.0,
+        1.0,
+        -1.0,
+        f32::MIN_POSITIVE,
+        f32::from_bits(1),
+        f32::MAX,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+        1.5,
+        -2.5,
+        1e30,
+        1e-30,
+    ];
+    for &a in &vals {
+        for &b in &vals {
+            for &c in &vals {
+                check_fp32(a, b, c);
+            }
+        }
+    }
+}
+
+#[test]
+fn fusion_is_observable() {
+    // (1+ε)(1−ε) = 1 − ε²: the two-op path loses the ε² term.
+    let eps = f32::EPSILON;
+    let a = Fp32::from_f64(1.0 + f64::from(eps));
+    let b = Fp32::from_f64(1.0 - f64::from(eps));
+    let c = Fp32::from_f64(-1.0);
+    let two_op = a * b + c;
+    let fused = a.mul_add(b, c);
+    assert_ne!(two_op.to_bits(), fused.to_bits());
+    assert!(fused.to_f64() < 0.0, "fused must keep the −ε² residual");
+}
+
+#[test]
+fn special_value_rules() {
+    let inf = Fp32::INFINITY;
+    let one = Fp32::ONE;
+    let zero = Fp32::ZERO;
+    assert!(inf.mul_add(zero, one).is_nan()); // ∞·0
+    assert!(inf.mul_add(one, Fp32::NEG_INFINITY).is_nan()); // ∞ − ∞
+    assert_eq!(inf.mul_add(one, inf).to_bits(), inf.to_bits());
+    assert_eq!(one.mul_add(zero, one).to_bits(), one.to_bits());
+    assert!(Fp32::NAN.mul_add(one, one).is_nan());
+    // Product zero, addend zero: sign rules.
+    let nz = Fp32::NEG_ZERO;
+    assert!(!zero.mul_add(one, zero).is_sign_negative());
+    assert!(nz.mul_add(one, nz).is_sign_negative());
+}
+
+#[test]
+fn fp16_fma_matches_exact_oracle() {
+    // FP16 products are exact in f64 and the aligned sum fits in 53 bits
+    // whenever the exponent gap is modest; restrict to normal values in
+    // [2^−8, 2^8] where exactness is guaranteed, making the f64 path an
+    // exact oracle.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF0C);
+    for _ in 0..100_000 {
+        let pick = |rng: &mut rand::rngs::StdRng| {
+            let exp = rng.random_range(7u32..24); // biased field: 2^−8..2^8
+            let mant = rng.random::<u32>() & 0x3FF;
+            let sign = rng.random::<u32>() & 1;
+            Fp16::from_bits((sign << 15) | (exp << 10) | mant)
+        };
+        let a = pick(&mut rng);
+        let b = pick(&mut rng);
+        let c = pick(&mut rng);
+        let exact = a.to_f64() * b.to_f64() + c.to_f64(); // exact in f64
+        let oracle = Fp16::from_f64(exact);
+        let ours = a.mul_add(b, c);
+        assert_eq!(
+            ours.to_bits(),
+            oracle.to_bits(),
+            "fp16 fma({a:?}, {b:?}, {c:?})"
+        );
+    }
+}

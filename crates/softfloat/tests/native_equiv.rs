@@ -1,0 +1,152 @@
+//! FP32 equivalence against the host's IEEE 754 binary32 hardware.
+//!
+//! `Sf<8, 23>` implements exactly the format the host CPU computes in (SSE
+//! on x86-64, correctly rounded, with subnormal support), so every
+//! arithmetic result must be *bit-identical* to native `f32` — the single
+//! strongest oracle available for the arithmetic core. NaN payloads are the
+//! only licensed difference (we canonicalize; hardware propagates payloads).
+
+use rand::{RngExt, SeedableRng};
+use softfloat::Fp32;
+
+fn check_binary(op_name: &str, a: f32, b: f32, ours: Fp32, native: f32) {
+    if native.is_nan() {
+        assert!(
+            ours.is_nan(),
+            "{op_name}({a:?} [{:#010x}], {b:?} [{:#010x}]): native NaN, ours {ours:?}",
+            a.to_bits(),
+            b.to_bits()
+        );
+    } else {
+        assert_eq!(
+            ours.to_bits(),
+            native.to_bits(),
+            "{op_name}({a:?} [{:#010x}], {b:?} [{:#010x}]): native {native:?} [{:#010x}], ours {ours:?}",
+            a.to_bits(),
+            b.to_bits(),
+            native.to_bits()
+        );
+    }
+}
+
+fn check_all_ops(a: f32, b: f32) {
+    let sa = Fp32::from_bits(a.to_bits());
+    let sb = Fp32::from_bits(b.to_bits());
+    check_binary("add", a, b, sa + sb, a + b);
+    check_binary("sub", a, b, sa - sb, a - b);
+    check_binary("mul", a, b, sa * sb, a * b);
+    check_binary("div", a, b, sa / sb, a / b);
+    let sq = sa.sqrt();
+    let nq = a.sqrt();
+    if nq.is_nan() {
+        assert!(sq.is_nan(), "sqrt({a:?}): native NaN, ours {sq:?}");
+    } else {
+        assert_eq!(sq.to_bits(), nq.to_bits(), "sqrt({a:?})");
+    }
+}
+
+#[test]
+fn random_bit_patterns_match_native() {
+    // Fully random u32 bit patterns: exercises NaNs, infinities, subnormals
+    // and wild exponent differences.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED_F00D);
+    for _ in 0..200_000 {
+        let a = f32::from_bits(rng.random::<u32>());
+        let b = f32::from_bits(rng.random::<u32>());
+        check_all_ops(a, b);
+    }
+}
+
+#[test]
+fn nearby_exponent_pairs_match_native() {
+    // Pairs with close exponents stress cancellation and rounding paths
+    // much harder than uniformly random bits do.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xCAFE_2025);
+    for _ in 0..200_000 {
+        let a = f32::from_bits(rng.random::<u32>());
+        // Perturb a's exponent by at most ±2 and randomize the mantissa.
+        let exp = ((a.to_bits() >> 23) & 0xFF) as i32;
+        let de = rng.random_range(-2i32..=2);
+        let eb = (exp + de).clamp(0, 0xFF) as u32;
+        let b = f32::from_bits((rng.random::<u32>() & 0x807F_FFFF) | (eb << 23));
+        check_all_ops(a, b);
+    }
+}
+
+#[test]
+fn subnormal_heavy_pairs_match_native() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xDEAD_0001);
+    for _ in 0..100_000 {
+        // Exponent field 0..=2: subnormals and the smallest normals.
+        let a =
+            f32::from_bits((rng.random::<u32>() & 0x807F_FFFF) | (rng.random_range(0u32..3) << 23));
+        let b =
+            f32::from_bits((rng.random::<u32>() & 0x807F_FFFF) | (rng.random_range(0u32..3) << 23));
+        check_all_ops(a, b);
+    }
+}
+
+#[test]
+fn directed_edge_cases_match_native() {
+    let specials = [
+        0.0f32,
+        -0.0,
+        1.0,
+        -1.0,
+        f32::MIN_POSITIVE,
+        -f32::MIN_POSITIVE,
+        f32::from_bits(1),           // min subnormal
+        f32::from_bits(0x007F_FFFF), // max subnormal
+        f32::from_bits(0x0080_0000), // min normal
+        f32::MAX,
+        -f32::MAX,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+        1.5,
+        2.0,
+        0.5,
+        3.0,
+        f32::from_bits(0x3F7F_FFFF), // just under 1
+        f32::from_bits(0x3F80_0001), // just over 1
+        f32::EPSILON,
+        1e-30,
+        1e30,
+    ];
+    for &a in &specials {
+        for &b in &specials {
+            check_all_ops(a, b);
+        }
+    }
+}
+
+#[test]
+fn uniform_unit_interval_matches_native() {
+    // The paper's workload: values drawn from U(−1, 1).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for _ in 0..100_000 {
+        let a = rng.random_range(-1.0f32..1.0);
+        let b = rng.random_range(-1.0f32..1.0);
+        check_all_ops(a, b);
+    }
+}
+
+#[test]
+fn scale_by_pow2_matches_native_ldexp() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    for _ in 0..50_000 {
+        let a = f32::from_bits(rng.random::<u32>());
+        if a.is_nan() {
+            continue;
+        }
+        let k = rng.random_range(-300i32..300);
+        let ours = Fp32::from_bits(a.to_bits()).scale_by_pow2(k);
+        // Native ldexp equivalent: multiply by 2^k in f64 (exact), cast down.
+        let native = ((a as f64) * (k as f64).exp2()) as f32;
+        assert_eq!(
+            ours.to_bits(),
+            native.to_bits(),
+            "scale_by_pow2({a:?}, {k})"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Tests for the value-neighborhood helpers (`next_up`/`next_down`) and
+//! integer conversions.
+
+use rand::{RngExt, SeedableRng};
+use softfloat::{Bf16, Fp16, Fp32};
+
+#[test]
+fn next_up_matches_native_f32() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    for _ in 0..100_000 {
+        let a = f32::from_bits(rng.random::<u32>());
+        if a.is_nan() {
+            continue;
+        }
+        let ours = Fp32::from_bits(a.to_bits()).next_up();
+        let native = a.next_up();
+        assert_eq!(ours.to_bits(), native.to_bits(), "next_up({a:?})");
+        let ours_d = Fp32::from_bits(a.to_bits()).next_down();
+        assert_eq!(
+            ours_d.to_bits(),
+            a.next_down().to_bits(),
+            "next_down({a:?})"
+        );
+    }
+}
+
+#[test]
+fn next_up_edge_cases() {
+    assert_eq!(
+        Fp32::NEG_ZERO.next_up().to_bits(),
+        Fp32::MIN_SUBNORMAL.to_bits()
+    );
+    assert_eq!(
+        Fp32::ZERO.next_up().to_bits(),
+        Fp32::MIN_SUBNORMAL.to_bits()
+    );
+    assert_eq!(Fp32::MAX.next_up().to_bits(), Fp32::INFINITY.to_bits());
+    assert_eq!(Fp32::INFINITY.next_up().to_bits(), Fp32::INFINITY.to_bits());
+    assert!(Fp32::NAN.next_up().is_nan());
+    // next_down mirrors.
+    assert_eq!(
+        Fp32::ZERO.next_down().to_bits(),
+        Fp32::MIN_SUBNORMAL.negate().to_bits()
+    );
+    assert_eq!(
+        Fp32::NEG_INFINITY.next_down().to_bits(),
+        Fp32::NEG_INFINITY.to_bits()
+    );
+}
+
+#[test]
+fn next_up_then_down_is_identity_for_finite() {
+    for bits in (0u32..=0xFFFF).step_by(3) {
+        let v = Fp16::from_bits(bits);
+        if v.is_nan() || v.is_infinite() {
+            continue;
+        }
+        let round_trip = v.next_up().next_down();
+        // Identity except across the ±0 boundary (both zeros normalize).
+        if v.is_zero() {
+            assert!(round_trip.is_zero());
+        } else {
+            assert_eq!(round_trip.to_bits(), v.to_bits(), "bits {bits:#06x}");
+        }
+    }
+}
+
+#[test]
+fn ulp_distance_consistent_with_next_up() {
+    let v = Fp16::from_f64(1.5);
+    let up3 = v.next_up().next_up().next_up();
+    assert_eq!(v.ulp_distance(up3), 3);
+}
+
+#[test]
+fn from_i64_exhaustive_small_and_boundaries() {
+    for v in -5000i64..=5000 {
+        let f = Fp32::from_i64(v);
+        assert_eq!(f.to_f64(), v as f64, "from_i64({v})");
+        assert_eq!(f.to_i64(), v, "to_i64 round trip({v})");
+    }
+    // Saturation territory for FP16: max finite 65504.
+    assert_eq!(Fp16::from_i64(65504).to_f64(), 65504.0);
+    assert!(Fp16::from_i64(65520).is_infinite());
+    assert_eq!(Fp16::from_i64(-65504).to_f64(), -65504.0);
+}
+
+#[test]
+fn from_i64_rounds_to_nearest_even() {
+    // BF16: 8 significand bits → integers above 256 quantize.
+    assert_eq!(Bf16::from_i64(257).to_f64(), 256.0); // tie → even
+    assert_eq!(Bf16::from_i64(259).to_f64(), 260.0); // tie → even
+    assert_eq!(Bf16::from_i64(258).to_f64(), 258.0); // exact
+                                                     // Huge magnitudes (the no-double-rounding path).
+    let big = (1i64 << 62) + (1i64 << 39); // just above a BF16 tie region
+    let b = Bf16::from_i64(big);
+    assert!(b.is_finite());
+    let rel = (b.to_f64() - big as f64).abs() / big as f64;
+    assert!(rel < 0.5f64.powi(8), "rel err {rel}");
+}
+
+#[test]
+fn to_i64_special_values() {
+    assert_eq!(Fp32::NAN.to_i64(), 0);
+    assert_eq!(Fp32::INFINITY.to_i64(), i64::MAX);
+    assert_eq!(Fp32::NEG_INFINITY.to_i64(), i64::MIN);
+    assert_eq!(Fp32::from_f64(2.5).to_i64(), 2); // ties to even
+    assert_eq!(Fp32::from_f64(3.5).to_i64(), 4);
+    assert_eq!(Fp32::from_f64(-2.5).to_i64(), -2);
+}
+
+#[test]
+fn round_ties_even_matches_f64_semantics() {
+    for &v in &[0.5, 1.5, 2.5, -0.5, -1.5, 7.49, 7.51, 100.0, 0.0] {
+        let ours = Fp32::from_f64(v).round_ties_even().to_f64();
+        assert_eq!(ours, v.round_ties_even(), "round({v})");
+    }
+    assert!(Fp32::NAN.round_ties_even().is_nan());
+    assert!(Fp32::INFINITY.round_ties_even().is_infinite());
+}

@@ -1,0 +1,219 @@
+//! Property-based tests of algebraic invariants that hold in any IEEE 754
+//! format, run across FP32, FP16 and BFloat16.
+
+use proptest::prelude::*;
+use softfloat::{Bf16, Float, Fp16, Fp32};
+
+/// Strategy for raw bit patterns of a 32-bit-storage format.
+fn bits32() -> impl Strategy<Value = u32> {
+    any::<u32>()
+}
+
+/// Strategy producing finite values of format `F` from f64 seeds.
+fn finite<F: Float>() -> impl Strategy<Value = F> {
+    // Mix of uniform(−1, 1) (the paper's workload), wide log-scale values
+    // and integers.
+    prop_oneof![
+        (-1.0f64..1.0).prop_map(F::from_f64),
+        (-60i32..60, 0.5f64..1.0).prop_map(|(e, m)| F::from_f64(m * (e as f64).exp2())),
+        (-1_000_000i64..1_000_000).prop_map(|i| F::from_f64(i as f64)),
+    ]
+    .prop_filter("finite", |v: &F| v.is_finite())
+}
+
+macro_rules! format_properties {
+    ($modname:ident, $F:ty) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn add_commutes(a in finite::<$F>(), b in finite::<$F>()) {
+                    prop_assert_eq!((a + b).to_bits(), (b + a).to_bits());
+                }
+
+                #[test]
+                fn mul_commutes(a in finite::<$F>(), b in finite::<$F>()) {
+                    prop_assert_eq!((a * b).to_bits(), (b * a).to_bits());
+                }
+
+                #[test]
+                fn zero_is_additive_identity(a in finite::<$F>()) {
+                    prop_assert_eq!((a + <$F>::zero()).to_bits(), a.to_bits());
+                }
+
+                #[test]
+                fn one_is_multiplicative_identity(a in finite::<$F>()) {
+                    prop_assert_eq!((a * <$F>::one()).to_bits(), a.to_bits());
+                }
+
+                #[test]
+                fn self_division_is_one(a in finite::<$F>()) {
+                    prop_assume!(!a.is_zero());
+                    prop_assert_eq!((a / a).to_bits(), <$F>::one().to_bits());
+                }
+
+                #[test]
+                fn sub_self_is_positive_zero(a in finite::<$F>()) {
+                    let d = a - a;
+                    prop_assert!(d.is_zero());
+                    prop_assert!(!d.is_sign_negative());
+                }
+
+                #[test]
+                fn neg_is_involution(a in finite::<$F>()) {
+                    prop_assert_eq!((-(-a)).to_bits(), a.to_bits());
+                }
+
+                #[test]
+                fn abs_clears_sign(a in finite::<$F>()) {
+                    prop_assert!(!a.abs().is_sign_negative());
+                    prop_assert_eq!(a.abs().to_f64(), a.to_f64().abs());
+                }
+
+                #[test]
+                fn roundtrip_f64_is_identity(a in finite::<$F>()) {
+                    prop_assert_eq!(<$F>::from_f64(a.to_f64()).to_bits(), a.to_bits());
+                }
+
+                #[test]
+                fn conversion_is_monotone(x in -1.0e4f64..1.0e4, y in -1.0e4f64..1.0e4) {
+                    let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+                    let a = <$F>::from_f64(lo);
+                    let b = <$F>::from_f64(hi);
+                    prop_assert!(a <= b, "conversion order violated: {} vs {}", a, b);
+                }
+
+                #[test]
+                fn add_magnitude_bound(a in finite::<$F>(), b in finite::<$F>()) {
+                    // |a + b| never exceeds 2·max(|a|, |b|) + 1 ulp; in exact
+                    // arithmetic |a+b| ≤ |a| + |b| ≤ 2 max — rounding cannot
+                    // push past the next representable value, which 2·max
+                    // (exactly representable) dominates unless it overflowed.
+                    let s = a + b;
+                    prop_assume!(s.is_finite());
+                    let bound = a.abs().to_f64().max(b.abs().to_f64()) * 2.0;
+                    prop_assert!(s.to_f64().abs() <= bound.max(f64::MIN_POSITIVE));
+                }
+
+                #[test]
+                fn mul_sign_rule(a in finite::<$F>(), b in finite::<$F>()) {
+                    let p = a * b;
+                    prop_assert_eq!(
+                        p.is_sign_negative(),
+                        a.is_sign_negative() ^ b.is_sign_negative()
+                    );
+                }
+
+                #[test]
+                fn sqrt_squares_back_within_one_ulp_squared(a in finite::<$F>()) {
+                    prop_assume!(!a.is_sign_negative() && !a.is_zero());
+                    let r = a.sqrt();
+                    // sqrt is correctly rounded: |r − √a| ≤ ½ulp(r), so
+                    // r² ∈ a·(1 ± 2⁻ᴹ)² roughly; allow a generous 3·2⁻ᴹ.
+                    let rel = ((r.to_f64() * r.to_f64()) - a.to_f64()).abs() / a.to_f64();
+                    prop_assert!(rel <= 3.0 * 0.5f64.powi(<$F>::MANT_BITS as i32),
+                        "sqrt({})² drifted by {}", a, rel);
+                }
+
+                #[test]
+                fn sqrt_is_monotone(a in finite::<$F>(), b in finite::<$F>()) {
+                    prop_assume!(!a.is_sign_negative() && !b.is_sign_negative());
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    prop_assert!(lo.sqrt() <= hi.sqrt());
+                }
+
+                #[test]
+                fn div_mul_round_trip_within_two_ulps(
+                    a in finite::<$F>(), b in finite::<$F>()
+                ) {
+                    prop_assume!(!b.is_zero() && !a.is_zero());
+                    let q = a / b;
+                    prop_assume!(q.is_finite() && !q.is_zero() && !q.is_subnormal());
+                    let back = q * b;
+                    prop_assume!(back.is_finite() && !back.is_zero());
+                    // Two correctly rounded ops drift at most ~1 ulp each.
+                    let rel = (back.to_f64() - a.to_f64()).abs() / a.to_f64().abs();
+                    prop_assert!(rel <= 2.5 * 0.5f64.powi(<$F>::MANT_BITS as i32),
+                        "(a/b)·b drifted by {} for a={}, b={}", rel, a, b);
+                }
+
+                #[test]
+                fn scale_by_pow2_matches_repeated_doubling(
+                    a in finite::<$F>(), k in 0i32..8
+                ) {
+                    let scaled = a.scale_by_pow2(k);
+                    let mut doubled = a;
+                    let two = <$F>::from_f64(2.0);
+                    for _ in 0..k {
+                        doubled = doubled * two;
+                    }
+                    // Doubling is exact until overflow, so these must agree.
+                    prop_assert_eq!(scaled.to_bits(), doubled.to_bits());
+                }
+
+                #[test]
+                fn exponent_field_consistent_with_value(a in finite::<$F>()) {
+                    prop_assume!(!a.is_zero());
+                    let e = a.exponent_field() as i32;
+                    prop_assume!(e != 0); // skip subnormals
+                    let unbiased = e - <$F>::BIAS;
+                    let mag = a.to_f64().abs();
+                    prop_assert!(mag >= (unbiased as f64).exp2());
+                    prop_assert!(mag < (unbiased as f64 + 1.0).exp2());
+                }
+            }
+        }
+    };
+}
+
+format_properties!(fp32_props, Fp32);
+format_properties!(fp16_props, Fp16);
+format_properties!(bf16_props, Bf16);
+
+proptest! {
+    /// FP32-only: every random bit pattern behaves identically to native f32
+    /// under all four operators (property-test companion to the directed
+    /// suite in `native_equiv.rs`).
+    #[test]
+    fn fp32_bitwise_native_equivalence(a in bits32(), b in bits32()) {
+        let fa = f32::from_bits(a);
+        let fb = f32::from_bits(b);
+        let sa = Fp32::from_bits(a);
+        let sb = Fp32::from_bits(b);
+        for (ours, native) in [
+            (sa + sb, fa + fb),
+            (sa - sb, fa - fb),
+            (sa * sb, fa * fb),
+            (sa / sb, fa / fb),
+        ] {
+            if native.is_nan() {
+                prop_assert!(ours.is_nan());
+            } else {
+                prop_assert_eq!(ours.to_bits(), native.to_bits());
+            }
+        }
+    }
+
+    /// Widening FP16 → FP32 through f64 then narrowing back is the identity
+    /// (FP16 values are exactly representable in FP32).
+    #[test]
+    fn fp16_embeds_exactly_in_fp32(bits in 0u32..=0xFFFF) {
+        let h = Fp16::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        let w = Fp32::from_f64(h.to_f64());
+        prop_assert_eq!(Fp16::from_f64(w.to_f64()).to_bits(), h.to_bits());
+    }
+
+    /// BF16 values are exactly representable in FP32 (same exponent range,
+    /// truncated mantissa): widening and narrowing round-trips.
+    #[test]
+    fn bf16_embeds_exactly_in_fp32(bits in 0u32..=0xFFFF) {
+        let h = Bf16::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        let w = Fp32::from_f64(h.to_f64());
+        prop_assert_eq!(Bf16::from_f64(w.to_f64()).to_bits(), h.to_bits());
+        // The FP32 embedding of a BF16 value is its bit pattern shifted left.
+        prop_assert_eq!(w.to_bits(), h.to_bits() << 16);
+    }
+}

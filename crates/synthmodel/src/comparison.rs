@@ -1,0 +1,158 @@
+//! Table III: comparison with previous on-chip layer-normalization
+//! implementations. Literature rows are constants from the cited papers;
+//! the "Ours" rows are generated live from the [`CostModel`].
+
+use softfloat::{Bf16, Fp16, Fp32};
+
+use crate::CostModel;
+
+/// One row of the Table III comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Citation tag (`"[8]"` … or `"Ours"`).
+    pub implementation: &'static str,
+    /// Technology node.
+    pub technology: &'static str,
+    /// Normalization method.
+    pub method: &'static str,
+    /// Arithmetic operation profile.
+    pub operations: &'static str,
+    /// Data format(s).
+    pub format: String,
+    /// Area in mm² (`None` where the source does not report it).
+    pub area_mm2: Option<f64>,
+    /// Power in mW (`None` where the source does not report it).
+    pub power_mw: Option<f64>,
+    /// Clock frequency in MHz (`None` where the source does not report it).
+    pub clock_mhz: Option<f64>,
+}
+
+/// All rows of Table III: four literature baselines plus our three formats
+/// computed from `model`.
+pub fn comparison_rows(model: &CostModel) -> Vec<ComparisonRow> {
+    let mut rows = vec![
+        ComparisonRow {
+            implementation: "[8] SwiftTron",
+            technology: "65nm CMOS",
+            method: "approximate SQRT",
+            operations: "addition, division, bit shift",
+            format: "INT32".into(),
+            area_mm2: Some(68.3),
+            power_mw: Some(2000.0),
+            clock_mhz: Some(143.0),
+        },
+        ComparisonRow {
+            implementation: "[9] NN-LUT",
+            technology: "7nm CMOS",
+            method: "approximate 1/SQRT",
+            operations: "multiplication, addition",
+            format: "INT32/FP32/FP16".into(),
+            // Reported per-unit areas are in µm² (1008.9/1133.6/498.4);
+            // listed here as the FP32 unit in mm² for comparability.
+            area_mm2: Some(1133.6e-6),
+            power_mw: Some(43.7e-3),
+            clock_mhz: None,
+        },
+        ComparisonRow {
+            implementation: "[10] PIM-GPT",
+            technology: "28nm CMOS",
+            method: "FISR",
+            operations: "multiplication, addition, bit shift",
+            format: "BFloat16".into(),
+            area_mm2: None,
+            power_mw: None,
+            clock_mhz: Some(1000.0),
+        },
+        ComparisonRow {
+            implementation: "[11] SOLE",
+            technology: "28nm CMOS",
+            method: "layer norm w/ dynamic compress",
+            operations: "multiplication, addition, bit shift",
+            format: "INT8".into(),
+            area_mm2: None,
+            power_mw: None,
+            clock_mhz: Some(1000.0),
+        },
+    ];
+    for (report, fmt) in [
+        (model.report::<Fp32>(), "FP32"),
+        (model.report::<Fp16>(), "FP16"),
+        (model.report::<Bf16>(), "BFloat16"),
+    ] {
+        rows.push(ComparisonRow {
+            implementation: "Ours (IterL2Norm)",
+            technology: "32/28nm CMOS",
+            method: "IterL2Norm",
+            operations: "multiplication, addition",
+            format: fmt.into(),
+            area_mm2: Some(report.area_mm2),
+            power_mw: Some(report.power_mw),
+            clock_mhz: Some(100.0),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_rows_total() {
+        let rows = comparison_rows(&CostModel::saed32());
+        assert_eq!(rows.len(), 7);
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.implementation.starts_with("Ours"))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn our_method_avoids_division() {
+        // The headline of Table III: IterL2Norm needs only multiplication
+        // and addition, unlike [8] which needs division.
+        let rows = comparison_rows(&CostModel::saed32());
+        let ours = rows
+            .iter()
+            .find(|r| r.implementation.starts_with("Ours"))
+            .unwrap();
+        assert!(!ours.operations.contains("division"));
+        let swifttron = rows
+            .iter()
+            .find(|r| r.implementation.contains("[8]"))
+            .unwrap();
+        assert!(swifttron.operations.contains("division"));
+    }
+
+    #[test]
+    fn our_power_is_orders_below_swifttron() {
+        let rows = comparison_rows(&CostModel::saed32());
+        let ours_fp32 = rows
+            .iter()
+            .find(|r| r.implementation.starts_with("Ours") && r.format == "FP32")
+            .unwrap();
+        let swifttron = rows
+            .iter()
+            .find(|r| r.implementation.contains("[8]"))
+            .unwrap();
+        assert!(ours_fp32.power_mw.unwrap() * 10.0 < swifttron.power_mw.unwrap());
+        assert!(ours_fp32.area_mm2.unwrap() * 10.0 < swifttron.area_mm2.unwrap());
+    }
+
+    #[test]
+    fn literature_rows_marked_unavailable_where_paper_says_so() {
+        let rows = comparison_rows(&CostModel::saed32());
+        let pim = rows
+            .iter()
+            .find(|r| r.implementation.contains("[10]"))
+            .unwrap();
+        assert!(pim.area_mm2.is_none() && pim.power_mw.is_none());
+        let sole = rows
+            .iter()
+            .find(|r| r.implementation.contains("[11]"))
+            .unwrap();
+        assert!(sole.area_mm2.is_none());
+    }
+}

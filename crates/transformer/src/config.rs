@@ -1,0 +1,143 @@
+//! Architecture configuration.
+
+/// Where the layer norms sit relative to the residual stream.
+///
+/// OPT-125M uses pre-norm blocks; OPT-350M is the post-norm outlier in the
+/// family — Table IV covers both, so both placements are supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NormPlacement {
+    /// `x + f(LN(x))` (OPT-125M and most modern decoders).
+    #[default]
+    Pre,
+    /// `LN(x + f(x))` (OPT-350M).
+    Post,
+}
+
+/// Decoder-only transformer hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Residual stream width.
+    pub d_model: usize,
+    /// Number of decoder blocks.
+    pub n_layers: usize,
+    /// Attention heads (must divide `d_model`).
+    pub n_heads: usize,
+    /// Feed-forward hidden width.
+    pub d_ff: usize,
+    /// Maximum sequence length (learned positional table size).
+    pub max_seq: usize,
+    /// Norm placement.
+    pub placement: NormPlacement,
+}
+
+impl TransformerConfig {
+    /// A minimal config for fast tests: 2 layers, 2 heads, d_model 16.
+    pub fn tiny(vocab: usize) -> Self {
+        TransformerConfig {
+            vocab,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            d_ff: 32,
+            max_seq: 64,
+            placement: NormPlacement::Pre,
+        }
+    }
+
+    /// The OPT-125M-like substitute: pre-norm, 12→4 layers, 12→4 heads,
+    /// 768→`d_model` width scaled to what softfloat emulation can sweep.
+    pub fn opt125m_like(vocab: usize, d_model: usize) -> Self {
+        TransformerConfig {
+            vocab,
+            d_model,
+            n_layers: 4,
+            n_heads: 4,
+            d_ff: 4 * d_model,
+            max_seq: 256,
+            placement: NormPlacement::Pre,
+        }
+    }
+
+    /// The OPT-350M-like substitute: post-norm (the 350M family outlier),
+    /// more layers than the 125M substitute.
+    pub fn opt350m_like(vocab: usize, d_model: usize) -> Self {
+        TransformerConfig {
+            vocab,
+            d_model,
+            n_layers: 6,
+            n_heads: 4,
+            d_ff: 4 * d_model,
+            max_seq: 256,
+            placement: NormPlacement::Post,
+        }
+    }
+
+    /// Head width `d_model / n_heads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_heads` does not divide `d_model`.
+    pub fn head_dim(&self) -> usize {
+        assert!(
+            self.d_model.is_multiple_of(self.n_heads),
+            "n_heads {} must divide d_model {}",
+            self.n_heads,
+            self.d_model
+        );
+        self.d_model / self.n_heads
+    }
+
+    /// Total parameter count (embeddings + blocks + head).
+    pub fn param_count(&self) -> usize {
+        let d = self.d_model;
+        let attn = 4 * d * d + 4 * d;
+        let ffn = 2 * d * self.d_ff + self.d_ff + d;
+        let norms = 2 * 2 * d;
+        let per_layer = attn + ffn + norms;
+        self.vocab * d // token embeddings
+            + self.max_seq * d // positions
+            + self.n_layers * per_layer
+            + 2 * d // final norm
+            + self.vocab * d + self.vocab // head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_config_is_consistent() {
+        let c = TransformerConfig::tiny(32);
+        assert_eq!(c.head_dim(), 8);
+        assert!(c.param_count() > 0);
+        assert_eq!(c.placement, NormPlacement::Pre);
+    }
+
+    #[test]
+    fn opt_like_configs_differ_in_placement() {
+        let a = TransformerConfig::opt125m_like(48, 48);
+        let b = TransformerConfig::opt350m_like(48, 48);
+        assert_eq!(a.placement, NormPlacement::Pre);
+        assert_eq!(b.placement, NormPlacement::Post);
+        assert!(b.n_layers > a.n_layers);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_head_split_panics() {
+        let mut c = TransformerConfig::tiny(8);
+        c.n_heads = 3;
+        let _ = c.head_dim();
+    }
+
+    #[test]
+    fn param_count_scales_with_layers() {
+        let c2 = TransformerConfig::tiny(32);
+        let mut c4 = c2;
+        c4.n_layers = 4;
+        assert!(c4.param_count() > c2.param_count());
+    }
+}

@@ -1,0 +1,363 @@
+//! The decoder-only model: weights, forward pass and perplexity.
+
+use softfloat::Float;
+
+use crate::config::{NormPlacement, TransformerConfig};
+use crate::norm::NormMethod;
+use crate::tensor::{add, dot, Matrix};
+
+/// Master weights in `f64`, format-agnostic. Materialize per format with
+/// [`Model::from_spec`]. Constructed by [`ModelSpec::random`] or
+/// [`ModelSpec::bigram`] (see `init.rs`).
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Architecture hyperparameters.
+    pub config: TransformerConfig,
+    pub(crate) w: WeightsF64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct WeightsF64 {
+    pub(crate) embed: Vec<f64>,
+    pub(crate) pos: Vec<f64>,
+    pub(crate) layers: Vec<LayerF64>,
+    pub(crate) final_gamma: Vec<f64>,
+    pub(crate) final_beta: Vec<f64>,
+    pub(crate) head: Vec<f64>,
+    pub(crate) head_bias: Vec<f64>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct LayerF64 {
+    pub(crate) wq: Vec<f64>,
+    pub(crate) wk: Vec<f64>,
+    pub(crate) wv: Vec<f64>,
+    pub(crate) wo: Vec<f64>,
+    pub(crate) bq: Vec<f64>,
+    pub(crate) bk: Vec<f64>,
+    pub(crate) bv: Vec<f64>,
+    pub(crate) bo: Vec<f64>,
+    pub(crate) ln1_gamma: Vec<f64>,
+    pub(crate) ln1_beta: Vec<f64>,
+    pub(crate) ln2_gamma: Vec<f64>,
+    pub(crate) ln2_beta: Vec<f64>,
+    pub(crate) w1: Vec<f64>,
+    pub(crate) b1: Vec<f64>,
+    pub(crate) w2: Vec<f64>,
+    pub(crate) b2: Vec<f64>,
+}
+
+struct Layer<F> {
+    wq: Matrix<F>,
+    wk: Matrix<F>,
+    wv: Matrix<F>,
+    wo: Matrix<F>,
+    bq: Vec<F>,
+    bk: Vec<F>,
+    bv: Vec<F>,
+    bo: Vec<F>,
+    ln1_gamma: Vec<F>,
+    ln1_beta: Vec<F>,
+    ln2_gamma: Vec<F>,
+    ln2_beta: Vec<F>,
+    w1: Matrix<F>,
+    b1: Vec<F>,
+    w2: Matrix<F>,
+    b2: Vec<F>,
+}
+
+/// A decoder materialized in format `F` — every matrix product and residual
+/// add runs in `F` arithmetic (like running OPT under the corresponding
+/// torch dtype); softmax/exp/log run on the host.
+///
+/// See the crate docs for an end-to-end example.
+pub struct Model<F> {
+    config: TransformerConfig,
+    embed: Matrix<F>,
+    pos: Matrix<F>,
+    layers: Vec<Layer<F>>,
+    final_gamma: Vec<F>,
+    final_beta: Vec<F>,
+    head: Matrix<F>,
+    head_bias: Vec<F>,
+}
+
+fn fv<F: Float>(v: &[f64]) -> Vec<F> {
+    v.iter().map(|&x| F::from_f64(x)).collect()
+}
+
+impl<F: Float> Model<F> {
+    /// Round the master weights into format `F`.
+    pub fn from_spec(spec: &ModelSpec) -> Self {
+        let c = spec.config;
+        let d = c.d_model;
+        let layers = spec
+            .w
+            .layers
+            .iter()
+            .map(|l| Layer {
+                wq: Matrix::from_f64(d, d, &l.wq),
+                wk: Matrix::from_f64(d, d, &l.wk),
+                wv: Matrix::from_f64(d, d, &l.wv),
+                wo: Matrix::from_f64(d, d, &l.wo),
+                bq: fv(&l.bq),
+                bk: fv(&l.bk),
+                bv: fv(&l.bv),
+                bo: fv(&l.bo),
+                ln1_gamma: fv(&l.ln1_gamma),
+                ln1_beta: fv(&l.ln1_beta),
+                ln2_gamma: fv(&l.ln2_gamma),
+                ln2_beta: fv(&l.ln2_beta),
+                w1: Matrix::from_f64(c.d_ff, d, &l.w1),
+                b1: fv(&l.b1),
+                w2: Matrix::from_f64(d, c.d_ff, &l.w2),
+                b2: fv(&l.b2),
+            })
+            .collect();
+        Model {
+            config: c,
+            embed: Matrix::from_f64(c.vocab, d, &spec.w.embed),
+            pos: Matrix::from_f64(c.max_seq, d, &spec.w.pos),
+            layers,
+            final_gamma: fv(&spec.w.final_gamma),
+            final_beta: fv(&spec.w.final_beta),
+            head: Matrix::from_f64(c.vocab, d, &spec.w.head),
+            head_bias: fv(&spec.w.head_bias),
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> TransformerConfig {
+        self.config
+    }
+
+    /// Teacher-forced forward pass: logits (length `vocab`) at every
+    /// position of `tokens`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is longer than `max_seq` or contains an id ≥
+    /// `vocab`.
+    pub fn forward(&self, tokens: &[u16], norm: &NormMethod) -> Vec<Vec<F>> {
+        let c = &self.config;
+        assert!(
+            tokens.len() <= c.max_seq,
+            "sequence length {} exceeds max_seq {}",
+            tokens.len(),
+            c.max_seq
+        );
+        let n_heads = c.n_heads;
+        let dh = c.head_dim();
+        let inv_sqrt_dh = F::from_f64(1.0 / (dh as f64).sqrt());
+
+        // Per-layer KV caches: keys[layer][pos] is a d_model vector.
+        let mut keys: Vec<Vec<Vec<F>>> = vec![Vec::new(); c.n_layers];
+        let mut values: Vec<Vec<Vec<F>>> = vec![Vec::new(); c.n_layers];
+        let mut logits_out = Vec::with_capacity(tokens.len());
+
+        for (pos, &tok) in tokens.iter().enumerate() {
+            assert!((tok as usize) < c.vocab, "token id {tok} out of vocab");
+            let mut x = add(self.embed.row(tok as usize), self.pos.row(pos));
+
+            for (li, layer) in self.layers.iter().enumerate() {
+                // --- Attention sub-block.
+                let attn_in = match c.placement {
+                    NormPlacement::Pre => norm.apply(&x, &layer.ln1_gamma, &layer.ln1_beta),
+                    NormPlacement::Post => x.clone(),
+                };
+                let q = layer.wq.matvec_bias(&attn_in, &layer.bq);
+                let k = layer.wk.matvec_bias(&attn_in, &layer.bk);
+                let v = layer.wv.matvec_bias(&attn_in, &layer.bv);
+                keys[li].push(k);
+                values[li].push(v);
+
+                let mut ctx = vec![F::zero(); c.d_model];
+                for h in 0..n_heads {
+                    let lo = h * dh;
+                    let hi = lo + dh;
+                    let qh = &q[lo..hi];
+                    // Scores against every cached position (causal).
+                    let scores: Vec<f64> = keys[li]
+                        .iter()
+                        .map(|kp| (dot(qh, &kp[lo..hi]) * inv_sqrt_dh).to_f64())
+                        .collect();
+                    // Host softmax (stable).
+                    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+                    let z: f64 = exps.iter().sum();
+                    // Weighted sum of cached V in format arithmetic.
+                    for (p, w) in exps.iter().enumerate() {
+                        let weight = F::from_f64(w / z);
+                        let vp = &values[li][p][lo..hi];
+                        for (slot, &vv) in ctx[lo..hi].iter_mut().zip(vp) {
+                            *slot = *slot + weight * vv;
+                        }
+                    }
+                }
+                let attn_out = layer.wo.matvec_bias(&ctx, &layer.bo);
+                x = add(&x, &attn_out);
+                if c.placement == NormPlacement::Post {
+                    x = norm.apply(&x, &layer.ln1_gamma, &layer.ln1_beta);
+                }
+
+                // --- Feed-forward sub-block (ReLU, as in OPT).
+                let ffn_in = match c.placement {
+                    NormPlacement::Pre => norm.apply(&x, &layer.ln2_gamma, &layer.ln2_beta),
+                    NormPlacement::Post => x.clone(),
+                };
+                let mut h1 = layer.w1.matvec_bias(&ffn_in, &layer.b1);
+                for hv in h1.iter_mut() {
+                    if hv.is_sign_negative() && !hv.is_zero() {
+                        *hv = F::zero();
+                    }
+                }
+                let ffn_out = layer.w2.matvec_bias(&h1, &layer.b2);
+                x = add(&x, &ffn_out);
+                if c.placement == NormPlacement::Post {
+                    x = norm.apply(&x, &layer.ln2_gamma, &layer.ln2_beta);
+                }
+            }
+
+            let final_x = norm.apply(&x, &self.final_gamma, &self.final_beta);
+            logits_out.push(self.head.matvec_bias(&final_x, &self.head_bias));
+        }
+        logits_out
+    }
+
+    /// Teacher-forced perplexity of `tokens` under this model: `exp` of the
+    /// mean next-token negative log-likelihood. Sequences longer than
+    /// `max_seq` are evaluated in non-overlapping windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 tokens are supplied.
+    pub fn perplexity(&self, tokens: &[u16], norm: &NormMethod) -> f64 {
+        assert!(tokens.len() >= 2, "perplexity needs at least two tokens");
+        let mut nll = 0.0;
+        let mut predicted = 0usize;
+        for window in tokens.chunks(self.config.max_seq) {
+            if window.len() < 2 {
+                continue;
+            }
+            let logits = self.forward(window, norm);
+            for (p, &target) in window.iter().enumerate().skip(1) {
+                let row: Vec<f64> = logits[p - 1].iter().map(|v| v.to_f64()).collect();
+                let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let z: f64 = row.iter().map(|v| (v - max).exp()).sum();
+                nll -= row[target as usize] - max - z.ln();
+                predicted += 1;
+            }
+        }
+        (nll / predicted as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::{Bf16, Fp16, Fp32};
+
+    fn tiny_model() -> Model<Fp32> {
+        let spec = ModelSpec::random(TransformerConfig::tiny(24), 3);
+        Model::from_spec(&spec)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let m = tiny_model();
+        let logits = m.forward(&[1, 2, 3, 4], &NormMethod::exact());
+        assert_eq!(logits.len(), 4);
+        assert!(logits.iter().all(|row| row.len() == 24));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = tiny_model();
+        let a = m.forward(&[5, 6, 7], &NormMethod::exact());
+        let b = m.forward(&[5, 6, 7], &NormMethod::exact());
+        for (ra, rb) in a.iter().zip(&b) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn causality_prefix_invariance() {
+        // Logits at position p must not depend on tokens after p.
+        let m = tiny_model();
+        let full = m.forward(&[3, 1, 4, 1, 5], &NormMethod::exact());
+        let prefix = m.forward(&[3, 1, 4], &NormMethod::exact());
+        for (a, b) in full[..3].iter().zip(&prefix) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "causality violated");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_seq")]
+    fn over_length_rejected() {
+        let m = tiny_model();
+        let long = vec![0u16; 65];
+        let _ = m.forward(&long, &NormMethod::exact());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn out_of_vocab_rejected() {
+        let m = tiny_model();
+        let _ = m.forward(&[99], &NormMethod::exact());
+    }
+
+    #[test]
+    fn perplexity_is_positive_and_bounded_by_vocab_scale() {
+        let m = tiny_model();
+        let tokens: Vec<u16> = (0..120).map(|i| (i * 7 % 24) as u16).collect();
+        let ppl = m.perplexity(&tokens, &NormMethod::exact());
+        assert!(ppl > 1.0, "ppl {ppl}");
+        assert!(ppl < 1000.0, "ppl {ppl} absurd for vocab 24");
+    }
+
+    #[test]
+    fn iterl2_ppl_converges_to_baseline_with_steps() {
+        // The Table IV shape: |ppl(n) − ppl(baseline)| shrinks as n grows.
+        let m = tiny_model();
+        let tokens: Vec<u16> = (0..60).map(|i| (i * 5 % 24) as u16).collect();
+        let base = m.perplexity(&tokens, &NormMethod::exact());
+        let d3 = (m.perplexity(&tokens, &NormMethod::iterl2(3)) - base).abs();
+        let d10 = (m.perplexity(&tokens, &NormMethod::iterl2(10)) - base).abs();
+        assert!(
+            d10 <= d3 + 1e-9,
+            "delta at 10 steps ({d10}) above delta at 3 steps ({d3})"
+        );
+        assert!(d10 / base < 0.02, "10-step delta {d10} too large");
+    }
+
+    #[test]
+    fn runs_in_all_three_formats() {
+        let spec = ModelSpec::random(TransformerConfig::tiny(16), 11);
+        let tokens: Vec<u16> = (0..40).map(|i| (i % 16) as u16).collect();
+        let p32 = Model::<Fp32>::from_spec(&spec).perplexity(&tokens, &NormMethod::exact());
+        let p16 = Model::<Fp16>::from_spec(&spec).perplexity(&tokens, &NormMethod::exact());
+        let pbf = Model::<Bf16>::from_spec(&spec).perplexity(&tokens, &NormMethod::exact());
+        // Same model, coarser formats: perplexities near the FP32 value.
+        assert!((p16 - p32).abs() / p32 < 0.3, "fp16 {p16} vs fp32 {p32}");
+        assert!((pbf - p32).abs() / p32 < 0.5, "bf16 {pbf} vs fp32 {p32}");
+    }
+
+    #[test]
+    fn windowing_long_sequences() {
+        let m = tiny_model(); // max_seq 64
+        let tokens: Vec<u16> = (0..200).map(|i| (i % 24) as u16).collect();
+        let ppl = m.perplexity(&tokens, &NormMethod::exact());
+        assert!(ppl.is_finite() && ppl > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two tokens")]
+    fn single_token_ppl_rejected() {
+        let m = tiny_model();
+        let _ = m.perplexity(&[1], &NormMethod::exact());
+    }
+}

@@ -1,0 +1,142 @@
+//! Pluggable normalization layer: the component Table IV swaps out.
+
+use iterl2norm::baselines::{ExactRsqrtNorm, Fisr};
+use iterl2norm::{layer_norm, IterL2Norm, LayerNormInputs, ReduceOrder};
+use softfloat::Float;
+
+/// Which normalization method the model's LayerNorm layers use.
+///
+/// # Examples
+///
+/// ```
+/// use softfloat::{Float, Fp32};
+/// use transformer::NormMethod;
+///
+/// let x: Vec<Fp32> = (0..8).map(|i| Fp32::from_f64(i as f64)).collect();
+/// let g = vec![Fp32::ONE; 8];
+/// let b = vec![Fp32::ZERO; 8];
+/// let exact = NormMethod::exact().apply(&x, &g, &b);
+/// let iter = NormMethod::iterl2(5).apply(&x, &g, &b);
+/// for (e, i) in exact.iter().zip(&iter) {
+///     assert!((e.to_f64() - i.to_f64()).abs() < 1e-3);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NormMethod {
+    /// In-format exact `1/√(σ² + ε)` — the pretrained-model baseline.
+    Exact {
+        /// ε added to the variance (PyTorch default 1e−5).
+        eps: f64,
+    },
+    /// IterL2Norm with a programmed step count (the paper's replacement).
+    IterL2 {
+        /// Iteration steps `n_iter` (Table IV sweeps 3/4/5/10).
+        steps: u32,
+    },
+    /// FISR-based normalization (the Table I competitor).
+    Fisr {
+        /// Newton polish steps.
+        newton: u32,
+    },
+}
+
+impl NormMethod {
+    /// The baseline: exact rsqrt with PyTorch's ε.
+    pub fn exact() -> Self {
+        NormMethod::Exact { eps: 1e-5 }
+    }
+
+    /// IterL2Norm with `steps` iteration steps.
+    pub fn iterl2(steps: u32) -> Self {
+        NormMethod::IterL2 { steps }
+    }
+
+    /// FISR with one Newton step (the classic configuration).
+    pub fn fisr() -> Self {
+        NormMethod::Fisr { newton: 1 }
+    }
+
+    /// Short label for report tables.
+    pub fn label(&self) -> String {
+        match self {
+            NormMethod::Exact { .. } => "baseline".into(),
+            NormMethod::IterL2 { steps } => format!("iterl2[{steps}]"),
+            NormMethod::Fisr { newton } => format!("fisr[{newton}]"),
+        }
+    }
+
+    /// Apply layer normalization with this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma`/`beta` lengths differ from `x` (model wiring bug,
+    /// not user input).
+    pub fn apply<F: Float>(&self, x: &[F], gamma: &[F], beta: &[F]) -> Vec<F> {
+        let inputs = LayerNormInputs::new(x, gamma, beta).with_reduce(ReduceOrder::Linear);
+        let result = match self {
+            NormMethod::Exact { eps } => layer_norm(inputs, &ExactRsqrtNorm { eps: *eps }),
+            NormMethod::IterL2 { steps } => layer_norm(inputs, &IterL2Norm::with_steps(*steps)),
+            NormMethod::Fisr { newton } => {
+                layer_norm(inputs, &Fisr::with_newton_steps::<F>(*newton))
+            }
+        };
+        result.expect("norm layer wiring: gamma/beta lengths match d")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::Fp32;
+
+    fn sample(d: usize) -> (Vec<Fp32>, Vec<Fp32>, Vec<Fp32>) {
+        let x: Vec<Fp32> = (0..d)
+            .map(|i| Fp32::from_f64(((i * 31 % 19) as f64) / 9.0 - 1.0))
+            .collect();
+        (x, vec![Fp32::ONE; d], vec![Fp32::ZERO; d])
+    }
+
+    #[test]
+    fn methods_agree_on_easy_input() {
+        let (x, g, b) = sample(64);
+        let exact = NormMethod::exact().apply(&x, &g, &b);
+        for method in [
+            NormMethod::iterl2(5),
+            NormMethod::iterl2(10),
+            NormMethod::fisr(),
+        ] {
+            let out = method.apply(&x, &g, &b);
+            for (e, o) in exact.iter().zip(&out) {
+                assert!(
+                    (e.to_f64() - o.to_f64()).abs() < 2e-2,
+                    "{}: {} vs {}",
+                    method.label(),
+                    o.to_f64(),
+                    e.to_f64()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_steps_is_less_accurate() {
+        let (x, g, b) = sample(128);
+        let exact = NormMethod::exact().apply(&x, &g, &b);
+        let err = |steps: u32| {
+            NormMethod::iterl2(steps)
+                .apply(&x, &g, &b)
+                .iter()
+                .zip(&exact)
+                .map(|(a, e)| (a.to_f64() - e.to_f64()).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(err(2) >= err(10));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_eq!(NormMethod::exact().label(), "baseline");
+        assert_eq!(NormMethod::iterl2(3).label(), "iterl2[3]");
+        assert_eq!(NormMethod::fisr().label(), "fisr[1]");
+    }
+}

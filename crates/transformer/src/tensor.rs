@@ -1,0 +1,187 @@
+//! Minimal dense matrix in software floating point.
+
+use softfloat::Float;
+
+/// A row-major dense matrix of format-`F` values.
+///
+/// Only the operations the decoder needs: matrix–vector products (with the
+/// paper-relevant property that accumulation happens in format arithmetic,
+/// not f64) and row access for embedding lookups.
+///
+/// # Examples
+///
+/// ```
+/// use softfloat::{Float, Fp32};
+/// use transformer::Matrix;
+///
+/// let m = Matrix::<Fp32>::from_f64(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// let x: Vec<Fp32> = [1.0, 0.0, -1.0].iter().map(|&v| Fp32::from_f64(v)).collect();
+/// let y = m.matvec(&x);
+/// assert_eq!(y[0].to_f64(), -2.0);
+/// assert_eq!(y[1].to_f64(), -2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<F> {
+    rows: usize,
+    cols: usize,
+    data: Vec<F>,
+}
+
+impl<F: Float> Matrix<F> {
+    /// Build from a row-major `f64` slice (values rounded into `F`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows·cols`.
+    pub fn from_f64(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: data.iter().map(|&v| F::from_f64(v)).collect(),
+        }
+    }
+
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![F::zero(); rows * cols],
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[F] {
+        assert!(r < self.rows, "row {r} out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `y = M·x` with linear accumulation in format `F`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[F]) -> Vec<F> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                let mut acc = F::zero();
+                for (&w, &v) in row.iter().zip(x) {
+                    acc = acc + w * v;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// `y = M·x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != rows` or `x.len() != cols`.
+    pub fn matvec_bias(&self, x: &[F], b: &[F]) -> Vec<F> {
+        assert_eq!(b.len(), self.rows, "bias length mismatch");
+        let mut y = self.matvec(x);
+        for (yi, &bi) in y.iter_mut().zip(b) {
+            *yi = *yi + bi;
+        }
+        y
+    }
+}
+
+/// Dot product in format arithmetic.
+pub(crate) fn dot<F: Float>(a: &[F], b: &[F]) -> F {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = F::zero();
+    for (&x, &y) in a.iter().zip(b) {
+        acc = acc + x * y;
+    }
+    acc
+}
+
+/// Element-wise vector add in format arithmetic.
+pub(crate) fn add<F: Float>(a: &[F], b: &[F]) -> Vec<F> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::{Bf16, Fp32};
+
+    #[test]
+    fn matvec_known_values() {
+        let m = Matrix::<Fp32>::from_f64(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let x: Vec<Fp32> = [5.0, 6.0].iter().map(|&v| Fp32::from_f64(v)).collect();
+        let y = m.matvec(&x);
+        assert_eq!(y[0].to_f64(), 17.0);
+        assert_eq!(y[1].to_f64(), 39.0);
+    }
+
+    #[test]
+    fn matvec_bias_adds_rowwise() {
+        let m = Matrix::<Fp32>::from_f64(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        let x: Vec<Fp32> = [2.0, 3.0].iter().map(|&v| Fp32::from_f64(v)).collect();
+        let b: Vec<Fp32> = [10.0, 20.0].iter().map(|&v| Fp32::from_f64(v)).collect();
+        let y = m.matvec_bias(&x, &b);
+        assert_eq!(y[0].to_f64(), 12.0);
+        assert_eq!(y[1].to_f64(), 23.0);
+    }
+
+    #[test]
+    fn coarse_format_accumulation_rounds() {
+        // In BF16, 256 + 1 = 256: accumulating many small terms saturates,
+        // unlike f64 accumulation — the format-faithful behaviour we want.
+        let ones = vec![1.0; 512];
+        let m = Matrix::<Bf16>::from_f64(1, 512, &ones);
+        let x: Vec<Bf16> = ones.iter().map(|&v| Bf16::from_f64(v)).collect();
+        let y = m.matvec(&x);
+        assert!(
+            y[0].to_f64() < 512.0,
+            "bf16 sum {} didn't round",
+            y[0].to_f64()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_rejects_bad_length() {
+        let m = Matrix::<Fp32>::zeros(2, 3);
+        let x = vec![Fp32::ZERO; 2];
+        let _ = m.matvec(&x);
+    }
+
+    #[test]
+    fn rows_and_cols_accessors() {
+        let m = Matrix::<Fp32>::zeros(3, 5);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 5);
+        assert_eq!(m.row(2).len(), 5);
+    }
+
+    #[test]
+    fn dot_and_add_helpers() {
+        let a: Vec<Fp32> = [1.0, 2.0].iter().map(|&v| Fp32::from_f64(v)).collect();
+        let b: Vec<Fp32> = [3.0, 4.0].iter().map(|&v| Fp32::from_f64(v)).collect();
+        assert_eq!(dot(&a, &b).to_f64(), 11.0);
+        let s = add(&a, &b);
+        assert_eq!(s[1].to_f64(), 6.0);
+    }
+}

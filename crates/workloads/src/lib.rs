@@ -1,0 +1,289 @@
+//! Deterministic input-vector generators for the IterL2Norm experiments,
+//! tests and benches.
+//!
+//! The paper's evaluation draws "1,000 random vectors sampled from a uniform
+//! distribution in the range (−1, 1)" per length and format; that generator
+//! lives here ([`uniform_vectors`]) together with stress distributions used
+//! by the extended test suite (wide dynamic range, near-constant,
+//! subnormal-heavy, outlier-spiked). Everything is seeded, so every
+//! experiment is exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::{Distribution, VectorGen};
+//!
+//! let gen = VectorGen::new(Distribution::Uniform, 42);
+//! let v = gen.vector_f64(384, 0);
+//! assert_eq!(v.len(), 384);
+//! assert!(v.iter().all(|&x| (-1.0..1.0).contains(&x)));
+//! // Same seed and index ⇒ same vector.
+//! assert_eq!(v, gen.vector_f64(384, 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use softfloat::Float;
+
+/// The input distributions used across the experiment suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Distribution {
+    /// Uniform(−1, 1) — the paper's evaluation workload.
+    #[default]
+    Uniform,
+    /// Standard normal (Box–Muller) — activations after residual adds look
+    /// closer to this.
+    Gaussian,
+    /// Log-uniform magnitudes across ~12 decades with random signs —
+    /// stresses the exponent-handling paths.
+    WideDynamicRange,
+    /// A constant plus tiny jitter — stresses the m ≈ 0 path and
+    /// cancellation in the mean shift.
+    NearConstant,
+    /// Tiny values near the subnormal threshold of FP16.
+    SubnormalHeavy,
+    /// Uniform(−1, 1) with a single large outlier — skews `m` against the
+    /// rest of the vector.
+    OutlierSpiked,
+}
+
+impl Distribution {
+    /// All distributions, for sweep-style tests.
+    pub const ALL: [Distribution; 6] = [
+        Distribution::Uniform,
+        Distribution::Gaussian,
+        Distribution::WideDynamicRange,
+        Distribution::NearConstant,
+        Distribution::SubnormalHeavy,
+        Distribution::OutlierSpiked,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Gaussian => "gaussian",
+            Distribution::WideDynamicRange => "wide-range",
+            Distribution::NearConstant => "near-constant",
+            Distribution::SubnormalHeavy => "subnormal",
+            Distribution::OutlierSpiked => "outlier",
+        }
+    }
+}
+
+/// Seeded generator of experiment vectors.
+///
+/// Each `(seed, distribution, length, index)` tuple maps to one fixed
+/// vector, so trials can be enumerated and re-run independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorGen {
+    dist: Distribution,
+    seed: u64,
+}
+
+impl VectorGen {
+    /// Generator for `dist` rooted at `seed`.
+    pub fn new(dist: Distribution, seed: u64) -> Self {
+        VectorGen { dist, seed }
+    }
+
+    /// The paper's workload: Uniform(−1, 1), fixed root seed.
+    pub fn paper() -> Self {
+        VectorGen::new(Distribution::Uniform, 0x1753_2025)
+    }
+
+    /// The distribution this generator draws from.
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// Generate trial vector `index` of length `d` in `f64`.
+    pub fn vector_f64(&self, d: usize, index: u64) -> Vec<f64> {
+        // Derive a per-vector stream: mix seed, length and index.
+        let stream = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((d as u64) << 32)
+            .wrapping_add(index);
+        let mut rng = StdRng::seed_from_u64(stream);
+        match self.dist {
+            Distribution::Uniform => (0..d).map(|_| rng.random_range(-1.0..1.0)).collect(),
+            Distribution::Gaussian => (0..d).map(|_| gaussian(&mut rng)).collect(),
+            Distribution::WideDynamicRange => (0..d)
+                .map(|_| {
+                    let mag = (rng.random_range(-20.0f64..20.0)).exp2();
+                    if rng.random_bool(0.5) {
+                        mag
+                    } else {
+                        -mag
+                    }
+                })
+                .collect(),
+            Distribution::NearConstant => {
+                let base = rng.random_range(-2.0f64..2.0);
+                (0..d)
+                    .map(|_| base + rng.random_range(-1e-6f64..1e-6))
+                    .collect()
+            }
+            Distribution::SubnormalHeavy => {
+                (0..d).map(|_| rng.random_range(-1e-7f64..1e-7)).collect()
+            }
+            Distribution::OutlierSpiked => {
+                let spike_at = rng.random_range(0..d);
+                let spike = rng.random_range(50.0f64..100.0);
+                (0..d)
+                    .map(|i| {
+                        if i == spike_at {
+                            spike
+                        } else {
+                            rng.random_range(-1.0..1.0)
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Generate trial vector `index` of length `d`, rounded into format `F`.
+    pub fn vector<F: Float>(&self, d: usize, index: u64) -> Vec<F> {
+        self.vector_f64(d, index)
+            .into_iter()
+            .map(F::from_f64)
+            .collect()
+    }
+}
+
+/// Iterator over `count` trial vectors in format `F` (the "1,000 random
+/// vectors" pattern of the evaluation section).
+pub fn uniform_vectors<F: Float>(d: usize, count: u64, seed: u64) -> impl Iterator<Item = Vec<F>> {
+    let gen = VectorGen::new(Distribution::Uniform, seed);
+    (0..count).map(move |i| gen.vector::<F>(d, i))
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    // Box–Muller; one value per call keeps the stream simple.
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softfloat::{Fp16, Fp32};
+
+    #[test]
+    fn determinism_per_index() {
+        let gen = VectorGen::paper();
+        for idx in [0u64, 1, 999] {
+            assert_eq!(gen.vector_f64(64, idx), gen.vector_f64(64, idx));
+        }
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let gen = VectorGen::paper();
+        assert_ne!(gen.vector_f64(64, 0), gen.vector_f64(64, 1));
+    }
+
+    #[test]
+    fn different_lengths_are_independent_streams() {
+        let gen = VectorGen::paper();
+        let a = gen.vector_f64(64, 0);
+        let b = gen.vector_f64(128, 0);
+        assert_ne!(&a[..], &b[..64]);
+    }
+
+    #[test]
+    fn uniform_stays_in_open_interval() {
+        let gen = VectorGen::new(Distribution::Uniform, 7);
+        for idx in 0..50 {
+            assert!(gen
+                .vector_f64(256, idx)
+                .iter()
+                .all(|&x| (-1.0..1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let gen = VectorGen::new(Distribution::Gaussian, 11);
+        let v = gen.vector_f64(100_000, 0);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn wide_range_spans_many_decades() {
+        let gen = VectorGen::new(Distribution::WideDynamicRange, 3);
+        let v = gen.vector_f64(10_000, 0);
+        let max = v.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        let min = v
+            .iter()
+            .cloned()
+            .map(f64::abs)
+            .fold(f64::INFINITY, f64::min);
+        assert!(max / min > 1e9, "range only {max}/{min}");
+    }
+
+    #[test]
+    fn near_constant_has_tiny_variance() {
+        let gen = VectorGen::new(Distribution::NearConstant, 5);
+        let v = gen.vector_f64(512, 0);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+        assert!(var < 1e-11);
+    }
+
+    #[test]
+    fn subnormal_heavy_values_are_fp16_subnormal() {
+        let gen = VectorGen::new(Distribution::SubnormalHeavy, 9);
+        let v = gen.vector::<Fp16>(128, 0);
+        let subnormal_or_zero = v
+            .iter()
+            .filter(|x| x.is_zero() || x.exponent_field() == 0)
+            .count();
+        assert!(
+            subnormal_or_zero > 100,
+            "only {subnormal_or_zero} subnormal"
+        );
+    }
+
+    #[test]
+    fn outlier_spike_dominates_norm() {
+        let gen = VectorGen::new(Distribution::OutlierSpiked, 13);
+        let v = gen.vector_f64(256, 0);
+        let max = v.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max >= 50.0);
+    }
+
+    #[test]
+    fn format_vectors_round_through_from_f64() {
+        let gen = VectorGen::paper();
+        let f = gen.vector_f64(32, 4);
+        let v: Vec<Fp32> = gen.vector::<Fp32>(32, 4);
+        for (a, b) in v.iter().zip(&f) {
+            assert_eq!(a.to_bits(), Fp32::from_f64(*b).to_bits());
+        }
+    }
+
+    #[test]
+    fn uniform_vectors_iterator_counts() {
+        let vs: Vec<Vec<Fp32>> = uniform_vectors::<Fp32>(16, 10, 99).collect();
+        assert_eq!(vs.len(), 10);
+        assert!(vs.iter().all(|v| v.len() == 16));
+    }
+
+    #[test]
+    fn distribution_names_are_unique() {
+        let mut names: Vec<&str> = Distribution::ALL.iter().map(|d| d.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Distribution::ALL.len());
+    }
+}

@@ -1,0 +1,43 @@
+//! LLM-level evaluation in miniature: build a bigram-constructed decoder
+//! over a synthetic corpus, swap its LayerNorms for IterL2Norm, and watch
+//! the perplexity delta vanish as the iteration count grows (Table IV).
+//!
+//! ```sh
+//! cargo run --release --example llm_perplexity
+//! ```
+
+use iterl2norm_suite::prelude::*;
+use transformer::BigramCorpusStats;
+
+fn main() {
+    let vocab = 32;
+    let corpus = Corpus::wiki_like(vocab, 11);
+    let stats = BigramCorpusStats::from_fn(vocab, |p, n| corpus.bigram_prob(p, n).ln());
+    let config = TransformerConfig::opt125m_like(vocab, vocab);
+    // Adversarial embedding scale: ‖y‖² lands on the slowest-converging
+    // significand, so short iteration counts visibly hurt.
+    let c = (1.99 / (1.0 - 1.0 / vocab as f64)).sqrt();
+    let spec = ModelSpec::bigram_scaled(config, &stats, 0.02, c, 3);
+    let model = Model::<Fp32>::from_spec(&spec);
+
+    let tokens = corpus.generate(600, 1);
+    let floor = corpus.entropy_rate_bits(20_000).exp2();
+    let baseline = model.perplexity(&tokens, &NormMethod::exact());
+    println!("synthetic wiki corpus, vocab {vocab}: entropy-rate floor ≈ {floor:.2}");
+    println!(
+        "decoder ({} layers, pre-norm): baseline perplexity {baseline:.3}\n",
+        config.n_layers
+    );
+    println!("{:>12}  {:>10}  {:>8}", "norm", "perplexity", "delta");
+    for steps in [1u32, 2, 3, 4, 5, 10] {
+        let ppl = model.perplexity(&tokens, &NormMethod::iterl2(steps));
+        println!(
+            "{:>12}  {ppl:>10.3}  {:>+8.3}",
+            format!("iterl2[{steps}]"),
+            ppl - baseline
+        );
+    }
+    let fisr = model.perplexity(&tokens, &NormMethod::fisr());
+    println!("{:>12}  {fisr:>10.3}  {:>+8.3}", "fisr[1]", fisr - baseline);
+    println!("\nThe delta decays toward +0.000 by five steps — the paper's Table IV shape.");
+}

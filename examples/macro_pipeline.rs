@@ -1,0 +1,69 @@
+//! Drive the cycle-accurate IterL2Norm macro: load a batch, run it, check
+//! the outputs bit-for-bit against the pure-software pipeline, and price
+//! the design with the synthesis cost model.
+//!
+//! ```sh
+//! cargo run --release --example macro_pipeline
+//! ```
+
+use iterl2norm_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d = 384;
+    let gen = VectorGen::paper();
+    let x: Vec<Fp32> = gen.vector(d, 0);
+
+    // --- Run the hardware model.
+    let mut mac = IterL2NormMacro::new(MacroConfig::new(d)?);
+    mac.load_input(&x)?;
+    let run = mac.run()?;
+    println!(
+        "macro run: d = {d}, 5 iteration steps -> {} cycles",
+        run.cycles
+    );
+    println!("phase schedule:");
+    for span in &run.phases {
+        println!(
+            "  {:>11}  cycles {:>3}..{:<3} ({} cycles)",
+            span.phase.name(),
+            span.start,
+            span.end,
+            span.end - span.start
+        );
+    }
+
+    // --- The software pipeline in hardware reduction order matches the
+    //     macro bit-for-bit.
+    let sw = layer_norm(
+        LayerNormInputs::unscaled(&x).with_reduce(ReduceOrder::HwTree),
+        &IterL2Norm::with_steps(5),
+    )?;
+    let identical = run.outputs[0]
+        .iter()
+        .zip(&sw)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!("\nbit-exact vs software pipeline (hw reduction order): {identical}");
+    assert!(identical);
+
+    // --- Batch mode: ⌊1024/d⌋ vectors from one buffer load.
+    let mut batch = IterL2NormMacro::new(MacroConfig::new(256)?);
+    for i in 0..4 {
+        batch.load_input(&gen.vector::<Fp32>(256, i))?;
+    }
+    let brun = batch.run()?;
+    println!(
+        "batch: 4 x d=256 vectors normalized sequentially in {} cycles",
+        brun.cycles
+    );
+
+    // --- What does this macro cost in silicon?
+    let cost = CostModel::saed32().report::<Fp32>();
+    println!(
+        "\nFP32 macro (32/28nm model): {:.1} kib memory, {:.1}k cells, {:.2} mm^2, {:.1} mW",
+        cost.memory_kib,
+        cost.total_cells as f64 / 1e3,
+        cost.area_mm2,
+        cost.power_mw
+    );
+    Ok(())
+}

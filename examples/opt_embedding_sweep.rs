@@ -1,0 +1,51 @@
+//! Compare IterL2Norm with the fast inverse square root across the OPT
+//! model family's embedding lengths (a quick Table I).
+//!
+//! ```sh
+//! cargo run --release --example opt_embedding_sweep
+//! ```
+
+use iterl2norm_suite::prelude::*;
+
+const TRIALS: u64 = 100;
+const OPT_LENGTHS: [(usize, &str); 5] = [
+    (768, "OPT-125M"),
+    (1024, "OPT-350M"),
+    (2048, "OPT-1.3B"),
+    (4096, "OPT-6.7B"),
+    (12288, "OPT-175B"),
+];
+
+fn sweep<F: Float, S: RsqrtScale<F>>(d: usize, method: &S) -> (f64, f64) {
+    let gen = VectorGen::paper();
+    let mut stats = iterl2norm::metrics::ErrorStats::new();
+    for i in 0..TRIALS {
+        let x: Vec<F> = gen.vector(d, i);
+        let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
+        let z = layer_norm(LayerNormInputs::unscaled(&x), method).expect("nonempty");
+        let truth = iterl2norm::reference::normalize_f64(&xf, 1e-5);
+        stats.record_vec(&z, &truth);
+    }
+    (stats.avg_abs, stats.max_abs)
+}
+
+fn main() {
+    println!("IterL2Norm vs FISR on OPT embedding lengths ({TRIALS} vectors each, FP32)\n");
+    println!(
+        "{:>6}  {:>9}  {:>22}  {:>22}  winner",
+        "d", "model", "IterL2Norm avg/max", "FISR avg/max"
+    );
+    let iterl2 = IterL2Norm::with_steps(5);
+    let fisr = Fisr::canonical::<Fp32>();
+    for (d, model) in OPT_LENGTHS {
+        let (ia, im) = sweep::<Fp32, _>(d, &iterl2);
+        let (fa, fm) = sweep::<Fp32, _>(d, &fisr);
+        println!(
+            "{d:>6}  {model:>9}  {ia:>10.2e}/{im:>10.2e}  {fa:>10.2e}/{fm:>10.2e}  {}",
+            if ia < fa { "IterL2Norm" } else { "FISR" }
+        );
+    }
+    println!("\nIterL2Norm's FP32 error varies strongly with d — the iteration's residual");
+    println!("depends on where ‖y‖² lands among significands, the effect behind the");
+    println!("paper's Table I spread (0.030e-4 … 61.76e-4).");
+}

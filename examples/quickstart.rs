@@ -1,0 +1,62 @@
+//! Quickstart: layer-normalize one vector with IterL2Norm in all three
+//! formats and watch the scalar iteration converge.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use iterl2norm_suite::prelude::*;
+
+fn demo_format<F: Float>() -> Result<(), Box<dyn std::error::Error>> {
+    // A small activation vector, as it would leave a feed-forward block.
+    let values = [0.62, -1.37, 0.05, 2.10, -0.44, 0.91, -1.88, 0.33];
+    let x: Vec<F> = values.iter().map(|&v| F::from_f64(v)).collect();
+
+    let z = layer_norm(LayerNormInputs::unscaled(&x), &IterL2Norm::new())?;
+    let exact = iterl2norm::reference::normalize_f64(&values, 0.0);
+
+    let max_err = z
+        .iter()
+        .zip(&exact)
+        .map(|(a, e)| (a.to_f64() - e).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "{:>4}: z[0..3] = [{:+.4}, {:+.4}, {:+.4}, ...]   max |err| vs exact = {:.2e}",
+        F::NAME,
+        z[0].to_f64(),
+        z[1].to_f64(),
+        z[2].to_f64(),
+        max_err
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("IterL2Norm quickstart — division- and sqrt-free layer normalization\n");
+    demo_format::<Fp32>()?;
+    demo_format::<Fp16>()?;
+    demo_format::<Bf16>()?;
+
+    // Peek inside the iteration: a converges to 1/‖y‖ within five steps.
+    println!("\nScalar iteration on m = ‖y‖² = 10.5 (FP32):");
+    let m = Fp32::from_f64(10.5);
+    let trace = iterl2norm::iterate(m, &IterConfig::fixed_steps(5));
+    let target = 1.0 / 10.5f64.sqrt();
+    println!(
+        "  a0     = {:.6}  (seed from the exponent of m, Eq. 6)",
+        trace.a0.to_f64()
+    );
+    println!(
+        "  lambda = {:.6}  (0.345 shifted by the exponent of m, Eq. 10)",
+        trace.lambda.to_f64()
+    );
+    for (i, a) in trace.steps.iter().enumerate() {
+        println!(
+            "  step {}: a = {:.6}   (target 1/sqrt(m) = {target:.6}, rel err {:+.2e})",
+            i + 1,
+            a.to_f64(),
+            (a.to_f64() - target) / target
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Facade crate for the IterL2Norm reproduction: re-exports every
+//! subsystem so the examples and integration tests have one import root.
+//!
+//! The substance lives in the member crates:
+//!
+//! * [`softfloat`] — bit-accurate FP32/FP16/BFloat16 arithmetic,
+//! * [`iterl2norm`] — the paper's algorithm, baselines and metrics,
+//! * [`macrosim`] — the cycle-accurate macro simulator,
+//! * [`synthmodel`] — the area/power cost model,
+//! * [`transformer`] / [`textgen`] — the LLM-level evaluation substrate,
+//! * [`workloads`] — deterministic experiment vectors.
+//!
+//! # Examples
+//!
+//! ```
+//! use iterl2norm_suite::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let x: Vec<Fp32> = (0..64).map(|i| Fp32::from_f64((i as f64).sin())).collect();
+//! let z = layer_norm(LayerNormInputs::unscaled(&x), &IterL2Norm::new())?;
+//! assert_eq!(z.len(), 64);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use iterl2norm;
+pub use macrosim;
+pub use softfloat;
+pub use synthmodel;
+pub use textgen;
+pub use transformer;
+pub use workloads;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use iterl2norm::baselines::{ExactRsqrtNorm, Fisr, LutRsqrt};
+    pub use iterl2norm::{
+        layer_norm, layer_norm_detailed, IterConfig, IterL2Norm, LayerNormInputs, NormError,
+        ReduceOrder, RsqrtScale, StopRule,
+    };
+    pub use macrosim::{IterL2NormMacro, MacroConfig};
+    pub use softfloat::{Bf16, Float, Fp16, Fp32};
+    pub use synthmodel::CostModel;
+    pub use textgen::Corpus;
+    pub use transformer::{Model, ModelSpec, NormMethod, TransformerConfig};
+    pub use workloads::{Distribution, VectorGen};
+}

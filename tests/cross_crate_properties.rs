@@ -1,0 +1,104 @@
+//! Property-based tests spanning crates: normalization invariants under
+//! random workloads from every distribution, and macro/software agreement
+//! under proptest-driven inputs.
+
+use iterl2norm_suite::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a workload vector drawn from a random distribution, length
+/// and trial index.
+fn workload() -> impl Strategy<Value = (Distribution, usize, u64)> {
+    (
+        prop_oneof![
+            Just(Distribution::Uniform),
+            Just(Distribution::Gaussian),
+            Just(Distribution::OutlierSpiked),
+            Just(Distribution::NearConstant),
+        ],
+        1usize..=512,
+        0u64..1000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The normalized output has near-zero mean — where "near" follows the
+    /// format analysis: the rounded mean x̄ is off by O(ulp), and that error
+    /// is amplified by the normalization scale s = √d/‖y‖ (for near-constant
+    /// inputs, s is huge and the bound correctly loosens). When the input
+    /// varies, the standard deviation lands within the iteration's residual
+    /// band of 1.
+    #[test]
+    fn normalized_moments((dist, d, trial) in workload()) {
+        let gen = VectorGen::new(dist, 77);
+        let x: Vec<Fp32> = gen.vector(d, trial);
+        let out = layer_norm_detailed(
+            LayerNormInputs::unscaled(&x),
+            &IterL2Norm::new(),
+        ).unwrap();
+        let zf: Vec<f64> = out.z.iter().map(|v| v.to_f64()).collect();
+        prop_assume!(zf.iter().all(|v| v.is_finite()));
+        let mean: f64 = zf.iter().sum::<f64>() / d as f64;
+        let var: f64 = zf.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d as f64;
+        // Mean-estimation error ≤ c·(|x̄| + max|x|)·2⁻²³·log₂(2d) through the
+        // adder trees; the output mean is that error times the scale.
+        let max_abs = x.iter().map(|v| v.to_f64().abs()).fold(0.0f64, f64::max);
+        let ulp_term = (out.mean.to_f64().abs() + max_abs) * 0.5f64.powi(23);
+        let bound = out.scale.to_f64().abs() * 8.0 * ulp_term * ((2 * d) as f64).log2() + 2e-2;
+        prop_assert!(mean.abs() < bound, "mean {mean} > bound {bound} for {dist:?} d={d}");
+        if var > 0.25 && var.is_finite() {
+            // Input had real variation: std must be near 1 (residual ≤ ~6%
+            // covers the slowest-converging significands at 5 steps).
+            prop_assert!((var.sqrt() - 1.0).abs() < 0.12,
+                "std {} for {dist:?} d={d}", var.sqrt());
+        }
+    }
+
+    /// Macro and software agree bitwise for arbitrary (d, steps, trial).
+    #[test]
+    fn macro_matches_software(d in 1usize..=1024, steps in 0u32..8, trial in 0u64..100) {
+        let gen = VectorGen::paper();
+        let x: Vec<Fp32> = gen.vector(d, trial);
+        let mut mac = IterL2NormMacro::new(
+            MacroConfig::new(d).unwrap().with_steps(steps),
+        );
+        mac.load_input(&x).unwrap();
+        let run = mac.run().unwrap();
+        let sw = layer_norm(
+            LayerNormInputs::unscaled(&x).with_reduce(ReduceOrder::HwTree),
+            &IterL2Norm::with_config(IterConfig::fixed_steps(steps)),
+        )
+        .unwrap();
+        for (a, b) in run.outputs[0].iter().zip(&sw) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The a∞ the iteration reaches squares back to ≈ 1/m across wide
+    /// dynamic range (the fixed-point property of Theorem II.1).
+    #[test]
+    fn fixed_point_property(exp in -18i32..18, frac in 0u32..64) {
+        let m_val = (1.0 + frac as f64 / 64.0) * (exp as f64).exp2();
+        let m = Fp32::from_f64(m_val);
+        let a = IterL2Norm::with_steps(8).a_infinity(m);
+        let residual = (a.to_f64() * a.to_f64() * m.to_f64() - 1.0).abs();
+        prop_assert!(residual < 5e-3, "a²m − 1 = {residual} for m = {m_val}");
+    }
+
+    /// Scale factors from all methods agree with √d/‖y‖ within their
+    /// documented tolerances on well-behaved m.
+    #[test]
+    fn methods_agree_on_scale(exp in -6i32..10, frac in 0u32..32, log_d in 4u32..10) {
+        let d = 1usize << log_d;
+        let m_val = (1.0 + frac as f64 / 32.0) * (exp as f64).exp2();
+        let m = Fp32::from_f64(m_val);
+        let truth = (d as f64).sqrt() / m_val.sqrt();
+        let iterl2: Fp32 = IterL2Norm::with_steps(10).scale_factor(m, d);
+        let fisr: Fp32 = Fisr::canonical::<Fp32>().scale_factor(m, d);
+        let exact: Fp32 = ExactRsqrtNorm::no_eps().scale_factor(m, d);
+        prop_assert!((iterl2.to_f64() - truth).abs() / truth < 1e-2);
+        prop_assert!((fisr.to_f64() - truth).abs() / truth < 5e-3);
+        prop_assert!((exact.to_f64() - truth).abs() / truth < 1e-5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-crate contract: the cycle-accurate macro simulator and the
+//! pure-software pipeline (hardware reduction order) are *bit-exactly*
+//! equal, across formats, lengths, batch modes and affine parameters —
+//! and the macro's cycle counts equal the closed-form schedule.
+
+use iterl2norm_suite::prelude::*;
+use macrosim::schedule;
+
+fn check_bit_exact<F: Float>(d: usize, steps: u32, trial: u64) {
+    let gen = VectorGen::paper();
+    let x: Vec<F> = gen.vector(d, trial);
+
+    let mut mac = IterL2NormMacro::new(MacroConfig::new(d).unwrap().with_steps(steps));
+    mac.load_input(&x).unwrap();
+    let run = mac.run().unwrap();
+
+    let sw = iterl2norm::layer_norm(
+        LayerNormInputs::unscaled(&x).with_reduce(ReduceOrder::HwTree),
+        &IterL2Norm::with_steps(steps),
+    )
+    .unwrap();
+
+    assert_eq!(run.outputs[0].len(), sw.len());
+    for (i, (a, b)) in run.outputs[0].iter().zip(&sw).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{} d={d} steps={steps} trial={trial}: element {i} differs: {a:?} vs {b:?}",
+            F::NAME
+        );
+    }
+    assert_eq!(run.cycles, schedule::latency_cycles(d, steps));
+}
+
+#[test]
+fn bit_exact_across_lengths_fp32() {
+    for d in [1usize, 7, 63, 64, 65, 100, 128, 384, 500, 1000, 1024] {
+        check_bit_exact::<Fp32>(d, 5, 0);
+    }
+}
+
+#[test]
+fn bit_exact_across_lengths_fp16() {
+    for d in [64usize, 100, 384, 1024] {
+        check_bit_exact::<Fp16>(d, 5, 1);
+    }
+}
+
+#[test]
+fn bit_exact_across_lengths_bf16() {
+    for d in [64usize, 100, 384, 1024] {
+        check_bit_exact::<Bf16>(d, 5, 2);
+    }
+}
+
+#[test]
+fn bit_exact_across_step_counts() {
+    for steps in [0u32, 1, 3, 5, 10] {
+        check_bit_exact::<Fp32>(256, steps, 3);
+    }
+}
+
+#[test]
+fn bit_exact_over_many_trials() {
+    for trial in 0..25 {
+        check_bit_exact::<Fp32>(192, 5, trial);
+    }
+}
+
+#[test]
+fn macro_detailed_intermediates_match_software() {
+    let d = 320;
+    let gen = VectorGen::paper();
+    let x: Vec<Fp32> = gen.vector(d, 9);
+    let mut mac = IterL2NormMacro::new(MacroConfig::new(d).unwrap());
+    mac.load_input(&x).unwrap();
+    let run = mac.run().unwrap();
+
+    let sw = iterl2norm::layer_norm_detailed(
+        LayerNormInputs::unscaled(&x).with_reduce(ReduceOrder::HwTree),
+        &IterL2Norm::with_steps(5),
+    )
+    .unwrap();
+    assert_eq!(run.means[0].to_bits(), sw.mean.to_bits(), "mean differs");
+    assert_eq!(run.ms[0].to_bits(), sw.m.to_bits(), "m differs");
+    // macro scale = a∞·√d must equal the software scale factor bitwise.
+    let sqrt_d = Fp32::from_f64((d as f64).sqrt());
+    let macro_scale = run.a_finals[0] * sqrt_d;
+    assert_eq!(macro_scale.to_bits(), sw.scale.to_bits(), "scale differs");
+}
+
+#[test]
+fn affine_parameters_match_software_order() {
+    let d = 200;
+    let gen = VectorGen::paper();
+    let x: Vec<Fp32> = gen.vector(d, 4);
+    let gamma: Vec<Fp32> = gen.vector(d, 5);
+    let beta: Vec<Fp32> = gen.vector(d, 6);
+
+    let mut mac = IterL2NormMacro::new(MacroConfig::new(d).unwrap());
+    mac.load_input(&x).unwrap();
+    mac.load_gamma(&gamma).unwrap();
+    mac.load_beta(&beta).unwrap();
+    let run = mac.run().unwrap();
+
+    let sw = iterl2norm::layer_norm(
+        LayerNormInputs::new(&x, &gamma, &beta).with_reduce(ReduceOrder::HwTree),
+        &IterL2Norm::with_steps(5),
+    )
+    .unwrap();
+    for (a, b) in run.outputs[0].iter().zip(&sw) {
+        assert_eq!(a.to_bits(), b.to_bits(), "affine output differs");
+    }
+}
+
+#[test]
+fn batched_vectors_match_individual_software_runs() {
+    let d = 128;
+    let gen = VectorGen::paper();
+    let vectors: Vec<Vec<Fp32>> = (0..8).map(|i| gen.vector(d, 100 + i)).collect();
+
+    let mut mac = IterL2NormMacro::new(MacroConfig::new(d).unwrap());
+    for v in &vectors {
+        mac.load_input(v).unwrap();
+    }
+    let run = mac.run().unwrap();
+    assert_eq!(run.outputs.len(), 8);
+    assert_eq!(run.cycles, schedule::batch_latency_cycles(d, 5, 8));
+
+    for (out, x) in run.outputs.iter().zip(&vectors) {
+        let sw = iterl2norm::layer_norm(
+            LayerNormInputs::unscaled(x).with_reduce(ReduceOrder::HwTree),
+            &IterL2Norm::with_steps(5),
+        )
+        .unwrap();
+        for (a, b) in out.iter().zip(&sw) {
+            assert_eq!(a.to_bits(), b.to_bits(), "batched output differs");
+        }
+    }
+}
