@@ -7,12 +7,12 @@
 
 use iterl2norm::baselines::Fisr;
 use iterl2norm::metrics::ErrorStats;
-use iterl2norm::reference;
-use iterl2norm::{layer_norm, IterL2Norm, LayerNormInputs, RsqrtScale};
+use iterl2norm::{IterL2Norm, RsqrtScale};
 use softfloat::{Float, Fp32};
 use workloads::{Distribution, VectorGen};
 
 use crate::io::{banner, print_table, write_csv};
+use crate::sweep::sweep_rows;
 
 fn sweep<F: Float, S: RsqrtScale<F>>(
     dist: Distribution,
@@ -20,15 +20,15 @@ fn sweep<F: Float, S: RsqrtScale<F>>(
     trials: u64,
     method: &S,
 ) -> ErrorStats {
-    let gen = VectorGen::new(dist, 0x0D15_7);
     let mut stats = ErrorStats::new();
-    for i in 0..trials {
-        let x: Vec<F> = gen.vector(d, i);
-        let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
-        let z = layer_norm(LayerNormInputs::unscaled(&x), method).expect("nonempty");
-        let truth = reference::normalize_f64(&xf, 1e-5);
-        stats.record_vec(&z, &truth);
-    }
+    sweep_rows(
+        &VectorGen::new(dist, 0xD157),
+        d,
+        trials,
+        method,
+        1e-5,
+        |z: &[F], truth: &[f64]| stats.record_vec(z, truth),
+    );
     stats
 }
 

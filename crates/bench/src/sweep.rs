@@ -1,15 +1,49 @@
 //! Shared measurement routines: precision sweeps against the f64 ground
 //! truth, exactly as the paper's evaluation section defines them.
+//!
+//! The sweeps run on the core crate's plan/execute engine: one
+//! [`NormPlan`] per `(d, distribution)` point and one reused output
+//! buffer, so a million-trial sweep performs no per-trial normalization
+//! allocations (the engine output is bit-identical to the one-shot
+//! `layer_norm` path it replaced).
 
 use iterl2norm::metrics::{ErrorHistogram, ErrorStats};
 use iterl2norm::reference;
-use iterl2norm::{layer_norm, LayerNormInputs, RsqrtScale};
+use iterl2norm::{NormPlan, Normalizer, RsqrtScale};
 use softfloat::Float;
 use workloads::VectorGen;
 
 /// PyTorch's LayerNorm ε, used by the ground-truth reference (the paper's
 /// ground truth is the PyTorch CPU LayerNorm).
 pub const TRUTH_EPS: f64 = 1e-5;
+
+/// Run `trials` vectors of length `d` from `gen` through `method` in
+/// format `F`, handing each normalized row (plus its f64 ground truth of
+/// the *same quantized inputs*) to `record`.
+pub fn sweep_rows<F: Float, S: RsqrtScale<F>>(
+    gen: &VectorGen,
+    d: usize,
+    trials: u64,
+    method: &S,
+    truth_eps: f64,
+    mut record: impl FnMut(&[F], &[f64]),
+) {
+    let plan = NormPlan::<F>::new(d).expect("sweep dimension > 0");
+    let mut engine = Normalizer::for_plan(method, &plan);
+    let mut z = vec![F::zero(); d];
+    let mut xf = vec![0.0f64; d];
+    for i in 0..trials {
+        let x: Vec<F> = gen.vector(d, i);
+        for (slot, v) in xf.iter_mut().zip(&x) {
+            *slot = v.to_f64();
+        }
+        engine
+            .normalize_into(&plan, &x, &mut z)
+            .expect("plan shape matches generated vector");
+        let truth = reference::normalize_f64(&xf, truth_eps);
+        record(&z, &truth);
+    }
+}
 
 /// Run `trials` random uniform(−1, 1) vectors of length `d` through
 /// `method` in format `F` and accumulate elementwise absolute errors
@@ -19,15 +53,15 @@ pub fn precision_sweep<F: Float, S: RsqrtScale<F>>(
     trials: u64,
     method: &S,
 ) -> ErrorStats {
-    let gen = VectorGen::paper();
     let mut stats = ErrorStats::new();
-    for i in 0..trials {
-        let x: Vec<F> = gen.vector(d, i);
-        let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
-        let z = layer_norm(LayerNormInputs::unscaled(&x), method).expect("nonempty input");
-        let truth = reference::normalize_f64(&xf, TRUTH_EPS);
-        stats.record_vec(&z, &truth);
-    }
+    sweep_rows(
+        &VectorGen::paper(),
+        d,
+        trials,
+        method,
+        TRUTH_EPS,
+        |z: &[F], truth: &[f64]| stats.record_vec(z, truth),
+    );
     stats
 }
 
@@ -38,17 +72,19 @@ pub fn error_histogram<F: Float, S: RsqrtScale<F>>(
     trials: u64,
     method: &S,
 ) -> ErrorHistogram {
-    let gen = VectorGen::paper();
     let mut hist = ErrorHistogram::new(-9.0, 1.0, 9); // 1e−9 … 1
-    for i in 0..trials {
-        let x: Vec<F> = gen.vector(d, i);
-        let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
-        let z = layer_norm(LayerNormInputs::unscaled(&x), method).expect("nonempty input");
-        let truth = reference::normalize_f64(&xf, TRUTH_EPS);
-        for (a, t) in z.iter().zip(&truth) {
-            hist.record((a.to_f64() - t).abs());
-        }
-    }
+    sweep_rows(
+        &VectorGen::paper(),
+        d,
+        trials,
+        method,
+        TRUTH_EPS,
+        |z: &[F], truth: &[f64]| {
+            for (a, t) in z.iter().zip(truth) {
+                hist.record((a.to_f64() - t).abs());
+            }
+        },
+    );
     hist
 }
 

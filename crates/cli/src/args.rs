@@ -13,7 +13,9 @@ pub struct Parsed {
 
 /// Option keys that take a value; anything else starting with `--` is a
 /// boolean flag.
-const VALUED: [&str; 6] = ["format", "steps", "d", "m", "seed", "trials"];
+const VALUED: [&str; 8] = [
+    "format", "steps", "d", "m", "seed", "trials", "method", "rows",
+];
 
 impl Parsed {
     /// Parse an argument list.

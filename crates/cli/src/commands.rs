@@ -1,8 +1,15 @@
 //! Subcommand implementations.
+//!
+//! Method selection goes through the core crate's [`MethodSpec`] registry
+//! (`--method iterl2|fisr|exact|lut`, with an optional `:parameter`
+//! suffix), and the normalization subcommands run on the plan/execute
+//! engine — the same code path the serving-oriented batch API uses.
 
-use iterl2norm::{iterate, layer_norm_detailed, IterConfig, IterL2Norm, LayerNormInputs};
+use std::time::Instant;
+
+use iterl2norm::{iterate, IterConfig, MethodSpec, NormPlan, Normalizer, ScaleMethod};
 use macrosim::{activity_trace, utilization, IterL2NormMacro, MacroConfig};
-use softfloat::{Bf16, Fp16, Fp32};
+use softfloat::{Bf16, Float, Fp16, Fp32};
 use synthmodel::CostModel;
 use workloads::VectorGen;
 
@@ -13,7 +20,7 @@ pub const USAGE: &str = "\
 iterl2norm — fast iterative L2-normalization (DATE 2025 reproduction)
 
 USAGE:
-  iterl2norm normalize [--format fp32|fp16|bf16] [--steps N] V1 V2 …
+  iterl2norm normalize [--format fp32|fp16|bf16] [--method M] [--steps N] V1 V2 …
       Layer-normalize the given values, printing output and error vs exact.
   iterl2norm rsqrt --m VALUE [--format …] [--steps N]
       Show the scalar iteration trace toward 1/sqrt(m).
@@ -21,10 +28,54 @@ USAGE:
       Run the cycle-accurate macro on a random vector of length LEN.
   iterl2norm cost [--format …]
       Print the 32/28nm cost-model report (Table II row + breakdown).
-  iterl2norm demo [--d LEN] [--format …] [--seed S]
+  iterl2norm demo [--d LEN] [--format …] [--method M] [--seed S]
       Normalize a random uniform(-1,1) vector end to end.
+  iterl2norm batch [--d LEN] [--rows R] [--format …] [--method M] [--seed S]
+      Normalize a random R x LEN batch through the engine, printing rows/s
+      for the per-call path vs the plan/batch path.
   iterl2norm help
-      This text.";
+      This text.
+
+Methods (--method): iterl2[:steps], fisr[:newton], exact[:eps], lut[:segments];
+--steps N is shorthand for iterl2:N.";
+
+/// Resolve `--method`/`--steps` into a registry entry. `--steps` keeps its
+/// historical meaning as the IterL2Norm step count; combining it with a
+/// different method is rejected rather than silently ignored.
+fn method_spec(parsed: &Parsed) -> Result<MethodSpec, String> {
+    let name = parsed.get("method").unwrap_or("iterl2");
+    let mut spec = MethodSpec::parse(name).ok_or_else(|| {
+        // A known family with a bad parameter deserves a different message
+        // than a name we've never heard of.
+        let family = name.split_once(':').map_or(name, |(fam, _)| fam);
+        if MethodSpec::parse(family).is_some() {
+            format!(
+                "invalid parameter in --method '{name}' \
+                 (iterl2:<steps>, fisr:<newton>, exact:<eps >= 0>, lut:<segments >= 1>)"
+            )
+        } else {
+            format!("unknown method '{name}' (iterl2|fisr|exact|lut, optional :param)")
+        }
+    })?;
+    if parsed.get("steps").is_some() {
+        if !matches!(spec, MethodSpec::IterL2 { .. }) {
+            return Err(format!(
+                "--steps only applies to iterl2 (got --method {name}); \
+                 use the method's own parameter, e.g. fisr:2 or lut:128"
+            ));
+        }
+        if name.contains(':') {
+            return Err(format!(
+                "--steps conflicts with the explicit step count in --method {name}; \
+                 pass one or the other"
+            ));
+        }
+    }
+    if let MethodSpec::IterL2 { steps } = &mut spec {
+        *steps = parsed.num("steps", *steps)?;
+    }
+    Ok(spec)
+}
 
 fn format_name(parsed: &Parsed) -> Result<&str, String> {
     match parsed.get("format").unwrap_or("fp32") {
@@ -59,7 +110,7 @@ macro_rules! with_format {
 
 /// `normalize` subcommand.
 pub fn normalize(parsed: &Parsed) -> Result<(), String> {
-    let steps: u32 = parsed.num("steps", 5)?;
+    let spec = method_spec(parsed)?;
     let values: Vec<f64> = parsed
         .positionals()
         .iter()
@@ -70,16 +121,15 @@ pub fn normalize(parsed: &Parsed) -> Result<(), String> {
     }
     with_format!(parsed, F => {
         let x: Vec<F> = values.iter().map(|&v| F::from_f64(v)).collect();
-        let out = layer_norm_detailed(
-            LayerNormInputs::unscaled(&x),
-            &IterL2Norm::with_steps(steps),
-        )
-        .map_err(|e| e.to_string())?;
+        let plan = NormPlan::<F>::new(x.len()).map_err(|e| e.to_string())?;
+        let mut engine: Normalizer<F, ScaleMethod> = Normalizer::for_plan(spec.build::<F>(), &plan);
+        let mut z = vec![F::zero(); x.len()];
+        let stats = engine.normalize_into(&plan, &x, &mut z).map_err(|e| e.to_string())?;
         let exact = iterl2norm::reference::normalize_f64(&values, 0.0);
-        println!("format {}  d {}  steps {steps}", F::NAME, values.len());
-        println!("mean {:.6}  m {:.6}  scale {:.6}", out.mean.to_f64(), out.m.to_f64(), out.scale.to_f64());
+        println!("format {}  d {}  method {}", F::NAME, values.len(), spec.label());
+        println!("mean {:.6}  m {:.6}  scale {:.6}", stats.mean.to_f64(), stats.m.to_f64(), stats.scale.to_f64());
         let mut max_err = 0.0f64;
-        for (i, (z, e)) in out.z.iter().zip(&exact).enumerate() {
+        for (i, (z, e)) in z.iter().zip(&exact).enumerate() {
             println!("  z[{i}] = {:+.6}   (exact {:+.6})", z.to_f64(), e);
             max_err = max_err.max((z.to_f64() - e).abs());
         }
@@ -170,23 +220,88 @@ pub fn cost(parsed: &Parsed) -> Result<(), String> {
 pub fn demo(parsed: &Parsed) -> Result<(), String> {
     let d: usize = parsed.num("d", 768)?;
     let seed: u64 = parsed.num("seed", 0)?;
-    let steps: u32 = parsed.num("steps", 5)?;
+    let spec = method_spec(parsed)?;
     with_format!(parsed, F => {
         let x: Vec<F> = VectorGen::paper().vector(d, seed);
         let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
-        let out = layer_norm_detailed(
-            LayerNormInputs::unscaled(&x),
-            &IterL2Norm::with_steps(steps),
+        let plan = NormPlan::<F>::new(d).map_err(|e| e.to_string())?;
+        let mut engine: Normalizer<F, ScaleMethod> = Normalizer::for_plan(spec.build::<F>(), &plan);
+        let mut z = vec![F::zero(); d];
+        let row_stats = engine.normalize_into(&plan, &x, &mut z).map_err(|e| e.to_string())?;
+        let exact = iterl2norm::reference::normalize_f64(&xf, 1e-5);
+        let stats = iterl2norm::metrics::abs_error_stats(&z, &exact);
+        println!(
+            "format {}  d {d}  method {}  seed {seed}",
+            F::NAME,
+            spec.label()
+        );
+        println!("m = {:.4}  scale = {:.6}", row_stats.m.to_f64(), row_stats.scale.to_f64());
+        println!("avg |err| {:.3e}   max |err| {:.3e}   over {} elements", stats.avg_abs, stats.max_abs, stats.count);
+        Ok(())
+    })
+}
+
+/// `batch` subcommand: the engine's reason to exist, measured. Generates a
+/// `rows x d` batch, normalizes it through the per-call compatibility path
+/// and through `normalize_batch` on a cached plan, and reports rows/s.
+pub fn batch(parsed: &Parsed) -> Result<(), String> {
+    let d: usize = parsed.num("d", 768)?;
+    let rows: usize = parsed.num("rows", 256)?;
+    let seed: u64 = parsed.num("seed", 0)?;
+    let spec = method_spec(parsed)?;
+    if d == 0 || rows == 0 {
+        return Err("batch needs --d and --rows at least 1".into());
+    }
+    with_format!(parsed, F => {
+        let gen = VectorGen::paper();
+        let mut flat: Vec<F> = Vec::with_capacity(rows * d);
+        for r in 0..rows as u64 {
+            flat.extend(gen.vector::<F>(d, seed.wrapping_add(r)));
+        }
+        let plan = NormPlan::<F>::new(d).map_err(|e| e.to_string())?;
+        let mut engine: Normalizer<F, ScaleMethod> = Normalizer::for_plan(spec.build::<F>(), &plan);
+        let mut out = vec![F::zero(); flat.len()];
+
+        // Per-call path: plan constants re-rounded and buffers allocated
+        // per row (what every caller did before the engine existed).
+        let t0 = Instant::now();
+        for row in flat.chunks_exact(d) {
+            let z = iterl2norm::layer_norm(
+                iterl2norm::LayerNormInputs::unscaled(row),
+                engine.method(),
+            )
+            .map_err(|e| e.to_string())?;
+            std::hint::black_box(z);
+        }
+        let per_call = t0.elapsed();
+
+        // Batch path: one call, zero allocations.
+        let t1 = Instant::now();
+        let done = engine.normalize_batch(&plan, &flat, &mut out).map_err(|e| e.to_string())?;
+        let batched = t1.elapsed();
+
+        // The two paths must agree bit for bit on the last row (cheap
+        // self-check that the speedup isn't a different computation).
+        let last = flat.len() - d;
+        let z_last = iterl2norm::layer_norm(
+            iterl2norm::LayerNormInputs::unscaled(&flat[last..]),
+            engine.method(),
         )
         .map_err(|e| e.to_string())?;
-        let exact = iterl2norm::reference::normalize_f64(&xf, 1e-5);
-        let stats = iterl2norm::metrics::abs_error_stats(&out.z, &exact);
+        for (a, b) in out[last..].iter().zip(&z_last) {
+            if a.to_bits() != b.to_bits() {
+                return Err("batch path diverged from per-call path".into());
+            }
+        }
+
+        let rps = |t: std::time::Duration| rows as f64 / t.as_secs_f64().max(1e-12);
+        println!("format {}  d {d}  rows {done}  method {}", F::NAME, spec.label());
+        println!("  per-call layer_norm : {:>10.0} rows/s  ({per_call:?})", rps(per_call));
+        println!("  engine batch        : {:>10.0} rows/s  ({batched:?})", rps(batched));
         println!(
-            "format {}  d {d}  steps {steps}  seed {seed}",
-            F::NAME
+            "  speedup             : {:.2}x  (plan reuse + zero hot-path allocations)",
+            batched.as_secs_f64().max(1e-12).recip() * per_call.as_secs_f64()
         );
-        println!("m = {:.4}  scale = {:.6}", out.m.to_f64(), out.scale.to_f64());
-        println!("avg |err| {:.3e}   max |err| {:.3e}   over {} elements", stats.avg_abs, stats.max_abs, stats.count);
         Ok(())
     })
 }

@@ -1,11 +1,12 @@
 //! `iterl2norm` — command-line interface to the reproduction.
 //!
 //! ```text
-//! iterl2norm normalize --format fp16 --steps 5 1.5 -2.0 0.25 3.0
+//! iterl2norm normalize --format fp16 --method iterl2:5 1.5 -2.0 0.25 3.0
 //! iterl2norm rsqrt --format fp32 --m 10.5 --steps 5
 //! iterl2norm macro --d 384 [--steps 5] [--format bf16] [--utilization]
 //! iterl2norm cost [--format fp32]
-//! iterl2norm demo --d 768 --format fp32
+//! iterl2norm demo --d 768 --format fp32 --method fisr
+//! iterl2norm batch --d 768 --rows 512 --method iterl2
 //! ```
 
 #![forbid(unsafe_code)]
@@ -39,6 +40,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "macro" => commands::macro_sim(&parsed),
         "cost" => commands::cost(&parsed),
         "demo" => commands::demo(&parsed),
+        "batch" => commands::batch(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

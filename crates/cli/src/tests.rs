@@ -62,3 +62,54 @@ fn cost_and_demo_run() {
     }
     commands::demo(&parsed(&["--d", "96", "--seed", "3"])).unwrap();
 }
+
+#[test]
+fn every_registry_method_works_through_the_cli() {
+    for method in ["iterl2", "iterl2:7", "fisr", "fisr:2", "exact", "lut"] {
+        let p = parsed(&["--method", method, "1.5", "-2.0", "0.25", "3.0"]);
+        commands::normalize(&p).unwrap_or_else(|e| panic!("{method}: {e}"));
+    }
+    let err = commands::normalize(&parsed(&["--method", "sqrtzilla", "1.0"])).unwrap_err();
+    assert!(err.contains("sqrtzilla"));
+    let err = commands::normalize(&parsed(&["--method", "iterl2:x", "1.0"])).unwrap_err();
+    assert!(err.contains("iterl2:x"));
+    // lut:0 must surface as a CLI error, not a LutRsqrt::new panic — and
+    // since "lut" is a known family, the message must blame the parameter
+    // rather than claim the method is unknown.
+    let err = commands::normalize(&parsed(&["--method", "lut:0", "1.0"])).unwrap_err();
+    assert!(
+        err.contains("lut:0") && err.contains("invalid parameter"),
+        "{err}"
+    );
+    let err = commands::normalize(&parsed(&["--method", "exact:-1", "1.0"])).unwrap_err();
+    assert!(err.contains("invalid parameter"), "{err}");
+}
+
+#[test]
+fn steps_flag_conflicts_with_non_iterl2_methods() {
+    // --steps silently doing nothing for fisr/exact/lut would mislead;
+    // the combination is rejected with a pointer to the :param syntax.
+    let err = commands::normalize(&parsed(&["--method", "fisr", "--steps", "3", "1.0", "2.0"]))
+        .unwrap_err();
+    assert!(err.contains("--steps") && err.contains("fisr"), "{err}");
+    // --steps together with an explicit iterl2:N is ambiguous — rejected.
+    let err = commands::normalize(&parsed(&[
+        "--method", "iterl2:7", "--steps", "3", "1.0", "2.0",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("conflicts"), "{err}");
+    // --steps together with (default or bare) iterl2 still works.
+    commands::normalize(&parsed(&["--steps", "3", "1.0", "2.0"])).unwrap();
+    commands::normalize(&parsed(&[
+        "--method", "iterl2", "--steps", "3", "1.0", "2.0",
+    ]))
+    .unwrap();
+}
+
+#[test]
+fn batch_runs_and_validates_args() {
+    commands::batch(&parsed(&["--d", "64", "--rows", "16"])).unwrap();
+    commands::batch(&parsed(&["--d", "32", "--rows", "8", "--method", "fisr"])).unwrap();
+    assert!(commands::batch(&parsed(&["--d", "0"])).is_err());
+    assert!(commands::batch(&parsed(&["--rows", "0"])).is_err());
+}

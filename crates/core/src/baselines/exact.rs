@@ -4,7 +4,7 @@
 
 use softfloat::Float;
 
-use crate::layernorm::RsqrtScale;
+use crate::layernorm::{DimConsts, RsqrtScale};
 
 /// Exact (correctly rounded, in-format) reciprocal square root of the
 /// variance, with optional ε.
@@ -40,10 +40,10 @@ impl ExactRsqrtNorm {
 }
 
 impl<F: Float> RsqrtScale<F> for ExactRsqrtNorm {
-    /// `s = 1/√(m·d⁻¹ + ε)` with every operation correctly rounded in `F`.
-    fn scale_factor(&self, m: F, d: usize) -> F {
-        let inv_d = F::from_f64(1.0 / d as f64);
-        let var = m * inv_d + F::from_f64(self.eps);
+    /// `s = 1/√(m·d⁻¹ + ε)` with every operation correctly rounded in `F`
+    /// and `d⁻¹` taken pre-rounded from the plan constants.
+    fn scale_with(&self, m: F, dims: &DimConsts<F>) -> F {
+        let var = m * dims.inv_d + F::from_f64(self.eps);
         F::one() / var.sqrt()
     }
 

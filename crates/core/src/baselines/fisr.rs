@@ -10,7 +10,7 @@
 
 use softfloat::Float;
 
-use crate::layernorm::RsqrtScale;
+use crate::layernorm::{DimConsts, RsqrtScale};
 
 /// σ in the standard magic-constant derivation
 /// `magic = ⌊(3/2)·2^M·(bias − σ)⌋` (Lomont's analysis of the trick).
@@ -95,9 +95,8 @@ impl Fisr {
 impl<F: Float> RsqrtScale<F> for Fisr {
     /// FISR-based layer normalization computes `ŷ = y·rsqrt(σ²)` with
     /// `σ² = m·d⁻¹` (`d⁻¹` pre-stored, as in the macro).
-    fn scale_factor(&self, m: F, d: usize) -> F {
-        let inv_d = F::from_f64(1.0 / d as f64);
-        self.rsqrt(m * inv_d)
+    fn scale_with(&self, m: F, dims: &DimConsts<F>) -> F {
+        self.rsqrt(m * dims.inv_d)
     }
 
     fn method_name(&self) -> &'static str {

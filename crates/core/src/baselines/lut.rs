@@ -5,7 +5,7 @@
 
 use softfloat::Float;
 
-use crate::layernorm::RsqrtScale;
+use crate::layernorm::{DimConsts, RsqrtScale};
 
 /// LUT-based `1/√x` approximation.
 ///
@@ -104,9 +104,8 @@ impl LutRsqrt {
 }
 
 impl<F: Float> RsqrtScale<F> for LutRsqrt {
-    fn scale_factor(&self, m: F, d: usize) -> F {
-        let inv_d = F::from_f64(1.0 / d as f64);
-        self.rsqrt(m * inv_d)
+    fn scale_with(&self, m: F, dims: &DimConsts<F>) -> F {
+        self.rsqrt(m * dims.inv_d)
     }
 
     fn method_name(&self) -> &'static str {

@@ -22,6 +22,29 @@ pub enum NormError {
         /// Observed `beta.len()`.
         actual: usize,
     },
+    /// A single-row input did not match the plan's vector length.
+    InputLengthMismatch {
+        /// The plan's `d`.
+        expected: usize,
+        /// Observed input length.
+        actual: usize,
+    },
+    /// An output buffer did not match the length the call requires.
+    OutputLengthMismatch {
+        /// Required output length.
+        expected: usize,
+        /// Observed output length.
+        actual: usize,
+    },
+    /// A flat batch buffer was not a whole number of `d`-length rows.
+    BatchLengthMismatch {
+        /// Complete rows contained in the buffer (`actual / d`).
+        rows: usize,
+        /// The plan's row length `d`.
+        d: usize,
+        /// Observed buffer length.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for NormError {
@@ -35,6 +58,22 @@ impl fmt::Display for NormError {
             NormError::BetaLengthMismatch { expected, actual } => write!(
                 f,
                 "beta length {actual} does not match input length {expected}"
+            ),
+            NormError::InputLengthMismatch { expected, actual } => write!(
+                f,
+                "input length {actual} does not match the plan's d = {expected}"
+            ),
+            NormError::OutputLengthMismatch { expected, actual } => write!(
+                f,
+                "output buffer length {actual} does not match required length {expected}"
+            ),
+            NormError::BatchLengthMismatch { rows, d, actual } => write!(
+                f,
+                "batch buffer length {actual} is not a whole number of rows of length {d} \
+                 ({rows} complete rows plus {} leftover elements)",
+                // Saturating: the variant's fields are public, so Display
+                // must stay total even for inconsistent hand-built values.
+                actual.saturating_sub(rows.saturating_mul(*d))
             ),
         }
     }
@@ -56,6 +95,89 @@ mod tests {
         assert!(s.contains('8') && s.contains('4'));
         assert!(s.chars().next().unwrap().is_lowercase());
         assert_eq!(NormError::EmptyInput.to_string(), "input vector is empty");
+    }
+
+    #[test]
+    fn every_variant_displays_its_numbers() {
+        // Display coverage: each variant names every numeric field, so a
+        // batch-shaped bug report is self-contained.
+        let cases: [(NormError, &[usize]); 6] = [
+            (NormError::EmptyInput, &[]),
+            (
+                NormError::GammaLengthMismatch {
+                    expected: 8,
+                    actual: 4,
+                },
+                &[8, 4],
+            ),
+            (
+                NormError::BetaLengthMismatch {
+                    expected: 9,
+                    actual: 5,
+                },
+                &[9, 5],
+            ),
+            (
+                NormError::InputLengthMismatch {
+                    expected: 768,
+                    actual: 767,
+                },
+                &[768, 767],
+            ),
+            (
+                NormError::OutputLengthMismatch {
+                    expected: 1536,
+                    actual: 768,
+                },
+                &[1536, 768],
+            ),
+            (
+                NormError::BatchLengthMismatch {
+                    rows: 3,
+                    d: 768,
+                    actual: 2305,
+                },
+                &[3, 768, 2305],
+            ),
+        ];
+        for (err, numbers) in cases {
+            let s = err.to_string();
+            assert!(
+                s.chars().next().unwrap().is_lowercase(),
+                "not lowercase: {s}"
+            );
+            for n in numbers {
+                assert!(s.contains(&n.to_string()), "'{s}' missing {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_mismatch_reports_leftover_elements() {
+        let e = NormError::BatchLengthMismatch {
+            rows: 2,
+            d: 100,
+            actual: 250,
+        };
+        assert!(e.to_string().contains("50 leftover"), "{e}");
+    }
+
+    #[test]
+    fn batch_mismatch_display_is_total_for_inconsistent_fields() {
+        // The fields are public, so Display must not panic on hand-built
+        // values that the engine itself would never produce.
+        let e = NormError::BatchLengthMismatch {
+            rows: 9,
+            d: 10,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("0 leftover"), "{e}");
+        let e = NormError::BatchLengthMismatch {
+            rows: usize::MAX,
+            d: usize::MAX,
+            actual: 1,
+        };
+        let _ = e.to_string();
     }
 
     #[test]

@@ -83,6 +83,27 @@ pub fn chunk_sum<F: Float>(values: &[F]) -> F {
     tree_sum8(&l1)
 }
 
+/// Fold the partial-sum buffer through 8-input trees until one value
+/// remains, in place (no allocation). Bit-identical to repeatedly
+/// collecting `chunks(TREE_WIDTH).map(tree_sum8)` into a fresh buffer.
+fn fold_partials<F: Float>(partials: &mut Vec<F>) -> F {
+    if partials.is_empty() {
+        return F::zero();
+    }
+    while partials.len() > 1 {
+        let groups = partials.len().div_ceil(TREE_WIDTH);
+        for g in 0..groups {
+            let start = g * TREE_WIDTH;
+            let end = (start + TREE_WIDTH).min(partials.len());
+            let mut tree = [F::zero(); TREE_WIDTH];
+            tree[..end - start].copy_from_slice(&partials[start..end]);
+            partials[g] = tree_sum8(&tree[..end - start]);
+        }
+        partials.truncate(groups);
+    }
+    partials[0]
+}
+
 /// Full-vector sum in the macro's order: per-chunk sums collected into the
 /// partial-sum buffer, then folded through 8-input trees until one value
 /// remains (a 16-entry buffer folds as two trees + one final tree).
@@ -97,34 +118,40 @@ pub fn chunk_sum<F: Float>(values: &[F]) -> F {
 /// assert_eq!(hw_sum(&v).to_f64(), 4950.0);
 /// ```
 pub fn hw_sum<F: Float>(values: &[F]) -> F {
-    let mut partials: Vec<F> = values.chunks(CHUNK).map(chunk_sum).collect();
-    if partials.is_empty() {
-        return F::zero();
-    }
-    while partials.len() > 1 {
-        partials = partials.chunks(TREE_WIDTH).map(tree_sum8).collect();
-    }
-    partials[0]
+    hw_sum_with(values, &mut Vec::new())
+}
+
+/// [`hw_sum`] with a caller-provided partial-sum buffer, so steady-state
+/// callers (the [`Normalizer`](crate::Normalizer) hot path) allocate
+/// nothing. `scratch` is cleared on entry; capacity `⌈values.len()/64⌉`
+/// avoids growth.
+pub fn hw_sum_with<F: Float>(values: &[F], scratch: &mut Vec<F>) -> F {
+    scratch.clear();
+    scratch.extend(values.chunks(CHUNK).map(chunk_sum));
+    fold_partials(scratch)
 }
 
 /// Full-vector sum of elementwise squares in the macro's order: each chunk
 /// passes through the 64-multiplier Mul block, then the Add block, exactly
 /// like the `m = ‖y‖²` phase.
 pub fn hw_sum_sq<F: Float>(values: &[F]) -> F {
-    let mut partials: Vec<F> = values
-        .chunks(CHUNK)
-        .map(|chunk| {
-            let squared: Vec<F> = chunk.iter().map(|&v| v * v).collect();
-            chunk_sum(&squared)
-        })
-        .collect();
-    if partials.is_empty() {
-        return F::zero();
-    }
-    while partials.len() > 1 {
-        partials = partials.chunks(TREE_WIDTH).map(tree_sum8).collect();
-    }
-    partials[0]
+    hw_sum_sq_with(values, &mut Vec::new())
+}
+
+/// [`hw_sum_sq`] with a caller-provided partial-sum buffer (see
+/// [`hw_sum_with`]). The per-chunk squares live on the stack — the 64
+/// registers of the Mul block — so the whole reduction is allocation-free
+/// once `scratch` has capacity.
+pub fn hw_sum_sq_with<F: Float>(values: &[F], scratch: &mut Vec<F>) -> F {
+    scratch.clear();
+    scratch.extend(values.chunks(CHUNK).map(|chunk| {
+        let mut squared = [F::zero(); CHUNK];
+        for (s, &v) in squared.iter_mut().zip(chunk) {
+            *s = v * v;
+        }
+        chunk_sum(&squared[..chunk.len()])
+    }));
+    fold_partials(scratch)
 }
 
 /// Plain left-to-right sum (the software-order ablation).
@@ -150,6 +177,24 @@ impl ReduceOrder {
     pub fn sum_sq<F: Float>(self, values: &[F]) -> F {
         match self {
             ReduceOrder::HwTree => hw_sum_sq(values),
+            ReduceOrder::Linear => linear_sum_sq(values),
+        }
+    }
+
+    /// [`ReduceOrder::sum`] with a reusable partial-sum buffer (unused by
+    /// the linear order). Bit-identical to `sum`.
+    pub fn sum_with<F: Float>(self, values: &[F], scratch: &mut Vec<F>) -> F {
+        match self {
+            ReduceOrder::HwTree => hw_sum_with(values, scratch),
+            ReduceOrder::Linear => linear_sum(values),
+        }
+    }
+
+    /// [`ReduceOrder::sum_sq`] with a reusable partial-sum buffer (unused
+    /// by the linear order). Bit-identical to `sum_sq`.
+    pub fn sum_sq_with<F: Float>(self, values: &[F], scratch: &mut Vec<F>) -> F {
+        match self {
+            ReduceOrder::HwTree => hw_sum_sq_with(values, scratch),
             ReduceOrder::Linear => linear_sum_sq(values),
         }
     }
@@ -237,6 +282,57 @@ mod tests {
             ReduceOrder::HwTree.sum_sq(&v).to_f64(),
             hw_sum_sq(&v).to_f64()
         );
+    }
+
+    #[test]
+    fn in_place_fold_matches_collecting_fold_bitwise() {
+        // The scratch-reusing fold must reproduce the original
+        // collect-into-fresh-buffers fold bit for bit.
+        for d in [1usize, 7, 63, 64, 65, 129, 640, 1024, 4097] {
+            let v: Vec<Fp32> = (0..d)
+                .map(|i| Fp32::from_f64(((i * 37 % 101) as f64) / 17.0 - 2.0))
+                .collect();
+            let mut partials: Vec<Fp32> = v.chunks(CHUNK).map(chunk_sum).collect();
+            while partials.len() > 1 {
+                partials = partials.chunks(TREE_WIDTH).map(tree_sum8).collect();
+            }
+            let reference = partials[0];
+            let mut scratch = Vec::new();
+            assert_eq!(
+                hw_sum_with(&v, &mut scratch).to_bits(),
+                reference.to_bits(),
+                "d = {d}"
+            );
+            assert_eq!(hw_sum(&v).to_bits(), reference.to_bits(), "d = {d}");
+            // Squares: reference built with a per-chunk temporary Vec.
+            let mut sq_partials: Vec<Fp32> = v
+                .chunks(CHUNK)
+                .map(|chunk| {
+                    let squared: Vec<Fp32> = chunk.iter().map(|&x| x * x).collect();
+                    chunk_sum(&squared)
+                })
+                .collect();
+            while sq_partials.len() > 1 {
+                sq_partials = sq_partials.chunks(TREE_WIDTH).map(tree_sum8).collect();
+            }
+            assert_eq!(
+                hw_sum_sq_with(&v, &mut scratch).to_bits(),
+                sq_partials[0].to_bits(),
+                "d = {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_capacity_is_reused_across_calls() {
+        let v: Vec<Fp32> = (0..1024).map(|i| Fp32::from_f64(i as f64)).collect();
+        let mut scratch = Vec::with_capacity(1024usize.div_ceil(CHUNK));
+        let first = hw_sum_with(&v, &mut scratch);
+        let cap = scratch.capacity();
+        for _ in 0..10 {
+            assert_eq!(hw_sum_with(&v, &mut scratch).to_bits(), first.to_bits());
+        }
+        assert_eq!(scratch.capacity(), cap, "scratch grew unexpectedly");
     }
 
     #[test]

@@ -165,42 +165,37 @@ impl<F: Float> IterTrace<F> {
 /// assert_eq!(trace.len(), 5);
 /// ```
 pub fn iterate<F: Float>(m: F, cfg: &IterConfig) -> IterTrace<F> {
-    let a0 = match cfg.init {
-        InitRule::HwExponent => a0_from_exponent(m),
-        InitRule::ExactRsqrt => {
-            let md = m.to_f64();
-            if md > 0.0 {
-                F::from_f64(1.0 / md.sqrt())
-            } else {
-                a0_from_exponent(m)
-            }
-        }
-        InitRule::Constant(c) => F::from_f64(c),
-    };
-    let lambda = match cfg.lambda {
-        LambdaRule::HwExponent => lambda_from_exponent(m),
-        LambdaRule::ExactInverse => {
-            let md = m.to_f64();
-            if md > 0.0 {
-                F::from_f64(0.69 / md)
-            } else {
-                lambda_from_exponent(m)
-            }
-        }
-        LambdaRule::Constant(c) => F::from_f64(c),
-    };
+    let a0 = seed_for(m, cfg);
+    let lambda = lambda_for(m, cfg);
     let mut trace = IterTrace {
         a0,
         lambda,
         steps: Vec::new(),
     };
+    run_updates(m, a0, lambda, cfg, |a| trace.steps.push(a));
+    trace
+}
+
+/// The one stop-rule state machine: run update steps from `a0` per `cfg`,
+/// reporting every new `a` to `observe`, and return the final `a`.
+///
+/// Both [`iterate`] (observer pushes to the trace) and
+/// [`IterL2Norm::a_infinity`] (no-op observer, allocation-free) drive this
+/// same loop, so their final values are bit-identical by construction.
+fn run_updates<F: Float>(
+    m: F,
+    a0: F,
+    lambda: F,
+    cfg: &IterConfig,
+    mut observe: impl FnMut(F),
+) -> F {
     let mut a = a0;
     match cfg.stop {
         StopRule::FixedSteps(n) => {
             for _ in 0..n {
                 let (next, _da) = apply_update(m, a, lambda, cfg.update);
                 a = next;
-                trace.steps.push(a);
+                observe(a);
             }
         }
         StopRule::Tolerance {
@@ -211,7 +206,7 @@ pub fn iterate<F: Float>(m: F, cfg: &IterConfig) -> IterTrace<F> {
             for _ in 0..max_steps {
                 let (next, da) = apply_update(m, a, lambda, cfg.update);
                 a = next;
-                trace.steps.push(a);
+                observe(a);
                 // Algorithm 1: continue while Δa > δ_max (signed comparison,
                 // so an overshoot terminates too). NaN also terminates.
                 if !matches!(da.partial_cmp(&dmax), Some(core::cmp::Ordering::Greater)) {
@@ -227,7 +222,7 @@ pub fn iterate<F: Float>(m: F, cfg: &IterConfig) -> IterTrace<F> {
             for _ in 0..max_steps {
                 let (next, da) = apply_update(m, a, lambda, cfg.update);
                 a = next;
-                trace.steps.push(a);
+                observe(a);
                 if !matches!(
                     da.abs().partial_cmp(&dmax),
                     Some(core::cmp::Ordering::Greater)
@@ -237,7 +232,39 @@ pub fn iterate<F: Float>(m: F, cfg: &IterConfig) -> IterTrace<F> {
             }
         }
     }
-    trace
+    a
+}
+
+/// Seed `a₀` selection per the configured [`InitRule`].
+fn seed_for<F: Float>(m: F, cfg: &IterConfig) -> F {
+    match cfg.init {
+        InitRule::HwExponent => a0_from_exponent(m),
+        InitRule::ExactRsqrt => {
+            let md = m.to_f64();
+            if md > 0.0 {
+                F::from_f64(1.0 / md.sqrt())
+            } else {
+                a0_from_exponent(m)
+            }
+        }
+        InitRule::Constant(c) => F::from_f64(c),
+    }
+}
+
+/// Update-rate λ selection per the configured [`LambdaRule`].
+fn lambda_for<F: Float>(m: F, cfg: &IterConfig) -> F {
+    match cfg.lambda {
+        LambdaRule::HwExponent => lambda_from_exponent(m),
+        LambdaRule::ExactInverse => {
+            let md = m.to_f64();
+            if md > 0.0 {
+                F::from_f64(0.69 / md)
+            } else {
+                lambda_from_exponent(m)
+            }
+        }
+        LambdaRule::Constant(c) => F::from_f64(c),
+    }
 }
 
 /// The IterL2Norm normalizer: computes `a∞ ≈ 1/‖y‖₂` from `m = ‖y‖²₂` and
@@ -280,8 +307,16 @@ impl IterL2Norm {
     }
 
     /// Compute `a∞ ≈ 1/‖y‖₂` from `m = ‖y‖²₂`.
+    ///
+    /// Allocation-free: drives the same [`run_updates`] loop as
+    /// [`iterate`] (bit-identical final value) without recording the
+    /// trace, so it can sit on the [`Normalizer`](crate::Normalizer) hot
+    /// path.
     pub fn a_infinity<F: Float>(&self, m: F) -> F {
-        iterate(m, &self.config).final_a()
+        let cfg = &self.config;
+        let a0 = seed_for(m, cfg);
+        let lambda = lambda_for(m, cfg);
+        run_updates(m, a0, lambda, cfg, |_| {})
     }
 }
 
@@ -473,6 +508,40 @@ mod tests {
             trace.final_a().to_bits(),
             trace.steps.last().unwrap().to_bits()
         );
+    }
+
+    #[test]
+    fn a_infinity_matches_trace_final_bitwise() {
+        // The allocation-free path must follow the traced path exactly,
+        // for every stop rule and update style.
+        let configs = [
+            IterConfig::fixed_steps(0),
+            IterConfig::fixed_steps(5),
+            IterConfig::fixed_steps(9),
+            IterConfig::tolerance(1e-6, 40),
+            IterConfig {
+                stop: StopRule::ToleranceAbs {
+                    delta_max: 1e-6,
+                    max_steps: 40,
+                },
+                ..IterConfig::fixed_steps(5)
+            },
+            IterConfig {
+                update: UpdateStyle::Fused,
+                ..IterConfig::fixed_steps(5)
+            },
+        ];
+        for cfg in &configs {
+            for &m_val in &[0.0, 0.001, 0.7, 1.0, 3.99, 341.0, 1e6] {
+                let norm = IterL2Norm::with_config(*cfg);
+                let m = Fp32::from_f64(m_val);
+                assert_eq!(
+                    norm.a_infinity(m).to_bits(),
+                    iterate(m, cfg).final_a().to_bits(),
+                    "cfg {cfg:?}, m {m_val}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,31 @@ use crate::error::NormError;
 use crate::hworder::ReduceOrder;
 use crate::iteration::IterL2Norm;
 
+/// Per-dimension constants the macro stores next to the vector memory:
+/// `d⁻¹` and `√d`, both rounded to the format once. Building these per call
+/// was the seed implementation's repeated `F::from_f64(...)` overhead; a
+/// [`NormPlan`](crate::NormPlan) hoists them per layer shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DimConsts<F> {
+    /// The vector length `d`.
+    pub d: usize,
+    /// `d⁻¹` rounded to the format (used by the mean and the variance).
+    pub inv_d: F,
+    /// `√d` rounded to the format (used by the IterL2Norm scale).
+    pub sqrt_d: F,
+}
+
+impl<F: Float> DimConsts<F> {
+    /// Round `d⁻¹` and `√d` into the format for vector length `d`.
+    pub fn new(d: usize) -> Self {
+        DimConsts {
+            d,
+            inv_d: F::from_f64(1.0 / d as f64),
+            sqrt_d: F::from_f64((d as f64).sqrt()),
+        }
+    }
+}
+
 /// A provider of the normalization scale factor `s ≈ √d/‖y‖₂`.
 ///
 /// Layer normalization's steps 1 and 3 (mean shift, affine output) are
@@ -13,22 +38,47 @@ use crate::iteration::IterL2Norm;
 /// `m = ‖y‖²₂` into the multiplier applied to `y`. [`IterL2Norm`], the FISR
 /// baseline ([`baselines::Fisr`](crate::baselines::Fisr)), the LUT baseline
 /// and the exact in-format reference all implement this trait, so a single
-/// [`layer_norm`] pipeline serves every comparison in the paper.
+/// [`layer_norm`] pipeline — and the batch engine behind
+/// [`Normalizer`](crate::Normalizer) — serves every comparison in the
+/// paper.
+///
+/// The trait is object-safe: `&dyn RsqrtScale<F>` works everywhere a
+/// concrete method does, and the [`ScaleMethod`](crate::ScaleMethod) enum
+/// offers a closed registry of the built-in methods.
 pub trait RsqrtScale<F: Float> {
-    /// Compute the factor `s` such that `ŷ = s·y` is the normalized vector,
-    /// given `m = ‖y‖²₂` and the vector length `d`.
-    fn scale_factor(&self, m: F, d: usize) -> F;
+    /// Compute the factor `s` such that `ŷ = s·y` is the normalized
+    /// vector, given `m = ‖y‖²₂` and the precomputed constants for the
+    /// vector length. This is the hot-path entry: implementations must not
+    /// rebuild `√d`/`d⁻¹`.
+    fn scale_with(&self, m: F, dims: &DimConsts<F>) -> F;
+
+    /// Convenience wrapper building [`DimConsts`] on the fly — one-shot
+    /// callers only; plan-holding callers use [`RsqrtScale::scale_with`].
+    fn scale_factor(&self, m: F, d: usize) -> F {
+        self.scale_with(m, &DimConsts::new(d))
+    }
 
     /// Short method name for reports (e.g. `"IterL2Norm"`, `"FISR"`).
     fn method_name(&self) -> &'static str;
 }
 
+/// Forwarding impl so borrowed methods (`&S`, `&dyn RsqrtScale<F>`) slot
+/// into generic engine types like `Normalizer<F, &S>`.
+impl<F: Float, T: RsqrtScale<F> + ?Sized> RsqrtScale<F> for &T {
+    fn scale_with(&self, m: F, dims: &DimConsts<F>) -> F {
+        (**self).scale_with(m, dims)
+    }
+
+    fn method_name(&self) -> &'static str {
+        (**self).method_name()
+    }
+}
+
 impl<F: Float> RsqrtScale<F> for IterL2Norm {
     /// `s = a∞ · √d`, with `√d` pre-stored in the format (the macro keeps
     /// it in memory next to `d⁻¹`).
-    fn scale_factor(&self, m: F, d: usize) -> F {
-        let sqrt_d = F::from_f64((d as f64).sqrt());
-        self.a_infinity(m) * sqrt_d
+    fn scale_with(&self, m: F, dims: &DimConsts<F>) -> F {
+        self.a_infinity(m) * dims.sqrt_d
     }
 
     fn method_name(&self) -> &'static str {
@@ -174,28 +224,121 @@ pub fn layer_norm_detailed<F: Float, S: RsqrtScale<F> + ?Sized>(
         }
     }
 
+    let mut z = x.to_vec();
+    let params = RowParams {
+        dims: &DimConsts::new(d),
+        reduce: inputs.reduce,
+        gamma: inputs.gamma,
+        beta: inputs.beta,
+    };
+    let stats = normalize_row_in_place(&mut z, &params, method, &mut Vec::new());
+    Ok(LayerNormOutput {
+        z,
+        mean: stats.mean,
+        m: stats.m,
+        scale: stats.scale,
+    })
+}
+
+/// Per-row intermediates the engine hands back without allocating (the
+/// scalar fields of [`LayerNormOutput`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormStats<F> {
+    /// The mean `x̄` (already rounded to the format).
+    pub mean: F,
+    /// `m = ‖y‖²₂` of the mean-shifted vector.
+    pub m: F,
+    /// The applied scale factor `s ≈ √d/‖y‖₂`.
+    pub scale: F,
+}
+
+/// Borrowed shape-and-parameter bundle one row normalization needs: views
+/// of a [`NormPlan`](crate::NormPlan) or of [`LayerNormInputs`].
+pub(crate) struct RowParams<'a, F> {
+    /// Precomputed `d`, `d⁻¹`, `√d`.
+    pub dims: &'a DimConsts<F>,
+    /// Reduction order for the mean and `m`.
+    pub reduce: ReduceOrder,
+    /// Optional per-element scale γ (length `d`).
+    pub gamma: Option<&'a [F]>,
+    /// Optional per-element shift β (length `d`).
+    pub beta: Option<&'a [F]>,
+}
+
+/// The shared normalization pipeline over one row, in place. Lengths are
+/// the caller's responsibility (`row.len() == dims.d`, γ/β match).
+///
+/// This is *the* Algorithm 1 dataflow — `layer_norm_detailed`, the
+/// [`Normalizer`](crate::Normalizer) single-row entry points and its batch
+/// loop all run this exact operation order, which is what makes their
+/// outputs bit-identical to each other and to the macro simulator.
+pub(crate) fn normalize_row_in_place<F: Float, S: RsqrtScale<F> + ?Sized>(
+    row: &mut [F],
+    params: &RowParams<'_, F>,
+    method: &S,
+    partials: &mut Vec<F>,
+) -> NormStats<F> {
+    let dims = params.dims;
+    debug_assert_eq!(row.len(), dims.d);
     // Step 1: mean shift. The macro multiplies by the pre-stored d⁻¹.
-    let inv_d = F::from_f64(1.0 / d as f64);
-    let mean = inputs.reduce.sum(x) * inv_d;
-    let y: Vec<F> = x.iter().map(|&xi| xi - mean).collect();
-
-    // Step 2 (replaced): m = ‖y‖², then the method's scale factor.
-    let m = inputs.reduce.sum_sq(&y);
-    let scale = method.scale_factor(m, d);
-
+    let mean = params.reduce.sum_with(row, partials) * dims.inv_d;
+    for v in row.iter_mut() {
+        *v = *v - mean;
+    }
+    // Step 2 (replaced): m = ‖y‖², then the method's scale factor from the
+    // pre-stored constants.
+    let m = params.reduce.sum_sq_with(row, partials);
+    let scale = method.scale_with(m, dims);
     // Step 3: ŷ = y·s, z = ŷ·γ + β.
-    let mut z: Vec<F> = y.iter().map(|&yi| yi * scale).collect();
-    if let Some(g) = inputs.gamma {
-        for (zi, &gi) in z.iter_mut().zip(g) {
-            *zi = *zi * gi;
+    for v in row.iter_mut() {
+        *v = *v * scale;
+    }
+    if let Some(g) = params.gamma {
+        for (v, &gi) in row.iter_mut().zip(g) {
+            *v = *v * gi;
         }
     }
-    if let Some(b) = inputs.beta {
-        for (zi, &bi) in z.iter_mut().zip(b) {
-            *zi = *zi + bi;
+    if let Some(b) = params.beta {
+        for (v, &bi) in row.iter_mut().zip(b) {
+            *v = *v + bi;
         }
     }
-    Ok(LayerNormOutput { z, mean, m, scale })
+    NormStats { mean, m, scale }
+}
+
+/// [`normalize_row_in_place`] writing into a separate output row (`x` is
+/// copied element-wise into `out` during the mean shift, so the arithmetic
+/// and its rounding order stay identical).
+pub(crate) fn normalize_row_into<F: Float, S: RsqrtScale<F> + ?Sized>(
+    x: &[F],
+    out: &mut [F],
+    params: &RowParams<'_, F>,
+    method: &S,
+    partials: &mut Vec<F>,
+) -> NormStats<F> {
+    let dims = params.dims;
+    debug_assert_eq!(x.len(), dims.d);
+    debug_assert_eq!(out.len(), dims.d);
+    let mean = params.reduce.sum_with(x, partials) * dims.inv_d;
+    for (o, &xi) in out.iter_mut().zip(x) {
+        *o = xi - mean;
+    }
+    let m = params.reduce.sum_sq_with(out, partials);
+    let scale = method.scale_with(m, dims);
+    for o in out.iter_mut() {
+        *o = *o * scale;
+    }
+    if let Some(g) = params.gamma {
+        for (o, &gi) in out.iter_mut().zip(g) {
+            *o = *o * gi;
+        }
+    }
+    if let Some(b) = params.beta {
+        for (o, &bi) in out.iter_mut().zip(b) {
+            *o = *o + bi;
+        }
+    }
+    NormStats { mean, m, scale }
 }
 
 #[cfg(test)]

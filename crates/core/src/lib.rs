@@ -23,31 +23,44 @@
 //! ([`hworder`]), the analytical convergence model ([`analytic`]) and the
 //! error metrics of the evaluation section ([`metrics`]).
 //!
-//! # Quickstart
+//! # Quickstart — the batch-first engine
+//!
+//! Serving-path code builds a [`NormPlan`] once per layer shape (this is
+//! where `d⁻¹` and `√d` are rounded into the format and γ/β lengths are
+//! validated) and a [`Normalizer`] that owns the reduction scratch. The
+//! normalize calls then allocate nothing:
 //!
 //! ```
-//! use iterl2norm::{layer_norm, IterL2Norm, LayerNormInputs};
+//! use iterl2norm::{MethodSpec, NormPlan, Normalizer};
 //! use softfloat::{Float, Fp32};
 //!
 //! # fn main() -> Result<(), iterl2norm::NormError> {
-//! let x: Vec<Fp32> = [0.5, -1.25, 2.0, 0.125]
-//!     .iter()
-//!     .map(|&v| Fp32::from_f64(v))
-//!     .collect();
-//! let norm = IterL2Norm::with_steps(5);
-//! let z = layer_norm(LayerNormInputs::unscaled(&x), &norm)?;
+//! let d = 128;
+//! let plan = NormPlan::<Fp32>::new(d)?; // once per layer shape
+//! let mut engine = Normalizer::for_plan(MethodSpec::iterl2(5).build::<Fp32>(), &plan);
 //!
-//! // The output is (x − mean)/std to within the format's precision.
-//! let exact = iterl2norm::reference::normalize_f64(
-//!     &x.iter().map(|v| v.to_f64()).collect::<Vec<_>>(),
-//!     0.0,
-//! );
-//! for (approx, exact) in z.iter().zip(&exact) {
-//!     assert!((approx.to_f64() - exact).abs() < 1e-5);
-//! }
+//! // Normalize a row-major batch of 16 activation rows in one call.
+//! let batch: Vec<Fp32> = (0..16 * d)
+//!     .map(|i| Fp32::from_f64((i as f64 * 0.211).sin()))
+//!     .collect();
+//! let mut out = vec![Fp32::ZERO; batch.len()];
+//! let rows = engine.normalize_batch(&plan, &batch, &mut out)?;
+//! assert_eq!(rows, 16);
+//!
+//! // Single rows reuse the same plan and scratch.
+//! let mut row = batch[..d].to_vec();
+//! let stats = engine.normalize_in_place(&plan, &mut row)?;
+//! assert!(stats.scale.is_finite());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The one-shot wrappers [`layer_norm`] / [`layer_norm_detailed`] remain
+//! for experiments and tests; they run the identical pipeline (their
+//! output is bit-for-bit the engine's) but rebuild the plan constants and
+//! allocate per call. Methods are dispatched through the single
+//! [`ScaleMethod`] registry (or any custom `&dyn RsqrtScale<F>` — the
+//! trait is object-safe).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +68,7 @@
 pub mod analytic;
 pub mod baselines;
 mod config;
+mod engine;
 mod error;
 pub mod hworder;
 mod iteration;
@@ -63,6 +77,7 @@ pub mod metrics;
 pub mod reference;
 
 pub use config::{InitRule, IterConfig, LambdaRule, StopRule, UpdateStyle};
+pub use engine::{MethodSpec, NormPlan, Normalizer, ScaleMethod};
 pub use error::NormError;
 pub use hworder::ReduceOrder;
 pub use iteration::{
@@ -70,5 +85,6 @@ pub use iteration::{
     IterL2Norm, IterTrace,
 };
 pub use layernorm::{
-    layer_norm, layer_norm_detailed, LayerNormInputs, LayerNormOutput, RsqrtScale,
+    layer_norm, layer_norm_detailed, DimConsts, LayerNormInputs, LayerNormOutput, NormStats,
+    RsqrtScale,
 };

@@ -1,0 +1,232 @@
+//! Batch-vs-single consistency of the `Normalizer` engine: for every
+//! format, every registry method and a spread of vector lengths, the batch
+//! path must reproduce the per-vector `layer_norm` output bit for bit —
+//! including the `m = 0` constant-row edge case — and a plan built once
+//! must match the seed implementation's per-call constant rounding.
+
+use iterl2norm::{
+    layer_norm, LayerNormInputs, MethodSpec, NormPlan, Normalizer, ReduceOrder, RsqrtScale,
+};
+use softfloat::{Bf16, Float, Fp16, Fp32};
+
+/// Vector lengths covering one partial chunk, exact chunk multiples and
+/// multi-fold partial-sum buffers.
+const DIMS: [usize; 5] = [1, 8, 64, 129, 384];
+
+/// Deterministic pseudo-activation batch: `rows` rows of length `d`, with
+/// the last row constant (mean shift cancels exactly, so `m = 0`).
+fn batch_with_constant_row<F: Float>(d: usize, rows: usize) -> Vec<F> {
+    let mut flat: Vec<F> = (0..(rows - 1) * d)
+        .map(|i| F::from_f64((((i as u64).wrapping_mul(2654435761) % 2000) as f64) / 500.0 - 2.0))
+        .collect();
+    flat.extend((0..d).map(|_| F::from_f64(3.25)));
+    flat
+}
+
+fn assert_batch_matches_single<F: Float>() {
+    const ROWS: usize = 4;
+    for spec in MethodSpec::REGISTRY {
+        for d in DIMS {
+            let flat = batch_with_constant_row::<F>(d, ROWS);
+            for reduce in [ReduceOrder::HwTree, ReduceOrder::Linear] {
+                let plan = NormPlan::<F>::new(d).unwrap().with_reduce(reduce);
+                let mut engine = Normalizer::for_plan(spec.build::<F>(), &plan);
+                let mut out = vec![F::zero(); flat.len()];
+                let rows = engine.normalize_batch(&plan, &flat, &mut out).unwrap();
+                assert_eq!(rows, ROWS);
+                for (row_idx, x_row) in flat.chunks_exact(d).enumerate() {
+                    let single = layer_norm(
+                        LayerNormInputs::unscaled(x_row).with_reduce(reduce),
+                        engine.method(),
+                    )
+                    .unwrap();
+                    let batch_row = &out[row_idx * d..(row_idx + 1) * d];
+                    for (col, (a, b)) in batch_row.iter().zip(&single).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{} {} d={d} reduce={reduce:?} row {row_idx} col {col}: \
+                             batch {} vs single {}",
+                            F::NAME,
+                            spec.label(),
+                            a.to_f64(),
+                            b.to_f64()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_matches_single_fp32() {
+    assert_batch_matches_single::<Fp32>();
+}
+
+#[test]
+fn batch_matches_single_fp16() {
+    assert_batch_matches_single::<Fp16>();
+}
+
+#[test]
+fn batch_matches_single_bf16() {
+    assert_batch_matches_single::<Bf16>();
+}
+
+#[test]
+fn batch_in_place_matches_batch_into_all_formats() {
+    fn check<F: Float>() {
+        let d = 96;
+        let flat = batch_with_constant_row::<F>(d, 3);
+        let plan = NormPlan::<F>::new(d).unwrap();
+        let mut engine = Normalizer::for_plan(MethodSpec::iterl2(5).build::<F>(), &plan);
+        let mut out = vec![F::zero(); flat.len()];
+        engine.normalize_batch(&plan, &flat, &mut out).unwrap();
+        let mut in_place = flat.clone();
+        engine
+            .normalize_batch_in_place(&plan, &mut in_place)
+            .unwrap();
+        for (a, b) in out.iter().zip(&in_place) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{}", F::NAME);
+        }
+    }
+    check::<Fp32>();
+    check::<Fp16>();
+    check::<Bf16>();
+}
+
+#[test]
+fn constant_row_normalizes_to_beta_through_the_batch_path() {
+    // m = 0 ⇒ y = 0 ⇒ for every method with a non-NaN scale at m = 0 the
+    // output is exactly 0·γ + β = β. The LUT baseline defines rsqrt(0) as
+    // NaN, so for it the contract is batch ≡ single (NaN bits included),
+    // which the next loop asserts for all methods anyway.
+    let d = 64;
+    let gamma = vec![Fp32::from_f64(1.5); d];
+    let beta = vec![Fp32::from_f64(-0.75); d];
+    let plan = NormPlan::new(d)
+        .unwrap()
+        .with_affine(&gamma, &beta)
+        .unwrap();
+    for spec in MethodSpec::REGISTRY {
+        let mut engine = Normalizer::for_plan(spec.build::<Fp32>(), &plan);
+        let flat = vec![Fp32::from_f64(3.25); 2 * d];
+        let mut out = vec![Fp32::ZERO; 2 * d];
+        engine.normalize_batch(&plan, &flat, &mut out).unwrap();
+        let single = layer_norm(
+            LayerNormInputs::new(&flat[..d], &gamma, &beta),
+            engine.method(),
+        )
+        .unwrap();
+        for (row_idx, row) in out.chunks_exact(d).enumerate() {
+            for (a, b) in row.iter().zip(&single) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} row {row_idx}", spec.label());
+            }
+        }
+        if !matches!(spec, MethodSpec::Lut { .. }) {
+            for z in &out {
+                assert_eq!(z.to_f64(), -0.75, "{}", spec.label());
+            }
+        }
+    }
+}
+
+/// The seed repository's per-call pipeline, reimplemented verbatim: fresh
+/// `Vec`s for `y` and `z`, constants re-rounded inside the call, scale via
+/// `scale_factor(m, d)`. The regression contract of the plan refactor is
+/// that the engine reproduces this bit for bit.
+fn seed_layer_norm<F: Float, S: RsqrtScale<F>>(
+    x: &[F],
+    gamma: Option<&[F]>,
+    beta: Option<&[F]>,
+    reduce: ReduceOrder,
+    method: &S,
+) -> Vec<F> {
+    let d = x.len();
+    let inv_d = F::from_f64(1.0 / d as f64);
+    let mean = reduce.sum(x) * inv_d;
+    let y: Vec<F> = x.iter().map(|&xi| xi - mean).collect();
+    let m = reduce.sum_sq(&y);
+    let scale = method.scale_factor(m, d);
+    let mut z: Vec<F> = y.iter().map(|&yi| yi * scale).collect();
+    if let Some(g) = gamma {
+        for (zi, &gi) in z.iter_mut().zip(g) {
+            *zi = *zi * gi;
+        }
+    }
+    if let Some(b) = beta {
+        for (zi, &bi) in z.iter_mut().zip(b) {
+            *zi = *zi + bi;
+        }
+    }
+    z
+}
+
+#[test]
+fn plan_built_once_matches_seed_per_call_path_bitwise() {
+    fn check<F: Float>() {
+        for spec in MethodSpec::REGISTRY {
+            for d in DIMS {
+                let x: Vec<F> = (0..d)
+                    .map(|i| F::from_f64(((i * 37 % 113) as f64) / 28.0 - 2.0))
+                    .collect();
+                let gamma: Vec<F> = (0..d)
+                    .map(|i| F::from_f64(1.0 + (i % 5) as f64 * 0.1))
+                    .collect();
+                let beta: Vec<F> = (0..d)
+                    .map(|i| F::from_f64((i % 3) as f64 * 0.25 - 0.25))
+                    .collect();
+                let plan = NormPlan::new(d)
+                    .unwrap()
+                    .with_affine(&gamma, &beta)
+                    .unwrap();
+                // One plan, many calls: every call must equal the seed path.
+                let mut engine = Normalizer::for_plan(spec.build::<F>(), &plan);
+                let expected = seed_layer_norm(
+                    &x,
+                    Some(&gamma),
+                    Some(&beta),
+                    ReduceOrder::HwTree,
+                    engine.method(),
+                );
+                let mut out = vec![F::zero(); d];
+                for call in 0..3 {
+                    engine.normalize_into(&plan, &x, &mut out).unwrap();
+                    for (a, b) in out.iter().zip(&expected) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{} {} d={d} call {call}",
+                            F::NAME,
+                            spec.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    check::<Fp32>();
+    check::<Fp16>();
+    check::<Bf16>();
+}
+
+#[test]
+fn detailed_wrapper_matches_engine_stats() {
+    let d = 192;
+    let x: Vec<Fp32> = (0..d)
+        .map(|i| Fp32::from_f64((i as f64 * 0.713).cos()))
+        .collect();
+    let plan = NormPlan::<Fp32>::new(d).unwrap();
+    let mut engine = Normalizer::for_plan(MethodSpec::iterl2(5).build::<Fp32>(), &plan);
+    let mut out = vec![Fp32::ZERO; d];
+    let stats = engine.normalize_into(&plan, &x, &mut out).unwrap();
+    let detailed =
+        iterl2norm::layer_norm_detailed(LayerNormInputs::unscaled(&x), engine.method()).unwrap();
+    assert_eq!(stats.mean.to_bits(), detailed.mean.to_bits());
+    assert_eq!(stats.m.to_bits(), detailed.m.to_bits());
+    assert_eq!(stats.scale.to_bits(), detailed.scale.to_bits());
+    for (a, b) in out.iter().zip(&detailed.z) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -1,0 +1,122 @@
+//! Proof of the engine's zero-allocation hot path: a counting global
+//! allocator observes `normalize_into` / `normalize_in_place` /
+//! `normalize_batch` after plan construction and asserts that not a single
+//! heap allocation happens on the calling thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use iterl2norm::{MethodSpec, NormPlan, Normalizer, ReduceOrder};
+use softfloat::{Bf16, Float, Fp16, Fp32};
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to the system allocator unchanged; the
+// only addition is a thread-local counter bump (const-initialized Cell, so
+// the TLS access itself never allocates).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOC_COUNT.with(Cell::get)
+}
+
+fn assert_hot_path_allocation_free<F: Float>(d: usize, rows: usize) {
+    for spec in MethodSpec::REGISTRY {
+        for reduce in [ReduceOrder::HwTree, ReduceOrder::Linear] {
+            // Setup (may allocate): plan, engine, buffers, method tables.
+            let gamma: Vec<F> = (0..d)
+                .map(|i| F::from_f64(1.0 + (i % 3) as f64 * 0.5))
+                .collect();
+            let beta: Vec<F> = (0..d).map(|_| F::from_f64(0.125)).collect();
+            let plan = NormPlan::new(d)
+                .unwrap()
+                .with_reduce(reduce)
+                .with_affine(&gamma, &beta)
+                .unwrap();
+            let mut engine = Normalizer::for_plan(spec.build::<F>(), &plan);
+            let flat: Vec<F> = (0..rows * d)
+                .map(|i| F::from_f64(((i * 29 % 97) as f64) / 24.0 - 2.0))
+                .collect();
+            let mut out = vec![F::zero(); flat.len()];
+            let mut row = flat[..d].to_vec();
+
+            // Hot path: everything below must allocate nothing.
+            let before = allocations();
+            for _ in 0..4 {
+                engine
+                    .normalize_batch(&plan, &flat, &mut out)
+                    .expect("batch shape");
+                engine
+                    .normalize_into(&plan, &flat[..d], &mut row)
+                    .expect("row shape");
+                engine
+                    .normalize_in_place(&plan, &mut row)
+                    .expect("row shape");
+                engine
+                    .normalize_batch_in_place(&plan, &mut out)
+                    .expect("batch shape");
+            }
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "{} {} reduce={reduce:?} d={d}: hot path allocated {} times",
+                F::NAME,
+                spec.label(),
+                after - before
+            );
+        }
+    }
+}
+
+#[test]
+fn hot_path_is_allocation_free_fp32() {
+    assert_hot_path_allocation_free::<Fp32>(768, 8);
+}
+
+#[test]
+fn hot_path_is_allocation_free_fp16() {
+    assert_hot_path_allocation_free::<Fp16>(384, 4);
+}
+
+#[test]
+fn hot_path_is_allocation_free_bf16() {
+    assert_hot_path_allocation_free::<Bf16>(129, 3);
+}
+
+#[test]
+fn one_shot_wrapper_does_allocate_as_documented() {
+    // Sanity check that the counter actually observes this thread's
+    // allocations: the compatibility wrapper allocates its output Vec.
+    let x: Vec<Fp32> = (0..64).map(|i| Fp32::from_f64(i as f64)).collect();
+    let before = allocations();
+    let z = iterl2norm::layer_norm(
+        iterl2norm::LayerNormInputs::unscaled(&x),
+        &iterl2norm::IterL2Norm::new(),
+    )
+    .unwrap();
+    let after = allocations();
+    assert!(after > before, "counter failed to observe an allocation");
+    assert_eq!(z.len(), 64);
+}

@@ -7,7 +7,7 @@ use iterl2norm::{
     UpdateStyle,
 };
 use proptest::prelude::*;
-use softfloat::{Bf16, Float, Fp16, Fp32};
+use softfloat::{Bf16, Fp16, Fp32};
 
 /// m values spanning every significand and both exponent parities within
 /// a wide, format-safe exponent range.

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container cannot reach crates.io, so this crate implements the
+//! subset of the criterion API the workspace's benches use: `Criterion`,
+//! benchmark groups with `sample_size`/`warm_up_time`/`measurement_time`,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated loop reporting mean ns/iter (no statistics, plots or saved
+//! baselines). When invoked with `--test` (as `cargo test --benches` does)
+//! every routine runs once, so benches double as smoke tests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Build from the process arguments (`--test` selects quick mode).
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+        Criterion { quick }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_benchmark(
+            &id.to_string(),
+            self.quick,
+            Duration::from_millis(200),
+            Duration::from_secs(1),
+            &mut f,
+        );
+    }
+}
+
+/// A named set of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the per-benchmark warm-up budget.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_benchmark(
+            &id.to_string(),
+            self.criterion.quick,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+    }
+
+    /// Benchmark a routine over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) {
+        run_benchmark(
+            &id.to_string(),
+            self.criterion.quick,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut |b| f(b, input),
+        );
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter value.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id for single-function groups.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the scheduled iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    id: &str,
+    quick: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if quick {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("  {id:<40} ok (quick)");
+        return;
+    }
+    // Calibrate: run one iteration, then scale to fill the warm-up budget,
+    // then the measurement budget.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let warm_iters = (warm_up.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut b = Bencher {
+        iters: warm_iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = (b.elapsed / warm_iters as u32).max(Duration::from_nanos(1));
+    let iters = (measurement.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000_000) as u64;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    let (scaled, unit) = if ns >= 1_000_000.0 {
+        (ns / 1_000_000.0, "ms")
+    } else if ns >= 1_000.0 {
+        (ns / 1_000.0, "us")
+    } else {
+        (ns, "ns")
+    };
+    println!("  {id:<40} {scaled:>10.2} {unit}/iter  ({iters} iters)");
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_requested_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 17);
+        assert!(b.elapsed > Duration::ZERO || count == 17);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+        assert_eq!(BenchmarkId::from_parameter("add").to_string(), "add");
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut runs = 0;
+        run_benchmark(
+            "t",
+            true,
+            Duration::from_millis(1),
+            Duration::from_millis(1),
+            &mut |b| b.iter(|| runs += 1),
+        );
+        assert_eq!(runs, 1);
+    }
+}

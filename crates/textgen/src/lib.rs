@@ -264,15 +264,15 @@ mod tests {
         let c = Corpus::wiki_like(16, 5);
         let tokens = c.generate(200_000, 0);
         let mut counts = vec![vec![0u32; 16]; 16];
-        let mut prev_counts = vec![0u32; 16];
+        let mut prev_counts = [0u32; 16];
         for w in tokens.windows(2) {
             counts[w[0] as usize][w[1] as usize] += 1;
             prev_counts[w[0] as usize] += 1;
         }
         // Check the most frequent context.
         let prev = (0..16).max_by_key(|&t| prev_counts[t]).unwrap();
-        for next in 0..16 {
-            let emp = counts[prev][next] as f64 / prev_counts[prev] as f64;
+        for (next, row) in counts[prev].iter().enumerate() {
+            let emp = *row as f64 / prev_counts[prev] as f64;
             let model = c.bigram_prob(prev as u16, next as u16);
             assert!(
                 (emp - model).abs() < 0.02,

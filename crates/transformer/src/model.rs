@@ -1,5 +1,12 @@
 //! The decoder-only model: weights, forward pass and perplexity.
+//!
+//! Normalization runs through the core crate's plan/execute engine: every
+//! layer caches a [`NormPlan`] (format-rounded `d⁻¹`/`√d` plus its owned,
+//! validated γ/β) at weight-materialization time, and each forward pass
+//! drives them with one [`Normalizer`] whose scratch and output buffer are
+//! reused across layers and positions — no per-LayerNorm allocation.
 
+use iterl2norm::{NormPlan, Normalizer, ReduceOrder};
 use softfloat::Float;
 
 use crate::config::{NormPlacement, TransformerConfig};
@@ -56,10 +63,10 @@ struct Layer<F> {
     bk: Vec<F>,
     bv: Vec<F>,
     bo: Vec<F>,
-    ln1_gamma: Vec<F>,
-    ln1_beta: Vec<F>,
-    ln2_gamma: Vec<F>,
-    ln2_beta: Vec<F>,
+    /// Cached plan of the attention-side LayerNorm (owns γ₁/β₁).
+    ln1: NormPlan<F>,
+    /// Cached plan of the feed-forward-side LayerNorm (owns γ₂/β₂).
+    ln2: NormPlan<F>,
     w1: Matrix<F>,
     b1: Vec<F>,
     w2: Matrix<F>,
@@ -76,14 +83,24 @@ pub struct Model<F> {
     embed: Matrix<F>,
     pos: Matrix<F>,
     layers: Vec<Layer<F>>,
-    final_gamma: Vec<F>,
-    final_beta: Vec<F>,
+    /// Cached plan of the final LayerNorm (owns the final γ/β).
+    final_plan: NormPlan<F>,
     head: Matrix<F>,
     head_bias: Vec<F>,
 }
 
 fn fv<F: Float>(v: &[f64]) -> Vec<F> {
     v.iter().map(|&x| F::from_f64(x)).collect()
+}
+
+/// Build a layer-norm plan owning the given f64 master γ/β rounded into
+/// `F`. The model has always reduced in linear order (the software
+/// baseline); the plan bakes that in together with `d⁻¹`/`√d`.
+fn norm_plan<F: Float>(d: usize, gamma: &[f64], beta: &[f64]) -> NormPlan<F> {
+    NormPlan::new(d)
+        .and_then(|p| p.with_affine(&fv::<F>(gamma), &fv::<F>(beta)))
+        .expect("model wiring: gamma/beta lengths match d_model")
+        .with_reduce(ReduceOrder::Linear)
 }
 
 impl<F: Float> Model<F> {
@@ -104,10 +121,8 @@ impl<F: Float> Model<F> {
                 bk: fv(&l.bk),
                 bv: fv(&l.bv),
                 bo: fv(&l.bo),
-                ln1_gamma: fv(&l.ln1_gamma),
-                ln1_beta: fv(&l.ln1_beta),
-                ln2_gamma: fv(&l.ln2_gamma),
-                ln2_beta: fv(&l.ln2_beta),
+                ln1: norm_plan(d, &l.ln1_gamma, &l.ln1_beta),
+                ln2: norm_plan(d, &l.ln2_gamma, &l.ln2_beta),
                 w1: Matrix::from_f64(c.d_ff, d, &l.w1),
                 b1: fv(&l.b1),
                 w2: Matrix::from_f64(d, c.d_ff, &l.w2),
@@ -119,8 +134,7 @@ impl<F: Float> Model<F> {
             embed: Matrix::from_f64(c.vocab, d, &spec.w.embed),
             pos: Matrix::from_f64(c.max_seq, d, &spec.w.pos),
             layers,
-            final_gamma: fv(&spec.w.final_gamma),
-            final_beta: fv(&spec.w.final_beta),
+            final_plan: norm_plan(d, &spec.w.final_gamma, &spec.w.final_beta),
             head: Matrix::from_f64(c.vocab, d, &spec.w.head),
             head_bias: fv(&spec.w.head_bias),
         }
@@ -150,6 +164,12 @@ impl<F: Float> Model<F> {
         let dh = c.head_dim();
         let inv_sqrt_dh = F::from_f64(1.0 / (dh as f64).sqrt());
 
+        // One normalization engine per forward pass: the method is
+        // materialized once, and the scratch plus the normalized-row
+        // buffer are reused across every layer and position.
+        let mut engine = Normalizer::for_plan(norm.build::<F>(), &self.final_plan);
+        let mut norm_buf = vec![F::zero(); c.d_model];
+
         // Per-layer KV caches: keys[layer][pos] is a d_model vector.
         let mut keys: Vec<Vec<Vec<F>>> = vec![Vec::new(); c.n_layers];
         let mut values: Vec<Vec<Vec<F>>> = vec![Vec::new(); c.n_layers];
@@ -161,13 +181,18 @@ impl<F: Float> Model<F> {
 
             for (li, layer) in self.layers.iter().enumerate() {
                 // --- Attention sub-block.
-                let attn_in = match c.placement {
-                    NormPlacement::Pre => norm.apply(&x, &layer.ln1_gamma, &layer.ln1_beta),
-                    NormPlacement::Post => x.clone(),
+                let attn_in: &[F] = match c.placement {
+                    NormPlacement::Pre => {
+                        engine
+                            .normalize_into(&layer.ln1, &x, &mut norm_buf)
+                            .expect("norm wiring: x matches d_model");
+                        &norm_buf
+                    }
+                    NormPlacement::Post => &x,
                 };
-                let q = layer.wq.matvec_bias(&attn_in, &layer.bq);
-                let k = layer.wk.matvec_bias(&attn_in, &layer.bk);
-                let v = layer.wv.matvec_bias(&attn_in, &layer.bv);
+                let q = layer.wq.matvec_bias(attn_in, &layer.bq);
+                let k = layer.wk.matvec_bias(attn_in, &layer.bk);
+                let v = layer.wv.matvec_bias(attn_in, &layer.bv);
                 keys[li].push(k);
                 values[li].push(v);
 
@@ -197,15 +222,22 @@ impl<F: Float> Model<F> {
                 let attn_out = layer.wo.matvec_bias(&ctx, &layer.bo);
                 x = add(&x, &attn_out);
                 if c.placement == NormPlacement::Post {
-                    x = norm.apply(&x, &layer.ln1_gamma, &layer.ln1_beta);
+                    engine
+                        .normalize_in_place(&layer.ln1, &mut x)
+                        .expect("norm wiring: x matches d_model");
                 }
 
                 // --- Feed-forward sub-block (ReLU, as in OPT).
-                let ffn_in = match c.placement {
-                    NormPlacement::Pre => norm.apply(&x, &layer.ln2_gamma, &layer.ln2_beta),
-                    NormPlacement::Post => x.clone(),
+                let ffn_in: &[F] = match c.placement {
+                    NormPlacement::Pre => {
+                        engine
+                            .normalize_into(&layer.ln2, &x, &mut norm_buf)
+                            .expect("norm wiring: x matches d_model");
+                        &norm_buf
+                    }
+                    NormPlacement::Post => &x,
                 };
-                let mut h1 = layer.w1.matvec_bias(&ffn_in, &layer.b1);
+                let mut h1 = layer.w1.matvec_bias(ffn_in, &layer.b1);
                 for hv in h1.iter_mut() {
                     if hv.is_sign_negative() && !hv.is_zero() {
                         *hv = F::zero();
@@ -214,12 +246,16 @@ impl<F: Float> Model<F> {
                 let ffn_out = layer.w2.matvec_bias(&h1, &layer.b2);
                 x = add(&x, &ffn_out);
                 if c.placement == NormPlacement::Post {
-                    x = norm.apply(&x, &layer.ln2_gamma, &layer.ln2_beta);
+                    engine
+                        .normalize_in_place(&layer.ln2, &mut x)
+                        .expect("norm wiring: x matches d_model");
                 }
             }
 
-            let final_x = norm.apply(&x, &self.final_gamma, &self.final_beta);
-            logits_out.push(self.head.matvec_bias(&final_x, &self.head_bias));
+            engine
+                .normalize_into(&self.final_plan, &x, &mut norm_buf)
+                .expect("norm wiring: x matches d_model");
+            logits_out.push(self.head.matvec_bias(&norm_buf, &self.head_bias));
         }
         logits_out
     }

@@ -1,7 +1,12 @@
 //! Pluggable normalization layer: the component Table IV swaps out.
+//!
+//! `NormMethod` is a thin, format-agnostic front over the core crate's
+//! [`MethodSpec`] registry — it no longer owns its own IterL2Norm/FISR/
+//! Exact match arms. The model's layers hold cached [`NormPlan`]s (see
+//! `model.rs`); [`NormMethod::build`] materializes the scale method once
+//! per forward pass.
 
-use iterl2norm::baselines::{ExactRsqrtNorm, Fisr};
-use iterl2norm::{layer_norm, IterL2Norm, LayerNormInputs, ReduceOrder};
+use iterl2norm::{layer_norm, LayerNormInputs, MethodSpec, ReduceOrder, ScaleMethod};
 use softfloat::Float;
 
 /// Which normalization method the model's LayerNorm layers use.
@@ -65,7 +70,25 @@ impl NormMethod {
         }
     }
 
-    /// Apply layer normalization with this method.
+    /// The corresponding entry of the core crate's method registry — the
+    /// single place the IterL2Norm/FISR/Exact dispatch lives.
+    pub fn spec(&self) -> MethodSpec {
+        match *self {
+            NormMethod::Exact { eps } => MethodSpec::Exact { eps },
+            NormMethod::IterL2 { steps } => MethodSpec::IterL2 { steps },
+            NormMethod::Fisr { newton } => MethodSpec::Fisr { newton },
+        }
+    }
+
+    /// Materialize the scale method for format `F` (done once per forward
+    /// pass; the per-layer plans are cached in the model).
+    pub fn build<F: Float>(&self) -> ScaleMethod {
+        self.spec().build::<F>()
+    }
+
+    /// Apply layer normalization with this method — the one-shot
+    /// compatibility path. The model's forward pass uses cached
+    /// [`iterl2norm::NormPlan`]s and a [`iterl2norm::Normalizer`] instead.
     ///
     /// # Panics
     ///
@@ -73,14 +96,8 @@ impl NormMethod {
     /// not user input).
     pub fn apply<F: Float>(&self, x: &[F], gamma: &[F], beta: &[F]) -> Vec<F> {
         let inputs = LayerNormInputs::new(x, gamma, beta).with_reduce(ReduceOrder::Linear);
-        let result = match self {
-            NormMethod::Exact { eps } => layer_norm(inputs, &ExactRsqrtNorm { eps: *eps }),
-            NormMethod::IterL2 { steps } => layer_norm(inputs, &IterL2Norm::with_steps(*steps)),
-            NormMethod::Fisr { newton } => {
-                layer_norm(inputs, &Fisr::with_newton_steps::<F>(*newton))
-            }
-        };
-        result.expect("norm layer wiring: gamma/beta lengths match d")
+        layer_norm(inputs, &self.build::<F>())
+            .expect("norm layer wiring: gamma/beta lengths match d")
     }
 }
 
@@ -138,5 +155,42 @@ mod tests {
         assert_eq!(NormMethod::exact().label(), "baseline");
         assert_eq!(NormMethod::iterl2(3).label(), "iterl2[3]");
         assert_eq!(NormMethod::fisr().label(), "fisr[1]");
+    }
+
+    #[test]
+    fn apply_matches_cached_plan_engine_bitwise() {
+        // The compatibility path and the plan/engine path the model's
+        // forward pass uses must agree bit for bit.
+        use iterl2norm::{NormPlan, Normalizer, ReduceOrder};
+        let (x, g, b) = sample(96);
+        for method in [
+            NormMethod::exact(),
+            NormMethod::iterl2(5),
+            NormMethod::fisr(),
+        ] {
+            let plan = NormPlan::new(96)
+                .unwrap()
+                .with_affine(&g, &b)
+                .unwrap()
+                .with_reduce(ReduceOrder::Linear);
+            let mut engine = Normalizer::for_plan(method.build::<Fp32>(), &plan);
+            let mut out = vec![Fp32::ZERO; 96];
+            engine.normalize_into(&plan, &x, &mut out).unwrap();
+            let compat = method.apply(&x, &g, &b);
+            for (a, c) in out.iter().zip(&compat) {
+                assert_eq!(a.to_bits(), c.to_bits(), "{}", method.label());
+            }
+        }
+    }
+
+    #[test]
+    fn spec_round_trip_preserves_parameters() {
+        use iterl2norm::MethodSpec;
+        assert_eq!(
+            NormMethod::iterl2(7).spec(),
+            MethodSpec::IterL2 { steps: 7 }
+        );
+        assert_eq!(NormMethod::fisr().spec(), MethodSpec::Fisr { newton: 1 });
+        assert_eq!(NormMethod::exact().spec(), MethodSpec::Exact { eps: 1e-5 });
     }
 }

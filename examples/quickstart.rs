@@ -1,5 +1,6 @@
-//! Quickstart: layer-normalize one vector with IterL2Norm in all three
-//! formats and watch the scalar iteration converge.
+//! Quickstart: build a normalization plan once, then drive single rows and
+//! whole batches through the reusable engine — in all three formats — and
+//! watch the scalar iteration converge.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -10,9 +11,17 @@ use iterl2norm_suite::prelude::*;
 fn demo_format<F: Float>() -> Result<(), Box<dyn std::error::Error>> {
     // A small activation vector, as it would leave a feed-forward block.
     let values = [0.62, -1.37, 0.05, 2.10, -0.44, 0.91, -1.88, 0.33];
+    let d = values.len();
     let x: Vec<F> = values.iter().map(|&v| F::from_f64(v)).collect();
 
-    let z = layer_norm(LayerNormInputs::unscaled(&x), &IterL2Norm::new())?;
+    // The plan is built once per layer shape: it owns the format-rounded
+    // d⁻¹ and √d. The engine owns the reduction scratch; after this line
+    // the normalize calls below perform zero heap allocations.
+    let plan = NormPlan::<F>::new(d)?;
+    let mut engine = Normalizer::for_plan(MethodSpec::iterl2(5).build::<F>(), &plan);
+
+    let mut z = vec![F::zero(); d];
+    engine.normalize_into(&plan, &x, &mut z)?;
     let exact = iterl2norm::reference::normalize_f64(&values, 0.0);
 
     let max_err = z
@@ -31,11 +40,43 @@ fn demo_format<F: Float>() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn demo_batch() -> Result<(), Box<dyn std::error::Error>> {
+    // The serving-path shape: one plan, one engine, row-major batches.
+    let d = 768;
+    let rows = 64;
+    let gen = VectorGen::paper();
+    let mut batch: Vec<Fp32> = Vec::with_capacity(rows * d);
+    for r in 0..rows as u64 {
+        batch.extend(gen.vector::<Fp32>(d, r));
+    }
+
+    let plan = NormPlan::<Fp32>::new(d)?;
+    let mut engine = Normalizer::for_plan(MethodSpec::iterl2(5).build::<Fp32>(), &plan);
+    let mut out = vec![Fp32::ZERO; batch.len()];
+    let done = engine.normalize_batch(&plan, &batch, &mut out)?;
+
+    // Every batch row is bit-identical to the per-vector wrapper.
+    let first_single = layer_norm(
+        LayerNormInputs::unscaled(&batch[..d]),
+        &IterL2Norm::with_steps(5),
+    )?;
+    assert!(out[..d]
+        .iter()
+        .zip(&first_single)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+    println!(
+        "\nBatch path: normalized {done} rows of d = {d} in one call \
+         (bit-identical to the per-vector path, zero hot-path allocations)."
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("IterL2Norm quickstart — division- and sqrt-free layer normalization\n");
     demo_format::<Fp32>()?;
     demo_format::<Fp16>()?;
     demo_format::<Bf16>()?;
+    demo_batch()?;
 
     // Peek inside the iteration: a converges to 1/‖y‖ within five steps.
     println!("\nScalar iteration on m = ‖y‖² = 10.5 (FP32):");
@@ -56,6 +97,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             i + 1,
             a.to_f64(),
             (a.to_f64() - target) / target
+        );
+    }
+
+    // The registry in one place: every method the paper compares.
+    println!("\nMethod registry on the same vector (d = 768, FP32):");
+    let d = 768;
+    let x: Vec<Fp32> = VectorGen::paper().vector(d, 7);
+    let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
+    let exact = iterl2norm::reference::normalize_f64(&xf, 1e-5);
+    let plan = NormPlan::<Fp32>::new(d)?;
+    let mut z = vec![Fp32::ZERO; d];
+    for spec in MethodSpec::REGISTRY {
+        let mut engine = Normalizer::for_plan(spec.build::<Fp32>(), &plan);
+        engine.normalize_into(&plan, &x, &mut z)?;
+        let stats = iterl2norm::metrics::abs_error_stats(&z, &exact);
+        println!(
+            "  {:<12} avg |err| {:.3e}   max |err| {:.3e}",
+            spec.label(),
+            stats.avg_abs,
+            stats.max_abs
         );
     }
     Ok(())

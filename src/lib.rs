@@ -16,9 +16,17 @@
 //! use iterl2norm_suite::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let x: Vec<Fp32> = (0..64).map(|i| Fp32::from_f64((i as f64).sin())).collect();
-//! let z = layer_norm(LayerNormInputs::unscaled(&x), &IterL2Norm::new())?;
-//! assert_eq!(z.len(), 64);
+//! // Plan once per layer shape, then normalize batches allocation-free.
+//! let d = 64;
+//! let plan = NormPlan::<Fp32>::new(d)?;
+//! let mut engine = Normalizer::for_plan(MethodSpec::iterl2(5).build::<Fp32>(), &plan);
+//! let batch: Vec<Fp32> = (0..4 * d).map(|i| Fp32::from_f64((i as f64).sin())).collect();
+//! let mut out = vec![Fp32::ZERO; batch.len()];
+//! assert_eq!(engine.normalize_batch(&plan, &batch, &mut out)?, 4);
+//!
+//! // The one-shot wrapper remains for experiments.
+//! let z = layer_norm(LayerNormInputs::unscaled(&batch[..d]), &IterL2Norm::new())?;
+//! assert_eq!(z.len(), d);
 //! # Ok(())
 //! # }
 //! ```
@@ -38,8 +46,8 @@ pub use workloads;
 pub mod prelude {
     pub use iterl2norm::baselines::{ExactRsqrtNorm, Fisr, LutRsqrt};
     pub use iterl2norm::{
-        layer_norm, layer_norm_detailed, IterConfig, IterL2Norm, LayerNormInputs, NormError,
-        ReduceOrder, RsqrtScale, StopRule,
+        layer_norm, layer_norm_detailed, IterConfig, IterL2Norm, LayerNormInputs, MethodSpec,
+        NormError, NormPlan, NormStats, Normalizer, ReduceOrder, RsqrtScale, ScaleMethod, StopRule,
     };
     pub use macrosim::{IterL2NormMacro, MacroConfig};
     pub use softfloat::{Bf16, Float, Fp16, Fp32};
