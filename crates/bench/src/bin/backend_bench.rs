@@ -1,0 +1,11 @@
+//! Backend throughput bench: native-f32 vs softfloat emulation plus
+//! thread scaling, emitting `results/BENCH_backend.json`.
+//!
+//! Rows per batch via `ITERL2_BENCH_ROWS` (default 2048).
+fn main() -> std::io::Result<()> {
+    let rows = std::env::var("ITERL2_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2048);
+    benchkit::experiments::backend::run(rows)
+}

@@ -1,0 +1,193 @@
+//! Execution-backend throughput: native-f32 vs softfloat emulation, and
+//! thread scaling of the partitioned batch path.
+//!
+//! This is the bench behind the README's performance notes and the
+//! checked-in `results/BENCH_backend.json`. Every point drives the same
+//! row-major FP32 batch through [`iterl2norm::backend::build_backend`]'s
+//! bits interface — the exact seam the CLI and a serving front end use —
+//! and a self-check asserts the native output stays bit-identical to the
+//! emulated reference before any number is reported.
+
+use std::time::Instant;
+
+use iterl2norm::backend::{build_backend, BackendKind, FormatKind};
+use iterl2norm::{MethodSpec, ReduceOrder};
+use softfloat::Fp32;
+use workloads::VectorGen;
+
+use crate::io::{banner, print_table, write_json};
+
+/// One measured configuration.
+struct Point {
+    d: usize,
+    backend: BackendKind,
+    threads: usize,
+    rows_per_s: f64,
+    ns_per_row: f64,
+}
+
+/// Best-of-`reps` wall-clock for one backend/thread configuration.
+fn measure(
+    backend: BackendKind,
+    d: usize,
+    threads: usize,
+    spec: &MethodSpec,
+    input: &[u32],
+    out: &mut [u32],
+    reps: usize,
+) -> std::io::Result<f64> {
+    let mut engine = build_backend(backend, FormatKind::Fp32, d, spec, ReduceOrder::HwTree)
+        .map_err(std::io::Error::other)?;
+    // Warm-up sizes the conversion buffers and worker scratch.
+    engine
+        .normalize_batch_bits(input, out, threads)
+        .map_err(std::io::Error::other)?;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        engine
+            .normalize_batch_bits(input, out, threads)
+            .map_err(std::io::Error::other)?;
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Ok(best)
+}
+
+/// Run the backend bench at the given dimensions, batch size and thread
+/// counts, printing the table and writing `results/BENCH_backend.json`.
+///
+/// # Errors
+///
+/// Propagates JSON-write failures (and backend errors as `io::Error`).
+pub fn run_at(dims: &[usize], rows: usize, thread_counts: &[usize]) -> std::io::Result<()> {
+    banner("Backend throughput — native-f32 vs emulated, thread scaling");
+    let spec = MethodSpec::iterl2(5);
+    let reps = 3;
+    let gen = VectorGen::paper();
+    let mut points: Vec<Point> = Vec::new();
+    let mut table = Vec::new();
+
+    for &d in dims {
+        let mut input: Vec<u32> = Vec::with_capacity(rows * d);
+        for r in 0..rows as u64 {
+            input.extend(
+                gen.vector_f64(d, r)
+                    .iter()
+                    .map(|&v| Fp32::from_f64(v).to_bits()),
+            );
+        }
+        let mut out = vec![0u32; input.len()];
+
+        // The emulated serial reference: timed, and kept as the oracle.
+        let t_emulated = measure(BackendKind::Emulated, d, 1, &spec, &input, &mut out, reps)?;
+        let reference = out.clone();
+        points.push(Point {
+            d,
+            backend: BackendKind::Emulated,
+            threads: 1,
+            rows_per_s: rows as f64 / t_emulated,
+            ns_per_row: t_emulated * 1e9 / rows as f64,
+        });
+
+        let mut t_native_serial = f64::NAN;
+        for &threads in thread_counts {
+            let t = measure(
+                BackendKind::Native,
+                d,
+                threads,
+                &spec,
+                &input,
+                &mut out,
+                reps,
+            )?;
+            // Self-check before reporting: the speedup must not be a
+            // different computation.
+            assert_eq!(
+                out, reference,
+                "native output diverged from emulated at d = {d}, threads = {threads}"
+            );
+            if threads == 1 {
+                t_native_serial = t;
+            }
+            points.push(Point {
+                d,
+                backend: BackendKind::Native,
+                threads,
+                rows_per_s: rows as f64 / t,
+                ns_per_row: t * 1e9 / rows as f64,
+            });
+            table.push(vec![
+                d.to_string(),
+                BackendKind::Native.name().to_string(),
+                threads.to_string(),
+                format!("{:.0}", rows as f64 / t),
+                format!("{:.0}", t * 1e9 / rows as f64),
+                format!("{:.1}x", t_emulated / t),
+                if t_native_serial.is_finite() {
+                    format!("{:.2}x", t_native_serial / t)
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+        table.push(vec![
+            d.to_string(),
+            BackendKind::Emulated.name().to_string(),
+            "1".to_string(),
+            format!("{:.0}", rows as f64 / t_emulated),
+            format!("{:.0}", t_emulated * 1e9 / rows as f64),
+            "1.0x".to_string(),
+            "-".to_string(),
+        ]);
+    }
+
+    print_table(
+        &[
+            "d",
+            "backend",
+            "threads",
+            "rows/s",
+            "ns/row",
+            "vs emulated",
+            "vs 1 thread",
+        ],
+        &table,
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"backend_throughput\",\n");
+    json.push_str(&format!("  \"method\": \"{}\",\n", spec.label()));
+    json.push_str("  \"format\": \"FP32\",\n");
+    json.push_str("  \"reduce\": \"hwtree\",\n");
+    json.push_str(&format!("  \"rows_per_batch\": {rows},\n"));
+    json.push_str(&format!("  \"reps_best_of\": {reps},\n"));
+    json.push_str("  \"bit_identity_checked\": true,\n");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"d\": {}, \"backend\": \"{}\", \"threads\": {}, \
+             \"rows_per_s\": {:.1}, \"ns_per_row\": {:.1}}}{}\n",
+            p.d,
+            p.backend.name(),
+            p.threads,
+            p.rows_per_s,
+            p.ns_per_row,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}");
+    let path = write_json("BENCH_backend", &json)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}
+
+/// The standard configuration: the README's d points, `rows` rows per
+/// batch, threads 1/2/4/8.
+///
+/// # Errors
+///
+/// Propagates JSON-write failures.
+pub fn run(rows: usize) -> std::io::Result<()> {
+    run_at(&[384, 768, 4096], rows, &[1, 2, 4, 8])
+}

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod appendix_distributions;
+pub mod backend;
 pub mod fig3_precision;
 pub mod fig4_convergence;
 pub mod fig5_latency;

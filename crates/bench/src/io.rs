@@ -35,6 +35,21 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<P
     Ok(path)
 }
 
+/// Write a pre-serialized JSON document to `results/<name>.json`.
+///
+/// The workspace builds offline (no serde); callers assemble the JSON
+/// text themselves — see `experiments/backend.rs` for the pattern.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_json(name: &str, json: &str) -> std::io::Result<PathBuf> {
+    let path = results_dir()?.join(format!("{name}.json"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{json}")?;
+    Ok(path)
+}
+
 /// Print a section banner.
 pub fn banner(title: &str) {
     println!();

@@ -50,6 +50,21 @@ fn fig5_smoke() {
 }
 
 #[test]
+fn backend_smoke() {
+    let _ = results_dir();
+    benchkit::experiments::backend::run_at(&[32], 8, &[1, 2]).unwrap();
+    let path = results_dir().join("BENCH_backend.json");
+    let content = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+    assert!(
+        content.contains("\"bench\": \"backend_throughput\""),
+        "{content}"
+    );
+    assert!(content.contains("\"backend\": \"native-f32\""), "{content}");
+    assert!(content.contains("\"backend\": \"emulated\""), "{content}");
+}
+
+#[test]
 fn table2_and_fig6_smoke() {
     let _ = results_dir();
     benchkit::experiments::table2_synthesis::run().unwrap();

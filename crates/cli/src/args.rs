@@ -13,8 +13,8 @@ pub struct Parsed {
 
 /// Option keys that take a value; anything else starting with `--` is a
 /// boolean flag.
-const VALUED: [&str; 8] = [
-    "format", "steps", "d", "m", "seed", "trials", "method", "rows",
+const VALUED: [&str; 10] = [
+    "format", "steps", "d", "m", "seed", "trials", "method", "rows", "backend", "threads",
 ];
 
 impl Parsed {

@@ -7,9 +7,12 @@
 
 use std::time::Instant;
 
-use iterl2norm::{iterate, IterConfig, MethodSpec, NormPlan, Normalizer, ScaleMethod};
+use iterl2norm::{
+    iterate, BackendKind, FormatKind, IterConfig, MethodSpec, NormError, NormPlan, Normalizer,
+    ScaleMethod,
+};
 use macrosim::{activity_trace, utilization, IterL2NormMacro, MacroConfig};
-use softfloat::{Bf16, Float, Fp16, Fp32};
+use softfloat::{Bf16, Float, Fp16, Fp32, HostF32};
 use synthmodel::CostModel;
 use workloads::VectorGen;
 
@@ -20,24 +23,29 @@ pub const USAGE: &str = "\
 iterl2norm — fast iterative L2-normalization (DATE 2025 reproduction)
 
 USAGE:
-  iterl2norm normalize [--format fp32|fp16|bf16] [--method M] [--steps N] V1 V2 …
+  iterl2norm normalize [--format fp32|fp16|bf16] [--backend B] [--method M]
+                       [--steps N] V1 V2 …
       Layer-normalize the given values, printing output and error vs exact.
-  iterl2norm rsqrt --m VALUE [--format …] [--steps N]
+  iterl2norm rsqrt --m VALUE [--format …] [--backend B] [--steps N]
       Show the scalar iteration trace toward 1/sqrt(m).
   iterl2norm macro --d LEN [--steps N] [--format …] [--utilization]
       Run the cycle-accurate macro on a random vector of length LEN.
   iterl2norm cost [--format …]
       Print the 32/28nm cost-model report (Table II row + breakdown).
-  iterl2norm demo [--d LEN] [--format …] [--method M] [--seed S]
+  iterl2norm demo [--d LEN] [--format …] [--backend B] [--method M] [--seed S]
       Normalize a random uniform(-1,1) vector end to end.
-  iterl2norm batch [--d LEN] [--rows R] [--format …] [--method M] [--seed S]
+  iterl2norm batch [--d LEN] [--rows R] [--format …] [--backend B]
+                   [--threads N] [--method M] [--seed S]
       Normalize a random R x LEN batch through the engine, printing rows/s
       for the per-call path vs the plan/batch path.
   iterl2norm help
       This text.
 
 Methods (--method): iterl2[:steps], fisr[:newton], exact[:eps], lut[:segments];
---steps N is shorthand for iterl2:N.";
+--steps N is shorthand for iterl2:N.
+Backends (--backend): emulated (softfloat, every format — the default) or
+native (host f32, fp32 only, bit-identical output). --threads N partitions
+batch rows across N worker threads (output bits never depend on N).";
 
 /// Resolve `--method`/`--steps` into a registry entry. `--steps` keeps its
 /// historical meaning as the IterL2Norm step count; combining it with a
@@ -88,7 +96,27 @@ fn format_name(parsed: &Parsed) -> Result<&str, String> {
     }
 }
 
-/// Dispatch a closure over the selected format.
+/// Resolve `--backend` into the core registry's [`BackendKind`]
+/// (default: emulated).
+fn backend_kind(parsed: &Parsed) -> Result<BackendKind, String> {
+    match parsed.get("backend") {
+        None => Ok(BackendKind::Emulated),
+        Some(text) => BackendKind::parse(text)
+            .ok_or_else(|| format!("unknown backend '{text}' (emulated|native)")),
+    }
+}
+
+/// Resolve `--threads` (default 1), rejecting 0 with the engine's own
+/// error message.
+fn threads_arg(parsed: &Parsed) -> Result<usize, String> {
+    let threads: usize = parsed.num("threads", 1)?;
+    if threads == 0 {
+        return Err(format!("option --threads: {}", NormError::ZeroThreads));
+    }
+    Ok(threads)
+}
+
+/// Dispatch a closure over the selected format (emulated execution).
 macro_rules! with_format {
     ($parsed:expr, $f:ident => $body:expr) => {{
         match format_name($parsed)? {
@@ -108,6 +136,45 @@ macro_rules! with_format {
     }};
 }
 
+/// Dispatch a closure over the selected `(format, backend)` execution
+/// pair: the emulated backend covers every format, the native backend is
+/// host `f32` and therefore FP32 only — any other combination is the
+/// engine's [`NormError::BackendFormatMismatch`].
+macro_rules! with_exec {
+    ($parsed:expr, $f:ident => $body:expr) => {{
+        let backend = backend_kind($parsed)?;
+        let format = format_name($parsed)?;
+        match (format, backend) {
+            ("fp32", BackendKind::Native) => {
+                type $f = HostF32;
+                $body
+            }
+            (other, BackendKind::Native) => {
+                let format = FormatKind::parse(other)
+                    .expect("format_name only returns known formats")
+                    .name();
+                Err(NormError::BackendFormatMismatch {
+                    backend: backend.name(),
+                    format,
+                }
+                .to_string())
+            }
+            ("fp16", BackendKind::Emulated) => {
+                type $f = Fp16;
+                $body
+            }
+            ("bf16", BackendKind::Emulated) => {
+                type $f = Bf16;
+                $body
+            }
+            (_, BackendKind::Emulated) => {
+                type $f = Fp32;
+                $body
+            }
+        }
+    }};
+}
+
 /// `normalize` subcommand.
 pub fn normalize(parsed: &Parsed) -> Result<(), String> {
     let spec = method_spec(parsed)?;
@@ -119,14 +186,20 @@ pub fn normalize(parsed: &Parsed) -> Result<(), String> {
     if values.is_empty() {
         return Err("normalize needs at least one value".into());
     }
-    with_format!(parsed, F => {
+    with_exec!(parsed, F => {
         let x: Vec<F> = values.iter().map(|&v| F::from_f64(v)).collect();
         let plan = NormPlan::<F>::new(x.len()).map_err(|e| e.to_string())?;
         let mut engine: Normalizer<F, ScaleMethod> = Normalizer::for_plan(spec.build::<F>(), &plan);
         let mut z = vec![F::zero(); x.len()];
         let stats = engine.normalize_into(&plan, &x, &mut z).map_err(|e| e.to_string())?;
         let exact = iterl2norm::reference::normalize_f64(&values, 0.0);
-        println!("format {}  d {}  method {}", F::NAME, values.len(), spec.label());
+        println!(
+            "format {}  backend {}  d {}  method {}",
+            F::NAME,
+            backend_kind(parsed)?.name(),
+            values.len(),
+            spec.label()
+        );
         println!("mean {:.6}  m {:.6}  scale {:.6}", stats.mean.to_f64(), stats.m.to_f64(), stats.scale.to_f64());
         let mut max_err = 0.0f64;
         for (i, (z, e)) in z.iter().zip(&exact).enumerate() {
@@ -145,11 +218,16 @@ pub fn rsqrt(parsed: &Parsed) -> Result<(), String> {
         return Err("rsqrt needs --m with a nonnegative value".into());
     }
     let steps: u32 = parsed.num("steps", 5)?;
-    with_format!(parsed, F => {
+    with_exec!(parsed, F => {
         let m = F::from_f64(m_val);
         let trace = iterate(m, &IterConfig::fixed_steps(steps));
         let target = if m_val > 0.0 { 1.0 / m_val.sqrt() } else { f64::INFINITY };
-        println!("format {}  m = {}  target 1/sqrt(m) = {target:.9}", F::NAME, m.to_f64());
+        println!(
+            "format {}  backend {}  m = {}  target 1/sqrt(m) = {target:.9}",
+            F::NAME,
+            backend_kind(parsed)?.name(),
+            m.to_f64()
+        );
         println!("a0     = {:.9}   (Eq. 6 exponent seed)", trace.a0.to_f64());
         println!("lambda = {:.9}   (Eq. 10 exponent rate)", trace.lambda.to_f64());
         for (i, a) in trace.steps.iter().enumerate() {
@@ -221,7 +299,7 @@ pub fn demo(parsed: &Parsed) -> Result<(), String> {
     let d: usize = parsed.num("d", 768)?;
     let seed: u64 = parsed.num("seed", 0)?;
     let spec = method_spec(parsed)?;
-    with_format!(parsed, F => {
+    with_exec!(parsed, F => {
         let x: Vec<F> = VectorGen::paper().vector(d, seed);
         let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
         let plan = NormPlan::<F>::new(d).map_err(|e| e.to_string())?;
@@ -231,8 +309,9 @@ pub fn demo(parsed: &Parsed) -> Result<(), String> {
         let exact = iterl2norm::reference::normalize_f64(&xf, 1e-5);
         let stats = iterl2norm::metrics::abs_error_stats(&z, &exact);
         println!(
-            "format {}  d {d}  method {}  seed {seed}",
+            "format {}  backend {}  d {d}  method {}  seed {seed}",
             F::NAME,
+            backend_kind(parsed)?.name(),
             spec.label()
         );
         println!("m = {:.4}  scale = {:.6}", row_stats.m.to_f64(), row_stats.scale.to_f64());
@@ -249,10 +328,11 @@ pub fn batch(parsed: &Parsed) -> Result<(), String> {
     let rows: usize = parsed.num("rows", 256)?;
     let seed: u64 = parsed.num("seed", 0)?;
     let spec = method_spec(parsed)?;
+    let threads = threads_arg(parsed)?;
     if d == 0 || rows == 0 {
         return Err("batch needs --d and --rows at least 1".into());
     }
-    with_format!(parsed, F => {
+    with_exec!(parsed, F => {
         let gen = VectorGen::paper();
         let mut flat: Vec<F> = Vec::with_capacity(rows * d);
         for r in 0..rows as u64 {
@@ -275,9 +355,12 @@ pub fn batch(parsed: &Parsed) -> Result<(), String> {
         }
         let per_call = t0.elapsed();
 
-        // Batch path: one call, zero allocations.
+        // Batch path: one call, zero per-row allocations, partitioned
+        // across --threads workers (bit-identical for any count).
         let t1 = Instant::now();
-        let done = engine.normalize_batch(&plan, &flat, &mut out).map_err(|e| e.to_string())?;
+        let done = engine
+            .normalize_batch_parallel(&plan, &flat, &mut out, threads)
+            .map_err(|e| e.to_string())?;
         let batched = t1.elapsed();
 
         // The two paths must agree bit for bit on the last row (cheap
@@ -295,7 +378,12 @@ pub fn batch(parsed: &Parsed) -> Result<(), String> {
         }
 
         let rps = |t: std::time::Duration| rows as f64 / t.as_secs_f64().max(1e-12);
-        println!("format {}  d {d}  rows {done}  method {}", F::NAME, spec.label());
+        println!(
+            "format {}  backend {}  d {d}  rows {done}  threads {threads}  method {}",
+            F::NAME,
+            backend_kind(parsed)?.name(),
+            spec.label()
+        );
         println!("  per-call layer_norm : {:>10.0} rows/s  ({per_call:?})", rps(per_call));
         println!("  engine batch        : {:>10.0} rows/s  ({batched:?})", rps(batched));
         println!(

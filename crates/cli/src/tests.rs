@@ -113,3 +113,114 @@ fn batch_runs_and_validates_args() {
     assert!(commands::batch(&parsed(&["--d", "0"])).is_err());
     assert!(commands::batch(&parsed(&["--rows", "0"])).is_err());
 }
+
+#[test]
+fn backend_flag_happy_paths() {
+    // Native on fp32 (explicit and default format), emulated explicitly,
+    // and threaded partitioning — all end to end.
+    commands::batch(&parsed(&[
+        "--d",
+        "64",
+        "--rows",
+        "8",
+        "--backend",
+        "native",
+    ]))
+    .unwrap();
+    commands::batch(&parsed(&[
+        "--d",
+        "64",
+        "--rows",
+        "9",
+        "--backend",
+        "native",
+        "--format",
+        "fp32",
+        "--threads",
+        "4",
+    ]))
+    .unwrap();
+    commands::batch(&parsed(&[
+        "--d",
+        "32",
+        "--rows",
+        "8",
+        "--backend",
+        "emulated",
+        "--threads",
+        "2",
+    ]))
+    .unwrap();
+    commands::demo(&parsed(&["--d", "64", "--backend", "native"])).unwrap();
+    // The long alias parses too.
+    commands::demo(&parsed(&["--d", "16", "--backend", "native-f32"])).unwrap();
+    // normalize and rsqrt honor --backend as well (no silent ignore).
+    commands::normalize(&parsed(&["--backend", "native", "1.5", "-2.0", "0.25"])).unwrap();
+    commands::rsqrt(&parsed(&["--m", "10.5", "--backend", "native"])).unwrap();
+}
+
+#[test]
+fn native_backend_rejects_non_fp32_formats() {
+    // The engine's BackendFormatMismatch surfaces with both the backend
+    // and format named.
+    let err = commands::batch(&parsed(&[
+        "--d",
+        "32",
+        "--rows",
+        "4",
+        "--backend",
+        "native",
+        "--format",
+        "fp16",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("native-f32") && err.contains("FP16"), "{err}");
+    let err = commands::demo(&parsed(&["--backend", "native", "--format", "bf16"])).unwrap_err();
+    assert!(err.contains("native-f32") && err.contains("BF16"), "{err}");
+    let err = commands::normalize(&parsed(&[
+        "--backend",
+        "native",
+        "--format",
+        "fp16",
+        "1.0",
+        "2.0",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("native-f32") && err.contains("FP16"), "{err}");
+    let err = commands::rsqrt(&parsed(&[
+        "--m",
+        "2.0",
+        "--backend",
+        "native",
+        "--format",
+        "bf16",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("native-f32") && err.contains("BF16"), "{err}");
+}
+
+#[test]
+fn unknown_backend_and_bad_threads_are_rejected() {
+    let err =
+        commands::batch(&parsed(&["--d", "32", "--rows", "4", "--backend", "gpu"])).unwrap_err();
+    assert!(
+        err.contains("gpu") && err.contains("emulated|native"),
+        "{err}"
+    );
+    let err =
+        commands::batch(&parsed(&["--d", "32", "--rows", "4", "--threads", "0"])).unwrap_err();
+    assert!(err.contains("at least 1"), "{err}");
+    let err =
+        commands::batch(&parsed(&["--d", "32", "--rows", "4", "--threads", "many"])).unwrap_err();
+    assert!(err.contains("--threads") && err.contains("many"), "{err}");
+}
+
+#[test]
+fn backend_and_threads_take_values() {
+    // Both are valued options: trailing flag with no value is a parse
+    // error, not a silent boolean.
+    let owned: Vec<String> = vec!["--backend".into()];
+    assert!(Parsed::parse(&owned).is_err());
+    let owned: Vec<String> = vec!["--threads".into()];
+    assert!(Parsed::parse(&owned).is_err());
+}

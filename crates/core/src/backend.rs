@@ -1,0 +1,539 @@
+//! Execution backends: *what* the engine computes (plans, reduction order,
+//! scale methods) separated from *how* the arithmetic runs.
+//!
+//! Every format the paper evaluates is defined by the softfloat emulator —
+//! that is the reference oracle, and for FP16/BF16 it is the only
+//! implementation the host has. But `Fp32 = Sf<8, 23>` is exactly the
+//! host's own IEEE binary32 with round-to-nearest-even, so the same
+//! generic pipeline driven with [`softfloat::HostF32`] reproduces the
+//! emulated FP32 results **bit for bit** at native speed (the equivalence
+//! is proven operation-by-operation in `softfloat/tests/host_f32.rs` and
+//! end-to-end in `tests/backend_bit_identity.rs`).
+//!
+//! * [`NormBackend`] — the object-safe execution interface: row-major
+//!   batches of raw `u32` bit patterns in, normalized bit patterns out,
+//!   with a worker-thread count. Bits are the lingua franca because the
+//!   two implementations store values in different Rust types.
+//! * [`Emulated<F>`](Emulated) — the softfloat path, available for every
+//!   format and always the reference.
+//! * [`NativeF32`] — the host-`f32` fast path, FP32 only.
+//! * [`build_backend`] — the factory the CLI and benches use; it rejects
+//!   impossible combinations ([`NormError::BackendFormatMismatch`]).
+//!
+//! # Example
+//!
+//! ```
+//! use iterl2norm::backend::{build_backend, BackendKind, FormatKind};
+//! use iterl2norm::{MethodSpec, ReduceOrder};
+//!
+//! # fn main() -> Result<(), iterl2norm::NormError> {
+//! let d = 64;
+//! let spec = MethodSpec::iterl2(5);
+//! let mut emulated = build_backend(
+//!     BackendKind::Emulated, FormatKind::Fp32, d, &spec, ReduceOrder::HwTree)?;
+//! let mut native = build_backend(
+//!     BackendKind::Native, FormatKind::Fp32, d, &spec, ReduceOrder::HwTree)?;
+//!
+//! let bits: Vec<u32> = (0..2 * d as u32).map(|i| (i % 127) << 16).collect();
+//! let mut out_e = vec![0u32; bits.len()];
+//! let mut out_n = vec![0u32; bits.len()];
+//! emulated.normalize_batch_bits(&bits, &mut out_e, 1)?;
+//! native.normalize_batch_bits(&bits, &mut out_n, 2)?;
+//! assert_eq!(out_e, out_n); // bit-identical, any thread count
+//! # Ok(())
+//! # }
+//! ```
+
+use core::fmt;
+
+use softfloat::{Bf16, Float, Fp16, Fp32, HostF32};
+
+use crate::engine::{MethodSpec, NormPlan, Normalizer};
+use crate::error::NormError;
+use crate::hworder::ReduceOrder;
+
+/// Which arithmetic implementation executes the normalization pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The bit-accurate softfloat emulator — every format, the reference.
+    #[default]
+    Emulated,
+    /// Host `f32` hardware — FP32 only, bit-identical to the emulator.
+    Native,
+}
+
+impl BackendKind {
+    /// Both kinds, for sweeps and CLI help.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Emulated, BackendKind::Native];
+
+    /// Parse a backend name (`"emulated"`/`"softfloat"`,
+    /// `"native"`/`"native-f32"`). Returns `None` for anything else.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "emulated" | "softfloat" => Some(BackendKind::Emulated),
+            "native" | "native-f32" => Some(BackendKind::Native),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (`"emulated"` / `"native-f32"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Emulated => "emulated",
+            BackendKind::Native => "native-f32",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The float formats the execution layer can be asked to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FormatKind {
+    /// IEEE binary32 (native fast path available).
+    #[default]
+    Fp32,
+    /// IEEE binary16 (emulated only).
+    Fp16,
+    /// bfloat16 (emulated only).
+    Bf16,
+}
+
+impl FormatKind {
+    /// All formats, for sweeps and CLI help.
+    pub const ALL: [FormatKind; 3] = [FormatKind::Fp32, FormatKind::Fp16, FormatKind::Bf16];
+
+    /// Parse a format name (`"fp32"`, `"fp16"`, `"bf16"`; also accepts
+    /// `"f32"`/`"bfloat16"`). Returns `None` for anything else.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "fp32" | "f32" => Some(FormatKind::Fp32),
+            "fp16" | "f16" => Some(FormatKind::Fp16),
+            "bf16" | "bfloat16" => Some(FormatKind::Bf16),
+            _ => None,
+        }
+    }
+
+    /// Canonical display name (`"FP32"` / `"FP16"` / `"BF16"`, matching
+    /// [`Float::NAME`] of the corresponding softfloat type).
+    pub fn name(self) -> &'static str {
+        match self {
+            FormatKind::Fp32 => "FP32",
+            FormatKind::Fp16 => "FP16",
+            FormatKind::Bf16 => "BF16",
+        }
+    }
+}
+
+impl fmt::Display for FormatKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An execution backend: a plan plus an engine, driving row-major batches
+/// of raw bit patterns (`u32` per element, the format's storage) through
+/// the normalization pipeline.
+///
+/// Bits are the exchange currency across the trait so heterogeneous
+/// implementations ([`Emulated<Fp16>`](Emulated) stores `Sf<5, 10>`,
+/// [`NativeF32`] stores host `f32`) share one object-safe interface;
+/// `to_bits`/`from_bits` round-trips are exact, so the bit boundary never
+/// perturbs a value.
+pub trait NormBackend: Send {
+    /// Which arithmetic implementation this is.
+    fn backend(&self) -> BackendKind;
+
+    /// The executed format's display name (e.g. `"FP32"`).
+    fn format_name(&self) -> &'static str;
+
+    /// The plan's vector length `d`.
+    fn d(&self) -> usize;
+
+    /// The scale method's report label (e.g. `"iterl2[5]"`).
+    fn method_label(&self) -> String;
+
+    /// Combined report label, e.g. `"native-f32/FP32/iterl2[5]"`.
+    fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.backend().name(),
+            self.format_name(),
+            self.method_label()
+        )
+    }
+
+    /// Normalize a row-major batch of bit patterns from `input` into
+    /// `out`, partitioned across up to `threads` worker threads, returning
+    /// the number of rows. Output bits do not depend on `threads`.
+    ///
+    /// # Errors
+    ///
+    /// [`NormError::ZeroThreads`] when `threads == 0`, plus the shape
+    /// errors of [`Normalizer::normalize_batch`].
+    fn normalize_batch_bits(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+        threads: usize,
+    ) -> Result<usize, NormError>;
+}
+
+/// The shared plan/engine/buffer bundle behind both backend types: decode
+/// bits into `F`, run the (serial or partitioned) batch engine, encode the
+/// result. The decode/encode buffers are reused across calls.
+#[derive(Debug, Clone)]
+struct BitsEngine<F: Float> {
+    plan: NormPlan<F>,
+    engine: Normalizer<F>,
+    spec: MethodSpec,
+    decoded: Vec<F>,
+    encoded: Vec<F>,
+}
+
+impl<F: Float> BitsEngine<F> {
+    fn new(plan: NormPlan<F>, spec: &MethodSpec) -> Self {
+        BitsEngine {
+            engine: Normalizer::for_plan(spec.build::<F>(), &plan),
+            plan,
+            spec: *spec,
+            decoded: Vec::new(),
+            encoded: Vec::new(),
+        }
+    }
+
+    fn run(&mut self, input: &[u32], out: &mut [u32], threads: usize) -> Result<usize, NormError> {
+        // The u32-level output length must be checked here — the engine
+        // only sees the internally-sized decode/encode buffers. Thread
+        // count and whole-rows validation live in the engine call below.
+        if out.len() != input.len() {
+            return Err(NormError::OutputLengthMismatch {
+                expected: input.len(),
+                actual: out.len(),
+            });
+        }
+        self.decoded.clear();
+        self.decoded.extend(input.iter().map(|&b| F::from_bits(b)));
+        self.encoded.clear();
+        self.encoded.resize(input.len(), F::zero());
+        let rows = self.engine.normalize_batch_parallel(
+            &self.plan,
+            &self.decoded,
+            &mut self.encoded,
+            threads,
+        )?;
+        for (slot, v) in out.iter_mut().zip(&self.encoded) {
+            *slot = v.to_bits();
+        }
+        Ok(rows)
+    }
+}
+
+/// The softfloat execution backend: bit-accurate emulation of format `F`.
+/// The only option for FP16/BF16, and the reference oracle for FP32.
+#[derive(Debug, Clone)]
+pub struct Emulated<F: Float> {
+    inner: BitsEngine<F>,
+}
+
+impl<F: Float> Emulated<F> {
+    /// Backend executing `plan` with the given scale method.
+    pub fn new(plan: NormPlan<F>, spec: &MethodSpec) -> Self {
+        Emulated {
+            inner: BitsEngine::new(plan, spec),
+        }
+    }
+
+    /// The plan this backend executes.
+    pub fn plan(&self) -> &NormPlan<F> {
+        &self.inner.plan
+    }
+}
+
+impl<F: Float> NormBackend for Emulated<F> {
+    fn backend(&self) -> BackendKind {
+        BackendKind::Emulated
+    }
+
+    fn format_name(&self) -> &'static str {
+        F::NAME
+    }
+
+    fn d(&self) -> usize {
+        self.inner.plan.d()
+    }
+
+    fn method_label(&self) -> String {
+        self.inner.spec.label()
+    }
+
+    fn normalize_batch_bits(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+        threads: usize,
+    ) -> Result<usize, NormError> {
+        self.inner.run(input, out, threads)
+    }
+}
+
+/// The native execution backend: host `f32`/`u32` bit operations running
+/// the identical pipeline — same plans, same reduction order, same scale
+/// methods, operation for operation — so its output is bit-identical to
+/// [`Emulated<Fp32>`](Emulated) (enforced by
+/// `tests/backend_bit_identity.rs`, in debug *and* release codegen via
+/// CI). FP32 only; requesting any other format is a
+/// [`NormError::BackendFormatMismatch`] at [`build_backend`] time.
+#[derive(Debug, Clone)]
+pub struct NativeF32 {
+    inner: BitsEngine<HostF32>,
+}
+
+impl NativeF32 {
+    /// Backend executing `plan` with the given scale method.
+    pub fn new(plan: NormPlan<HostF32>, spec: &MethodSpec) -> Self {
+        NativeF32 {
+            inner: BitsEngine::new(plan, spec),
+        }
+    }
+
+    /// Bridge an emulated-FP32 plan into the native backend: the constants
+    /// and affine parameters transfer bit-exactly (`d⁻¹`/`√d` are
+    /// re-derived through the same rounding, γ/β move by bit pattern), so
+    /// the two backends execute *the same plan*.
+    pub fn from_fp32_plan(plan: &NormPlan<Fp32>, spec: &MethodSpec) -> Self {
+        let mut bridged = NormPlan::<HostF32>::new(plan.d())
+            .expect("source plan guarantees d > 0")
+            .with_reduce(plan.reduce());
+        let bits =
+            |v: &[Fp32]| -> Vec<HostF32> { v.iter().map(|&g| HostF32::from_fp32(g)).collect() };
+        if let Some(g) = plan.gamma() {
+            bridged = bridged
+                .with_gamma(&bits(g))
+                .expect("source plan guarantees gamma length");
+        }
+        if let Some(b) = plan.beta() {
+            bridged = bridged
+                .with_beta(&bits(b))
+                .expect("source plan guarantees beta length");
+        }
+        Self::new(bridged, spec)
+    }
+
+    /// The plan this backend executes.
+    pub fn plan(&self) -> &NormPlan<HostF32> {
+        &self.inner.plan
+    }
+}
+
+impl NormBackend for NativeF32 {
+    fn backend(&self) -> BackendKind {
+        BackendKind::Native
+    }
+
+    fn format_name(&self) -> &'static str {
+        HostF32::NAME // "FP32" — the format; the engine is the backend kind
+    }
+
+    fn d(&self) -> usize {
+        self.inner.plan.d()
+    }
+
+    fn method_label(&self) -> String {
+        self.inner.spec.label()
+    }
+
+    fn normalize_batch_bits(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+        threads: usize,
+    ) -> Result<usize, NormError> {
+        self.inner.run(input, out, threads)
+    }
+}
+
+/// Build the execution backend for a `(backend, format)` selection: the
+/// single dispatch point the CLI and benches share.
+///
+/// # Errors
+///
+/// [`NormError::BackendFormatMismatch`] when the native backend is
+/// requested for a non-FP32 format, [`NormError::EmptyInput`] when
+/// `d == 0`.
+pub fn build_backend(
+    backend: BackendKind,
+    format: FormatKind,
+    d: usize,
+    spec: &MethodSpec,
+    reduce: ReduceOrder,
+) -> Result<Box<dyn NormBackend>, NormError> {
+    match backend {
+        BackendKind::Emulated => Ok(match format {
+            FormatKind::Fp32 => Box::new(Emulated::<Fp32>::new(
+                NormPlan::new(d)?.with_reduce(reduce),
+                spec,
+            )),
+            FormatKind::Fp16 => Box::new(Emulated::<Fp16>::new(
+                NormPlan::new(d)?.with_reduce(reduce),
+                spec,
+            )),
+            FormatKind::Bf16 => Box::new(Emulated::<Bf16>::new(
+                NormPlan::new(d)?.with_reduce(reduce),
+                spec,
+            )),
+        }),
+        BackendKind::Native => {
+            if format != FormatKind::Fp32 {
+                return Err(NormError::BackendFormatMismatch {
+                    backend: backend.name(),
+                    format: format.name(),
+                });
+            }
+            Ok(Box::new(NativeF32::new(
+                NormPlan::new(d)?.with_reduce(reduce),
+                spec,
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parsing_round_trips() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("native"), Some(BackendKind::Native));
+        assert_eq!(BackendKind::parse("softfloat"), Some(BackendKind::Emulated));
+        assert_eq!(BackendKind::parse("gpu"), None);
+        for fmt in FormatKind::ALL {
+            assert_eq!(
+                FormatKind::parse(fmt.name().to_lowercase().as_str()),
+                Some(fmt)
+            );
+        }
+        assert_eq!(FormatKind::parse("fp8"), None);
+    }
+
+    #[test]
+    fn factory_rejects_native_non_fp32() {
+        let spec = MethodSpec::iterl2(5);
+        for fmt in [FormatKind::Fp16, FormatKind::Bf16] {
+            assert_eq!(
+                build_backend(BackendKind::Native, fmt, 8, &spec, ReduceOrder::HwTree)
+                    .err()
+                    .expect("must be rejected"),
+                NormError::BackendFormatMismatch {
+                    backend: "native-f32",
+                    format: fmt.name(),
+                }
+            );
+        }
+        // FP32 native and every emulated format build fine.
+        assert!(build_backend(
+            BackendKind::Native,
+            FormatKind::Fp32,
+            8,
+            &spec,
+            ReduceOrder::HwTree
+        )
+        .is_ok());
+        for fmt in FormatKind::ALL {
+            assert!(
+                build_backend(BackendKind::Emulated, fmt, 8, &spec, ReduceOrder::HwTree).is_ok()
+            );
+        }
+    }
+
+    #[test]
+    fn factory_propagates_zero_d() {
+        let spec = MethodSpec::iterl2(5);
+        assert_eq!(
+            build_backend(
+                BackendKind::Native,
+                FormatKind::Fp32,
+                0,
+                &spec,
+                ReduceOrder::HwTree
+            )
+            .err()
+            .expect("d = 0 must be rejected"),
+            NormError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn labels_identify_backend_format_method() {
+        let spec = MethodSpec::iterl2(5);
+        let native = build_backend(
+            BackendKind::Native,
+            FormatKind::Fp32,
+            8,
+            &spec,
+            ReduceOrder::HwTree,
+        )
+        .unwrap();
+        assert_eq!(native.label(), "native-f32/FP32/iterl2[5]");
+        assert_eq!(native.d(), 8);
+        let emulated = build_backend(
+            BackendKind::Emulated,
+            FormatKind::Fp16,
+            8,
+            &spec,
+            ReduceOrder::HwTree,
+        )
+        .unwrap();
+        assert_eq!(emulated.label(), "emulated/FP16/iterl2[5]");
+    }
+
+    #[test]
+    fn backend_rejects_zero_threads_and_bad_shapes() {
+        let spec = MethodSpec::iterl2(5);
+        let mut backend = build_backend(
+            BackendKind::Native,
+            FormatKind::Fp32,
+            8,
+            &spec,
+            ReduceOrder::HwTree,
+        )
+        .unwrap();
+        let bits = vec![0u32; 16];
+        let mut out = vec![0u32; 16];
+        assert_eq!(
+            backend
+                .normalize_batch_bits(&bits, &mut out, 0)
+                .unwrap_err(),
+            NormError::ZeroThreads
+        );
+        let mut short = vec![0u32; 8];
+        assert_eq!(
+            backend
+                .normalize_batch_bits(&bits, &mut short, 1)
+                .unwrap_err(),
+            NormError::OutputLengthMismatch {
+                expected: 16,
+                actual: 8
+            }
+        );
+        let ragged = vec![0u32; 12];
+        let mut out12 = vec![0u32; 12];
+        assert_eq!(
+            backend
+                .normalize_batch_bits(&ragged, &mut out12, 1)
+                .unwrap_err(),
+            NormError::BatchLengthMismatch {
+                rows: 1,
+                d: 8,
+                actual: 12
+            }
+        );
+    }
+}

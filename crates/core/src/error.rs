@@ -45,6 +45,17 @@ pub enum NormError {
         /// Observed buffer length.
         actual: usize,
     },
+    /// A backend was asked to execute a format it has no native path for
+    /// (e.g. the native-f32 backend with an FP16 or BF16 plan — those
+    /// formats only exist in the softfloat emulator).
+    BackendFormatMismatch {
+        /// The requested backend's name (e.g. `"native-f32"`).
+        backend: &'static str,
+        /// The requested format's name (e.g. `"FP16"`).
+        format: &'static str,
+    },
+    /// A parallel entry point was asked to run with zero worker threads.
+    ZeroThreads,
 }
 
 impl fmt::Display for NormError {
@@ -75,6 +86,14 @@ impl fmt::Display for NormError {
                 // must stay total even for inconsistent hand-built values.
                 actual.saturating_sub(rows.saturating_mul(*d))
             ),
+            NormError::BackendFormatMismatch { backend, format } => write!(
+                f,
+                "backend '{backend}' cannot execute format {format} \
+                 (only FP32 has a native fast path; use the emulated backend)"
+            ),
+            NormError::ZeroThreads => {
+                write!(f, "thread count must be at least 1 (got 0)")
+            }
         }
     }
 }
@@ -150,6 +169,35 @@ mod tests {
                 assert!(s.contains(&n.to_string()), "'{s}' missing {n}");
             }
         }
+    }
+
+    #[test]
+    fn backend_mismatch_displays_backend_and_format() {
+        let e = NormError::BackendFormatMismatch {
+            backend: "native-f32",
+            format: "FP16",
+        };
+        let s = e.to_string();
+        assert!(
+            s.chars().next().unwrap().is_lowercase(),
+            "not lowercase: {s}"
+        );
+        assert!(
+            s.contains("native-f32") && s.contains("FP16"),
+            "'{s}' must name both the backend and the format"
+        );
+        // The message points at the escape hatch.
+        assert!(s.contains("emulated"), "{s}");
+    }
+
+    #[test]
+    fn zero_threads_displays_the_constraint() {
+        let s = NormError::ZeroThreads.to_string();
+        assert!(
+            s.chars().next().unwrap().is_lowercase(),
+            "not lowercase: {s}"
+        );
+        assert!(s.contains("at least 1") && s.contains('0'), "{s}");
     }
 
     #[test]

@@ -308,7 +308,7 @@ impl IterL2Norm {
 
     /// Compute `a∞ ≈ 1/‖y‖₂` from `m = ‖y‖²₂`.
     ///
-    /// Allocation-free: drives the same [`run_updates`] loop as
+    /// Allocation-free: drives the same stop-rule loop (`run_updates`) as
     /// [`iterate`] (bit-identical final value) without recording the
     /// trace, so it can sit on the [`Normalizer`](crate::Normalizer) hot
     /// path.

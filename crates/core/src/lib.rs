@@ -20,8 +20,10 @@
 //! [`softfloat::Float`] formats (FP32/FP16/BFloat16), the baselines the
 //! paper compares against ([`baselines`]), the exact `f64` reference
 //! ([`mod@reference`]), the hardware reduction order used by the macro
-//! ([`hworder`]), the analytical convergence model ([`analytic`]) and the
-//! error metrics of the evaluation section ([`metrics`]).
+//! ([`hworder`]), the analytical convergence model ([`analytic`]), the
+//! error metrics of the evaluation section ([`metrics`]) and the execution
+//! [`backend`] layer (softfloat emulation for every format, plus a
+//! bit-identical host-`f32` fast path for FP32).
 //!
 //! # Quickstart — the batch-first engine
 //!
@@ -66,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod backend;
 pub mod baselines;
 mod config;
 mod engine;
@@ -76,6 +79,7 @@ mod layernorm;
 pub mod metrics;
 pub mod reference;
 
+pub use backend::{build_backend, BackendKind, FormatKind, NormBackend};
 pub use config::{InitRule, IterConfig, LambdaRule, StopRule, UpdateStyle};
 pub use engine::{MethodSpec, NormPlan, Normalizer, ScaleMethod};
 pub use error::NormError;

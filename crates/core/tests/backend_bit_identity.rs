@@ -1,0 +1,247 @@
+//! The execution-backend contract, enforced: `NativeF32` output is
+//! bit-identical to `Emulated<Fp32>` for every scale method and reduction
+//! order, and parallel batches are bit-identical to serial ones for every
+//! tested thread count.
+//!
+//! The row set deliberately includes the hard cases: subnormal-heavy rows
+//! (FP32 exponent fields 0..=2), all-`+0` and all-`−0` rows, and the
+//! constant row whose mean shift produces `m = 0` (for the LUT method that
+//! path emits NaN — canonical on both backends, so even it compares
+//! bit-equal). CI runs this suite in debug *and* release mode: optimizer
+//! levels may only change float codegen if the bit-ops were wrong.
+
+use iterl2norm::backend::{build_backend, BackendKind, Emulated, FormatKind, NativeF32};
+use iterl2norm::{MethodSpec, NormBackend, NormError, NormPlan, Normalizer, ReduceOrder};
+use softfloat::{Float, Fp32, HostF32};
+use workloads::{Distribution, VectorGen};
+
+const DIMS: [usize; 5] = [1, 7, 64, 384, 768];
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// A deterministic FP32 bit pattern with exponent field 0..=2: subnormals
+/// and the smallest normals, mixed signs.
+fn subnormal_bits(i: u64) -> u32 {
+    let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mant_and_sign = (h as u32) & 0x807F_FFFF;
+    let exp = ((h >> 32) % 3) as u32;
+    mant_and_sign | (exp << 23)
+}
+
+/// The test batch for one dimension: random rows from two distributions
+/// plus the directed edge-case rows, as raw FP32 bit patterns.
+fn batch_bits(d: usize) -> Vec<u32> {
+    let mut bits = Vec::new();
+    let uniform = VectorGen::new(Distribution::Uniform, 0x000B_171D);
+    let wide = VectorGen::new(Distribution::WideDynamicRange, 0x000B_172D);
+    for index in 0..3 {
+        for v in uniform.vector_f64(d, index) {
+            bits.push(Fp32::from_f64(v).to_bits());
+        }
+    }
+    for v in wide.vector_f64(d, 0) {
+        bits.push(Fp32::from_f64(v).to_bits());
+    }
+    // All +0, all −0, and the constant row (mean shift → m = 0).
+    bits.extend(std::iter::repeat_n(0u32, d));
+    bits.extend(std::iter::repeat_n(0x8000_0000u32, d));
+    bits.extend(std::iter::repeat_n(Fp32::from_f64(3.25).to_bits(), d));
+    // Subnormal-heavy row.
+    bits.extend((0..d as u64).map(subnormal_bits));
+    bits
+}
+
+fn assert_bits_eq(a: &[u32], b: &[u32], context: &str) {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x, y,
+            "{context}: element {i} differs ({x:#010x} vs {y:#010x})"
+        );
+    }
+}
+
+#[test]
+fn native_matches_emulated_for_every_method_dim_and_order() {
+    for spec in MethodSpec::REGISTRY {
+        for d in DIMS {
+            for reduce in [ReduceOrder::HwTree, ReduceOrder::Linear] {
+                let input = batch_bits(d);
+                let mut emulated =
+                    build_backend(BackendKind::Emulated, FormatKind::Fp32, d, &spec, reduce)
+                        .unwrap();
+                let mut native =
+                    build_backend(BackendKind::Native, FormatKind::Fp32, d, &spec, reduce).unwrap();
+                let mut out_e = vec![0u32; input.len()];
+                let mut out_n = vec![0u32; input.len()];
+                let rows_e = emulated
+                    .normalize_batch_bits(&input, &mut out_e, 1)
+                    .unwrap();
+                let rows_n = native.normalize_batch_bits(&input, &mut out_n, 1).unwrap();
+                assert_eq!(rows_e, rows_n);
+                assert_bits_eq(
+                    &out_e,
+                    &out_n,
+                    &format!("{} d={d} reduce={reduce:?}", spec.label()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn native_matches_emulated_with_affine_plans() {
+    let d = 384;
+    let spec = MethodSpec::iterl2(5);
+    let gamma: Vec<Fp32> = (0..d)
+        .map(|i| Fp32::from_f64(0.75 + (i % 5) as f64 * 0.1))
+        .collect();
+    let beta: Vec<Fp32> = (0..d)
+        .map(|i| Fp32::from_f64((i % 7) as f64 * 0.03 - 0.1))
+        .collect();
+    let plan = NormPlan::new(d)
+        .unwrap()
+        .with_affine(&gamma, &beta)
+        .unwrap();
+    let mut emulated = Emulated::new(plan.clone(), &spec);
+    let mut native = NativeF32::from_fp32_plan(&plan, &spec);
+
+    let input = batch_bits(d);
+    let mut out_e = vec![0u32; input.len()];
+    let mut out_n = vec![0u32; input.len()];
+    emulated
+        .normalize_batch_bits(&input, &mut out_e, 1)
+        .unwrap();
+    native.normalize_batch_bits(&input, &mut out_n, 1).unwrap();
+    assert_bits_eq(&out_e, &out_n, "affine iterl2[5] d=384");
+}
+
+#[test]
+fn parallel_batches_match_serial_for_all_thread_counts() {
+    // 37 rows of d = 129: never an even split, so the partition logic's
+    // remainder handling is always exercised.
+    let (d, rows) = (129, 37);
+    let gen = VectorGen::new(Distribution::Uniform, 0x9A9_A9A);
+    let mut flat: Vec<Fp32> = Vec::with_capacity(rows * d);
+    for r in 0..rows as u64 {
+        flat.extend(gen.vector_f64(d, r).iter().map(|&v| Fp32::from_f64(v)));
+    }
+    for spec in MethodSpec::REGISTRY {
+        let plan = NormPlan::<Fp32>::new(d).unwrap();
+        let mut engine = Normalizer::for_plan(spec.build::<Fp32>(), &plan);
+        let mut serial = vec![Fp32::ZERO; flat.len()];
+        engine.normalize_batch(&plan, &flat, &mut serial).unwrap();
+        for threads in THREADS {
+            let mut parallel = vec![Fp32::ZERO; flat.len()];
+            let done = engine
+                .normalize_batch_parallel(&plan, &flat, &mut parallel, threads)
+                .unwrap();
+            assert_eq!(done, rows);
+            for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} threads={threads}: element {i}",
+                    spec.label()
+                );
+            }
+            // In-place partitioning must agree too.
+            let mut in_place = flat.clone();
+            engine
+                .normalize_batch_parallel_in_place(&plan, &mut in_place, threads)
+                .unwrap();
+            for (a, b) in serial.iter().zip(&in_place) {
+                assert_eq!(a.to_bits(), b.to_bits(), "in-place threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_native_matches_serial_emulated_end_to_end() {
+    // The full cross: emulated serial (the paper-faithful reference) vs
+    // native multi-threaded (the serving configuration) — still bit-equal.
+    let d = 768;
+    let spec = MethodSpec::iterl2(5);
+    let input = batch_bits(d);
+    let mut reference = vec![0u32; input.len()];
+    build_backend(
+        BackendKind::Emulated,
+        FormatKind::Fp32,
+        d,
+        &spec,
+        ReduceOrder::HwTree,
+    )
+    .unwrap()
+    .normalize_batch_bits(&input, &mut reference, 1)
+    .unwrap();
+    for threads in THREADS {
+        let mut out = vec![0u32; input.len()];
+        build_backend(
+            BackendKind::Native,
+            FormatKind::Fp32,
+            d,
+            &spec,
+            ReduceOrder::HwTree,
+        )
+        .unwrap()
+        .normalize_batch_bits(&input, &mut out, threads)
+        .unwrap();
+        assert_bits_eq(&out, &reference, &format!("native threads={threads}"));
+    }
+}
+
+#[test]
+fn parallel_preserves_row_stats_independence() {
+    // More threads than rows, exactly as many, and single-row batches all
+    // take well-defined paths.
+    let d = 64;
+    let plan = NormPlan::<HostF32>::new(d).unwrap();
+    let mut engine = Normalizer::for_plan(MethodSpec::iterl2(5).build::<HostF32>(), &plan);
+    for rows in [0usize, 1, 2, 7] {
+        let flat: Vec<HostF32> = (0..rows * d)
+            .map(|i| HostF32::from_f64(((i * 37 % 101) as f64) / 17.0 - 2.0))
+            .collect();
+        let mut serial = vec![HostF32::ZERO; flat.len()];
+        engine.normalize_batch(&plan, &flat, &mut serial).unwrap();
+        let mut parallel = vec![HostF32::ZERO; flat.len()];
+        let done = engine
+            .normalize_batch_parallel(&plan, &flat, &mut parallel, 16)
+            .unwrap();
+        assert_eq!(done, rows);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits(), "rows={rows}");
+        }
+    }
+}
+
+#[test]
+fn parallel_entry_points_reject_zero_threads() {
+    let d = 16;
+    let plan = NormPlan::<Fp32>::new(d).unwrap();
+    let mut engine = Normalizer::from_spec(&MethodSpec::iterl2(5));
+    let input = vec![Fp32::ONE; d * 4];
+    let mut out = vec![Fp32::ZERO; d * 4];
+    assert_eq!(
+        engine
+            .normalize_batch_parallel(&plan, &input, &mut out, 0)
+            .unwrap_err(),
+        NormError::ZeroThreads
+    );
+    let mut data = input.clone();
+    assert_eq!(
+        engine
+            .normalize_batch_parallel_in_place(&plan, &mut data, 0)
+            .unwrap_err(),
+        NormError::ZeroThreads
+    );
+    // Shape errors still surface through the parallel path.
+    let mut short = vec![Fp32::ZERO; d];
+    assert_eq!(
+        engine
+            .normalize_batch_parallel(&plan, &input, &mut short, 2)
+            .unwrap_err(),
+        NormError::OutputLengthMismatch {
+            expected: d * 4,
+            actual: d
+        }
+    );
+}

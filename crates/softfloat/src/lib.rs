@@ -21,6 +21,11 @@
 //! correctly rounded to nearest-even, matching what a synthesized FP operator
 //! (or an x86 SSE unit, for FP32) produces.
 //!
+//! Because `Fp32` matches the host's own binary32 bit for bit, the crate
+//! also ships [`HostF32`] — host `f32` behind the same [`Float`] interface —
+//! as the native execution bridge: generic algorithm code runs on it at
+//! hardware speed with bit-identical results (see `tests/host_f32.rs`).
+//!
 //! # Examples
 //!
 //! ```
@@ -46,9 +51,11 @@ mod arith;
 mod cmp;
 mod convert;
 mod fmt;
+mod native;
 mod round;
 mod sf;
 
+pub use native::HostF32;
 pub use sf::{Class, Sf};
 
 /// IEEE binary32: 8 exponent bits, 23 mantissa bits, bias 127.

@@ -5,6 +5,14 @@
 //! validated γ/β) at weight-materialization time, and each forward pass
 //! drives them with one [`Normalizer`] whose scratch and output buffer are
 //! reused across layers and positions — no per-LayerNorm allocation.
+//!
+//! The execution backend is the format parameter itself: `Model<Fp32>`
+//! runs every float op through the softfloat emulator, while
+//! `Model<softfloat::HostF32>` runs the identical operation sequence on
+//! the host FPU — bit-identical logits at native speed (see the
+//! `native_f32_model_matches_emulated_bitwise` test). Multi-window
+//! perplexity evaluation additionally partitions across threads via
+//! [`Model::perplexity_threaded`], again without changing a single bit.
 
 use iterl2norm::{NormPlan, Normalizer, ReduceOrder};
 use softfloat::Float;
@@ -260,31 +268,98 @@ impl<F: Float> Model<F> {
         logits_out
     }
 
+    /// Negative log-likelihood subtotal of one window: `(Σ nll, predicted)`
+    /// over positions 1.. of `window`. The per-window grouping is the unit
+    /// both the serial and the threaded perplexity paths fold over, which
+    /// is what makes their final `f64` bit-identical.
+    fn window_nll(&self, window: &[u16], norm: &NormMethod) -> (f64, usize) {
+        let logits = self.forward(window, norm);
+        let mut nll = 0.0;
+        let mut predicted = 0usize;
+        for (p, &target) in window.iter().enumerate().skip(1) {
+            let row: Vec<f64> = logits[p - 1].iter().map(|v| v.to_f64()).collect();
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let z: f64 = row.iter().map(|v| (v - max).exp()).sum();
+            nll -= row[target as usize] - max - z.ln();
+            predicted += 1;
+        }
+        (nll, predicted)
+    }
+
     /// Teacher-forced perplexity of `tokens` under this model: `exp` of the
     /// mean next-token negative log-likelihood. Sequences longer than
     /// `max_seq` are evaluated in non-overlapping windows.
+    ///
+    /// The host-`f64` accumulation folds per-window subtotals (the same
+    /// grouping the threaded path uses). Note for multi-window inputs this
+    /// re-associates the sum relative to the pre-backend-layer
+    /// implementation's single running accumulator, so perplexities can
+    /// differ from that old code in the last ulp — the format-arithmetic
+    /// logits themselves are untouched.
     ///
     /// # Panics
     ///
     /// Panics if fewer than 2 tokens are supplied.
     pub fn perplexity(&self, tokens: &[u16], norm: &NormMethod) -> f64 {
+        self.perplexity_threaded(tokens, norm, 1)
+            .expect("one thread is always a valid configuration")
+    }
+
+    /// [`perplexity`](Model::perplexity) with the non-overlapping windows
+    /// partitioned across up to `threads` scoped worker threads. Windows
+    /// are independent forward passes and the per-window subtotals are
+    /// folded in window order, so the result is **bit-identical** to the
+    /// serial call for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`NormError`](iterl2norm::NormError)`::ZeroThreads` when
+    /// `threads == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 tokens are supplied.
+    pub fn perplexity_threaded(
+        &self,
+        tokens: &[u16],
+        norm: &NormMethod,
+        threads: usize,
+    ) -> Result<f64, iterl2norm::NormError> {
         assert!(tokens.len() >= 2, "perplexity needs at least two tokens");
-        let mut nll = 0.0;
-        let mut predicted = 0usize;
-        for window in tokens.chunks(self.config.max_seq) {
-            if window.len() < 2 {
-                continue;
-            }
-            let logits = self.forward(window, norm);
-            for (p, &target) in window.iter().enumerate().skip(1) {
-                let row: Vec<f64> = logits[p - 1].iter().map(|v| v.to_f64()).collect();
-                let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let z: f64 = row.iter().map(|v| (v - max).exp()).sum();
-                nll -= row[target as usize] - max - z.ln();
-                predicted += 1;
-            }
+        if threads == 0 {
+            return Err(iterl2norm::NormError::ZeroThreads);
         }
-        (nll / predicted as f64).exp()
+        let windows: Vec<&[u16]> = tokens
+            .chunks(self.config.max_seq)
+            .filter(|w| w.len() >= 2)
+            .collect();
+        let mut subtotals = vec![(0.0f64, 0usize); windows.len()];
+        let workers = threads.min(windows.len());
+        if workers <= 1 {
+            for (slot, window) in subtotals.iter_mut().zip(&windows) {
+                *slot = self.window_nll(window, norm);
+            }
+        } else {
+            let per_worker = windows.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (window_chunk, slot_chunk) in windows
+                    .chunks(per_worker)
+                    .zip(subtotals.chunks_mut(per_worker))
+                {
+                    scope.spawn(move || {
+                        for (slot, window) in slot_chunk.iter_mut().zip(window_chunk) {
+                            *slot = self.window_nll(window, norm);
+                        }
+                    });
+                }
+            });
+        }
+        let (mut nll, mut predicted) = (0.0f64, 0usize);
+        for (n, p) in subtotals {
+            nll += n;
+            predicted += p;
+        }
+        Ok((nll / predicted as f64).exp())
     }
 }
 
@@ -395,5 +470,53 @@ mod tests {
     fn single_token_ppl_rejected() {
         let m = tiny_model();
         let _ = m.perplexity(&[1], &NormMethod::exact());
+    }
+
+    #[test]
+    fn native_f32_model_matches_emulated_bitwise() {
+        // The native backend end to end: the same master weights
+        // materialized as Model<HostF32> must produce logits bit-identical
+        // to Model<Fp32> — every matvec, residual add, softmax weight and
+        // cached-plan LayerNorm included.
+        use softfloat::HostF32;
+        let spec = ModelSpec::random(TransformerConfig::tiny(20), 7);
+        let emulated = Model::<Fp32>::from_spec(&spec);
+        let native = Model::<HostF32>::from_spec(&spec);
+        let tokens: Vec<u16> = (0..30).map(|i| (i * 3 % 20) as u16).collect();
+        for method in [
+            NormMethod::exact(),
+            NormMethod::iterl2(5),
+            NormMethod::fisr(),
+        ] {
+            let le = emulated.forward(&tokens, &method);
+            let ln = native.forward(&tokens, &method);
+            for (re, rn) in le.iter().zip(&ln) {
+                for (a, b) in re.iter().zip(rn) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{}", method.label());
+                }
+            }
+            // Perplexity (an f64 fold over those logits) follows.
+            let pe = emulated.perplexity(&tokens, &method);
+            let pn = native.perplexity(&tokens, &method);
+            assert_eq!(pe.to_bits(), pn.to_bits(), "{}", method.label());
+        }
+    }
+
+    #[test]
+    fn threaded_perplexity_is_bit_identical_to_serial() {
+        let m = tiny_model(); // max_seq 64
+        let tokens: Vec<u16> = (0..300).map(|i| (i * 7 % 24) as u16).collect();
+        let serial = m.perplexity(&tokens, &NormMethod::iterl2(5));
+        for threads in [1usize, 2, 3, 8] {
+            let threaded = m
+                .perplexity_threaded(&tokens, &NormMethod::iterl2(5), threads)
+                .unwrap();
+            assert_eq!(serial.to_bits(), threaded.to_bits(), "threads={threads}");
+        }
+        assert_eq!(
+            m.perplexity_threaded(&tokens, &NormMethod::iterl2(5), 0)
+                .unwrap_err(),
+            iterl2norm::NormError::ZeroThreads
+        );
     }
 }

@@ -46,11 +46,12 @@ pub use workloads;
 pub mod prelude {
     pub use iterl2norm::baselines::{ExactRsqrtNorm, Fisr, LutRsqrt};
     pub use iterl2norm::{
-        layer_norm, layer_norm_detailed, IterConfig, IterL2Norm, LayerNormInputs, MethodSpec,
-        NormError, NormPlan, NormStats, Normalizer, ReduceOrder, RsqrtScale, ScaleMethod, StopRule,
+        build_backend, layer_norm, layer_norm_detailed, BackendKind, FormatKind, IterConfig,
+        IterL2Norm, LayerNormInputs, MethodSpec, NormBackend, NormError, NormPlan, NormStats,
+        Normalizer, ReduceOrder, RsqrtScale, ScaleMethod, StopRule,
     };
     pub use macrosim::{IterL2NormMacro, MacroConfig};
-    pub use softfloat::{Bf16, Float, Fp16, Fp32};
+    pub use softfloat::{Bf16, Float, Fp16, Fp32, HostF32};
     pub use synthmodel::CostModel;
     pub use textgen::Corpus;
     pub use transformer::{Model, ModelSpec, NormMethod, TransformerConfig};
