@@ -1,0 +1,243 @@
+//! Serving-API throughput: the [`NormService`] micro-batching coalescer
+//! vs per-request execution, under 1–8 submitting threads.
+//!
+//! Every point drives the same request mix through the same native-f32
+//! service configuration; the only variable is whether concurrent requests
+//! may be packed into one partitioned backend batch (`coalesced`) or each
+//! request runs as its own backend call (`per-request`). A self-check
+//! asserts both modes produce bit-identical output before any number is
+//! reported — coalescing is a throughput knob, never a results knob.
+//!
+//! Emits `results/BENCH_service.json`. Honest caveat, mirroring the
+//! backend bench: coalescing can only win when submitters actually
+//! overlap, so on a single-core container (one runnable thread at a time)
+//! the two modes measure within noise of each other and the observed
+//! requests-per-batch stays near 1. Re-run on a multi-core host to see
+//! the coalesced column pull ahead.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use iterl2norm::backend::{build_backend, BackendKind, FormatKind};
+use iterl2norm::service::{NormRequest, NormService, ServiceConfig};
+use iterl2norm::{MethodSpec, ReduceOrder};
+use workloads::VectorGen;
+
+use crate::io::{banner, print_table, write_json};
+
+/// One measured configuration.
+struct Point {
+    d: usize,
+    submitters: usize,
+    mode: &'static str,
+    rows_per_s: f64,
+    us_per_request: f64,
+    requests_per_batch: f64,
+}
+
+/// Deterministic request payload for submitter `who`, request `req`.
+fn request_bits(d: usize, rows: usize, who: u64, req: u64) -> Vec<u32> {
+    let gen = VectorGen::paper();
+    let mut bits = Vec::with_capacity(rows * d);
+    for r in 0..rows as u64 {
+        bits.extend(
+            gen.vector_f64(d, who.wrapping_mul(10_007).wrapping_add(req * 31 + r))
+                .iter()
+                .map(|&v| FormatKind::Fp32.encode_f64(v)),
+        );
+    }
+    bits
+}
+
+/// Drive `submitters` threads, each submitting `requests` pre-generated
+/// requests of `rows` rows, through `service`; returns the wall-clock
+/// seconds from the first worker's post-barrier start to the last
+/// worker's finish. Each worker timestamps its own span — a main-thread
+/// clock would race the workers on a single-core host, where the barrier
+/// release can run a worker to completion before the main thread is
+/// rescheduled.
+fn measure(service: &NormService, submitters: usize, requests: usize, rows: usize) -> f64 {
+    let barrier = Arc::new(Barrier::new(submitters));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..submitters)
+            .map(|who| {
+                let service = service.clone();
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let d = service.d();
+                    let payloads: Vec<Vec<u32>> = (0..requests)
+                        .map(|req| request_bits(d, rows, who as u64, req as u64))
+                        .collect();
+                    barrier.wait();
+                    let begin = Instant::now();
+                    for bits in &payloads {
+                        let response = service
+                            .submit(NormRequest::bits(bits))
+                            .expect("bench requests are well-formed");
+                        std::hint::black_box(response.rows());
+                    }
+                    (begin, Instant::now())
+                })
+            })
+            .collect();
+        let spans: Vec<(Instant, Instant)> = handles
+            .into_iter()
+            .map(|handle| handle.join().expect("bench submitter panicked"))
+            .collect();
+        let start = spans
+            .iter()
+            .map(|span| span.0)
+            .min()
+            .expect("submitters > 0");
+        let end = spans
+            .iter()
+            .map(|span| span.1)
+            .max()
+            .expect("submitters > 0");
+        end.duration_since(start).as_secs_f64()
+    })
+}
+
+/// Build the service for one mode.
+fn service_for(d: usize, coalescing: bool) -> NormService {
+    ServiceConfig::new(d)
+        .with_backend(BackendKind::Native)
+        .with_format(FormatKind::Fp32)
+        .with_method(MethodSpec::iterl2(5))
+        .with_coalescing(coalescing)
+        .build()
+        .expect("bench service config is valid")
+}
+
+/// Run the service bench at the given dimensions and submitter counts,
+/// printing the table and writing `results/BENCH_service.json`.
+///
+/// # Errors
+///
+/// Propagates JSON-write failures.
+pub fn run_at(
+    dims: &[usize],
+    submitter_counts: &[usize],
+    requests_per_thread: usize,
+    rows_per_request: usize,
+) -> std::io::Result<()> {
+    banner("NormService throughput — coalesced vs per-request, 1-8 submitting threads");
+    let spec = MethodSpec::iterl2(5);
+    let mut points: Vec<Point> = Vec::new();
+    let mut table = Vec::new();
+
+    for &d in dims {
+        // Self-check: both modes must be bit-identical to the raw backend.
+        let probe = request_bits(d, rows_per_request, 0, 0);
+        let mut reference = build_backend(
+            BackendKind::Native,
+            FormatKind::Fp32,
+            d,
+            &spec,
+            ReduceOrder::HwTree,
+        )
+        .map_err(std::io::Error::other)?;
+        let mut expect = vec![0u32; probe.len()];
+        reference
+            .normalize_batch_bits(&probe, &mut expect, 1)
+            .map_err(std::io::Error::other)?;
+        for coalescing in [true, false] {
+            let service = service_for(d, coalescing);
+            let response = service
+                .submit(NormRequest::bits(&probe))
+                .map_err(std::io::Error::other)?;
+            assert_eq!(
+                response.bits(),
+                &expect[..],
+                "service output diverged from the backend at d = {d}"
+            );
+        }
+
+        for &submitters in submitter_counts {
+            for (mode, coalescing) in [("coalesced", true), ("per-request", false)] {
+                let service = service_for(d, coalescing);
+                // Warm-up sizes the conversion buffers and scratch.
+                let warm = request_bits(d, rows_per_request, 99, 0);
+                service
+                    .submit(NormRequest::bits(&warm))
+                    .map_err(std::io::Error::other)?;
+                let seconds = measure(&service, submitters, requests_per_thread, rows_per_request);
+                let stats = service.stats();
+                let total_requests = (submitters * requests_per_thread) as f64;
+                let total_rows = total_requests * rows_per_request as f64;
+                // Exclude the warm-up request from the grouping ratio.
+                let requests_per_batch =
+                    (stats.requests as f64 - 1.0) / (stats.batches as f64 - 1.0).max(1.0);
+                points.push(Point {
+                    d,
+                    submitters,
+                    mode,
+                    rows_per_s: total_rows / seconds,
+                    us_per_request: seconds * 1e6 / total_requests,
+                    requests_per_batch,
+                });
+                table.push(vec![
+                    d.to_string(),
+                    submitters.to_string(),
+                    mode.to_string(),
+                    format!("{:.0}", total_rows / seconds),
+                    format!("{:.1}", seconds * 1e6 / total_requests),
+                    format!("{requests_per_batch:.2}"),
+                ]);
+            }
+        }
+    }
+
+    print_table(
+        &[
+            "d",
+            "submitters",
+            "mode",
+            "rows/s",
+            "us/request",
+            "reqs/batch",
+        ],
+        &table,
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"service_throughput\",\n");
+    json.push_str(&format!("  \"method\": \"{}\",\n", spec.label()));
+    json.push_str("  \"format\": \"FP32\",\n");
+    json.push_str("  \"backend\": \"native-f32\",\n");
+    json.push_str("  \"reduce\": \"hwtree\",\n");
+    json.push_str(&format!("  \"rows_per_request\": {rows_per_request},\n"));
+    json.push_str(&format!(
+        "  \"requests_per_thread\": {requests_per_thread},\n"
+    ));
+    json.push_str("  \"bit_identity_checked\": true,\n");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"d\": {}, \"submitters\": {}, \"mode\": \"{}\", \
+             \"rows_per_s\": {:.1}, \"us_per_request\": {:.1}, \
+             \"requests_per_batch\": {:.2}}}{}\n",
+            p.d,
+            p.submitters,
+            p.mode,
+            p.rows_per_s,
+            p.us_per_request,
+            p.requests_per_batch,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}");
+    let path = write_json("BENCH_service", &json)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}
+
+/// The standard configuration: the README's d points, submitters 1/2/4/8.
+///
+/// # Errors
+///
+/// Propagates JSON-write failures.
+pub fn run(requests_per_thread: usize) -> std::io::Result<()> {
+    run_at(&[384, 768, 4096], &[1, 2, 4, 8], requests_per_thread, 4)
+}

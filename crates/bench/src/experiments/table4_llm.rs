@@ -6,7 +6,7 @@
 //! constructed substitutes with the same block architecture (pre-norm /
 //! post-norm); WikiText-2/BST → seeded Zipf+Markov corpora.
 
-use softfloat::{Bf16, Float, Fp16, Fp32};
+use softfloat::{Bf16, Fp16, Fp32};
 use textgen::Corpus;
 use transformer::{BigramCorpusStats, Model, ModelSpec, NormMethod, TransformerConfig};
 
@@ -36,7 +36,7 @@ fn tasks() -> Vec<TaskSetup> {
     ]
 }
 
-fn eval_format<F: Float>(
+fn eval_format<F: iterl2norm::ExecFloat>(
     spec: &ModelSpec,
     tokens: &[u16],
     model_name: &str,

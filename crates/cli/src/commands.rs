@@ -2,17 +2,18 @@
 //!
 //! Method selection goes through the core crate's [`MethodSpec`] registry
 //! (`--method iterl2|fisr|exact|lut`, with an optional `:parameter`
-//! suffix), and the normalization subcommands run on the plan/execute
-//! engine — the same code path the serving-oriented batch API uses.
+//! suffix). Every normalization subcommand routes through the type-erased
+//! [`NormService`] front door — one `ServiceConfig` names the
+//! format × backend × method × threads execution point, and no per-format
+//! dispatch macro is needed on this side of the API. Format and backend
+//! names parse case-insensitively.
 
 use std::time::Instant;
 
-use iterl2norm::{
-    iterate, BackendKind, FormatKind, IterConfig, MethodSpec, NormError, NormPlan, Normalizer,
-    ScaleMethod,
-};
+use iterl2norm::service::{NormRequest, NormService, ServiceConfig};
+use iterl2norm::{BackendKind, FormatKind, MethodSpec, NormError};
 use macrosim::{activity_trace, utilization, IterL2NormMacro, MacroConfig};
-use softfloat::{Bf16, Float, Fp16, Fp32, HostF32};
+use softfloat::{Bf16, Fp16, Fp32};
 use synthmodel::CostModel;
 use workloads::VectorGen;
 
@@ -45,7 +46,8 @@ Methods (--method): iterl2[:steps], fisr[:newton], exact[:eps], lut[:segments];
 --steps N is shorthand for iterl2:N.
 Backends (--backend): emulated (softfloat, every format — the default) or
 native (host f32, fp32 only, bit-identical output). --threads N partitions
-batch rows across N worker threads (output bits never depend on N).";
+batch rows across N worker threads (output bits never depend on N).
+Format and backend names are case-insensitive.";
 
 /// Resolve `--method`/`--steps` into a registry entry. `--steps` keeps its
 /// historical meaning as the IterL2Norm step count; combining it with a
@@ -85,19 +87,18 @@ fn method_spec(parsed: &Parsed) -> Result<MethodSpec, String> {
     Ok(spec)
 }
 
-fn format_name(parsed: &Parsed) -> Result<&str, String> {
-    match parsed.get("format").unwrap_or("fp32") {
-        f @ ("fp32" | "fp16" | "bf16") => Ok(match f {
-            "fp32" => "fp32",
-            "fp16" => "fp16",
-            _ => "bf16",
-        }),
-        other => Err(format!("unknown format '{other}' (fp32|fp16|bf16)")),
+/// Resolve `--format` into the core registry's [`FormatKind`]
+/// (default: fp32, case-insensitive).
+fn format_kind(parsed: &Parsed) -> Result<FormatKind, String> {
+    match parsed.get("format") {
+        None => Ok(FormatKind::Fp32),
+        Some(text) => FormatKind::parse(text)
+            .ok_or_else(|| format!("unknown format '{text}' (fp32|fp16|bf16)")),
     }
 }
 
 /// Resolve `--backend` into the core registry's [`BackendKind`]
-/// (default: emulated).
+/// (default: emulated, case-insensitive).
 fn backend_kind(parsed: &Parsed) -> Result<BackendKind, String> {
     match parsed.get("backend") {
         None => Ok(BackendKind::Emulated),
@@ -116,58 +117,41 @@ fn threads_arg(parsed: &Parsed) -> Result<usize, String> {
     Ok(threads)
 }
 
-/// Dispatch a closure over the selected format (emulated execution).
-macro_rules! with_format {
-    ($parsed:expr, $f:ident => $body:expr) => {{
-        match format_name($parsed)? {
-            "fp16" => {
-                type $f = Fp16;
-                $body
-            }
-            "bf16" => {
-                type $f = Bf16;
-                $body
-            }
-            _ => {
-                type $f = Fp32;
-                $body
-            }
-        }
-    }};
+/// Build the [`NormService`] for the parsed `--backend`/`--format` flags —
+/// the single dispatch point every normalization subcommand shares (the
+/// old per-format `with_exec!` macro, type-erased away).
+fn build_service(
+    parsed: &Parsed,
+    d: usize,
+    spec: MethodSpec,
+    threads: usize,
+) -> Result<NormService, String> {
+    let backend = backend_kind(parsed)?;
+    let format = format_kind(parsed)?;
+    ServiceConfig::new(d)
+        .with_backend(backend)
+        .with_format(format)
+        .with_method(spec)
+        .with_threads(threads)
+        .build()
+        .map_err(|e| e.to_string())
 }
 
-/// Dispatch a closure over the selected `(format, backend)` execution
-/// pair: the emulated backend covers every format, the native backend is
-/// host `f32` and therefore FP32 only — any other combination is the
-/// engine's [`NormError::BackendFormatMismatch`].
-macro_rules! with_exec {
+/// Dispatch a closure over the selected format (emulated execution) — for
+/// the simulator-style subcommands that genuinely need the typed softfloat
+/// values, not a normalization service.
+macro_rules! with_format {
     ($parsed:expr, $f:ident => $body:expr) => {{
-        let backend = backend_kind($parsed)?;
-        let format = format_name($parsed)?;
-        match (format, backend) {
-            ("fp32", BackendKind::Native) => {
-                type $f = HostF32;
-                $body
-            }
-            (other, BackendKind::Native) => {
-                let format = FormatKind::parse(other)
-                    .expect("format_name only returns known formats")
-                    .name();
-                Err(NormError::BackendFormatMismatch {
-                    backend: backend.name(),
-                    format,
-                }
-                .to_string())
-            }
-            ("fp16", BackendKind::Emulated) => {
+        match format_kind($parsed)? {
+            FormatKind::Fp16 => {
                 type $f = Fp16;
                 $body
             }
-            ("bf16", BackendKind::Emulated) => {
+            FormatKind::Bf16 => {
                 type $f = Bf16;
                 $body
             }
-            (_, BackendKind::Emulated) => {
+            FormatKind::Fp32 => {
                 type $f = Fp32;
                 $body
             }
@@ -186,29 +170,32 @@ pub fn normalize(parsed: &Parsed) -> Result<(), String> {
     if values.is_empty() {
         return Err("normalize needs at least one value".into());
     }
-    with_exec!(parsed, F => {
-        let x: Vec<F> = values.iter().map(|&v| F::from_f64(v)).collect();
-        let plan = NormPlan::<F>::new(x.len()).map_err(|e| e.to_string())?;
-        let mut engine: Normalizer<F, ScaleMethod> = Normalizer::for_plan(spec.build::<F>(), &plan);
-        let mut z = vec![F::zero(); x.len()];
-        let stats = engine.normalize_into(&plan, &x, &mut z).map_err(|e| e.to_string())?;
-        let exact = iterl2norm::reference::normalize_f64(&values, 0.0);
-        println!(
-            "format {}  backend {}  d {}  method {}",
-            F::NAME,
-            backend_kind(parsed)?.name(),
-            values.len(),
-            spec.label()
-        );
-        println!("mean {:.6}  m {:.6}  scale {:.6}", stats.mean.to_f64(), stats.m.to_f64(), stats.scale.to_f64());
-        let mut max_err = 0.0f64;
-        for (i, (z, e)) in z.iter().zip(&exact).enumerate() {
-            println!("  z[{i}] = {:+.6}   (exact {:+.6})", z.to_f64(), e);
-            max_err = max_err.max((z.to_f64() - e).abs());
-        }
-        println!("max |err| vs exact: {max_err:.3e}");
-        Ok(())
-    })
+    let service = build_service(parsed, values.len(), spec, 1)?;
+    let format = service.format();
+    let bits: Vec<u32> = values.iter().map(|&v| format.encode_f64(v)).collect();
+    let (response, moments) = service
+        .submit_detailed(NormRequest::bits(&bits))
+        .map_err(|e| e.to_string())?;
+    let exact = iterl2norm::reference::normalize_f64(&values, 0.0);
+    println!(
+        "format {}  backend {}  d {}  method {}",
+        format.name(),
+        service.backend().name(),
+        values.len(),
+        service.method().label()
+    );
+    println!(
+        "mean {:.6}  m {:.6}  scale {:.6}",
+        moments.mean, moments.m, moments.scale
+    );
+    let mut max_err = 0.0f64;
+    for (i, (&b, e)) in response.bits().iter().zip(&exact).enumerate() {
+        let z = format.decode_f64(b);
+        println!("  z[{i}] = {z:+.6}   (exact {e:+.6})");
+        max_err = max_err.max((z - e).abs());
+    }
+    println!("max |err| vs exact: {max_err:.3e}");
+    Ok(())
 }
 
 /// `rsqrt` subcommand.
@@ -218,24 +205,31 @@ pub fn rsqrt(parsed: &Parsed) -> Result<(), String> {
         return Err("rsqrt needs --m with a nonnegative value".into());
     }
     let steps: u32 = parsed.num("steps", 5)?;
-    with_exec!(parsed, F => {
-        let m = F::from_f64(m_val);
-        let trace = iterate(m, &IterConfig::fixed_steps(steps));
-        let target = if m_val > 0.0 { 1.0 / m_val.sqrt() } else { f64::INFINITY };
-        println!(
-            "format {}  backend {}  m = {}  target 1/sqrt(m) = {target:.9}",
-            F::NAME,
-            backend_kind(parsed)?.name(),
-            m.to_f64()
-        );
-        println!("a0     = {:.9}   (Eq. 6 exponent seed)", trace.a0.to_f64());
-        println!("lambda = {:.9}   (Eq. 10 exponent rate)", trace.lambda.to_f64());
-        for (i, a) in trace.steps.iter().enumerate() {
-            let rel = if target.is_finite() { (a.to_f64() - target) / target } else { 0.0 };
-            println!("step {:>2}: a = {:.9}   rel err {rel:+.3e}", i + 1, a.to_f64());
-        }
-        Ok(())
-    })
+    // d = 1: the service exists only to carry the (format, backend) pair.
+    let service = build_service(parsed, 1, MethodSpec::iterl2(5), 1)?;
+    let trace = service.rsqrt_trace(m_val, steps);
+    let target = if m_val > 0.0 {
+        1.0 / m_val.sqrt()
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "format {}  backend {}  m = {}  target 1/sqrt(m) = {target:.9}",
+        service.format().name(),
+        service.backend().name(),
+        trace.m
+    );
+    println!("a0     = {:.9}   (Eq. 6 exponent seed)", trace.a0);
+    println!("lambda = {:.9}   (Eq. 10 exponent rate)", trace.lambda);
+    for (i, &a) in trace.steps.iter().enumerate() {
+        let rel = if target.is_finite() {
+            (a - target) / target
+        } else {
+            0.0
+        };
+        println!("step {:>2}: a = {a:.9}   rel err {rel:+.3e}", i + 1);
+    }
+    Ok(())
 }
 
 /// `macro` subcommand.
@@ -299,30 +293,40 @@ pub fn demo(parsed: &Parsed) -> Result<(), String> {
     let d: usize = parsed.num("d", 768)?;
     let seed: u64 = parsed.num("seed", 0)?;
     let spec = method_spec(parsed)?;
-    with_exec!(parsed, F => {
-        let x: Vec<F> = VectorGen::paper().vector(d, seed);
-        let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
-        let plan = NormPlan::<F>::new(d).map_err(|e| e.to_string())?;
-        let mut engine: Normalizer<F, ScaleMethod> = Normalizer::for_plan(spec.build::<F>(), &plan);
-        let mut z = vec![F::zero(); d];
-        let row_stats = engine.normalize_into(&plan, &x, &mut z).map_err(|e| e.to_string())?;
-        let exact = iterl2norm::reference::normalize_f64(&xf, 1e-5);
-        let stats = iterl2norm::metrics::abs_error_stats(&z, &exact);
-        println!(
-            "format {}  backend {}  d {d}  method {}  seed {seed}",
-            F::NAME,
-            backend_kind(parsed)?.name(),
-            spec.label()
-        );
-        println!("m = {:.4}  scale = {:.6}", row_stats.m.to_f64(), row_stats.scale.to_f64());
-        println!("avg |err| {:.3e}   max |err| {:.3e}   over {} elements", stats.avg_abs, stats.max_abs, stats.count);
-        Ok(())
-    })
+    let service = build_service(parsed, d, spec, 1)?;
+    let format = service.format();
+    let bits: Vec<u32> = VectorGen::paper()
+        .vector_f64(d, seed)
+        .iter()
+        .map(|&v| format.encode_f64(v))
+        .collect();
+    // The f64 view of the format-rounded input, as the typed path saw it.
+    let xf: Vec<f64> = bits.iter().map(|&b| format.decode_f64(b)).collect();
+    let (response, moments) = service
+        .submit_detailed(NormRequest::bits(&bits))
+        .map_err(|e| e.to_string())?;
+    let exact = iterl2norm::reference::normalize_f64(&xf, 1e-5);
+    let mut stats = iterl2norm::metrics::ErrorStats::new();
+    for (&b, &e) in response.bits().iter().zip(&exact) {
+        stats.record(format.decode_f64(b), e);
+    }
+    println!(
+        "format {}  backend {}  d {d}  method {}  seed {seed}",
+        format.name(),
+        service.backend().name(),
+        service.method().label()
+    );
+    println!("m = {:.4}  scale = {:.6}", moments.m, moments.scale);
+    println!(
+        "avg |err| {:.3e}   max |err| {:.3e}   over {} elements",
+        stats.avg_abs, stats.max_abs, stats.count
+    );
+    Ok(())
 }
 
 /// `batch` subcommand: the engine's reason to exist, measured. Generates a
 /// `rows x d` batch, normalizes it through the per-call compatibility path
-/// and through `normalize_batch` on a cached plan, and reports rows/s.
+/// and through one service request, and reports rows/s.
 pub fn batch(parsed: &Parsed) -> Result<(), String> {
     let d: usize = parsed.num("d", 768)?;
     let rows: usize = parsed.num("rows", 256)?;
@@ -332,64 +336,70 @@ pub fn batch(parsed: &Parsed) -> Result<(), String> {
     if d == 0 || rows == 0 {
         return Err("batch needs --d and --rows at least 1".into());
     }
-    with_exec!(parsed, F => {
-        let gen = VectorGen::paper();
-        let mut flat: Vec<F> = Vec::with_capacity(rows * d);
-        for r in 0..rows as u64 {
-            flat.extend(gen.vector::<F>(d, seed.wrapping_add(r)));
-        }
-        let plan = NormPlan::<F>::new(d).map_err(|e| e.to_string())?;
-        let mut engine: Normalizer<F, ScaleMethod> = Normalizer::for_plan(spec.build::<F>(), &plan);
-        let mut out = vec![F::zero(); flat.len()];
+    let service = build_service(parsed, d, spec, threads)?;
+    let format = service.format();
+    let gen = VectorGen::paper();
+    let mut flat: Vec<u32> = Vec::with_capacity(rows * d);
+    for r in 0..rows as u64 {
+        flat.extend(
+            gen.vector_f64(d, seed.wrapping_add(r))
+                .iter()
+                .map(|&v| format.encode_f64(v)),
+        );
+    }
 
-        // Per-call path: plan constants re-rounded and buffers allocated
-        // per row (what every caller did before the engine existed).
-        let t0 = Instant::now();
-        for row in flat.chunks_exact(d) {
-            let z = iterl2norm::layer_norm(
-                iterl2norm::LayerNormInputs::unscaled(row),
-                engine.method(),
-            )
-            .map_err(|e| e.to_string())?;
-            std::hint::black_box(z);
-        }
-        let per_call = t0.elapsed();
+    // Per-call path: plan constants re-rounded and buffers allocated
+    // per row (what every caller did before the engine existed).
+    let t0 = Instant::now();
+    for row in flat.chunks_exact(d) {
+        let z = service.normalize_per_call(row).map_err(|e| e.to_string())?;
+        std::hint::black_box(z);
+    }
+    let per_call = t0.elapsed();
 
-        // Batch path: one call, zero per-row allocations, partitioned
-        // across --threads workers (bit-identical for any count).
-        let t1 = Instant::now();
-        let done = engine
-            .normalize_batch_parallel(&plan, &flat, &mut out, threads)
-            .map_err(|e| e.to_string())?;
-        let batched = t1.elapsed();
-
-        // The two paths must agree bit for bit on the last row (cheap
-        // self-check that the speedup isn't a different computation).
-        let last = flat.len() - d;
-        let z_last = iterl2norm::layer_norm(
-            iterl2norm::LayerNormInputs::unscaled(&flat[last..]),
-            engine.method(),
-        )
+    // Batch path: one service request, partitioned across --threads
+    // workers inside the backend (bit-identical for any count). A warm-up
+    // submit sizes the backend's conversion buffers first — the same
+    // methodology as backend_bench — so the timed run measures execution,
+    // not first-touch allocation.
+    service
+        .submit(NormRequest::bits(&flat))
         .map_err(|e| e.to_string())?;
-        for (a, b) in out[last..].iter().zip(&z_last) {
-            if a.to_bits() != b.to_bits() {
-                return Err("batch path diverged from per-call path".into());
-            }
-        }
+    let t1 = Instant::now();
+    let response = service
+        .submit(NormRequest::bits(&flat))
+        .map_err(|e| e.to_string())?;
+    let batched = t1.elapsed();
 
-        let rps = |t: std::time::Duration| rows as f64 / t.as_secs_f64().max(1e-12);
-        println!(
-            "format {}  backend {}  d {d}  rows {done}  threads {threads}  method {}",
-            F::NAME,
-            backend_kind(parsed)?.name(),
-            spec.label()
-        );
-        println!("  per-call layer_norm : {:>10.0} rows/s  ({per_call:?})", rps(per_call));
-        println!("  engine batch        : {:>10.0} rows/s  ({batched:?})", rps(batched));
-        println!(
-            "  speedup             : {:.2}x  (plan reuse + zero hot-path allocations)",
-            batched.as_secs_f64().max(1e-12).recip() * per_call.as_secs_f64()
-        );
-        Ok(())
-    })
+    // The two paths must agree bit for bit on the last row (cheap
+    // self-check that the speedup isn't a different computation).
+    let last = flat.len() - d;
+    let z_last = service
+        .normalize_per_call(&flat[last..])
+        .map_err(|e| e.to_string())?;
+    if response.bits()[last..] != z_last[..] {
+        return Err("batch path diverged from per-call path".into());
+    }
+
+    let rps = |t: std::time::Duration| rows as f64 / t.as_secs_f64().max(1e-12);
+    println!(
+        "format {}  backend {}  d {d}  rows {}  threads {threads}  method {}",
+        format.name(),
+        service.backend().name(),
+        response.rows(),
+        service.method().label()
+    );
+    println!(
+        "  per-call layer_norm : {:>10.0} rows/s  ({per_call:?})",
+        rps(per_call)
+    );
+    println!(
+        "  engine batch        : {:>10.0} rows/s  ({batched:?})",
+        rps(batched)
+    );
+    println!(
+        "  speedup             : {:.2}x  (plan reuse + zero hot-path allocations)",
+        batched.as_secs_f64().max(1e-12).recip() * per_call.as_secs_f64()
+    );
+    Ok(())
 }

@@ -200,6 +200,46 @@ fn native_backend_rejects_non_fp32_formats() {
 }
 
 #[test]
+fn format_and_backend_flags_are_case_insensitive() {
+    // CLI dispatch goes through the registry parsers, which fold case.
+    commands::normalize(&parsed(&["--format", "FP16", "1.5", "-2.0"])).unwrap();
+    commands::normalize(&parsed(&["--format", "Bf16", "1.0", "2.0"])).unwrap();
+    commands::demo(&parsed(&["--d", "32", "--backend", "NATIVE"])).unwrap();
+    commands::demo(&parsed(&["--d", "32", "--backend", "Native-F32"])).unwrap();
+    commands::batch(&parsed(&[
+        "--d",
+        "16",
+        "--rows",
+        "4",
+        "--backend",
+        "EMULATED",
+        "--format",
+        "FP32",
+    ]))
+    .unwrap();
+    commands::rsqrt(&parsed(&["--m", "2.0", "--format", "BF16"])).unwrap();
+    commands::macro_sim(&parsed(&["--d", "64", "--format", "FP16"])).unwrap();
+}
+
+#[test]
+fn garbage_format_and_backend_values_are_rejected_with_the_input_named() {
+    for garbage in ["fp8", "FP-32", "fp 16", "float32", ""] {
+        let err = commands::normalize(&parsed(&["--format", garbage, "1.0"])).unwrap_err();
+        assert!(
+            err.contains(garbage) && err.contains("fp32|fp16|bf16"),
+            "{garbage:?}: {err}"
+        );
+    }
+    for garbage in ["gpu", "NATIVE32", "soft float", "cuda", ""] {
+        let err = commands::demo(&parsed(&["--d", "16", "--backend", garbage])).unwrap_err();
+        assert!(
+            err.contains(garbage) && err.contains("emulated|native"),
+            "{garbage:?}: {err}"
+        );
+    }
+}
+
+#[test]
 fn unknown_backend_and_bad_threads_are_rejected() {
     let err =
         commands::batch(&parsed(&["--d", "32", "--rows", "4", "--backend", "gpu"])).unwrap_err();

@@ -67,9 +67,11 @@ impl BackendKind {
     pub const ALL: [BackendKind; 2] = [BackendKind::Emulated, BackendKind::Native];
 
     /// Parse a backend name (`"emulated"`/`"softfloat"`,
-    /// `"native"`/`"native-f32"`). Returns `None` for anything else.
+    /// `"native"`/`"native-f32"`), case-insensitively — CLI flags and
+    /// config files should not care about `Native` vs `native`. Returns
+    /// `None` for anything else.
     pub fn parse(text: &str) -> Option<Self> {
-        match text {
+        match text.to_ascii_lowercase().as_str() {
             "emulated" | "softfloat" => Some(BackendKind::Emulated),
             "native" | "native-f32" => Some(BackendKind::Native),
             _ => None,
@@ -108,13 +110,36 @@ impl FormatKind {
     pub const ALL: [FormatKind; 3] = [FormatKind::Fp32, FormatKind::Fp16, FormatKind::Bf16];
 
     /// Parse a format name (`"fp32"`, `"fp16"`, `"bf16"`; also accepts
-    /// `"f32"`/`"bfloat16"`). Returns `None` for anything else.
+    /// `"f32"`/`"bfloat16"`), case-insensitively — `"FP32"` and `"fp32"`
+    /// name the same format. Returns `None` for anything else.
     pub fn parse(text: &str) -> Option<Self> {
-        match text {
+        match text.to_ascii_lowercase().as_str() {
             "fp32" | "f32" => Some(FormatKind::Fp32),
             "fp16" | "f16" => Some(FormatKind::Fp16),
             "bf16" | "bfloat16" => Some(FormatKind::Bf16),
             _ => None,
+        }
+    }
+
+    /// Round an `f64` into this format, returning the storage bit pattern
+    /// — the type-erased counterpart of [`Float::from_f64`] +
+    /// [`Float::to_bits`].
+    pub fn encode_f64(self, value: f64) -> u32 {
+        match self {
+            FormatKind::Fp32 => Fp32::from_f64(value).to_bits(),
+            FormatKind::Fp16 => Fp16::from_f64(value).to_bits(),
+            FormatKind::Bf16 => Bf16::from_f64(value).to_bits(),
+        }
+    }
+
+    /// Exact widening of a storage bit pattern to `f64` (lossless for
+    /// every ≤ 32-bit format) — the type-erased counterpart of
+    /// [`Float::from_bits`] + [`Float::to_f64`].
+    pub fn decode_f64(self, bits: u32) -> f64 {
+        match self {
+            FormatKind::Fp32 => Fp32::from_bits(bits).to_f64(),
+            FormatKind::Fp16 => Fp16::from_bits(bits).to_f64(),
+            FormatKind::Bf16 => Bf16::from_bits(bits).to_f64(),
         }
     }
 
@@ -133,6 +158,52 @@ impl fmt::Display for FormatKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// Compile-time mapping from a [`Float`] type to the `(backend, format)`
+/// registry pair it executes: the bridge generic code (the transformer
+/// model, benches) uses to build type-erased services for whatever format
+/// parameter it was instantiated with. `HostF32` maps to the native
+/// backend; the three softfloat formats map to the emulator.
+pub trait ExecFloat: Float {
+    /// The format this type stores.
+    const FORMAT: FormatKind;
+    /// The backend kind whose arithmetic this type runs.
+    const BACKEND: BackendKind;
+}
+
+impl ExecFloat for Fp32 {
+    const FORMAT: FormatKind = FormatKind::Fp32;
+    const BACKEND: BackendKind = BackendKind::Emulated;
+}
+
+impl ExecFloat for Fp16 {
+    const FORMAT: FormatKind = FormatKind::Fp16;
+    const BACKEND: BackendKind = BackendKind::Emulated;
+}
+
+impl ExecFloat for Bf16 {
+    const FORMAT: FormatKind = FormatKind::Bf16;
+    const BACKEND: BackendKind = BackendKind::Emulated;
+}
+
+impl ExecFloat for HostF32 {
+    const FORMAT: FormatKind = FormatKind::Fp32;
+    const BACKEND: BackendKind = BackendKind::Native;
+}
+
+/// Scalar intermediates of one normalized row — the mean, the squared-norm
+/// `m` and the applied scale — widened to `f64` for type-erased reporting
+/// (the widening is exact for every ≤ 32-bit format, so nothing is lost at
+/// the bit boundary).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowMoments {
+    /// The format-arithmetic mean of the row.
+    pub mean: f64,
+    /// The squared L2 norm `m = ‖y‖²` of the mean-shifted row.
+    pub m: f64,
+    /// The scale factor `√d · a` the method produced.
+    pub scale: f64,
 }
 
 /// An execution backend: a plan plus an engine, driving row-major batches
@@ -181,6 +252,22 @@ pub trait NormBackend: Send {
         out: &mut [u32],
         threads: usize,
     ) -> Result<usize, NormError>;
+
+    /// Normalize exactly one `d`-length row of bit patterns, additionally
+    /// returning the scalar intermediates as [`RowMoments`] — the detailed
+    /// path behind reporting front ends (the CLI's `normalize`/`demo`).
+    /// The output bits are identical to the same row going through
+    /// [`normalize_batch_bits`](NormBackend::normalize_batch_bits).
+    ///
+    /// # Errors
+    ///
+    /// [`NormError::InputLengthMismatch`] when `input` is not one plan row,
+    /// [`NormError::OutputLengthMismatch`] when `out` differs in length.
+    fn normalize_row_bits_detailed(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+    ) -> Result<RowMoments, NormError>;
 }
 
 /// The shared plan/engine/buffer bundle behind both backend types: decode
@@ -231,6 +318,34 @@ impl<F: Float> BitsEngine<F> {
         }
         Ok(rows)
     }
+
+    fn run_row_detailed(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+    ) -> Result<RowMoments, NormError> {
+        if out.len() != input.len() {
+            return Err(NormError::OutputLengthMismatch {
+                expected: input.len(),
+                actual: out.len(),
+            });
+        }
+        self.decoded.clear();
+        self.decoded.extend(input.iter().map(|&b| F::from_bits(b)));
+        self.encoded.clear();
+        self.encoded.resize(input.len(), F::zero());
+        let stats = self
+            .engine
+            .normalize_into(&self.plan, &self.decoded, &mut self.encoded)?;
+        for (slot, v) in out.iter_mut().zip(&self.encoded) {
+            *slot = v.to_bits();
+        }
+        Ok(RowMoments {
+            mean: stats.mean.to_f64(),
+            m: stats.m.to_f64(),
+            scale: stats.scale.to_f64(),
+        })
+    }
 }
 
 /// The softfloat execution backend: bit-accurate emulation of format `F`.
@@ -278,6 +393,14 @@ impl<F: Float> NormBackend for Emulated<F> {
         threads: usize,
     ) -> Result<usize, NormError> {
         self.inner.run(input, out, threads)
+    }
+
+    fn normalize_row_bits_detailed(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+    ) -> Result<RowMoments, NormError> {
+        self.inner.run_row_detailed(input, out)
     }
 }
 
@@ -355,6 +478,33 @@ impl NormBackend for NativeF32 {
     ) -> Result<usize, NormError> {
         self.inner.run(input, out, threads)
     }
+
+    fn normalize_row_bits_detailed(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+    ) -> Result<RowMoments, NormError> {
+        self.inner.run_row_detailed(input, out)
+    }
+}
+
+/// Decode optional γ/β bit patterns into a plan for format `F`.
+fn plan_with_affine_bits<F: Float>(
+    d: usize,
+    reduce: ReduceOrder,
+    gamma_bits: Option<&[u32]>,
+    beta_bits: Option<&[u32]>,
+) -> Result<NormPlan<F>, NormError> {
+    let mut plan = NormPlan::<F>::new(d)?.with_reduce(reduce);
+    if let Some(bits) = gamma_bits {
+        let gamma: Vec<F> = bits.iter().map(|&b| F::from_bits(b)).collect();
+        plan = plan.with_gamma(&gamma)?;
+    }
+    if let Some(bits) = beta_bits {
+        let beta: Vec<F> = bits.iter().map(|&b| F::from_bits(b)).collect();
+        plan = plan.with_beta(&beta)?;
+    }
+    Ok(plan)
 }
 
 /// Build the execution backend for a `(backend, format)` selection: the
@@ -372,18 +522,38 @@ pub fn build_backend(
     spec: &MethodSpec,
     reduce: ReduceOrder,
 ) -> Result<Box<dyn NormBackend>, NormError> {
+    build_backend_affine(backend, format, d, spec, reduce, None, None)
+}
+
+/// [`build_backend`] plus optional affine parameters given as storage bit
+/// patterns (the type-erased currency): γ/β travel exactly, so the plan the
+/// backend executes is the one the caller described. This is the factory
+/// behind [`NormService`](crate::service::NormService).
+///
+/// # Errors
+///
+/// The [`build_backend`] errors plus the γ/β length-mismatch variants.
+pub fn build_backend_affine(
+    backend: BackendKind,
+    format: FormatKind,
+    d: usize,
+    spec: &MethodSpec,
+    reduce: ReduceOrder,
+    gamma_bits: Option<&[u32]>,
+    beta_bits: Option<&[u32]>,
+) -> Result<Box<dyn NormBackend>, NormError> {
     match backend {
         BackendKind::Emulated => Ok(match format {
             FormatKind::Fp32 => Box::new(Emulated::<Fp32>::new(
-                NormPlan::new(d)?.with_reduce(reduce),
+                plan_with_affine_bits(d, reduce, gamma_bits, beta_bits)?,
                 spec,
             )),
             FormatKind::Fp16 => Box::new(Emulated::<Fp16>::new(
-                NormPlan::new(d)?.with_reduce(reduce),
+                plan_with_affine_bits(d, reduce, gamma_bits, beta_bits)?,
                 spec,
             )),
             FormatKind::Bf16 => Box::new(Emulated::<Bf16>::new(
-                NormPlan::new(d)?.with_reduce(reduce),
+                plan_with_affine_bits(d, reduce, gamma_bits, beta_bits)?,
                 spec,
             )),
         }),
@@ -395,7 +565,7 @@ pub fn build_backend(
                 });
             }
             Ok(Box::new(NativeF32::new(
-                NormPlan::new(d)?.with_reduce(reduce),
+                plan_with_affine_bits(d, reduce, gamma_bits, beta_bits)?,
                 spec,
             )))
         }
@@ -421,6 +591,148 @@ mod tests {
             );
         }
         assert_eq!(FormatKind::parse("fp8"), None);
+    }
+
+    #[test]
+    fn kind_parsing_is_case_insensitive() {
+        for text in ["FP32", "Fp32", "fP32", "F32", "BF16", "Bfloat16", "FP16"] {
+            assert!(FormatKind::parse(text).is_some(), "{text} must parse");
+        }
+        assert_eq!(FormatKind::parse("FP32"), Some(FormatKind::Fp32));
+        assert_eq!(FormatKind::parse("BF16"), Some(FormatKind::Bf16));
+        for text in ["NATIVE", "Native-F32", "EMULATED", "SoftFloat"] {
+            assert!(BackendKind::parse(text).is_some(), "{text} must parse");
+        }
+        assert_eq!(BackendKind::parse("NATIVE"), Some(BackendKind::Native));
+        // Garbage still fails: whitespace, empty, near-misses, digits.
+        for text in [
+            "", " fp32", "fp32 ", "fp 32", "fp8", "FP-32", "native32", "0",
+        ] {
+            assert_eq!(FormatKind::parse(text), None, "{text:?} must be rejected");
+            assert_eq!(BackendKind::parse(text), None, "{text:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn format_encode_decode_round_trip_matches_typed_path() {
+        use softfloat::{Bf16, Fp16};
+        for v in [0.0, -0.0, 1.5, -2.25, 1e-8, 12345.678, f64::INFINITY] {
+            assert_eq!(FormatKind::Fp32.encode_f64(v), Fp32::from_f64(v).to_bits());
+            assert_eq!(FormatKind::Fp16.encode_f64(v), Fp16::from_f64(v).to_bits());
+            assert_eq!(FormatKind::Bf16.encode_f64(v), Bf16::from_f64(v).to_bits());
+            for fmt in FormatKind::ALL {
+                let bits = fmt.encode_f64(v);
+                // decode is the exact widening of the rounded value.
+                assert_eq!(
+                    fmt.decode_f64(bits),
+                    fmt.decode_f64(fmt.encode_f64(fmt.decode_f64(bits)))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exec_float_constants_cover_all_backends() {
+        assert_eq!(<Fp32 as ExecFloat>::FORMAT, FormatKind::Fp32);
+        assert_eq!(<Fp32 as ExecFloat>::BACKEND, BackendKind::Emulated);
+        assert_eq!(<Fp16 as ExecFloat>::FORMAT, FormatKind::Fp16);
+        assert_eq!(<Bf16 as ExecFloat>::FORMAT, FormatKind::Bf16);
+        assert_eq!(<HostF32 as ExecFloat>::FORMAT, FormatKind::Fp32);
+        assert_eq!(<HostF32 as ExecFloat>::BACKEND, BackendKind::Native);
+    }
+
+    #[test]
+    fn detailed_row_matches_batch_bits_and_reports_moments() {
+        let d = 48;
+        let spec = MethodSpec::iterl2(5);
+        for backend in BackendKind::ALL {
+            let mut engine =
+                build_backend(backend, FormatKind::Fp32, d, &spec, ReduceOrder::HwTree).unwrap();
+            let row: Vec<u32> = (0..d)
+                .map(|i| Fp32::from_f64((i as f64 * 0.61).sin()).to_bits())
+                .collect();
+            let mut via_batch = vec![0u32; d];
+            engine
+                .normalize_batch_bits(&row, &mut via_batch, 1)
+                .unwrap();
+            let mut via_row = vec![0u32; d];
+            let moments = engine
+                .normalize_row_bits_detailed(&row, &mut via_row)
+                .unwrap();
+            assert_eq!(via_batch, via_row, "{backend:?}");
+            assert!(moments.m > 0.0 && moments.scale.is_finite());
+            // Shape errors surface, not panics.
+            let mut short = vec![0u32; d - 1];
+            assert_eq!(
+                engine
+                    .normalize_row_bits_detailed(&row, &mut short)
+                    .unwrap_err(),
+                NormError::OutputLengthMismatch {
+                    expected: d,
+                    actual: d - 1
+                }
+            );
+            assert!(engine
+                .normalize_row_bits_detailed(&row[..d - 1], &mut via_row[..d - 1])
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn affine_factory_applies_and_validates_parameters() {
+        let d = 16;
+        let spec = MethodSpec::iterl2(5);
+        let gamma: Vec<u32> = (0..d)
+            .map(|i| Fp32::from_f64(1.0 + i as f64 * 0.01).to_bits())
+            .collect();
+        let beta: Vec<u32> = (0..d)
+            .map(|i| Fp32::from_f64(i as f64 * 0.002 - 0.01).to_bits())
+            .collect();
+        let input: Vec<u32> = (0..d)
+            .map(|i| Fp32::from_f64((i as f64 * 0.43).cos()).to_bits())
+            .collect();
+        // Reference: a typed plan with the same affine parameters.
+        let gf: Vec<Fp32> = gamma.iter().map(|&b| Fp32::from_bits(b)).collect();
+        let bf: Vec<Fp32> = beta.iter().map(|&b| Fp32::from_bits(b)).collect();
+        let plan = NormPlan::new(d).unwrap().with_affine(&gf, &bf).unwrap();
+        let mut reference = Emulated::new(plan, &spec);
+        let mut expect = vec![0u32; d];
+        reference
+            .normalize_batch_bits(&input, &mut expect, 1)
+            .unwrap();
+        for backend in BackendKind::ALL {
+            let mut engine = build_backend_affine(
+                backend,
+                FormatKind::Fp32,
+                d,
+                &spec,
+                ReduceOrder::HwTree,
+                Some(&gamma),
+                Some(&beta),
+            )
+            .unwrap();
+            let mut out = vec![0u32; d];
+            engine.normalize_batch_bits(&input, &mut out, 1).unwrap();
+            assert_eq!(out, expect, "{backend:?}");
+        }
+        // Length mismatches surface at build time.
+        assert_eq!(
+            build_backend_affine(
+                BackendKind::Emulated,
+                FormatKind::Fp32,
+                d,
+                &spec,
+                ReduceOrder::HwTree,
+                Some(&gamma[..d - 1]),
+                None,
+            )
+            .err()
+            .expect("short gamma must be rejected"),
+            NormError::GammaLengthMismatch {
+                expected: d,
+                actual: d - 1
+            }
+        );
     }
 
     #[test]

@@ -56,6 +56,13 @@ pub enum NormError {
     },
     /// A parallel entry point was asked to run with zero worker threads.
     ZeroThreads,
+    /// A request was submitted to a normalization service that has been
+    /// shut down — the service accepts no further work.
+    ServiceShutdown,
+    /// A service request carried zero rows. Submitting nothing is almost
+    /// always a caller bug (a drained buffer, an off-by-one on the row
+    /// count), so the service rejects it instead of silently succeeding.
+    EmptyRequest,
 }
 
 impl fmt::Display for NormError {
@@ -93,6 +100,18 @@ impl fmt::Display for NormError {
             ),
             NormError::ZeroThreads => {
                 write!(f, "thread count must be at least 1 (got 0)")
+            }
+            NormError::ServiceShutdown => {
+                write!(
+                    f,
+                    "normalization service is shut down and accepts no further requests"
+                )
+            }
+            NormError::EmptyRequest => {
+                write!(
+                    f,
+                    "request contains no rows (submit at least one d-length row)"
+                )
             }
         }
     }
@@ -188,6 +207,34 @@ mod tests {
         );
         // The message points at the escape hatch.
         assert!(s.contains("emulated"), "{s}");
+    }
+
+    #[test]
+    fn service_shutdown_displays_the_refusal() {
+        let s = NormError::ServiceShutdown.to_string();
+        assert!(
+            s.chars().next().unwrap().is_lowercase(),
+            "not lowercase: {s}"
+        );
+        assert!(
+            s.contains("shut down") && s.contains("no further"),
+            "'{s}' must say the service is closed for good"
+        );
+    }
+
+    #[test]
+    fn empty_request_displays_the_fix() {
+        let s = NormError::EmptyRequest.to_string();
+        assert!(
+            s.chars().next().unwrap().is_lowercase(),
+            "not lowercase: {s}"
+        );
+        // The message must say what was wrong and what a valid request
+        // looks like.
+        assert!(
+            s.contains("no rows") && s.contains("at least one"),
+            "'{s}' must name the problem and the fix"
+        );
     }
 
     #[test]

@@ -78,8 +78,12 @@ mod iteration;
 mod layernorm;
 pub mod metrics;
 pub mod reference;
+pub mod service;
 
-pub use backend::{build_backend, BackendKind, FormatKind, NormBackend};
+pub use backend::{
+    build_backend, build_backend_affine, BackendKind, ExecFloat, FormatKind, NormBackend,
+    RowMoments,
+};
 pub use config::{InitRule, IterConfig, LambdaRule, StopRule, UpdateStyle};
 pub use engine::{MethodSpec, NormPlan, Normalizer, ScaleMethod};
 pub use error::NormError;
@@ -91,4 +95,8 @@ pub use iteration::{
 pub use layernorm::{
     layer_norm, layer_norm_detailed, DimConsts, LayerNormInputs, LayerNormOutput, NormStats,
     RsqrtScale,
+};
+pub use service::{
+    NormRequest, NormResponse, NormService, NormServicePool, ScalarTrace, ServiceConfig,
+    ServiceStats,
 };

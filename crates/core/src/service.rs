@@ -1,0 +1,1354 @@
+//! The type-erased normalization serving API: one front door over
+//! format × method × backend × threads, with request micro-batching.
+//!
+//! The execution layer underneath ([`backend`](crate::backend)) is already
+//! runtime-polymorphic, but every caller still had to monomorphize its own
+//! dispatch (the CLI's old `with_exec!` macro, the transformer's typed
+//! per-layer plans). [`NormService`] removes that: a [`ServiceConfig`]
+//! names the whole execution point — dimension, format, scale method,
+//! backend, worker threads, reduction order, affine parameters — and
+//! [`ServiceConfig::build`] erases it behind one object. Callers submit
+//! [`NormRequest`]s (row-major `u32` storage bits, or native `f32` slices)
+//! and get [`NormResponse`]s with per-request execution metadata. No
+//! generic parameters, no macros.
+//!
+//! # Micro-batching
+//!
+//! A service is [`Clone`] + [`Sync`]: concurrent callers share one plan,
+//! one scratch pool, one backend. Requests that arrive while the backend
+//! is busy — or within the configured coalescing
+//! [`window`](ServiceConfig::with_window) — are packed into **one**
+//! partitioned [`normalize_batch_bits`](crate::NormBackend::normalize_batch_bits)
+//! call and split back per caller. Rows are independent and the engine
+//! processes a batch row by row in order, so the coalesced output bits are
+//! **identical** to serial per-request execution (enforced across
+//! formats × methods × submitter counts by
+//! `tests/service_bit_identity.rs`). Coalescing therefore changes only
+//! throughput, never results; the wins show up only under concurrent
+//! load — a single submitting thread always finds an idle backend and
+//! runs exactly one request per batch.
+//!
+//! # Example
+//!
+//! ```
+//! use iterl2norm::service::{NormRequest, ServiceConfig};
+//! use iterl2norm::{BackendKind, FormatKind, MethodSpec};
+//!
+//! # fn main() -> Result<(), iterl2norm::NormError> {
+//! let d = 64;
+//! let service = ServiceConfig::new(d)
+//!     .with_format(FormatKind::Fp32)
+//!     .with_backend(BackendKind::Native)
+//!     .with_method(MethodSpec::iterl2(5))
+//!     .with_threads(2)
+//!     .build()?;
+//!
+//! // Native f32 traffic straight in; two rows in one request.
+//! let rows: Vec<f32> = (0..2 * d).map(|i| (i as f32 * 0.37).sin()).collect();
+//! let response = service.submit(NormRequest::f32(&rows))?;
+//! assert_eq!(response.rows(), 2);
+//! assert_eq!(response.bits().len(), 2 * d);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use softfloat::{Bf16, Float, Fp16, Fp32, HostF32};
+
+use crate::backend::{build_backend_affine, BackendKind, FormatKind, NormBackend, RowMoments};
+use crate::config::IterConfig;
+use crate::engine::MethodSpec;
+use crate::error::NormError;
+use crate::hworder::ReduceOrder;
+use crate::iteration::iterate;
+use crate::layernorm::{layer_norm, LayerNormInputs};
+
+/// Dispatch a body over the concrete [`Float`] type a validated
+/// `(backend, format)` pair executes. Only reachable after
+/// [`ServiceConfig::build`] has rejected native + non-FP32, so the native
+/// arm is unconditionally `HostF32`. This is the single place the
+/// type-erasure boundary is crossed back into generics.
+macro_rules! with_exec_float {
+    ($backend:expr, $format:expr, $f:ident => $body:expr) => {
+        match ($backend, $format) {
+            (BackendKind::Native, _) => {
+                type $f = HostF32;
+                $body
+            }
+            (BackendKind::Emulated, FormatKind::Fp32) => {
+                type $f = Fp32;
+                $body
+            }
+            (BackendKind::Emulated, FormatKind::Fp16) => {
+                type $f = Fp16;
+                $body
+            }
+            (BackendKind::Emulated, FormatKind::Bf16) => {
+                type $f = Bf16;
+                $body
+            }
+        }
+    };
+}
+
+/// Everything that defines one normalization execution point. Built with
+/// [`ServiceConfig::new`] plus `with_*` steps, validated once by
+/// [`ServiceConfig::build`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    d: usize,
+    format: FormatKind,
+    method: MethodSpec,
+    backend: BackendKind,
+    threads: usize,
+    reduce: ReduceOrder,
+    gamma_bits: Option<Vec<u32>>,
+    beta_bits: Option<Vec<u32>>,
+    window: Duration,
+    coalescing: bool,
+}
+
+impl ServiceConfig {
+    /// Defaults for vectors of length `d`: emulated FP32, `iterl2[5]`,
+    /// one worker thread, hardware-tree reduction, no affine parameters,
+    /// opportunistic coalescing with a zero window.
+    pub fn new(d: usize) -> Self {
+        ServiceConfig {
+            d,
+            format: FormatKind::default(),
+            method: MethodSpec::iterl2(5),
+            backend: BackendKind::default(),
+            threads: 1,
+            reduce: ReduceOrder::default(),
+            gamma_bits: None,
+            beta_bits: None,
+            window: Duration::ZERO,
+            coalescing: true,
+        }
+    }
+
+    /// Same config with a different float format.
+    pub fn with_format(mut self, format: FormatKind) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Same config with a different scale method.
+    pub fn with_method(mut self, method: MethodSpec) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Same config with a different execution backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Same config with a different worker-thread count for batch
+    /// execution (validated at build; output bits never depend on it).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Same config with a different reduction order.
+    pub fn with_reduce(mut self, reduce: ReduceOrder) -> Self {
+        self.reduce = reduce;
+        self
+    }
+
+    /// Same config with per-element scale γ, given as storage bit
+    /// patterns (length validated at build).
+    pub fn with_gamma_bits(mut self, gamma: &[u32]) -> Self {
+        self.gamma_bits = Some(gamma.to_vec());
+        self
+    }
+
+    /// Same config with per-element shift β, given as storage bit
+    /// patterns (length validated at build).
+    pub fn with_beta_bits(mut self, beta: &[u32]) -> Self {
+        self.beta_bits = Some(beta.to_vec());
+        self
+    }
+
+    /// Same config with both affine parameters as storage bit patterns.
+    pub fn with_affine_bits(self, gamma: &[u32], beta: &[u32]) -> Self {
+        self.with_gamma_bits(gamma).with_beta_bits(beta)
+    }
+
+    /// Same config with a coalescing window: a submitter that finds the
+    /// backend idle waits this long before executing, so requests from
+    /// other threads can join its batch. Zero (the default) never delays
+    /// a request — coalescing then happens only opportunistically, for
+    /// requests that queue up while the backend is busy.
+    pub fn with_window(mut self, window: Duration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Same config with coalescing disabled entirely: every request runs
+    /// as its own backend call (requests still serialize on the backend).
+    /// This is the per-request baseline the `service_bench` compares
+    /// against; output bits are identical either way.
+    pub fn with_coalescing(mut self, coalescing: bool) -> Self {
+        self.coalescing = coalescing;
+        self
+    }
+
+    /// The vector length `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The float format.
+    pub fn format(&self) -> FormatKind {
+        self.format
+    }
+
+    /// The scale method.
+    pub fn method(&self) -> MethodSpec {
+        self.method
+    }
+
+    /// The execution backend.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The worker-thread count for batch execution.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The reduction order.
+    pub fn reduce(&self) -> ReduceOrder {
+        self.reduce
+    }
+
+    /// The coalescing window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Whether micro-batching is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.coalescing
+    }
+
+    /// Validate the configuration and erase it behind a [`NormService`].
+    ///
+    /// # Errors
+    ///
+    /// [`NormError::EmptyInput`] when `d == 0`, [`NormError::ZeroThreads`]
+    /// when `threads == 0`, [`NormError::BackendFormatMismatch`] for
+    /// native + non-FP32, and the γ/β length-mismatch variants.
+    pub fn build(self) -> Result<NormService, NormError> {
+        if self.threads == 0 {
+            return Err(NormError::ZeroThreads);
+        }
+        let backend = build_backend_affine(
+            self.backend,
+            self.format,
+            self.d,
+            &self.method,
+            self.reduce,
+            self.gamma_bits.as_deref(),
+            self.beta_bits.as_deref(),
+        )?;
+        Ok(NormService {
+            inner: Arc::new(Inner {
+                label: backend.label(),
+                config: self,
+                queue: Mutex::new(QueueState::default()),
+                queue_cv: Condvar::new(),
+                backend: Mutex::new(backend),
+            }),
+        })
+    }
+}
+
+/// One unit of normalization work: row-major data with stride `d`.
+///
+/// Bits are the service's exchange currency (every format stores one `u32`
+/// per element); native `f32` slices are accepted as a convenience for
+/// FP32-shaped serving traffic — for an FP32 service they are re-tagged
+/// bit for bit, for FP16/BF16 they are rounded into the format.
+#[derive(Debug, Clone, Copy)]
+pub enum NormRequest<'a> {
+    /// Row-major storage bit patterns (`rows × d` elements).
+    Bits(&'a [u32]),
+    /// Row-major native `f32` values (`rows × d` elements).
+    F32(&'a [f32]),
+}
+
+impl<'a> NormRequest<'a> {
+    /// Request over raw storage bit patterns.
+    pub fn bits(data: &'a [u32]) -> Self {
+        NormRequest::Bits(data)
+    }
+
+    /// Request over native `f32` values.
+    pub fn f32(data: &'a [f32]) -> Self {
+        NormRequest::F32(data)
+    }
+
+    /// Number of `u32`/`f32` elements in the request.
+    pub fn len(&self) -> usize {
+        match self {
+            NormRequest::Bits(b) => b.len(),
+            NormRequest::F32(v) => v.len(),
+        }
+    }
+
+    /// `true` when the request carries no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Encode into the service's storage bits. FP32 keeps `f32` payloads
+    /// bit for bit; narrower formats round each value in.
+    fn encode(&self, format: FormatKind) -> Vec<u32> {
+        match *self {
+            NormRequest::Bits(b) => b.to_vec(),
+            NormRequest::F32(v) => match format {
+                FormatKind::Fp32 => v.iter().map(|x| x.to_bits()).collect(),
+                _ => v.iter().map(|&x| format.encode_f64(f64::from(x))).collect(),
+            },
+        }
+    }
+
+    /// [`encode`](NormRequest::encode) without copying when the request
+    /// already carries storage bits — the uncontended submit path borrows
+    /// the caller's buffer for the duration of the backend call.
+    fn encode_cow(&self, format: FormatKind) -> Cow<'a, [u32]> {
+        match *self {
+            NormRequest::Bits(b) => Cow::Borrowed(b),
+            NormRequest::F32(_) => Cow::Owned(self.encode(format)),
+        }
+    }
+}
+
+/// The result of one request: normalized storage bits plus metadata about
+/// how the request was executed (useful for observing coalescing).
+#[derive(Debug, Clone)]
+pub struct NormResponse {
+    bits: Vec<u32>,
+    format: FormatKind,
+    rows: usize,
+    batch_rows: usize,
+    batch_requests: usize,
+    elapsed: Duration,
+}
+
+impl NormResponse {
+    /// The normalized rows as storage bit patterns, row-major.
+    pub fn bits(&self) -> &[u32] {
+        &self.bits
+    }
+
+    /// Consume the response, keeping the bit buffer.
+    pub fn into_bits(self) -> Vec<u32> {
+        self.bits
+    }
+
+    /// Number of rows in this request.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total rows of the backend batch this request executed in
+    /// (`>= rows()`; larger means the request was coalesced).
+    pub fn batch_rows(&self) -> usize {
+        self.batch_rows
+    }
+
+    /// Number of requests that shared the backend batch (1 = ran alone).
+    pub fn batch_requests(&self) -> usize {
+        self.batch_requests
+    }
+
+    /// Wall-clock time from submission to completion, queueing and
+    /// coalescing window included.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// The output decoded to `f64` (exact widening of every format).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        self.bits
+            .iter()
+            .map(|&b| self.format.decode_f64(b))
+            .collect()
+    }
+
+    /// The output as native `f32` values (exact for FP32 services; for
+    /// FP16/BF16 this is the exact widening of the narrow result).
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        match self.format {
+            FormatKind::Fp32 => self.bits.iter().map(|&b| f32::from_bits(b)).collect(),
+            _ => self
+                .bits
+                .iter()
+                .map(|&b| self.format.decode_f64(b) as f32)
+                .collect(),
+        }
+    }
+}
+
+/// Counters describing how a service has executed its traffic so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted (valid shape, not rejected at the door).
+    pub requests: u64,
+    /// Backend batch calls issued.
+    pub batches: u64,
+    /// Requests that shared a batch with at least one other request.
+    pub coalesced_requests: u64,
+    /// Total rows normalized.
+    pub rows: u64,
+}
+
+/// The scalar `1/√m` iteration trace, widened to `f64` — what the CLI's
+/// `rsqrt` subcommand reports. See [`NormService::rsqrt_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarTrace {
+    /// `m` after rounding into the service's format.
+    pub m: f64,
+    /// The exponent-derived seed `a₀` (paper Eq. 6).
+    pub a0: f64,
+    /// The exponent-derived rate λ (paper Eq. 10).
+    pub lambda: f64,
+    /// The iterate after each step.
+    pub steps: Vec<f64>,
+}
+
+type SlotOutcome = Result<SlotResult, NormError>;
+
+struct SlotResult {
+    bits: Vec<u32>,
+    rows: usize,
+    batch_rows: usize,
+    batch_requests: usize,
+}
+
+/// What one combining round executed (for the leader's stats update).
+struct RoundStats {
+    requests: usize,
+    rows: usize,
+}
+
+/// What the shared submission protocol reports back to the public entry
+/// points: the request's own rows plus how it was executed.
+struct Served {
+    rows: usize,
+    batch_rows: usize,
+    batch_requests: usize,
+}
+
+/// Copy a round-served result into the caller's buffer.
+fn finish(result: SlotResult, out: &mut [u32]) -> Result<Served, NormError> {
+    out.copy_from_slice(&result.bits);
+    Ok(Served {
+        rows: result.rows,
+        batch_rows: result.batch_rows,
+        batch_requests: result.batch_requests,
+    })
+}
+
+/// One waiting submitter's mailbox. Filled by whichever submitter runs
+/// the round that serves it; waiters are woken through the queue-level
+/// condvar (`Inner::queue_cv`), not per slot.
+struct Slot {
+    state: Mutex<Option<SlotOutcome>>,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            state: Mutex::new(None),
+        })
+    }
+
+    fn fill(&self, outcome: SlotOutcome) {
+        *self.state.lock().expect("slot lock poisoned") = Some(outcome);
+    }
+
+    fn take(&self) -> Option<SlotOutcome> {
+        self.state.lock().expect("slot lock poisoned").take()
+    }
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: Vec<(Vec<u32>, Arc<Slot>)>,
+    leader: bool,
+    shutdown: bool,
+    stats: ServiceStats,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    label: String,
+    queue: Mutex<QueueState>,
+    /// Wakes waiting submitters when a round completes (their slot may be
+    /// filled, or leadership may be free for one of them to claim).
+    queue_cv: Condvar,
+    backend: Mutex<Box<dyn NormBackend>>,
+}
+
+/// The type-erased serving front door: one shared execution point that any
+/// number of threads submit normalization work to. Cloning is cheap (the
+/// clones share the same plan, scratch and coalescing queue). See the
+/// [module docs](self) for the contract and an example.
+#[derive(Clone)]
+pub struct NormService {
+    inner: Arc<Inner>,
+}
+
+impl core::fmt::Debug for NormService {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("NormService")
+            .field("label", &self.inner.label)
+            .field("d", &self.inner.config.d)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NormService {
+    /// The configuration this service was built from.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// The vector length `d`.
+    pub fn d(&self) -> usize {
+        self.inner.config.d
+    }
+
+    /// The format.
+    pub fn format(&self) -> FormatKind {
+        self.inner.config.format
+    }
+
+    /// The backend kind.
+    pub fn backend(&self) -> BackendKind {
+        self.inner.config.backend
+    }
+
+    /// The scale method.
+    pub fn method(&self) -> MethodSpec {
+        self.inner.config.method
+    }
+
+    /// The worker-thread count batch execution partitions across.
+    pub fn threads(&self) -> usize {
+        self.inner.config.threads
+    }
+
+    /// Combined report label, e.g. `"native-f32/FP32/iterl2[5]"`.
+    pub fn label(&self) -> &str {
+        &self.inner.label
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.queue.lock().expect("queue lock poisoned").stats
+    }
+
+    /// Refuse all future requests. Requests already accepted are still
+    /// completed; subsequent [`submit`](NormService::submit) calls return
+    /// [`NormError::ServiceShutdown`].
+    pub fn shutdown(&self) {
+        let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+        queue.shutdown = true;
+    }
+
+    /// `true` once [`shutdown`](NormService::shutdown) has been called.
+    pub fn is_shutdown(&self) -> bool {
+        self.inner
+            .queue
+            .lock()
+            .expect("queue lock poisoned")
+            .shutdown
+    }
+
+    /// Normalize one request. Blocks until the result is ready; requests
+    /// from concurrent submitters may be executed together in one backend
+    /// batch (see the [module docs](self)) — the output bits are identical
+    /// either way.
+    ///
+    /// # Errors
+    ///
+    /// [`NormError::ServiceShutdown`] after [`shutdown`](NormService::shutdown),
+    /// [`NormError::EmptyRequest`] for a zero-row request,
+    /// [`NormError::BatchLengthMismatch`] when the data is not whole
+    /// `d`-length rows, plus any backend execution error.
+    pub fn submit(&self, request: NormRequest<'_>) -> Result<NormResponse, NormError> {
+        let start = Instant::now();
+        self.validate_shape(&request)?;
+        let mut out = vec![0u32; request.len()];
+        let served = self.serve(&request, &mut out)?;
+        Ok(self.response(
+            out,
+            served.rows,
+            served.batch_rows,
+            served.batch_requests,
+            start,
+        ))
+    }
+
+    /// [`submit`](NormService::submit) writing the normalized bits into a
+    /// caller-provided buffer instead of allocating a response — the
+    /// hot-path variant for callers that reuse buffers across calls (the
+    /// transformer's forward pass). On the uncontended fast path this
+    /// performs **zero** service-layer allocations for bit requests; under
+    /// contention it falls back to the combining queue and copies the
+    /// served result into `out`. Returns the number of rows. Output bits
+    /// are identical to [`submit`](NormService::submit).
+    ///
+    /// # Errors
+    ///
+    /// The [`submit`](NormService::submit) errors, plus
+    /// [`NormError::OutputLengthMismatch`] when `out` differs in length.
+    pub fn submit_into(
+        &self,
+        request: NormRequest<'_>,
+        out: &mut [u32],
+    ) -> Result<usize, NormError> {
+        self.validate_shape(&request)?;
+        if out.len() != request.len() {
+            return Err(NormError::OutputLengthMismatch {
+                expected: request.len(),
+                actual: out.len(),
+            });
+        }
+        Ok(self.serve(&request, out)?.rows)
+    }
+
+    /// The submission protocol both public entry points share, writing the
+    /// normalized bits into `out` (already length-checked by the caller):
+    ///
+    /// 1. **Per-request mode** (coalescing disabled): one backend call,
+    ///    borrowing bit payloads — the same deal the fast path gets, so
+    ///    the two modes stay comparable in benchmarks.
+    /// 2. **Uncontended fast path** (zero window, no active leader,
+    ///    nothing queued): claim leadership, run the borrowed request
+    ///    directly — no owned copy, no slot machinery.
+    /// 3. **Combining queue**: enqueue, then either run one round as
+    ///    leader or wait until some round serves us. Leadership is
+    ///    released after every round and handed to a woken waiter, so no
+    ///    submitter is ever held serving other callers' traffic
+    ///    indefinitely — submit latency stays bounded under sustained
+    ///    load.
+    fn serve(&self, request: &NormRequest<'_>, out: &mut [u32]) -> Result<Served, NormError> {
+        let rows = request.len() / self.inner.config.d;
+
+        if !self.inner.config.coalescing {
+            {
+                let queue = self.inner.queue.lock().expect("queue lock poisoned");
+                if queue.shutdown {
+                    return Err(NormError::ServiceShutdown);
+                }
+            }
+            let bits = request.encode_cow(self.inner.config.format);
+            self.execute_into(&bits, out)?;
+            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+            queue.stats.requests += 1;
+            queue.stats.batches += 1;
+            queue.stats.rows += rows as u64;
+            return Ok(Served {
+                rows,
+                batch_rows: rows,
+                batch_requests: 1,
+            });
+        }
+
+        // A window must hold the request back so others can join, and
+        // queued requests deserve to share our round — both skip the fast
+        // path and go through the combining queue.
+        if self.inner.config.window.is_zero() {
+            let claimed = {
+                let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+                if queue.shutdown {
+                    return Err(NormError::ServiceShutdown);
+                }
+                if !queue.leader && queue.pending.is_empty() {
+                    queue.leader = true;
+                    queue.stats.requests += 1;
+                    true
+                } else {
+                    false
+                }
+            };
+            if claimed {
+                let bits = request.encode_cow(self.inner.config.format);
+                let outcome = self.execute_into(&bits, out);
+                {
+                    let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+                    queue.stats.batches += 1;
+                    queue.stats.rows += rows as u64;
+                    queue.leader = false;
+                }
+                // Requests that queued behind us get the next round: wake
+                // a waiter so one of them claims leadership.
+                self.inner.queue_cv.notify_all();
+                outcome?;
+                return Ok(Served {
+                    rows,
+                    batch_rows: rows,
+                    batch_requests: 1,
+                });
+            }
+        }
+
+        let slot = Slot::new();
+        let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+        if queue.shutdown {
+            return Err(NormError::ServiceShutdown);
+        }
+        queue.stats.requests += 1;
+        queue
+            .pending
+            .push((request.encode(self.inner.config.format), Arc::clone(&slot)));
+        loop {
+            if let Some(outcome) = slot.take() {
+                drop(queue);
+                return finish(outcome?, out);
+            }
+            if !queue.leader {
+                // Leadership is only ever released after the round's slots
+                // are filled, so an unserved request (ours) is still in
+                // `pending` — the round below is guaranteed to serve it.
+                queue.leader = true;
+                drop(queue);
+                if !self.inner.config.window.is_zero() {
+                    // Give concurrent submitters the configured window to
+                    // join this batch before draining the queue.
+                    std::thread::sleep(self.inner.config.window);
+                }
+                let round = self.run_round();
+                {
+                    let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+                    queue.stats.batches += 1;
+                    queue.stats.rows += round.rows as u64;
+                    if round.requests > 1 {
+                        queue.stats.coalesced_requests += round.requests as u64;
+                    }
+                    queue.leader = false;
+                }
+                self.inner.queue_cv.notify_all();
+                let result = slot
+                    .take()
+                    .expect("a round serves every request pending when it starts")?;
+                return finish(result, out);
+            }
+            queue = self
+                .inner
+                .queue_cv
+                .wait(queue)
+                .expect("queue lock poisoned");
+        }
+    }
+
+    /// One backend call over `bits` into a caller-provided buffer.
+    fn execute_into(&self, bits: &[u32], out: &mut [u32]) -> Result<usize, NormError> {
+        let mut backend = self.inner.backend.lock().expect("backend lock poisoned");
+        backend.normalize_batch_bits(bits, out, self.inner.config.threads)
+    }
+
+    fn response(
+        &self,
+        bits: Vec<u32>,
+        rows: usize,
+        batch_rows: usize,
+        batch_requests: usize,
+        start: Instant,
+    ) -> NormResponse {
+        NormResponse {
+            bits,
+            format: self.inner.config.format,
+            rows,
+            batch_rows,
+            batch_requests,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Run one combining round: drain everything queued, execute it as a
+    /// single partitioned backend call, split the output back per caller
+    /// and fill the waiters' slots. Exactly one round per leadership
+    /// claim — the caller releases leadership afterwards and wakes a
+    /// waiter to take the next round.
+    fn run_round(&self) -> RoundStats {
+        let d = self.inner.config.d;
+        let drained: Vec<(Vec<u32>, Arc<Slot>)> = {
+            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+            std::mem::take(&mut queue.pending)
+        };
+        let total: usize = drained.iter().map(|(bits, _)| bits.len()).sum();
+        let batch_requests = drained.len();
+        let batch_rows = total / d;
+        if batch_requests == 1 {
+            // A lone request needs no concat/split: execute it in place
+            // and hand the output buffer to the slot whole, sparing the
+            // two batch-sized copies (which dominate for large requests).
+            let (bits, slot) = drained.into_iter().next().expect("one request");
+            let mut out = vec![0u32; bits.len()];
+            let exec = self.execute_into(&bits, &mut out);
+            slot.fill(exec.map(|_| SlotResult {
+                bits: out,
+                rows: batch_rows,
+                batch_rows,
+                batch_requests: 1,
+            }));
+        } else {
+            let mut input = Vec::with_capacity(total);
+            for (bits, _) in &drained {
+                input.extend_from_slice(bits);
+            }
+            let mut out = vec![0u32; total];
+            match self.execute_into(&input, &mut out) {
+                Ok(_) => {
+                    let mut offset = 0;
+                    for (bits, slot) in drained {
+                        let len = bits.len();
+                        slot.fill(Ok(SlotResult {
+                            bits: out[offset..offset + len].to_vec(),
+                            rows: len / d,
+                            batch_rows,
+                            batch_requests,
+                        }));
+                        offset += len;
+                    }
+                }
+                Err(err) => {
+                    for (_, slot) in drained {
+                        slot.fill(Err(err.clone()));
+                    }
+                }
+            }
+        }
+        RoundStats {
+            requests: batch_requests,
+            rows: batch_rows,
+        }
+    }
+
+    /// Normalize exactly one `d`-length row, additionally returning the
+    /// scalar intermediates ([`RowMoments`]) — the reporting path behind
+    /// the CLI's `normalize` and `demo`. Runs directly on the backend
+    /// (never coalesced — the batch path does not surface per-row stats);
+    /// the output bits are identical to [`submit`](NormService::submit).
+    ///
+    /// # Errors
+    ///
+    /// [`NormError::ServiceShutdown`] after shutdown,
+    /// [`NormError::EmptyRequest`] for an empty request,
+    /// [`NormError::InputLengthMismatch`] when the request is not exactly
+    /// one row.
+    pub fn submit_detailed(
+        &self,
+        request: NormRequest<'_>,
+    ) -> Result<(NormResponse, RowMoments), NormError> {
+        let start = Instant::now();
+        if request.is_empty() {
+            return Err(NormError::EmptyRequest);
+        }
+        let bits = request.encode(self.inner.config.format);
+        {
+            let queue = self.inner.queue.lock().expect("queue lock poisoned");
+            if queue.shutdown {
+                return Err(NormError::ServiceShutdown);
+            }
+        }
+        let mut out = vec![0u32; bits.len()];
+        let moments = {
+            let mut backend = self.inner.backend.lock().expect("backend lock poisoned");
+            backend.normalize_row_bits_detailed(&bits, &mut out)?
+        };
+        let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+        queue.stats.requests += 1;
+        queue.stats.batches += 1;
+        queue.stats.rows += 1;
+        drop(queue);
+        Ok((
+            NormResponse {
+                bits: out,
+                format: self.inner.config.format,
+                rows: 1,
+                batch_rows: 1,
+                batch_requests: 1,
+                elapsed: start.elapsed(),
+            },
+            moments,
+        ))
+    }
+
+    /// The one-shot compatibility path: normalize one `d`-length row the
+    /// way pre-engine callers did — constants re-rounded and buffers
+    /// allocated per call, honoring this service's method, reduction
+    /// order and affine parameters. Exists so benchmarks (the CLI `batch`
+    /// subcommand) can measure the engine against its historical baseline
+    /// without re-implementing format dispatch.
+    ///
+    /// # Errors
+    ///
+    /// [`NormError::EmptyRequest`] for an empty row, plus the shape errors
+    /// of [`layer_norm`].
+    pub fn normalize_per_call(&self, row_bits: &[u32]) -> Result<Vec<u32>, NormError> {
+        if row_bits.is_empty() {
+            return Err(NormError::EmptyRequest);
+        }
+        let config = &self.inner.config;
+        with_exec_float!(config.backend, config.format, F => {
+            let x: Vec<F> = row_bits.iter().map(|&b| F::from_bits(b)).collect();
+            let gamma: Option<Vec<F>> = config
+                .gamma_bits
+                .as_ref()
+                .map(|g| g.iter().map(|&b| F::from_bits(b)).collect());
+            let beta: Option<Vec<F>> = config
+                .beta_bits
+                .as_ref()
+                .map(|b| b.iter().map(|&bit| F::from_bits(bit)).collect());
+            let mut inputs = LayerNormInputs::unscaled(&x).with_reduce(config.reduce);
+            inputs.gamma = gamma.as_deref();
+            inputs.beta = beta.as_deref();
+            let z = layer_norm(inputs, &config.method.build::<F>())?;
+            Ok(z.iter().map(|v| v.to_bits()).collect())
+        })
+    }
+
+    /// The scalar `1/√m` iteration trace in this service's format and
+    /// backend arithmetic (bit-identical between the two backends for
+    /// FP32) — the runtime-polymorphic replacement for the CLI's old
+    /// per-format `rsqrt` dispatch.
+    pub fn rsqrt_trace(&self, m: f64, steps: u32) -> ScalarTrace {
+        let config = &self.inner.config;
+        with_exec_float!(config.backend, config.format, F => {
+            let mf = F::from_f64(m);
+            let trace = iterate(mf, &IterConfig::fixed_steps(steps));
+            ScalarTrace {
+                m: mf.to_f64(),
+                a0: trace.a0.to_f64(),
+                lambda: trace.lambda.to_f64(),
+                steps: trace.steps.iter().map(|a| a.to_f64()).collect(),
+            }
+        })
+    }
+
+    /// Reject malformed requests at the door, before they can touch the
+    /// queue — shape errors are therefore independent of coalescing.
+    fn validate_shape(&self, request: &NormRequest<'_>) -> Result<(), NormError> {
+        if request.is_empty() {
+            return Err(NormError::EmptyRequest);
+        }
+        let d = self.inner.config.d;
+        let len = request.len();
+        if !len.is_multiple_of(d) {
+            return Err(NormError::BatchLengthMismatch {
+                rows: len / d,
+                d,
+                actual: len,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A pool of [`NormService`]s over one layer shape: each *site* is a set
+/// of affine parameters (one per LayerNorm location in a model), and
+/// services are materialized lazily per `(site, method)` and cached — so
+/// every forward pass, from any thread, shares the same service objects.
+/// This is what the transformer's per-layer cached plans became.
+#[derive(Debug)]
+pub struct NormServicePool {
+    template: ServiceConfig,
+    sites: Vec<Site>,
+    cache: Mutex<HashMap<(usize, String), Arc<NormService>>>,
+}
+
+#[derive(Debug)]
+struct Site {
+    gamma_bits: Option<Vec<u32>>,
+    beta_bits: Option<Vec<u32>>,
+}
+
+impl NormServicePool {
+    /// Pool whose services share `template`'s dimension, format, backend,
+    /// threads and reduction order (the template's own affine parameters
+    /// and method are ignored — sites and lookups supply those).
+    pub fn new(template: ServiceConfig) -> Self {
+        NormServicePool {
+            template,
+            sites: Vec::new(),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Register a normalization site with its affine parameters (storage
+    /// bit patterns), returning its id.
+    pub fn add_site(&mut self, gamma_bits: Option<&[u32]>, beta_bits: Option<&[u32]>) -> usize {
+        self.sites.push(Site {
+            gamma_bits: gamma_bits.map(<[u32]>::to_vec),
+            beta_bits: beta_bits.map(<[u32]>::to_vec),
+        });
+        self.sites.len() - 1
+    }
+
+    /// Number of registered sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when no site has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The shared vector length `d`.
+    pub fn d(&self) -> usize {
+        self.template.d
+    }
+
+    /// The service for `(site, method)`, built on first use and shared
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// The [`ServiceConfig::build`] errors (a site whose affine lengths
+    /// disagree with `d` surfaces here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` was never returned by
+    /// [`add_site`](NormServicePool::add_site) — a wiring bug, not input.
+    pub fn service(&self, site: usize, method: &MethodSpec) -> Result<Arc<NormService>, NormError> {
+        assert!(site < self.sites.len(), "unknown norm site {site}");
+        let key = (site, method.label());
+        let mut cache = self.cache.lock().expect("pool lock poisoned");
+        if let Some(service) = cache.get(&key) {
+            return Ok(Arc::clone(service));
+        }
+        let params = &self.sites[site];
+        let mut config = self.template.clone().with_method(*method);
+        config.gamma_bits = params.gamma_bits.clone();
+        config.beta_bits = params.beta_bits.clone();
+        let service = Arc::new(config.build()?);
+        cache.insert(key, Arc::clone(&service));
+        Ok(service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::build_backend;
+
+    fn row_bits(d: usize, salt: u64) -> Vec<u32> {
+        (0..d as u64)
+            .map(|i| {
+                Fp32::from_f64(
+                    (((i.wrapping_mul(2654435761).wrapping_add(salt)) % 1000) as f64) / 250.0 - 2.0,
+                )
+                .to_bits()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn config_validation_errors_surface_at_build() {
+        assert_eq!(
+            ServiceConfig::new(0).build().unwrap_err(),
+            NormError::EmptyInput
+        );
+        assert_eq!(
+            ServiceConfig::new(8).with_threads(0).build().unwrap_err(),
+            NormError::ZeroThreads
+        );
+        assert_eq!(
+            ServiceConfig::new(8)
+                .with_backend(BackendKind::Native)
+                .with_format(FormatKind::Fp16)
+                .build()
+                .unwrap_err(),
+            NormError::BackendFormatMismatch {
+                backend: "native-f32",
+                format: "FP16",
+            }
+        );
+        assert_eq!(
+            ServiceConfig::new(8)
+                .with_gamma_bits(&[0; 7])
+                .build()
+                .unwrap_err(),
+            NormError::GammaLengthMismatch {
+                expected: 8,
+                actual: 7
+            }
+        );
+    }
+
+    #[test]
+    fn submit_matches_direct_backend_execution() {
+        let d = 24;
+        let service = ServiceConfig::new(d).build().unwrap();
+        let bits: Vec<u32> = (0..3).flat_map(|r| row_bits(d, r)).collect();
+        let response = service.submit(NormRequest::bits(&bits)).unwrap();
+        assert_eq!(response.rows(), 3);
+        assert_eq!(response.batch_requests(), 1);
+
+        let mut reference = build_backend(
+            BackendKind::Emulated,
+            FormatKind::Fp32,
+            d,
+            &MethodSpec::iterl2(5),
+            ReduceOrder::HwTree,
+        )
+        .unwrap();
+        let mut expect = vec![0u32; bits.len()];
+        reference
+            .normalize_batch_bits(&bits, &mut expect, 1)
+            .unwrap();
+        assert_eq!(response.bits(), &expect[..]);
+
+        let stats = service.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.rows, 3);
+    }
+
+    #[test]
+    fn f32_requests_match_bits_requests() {
+        let d = 16;
+        let service = ServiceConfig::new(d)
+            .with_backend(BackendKind::Native)
+            .build()
+            .unwrap();
+        let values: Vec<f32> = (0..2 * d).map(|i| (i as f32 * 0.71).sin()).collect();
+        let bits: Vec<u32> = values.iter().map(|v| v.to_bits()).collect();
+        let via_f32 = service.submit(NormRequest::f32(&values)).unwrap();
+        let via_bits = service.submit(NormRequest::bits(&bits)).unwrap();
+        assert_eq!(via_f32.bits(), via_bits.bits());
+        assert_eq!(via_f32.to_f32_vec().len(), 2 * d);
+        // f64 decode agrees with the f32 view.
+        for (a, b) in via_f32.to_f64_vec().iter().zip(via_f32.to_f32_vec()) {
+            assert_eq!(*a, f64::from(b));
+        }
+    }
+
+    #[test]
+    fn empty_and_ragged_requests_are_rejected_up_front() {
+        let d = 8;
+        let service = ServiceConfig::new(d).build().unwrap();
+        assert_eq!(
+            service.submit(NormRequest::bits(&[])).unwrap_err(),
+            NormError::EmptyRequest
+        );
+        assert_eq!(
+            service.submit(NormRequest::f32(&[])).unwrap_err(),
+            NormError::EmptyRequest
+        );
+        let ragged = vec![0u32; d + 1];
+        assert_eq!(
+            service.submit(NormRequest::bits(&ragged)).unwrap_err(),
+            NormError::BatchLengthMismatch {
+                rows: 1,
+                d,
+                actual: d + 1
+            }
+        );
+        assert_eq!(
+            service.submit_detailed(NormRequest::bits(&[])).unwrap_err(),
+            NormError::EmptyRequest
+        );
+        // Rejections never count as accepted traffic.
+        assert_eq!(service.stats().requests, 0);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work() {
+        let d = 8;
+        let service = ServiceConfig::new(d).build().unwrap();
+        let bits = row_bits(d, 1);
+        service.submit(NormRequest::bits(&bits)).unwrap();
+        assert!(!service.is_shutdown());
+        service.shutdown();
+        assert!(service.is_shutdown());
+        assert_eq!(
+            service.submit(NormRequest::bits(&bits)).unwrap_err(),
+            NormError::ServiceShutdown
+        );
+        assert_eq!(
+            service
+                .submit_detailed(NormRequest::bits(&bits))
+                .unwrap_err(),
+            NormError::ServiceShutdown
+        );
+        // A clone shares the shutdown state.
+        assert!(service.clone().is_shutdown());
+    }
+
+    #[test]
+    fn detailed_row_agrees_with_submit_and_reports_moments() {
+        let d = 32;
+        for backend in BackendKind::ALL {
+            let service = ServiceConfig::new(d).with_backend(backend).build().unwrap();
+            let bits = row_bits(d, 5);
+            let plain = service.submit(NormRequest::bits(&bits)).unwrap();
+            let (detailed, moments) = service.submit_detailed(NormRequest::bits(&bits)).unwrap();
+            assert_eq!(plain.bits(), detailed.bits(), "{backend:?}");
+            assert!(moments.m > 0.0 && moments.scale.is_finite());
+            // Multi-row requests are a single-row API misuse.
+            let two = [bits.clone(), bits.clone()].concat();
+            assert_eq!(
+                service
+                    .submit_detailed(NormRequest::bits(&two))
+                    .unwrap_err(),
+                NormError::InputLengthMismatch {
+                    expected: d,
+                    actual: 2 * d
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn submit_into_matches_submit_and_validates_shapes() {
+        let d = 20;
+        for coalescing in [true, false] {
+            let service = ServiceConfig::new(d)
+                .with_coalescing(coalescing)
+                .build()
+                .unwrap();
+            let bits: Vec<u32> = (0..2).flat_map(|r| row_bits(d, r)).collect();
+            let expect = service.submit(NormRequest::bits(&bits)).unwrap();
+            let mut out = vec![0u32; bits.len()];
+            assert_eq!(
+                service
+                    .submit_into(NormRequest::bits(&bits), &mut out)
+                    .unwrap(),
+                2,
+                "coalescing={coalescing}"
+            );
+            assert_eq!(&out[..], expect.bits(), "coalescing={coalescing}");
+            let mut short = vec![0u32; d];
+            assert_eq!(
+                service
+                    .submit_into(NormRequest::bits(&bits), &mut short)
+                    .unwrap_err(),
+                NormError::OutputLengthMismatch {
+                    expected: 2 * d,
+                    actual: d
+                }
+            );
+            assert_eq!(
+                service
+                    .submit_into(NormRequest::bits(&[]), &mut [])
+                    .unwrap_err(),
+                NormError::EmptyRequest
+            );
+        }
+        let service = ServiceConfig::new(d).build().unwrap();
+        service.shutdown();
+        let bits = row_bits(d, 1);
+        let mut out = vec![0u32; d];
+        assert_eq!(
+            service
+                .submit_into(NormRequest::bits(&bits), &mut out)
+                .unwrap_err(),
+            NormError::ServiceShutdown
+        );
+    }
+
+    #[test]
+    fn per_call_path_matches_service_path() {
+        let d = 40;
+        for backend in BackendKind::ALL {
+            for spec in MethodSpec::REGISTRY {
+                let service = ServiceConfig::new(d)
+                    .with_backend(backend)
+                    .with_method(spec)
+                    .build()
+                    .unwrap();
+                let bits = row_bits(d, 9);
+                let via_service = service.submit(NormRequest::bits(&bits)).unwrap();
+                let via_per_call = service.normalize_per_call(&bits).unwrap();
+                assert_eq!(via_service.bits(), &via_per_call[..], "{}", service.label());
+            }
+        }
+        let service = ServiceConfig::new(d).build().unwrap();
+        assert_eq!(
+            service.normalize_per_call(&[]).unwrap_err(),
+            NormError::EmptyRequest
+        );
+    }
+
+    #[test]
+    fn rsqrt_trace_matches_typed_iteration() {
+        let service = ServiceConfig::new(1)
+            .with_format(FormatKind::Fp16)
+            .build()
+            .unwrap();
+        let trace = service.rsqrt_trace(10.5, 4);
+        let typed = iterate(Fp16::from_f64(10.5), &IterConfig::fixed_steps(4));
+        assert_eq!(trace.m, Fp16::from_f64(10.5).to_f64());
+        assert_eq!(trace.a0, typed.a0.to_f64());
+        assert_eq!(trace.lambda, typed.lambda.to_f64());
+        assert_eq!(trace.steps.len(), 4);
+        for (a, b) in trace.steps.iter().zip(&typed.steps) {
+            assert_eq!(*a, b.to_f64());
+        }
+    }
+
+    #[test]
+    fn pool_caches_services_and_applies_site_affine() {
+        let d = 12;
+        let gamma: Vec<u32> = (0..d)
+            .map(|i| Fp32::from_f64(1.0 + i as f64 * 0.05).to_bits())
+            .collect();
+        let beta: Vec<u32> = (0..d)
+            .map(|i| Fp32::from_f64(i as f64 * 0.01).to_bits())
+            .collect();
+        let mut pool = NormServicePool::new(ServiceConfig::new(d));
+        assert!(pool.is_empty());
+        let plain = pool.add_site(None, None);
+        let affine = pool.add_site(Some(&gamma), Some(&beta));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.d(), d);
+
+        let spec = MethodSpec::iterl2(5);
+        let first = pool.service(affine, &spec).unwrap();
+        let again = pool.service(affine, &spec).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "cache must return the same service"
+        );
+        let other = pool.service(plain, &spec).unwrap();
+        assert!(!Arc::ptr_eq(&first, &other));
+
+        // The affine site's output matches a directly built affine service.
+        let bits = row_bits(d, 3);
+        let expect = ServiceConfig::new(d)
+            .with_affine_bits(&gamma, &beta)
+            .build()
+            .unwrap()
+            .submit(NormRequest::bits(&bits))
+            .unwrap();
+        let got = first.submit(NormRequest::bits(&bits)).unwrap();
+        assert_eq!(got.bits(), expect.bits());
+        let got_plain = other.submit(NormRequest::bits(&bits)).unwrap();
+        assert_ne!(got_plain.bits(), expect.bits(), "affine must matter");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown norm site")]
+    fn pool_rejects_unknown_site() {
+        let pool = NormServicePool::new(ServiceConfig::new(4));
+        let _ = pool.service(0, &MethodSpec::iterl2(5));
+    }
+}

@@ -1,0 +1,346 @@
+//! The serving-API contract, enforced: whatever the coalescer does —
+//! however many submitting threads race, whatever batches requests get
+//! packed into — every response's bits are identical to executing that
+//! request alone, serially, on a freshly built backend. Rows are
+//! independent and the engine walks a batch row by row, so micro-batching
+//! may only ever change throughput, never output.
+//!
+//! The sweep covers every execution point (all three emulated formats plus
+//! native FP32) × every registry method × submitting-thread counts
+//! {1, 2, 3, 8}, with the zero-row (m = 0 rows) request and a mixed-d
+//! request rejected identically no matter how busy the service is. CI runs
+//! this suite in debug *and* release mode, like the backend identity
+//! suite.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use iterl2norm::backend::{build_backend, BackendKind, FormatKind};
+use iterl2norm::service::{NormRequest, ServiceConfig};
+use iterl2norm::{MethodSpec, NormError, ReduceOrder};
+use softfloat::Fp32;
+use workloads::{Distribution, VectorGen};
+
+const SUBMITTERS: [usize; 4] = [1, 2, 3, 8];
+const EXEC_POINTS: [(BackendKind, FormatKind); 4] = [
+    (BackendKind::Emulated, FormatKind::Fp32),
+    (BackendKind::Emulated, FormatKind::Fp16),
+    (BackendKind::Emulated, FormatKind::Bf16),
+    (BackendKind::Native, FormatKind::Fp32),
+];
+
+/// Deterministic request payload for submitter `who`: `rows × d` storage
+/// bit patterns in `format`, distinct per submitter.
+fn request_bits(format: FormatKind, d: usize, rows: usize, who: u64) -> Vec<u32> {
+    let gen = VectorGen::new(Distribution::Uniform, 0xC0A1_E5CE ^ who);
+    let mut bits = Vec::with_capacity(rows * d);
+    for r in 0..rows as u64 {
+        bits.extend(gen.vector_f64(d, r).iter().map(|&v| format.encode_f64(v)));
+    }
+    bits
+}
+
+/// Serial per-request reference: a fresh backend normalizes `bits` alone.
+fn serial_reference(
+    backend: BackendKind,
+    format: FormatKind,
+    d: usize,
+    spec: &MethodSpec,
+    bits: &[u32],
+) -> Vec<u32> {
+    let mut reference = build_backend(backend, format, d, spec, ReduceOrder::HwTree).unwrap();
+    let mut out = vec![0u32; bits.len()];
+    reference.normalize_batch_bits(bits, &mut out, 1).unwrap();
+    out
+}
+
+#[test]
+fn coalesced_matches_serial_for_every_exec_point_method_and_submitter_count() {
+    let d = 33;
+    for (backend, format) in EXEC_POINTS {
+        for spec in MethodSpec::REGISTRY {
+            for submitters in SUBMITTERS {
+                let service = ServiceConfig::new(d)
+                    .with_backend(backend)
+                    .with_format(format)
+                    .with_method(spec)
+                    .with_threads(2)
+                    .with_window(Duration::from_millis(2))
+                    .build()
+                    .unwrap();
+                let barrier = Arc::new(Barrier::new(submitters));
+                let context = format!(
+                    "{}/{} {} submitters={submitters}",
+                    backend.name(),
+                    format.name(),
+                    spec.label()
+                );
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..submitters)
+                        .map(|who| {
+                            let service = service.clone();
+                            let barrier = Arc::clone(&barrier);
+                            scope.spawn(move || {
+                                // Different row counts per submitter so the
+                                // coalescer's split-back is never uniform.
+                                let rows = 1 + who % 3;
+                                let bits = request_bits(format, d, rows, who as u64);
+                                barrier.wait();
+                                let response = service.submit(NormRequest::bits(&bits)).unwrap();
+                                (bits, response)
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        let (bits, response) = handle.join().unwrap();
+                        assert_eq!(response.rows(), bits.len() / d, "{context}");
+                        assert!(response.batch_rows() >= response.rows(), "{context}");
+                        assert!(response.batch_requests() >= 1, "{context}");
+                        let expect = serial_reference(backend, format, d, &spec, &bits);
+                        assert_eq!(
+                            response.bits(),
+                            &expect[..],
+                            "{context}: coalesced bits differ from serial per-request bits"
+                        );
+                    }
+                });
+                let stats = service.stats();
+                assert_eq!(stats.requests, submitters as u64, "{context}");
+                assert!(stats.batches <= stats.requests, "{context}");
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_mixed_d_requests_are_rejected_identically_under_load() {
+    let d = 16;
+    let service = ServiceConfig::new(d)
+        .with_window(Duration::from_millis(2))
+        .build()
+        .unwrap();
+    // Alone: the zero-row request and the ragged request fail cleanly.
+    assert_eq!(
+        service.submit(NormRequest::bits(&[])).unwrap_err(),
+        NormError::EmptyRequest
+    );
+    let ragged = vec![0u32; 2 * d + 3];
+    assert_eq!(
+        service.submit(NormRequest::bits(&ragged)).unwrap_err(),
+        NormError::BatchLengthMismatch {
+            rows: 2,
+            d,
+            actual: 2 * d + 3
+        }
+    );
+    // Under concurrent load: same rejections, and the valid neighbors'
+    // bits are still identical to serial execution.
+    let barrier = Arc::new(Barrier::new(4));
+    std::thread::scope(|scope| {
+        let valid: Vec<_> = (0..2)
+            .map(|who| {
+                let service = service.clone();
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let bits = request_bits(FormatKind::Fp32, d, 2, 77 + who);
+                    barrier.wait();
+                    let response = service.submit(NormRequest::bits(&bits)).unwrap();
+                    (bits, response)
+                })
+            })
+            .collect();
+        let empty = {
+            let service = service.clone();
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                service.submit(NormRequest::bits(&[])).unwrap_err()
+            })
+        };
+        let mixed = {
+            let service = service.clone();
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                let ragged = vec![0u32; d + 1];
+                barrier.wait();
+                service.submit(NormRequest::bits(&ragged)).unwrap_err()
+            })
+        };
+        assert_eq!(empty.join().unwrap(), NormError::EmptyRequest);
+        assert_eq!(
+            mixed.join().unwrap(),
+            NormError::BatchLengthMismatch {
+                rows: 1,
+                d,
+                actual: d + 1
+            }
+        );
+        for handle in valid {
+            let (bits, response) = handle.join().unwrap();
+            let expect = serial_reference(
+                BackendKind::Emulated,
+                FormatKind::Fp32,
+                d,
+                &MethodSpec::iterl2(5),
+                &bits,
+            );
+            assert_eq!(response.bits(), &expect[..]);
+        }
+    });
+}
+
+#[test]
+fn coalescing_actually_happens_under_concurrent_load() {
+    // Structural smoke test for the micro-batcher: with a generous window
+    // and a barrier start, concurrent submitters should share a backend
+    // batch. Retried to tolerate scheduler hiccups on loaded hosts; the
+    // bit-identity guarantees above hold regardless of grouping.
+    let d = 64;
+    let submitters = 4;
+    let mut observed_sharing = false;
+    for _attempt in 0..3 {
+        let service = ServiceConfig::new(d)
+            .with_backend(BackendKind::Native)
+            .with_window(Duration::from_millis(250))
+            .build()
+            .unwrap();
+        let barrier = Arc::new(Barrier::new(submitters));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..submitters)
+                .map(|who| {
+                    let service = service.clone();
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        let bits = request_bits(FormatKind::Fp32, d, 1, who as u64);
+                        barrier.wait();
+                        service.submit(NormRequest::bits(&bits)).unwrap()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                if handle.join().unwrap().batch_requests() > 1 {
+                    observed_sharing = true;
+                }
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.requests, submitters as u64);
+        if observed_sharing {
+            assert!(stats.coalesced_requests >= 2);
+            assert!(stats.batches < stats.requests);
+            break;
+        }
+    }
+    assert!(
+        observed_sharing,
+        "4 barrier-started submitters never shared a batch within a 250ms window (3 attempts)"
+    );
+}
+
+#[test]
+fn submit_into_is_bit_identical_under_concurrency() {
+    // The buffer-reusing entry point takes the queue fallback under a
+    // window (its result is copied out of a shared round); output must
+    // still match serial per-request execution exactly.
+    let d = 40;
+    let service = ServiceConfig::new(d)
+        .with_window(Duration::from_millis(2))
+        .build()
+        .unwrap();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|who| {
+                let service = service.clone();
+                scope.spawn(move || {
+                    let bits = request_bits(FormatKind::Fp32, d, 2, 200 + who);
+                    let mut out = vec![0u32; bits.len()];
+                    let rows = service
+                        .submit_into(NormRequest::bits(&bits), &mut out)
+                        .unwrap();
+                    assert_eq!(rows, 2);
+                    (bits, out)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (bits, out) = handle.join().unwrap();
+            let expect = serial_reference(
+                BackendKind::Emulated,
+                FormatKind::Fp32,
+                d,
+                &MethodSpec::iterl2(5),
+                &bits,
+            );
+            assert_eq!(out, expect);
+        }
+    });
+}
+
+#[test]
+fn per_request_mode_matches_coalesced_mode_bitwise() {
+    let d = 48;
+    let bits = request_bits(FormatKind::Fp32, d, 5, 11);
+    let coalesced = ServiceConfig::new(d)
+        .build()
+        .unwrap()
+        .submit(NormRequest::bits(&bits))
+        .unwrap();
+    let per_request_service = ServiceConfig::new(d)
+        .with_coalescing(false)
+        .build()
+        .unwrap();
+    let per_request = per_request_service
+        .submit(NormRequest::bits(&bits))
+        .unwrap();
+    assert_eq!(coalesced.bits(), per_request.bits());
+    assert_eq!(per_request.batch_requests(), 1);
+    // Per-request mode still honors shutdown and validation.
+    assert_eq!(
+        per_request_service
+            .submit(NormRequest::bits(&[]))
+            .unwrap_err(),
+        NormError::EmptyRequest
+    );
+    per_request_service.shutdown();
+    assert_eq!(
+        per_request_service
+            .submit(NormRequest::bits(&bits))
+            .unwrap_err(),
+        NormError::ServiceShutdown
+    );
+}
+
+#[test]
+fn affine_service_matches_affine_backend_bitwise() {
+    let d = 96;
+    let gamma: Vec<u32> = (0..d)
+        .map(|i| Fp32::from_f64(0.8 + (i % 7) as f64 * 0.06).to_bits())
+        .collect();
+    let beta: Vec<u32> = (0..d)
+        .map(|i| Fp32::from_f64((i % 5) as f64 * 0.02 - 0.04).to_bits())
+        .collect();
+    let bits = request_bits(FormatKind::Fp32, d, 3, 23);
+    let mut reference = iterl2norm::build_backend_affine(
+        BackendKind::Emulated,
+        FormatKind::Fp32,
+        d,
+        &MethodSpec::iterl2(5),
+        ReduceOrder::HwTree,
+        Some(&gamma),
+        Some(&beta),
+    )
+    .unwrap();
+    let mut expect = vec![0u32; bits.len()];
+    reference
+        .normalize_batch_bits(&bits, &mut expect, 1)
+        .unwrap();
+    for backend in BackendKind::ALL {
+        let service = ServiceConfig::new(d)
+            .with_backend(backend)
+            .with_affine_bits(&gamma, &beta)
+            .build()
+            .unwrap();
+        let response = service.submit(NormRequest::bits(&bits)).unwrap();
+        assert_eq!(response.bits(), &expect[..], "{}", service.label());
+    }
+}

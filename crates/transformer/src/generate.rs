@@ -1,9 +1,9 @@
 //! Autoregressive generation — lets the examples *use* the model the way
 //! the paper's text-generation tasks do, beyond teacher-forced perplexity.
 
+use iterl2norm::ExecFloat;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use softfloat::Float;
 
 use crate::model::Model;
 use crate::norm::NormMethod;
@@ -23,7 +23,7 @@ pub enum Decoding {
     },
 }
 
-impl<F: Float> Model<F> {
+impl<F: ExecFloat> Model<F> {
     /// Generate `count` tokens autoregressively after `prompt`, using
     /// normalization method `norm`. The returned vector contains only the
     /// newly generated tokens.

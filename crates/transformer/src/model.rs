@@ -1,20 +1,32 @@
 //! The decoder-only model: weights, forward pass and perplexity.
 //!
-//! Normalization runs through the core crate's plan/execute engine: every
-//! layer caches a [`NormPlan`] (format-rounded `d⁻¹`/`√d` plus its owned,
-//! validated γ/β) at weight-materialization time, and each forward pass
-//! drives them with one [`Normalizer`] whose scratch and output buffer are
-//! reused across layers and positions — no per-LayerNorm allocation.
+//! Normalization runs through the core crate's type-erased serving API:
+//! weight materialization registers every LayerNorm location (γ₁/β₁,
+//! γ₂/β₂ per layer, plus the final norm) as a *site* in one shared
+//! [`NormServicePool`], and each forward pass submits rows to the pool's
+//! cached [`NormService`]s — the same service objects are reused across
+//! forward calls and across the threads of
+//! [`Model::perplexity_threaded`], so concurrent evaluation shares one
+//! plan, one scratch pool and one backend per norm site (and requests may
+//! be micro-batched together — bit-identical either way). The honest
+//! trade vs the old typed per-worker engines: concurrent workers'
+//! norm submissions serialize (or batch) on each site's shared backend.
+//! That is acceptable here because the matvecs around every norm dominate
+//! per-token cost by a factor of `d_model`, and sharding a service across
+//! backend replicas is the ROADMAP's next step if a profile ever says
+//! otherwise.
 //!
-//! The execution backend is the format parameter itself: `Model<Fp32>`
-//! runs every float op through the softfloat emulator, while
-//! `Model<softfloat::HostF32>` runs the identical operation sequence on
-//! the host FPU — bit-identical logits at native speed (see the
-//! `native_f32_model_matches_emulated_bitwise` test). Multi-window
-//! perplexity evaluation additionally partitions across threads via
-//! [`Model::perplexity_threaded`], again without changing a single bit.
+//! The execution backend follows the format parameter through
+//! [`ExecFloat`]: `Model<Fp32>` serves its norms from the softfloat
+//! emulator, while `Model<softfloat::HostF32>` uses the native-f32
+//! backend and runs the identical operation sequence on the host FPU —
+//! bit-identical logits at native speed (see the
+//! `native_f32_model_matches_emulated_bitwise` test).
 
-use iterl2norm::{NormPlan, Normalizer, ReduceOrder};
+use std::sync::Arc;
+
+use iterl2norm::service::{NormRequest, NormService, NormServicePool, ServiceConfig};
+use iterl2norm::{ExecFloat, ReduceOrder};
 use softfloat::Float;
 
 use crate::config::{NormPlacement, TransformerConfig};
@@ -71,10 +83,10 @@ struct Layer<F> {
     bk: Vec<F>,
     bv: Vec<F>,
     bo: Vec<F>,
-    /// Cached plan of the attention-side LayerNorm (owns γ₁/β₁).
-    ln1: NormPlan<F>,
-    /// Cached plan of the feed-forward-side LayerNorm (owns γ₂/β₂).
-    ln2: NormPlan<F>,
+    /// Pool site of the attention-side LayerNorm (owns γ₁/β₁).
+    ln1: usize,
+    /// Pool site of the feed-forward-side LayerNorm (owns γ₂/β₂).
+    ln2: usize,
     w1: Matrix<F>,
     b1: Vec<F>,
     w2: Matrix<F>,
@@ -91,8 +103,12 @@ pub struct Model<F> {
     embed: Matrix<F>,
     pos: Matrix<F>,
     layers: Vec<Layer<F>>,
-    /// Cached plan of the final LayerNorm (owns the final γ/β).
-    final_plan: NormPlan<F>,
+    /// One service pool over the `d_model` shape: every LayerNorm site
+    /// (2 per layer + the final norm) registers its γ/β here, and forward
+    /// passes fetch shared, lazily built services per method.
+    norm_pool: NormServicePool,
+    /// Pool site of the final LayerNorm (owns the final γ/β).
+    final_site: usize,
     head: Matrix<F>,
     head_bias: Vec<F>,
 }
@@ -101,21 +117,51 @@ fn fv<F: Float>(v: &[f64]) -> Vec<F> {
     v.iter().map(|&x| F::from_f64(x)).collect()
 }
 
-/// Build a layer-norm plan owning the given f64 master γ/β rounded into
-/// `F`. The model has always reduced in linear order (the software
-/// baseline); the plan bakes that in together with `d⁻¹`/`√d`.
-fn norm_plan<F: Float>(d: usize, gamma: &[f64], beta: &[f64]) -> NormPlan<F> {
-    NormPlan::new(d)
-        .and_then(|p| p.with_affine(&fv::<F>(gamma), &fv::<F>(beta)))
-        .expect("model wiring: gamma/beta lengths match d_model")
-        .with_reduce(ReduceOrder::Linear)
+/// Round f64 master parameters into `F` and re-tag as storage bits — the
+/// type-erased currency the service pool speaks. The round trip is exact,
+/// so the pool's plans hold exactly the values the typed path held.
+fn bits_of<F: Float>(v: &[f64]) -> Vec<u32> {
+    v.iter().map(|&x| F::from_f64(x).to_bits()).collect()
 }
 
-impl<F: Float> Model<F> {
+/// Normalize one `d_model` row through a shared service: encode to bits,
+/// submit (possibly coalesced with rows from concurrent forward calls —
+/// bit-identical either way), decode into `out`. Both bit buffers are
+/// reused across calls, and `submit_into` writes into the caller's buffer,
+/// so the uncontended per-LayerNorm path stays allocation-free.
+fn norm_row<F: Float>(
+    service: &NormService,
+    x: &[F],
+    bits_buf: &mut Vec<u32>,
+    out_bits: &mut Vec<u32>,
+    out: &mut [F],
+) {
+    bits_buf.clear();
+    bits_buf.extend(x.iter().map(|v| v.to_bits()));
+    out_bits.clear();
+    out_bits.resize(x.len(), 0);
+    service
+        .submit_into(NormRequest::bits(bits_buf), out_bits)
+        .expect("norm wiring: x matches d_model and gamma/beta lengths match");
+    for (slot, &b) in out.iter_mut().zip(out_bits.iter()) {
+        *slot = F::from_bits(b);
+    }
+}
+
+impl<F: ExecFloat> Model<F> {
     /// Round the master weights into format `F`.
     pub fn from_spec(spec: &ModelSpec) -> Self {
         let c = spec.config;
         let d = c.d_model;
+        // The model has always reduced in linear order (the software
+        // baseline); the pool template bakes that in, and `ExecFloat`
+        // routes HostF32 models onto the native-f32 backend.
+        let mut pool = NormServicePool::new(
+            ServiceConfig::new(d)
+                .with_format(F::FORMAT)
+                .with_backend(F::BACKEND)
+                .with_reduce(ReduceOrder::Linear),
+        );
         let layers = spec
             .w
             .layers
@@ -129,20 +175,31 @@ impl<F: Float> Model<F> {
                 bk: fv(&l.bk),
                 bv: fv(&l.bv),
                 bo: fv(&l.bo),
-                ln1: norm_plan(d, &l.ln1_gamma, &l.ln1_beta),
-                ln2: norm_plan(d, &l.ln2_gamma, &l.ln2_beta),
+                ln1: pool.add_site(
+                    Some(&bits_of::<F>(&l.ln1_gamma)),
+                    Some(&bits_of::<F>(&l.ln1_beta)),
+                ),
+                ln2: pool.add_site(
+                    Some(&bits_of::<F>(&l.ln2_gamma)),
+                    Some(&bits_of::<F>(&l.ln2_beta)),
+                ),
                 w1: Matrix::from_f64(c.d_ff, d, &l.w1),
                 b1: fv(&l.b1),
                 w2: Matrix::from_f64(d, c.d_ff, &l.w2),
                 b2: fv(&l.b2),
             })
             .collect();
+        let final_site = pool.add_site(
+            Some(&bits_of::<F>(&spec.w.final_gamma)),
+            Some(&bits_of::<F>(&spec.w.final_beta)),
+        );
         Model {
             config: c,
             embed: Matrix::from_f64(c.vocab, d, &spec.w.embed),
             pos: Matrix::from_f64(c.max_seq, d, &spec.w.pos),
             layers,
-            final_plan: norm_plan(d, &spec.w.final_gamma, &spec.w.final_beta),
+            norm_pool: pool,
+            final_site,
             head: Matrix::from_f64(c.vocab, d, &spec.w.head),
             head_bias: fv(&spec.w.head_bias),
         }
@@ -172,11 +229,26 @@ impl<F: Float> Model<F> {
         let dh = c.head_dim();
         let inv_sqrt_dh = F::from_f64(1.0 / (dh as f64).sqrt());
 
-        // One normalization engine per forward pass: the method is
-        // materialized once, and the scratch plus the normalized-row
-        // buffer are reused across every layer and position.
-        let mut engine = Normalizer::for_plan(norm.build::<F>(), &self.final_plan);
+        // Fetch the shared per-site services for this method once per
+        // forward pass; the pool caches them, so repeated forward calls
+        // (and concurrent perplexity windows) reuse the same objects. The
+        // normalized-row and bit buffers are reused across every layer
+        // and position.
+        let spec = norm.spec();
+        let fetch = |site: usize| -> Arc<NormService> {
+            self.norm_pool
+                .service(site, &spec)
+                .expect("norm wiring: gamma/beta lengths match d_model")
+        };
+        let services: Vec<(Arc<NormService>, Arc<NormService>)> = self
+            .layers
+            .iter()
+            .map(|layer| (fetch(layer.ln1), fetch(layer.ln2)))
+            .collect();
+        let final_service = fetch(self.final_site);
         let mut norm_buf = vec![F::zero(); c.d_model];
+        let mut bits_buf: Vec<u32> = Vec::with_capacity(c.d_model);
+        let mut out_bits: Vec<u32> = Vec::with_capacity(c.d_model);
 
         // Per-layer KV caches: keys[layer][pos] is a d_model vector.
         let mut keys: Vec<Vec<Vec<F>>> = vec![Vec::new(); c.n_layers];
@@ -188,12 +260,11 @@ impl<F: Float> Model<F> {
             let mut x = add(self.embed.row(tok as usize), self.pos.row(pos));
 
             for (li, layer) in self.layers.iter().enumerate() {
+                let (ln1_service, ln2_service) = &services[li];
                 // --- Attention sub-block.
                 let attn_in: &[F] = match c.placement {
                     NormPlacement::Pre => {
-                        engine
-                            .normalize_into(&layer.ln1, &x, &mut norm_buf)
-                            .expect("norm wiring: x matches d_model");
+                        norm_row(ln1_service, &x, &mut bits_buf, &mut out_bits, &mut norm_buf);
                         &norm_buf
                     }
                     NormPlacement::Post => &x,
@@ -230,17 +301,14 @@ impl<F: Float> Model<F> {
                 let attn_out = layer.wo.matvec_bias(&ctx, &layer.bo);
                 x = add(&x, &attn_out);
                 if c.placement == NormPlacement::Post {
-                    engine
-                        .normalize_in_place(&layer.ln1, &mut x)
-                        .expect("norm wiring: x matches d_model");
+                    norm_row(ln1_service, &x, &mut bits_buf, &mut out_bits, &mut norm_buf);
+                    std::mem::swap(&mut x, &mut norm_buf);
                 }
 
                 // --- Feed-forward sub-block (ReLU, as in OPT).
                 let ffn_in: &[F] = match c.placement {
                     NormPlacement::Pre => {
-                        engine
-                            .normalize_into(&layer.ln2, &x, &mut norm_buf)
-                            .expect("norm wiring: x matches d_model");
+                        norm_row(ln2_service, &x, &mut bits_buf, &mut out_bits, &mut norm_buf);
                         &norm_buf
                     }
                     NormPlacement::Post => &x,
@@ -254,15 +322,18 @@ impl<F: Float> Model<F> {
                 let ffn_out = layer.w2.matvec_bias(&h1, &layer.b2);
                 x = add(&x, &ffn_out);
                 if c.placement == NormPlacement::Post {
-                    engine
-                        .normalize_in_place(&layer.ln2, &mut x)
-                        .expect("norm wiring: x matches d_model");
+                    norm_row(ln2_service, &x, &mut bits_buf, &mut out_bits, &mut norm_buf);
+                    std::mem::swap(&mut x, &mut norm_buf);
                 }
             }
 
-            engine
-                .normalize_into(&self.final_plan, &x, &mut norm_buf)
-                .expect("norm wiring: x matches d_model");
+            norm_row(
+                &final_service,
+                &x,
+                &mut bits_buf,
+                &mut out_bits,
+                &mut norm_buf,
+            );
             logits_out.push(self.head.matvec_bias(&norm_buf, &self.head_bias));
         }
         logits_out

@@ -1,5 +1,6 @@
 //! Quickstart: build a normalization plan once, then drive single rows and
-//! whole batches through the reusable engine — in all three formats — and
+//! whole batches through the reusable engine — in all three formats —
+//! serve batches through the type-erased `NormService` front door, and
 //! watch the scalar iteration converge.
 //!
 //! ```sh
@@ -71,60 +72,68 @@ fn demo_batch() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn demo_native_backend() -> Result<(), Box<dyn std::error::Error>> {
-    // The native fast path: Fp32 is exactly the host's binary32, so the
-    // same generic engine driven with HostF32 (host f32 behind the Float
-    // trait) produces bit-identical output at hardware speed. FP16/BF16
-    // have no host equivalent and stay on the softfloat emulator.
+fn demo_service() -> Result<(), Box<dyn std::error::Error>> {
+    // The serving front door: one ServiceConfig names the whole
+    // format x method x backend x threads execution point, and the built
+    // NormService is type-erased — no generic parameters at the call site.
+    // Fp32 is exactly the host's binary32, so the native backend produces
+    // bit-identical output at hardware speed; FP16/BF16 have no host
+    // equivalent and stay on the softfloat emulator.
     let d = 768;
     let rows = 128;
     let gen = VectorGen::paper();
-    let master: Vec<Vec<f64>> = (0..rows as u64).map(|r| gen.vector_f64(d, r)).collect();
+    let mut bits: Vec<u32> = Vec::with_capacity(rows * d);
+    for r in 0..rows as u64 {
+        bits.extend(
+            gen.vector_f64(d, r)
+                .iter()
+                .map(|&v| FormatKind::Fp32.encode_f64(v)),
+        );
+    }
 
-    let run_backend =
-        |label: &str, normalize: &mut dyn FnMut() -> Vec<u32>| -> (Vec<u32>, std::time::Duration) {
-            let t0 = std::time::Instant::now();
-            let bits = normalize();
-            let dt = t0.elapsed();
-            println!("  {label:<22} {dt:>10.2?} for {rows} rows of d = {d}");
-            (bits, dt)
-        };
+    let mut outputs = Vec::new();
+    for backend in [BackendKind::Emulated, BackendKind::Native] {
+        let service = ServiceConfig::new(d)
+            .with_backend(backend)
+            .with_method(MethodSpec::iterl2(5))
+            .with_threads(4)
+            .build()?;
+        let t0 = std::time::Instant::now();
+        let response = service.submit(NormRequest::bits(&bits))?;
+        println!(
+            "  {:<26} {:>10.2?} for {} rows of d = {d}",
+            service.label(),
+            t0.elapsed(),
+            response.rows()
+        );
+        outputs.push(response.into_bits());
+    }
+    assert_eq!(outputs[0], outputs[1], "backends must agree bit for bit");
 
-    let emulated = {
-        let plan = NormPlan::<Fp32>::new(d)?;
-        let mut engine = Normalizer::for_plan(MethodSpec::iterl2(5).build::<Fp32>(), &plan);
-        let flat: Vec<Fp32> = master
-            .iter()
-            .flatten()
-            .map(|&v| Fp32::from_f64(v))
+    // Concurrent callers share one service; overlapping requests may be
+    // micro-batched into one backend call (response.batch_requests() > 1)
+    // — with bit-identical results either way. The throughput win only
+    // exists under concurrent load; a lone submitter always runs alone.
+    let service = ServiceConfig::new(d)
+        .with_backend(BackendKind::Native)
+        .with_window(std::time::Duration::from_millis(5))
+        .build()?;
+    let coalesced: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|who| {
+                let service = service.clone();
+                let row = bits[who * d..(who + 1) * d].to_vec();
+                scope.spawn(move || {
+                    let response = service.submit(NormRequest::bits(&row)).unwrap();
+                    response.batch_requests()
+                })
+            })
             .collect();
-        let mut out = vec![Fp32::ZERO; flat.len()];
-        run_backend("emulated (softfloat):", &mut || {
-            engine.normalize_batch(&plan, &flat, &mut out).unwrap();
-            out.iter().map(|v| v.to_bits()).collect()
-        })
-    };
-    let native = {
-        let plan = NormPlan::<HostF32>::new(d)?;
-        let mut engine = Normalizer::for_plan(MethodSpec::iterl2(5).build::<HostF32>(), &plan);
-        let flat: Vec<HostF32> = master
-            .iter()
-            .flatten()
-            .map(|&v| HostF32::from_f64(v))
-            .collect();
-        let mut out = vec![HostF32::ZERO; flat.len()];
-        run_backend("native (host f32):", &mut || {
-            // Threaded partitioning never changes a bit; threads = 4 here.
-            engine
-                .normalize_batch_parallel(&plan, &flat, &mut out, 4)
-                .unwrap();
-            out.iter().map(|v| v.to_bits()).collect()
-        })
-    };
-    assert_eq!(emulated.0, native.0, "backends must agree bit for bit");
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
     println!(
-        "  -> bit-identical output, {:.0}x faster\n",
-        emulated.1.as_secs_f64() / native.1.as_secs_f64().max(1e-12)
+        "  4 concurrent submitters -> batch sizes {coalesced:?} \
+         (bit-identical to running each alone)\n"
     );
     Ok(())
 }
@@ -136,8 +145,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     demo_format::<Bf16>()?;
     demo_batch()?;
 
-    println!("\nExecution backends on the same batch (method iterl2[5]):");
-    demo_native_backend()?;
+    println!("\nThe NormService front door on the same batch (method iterl2[5]):");
+    demo_service()?;
 
     // Peek inside the iteration: a converges to 1/‖y‖ within five steps.
     println!("\nScalar iteration on m = ‖y‖² = 10.5 (FP32):");

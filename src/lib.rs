@@ -46,9 +46,10 @@ pub use workloads;
 pub mod prelude {
     pub use iterl2norm::baselines::{ExactRsqrtNorm, Fisr, LutRsqrt};
     pub use iterl2norm::{
-        build_backend, layer_norm, layer_norm_detailed, BackendKind, FormatKind, IterConfig,
-        IterL2Norm, LayerNormInputs, MethodSpec, NormBackend, NormError, NormPlan, NormStats,
-        Normalizer, ReduceOrder, RsqrtScale, ScaleMethod, StopRule,
+        build_backend, layer_norm, layer_norm_detailed, BackendKind, ExecFloat, FormatKind,
+        IterConfig, IterL2Norm, LayerNormInputs, MethodSpec, NormBackend, NormError, NormPlan,
+        NormRequest, NormService, NormServicePool, NormStats, Normalizer, ReduceOrder, RsqrtScale,
+        ScaleMethod, ServiceConfig, StopRule,
     };
     pub use macrosim::{IterL2NormMacro, MacroConfig};
     pub use softfloat::{Bf16, Float, Fp16, Fp32, HostF32};
