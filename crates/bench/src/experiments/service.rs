@@ -1,19 +1,28 @@
 //! Serving-API throughput: the [`NormService`] micro-batching coalescer
-//! vs per-request execution, under 1–8 submitting threads.
+//! vs per-request execution, across shard counts and with the
+//! response-buffer pool on/off, under 1–8 submitting threads.
 //!
 //! Every point drives the same request mix through the same native-f32
-//! service configuration; the only variable is whether concurrent requests
+//! service configuration; the variables are whether concurrent requests
 //! may be packed into one partitioned backend batch (`coalesced`) or each
-//! request runs as its own backend call (`per-request`). A self-check
-//! asserts both modes produce bit-identical output before any number is
-//! reported — coalescing is a throughput knob, never a results knob.
+//! request runs as its own backend call (`per-request`), how many
+//! independent backend+queue shards the service runs
+//! (`--shards`-equivalent), and whether response buffers are leased from
+//! the pool or freshly allocated per request. A self-check asserts every
+//! variant produces bit-identical output before any number is reported —
+//! coalescing, sharding and pooling are throughput knobs, never results
+//! knobs.
 //!
 //! Emits `results/BENCH_service.json`. Honest caveat, mirroring the
-//! backend bench: coalescing can only win when submitters actually
-//! overlap, so on a single-core container (one runnable thread at a time)
-//! the two modes measure within noise of each other and the observed
-//! requests-per-batch stays near 1. Re-run on a multi-core host to see
-//! the coalesced column pull ahead.
+//! backend bench: coalescing and sharding can only win when submitters
+//! actually overlap, so on a single-core container (one runnable thread
+//! at a time) the modes measure within noise of each other, the observed
+//! requests-per-batch stays near 1, and the shard curves are flat. The
+//! buffer-pool on/off pairs also land within noise there — the removed
+//! malloc/free costs ~1 µs against ~30 µs of execution per d = 4096
+//! request — so both variants are recorded for re-running on other hosts
+//! and allocators. Re-run on a multi-core host for meaningful shard
+//! scaling.
 
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -25,14 +34,27 @@ use workloads::VectorGen;
 
 use crate::io::{banner, print_table, write_json};
 
+/// The swept service variants: `(mode, shards, buffer_pool)`.
+const VARIANTS: [(&str, usize, bool); 6] = [
+    ("per-request", 1, true),
+    ("per-request", 1, false),
+    ("coalesced", 1, true),
+    ("coalesced", 1, false),
+    ("coalesced", 2, true),
+    ("coalesced", 4, true),
+];
+
 /// One measured configuration.
 struct Point {
     d: usize,
     submitters: usize,
     mode: &'static str,
+    shards: usize,
+    buffer_pool: bool,
     rows_per_s: f64,
     us_per_request: f64,
     requests_per_batch: f64,
+    queue_wait_us_per_request: f64,
 }
 
 /// Deterministic request payload for submitter `who`, request `req`.
@@ -98,13 +120,15 @@ fn measure(service: &NormService, submitters: usize, requests: usize, rows: usiz
     })
 }
 
-/// Build the service for one mode.
-fn service_for(d: usize, coalescing: bool) -> NormService {
+/// Build the service for one variant.
+fn service_for(d: usize, mode: &str, shards: usize, buffer_pool: bool) -> NormService {
     ServiceConfig::new(d)
         .with_backend(BackendKind::Native)
         .with_format(FormatKind::Fp32)
         .with_method(MethodSpec::iterl2(5))
-        .with_coalescing(coalescing)
+        .with_coalescing(mode == "coalesced")
+        .with_shards(shards)
+        .with_buffer_pool(buffer_pool)
         .build()
         .expect("bench service config is valid")
 }
@@ -121,13 +145,14 @@ pub fn run_at(
     requests_per_thread: usize,
     rows_per_request: usize,
 ) -> std::io::Result<()> {
-    banner("NormService throughput — coalesced vs per-request, 1-8 submitting threads");
+    banner("NormService throughput — mode x shards x buffer pool, 1-8 submitting threads");
     let spec = MethodSpec::iterl2(5);
     let mut points: Vec<Point> = Vec::new();
     let mut table = Vec::new();
 
     for &d in dims {
-        // Self-check: both modes must be bit-identical to the raw backend.
+        // Self-check: every variant must be bit-identical to the raw
+        // backend before its numbers mean anything.
         let probe = request_bits(d, rows_per_request, 0, 0);
         let mut reference = build_backend(
             BackendKind::Native,
@@ -141,48 +166,61 @@ pub fn run_at(
         reference
             .normalize_batch_bits(&probe, &mut expect, 1)
             .map_err(std::io::Error::other)?;
-        for coalescing in [true, false] {
-            let service = service_for(d, coalescing);
+        for (mode, shards, buffer_pool) in VARIANTS {
+            let service = service_for(d, mode, shards, buffer_pool);
             let response = service
                 .submit(NormRequest::bits(&probe))
                 .map_err(std::io::Error::other)?;
             assert_eq!(
                 response.bits(),
                 &expect[..],
-                "service output diverged from the backend at d = {d}"
+                "service output diverged from the backend at \
+                 d = {d} ({mode}, shards={shards}, pool={buffer_pool})"
             );
         }
 
         for &submitters in submitter_counts {
-            for (mode, coalescing) in [("coalesced", true), ("per-request", false)] {
-                let service = service_for(d, coalescing);
+            for (mode, shards, buffer_pool) in VARIANTS {
+                let service = service_for(d, mode, shards, buffer_pool);
                 // Warm-up sizes the conversion buffers and scratch.
                 let warm = request_bits(d, rows_per_request, 99, 0);
                 service
                     .submit(NormRequest::bits(&warm))
                     .map_err(std::io::Error::other)?;
+                // Baseline after warm-up: every reported ratio below uses
+                // deltas, so the untimed warm-up request never skews them.
+                let base = service.stats();
                 let seconds = measure(&service, submitters, requests_per_thread, rows_per_request);
                 let stats = service.stats();
                 let total_requests = (submitters * requests_per_thread) as f64;
                 let total_rows = total_requests * rows_per_request as f64;
-                // Exclude the warm-up request from the grouping ratio.
+                let measured_requests = (stats.requests - base.requests) as f64;
                 let requests_per_batch =
-                    (stats.requests as f64 - 1.0) / (stats.batches as f64 - 1.0).max(1.0);
+                    measured_requests / ((stats.batches - base.batches) as f64).max(1.0);
+                let queue_wait_us_per_request = (stats.queue_wait - base.queue_wait).as_secs_f64()
+                    * 1e6
+                    / measured_requests.max(1.0);
                 points.push(Point {
                     d,
                     submitters,
                     mode,
+                    shards,
+                    buffer_pool,
                     rows_per_s: total_rows / seconds,
                     us_per_request: seconds * 1e6 / total_requests,
                     requests_per_batch,
+                    queue_wait_us_per_request,
                 });
                 table.push(vec![
                     d.to_string(),
                     submitters.to_string(),
                     mode.to_string(),
+                    shards.to_string(),
+                    if buffer_pool { "on" } else { "off" }.to_string(),
                     format!("{:.0}", total_rows / seconds),
                     format!("{:.1}", seconds * 1e6 / total_requests),
                     format!("{requests_per_batch:.2}"),
+                    format!("{queue_wait_us_per_request:.2}"),
                 ]);
             }
         }
@@ -193,9 +231,12 @@ pub fn run_at(
             "d",
             "submitters",
             "mode",
+            "shards",
+            "pool",
             "rows/s",
             "us/request",
             "reqs/batch",
+            "qwait us/req",
         ],
         &table,
     );
@@ -216,14 +257,19 @@ pub fn run_at(
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"d\": {}, \"submitters\": {}, \"mode\": \"{}\", \
+             \"shards\": {}, \"buffer_pool\": {}, \
              \"rows_per_s\": {:.1}, \"us_per_request\": {:.1}, \
-             \"requests_per_batch\": {:.2}}}{}\n",
+             \"requests_per_batch\": {:.2}, \
+             \"queue_wait_us_per_request\": {:.2}}}{}\n",
             p.d,
             p.submitters,
             p.mode,
+            p.shards,
+            p.buffer_pool,
             p.rows_per_s,
             p.us_per_request,
             p.requests_per_batch,
+            p.queue_wait_us_per_request,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

@@ -13,8 +13,19 @@ pub struct Parsed {
 
 /// Option keys that take a value; anything else starting with `--` is a
 /// boolean flag.
-const VALUED: [&str; 10] = [
-    "format", "steps", "d", "m", "seed", "trials", "method", "rows", "backend", "threads",
+const VALUED: [&str; 12] = [
+    "format",
+    "steps",
+    "d",
+    "m",
+    "seed",
+    "trials",
+    "method",
+    "rows",
+    "backend",
+    "threads",
+    "shards",
+    "queue-depth",
 ];
 
 impl Parsed {
@@ -101,6 +112,16 @@ mod tests {
     #[test]
     fn valued_option_requires_value() {
         assert!(Parsed::parse(&sv(&["--format"])).is_err());
+        assert!(Parsed::parse(&sv(&["--shards"])).is_err());
+        assert!(Parsed::parse(&sv(&["--queue-depth"])).is_err());
+    }
+
+    #[test]
+    fn sharding_options_parse_as_values() {
+        let p = Parsed::parse(&sv(&["--shards", "4", "--queue-depth", "128"])).unwrap();
+        assert_eq!(p.num("shards", 1usize).unwrap(), 4);
+        assert_eq!(p.num("queue-depth", 1024usize).unwrap(), 128);
+        assert!(p.positionals().is_empty());
     }
 
     #[test]

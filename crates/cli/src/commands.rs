@@ -34,9 +34,11 @@ USAGE:
   iterl2norm cost [--format …]
       Print the 32/28nm cost-model report (Table II row + breakdown).
   iterl2norm demo [--d LEN] [--format …] [--backend B] [--method M] [--seed S]
+                  [--shards S] [--queue-depth Q]
       Normalize a random uniform(-1,1) vector end to end.
   iterl2norm batch [--d LEN] [--rows R] [--format …] [--backend B]
                    [--threads N] [--method M] [--seed S]
+                   [--shards S] [--queue-depth Q]
       Normalize a random R x LEN batch through the engine, printing rows/s
       for the per-call path vs the plan/batch path.
   iterl2norm help
@@ -47,7 +49,11 @@ Methods (--method): iterl2[:steps], fisr[:newton], exact[:eps], lut[:segments];
 Backends (--backend): emulated (softfloat, every format — the default) or
 native (host f32, fp32 only, bit-identical output). --threads N partitions
 batch rows across N worker threads (output bits never depend on N).
-Format and backend names are case-insensitive.";
+--shards S runs S independent backend+queue instances with round-robin
+placement, and --queue-depth Q bounds each shard's waiting line (further
+requests are rejected with a queue-full error instead of buffering).
+Neither knob changes output bits. Format and backend names are
+case-insensitive.";
 
 /// Resolve `--method`/`--steps` into a registry entry. `--steps` keeps its
 /// historical meaning as the IterL2Norm step count; combining it with a
@@ -117,9 +123,34 @@ fn threads_arg(parsed: &Parsed) -> Result<usize, String> {
     Ok(threads)
 }
 
-/// Build the [`NormService`] for the parsed `--backend`/`--format` flags —
-/// the single dispatch point every normalization subcommand shares (the
-/// old per-format `with_exec!` macro, type-erased away).
+/// Resolve `--shards` (default 1), rejecting 0 with the service's own
+/// error message.
+fn shards_arg(parsed: &Parsed) -> Result<usize, String> {
+    let shards: usize = parsed.num("shards", 1)?;
+    if shards == 0 {
+        return Err(format!("option --shards: {}", NormError::ZeroShards));
+    }
+    Ok(shards)
+}
+
+/// Resolve `--queue-depth` (default [`DEFAULT_QUEUE_DEPTH`]
+/// (iterl2norm::service::DEFAULT_QUEUE_DEPTH)), rejecting 0 with the
+/// offending option named — like `--shards`/`--threads`.
+fn queue_depth_arg(parsed: &Parsed) -> Result<usize, String> {
+    let depth: usize = parsed.num("queue-depth", iterl2norm::service::DEFAULT_QUEUE_DEPTH)?;
+    if depth == 0 {
+        return Err(format!(
+            "option --queue-depth: {}",
+            NormError::ZeroQueueDepth
+        ));
+    }
+    Ok(depth)
+}
+
+/// Build the [`NormService`] for the parsed `--backend`/`--format`/
+/// `--shards`/`--queue-depth` flags — the single dispatch point every
+/// normalization subcommand shares (the old per-format `with_exec!`
+/// macro, type-erased away).
 fn build_service(
     parsed: &Parsed,
     d: usize,
@@ -128,11 +159,15 @@ fn build_service(
 ) -> Result<NormService, String> {
     let backend = backend_kind(parsed)?;
     let format = format_kind(parsed)?;
+    let shards = shards_arg(parsed)?;
+    let queue_depth = queue_depth_arg(parsed)?;
     ServiceConfig::new(d)
         .with_backend(backend)
         .with_format(format)
         .with_method(spec)
         .with_threads(threads)
+        .with_shards(shards)
+        .with_queue_depth(queue_depth)
         .build()
         .map_err(|e| e.to_string())
 }

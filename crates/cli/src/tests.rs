@@ -115,6 +115,55 @@ fn batch_runs_and_validates_args() {
 }
 
 #[test]
+fn sharding_flags_happy_paths_and_rejections() {
+    // Sharded execution end to end on batch and demo (output bits are
+    // shard-independent, so these succeed identically to --shards 1).
+    commands::batch(&parsed(&["--d", "32", "--rows", "8", "--shards", "2"])).unwrap();
+    commands::batch(&parsed(&[
+        "--d",
+        "32",
+        "--rows",
+        "8",
+        "--shards",
+        "4",
+        "--queue-depth",
+        "16",
+        "--backend",
+        "native",
+    ]))
+    .unwrap();
+    commands::demo(&parsed(&[
+        "--d",
+        "48",
+        "--shards",
+        "2",
+        "--queue-depth",
+        "8",
+    ]))
+    .unwrap();
+    // Zero shards is rejected with the option named, like --threads 0.
+    let err = commands::batch(&parsed(&["--d", "32", "--rows", "4", "--shards", "0"])).unwrap_err();
+    assert!(
+        err.contains("--shards") && err.contains("at least 1"),
+        "{err}"
+    );
+    let err = commands::demo(&parsed(&["--shards", "0"])).unwrap_err();
+    assert!(err.contains("--shards"), "{err}");
+    // Zero queue depth is rejected with the option named, like --shards.
+    let err = commands::demo(&parsed(&["--queue-depth", "0"])).unwrap_err();
+    assert!(
+        err.contains("--queue-depth") && err.contains("at least 1"),
+        "{err}"
+    );
+    // Garbage values are parse errors that name the option.
+    let err =
+        commands::batch(&parsed(&["--d", "32", "--rows", "4", "--shards", "two"])).unwrap_err();
+    assert!(err.contains("--shards") && err.contains("two"), "{err}");
+    let err = commands::demo(&parsed(&["--queue-depth", "-3"])).unwrap_err();
+    assert!(err.contains("--queue-depth") && err.contains("-3"), "{err}");
+}
+
+#[test]
 fn backend_flag_happy_paths() {
     // Native on fp32 (explicit and default format), emulated explicitly,
     // and threaded partitioning — all end to end.

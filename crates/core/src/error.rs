@@ -56,6 +56,22 @@ pub enum NormError {
     },
     /// A parallel entry point was asked to run with zero worker threads.
     ZeroThreads,
+    /// A service was asked to run with zero shards.
+    ZeroShards,
+    /// A service was asked to run with a zero queue depth. With no
+    /// waiting line at all, any request that cannot execute immediately —
+    /// which under a coalescing window is *every* request — would be
+    /// rejected, so the misconfiguration is refused at build time.
+    ZeroQueueDepth,
+    /// A request arrived at a service shard whose waiting line was already
+    /// at the configured depth bound — the service sheds load instead of
+    /// buffering unboundedly behind a slow backend. The request was not
+    /// accepted; retrying later (or raising the bound) is the caller's
+    /// call.
+    QueueFull {
+        /// The configured per-shard queue-depth bound that was hit.
+        depth: usize,
+    },
     /// A request was submitted to a normalization service that has been
     /// shut down — the service accepts no further work.
     ServiceShutdown,
@@ -100,6 +116,19 @@ impl fmt::Display for NormError {
             ),
             NormError::ZeroThreads => {
                 write!(f, "thread count must be at least 1 (got 0)")
+            }
+            NormError::ZeroShards => {
+                write!(f, "shard count must be at least 1 (got 0)")
+            }
+            NormError::ZeroQueueDepth => {
+                write!(f, "queue depth must be at least 1 (got 0)")
+            }
+            NormError::QueueFull { depth } => {
+                write!(
+                    f,
+                    "service queue is full ({depth} waiting requests per shard); \
+                     retry later or raise the queue depth"
+                )
             }
             NormError::ServiceShutdown => {
                 write!(
@@ -245,6 +274,40 @@ mod tests {
             "not lowercase: {s}"
         );
         assert!(s.contains("at least 1") && s.contains('0'), "{s}");
+    }
+
+    #[test]
+    fn zero_shards_displays_the_constraint() {
+        let s = NormError::ZeroShards.to_string();
+        assert!(
+            s.chars().next().unwrap().is_lowercase(),
+            "not lowercase: {s}"
+        );
+        assert!(s.contains("shard") && s.contains("at least 1"), "{s}");
+    }
+
+    #[test]
+    fn zero_queue_depth_displays_the_constraint() {
+        let s = NormError::ZeroQueueDepth.to_string();
+        assert!(
+            s.chars().next().unwrap().is_lowercase(),
+            "not lowercase: {s}"
+        );
+        assert!(s.contains("queue depth") && s.contains("at least 1"), "{s}");
+    }
+
+    #[test]
+    fn queue_full_displays_the_bound_and_the_fix() {
+        let s = NormError::QueueFull { depth: 37 }.to_string();
+        assert!(
+            s.chars().next().unwrap().is_lowercase(),
+            "not lowercase: {s}"
+        );
+        // The message must name the configured bound and point at the two
+        // ways out (retrying and raising the depth).
+        assert!(s.contains("37"), "'{s}' must name the depth bound");
+        assert!(s.contains("full") && s.contains("retry"), "{s}");
+        assert!(s.contains("queue depth"), "{s}");
     }
 
     #[test]

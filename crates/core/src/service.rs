@@ -1,5 +1,6 @@
 //! The type-erased normalization serving API: one front door over
-//! format × method × backend × threads, with request micro-batching.
+//! format × method × backend × threads, with request micro-batching,
+//! sharding and bounded backpressure.
 //!
 //! The execution layer underneath ([`backend`](crate::backend)) is already
 //! runtime-polymorphic, but every caller still had to monomorphize its own
@@ -14,19 +15,50 @@
 //!
 //! # Micro-batching
 //!
-//! A service is [`Clone`] + [`Sync`]: concurrent callers share one plan,
-//! one scratch pool, one backend. Requests that arrive while the backend
-//! is busy — or within the configured coalescing
+//! A service is [`Clone`] + [`Sync`]: concurrent callers share the same
+//! plans, scratch and backends. Requests that arrive while a shard's
+//! backend is busy — or within the configured coalescing
 //! [`window`](ServiceConfig::with_window) — are packed into **one**
 //! partitioned [`normalize_batch_bits`](crate::NormBackend::normalize_batch_bits)
 //! call and split back per caller. Rows are independent and the engine
 //! processes a batch row by row in order, so the coalesced output bits are
 //! **identical** to serial per-request execution (enforced across
-//! formats × methods × submitter counts by
+//! formats × methods × shard counts × submitter counts by
 //! `tests/service_bit_identity.rs`). Coalescing therefore changes only
 //! throughput, never results; the wins show up only under concurrent
 //! load — a single submitting thread always finds an idle backend and
 //! runs exactly one request per batch.
+//!
+//! # Sharding and backpressure
+//!
+//! One combining queue over one backend mutex serializes *all* traffic on
+//! a single lock. [`ServiceConfig::with_shards`] splits the service into N
+//! independent shards — each owns its own backend instance (built from the
+//! identical plan), combining queue and coalescing state — and requests
+//! are placed round-robin across shards. Because every shard executes the
+//! same plan with the same arithmetic, output bits are independent of the
+//! shard count and of which shard served a request.
+//!
+//! Each shard's waiting line is bounded by
+//! [`ServiceConfig::with_queue_depth`]: a request that arrives when the
+//! shard's queue is full fails fast with [`NormError::QueueFull`] instead
+//! of buffering unboundedly behind a slow backend. Response buffers are
+//! leased from a small per-shard pool and returned when the
+//! [`NormResponse`] drops ([`ServiceConfig::with_buffer_pool`]), so
+//! steady-state serving does not allocate a fresh output buffer per
+//! request — and the pool's lock is shard-local, not another global
+//! serialization point.
+//!
+//! # Failure containment
+//!
+//! No internal lock acquisition panics on poison. If a request panics
+//! mid-execution (a backend bug, an allocation failure), the service
+//! **marks itself shut down**, fails every queued waiter with
+//! [`NormError::ServiceShutdown`], and wakes everyone: one panicking
+//! submitter never leaves other callers parked forever or panicking on a
+//! poisoned mutex — later submits get a clean `Err`. Plain-data caches
+//! (result slots, the pool's service cache) recover the poisoned guard and
+//! continue, since a panic cannot leave their state inconsistent.
 //!
 //! # Example
 //!
@@ -41,6 +73,8 @@
 //!     .with_backend(BackendKind::Native)
 //!     .with_method(MethodSpec::iterl2(5))
 //!     .with_threads(2)
+//!     .with_shards(2)
+//!     .with_queue_depth(256)
 //!     .build()?;
 //!
 //! // Native f32 traffic straight in; two rows in one request.
@@ -54,7 +88,8 @@
 
 use std::borrow::Cow;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use softfloat::{Bf16, Float, Fp16, Fp32, HostF32};
@@ -95,6 +130,9 @@ macro_rules! with_exec_float {
     };
 }
 
+/// Default per-shard bound on queued (not-yet-executing) requests.
+pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
 /// Everything that defines one normalization execution point. Built with
 /// [`ServiceConfig::new`] plus `with_*` steps, validated once by
 /// [`ServiceConfig::build`].
@@ -110,12 +148,17 @@ pub struct ServiceConfig {
     beta_bits: Option<Vec<u32>>,
     window: Duration,
     coalescing: bool,
+    shards: usize,
+    queue_depth: usize,
+    buffer_pool: bool,
 }
 
 impl ServiceConfig {
     /// Defaults for vectors of length `d`: emulated FP32, `iterl2[5]`,
     /// one worker thread, hardware-tree reduction, no affine parameters,
-    /// opportunistic coalescing with a zero window.
+    /// opportunistic coalescing with a zero window, one shard with a
+    /// [`DEFAULT_QUEUE_DEPTH`]-request queue bound, pooled response
+    /// buffers.
     pub fn new(d: usize) -> Self {
         ServiceConfig {
             d,
@@ -128,6 +171,9 @@ impl ServiceConfig {
             beta_bits: None,
             window: Duration::ZERO,
             coalescing: true,
+            shards: 1,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            buffer_pool: true,
         }
     }
 
@@ -192,11 +238,55 @@ impl ServiceConfig {
     }
 
     /// Same config with coalescing disabled entirely: every request runs
-    /// as its own backend call (requests still serialize on the backend).
-    /// This is the per-request baseline the `service_bench` compares
-    /// against; output bits are identical either way.
+    /// as its own backend call (requests still serialize per shard,
+    /// blocking on the shard's backend — there is no combining queue in
+    /// this mode, so the [`with_queue_depth`](ServiceConfig::with_queue_depth)
+    /// bound does not apply and `QueueFull` is never returned). This is
+    /// the per-request baseline the `service_bench` compares against;
+    /// output bits are identical either way.
     pub fn with_coalescing(mut self, coalescing: bool) -> Self {
         self.coalescing = coalescing;
+        self
+    }
+
+    /// Same config sharded across `shards` independent backend instances,
+    /// each with its own combining queue; requests are placed round-robin.
+    /// Every shard executes the identical plan, so output bits do not
+    /// depend on the shard count or on which shard served a request
+    /// (enforced by `tests/service_bit_identity.rs`). More shards remove
+    /// the single backend mutex as the serialization point under
+    /// concurrent load, at the cost of fewer coalescing opportunities per
+    /// shard. Validated ≥ 1 at build.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Same config with a different per-shard queue-depth bound: the
+    /// maximum number of requests allowed to *wait* in a shard's combining
+    /// queue (the request currently executing does not count). A submit
+    /// that arrives at a full shard fails fast with
+    /// [`NormError::QueueFull`] instead of buffering unboundedly behind a
+    /// slow backend. Validated ≥ 1 at build (a zero depth would reject
+    /// every request under a coalescing window); `usize::MAX` effectively
+    /// disables the bound. The bound governs the combining queue, so it
+    /// has no effect when coalescing is disabled
+    /// ([`with_coalescing(false)`](ServiceConfig::with_coalescing) —
+    /// per-request callers block on the shard's backend instead of
+    /// queueing).
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Same config with the response-buffer pool enabled or disabled.
+    /// When enabled (the default), output buffers are leased from a small
+    /// free list and returned when the [`NormResponse`] is dropped, so
+    /// steady-state serving does not allocate a fresh buffer per request.
+    /// Disabling exists for benchmarking the pool's effect; output bits
+    /// are identical either way.
+    pub fn with_buffer_pool(mut self, buffer_pool: bool) -> Self {
+        self.buffer_pool = buffer_pool;
         self
     }
 
@@ -240,35 +330,108 @@ impl ServiceConfig {
         self.coalescing
     }
 
+    /// The number of independent shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The per-shard queue-depth bound.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Whether response buffers are pooled.
+    pub fn buffer_pool(&self) -> bool {
+        self.buffer_pool
+    }
+
     /// Validate the configuration and erase it behind a [`NormService`].
     ///
     /// # Errors
     ///
     /// [`NormError::EmptyInput`] when `d == 0`, [`NormError::ZeroThreads`]
-    /// when `threads == 0`, [`NormError::BackendFormatMismatch`] for
-    /// native + non-FP32, and the γ/β length-mismatch variants.
+    /// when `threads == 0`, [`NormError::ZeroShards`] when `shards == 0`,
+    /// [`NormError::ZeroQueueDepth`] when `queue_depth == 0`,
+    /// [`NormError::BackendFormatMismatch`] for native + non-FP32, and the
+    /// γ/β length-mismatch variants.
     pub fn build(self) -> Result<NormService, NormError> {
+        self.validate_counts()?;
+        let mut backends = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            backends.push(build_backend_affine(
+                self.backend,
+                self.format,
+                self.d,
+                &self.method,
+                self.reduce,
+                self.gamma_bits.as_deref(),
+                self.beta_bits.as_deref(),
+            )?);
+        }
+        Ok(self.assemble(backends))
+    }
+
+    /// [`build`](ServiceConfig::build) with caller-supplied backends: the
+    /// extension point for custom [`NormBackend`] implementations (and how
+    /// the resilience test suite injects panicking or deliberately slow
+    /// backends). `make` is called once per shard; every instance must
+    /// execute the same computation or the sharded bit-identity guarantee
+    /// is the caller's problem. The config's format/backend fields are
+    /// kept for reporting but not validated against the custom backends.
+    ///
+    /// # Errors
+    ///
+    /// [`NormError::EmptyInput`] when `d == 0`, [`NormError::ZeroThreads`]
+    /// when `threads == 0`, [`NormError::ZeroShards`] when `shards == 0`,
+    /// [`NormError::ZeroQueueDepth`] when `queue_depth == 0`.
+    pub fn build_with_backends(
+        self,
+        mut make: impl FnMut() -> Box<dyn NormBackend>,
+    ) -> Result<NormService, NormError> {
+        self.validate_counts()?;
+        if self.d == 0 {
+            return Err(NormError::EmptyInput);
+        }
+        let backends = (0..self.shards).map(|_| make()).collect();
+        Ok(self.assemble(backends))
+    }
+
+    fn validate_counts(&self) -> Result<(), NormError> {
         if self.threads == 0 {
             return Err(NormError::ZeroThreads);
         }
-        let backend = build_backend_affine(
-            self.backend,
-            self.format,
-            self.d,
-            &self.method,
-            self.reduce,
-            self.gamma_bits.as_deref(),
-            self.beta_bits.as_deref(),
-        )?;
-        Ok(NormService {
-            inner: Arc::new(Inner {
-                label: backend.label(),
-                config: self,
+        if self.shards == 0 {
+            return Err(NormError::ZeroShards);
+        }
+        if self.queue_depth == 0 {
+            return Err(NormError::ZeroQueueDepth);
+        }
+        Ok(())
+    }
+
+    fn assemble(self, backends: Vec<Box<dyn NormBackend>>) -> NormService {
+        let label = backends[0].label();
+        let shards = backends
+            .into_iter()
+            .map(|backend| Shard {
                 queue: Mutex::new(QueueState::default()),
                 queue_cv: Condvar::new(),
                 backend: Mutex::new(backend),
+                // Per shard on purpose: a single service-wide pool mutex
+                // would reintroduce the global serialization point that
+                // sharding exists to remove.
+                pool: Arc::new(BufferPool::new(self.buffer_pool)),
+            })
+            .collect();
+        NormService {
+            inner: Arc::new(Inner {
+                label,
+                config: self,
+                shards,
+                next_shard: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
             }),
-        })
+        }
     }
 }
 
@@ -310,39 +473,114 @@ impl<'a> NormRequest<'a> {
         self.len() == 0
     }
 
-    /// Encode into the service's storage bits. FP32 keeps `f32` payloads
-    /// bit for bit; narrower formats round each value in.
-    fn encode(&self, format: FormatKind) -> Vec<u32> {
+    /// Encode into the service's storage bits, writing into a (possibly
+    /// pooled) buffer. FP32 keeps `f32` payloads bit for bit; narrower
+    /// formats round each value in.
+    fn encode_into(&self, format: FormatKind, out: &mut Vec<u32>) {
+        out.clear();
         match *self {
-            NormRequest::Bits(b) => b.to_vec(),
+            NormRequest::Bits(b) => out.extend_from_slice(b),
             NormRequest::F32(v) => match format {
-                FormatKind::Fp32 => v.iter().map(|x| x.to_bits()).collect(),
-                _ => v.iter().map(|&x| format.encode_f64(f64::from(x))).collect(),
+                FormatKind::Fp32 => out.extend(v.iter().map(|x| x.to_bits())),
+                _ => out.extend(v.iter().map(|&x| format.encode_f64(f64::from(x)))),
             },
         }
     }
 
-    /// [`encode`](NormRequest::encode) without copying when the request
-    /// already carries storage bits — the uncontended submit path borrows
-    /// the caller's buffer for the duration of the backend call.
+    /// Encode without copying when the request already carries storage
+    /// bits — the uncontended submit path borrows the caller's buffer for
+    /// the duration of the backend call.
     fn encode_cow(&self, format: FormatKind) -> Cow<'a, [u32]> {
         match *self {
             NormRequest::Bits(b) => Cow::Borrowed(b),
-            NormRequest::F32(_) => Cow::Owned(self.encode(format)),
+            NormRequest::F32(_) => {
+                let mut owned = Vec::new();
+                self.encode_into(format, &mut owned);
+                Cow::Owned(owned)
+            }
+        }
+    }
+}
+
+/// A lease/return free list of `u32` buffers: response buffers and the
+/// coalescer's round-scoped scratch are leased here and handed back when
+/// done (a [`NormResponse`] returns its buffer on drop), closing the
+/// per-request allocation overhead on large uncontended requests. One
+/// pool per shard, so the free-list lock never couples shards. A
+/// poisoned free-list lock is recovered by skipping the pool (allocation
+/// fallback) — the pool is an optimization, never a correctness
+/// dependency.
+#[derive(Debug)]
+struct BufferPool {
+    enabled: bool,
+    free: Mutex<Vec<Vec<u32>>>,
+}
+
+impl BufferPool {
+    /// Buffers retained at most; beyond this, returns are dropped.
+    const MAX_POOLED: usize = 32;
+
+    /// Largest per-buffer capacity (in `u32`s) worth retaining — 4 MiB.
+    /// Without this cap, one burst of huge requests would pin
+    /// `MAX_POOLED × largest-request` bytes per shard for the service's
+    /// lifetime (Vec capacity never shrinks on reuse).
+    const MAX_POOLED_CAPACITY: usize = 1 << 20;
+
+    fn new(enabled: bool) -> Self {
+        BufferPool {
+            enabled,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A zeroed buffer of exactly `len` elements, reusing a returned
+    /// buffer's capacity when one is available.
+    fn lease(&self, len: usize) -> Vec<u32> {
+        let mut buf = if self.enabled {
+            self.free
+                .lock()
+                .map(|mut free| free.pop())
+                .unwrap_or_default()
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Return a leased buffer's capacity to the free list.
+    fn give_back(&self, buf: Vec<u32>) {
+        if !self.enabled || buf.capacity() == 0 || buf.capacity() > Self::MAX_POOLED_CAPACITY {
+            return;
+        }
+        if let Ok(mut free) = self.free.lock() {
+            if free.len() < Self::MAX_POOLED {
+                free.push(buf);
+            }
         }
     }
 }
 
 /// The result of one request: normalized storage bits plus metadata about
-/// how the request was executed (useful for observing coalescing).
+/// how the request was executed (useful for observing coalescing). On drop
+/// the bit buffer is returned to the service's pool for reuse.
 #[derive(Debug, Clone)]
 pub struct NormResponse {
     bits: Vec<u32>,
+    pool: Arc<BufferPool>,
     format: FormatKind,
     rows: usize,
     batch_rows: usize,
     batch_requests: usize,
     elapsed: Duration,
+}
+
+impl Drop for NormResponse {
+    fn drop(&mut self) {
+        self.pool.give_back(std::mem::take(&mut self.bits));
+    }
 }
 
 impl NormResponse {
@@ -351,9 +589,10 @@ impl NormResponse {
         &self.bits
     }
 
-    /// Consume the response, keeping the bit buffer.
-    pub fn into_bits(self) -> Vec<u32> {
-        self.bits
+    /// Consume the response, keeping the bit buffer (it is then owned by
+    /// the caller and no longer returns to the service's pool).
+    pub fn into_bits(mut self) -> Vec<u32> {
+        std::mem::take(&mut self.bits)
     }
 
     /// Number of rows in this request.
@@ -372,8 +611,13 @@ impl NormResponse {
         self.batch_requests
     }
 
-    /// Wall-clock time from submission to completion, queueing and
-    /// coalescing window included.
+    /// Wall-clock time of this request **measured from acceptance to
+    /// response construction**: the span starts after shape validation
+    /// passes (a rejected request is never timed) and covers queueing,
+    /// any coalescing window, backend execution and the result copy.
+    /// For aggregate queue-wait vs execute accounting — which this
+    /// all-in span deliberately does not separate — see
+    /// [`ServiceStats::queue_wait`] and [`ServiceStats::execute`].
     pub fn elapsed(&self) -> Duration {
         self.elapsed
     }
@@ -401,6 +645,7 @@ impl NormResponse {
 }
 
 /// Counters describing how a service has executed its traffic so far.
+/// For a sharded service this is the aggregate over all shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests accepted (valid shape, not rejected at the door).
@@ -411,6 +656,33 @@ pub struct ServiceStats {
     pub coalesced_requests: u64,
     /// Total rows normalized.
     pub rows: u64,
+    /// Requests rejected with [`NormError::QueueFull`] because their
+    /// shard's waiting line was at the configured depth.
+    pub queue_full_rejections: u64,
+    /// Cumulative time accepted requests spent between acceptance and the
+    /// start of the backend execution that served them — time parked in
+    /// the combining queue, any coalescing window, and waits on the
+    /// backend lock. Summed per request; like [`rows`](ServiceStats::rows),
+    /// counted only for requests whose backend call actually ran.
+    pub queue_wait: Duration,
+    /// Cumulative wall time spent inside backend batch calls (the
+    /// normalize call itself, after the backend lock was acquired).
+    /// Summed per batch, so `queue_wait + execute` does not double-count
+    /// a coalesced batch's execution once per member request.
+    pub execute: Duration,
+}
+
+impl ServiceStats {
+    /// Fold another shard's counters into this aggregate.
+    fn merge(&mut self, other: &ServiceStats) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.coalesced_requests += other.coalesced_requests;
+        self.rows += other.rows;
+        self.queue_full_rejections += other.queue_full_rejections;
+        self.queue_wait += other.queue_wait;
+        self.execute += other.execute;
+    }
 }
 
 /// The scalar `1/√m` iteration trace, widened to `f64` — what the CLI's
@@ -440,6 +712,43 @@ struct SlotResult {
 struct RoundStats {
     requests: usize,
     rows: usize,
+    queue_wait: Duration,
+    execute: Duration,
+}
+
+/// A successful backend call's timing: when execution actually began
+/// (after the backend lock was acquired, so callers charge lock waits to
+/// queue-wait) and how long the call itself ran.
+struct Executed {
+    exec_start: Instant,
+    execute: Duration,
+}
+
+/// Where a served request's bits land. [`NormService::submit_into`]
+/// writes into the caller's pre-validated buffer; [`NormService::submit`]
+/// leases from the shard pool — lazily, at delivery time, so admission
+/// rejections (shutdown, [`NormError::QueueFull`]) never pay
+/// request-sized work on the fail-fast path.
+enum Sink<'a> {
+    /// A caller-provided buffer of exactly the request's length.
+    Caller(&'a mut [u32]),
+    /// A pool lease materialized on first use.
+    Leased(&'a mut Vec<u32>),
+}
+
+impl Sink<'_> {
+    /// The destination slice, leasing it now if this sink is pooled.
+    fn buf(&mut self, pool: &BufferPool, len: usize) -> &mut [u32] {
+        match self {
+            Sink::Caller(out) => out,
+            Sink::Leased(vec) => {
+                if vec.len() != len {
+                    **vec = pool.lease(len);
+                }
+                vec.as_mut_slice()
+            }
+        }
+    }
 }
 
 /// What the shared submission protocol reports back to the public entry
@@ -450,19 +759,31 @@ struct Served {
     batch_requests: usize,
 }
 
-/// Copy a round-served result into the caller's buffer.
-fn finish(result: SlotResult, out: &mut [u32]) -> Result<Served, NormError> {
-    out.copy_from_slice(&result.bits);
-    Ok(Served {
+/// Deliver a round-served result into the caller's sink. A pooled sink
+/// takes ownership of the result buffer outright — zero copy, zero pool
+/// traffic; a caller-provided buffer gets a copy and the result buffer
+/// returns to the pool.
+fn finish(result: SlotResult, sink: &mut Sink<'_>, pool: &BufferPool) -> Result<Served, NormError> {
+    let served = Served {
         rows: result.rows,
         batch_rows: result.batch_rows,
         batch_requests: result.batch_requests,
-    })
+    };
+    match sink {
+        Sink::Caller(out) => {
+            out.copy_from_slice(&result.bits);
+            pool.give_back(result.bits);
+        }
+        Sink::Leased(vec) => **vec = result.bits,
+    }
+    Ok(served)
 }
 
 /// One waiting submitter's mailbox. Filled by whichever submitter runs
-/// the round that serves it; waiters are woken through the queue-level
-/// condvar (`Inner::queue_cv`), not per slot.
+/// the round that serves it; waiters are woken through the shard-level
+/// condvar (`Shard::queue_cv`), not per slot. The slot lock protects a
+/// single `Option` assignment, so a poisoned guard is recovered and used
+/// as-is — a panic cannot leave that state inconsistent.
 struct Slot {
     state: Mutex<Option<SlotOutcome>>,
 }
@@ -475,36 +796,179 @@ impl Slot {
     }
 
     fn fill(&self, outcome: SlotOutcome) {
-        *self.state.lock().expect("slot lock poisoned") = Some(outcome);
+        *self.state.lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
     }
 
     fn take(&self) -> Option<SlotOutcome> {
-        self.state.lock().expect("slot lock poisoned").take()
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
     }
+}
+
+/// A request parked in a shard's combining queue.
+struct PendingEntry {
+    bits: Vec<u32>,
+    slot: Arc<Slot>,
+    accepted: Instant,
 }
 
 #[derive(Default)]
 struct QueueState {
-    pending: Vec<(Vec<u32>, Arc<Slot>)>,
+    pending: Vec<PendingEntry>,
     leader: bool,
-    shutdown: bool,
+    /// `true` while the active leader's own request is still sitting in
+    /// `pending` (the window between a queue-path leadership claim and the
+    /// round's drain). The admission check subtracts it so the request
+    /// being served never occupies a waiting-line slot — exactly what the
+    /// queue-depth rustdoc promises.
+    leader_in_pending: bool,
     stats: ServiceStats,
 }
 
-struct Inner {
-    config: ServiceConfig,
-    label: String,
+impl QueueState {
+    /// Requests genuinely *waiting* (the leader's own in-queue entry does
+    /// not count) — what the queue-depth bound applies to.
+    fn waiting(&self) -> usize {
+        self.pending.len() - usize::from(self.leader_in_pending)
+    }
+}
+
+/// One independent backend + combining-queue + buffer-pool instance.
+struct Shard {
     queue: Mutex<QueueState>,
     /// Wakes waiting submitters when a round completes (their slot may be
     /// filled, or leadership may be free for one of them to claim).
     queue_cv: Condvar,
     backend: Mutex<Box<dyn NormBackend>>,
+    /// Shard-local buffer pool; responses hold an [`Arc`] to it so a
+    /// buffer always returns to the shard that leased it.
+    pool: Arc<BufferPool>,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    label: String,
+    shards: Vec<Shard>,
+    /// Round-robin placement cursor (wraps on overflow, which is fine —
+    /// placement only needs to spread load, not count).
+    next_shard: AtomicUsize,
+    /// Service-wide refusal flag: set by [`NormService::shutdown`] and by
+    /// poison/panic recovery. Checked at the door of every entry point.
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    /// Lock a shard's queue, recovering a poisoned guard. The queue state
+    /// is plain data mutated only in short internal critical sections, so
+    /// the recovered state is usable — but a poisoned queue lock means
+    /// some request panicked mid-protocol, so the service is marked shut
+    /// down as a precaution (new work is refused; accepted work drains).
+    fn queue_of<'s>(&self, shard: &'s Shard) -> MutexGuard<'s, QueueState> {
+        match shard.queue.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Block on a shard's condvar, recovering a poisoned guard the same
+    /// way [`queue_of`](Inner::queue_of) does.
+    fn wait_on<'s>(
+        &self,
+        shard: &'s Shard,
+        guard: MutexGuard<'s, QueueState>,
+    ) -> MutexGuard<'s, QueueState> {
+        match shard.queue_cv.wait(guard) {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Lock a shard's backend. A poisoned backend mutex means a backend
+    /// call panicked and may have left internal scratch mid-mutation —
+    /// executing on it could produce wrong bits, so the service is marked
+    /// shut down and the request fails with
+    /// [`NormError::ServiceShutdown`] instead.
+    #[allow(clippy::type_complexity)]
+    fn backend_of<'s>(
+        &self,
+        shard: &'s Shard,
+    ) -> Result<MutexGuard<'s, Box<dyn NormBackend>>, NormError> {
+        match shard.backend.lock() {
+            Ok(guard) => Ok(guard),
+            Err(_) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                for other in &self.shards {
+                    other.queue_cv.notify_all();
+                }
+                Err(NormError::ServiceShutdown)
+            }
+        }
+    }
+}
+
+/// Reverts a leadership claim if the leader unwinds (a backend panic):
+/// marks the service shut down, fails every queued waiter and wakes the
+/// shard, so one panicking request never leaves followers parked forever
+/// behind a leader that no longer exists. Defused (`completed = true`)
+/// after the normal release path has run.
+struct LeaderGuard<'a> {
+    inner: &'a Inner,
+    shard: &'a Shard,
+    completed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Drain and fail the waiters while still holding leadership: the
+        // protocol invariant is that leadership is only ever released
+        // after the round's slots are filled. Releasing first would let a
+        // spuriously woken waiter claim leadership over an already-drained
+        // queue and then panic on its guaranteed-to-be-served slot.
+        let pending = {
+            let mut queue = self.inner.queue_of(self.shard);
+            queue.leader_in_pending = false;
+            std::mem::take(&mut queue.pending)
+        };
+        for entry in pending {
+            entry.slot.fill(Err(NormError::ServiceShutdown));
+        }
+        self.inner.queue_of(self.shard).leader = false;
+        self.shard.queue_cv.notify_all();
+    }
+}
+
+/// Fails every not-yet-served waiter of a round if the round unwinds
+/// mid-execution — the drained entries live on the leader's stack, so
+/// without this a backend panic would drop their slots unfilled and the
+/// waiters would park forever.
+struct InFlight {
+    entries: Vec<PendingEntry>,
+}
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        for entry in self.entries.drain(..) {
+            entry.slot.fill(Err(NormError::ServiceShutdown));
+        }
+    }
 }
 
 /// The type-erased serving front door: one shared execution point that any
 /// number of threads submit normalization work to. Cloning is cheap (the
-/// clones share the same plan, scratch and coalescing queue). See the
-/// [module docs](self) for the contract and an example.
+/// clones share the same shards, plans, scratch and coalescing queues).
+/// See the [module docs](self) for the contract and an example.
 #[derive(Clone)]
 pub struct NormService {
     inner: Arc<Inner>,
@@ -515,6 +979,7 @@ impl core::fmt::Debug for NormService {
         f.debug_struct("NormService")
             .field("label", &self.inner.label)
             .field("d", &self.inner.config.d)
+            .field("shards", &self.inner.config.shards)
             .finish_non_exhaustive()
     }
 }
@@ -550,31 +1015,41 @@ impl NormService {
         self.inner.config.threads
     }
 
+    /// The number of independent shards requests are placed across.
+    pub fn shards(&self) -> usize {
+        self.inner.config.shards
+    }
+
     /// Combined report label, e.g. `"native-f32/FP32/iterl2[5]"`.
     pub fn label(&self) -> &str {
         &self.inner.label
     }
 
-    /// Execution counters so far.
+    /// Execution counters so far, aggregated over all shards.
     pub fn stats(&self) -> ServiceStats {
-        self.inner.queue.lock().expect("queue lock poisoned").stats
+        let mut total = ServiceStats::default();
+        for shard in &self.inner.shards {
+            total.merge(&self.inner.queue_of(shard).stats);
+        }
+        total
     }
 
     /// Refuse all future requests. Requests already accepted are still
     /// completed; subsequent [`submit`](NormService::submit) calls return
-    /// [`NormError::ServiceShutdown`].
+    /// [`NormError::ServiceShutdown`]. Parked submitters are woken so none
+    /// can miss the flag (they still drain normally — see the
+    /// shutdown-race stress test in `tests/service_resilience.rs`).
     pub fn shutdown(&self) {
-        let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
-        queue.shutdown = true;
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.inner.shards {
+            shard.queue_cv.notify_all();
+        }
     }
 
-    /// `true` once [`shutdown`](NormService::shutdown) has been called.
+    /// `true` once [`shutdown`](NormService::shutdown) has been called
+    /// (or the service shut itself down recovering from a panic).
     pub fn is_shutdown(&self) -> bool {
-        self.inner
-            .queue
-            .lock()
-            .expect("queue lock poisoned")
-            .shutdown
+        self.inner.shutdown.load(Ordering::SeqCst)
     }
 
     /// Normalize one request. Blocks until the result is ready; requests
@@ -584,22 +1059,42 @@ impl NormService {
     ///
     /// # Errors
     ///
-    /// [`NormError::ServiceShutdown`] after [`shutdown`](NormService::shutdown),
-    /// [`NormError::EmptyRequest`] for a zero-row request,
-    /// [`NormError::BatchLengthMismatch`] when the data is not whole
-    /// `d`-length rows, plus any backend execution error.
+    /// [`NormError::ServiceShutdown`] after [`shutdown`](NormService::shutdown)
+    /// (or after a panicking request forced the service down),
+    /// [`NormError::QueueFull`] when the target shard's waiting line is at
+    /// the configured depth, [`NormError::EmptyRequest`] for a zero-row
+    /// request, [`NormError::BatchLengthMismatch`] when the data is not
+    /// whole `d`-length rows, plus any backend execution error.
     pub fn submit(&self, request: NormRequest<'_>) -> Result<NormResponse, NormError> {
-        let start = Instant::now();
         self.validate_shape(&request)?;
-        let mut out = vec![0u32; request.len()];
-        let served = self.serve(&request, &mut out)?;
-        Ok(self.response(
-            out,
-            served.rows,
-            served.batch_rows,
-            served.batch_requests,
-            start,
-        ))
+        // Refuse before leasing: a shut-down service must not pay
+        // request-sized work on its fail-fast path. (`serve` re-checks —
+        // the flag can flip between here and there, harmlessly.)
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(NormError::ServiceShutdown);
+        }
+        let start = Instant::now();
+        let shard = self.pick_shard();
+        let mut out = Vec::new();
+        let served = {
+            let mut sink = Sink::Leased(&mut out);
+            self.serve(&request, &mut sink, shard)
+        };
+        match served {
+            Ok(served) => Ok(NormResponse {
+                bits: out,
+                pool: Arc::clone(&shard.pool),
+                format: self.inner.config.format,
+                rows: served.rows,
+                batch_rows: served.batch_rows,
+                batch_requests: served.batch_requests,
+                elapsed: start.elapsed(),
+            }),
+            Err(err) => {
+                shard.pool.give_back(out);
+                Err(err)
+            }
+        }
     }
 
     /// [`submit`](NormService::submit) writing the normalized bits into a
@@ -627,40 +1122,64 @@ impl NormService {
                 actual: out.len(),
             });
         }
-        Ok(self.serve(&request, out)?.rows)
+        let shard = self.pick_shard();
+        Ok(self.serve(&request, &mut Sink::Caller(out), shard)?.rows)
+    }
+
+    /// Round-robin shard placement. Every shard executes the identical
+    /// plan, so placement affects only contention, never output bits.
+    fn pick_shard(&self) -> &Shard {
+        let n = self.inner.shards.len();
+        if n == 1 {
+            return &self.inner.shards[0];
+        }
+        let slot = self.inner.next_shard.fetch_add(1, Ordering::Relaxed);
+        &self.inner.shards[slot % n]
     }
 
     /// The submission protocol both public entry points share, writing the
     /// normalized bits into `out` (already length-checked by the caller):
     ///
-    /// 1. **Per-request mode** (coalescing disabled): one backend call,
-    ///    borrowing bit payloads — the same deal the fast path gets, so
-    ///    the two modes stay comparable in benchmarks.
+    /// 1. **Per-request mode** (coalescing disabled): one backend call on
+    ///    the placed shard, borrowing bit payloads — the same deal the
+    ///    fast path gets, so the two modes stay comparable in benchmarks.
     /// 2. **Uncontended fast path** (zero window, no active leader,
-    ///    nothing queued): claim leadership, run the borrowed request
-    ///    directly — no owned copy, no slot machinery.
-    /// 3. **Combining queue**: enqueue, then either run one round as
-    ///    leader or wait until some round serves us. Leadership is
-    ///    released after every round and handed to a woken waiter, so no
-    ///    submitter is ever held serving other callers' traffic
-    ///    indefinitely — submit latency stays bounded under sustained
-    ///    load.
-    fn serve(&self, request: &NormRequest<'_>, out: &mut [u32]) -> Result<Served, NormError> {
+    ///    nothing queued on the shard): claim leadership, run the borrowed
+    ///    request directly — no owned copy, no slot machinery.
+    /// 3. **Combining queue**: enqueue (subject to the shard's queue-depth
+    ///    bound), then either run one round as leader or wait until some
+    ///    round serves us. Leadership is released after every round and
+    ///    handed to a woken waiter, so no submitter is ever held serving
+    ///    other callers' traffic indefinitely — submit latency stays
+    ///    bounded under sustained load.
+    fn serve(
+        &self,
+        request: &NormRequest<'_>,
+        sink: &mut Sink<'_>,
+        shard: &Shard,
+    ) -> Result<Served, NormError> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(NormError::ServiceShutdown);
+        }
+        let accepted = Instant::now();
         let rows = request.len() / self.inner.config.d;
 
         if !self.inner.config.coalescing {
-            {
-                let queue = self.inner.queue.lock().expect("queue lock poisoned");
-                if queue.shutdown {
-                    return Err(NormError::ServiceShutdown);
-                }
-            }
             let bits = request.encode_cow(self.inner.config.format);
-            self.execute_into(&bits, out)?;
-            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+            let executed = self.execute_into(shard, &bits, sink.buf(&shard.pool, request.len()));
+            let mut queue = self.inner.queue_of(shard);
             queue.stats.requests += 1;
             queue.stats.batches += 1;
-            queue.stats.rows += rows as u64;
+            if let Ok(exec) = &executed {
+                // Counted on success only: `rows` is rows actually
+                // normalized, and the wait runs up to the moment execution
+                // began — backend-lock waits charge to queue_wait.
+                queue.stats.queue_wait += exec.exec_start.duration_since(accepted);
+                queue.stats.rows += rows as u64;
+                queue.stats.execute += exec.execute;
+            }
+            drop(queue);
+            executed?;
             return Ok(Served {
                 rows,
                 batch_rows: rows,
@@ -673,10 +1192,7 @@ impl NormService {
         // path and go through the combining queue.
         if self.inner.config.window.is_zero() {
             let claimed = {
-                let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
-                if queue.shutdown {
-                    return Err(NormError::ServiceShutdown);
-                }
+                let mut queue = self.inner.queue_of(shard);
                 if !queue.leader && queue.pending.is_empty() {
                     queue.leader = true;
                     queue.stats.requests += 1;
@@ -686,18 +1202,29 @@ impl NormService {
                 }
             };
             if claimed {
+                let mut guard = LeaderGuard {
+                    inner: &self.inner,
+                    shard,
+                    completed: false,
+                };
                 let bits = request.encode_cow(self.inner.config.format);
-                let outcome = self.execute_into(&bits, out);
+                let executed =
+                    self.execute_into(shard, &bits, sink.buf(&shard.pool, request.len()));
                 {
-                    let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+                    let mut queue = self.inner.queue_of(shard);
                     queue.stats.batches += 1;
-                    queue.stats.rows += rows as u64;
+                    if let Ok(exec) = &executed {
+                        queue.stats.queue_wait += exec.exec_start.duration_since(accepted);
+                        queue.stats.rows += rows as u64;
+                        queue.stats.execute += exec.execute;
+                    }
                     queue.leader = false;
                 }
+                guard.completed = true;
                 // Requests that queued behind us get the next round: wake
                 // a waiter so one of them claims leadership.
-                self.inner.queue_cv.notify_all();
-                outcome?;
+                shard.queue_cv.notify_all();
+                executed?;
                 return Ok(Served {
                     rows,
                     batch_rows: rows,
@@ -706,144 +1233,216 @@ impl NormService {
             }
         }
 
+        // Cheap admission pre-check: a full shard sheds load without
+        // paying the request encode below.
+        let depth = self.inner.config.queue_depth;
+        {
+            let mut queue = self.inner.queue_of(shard);
+            if queue.waiting() >= depth {
+                queue.stats.queue_full_rejections += 1;
+                return Err(NormError::QueueFull { depth });
+            }
+        }
+        // Encode before re-taking the lock: concurrent submitters'
+        // per-element format conversions must overlap, not serialize on
+        // the shard queue mutex.
+        let mut bits = shard.pool.lease(0);
+        request.encode_into(self.inner.config.format, &mut bits);
         let slot = Slot::new();
-        let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
-        if queue.shutdown {
-            return Err(NormError::ServiceShutdown);
+        let mut queue = self.inner.queue_of(shard);
+        if queue.waiting() >= depth {
+            // The line filled while we encoded: shed after all, returning
+            // the payload lease.
+            queue.stats.queue_full_rejections += 1;
+            drop(queue);
+            shard.pool.give_back(bits);
+            return Err(NormError::QueueFull { depth });
         }
         queue.stats.requests += 1;
-        queue
-            .pending
-            .push((request.encode(self.inner.config.format), Arc::clone(&slot)));
+        queue.pending.push(PendingEntry {
+            bits,
+            slot: Arc::clone(&slot),
+            accepted,
+        });
         loop {
             if let Some(outcome) = slot.take() {
                 drop(queue);
-                return finish(outcome?, out);
+                return finish(outcome?, sink, &shard.pool);
             }
             if !queue.leader {
                 // Leadership is only ever released after the round's slots
                 // are filled, so an unserved request (ours) is still in
                 // `pending` — the round below is guaranteed to serve it.
                 queue.leader = true;
+                queue.leader_in_pending = true;
                 drop(queue);
+                let mut guard = LeaderGuard {
+                    inner: &self.inner,
+                    shard,
+                    completed: false,
+                };
                 if !self.inner.config.window.is_zero() {
                     // Give concurrent submitters the configured window to
                     // join this batch before draining the queue.
                     std::thread::sleep(self.inner.config.window);
                 }
-                let round = self.run_round();
+                let round = self.run_round(shard);
                 {
-                    let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+                    let mut queue = self.inner.queue_of(shard);
                     queue.stats.batches += 1;
                     queue.stats.rows += round.rows as u64;
                     if round.requests > 1 {
                         queue.stats.coalesced_requests += round.requests as u64;
                     }
+                    queue.stats.queue_wait += round.queue_wait;
+                    queue.stats.execute += round.execute;
                     queue.leader = false;
                 }
-                self.inner.queue_cv.notify_all();
+                guard.completed = true;
+                shard.queue_cv.notify_all();
                 let result = slot
                     .take()
                     .expect("a round serves every request pending when it starts")?;
-                return finish(result, out);
+                return finish(result, sink, &shard.pool);
             }
-            queue = self
-                .inner
-                .queue_cv
-                .wait(queue)
-                .expect("queue lock poisoned");
+            queue = self.inner.wait_on(shard, queue);
         }
     }
 
-    /// One backend call over `bits` into a caller-provided buffer.
-    fn execute_into(&self, bits: &[u32], out: &mut [u32]) -> Result<usize, NormError> {
-        let mut backend = self.inner.backend.lock().expect("backend lock poisoned");
-        backend.normalize_batch_bits(bits, out, self.inner.config.threads)
-    }
-
-    fn response(
+    /// One backend call over `bits` into a caller-provided buffer. The
+    /// returned [`Executed`] reports when execution began — *after* the
+    /// backend lock was acquired, so callers charge lock waits to
+    /// queue-wait, not execution — and how long the call itself took.
+    fn execute_into(
         &self,
-        bits: Vec<u32>,
-        rows: usize,
-        batch_rows: usize,
-        batch_requests: usize,
-        start: Instant,
-    ) -> NormResponse {
-        NormResponse {
-            bits,
-            format: self.inner.config.format,
-            rows,
-            batch_rows,
-            batch_requests,
-            elapsed: start.elapsed(),
-        }
+        shard: &Shard,
+        bits: &[u32],
+        out: &mut [u32],
+    ) -> Result<Executed, NormError> {
+        let mut backend = self.inner.backend_of(shard)?;
+        let exec_start = Instant::now();
+        backend.normalize_batch_bits(bits, out, self.inner.config.threads)?;
+        Ok(Executed {
+            exec_start,
+            execute: exec_start.elapsed(),
+        })
     }
 
-    /// Run one combining round: drain everything queued, execute it as a
-    /// single partitioned backend call, split the output back per caller
-    /// and fill the waiters' slots. Exactly one round per leadership
-    /// claim — the caller releases leadership afterwards and wakes a
-    /// waiter to take the next round.
-    fn run_round(&self) -> RoundStats {
+    /// Run one combining round on `shard`: drain everything queued,
+    /// execute it as a single partitioned backend call, split the output
+    /// back per caller and fill the waiters' slots. Exactly one round per
+    /// leadership claim — the caller releases leadership afterwards and
+    /// wakes a waiter to take the next round. Panic-safe: if the backend
+    /// unwinds, every drained waiter is failed instead of abandoned.
+    fn run_round(&self, shard: &Shard) -> RoundStats {
         let d = self.inner.config.d;
-        let drained: Vec<(Vec<u32>, Arc<Slot>)> = {
-            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
-            std::mem::take(&mut queue.pending)
+        let pool = &shard.pool;
+        let mut inflight = InFlight {
+            entries: {
+                let mut queue = self.inner.queue_of(shard);
+                // Draining moves the leader's own entry out of the
+                // waiting line, so it stops discounting the depth bound.
+                queue.leader_in_pending = false;
+                std::mem::take(&mut queue.pending)
+            },
         };
-        let total: usize = drained.iter().map(|(bits, _)| bits.len()).sum();
-        let batch_requests = drained.len();
+        let total: usize = inflight.entries.iter().map(|e| e.bits.len()).sum();
+        let batch_requests = inflight.entries.len();
         let batch_rows = total / d;
+        let mut queue_wait = Duration::ZERO;
+        let mut execute = Duration::ZERO;
+        let mut succeeded = false;
         if batch_requests == 1 {
             // A lone request needs no concat/split: execute it in place
             // and hand the output buffer to the slot whole, sparing the
             // two batch-sized copies (which dominate for large requests).
-            let (bits, slot) = drained.into_iter().next().expect("one request");
-            let mut out = vec![0u32; bits.len()];
-            let exec = self.execute_into(&bits, &mut out);
-            slot.fill(exec.map(|_| SlotResult {
-                bits: out,
-                rows: batch_rows,
-                batch_rows,
-                batch_requests: 1,
-            }));
-        } else {
-            let mut input = Vec::with_capacity(total);
-            for (bits, _) in &drained {
-                input.extend_from_slice(bits);
+            let mut out = pool.lease(total);
+            let exec = self.execute_into(shard, &inflight.entries[0].bits, &mut out);
+            let entry = inflight.entries.pop().expect("one request");
+            pool.give_back(entry.bits);
+            match exec {
+                Ok(e) => {
+                    queue_wait = e.exec_start.duration_since(entry.accepted);
+                    execute = e.execute;
+                    succeeded = true;
+                    entry.slot.fill(Ok(SlotResult {
+                        bits: out,
+                        rows: batch_rows,
+                        batch_rows,
+                        batch_requests: 1,
+                    }));
+                }
+                Err(err) => {
+                    // The failed round's lease goes back like the
+                    // multi-request error path's does.
+                    pool.give_back(out);
+                    entry.slot.fill(Err(err));
+                }
             }
-            let mut out = vec![0u32; total];
-            match self.execute_into(&input, &mut out) {
-                Ok(_) => {
+        } else {
+            let mut input = pool.lease(total);
+            let mut offset = 0;
+            for entry in &inflight.entries {
+                input[offset..offset + entry.bits.len()].copy_from_slice(&entry.bits);
+                offset += entry.bits.len();
+            }
+            let mut out = pool.lease(total);
+            let exec = self.execute_into(shard, &input, &mut out);
+            pool.give_back(input);
+            match exec {
+                Ok(e) => {
+                    queue_wait = inflight
+                        .entries
+                        .iter()
+                        .map(|entry| e.exec_start.duration_since(entry.accepted))
+                        .sum();
+                    execute = e.execute;
+                    succeeded = true;
                     let mut offset = 0;
-                    for (bits, slot) in drained {
-                        let len = bits.len();
-                        slot.fill(Ok(SlotResult {
-                            bits: out[offset..offset + len].to_vec(),
+                    for entry in inflight.entries.drain(..) {
+                        // Reuse the entry's own payload buffer for its
+                        // result slice — it is exactly the right length
+                        // and already owned here, so the split-back costs
+                        // no pool traffic at all.
+                        let mut piece = entry.bits;
+                        let len = piece.len();
+                        piece.copy_from_slice(&out[offset..offset + len]);
+                        entry.slot.fill(Ok(SlotResult {
+                            bits: piece,
                             rows: len / d,
                             batch_rows,
                             batch_requests,
                         }));
                         offset += len;
                     }
+                    pool.give_back(out);
                 }
                 Err(err) => {
-                    for (_, slot) in drained {
-                        slot.fill(Err(err.clone()));
+                    pool.give_back(out);
+                    for entry in inflight.entries.drain(..) {
+                        pool.give_back(entry.bits);
+                        entry.slot.fill(Err(err.clone()));
                     }
                 }
             }
         }
         RoundStats {
             requests: batch_requests,
-            rows: batch_rows,
+            // Stats count rows actually normalized: a failed round issued
+            // a batch call but produced nothing.
+            rows: if succeeded { batch_rows } else { 0 },
+            queue_wait,
+            execute,
         }
     }
 
     /// Normalize exactly one `d`-length row, additionally returning the
     /// scalar intermediates ([`RowMoments`]) — the reporting path behind
-    /// the CLI's `normalize` and `demo`. Runs directly on the backend
-    /// (never coalesced — the batch path does not surface per-row stats);
-    /// the output bits are identical to [`submit`](NormService::submit).
+    /// the CLI's `normalize` and `demo`. Runs directly on a shard's
+    /// backend (never coalesced — the batch path does not surface per-row
+    /// stats); the output bits are identical to
+    /// [`submit`](NormService::submit). Timing starts after the empty
+    /// check, like [`submit`](NormService::submit).
     ///
     /// # Errors
     ///
@@ -855,30 +1454,53 @@ impl NormService {
         &self,
         request: NormRequest<'_>,
     ) -> Result<(NormResponse, RowMoments), NormError> {
-        let start = Instant::now();
         if request.is_empty() {
             return Err(NormError::EmptyRequest);
         }
-        let bits = request.encode(self.inner.config.format);
-        {
-            let queue = self.inner.queue.lock().expect("queue lock poisoned");
-            if queue.shutdown {
-                return Err(NormError::ServiceShutdown);
-            }
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(NormError::ServiceShutdown);
         }
-        let mut out = vec![0u32; bits.len()];
+        let start = Instant::now();
+        let shard = self.pick_shard();
+        let pool = &shard.pool;
+        let mut bits = pool.lease(0);
+        request.encode_into(self.inner.config.format, &mut bits);
+        let mut out = pool.lease(bits.len());
+        let exec_start;
         let moments = {
-            let mut backend = self.inner.backend.lock().expect("backend lock poisoned");
-            backend.normalize_row_bits_detailed(&bits, &mut out)?
+            let mut backend = match self.inner.backend_of(shard) {
+                Ok(guard) => guard,
+                Err(err) => {
+                    pool.give_back(bits);
+                    pool.give_back(out);
+                    return Err(err);
+                }
+            };
+            // Timed after the lock lands, like `execute_into`: the wait
+            // for the backend belongs to queue_wait, not execute.
+            exec_start = Instant::now();
+            backend.normalize_row_bits_detailed(&bits, &mut out)
         };
-        let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+        let execute = exec_start.elapsed();
+        pool.give_back(bits);
+        let moments = match moments {
+            Ok(m) => m,
+            Err(err) => {
+                pool.give_back(out);
+                return Err(err);
+            }
+        };
+        let mut queue = self.inner.queue_of(shard);
         queue.stats.requests += 1;
         queue.stats.batches += 1;
         queue.stats.rows += 1;
+        queue.stats.queue_wait += exec_start.duration_since(start);
+        queue.stats.execute += execute;
         drop(queue);
         Ok((
             NormResponse {
                 bits: out,
+                pool: Arc::clone(pool),
                 format: self.inner.config.format,
                 rows: 1,
                 batch_rows: 1,
@@ -941,8 +1563,9 @@ impl NormService {
         })
     }
 
-    /// Reject malformed requests at the door, before they can touch the
-    /// queue — shape errors are therefore independent of coalescing.
+    /// Reject malformed requests at the door, before they can touch a
+    /// queue — shape errors are therefore independent of coalescing,
+    /// sharding and load.
     fn validate_shape(&self, request: &NormRequest<'_>) -> Result<(), NormError> {
         if request.is_empty() {
             return Err(NormError::EmptyRequest);
@@ -964,7 +1587,9 @@ impl NormService {
 /// of affine parameters (one per LayerNorm location in a model), and
 /// services are materialized lazily per `(site, method)` and cached — so
 /// every forward pass, from any thread, shares the same service objects.
-/// This is what the transformer's per-layer cached plans became.
+/// This is what the transformer's per-layer cached plans became. The
+/// template's sharding/backpressure knobs flow through to every built
+/// service.
 #[derive(Debug)]
 pub struct NormServicePool {
     template: ServiceConfig,
@@ -980,8 +1605,9 @@ struct Site {
 
 impl NormServicePool {
     /// Pool whose services share `template`'s dimension, format, backend,
-    /// threads and reduction order (the template's own affine parameters
-    /// and method are ignored — sites and lookups supply those).
+    /// threads, reduction order and sharding/backpressure knobs (the
+    /// template's own affine parameters and method are ignored — sites and
+    /// lookups supply those).
     pub fn new(template: ServiceConfig) -> Self {
         NormServicePool {
             template,
@@ -1016,7 +1642,9 @@ impl NormServicePool {
     }
 
     /// The service for `(site, method)`, built on first use and shared
-    /// afterwards.
+    /// afterwards. The cache lock recovers from poisoning (a panic during
+    /// a build leaves the map itself intact), so one panicked build never
+    /// turns every later lookup into a panic.
     ///
     /// # Errors
     ///
@@ -1030,7 +1658,7 @@ impl NormServicePool {
     pub fn service(&self, site: usize, method: &MethodSpec) -> Result<Arc<NormService>, NormError> {
         assert!(site < self.sites.len(), "unknown norm site {site}");
         let key = (site, method.label());
-        let mut cache = self.cache.lock().expect("pool lock poisoned");
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(service) = cache.get(&key) {
             return Ok(Arc::clone(service));
         }
@@ -1071,6 +1699,19 @@ mod tests {
             NormError::ZeroThreads
         );
         assert_eq!(
+            ServiceConfig::new(8).with_shards(0).build().unwrap_err(),
+            NormError::ZeroShards
+        );
+        // Depth 0 would reject every request under a window — refused up
+        // front instead of misbehaving at runtime.
+        assert_eq!(
+            ServiceConfig::new(8)
+                .with_queue_depth(0)
+                .build()
+                .unwrap_err(),
+            NormError::ZeroQueueDepth
+        );
+        assert_eq!(
             ServiceConfig::new(8)
                 .with_backend(BackendKind::Native)
                 .with_format(FormatKind::Fp16)
@@ -1091,6 +1732,25 @@ mod tests {
                 actual: 7
             }
         );
+    }
+
+    #[test]
+    fn config_reports_sharding_and_backpressure_knobs() {
+        let config = ServiceConfig::new(8)
+            .with_shards(4)
+            .with_queue_depth(7)
+            .with_buffer_pool(false);
+        assert_eq!(config.shards(), 4);
+        assert_eq!(config.queue_depth(), 7);
+        assert!(!config.buffer_pool());
+        let service = config.build().unwrap();
+        assert_eq!(service.shards(), 4);
+        assert_eq!(service.config().queue_depth(), 7);
+        // Defaults: one shard, bounded queue, pooled buffers.
+        let default = ServiceConfig::new(8);
+        assert_eq!(default.shards(), 1);
+        assert_eq!(default.queue_depth(), DEFAULT_QUEUE_DEPTH);
+        assert!(default.buffer_pool());
     }
 
     #[test]
@@ -1120,6 +1780,64 @@ mod tests {
         assert_eq!(stats.requests, 1);
         assert_eq!(stats.batches, 1);
         assert_eq!(stats.rows, 3);
+        assert_eq!(stats.queue_full_rejections, 0);
+        assert!(stats.execute > Duration::ZERO, "execute time was recorded");
+    }
+
+    #[test]
+    fn sharded_services_are_bitwise_equivalent_to_single_shard() {
+        let d = 24;
+        let bits: Vec<u32> = (0..3).flat_map(|r| row_bits(d, r)).collect();
+        let expect = ServiceConfig::new(d)
+            .build()
+            .unwrap()
+            .submit(NormRequest::bits(&bits))
+            .unwrap()
+            .into_bits();
+        for shards in [2, 4] {
+            for pooled in [true, false] {
+                let service = ServiceConfig::new(d)
+                    .with_shards(shards)
+                    .with_buffer_pool(pooled)
+                    .build()
+                    .unwrap();
+                // Several submits so round-robin visits every shard.
+                for _ in 0..2 * shards {
+                    let response = service.submit(NormRequest::bits(&bits)).unwrap();
+                    assert_eq!(
+                        response.bits(),
+                        &expect[..],
+                        "shards={shards} pooled={pooled}"
+                    );
+                }
+                let stats = service.stats();
+                assert_eq!(stats.requests, 2 * shards as u64, "stats aggregate shards");
+                assert_eq!(stats.rows, 6 * shards as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_responses_return_buffers_for_reuse() {
+        let d = 16;
+        let service = ServiceConfig::new(d).build().unwrap();
+        let bits = row_bits(d, 3);
+        // Drop responses between submits: the pooled buffer must come back
+        // with the same contents contract (zeroed lease, full overwrite).
+        let first = service
+            .submit(NormRequest::bits(&bits))
+            .unwrap()
+            .into_bits();
+        for _ in 0..5 {
+            let response = service.submit(NormRequest::bits(&bits)).unwrap();
+            assert_eq!(response.bits(), &first[..]);
+        }
+        // into_bits detaches the buffer from the pool: the caller owns it.
+        let owned = service
+            .submit(NormRequest::bits(&bits))
+            .unwrap()
+            .into_bits();
+        assert_eq!(owned, first);
     }
 
     #[test]
@@ -1173,7 +1891,7 @@ mod tests {
     #[test]
     fn shutdown_refuses_new_work() {
         let d = 8;
-        let service = ServiceConfig::new(d).build().unwrap();
+        let service = ServiceConfig::new(d).with_shards(2).build().unwrap();
         let bits = row_bits(d, 1);
         service.submit(NormRequest::bits(&bits)).unwrap();
         assert!(!service.is_shutdown());
@@ -1343,6 +2061,29 @@ mod tests {
         assert_eq!(got.bits(), expect.bits());
         let got_plain = other.submit(NormRequest::bits(&bits)).unwrap();
         assert_ne!(got_plain.bits(), expect.bits(), "affine must matter");
+    }
+
+    #[test]
+    fn sharded_pool_template_flows_through_to_services() {
+        let d = 12;
+        let gamma: Vec<u32> = (0..d)
+            .map(|i| Fp32::from_f64(1.0 + i as f64 * 0.05).to_bits())
+            .collect();
+        let mut pool =
+            NormServicePool::new(ServiceConfig::new(d).with_shards(2).with_queue_depth(16));
+        let site = pool.add_site(Some(&gamma), None);
+        let spec = MethodSpec::iterl2(5);
+        let service = pool.service(site, &spec).unwrap();
+        assert_eq!(service.shards(), 2);
+        let bits = row_bits(d, 4);
+        let expect = ServiceConfig::new(d)
+            .with_gamma_bits(&gamma)
+            .build()
+            .unwrap()
+            .submit(NormRequest::bits(&bits))
+            .unwrap();
+        let got = service.submit(NormRequest::bits(&bits)).unwrap();
+        assert_eq!(got.bits(), expect.bits(), "sharded pool service bits");
     }
 
     #[test]

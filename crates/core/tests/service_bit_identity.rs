@@ -1,16 +1,19 @@
-//! The serving-API contract, enforced: whatever the coalescer does —
-//! however many submitting threads race, whatever batches requests get
-//! packed into — every response's bits are identical to executing that
-//! request alone, serially, on a freshly built backend. Rows are
-//! independent and the engine walks a batch row by row, so micro-batching
-//! may only ever change throughput, never output.
+//! The serving-API contract, enforced: whatever the coalescer and the
+//! shard router do — however many submitting threads race, whatever
+//! batches requests get packed into, whichever shard a request lands
+//! on — every response's bits are identical to executing that request
+//! alone, serially, on a freshly built backend. Rows are independent,
+//! the engine walks a batch row by row, and every shard executes the
+//! identical plan, so micro-batching and sharding may only ever change
+//! throughput, never output.
 //!
 //! The sweep covers every execution point (all three emulated formats plus
-//! native FP32) × every registry method × submitting-thread counts
-//! {1, 2, 3, 8}, with the zero-row (m = 0 rows) request and a mixed-d
-//! request rejected identically no matter how busy the service is. CI runs
-//! this suite in debug *and* release mode, like the backend identity
-//! suite.
+//! native FP32) × every registry method × shard counts {1, 2, 4} ×
+//! submitting-thread counts {1, 2, 3, 8}, with the zero-row (m = 0 rows)
+//! request and a mixed-d request rejected identically no matter how busy
+//! the sharded service is, and `QueueFull` backpressure exercised by the
+//! companion `service_resilience` suite. CI runs this suite in debug *and*
+//! release mode, like the backend identity suite.
 
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
@@ -22,6 +25,7 @@ use softfloat::Fp32;
 use workloads::{Distribution, VectorGen};
 
 const SUBMITTERS: [usize; 4] = [1, 2, 3, 8];
+const SHARDS: [usize; 3] = [1, 2, 4];
 const EXEC_POINTS: [(BackendKind, FormatKind); 4] = [
     (BackendKind::Emulated, FormatKind::Fp32),
     (BackendKind::Emulated, FormatKind::Fp16),
@@ -55,58 +59,63 @@ fn serial_reference(
 }
 
 #[test]
-fn coalesced_matches_serial_for_every_exec_point_method_and_submitter_count() {
+fn coalesced_matches_serial_for_every_exec_point_method_shard_and_submitter_count() {
     let d = 33;
     for (backend, format) in EXEC_POINTS {
         for spec in MethodSpec::REGISTRY {
-            for submitters in SUBMITTERS {
-                let service = ServiceConfig::new(d)
-                    .with_backend(backend)
-                    .with_format(format)
-                    .with_method(spec)
-                    .with_threads(2)
-                    .with_window(Duration::from_millis(2))
-                    .build()
-                    .unwrap();
-                let barrier = Arc::new(Barrier::new(submitters));
-                let context = format!(
-                    "{}/{} {} submitters={submitters}",
-                    backend.name(),
-                    format.name(),
-                    spec.label()
-                );
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..submitters)
-                        .map(|who| {
-                            let service = service.clone();
-                            let barrier = Arc::clone(&barrier);
-                            scope.spawn(move || {
-                                // Different row counts per submitter so the
-                                // coalescer's split-back is never uniform.
-                                let rows = 1 + who % 3;
-                                let bits = request_bits(format, d, rows, who as u64);
-                                barrier.wait();
-                                let response = service.submit(NormRequest::bits(&bits)).unwrap();
-                                (bits, response)
+            for shards in SHARDS {
+                for submitters in SUBMITTERS {
+                    let service = ServiceConfig::new(d)
+                        .with_backend(backend)
+                        .with_format(format)
+                        .with_method(spec)
+                        .with_threads(2)
+                        .with_shards(shards)
+                        .with_window(Duration::from_millis(2))
+                        .build()
+                        .unwrap();
+                    let barrier = Arc::new(Barrier::new(submitters));
+                    let context = format!(
+                        "{}/{} {} shards={shards} submitters={submitters}",
+                        backend.name(),
+                        format.name(),
+                        spec.label()
+                    );
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..submitters)
+                            .map(|who| {
+                                let service = service.clone();
+                                let barrier = Arc::clone(&barrier);
+                                scope.spawn(move || {
+                                    // Different row counts per submitter so the
+                                    // coalescer's split-back is never uniform.
+                                    let rows = 1 + who % 3;
+                                    let bits = request_bits(format, d, rows, who as u64);
+                                    barrier.wait();
+                                    let response =
+                                        service.submit(NormRequest::bits(&bits)).unwrap();
+                                    (bits, response)
+                                })
                             })
-                        })
-                        .collect();
-                    for handle in handles {
-                        let (bits, response) = handle.join().unwrap();
-                        assert_eq!(response.rows(), bits.len() / d, "{context}");
-                        assert!(response.batch_rows() >= response.rows(), "{context}");
-                        assert!(response.batch_requests() >= 1, "{context}");
-                        let expect = serial_reference(backend, format, d, &spec, &bits);
-                        assert_eq!(
-                            response.bits(),
-                            &expect[..],
-                            "{context}: coalesced bits differ from serial per-request bits"
-                        );
-                    }
-                });
-                let stats = service.stats();
-                assert_eq!(stats.requests, submitters as u64, "{context}");
-                assert!(stats.batches <= stats.requests, "{context}");
+                            .collect();
+                        for handle in handles {
+                            let (bits, response) = handle.join().unwrap();
+                            assert_eq!(response.rows(), bits.len() / d, "{context}");
+                            assert!(response.batch_rows() >= response.rows(), "{context}");
+                            assert!(response.batch_requests() >= 1, "{context}");
+                            let expect = serial_reference(backend, format, d, &spec, &bits);
+                            assert_eq!(
+                                response.bits(),
+                                &expect[..],
+                                "{context}: sharded/coalesced bits differ from serial \
+                                 per-request bits"
+                            );
+                        }
+                    });
+                    let stats = service.stats();
+                    assert_eq!(stats.requests, submitters as u64, "{context}");
+                    assert!(stats.batches <= stats.requests, "{context}");
+                }
             }
         }
     }
@@ -115,7 +124,10 @@ fn coalesced_matches_serial_for_every_exec_point_method_and_submitter_count() {
 #[test]
 fn empty_and_mixed_d_requests_are_rejected_identically_under_load() {
     let d = 16;
+    // Sharded on purpose: shape rejection happens at the door, before
+    // placement, so it must look identical no matter the shard count.
     let service = ServiceConfig::new(d)
+        .with_shards(2)
         .with_window(Duration::from_millis(2))
         .build()
         .unwrap();
@@ -294,6 +306,19 @@ fn per_request_mode_matches_coalesced_mode_bitwise() {
         .unwrap();
     assert_eq!(coalesced.bits(), per_request.bits());
     assert_eq!(per_request.batch_requests(), 1);
+    // Per-request mode on a sharded service places requests round-robin
+    // over shard backends; every shard must produce the same bits.
+    let sharded_per_request = ServiceConfig::new(d)
+        .with_coalescing(false)
+        .with_shards(4)
+        .build()
+        .unwrap();
+    for _ in 0..8 {
+        let response = sharded_per_request
+            .submit(NormRequest::bits(&bits))
+            .unwrap();
+        assert_eq!(response.bits(), coalesced.bits());
+    }
     // Per-request mode still honors shutdown and validation.
     assert_eq!(
         per_request_service

@@ -1,0 +1,454 @@
+//! The serving layer's failure-containment contract, enforced:
+//!
+//! * A panicking request (a backend bug mid-execution) must never brick
+//!   the service for everyone else — waiters parked behind the panicking
+//!   leader are woken with a clean [`NormError::ServiceShutdown`], and
+//!   every later submit gets the same clean `Err` instead of a poisoned-
+//!   mutex panic cascade.
+//! * A waiter parked mid-round when [`NormService::shutdown`] lands is
+//!   always woken and never hangs: its already-accepted request completes,
+//!   and only *new* submissions are refused (stress-tested with submitters
+//!   racing shutdown).
+//! * A shard whose waiting line is at the configured queue depth rejects
+//!   with [`NormError::QueueFull`] instead of buffering unboundedly behind
+//!   a deliberately slowed backend.
+//!
+//! The injected backends go through [`ServiceConfig::build_with_backends`],
+//! the same extension point a custom production backend would use. CI runs
+//! this suite in the debug profile, so every `debug_assert` in the service
+//! and engine is armed while the races run.
+
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::Duration;
+
+use iterl2norm::service::{NormRequest, ServiceConfig};
+use iterl2norm::{BackendKind, NormBackend, NormError, RowMoments};
+
+const D: usize = 8;
+
+/// Deterministic one-row request payload (FP32 bit patterns).
+fn row_bits(salt: u32) -> Vec<u32> {
+    (0..D as u32)
+        .map(|i| (1.0f32 + (i.wrapping_mul(31).wrapping_add(salt) % 17) as f32 * 0.25).to_bits())
+        .collect()
+}
+
+/// A gate the test controls: injected backends block on it until the test
+/// releases them (bounded by a 10 s timeout so a bug can never hang the
+/// suite), and flag when the first call has entered the backend.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    entered: bool,
+    open: bool,
+}
+
+impl Gate {
+    fn new() -> Arc<Self> {
+        Arc::new(Gate {
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Called by the backend: announce entry, then block until opened.
+    fn pass(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.entered = true;
+        self.cv.notify_all();
+        let deadline = Duration::from_secs(10);
+        while !state.open {
+            let (next, timeout) = self.cv.wait_timeout(state, deadline).unwrap();
+            state = next;
+            if timeout.timed_out() {
+                break; // never hang the suite on a test bug
+            }
+        }
+    }
+
+    /// Called by the test: wait until a backend call is inside `pass`.
+    fn await_entered(&self) {
+        let mut state = self.state.lock().unwrap();
+        let deadline = Duration::from_secs(10);
+        while !state.entered {
+            let (next, timeout) = self.cv.wait_timeout(state, deadline).unwrap();
+            state = next;
+            assert!(!timeout.timed_out(), "backend never entered the gate");
+        }
+    }
+
+    /// Called by the test: let all blocked and future calls through.
+    fn open(&self) {
+        self.state.lock().unwrap().open = true;
+        self.cv.notify_all();
+    }
+}
+
+/// An injected backend that waits at the gate, then either panics (if
+/// `panics`) or copies the input bits through unchanged.
+struct GatedBackend {
+    gate: Arc<Gate>,
+    panics: bool,
+}
+
+impl NormBackend for GatedBackend {
+    fn backend(&self) -> BackendKind {
+        BackendKind::Emulated
+    }
+
+    fn format_name(&self) -> &'static str {
+        "FP32"
+    }
+
+    fn d(&self) -> usize {
+        D
+    }
+
+    fn method_label(&self) -> String {
+        "gated-test".into()
+    }
+
+    fn normalize_batch_bits(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+        _threads: usize,
+    ) -> Result<usize, NormError> {
+        self.gate.pass();
+        assert!(!self.panics, "injected backend panic");
+        out.copy_from_slice(input);
+        Ok(input.len() / D)
+    }
+
+    fn normalize_row_bits_detailed(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+    ) -> Result<RowMoments, NormError> {
+        self.normalize_batch_bits(input, out, 1)?;
+        Ok(RowMoments {
+            mean: 0.0,
+            m: 1.0,
+            scale: 1.0,
+        })
+    }
+}
+
+fn gated_service(gate: &Arc<Gate>, panics: bool, queue_depth: usize) -> iterl2norm::NormService {
+    ServiceConfig::new(D)
+        .with_queue_depth(queue_depth)
+        .build_with_backends(|| {
+            Box::new(GatedBackend {
+                gate: Arc::clone(gate),
+                panics,
+            })
+        })
+        .unwrap()
+}
+
+/// Poll the aggregate request counter until `n` requests were accepted —
+/// the queued submitter increments it before parking, so this observes
+/// "the waiter is (about to be) parked" without touching private state.
+fn await_accepted(service: &iterl2norm::NormService, n: u64) {
+    for _ in 0..10_000 {
+        if service.stats().requests >= n {
+            return;
+        }
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    panic!(
+        "never saw {n} accepted requests (stats: {:?})",
+        service.stats()
+    );
+}
+
+#[test]
+fn panicking_submitter_does_not_brick_the_service() {
+    let gate = Gate::new();
+    let service = gated_service(&gate, true, 64);
+
+    std::thread::scope(|scope| {
+        // Leader: claims the fast path, enters the backend, panics there
+        // once released. The panic must stay on this thread.
+        let leader = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(1);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+                }))
+            })
+        };
+        gate.await_entered();
+
+        // Follower: enqueues behind the doomed leader and parks.
+        let follower = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(2);
+                service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+            })
+        };
+        await_accepted(&service, 2);
+
+        // Release the gate: the leader's backend call panics.
+        gate.open();
+
+        let leader_outcome = leader.join().unwrap();
+        assert!(
+            leader_outcome.is_err(),
+            "the panicking submitter itself must observe the unwind"
+        );
+        // The parked follower is woken with a clean error — never a hang,
+        // never a poisoned-mutex panic.
+        assert_eq!(
+            follower.join().expect("follower must not panic"),
+            Err(NormError::ServiceShutdown)
+        );
+    });
+
+    // The service marked itself shut down; every later submit (from any
+    // clone, on any thread) gets a clean Err — not a panic.
+    assert!(service.is_shutdown());
+    let bits = row_bits(3);
+    assert_eq!(
+        service.submit(NormRequest::bits(&bits)).unwrap_err(),
+        NormError::ServiceShutdown
+    );
+    assert_eq!(
+        service
+            .submit_detailed(NormRequest::bits(&bits))
+            .unwrap_err(),
+        NormError::ServiceShutdown
+    );
+    let mut out = vec![0u32; D];
+    assert_eq!(
+        service
+            .submit_into(NormRequest::bits(&bits), &mut out)
+            .unwrap_err(),
+        NormError::ServiceShutdown
+    );
+    // Stats stay readable after the poison recovery.
+    let _ = service.stats();
+}
+
+#[test]
+fn queue_full_fires_under_a_slowed_backend() {
+    let gate = Gate::new();
+    let service = gated_service(&gate, false, 1);
+
+    std::thread::scope(|scope| {
+        // First request occupies the backend (blocked at the gate).
+        let executing = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(10);
+                let response = service.submit(NormRequest::bits(&bits)).unwrap();
+                assert_eq!(response.bits(), &bits[..], "identity backend");
+            })
+        };
+        gate.await_entered();
+
+        // Second request fills the single queue slot and parks.
+        let queued = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(11);
+                let response = service.submit(NormRequest::bits(&bits)).unwrap();
+                assert_eq!(response.bits(), &bits[..]);
+            })
+        };
+        await_accepted(&service, 2);
+
+        // Third request finds the waiting line at its bound: rejected
+        // fast, with the configured depth in the error.
+        let bits = row_bits(12);
+        assert_eq!(
+            service.submit(NormRequest::bits(&bits)).unwrap_err(),
+            NormError::QueueFull { depth: 1 }
+        );
+        let stats = service.stats();
+        assert_eq!(stats.queue_full_rejections, 1);
+        // The shed request was never accepted.
+        assert_eq!(stats.requests, 2);
+
+        // Draining the backend lets both accepted requests complete.
+        gate.open();
+        executing.join().unwrap();
+        queued.join().unwrap();
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.rows, 2);
+    // The parked request spent real time waiting on the gated backend;
+    // the split accounting must show it as queue wait, not execution.
+    assert!(
+        stats.queue_wait > Duration::ZERO,
+        "queued request's wait must be accounted: {stats:?}"
+    );
+}
+
+#[test]
+fn waiter_parked_mid_round_survives_shutdown() {
+    let gate = Gate::new();
+    let service = gated_service(&gate, false, 64);
+
+    std::thread::scope(|scope| {
+        let executing = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(20);
+                service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+            })
+        };
+        gate.await_entered();
+        let parked = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(21);
+                service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+            })
+        };
+        await_accepted(&service, 2);
+
+        // Shutdown lands while one request executes and one is parked
+        // mid-round. New work is refused immediately…
+        service.shutdown();
+        let bits = row_bits(22);
+        assert_eq!(
+            service.submit(NormRequest::bits(&bits)).unwrap_err(),
+            NormError::ServiceShutdown
+        );
+
+        // …but both accepted requests drain: the parked waiter is woken
+        // and served, never hung. (If the wakeup were lost, these joins
+        // would block until the gate's 10 s failsafe fired and the row
+        // assertions below failed.)
+        gate.open();
+        assert_eq!(executing.join().unwrap(), Ok(1));
+        assert_eq!(parked.join().unwrap(), Ok(1));
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.rows, 2);
+}
+
+#[test]
+fn executing_leader_does_not_occupy_its_own_queue_slot() {
+    // With a coalescing window, the leader's request sits in the shard
+    // queue while it sleeps the window open for others to join. The
+    // queue-depth bound must not count that executing request as a
+    // waiter — at depth 1, a second submitter joining during the window
+    // is admitted (and ideally coalesced), not shed with QueueFull.
+    let d = 16;
+    let service = ServiceConfig::new(d)
+        .with_queue_depth(1)
+        .with_window(Duration::from_millis(50))
+        .build()
+        .unwrap();
+    let barrier = Arc::new(Barrier::new(2));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2u32)
+            .map(|who| {
+                let service = service.clone();
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let bits: Vec<u32> = (0..d as u32)
+                        .map(|i| (1.0f32 + (i + who) as f32 * 0.5).to_bits())
+                        .collect();
+                    barrier.wait();
+                    service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(
+                handle.join().unwrap(),
+                Ok(1),
+                "a submitter was shed even though only the leader's own \
+                 request occupied the queue"
+            );
+        }
+    });
+    assert_eq!(service.stats().queue_full_rejections, 0);
+    assert_eq!(service.stats().requests, 2);
+}
+
+#[test]
+fn submitters_racing_shutdown_always_get_a_clean_outcome() {
+    // Loom-style schedule shaking on the real primitives: submitters race
+    // a shutdown call over and over; every submit must return either a
+    // real result or ServiceShutdown — never hang, never panic. Sweeping
+    // shards and windows varies which protocol path (fast path, combining
+    // queue, window sleep) the race hits.
+    for (shards, window_us) in [(1, 0), (2, 0), (1, 200), (4, 200)] {
+        for round in 0..12u32 {
+            let service = ServiceConfig::new(D)
+                .with_shards(shards)
+                .with_window(Duration::from_micros(window_us))
+                .build()
+                .unwrap();
+            let barrier = Arc::new(Barrier::new(5));
+            std::thread::scope(|scope| {
+                for who in 0..4u32 {
+                    let service = service.clone();
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        let bits = row_bits(who.wrapping_add(round));
+                        barrier.wait();
+                        for _ in 0..4 {
+                            match service.submit(NormRequest::bits(&bits)) {
+                                Ok(response) => assert_eq!(response.rows(), 1),
+                                Err(NormError::ServiceShutdown) => {}
+                                Err(other) => panic!("unexpected error: {other}"),
+                            }
+                        }
+                    });
+                }
+                let service = service.clone();
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    if round % 3 != 0 {
+                        std::thread::yield_now();
+                    }
+                    service.shutdown();
+                });
+            });
+            assert!(service.is_shutdown());
+            // After the race settles, the refusal is deterministic.
+            let bits = row_bits(round);
+            assert_eq!(
+                service.submit(NormRequest::bits(&bits)).unwrap_err(),
+                NormError::ServiceShutdown
+            );
+        }
+    }
+}
+
+#[test]
+fn elapsed_starts_after_validation_and_stats_split_wait_from_execute() {
+    let service = ServiceConfig::new(D).build().unwrap();
+    let bits = row_bits(30);
+    let response = service.submit(NormRequest::bits(&bits)).unwrap();
+    // The documented span covers execution, so it can never be zero…
+    assert!(response.elapsed() > Duration::ZERO);
+    // …and the aggregate split accounts the same request: executing took
+    // real time, and the uncontended fast path waited (at most) lock
+    // acquisition — far less than it executed.
+    let stats = service.stats();
+    assert!(stats.execute > Duration::ZERO);
+    assert!(
+        stats.queue_wait < stats.execute,
+        "uncontended submit must not charge execution to queue wait: {stats:?}"
+    );
+    // Shape-rejected requests are never timed or counted.
+    assert!(service.submit(NormRequest::bits(&bits[..D - 1])).is_err());
+    assert_eq!(service.stats().requests, 1);
+}

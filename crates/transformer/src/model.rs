@@ -12,9 +12,14 @@
 //! trade vs the old typed per-worker engines: concurrent workers'
 //! norm submissions serialize (or batch) on each site's shared backend.
 //! That is acceptable here because the matvecs around every norm dominate
-//! per-token cost by a factor of `d_model`, and sharding a service across
-//! backend replicas is the ROADMAP's next step if a profile ever says
-//! otherwise.
+//! per-token cost by a factor of `d_model`. Should a profile ever say
+//! otherwise, the serving layer now supports sharding each service across
+//! independent backend replicas (`ServiceConfig::with_shards` on the pool
+//! template — output bits are shard-independent, so the model's
+//! bit-identity guarantees are unaffected); the model keeps the
+//! single-shard default because its submissions are one row at a time
+//! between dominant matvecs, where extra shards only add placement
+//! overhead.
 //!
 //! The execution backend follows the format parameter through
 //! [`ExecFloat`]: `Model<Fp32>` serves its norms from the softfloat
