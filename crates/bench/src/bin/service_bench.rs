@@ -1,6 +1,6 @@
-//! Serving-API bench: `NormService` coalesced vs per-request throughput
-//! across shard counts {1, 2, 4} and with the response-buffer pool
-//! on/off, under 1-8 submitting threads, emitting
+//! Serving-API bench: `NormService` coalesced vs per-request vs pipelined
+//! async-submission throughput across shard counts {1, 2, 4} and with the
+//! response-buffer pool on/off, under 1-8 submitting threads, emitting
 //! `results/BENCH_service.json`.
 //!
 //! Requests per submitting thread via `ITERL2_BENCH_REQS` (default 64).

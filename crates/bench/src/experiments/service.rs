@@ -1,28 +1,35 @@
 //! Serving-API throughput: the [`NormService`] micro-batching coalescer
-//! vs per-request execution, across shard counts and with the
-//! response-buffer pool on/off, under 1–8 submitting threads.
+//! vs per-request execution vs pipelined async submission, across shard
+//! counts and with the response-buffer pool on/off, under 1–8 submitting
+//! threads.
 //!
 //! Every point drives the same request mix through the same native-f32
 //! service configuration; the variables are whether concurrent requests
-//! may be packed into one partitioned backend batch (`coalesced`) or each
-//! request runs as its own backend call (`per-request`), how many
-//! independent backend+queue shards the service runs
-//! (`--shards`-equivalent), and whether response buffers are leased from
-//! the pool or freshly allocated per request. A self-check asserts every
-//! variant produces bit-identical output before any number is reported —
-//! coalescing, sharding and pooling are throughput knobs, never results
-//! knobs.
+//! may be packed into one partitioned backend batch (`coalesced`), each
+//! request runs as its own blocking backend call (`per-request`), or each
+//! submitter pipelines requests through `submit_async` with
+//! [`PIPELINE_DEPTH`] tickets in flight (`async`, collecting the oldest
+//! ticket before submitting the next), plus how many independent
+//! backend+queue shards the service runs (`--shards`-equivalent) and
+//! whether response buffers are leased from the pool or freshly allocated
+//! per request. A self-check asserts every variant produces bit-identical
+//! output before any number is reported — coalescing, sharding, async
+//! submission and pooling are throughput knobs, never results knobs.
 //!
 //! Emits `results/BENCH_service.json`. Honest caveat, mirroring the
 //! backend bench: coalescing and sharding can only win when submitters
 //! actually overlap, so on a single-core container (one runnable thread
-//! at a time) the modes measure within noise of each other, the observed
-//! requests-per-batch stays near 1, and the shard curves are flat. The
-//! buffer-pool on/off pairs also land within noise there — the removed
-//! malloc/free costs ~1 µs against ~30 µs of execution per d = 4096
-//! request — so both variants are recorded for re-running on other hosts
-//! and allocators. Re-run on a multi-core host for meaningful shard
-//! scaling.
+//! at a time) the blocking modes measure within noise of each other, the
+//! observed requests-per-batch stays near 1, and the shard curves are
+//! flat. The one structural effect visible even on one core is the async
+//! mode's self-coalescing: a submitter's in-flight tickets drain in one
+//! combining round when it finally collects, so `reqs/batch` climbs
+//! toward the pipeline depth — same total work per request, fewer backend
+//! calls. The buffer-pool on/off pairs land within noise here — the
+//! removed malloc/free costs ~1 µs against ~30 µs of execution per
+//! d = 4096 request — so both variants are recorded for re-running on
+//! other hosts and allocators. Re-run on a multi-core host for meaningful
+//! shard scaling and genuine submit/execute overlap.
 
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -35,14 +42,22 @@ use workloads::VectorGen;
 use crate::io::{banner, print_table, write_json};
 
 /// The swept service variants: `(mode, shards, buffer_pool)`.
-const VARIANTS: [(&str, usize, bool); 6] = [
+const VARIANTS: [(&str, usize, bool); 9] = [
     ("per-request", 1, true),
     ("per-request", 1, false),
     ("coalesced", 1, true),
     ("coalesced", 1, false),
     ("coalesced", 2, true),
     ("coalesced", 4, true),
+    ("async", 1, true),
+    ("async", 2, true),
+    ("async", 4, true),
 ];
+
+/// Maximum tickets each async-mode submitter keeps in flight before
+/// collecting the oldest — the pipelining shape an inference loop uses
+/// (submit the next layer's norm, keep computing, join later).
+pub const PIPELINE_DEPTH: usize = 4;
 
 /// One measured configuration.
 struct Point {
@@ -74,11 +89,19 @@ fn request_bits(d: usize, rows: usize, who: u64, req: u64) -> Vec<u32> {
 /// Drive `submitters` threads, each submitting `requests` pre-generated
 /// requests of `rows` rows, through `service`; returns the wall-clock
 /// seconds from the first worker's post-barrier start to the last
-/// worker's finish. Each worker timestamps its own span — a main-thread
-/// clock would race the workers on a single-core host, where the barrier
-/// release can run a worker to completion before the main thread is
-/// rescheduled.
-fn measure(service: &NormService, submitters: usize, requests: usize, rows: usize) -> f64 {
+/// worker's finish. Blocking modes submit-and-wait per request; the
+/// `async` mode pipelines with up to [`PIPELINE_DEPTH`] tickets in
+/// flight, collecting the oldest before submitting the next. Each worker
+/// timestamps its own span — a main-thread clock would race the workers
+/// on a single-core host, where the barrier release can run a worker to
+/// completion before the main thread is rescheduled.
+fn measure(
+    service: &NormService,
+    mode: &'static str,
+    submitters: usize,
+    requests: usize,
+    rows: usize,
+) -> f64 {
     let barrier = Arc::new(Barrier::new(submitters));
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..submitters)
@@ -92,11 +115,33 @@ fn measure(service: &NormService, submitters: usize, requests: usize, rows: usiz
                         .collect();
                     barrier.wait();
                     let begin = Instant::now();
-                    for bits in &payloads {
-                        let response = service
-                            .submit(NormRequest::bits(bits))
-                            .expect("bench requests are well-formed");
-                        std::hint::black_box(response.rows());
+                    if mode == "async" {
+                        let mut inflight = std::collections::VecDeque::new();
+                        for bits in &payloads {
+                            if inflight.len() == PIPELINE_DEPTH {
+                                let mut ticket: iterl2norm::NormTicket =
+                                    inflight.pop_front().expect("depth > 0");
+                                let response =
+                                    ticket.wait().expect("bench requests are well-formed");
+                                std::hint::black_box(response.rows());
+                            }
+                            inflight.push_back(
+                                service
+                                    .submit_async(NormRequest::bits(bits))
+                                    .expect("bench queue depth is never exceeded"),
+                            );
+                        }
+                        for mut ticket in inflight {
+                            let response = ticket.wait().expect("bench requests are well-formed");
+                            std::hint::black_box(response.rows());
+                        }
+                    } else {
+                        for bits in &payloads {
+                            let response = service
+                                .submit(NormRequest::bits(bits))
+                                .expect("bench requests are well-formed");
+                            std::hint::black_box(response.rows());
+                        }
                     }
                     (begin, Instant::now())
                 })
@@ -126,7 +171,9 @@ fn service_for(d: usize, mode: &str, shards: usize, buffer_pool: bool) -> NormSe
         .with_backend(BackendKind::Native)
         .with_format(FormatKind::Fp32)
         .with_method(MethodSpec::iterl2(5))
-        .with_coalescing(mode == "coalesced")
+        // Async submission needs the combining queue; only the
+        // per-request baseline runs without it.
+        .with_coalescing(mode != "per-request")
         .with_shards(shards)
         .with_buffer_pool(buffer_pool)
         .build()
@@ -145,7 +192,10 @@ pub fn run_at(
     requests_per_thread: usize,
     rows_per_request: usize,
 ) -> std::io::Result<()> {
-    banner("NormService throughput — mode x shards x buffer pool, 1-8 submitting threads");
+    banner(
+        "NormService throughput — blocking/coalesced/async x shards x buffer pool, \
+         1-8 submitting threads",
+    );
     let spec = MethodSpec::iterl2(5);
     let mut points: Vec<Point> = Vec::new();
     let mut table = Vec::new();
@@ -177,6 +227,18 @@ pub fn run_at(
                 "service output diverged from the backend at \
                  d = {d} ({mode}, shards={shards}, pool={buffer_pool})"
             );
+            // The async path must agree bit for bit too before its
+            // throughput numbers mean anything.
+            let mut ticket = service
+                .submit_async(NormRequest::bits(&probe))
+                .map_err(std::io::Error::other)?;
+            let waited = ticket.wait().map_err(std::io::Error::other)?;
+            assert_eq!(
+                waited.bits(),
+                &expect[..],
+                "async output diverged from the backend at \
+                 d = {d} ({mode}, shards={shards}, pool={buffer_pool})"
+            );
         }
 
         for &submitters in submitter_counts {
@@ -190,7 +252,13 @@ pub fn run_at(
                 // Baseline after warm-up: every reported ratio below uses
                 // deltas, so the untimed warm-up request never skews them.
                 let base = service.stats();
-                let seconds = measure(&service, submitters, requests_per_thread, rows_per_request);
+                let seconds = measure(
+                    &service,
+                    mode,
+                    submitters,
+                    requests_per_thread,
+                    rows_per_request,
+                );
                 let stats = service.stats();
                 let total_requests = (submitters * requests_per_thread) as f64;
                 let total_rows = total_requests * rows_per_request as f64;
@@ -252,6 +320,7 @@ pub fn run_at(
     json.push_str(&format!(
         "  \"requests_per_thread\": {requests_per_thread},\n"
     ));
+    json.push_str(&format!("  \"async_pipeline_depth\": {PIPELINE_DEPTH},\n"));
     json.push_str("  \"bit_identity_checked\": true,\n");
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {

@@ -95,6 +95,26 @@ fn ablations_smoke() {
 }
 
 #[test]
+fn service_smoke() {
+    // The serving sweep end to end at tiny scale: every mode (blocking
+    // per-request, coalesced, pipelined async) runs its bit-identity
+    // self-check and lands in the JSON.
+    let _ = results_dir();
+    benchkit::experiments::service::run_at(&[32], &[1, 2], 4, 2).unwrap();
+    let path = results_dir().join("BENCH_service.json");
+    let content = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+    assert!(
+        content.contains("\"bench\": \"service_throughput\""),
+        "{content}"
+    );
+    for mode in ["per-request", "coalesced", "async"] {
+        assert!(content.contains(&format!("\"mode\": \"{mode}\"")), "{mode}");
+    }
+    assert!(content.contains("\"async_pipeline_depth\": 4"), "{content}");
+}
+
+#[test]
 fn knobs_read_environment() {
     // Defaults when unset (the var used here is never set by these tests).
     assert_eq!(benchkit::trials(), 1000);

@@ -13,7 +13,7 @@ pub struct Parsed {
 
 /// Option keys that take a value; anything else starting with `--` is a
 /// boolean flag.
-const VALUED: [&str; 12] = [
+const VALUED: [&str; 13] = [
     "format",
     "steps",
     "d",
@@ -26,6 +26,7 @@ const VALUED: [&str; 12] = [
     "threads",
     "shards",
     "queue-depth",
+    "placement",
 ];
 
 impl Parsed {
@@ -122,6 +123,13 @@ mod tests {
         assert_eq!(p.num("shards", 1usize).unwrap(), 4);
         assert_eq!(p.num("queue-depth", 1024usize).unwrap(), 128);
         assert!(p.positionals().is_empty());
+    }
+
+    #[test]
+    fn placement_option_parses_as_a_value() {
+        let p = Parsed::parse(&sv(&["--placement", "request-hash"])).unwrap();
+        assert_eq!(p.get("placement"), Some("request-hash"));
+        assert!(Parsed::parse(&sv(&["--placement"])).is_err());
     }
 
     #[test]

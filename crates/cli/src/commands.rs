@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use iterl2norm::service::{NormRequest, NormService, ServiceConfig};
+use iterl2norm::service::{NormRequest, NormService, Placement, ServiceConfig};
 use iterl2norm::{BackendKind, FormatKind, MethodSpec, NormError};
 use macrosim::{activity_trace, utilization, IterL2NormMacro, MacroConfig};
 use softfloat::{Bf16, Fp16, Fp32};
@@ -34,11 +34,11 @@ USAGE:
   iterl2norm cost [--format …]
       Print the 32/28nm cost-model report (Table II row + breakdown).
   iterl2norm demo [--d LEN] [--format …] [--backend B] [--method M] [--seed S]
-                  [--shards S] [--queue-depth Q]
+                  [--shards S] [--queue-depth Q] [--placement P]
       Normalize a random uniform(-1,1) vector end to end.
   iterl2norm batch [--d LEN] [--rows R] [--format …] [--backend B]
                    [--threads N] [--method M] [--seed S]
-                   [--shards S] [--queue-depth Q]
+                   [--shards S] [--queue-depth Q] [--placement P]
       Normalize a random R x LEN batch through the engine, printing rows/s
       for the per-call path vs the plan/batch path.
   iterl2norm help
@@ -49,10 +49,12 @@ Methods (--method): iterl2[:steps], fisr[:newton], exact[:eps], lut[:segments];
 Backends (--backend): emulated (softfloat, every format — the default) or
 native (host f32, fp32 only, bit-identical output). --threads N partitions
 batch rows across N worker threads (output bits never depend on N).
---shards S runs S independent backend+queue instances with round-robin
-placement, and --queue-depth Q bounds each shard's waiting line (further
-requests are rejected with a queue-full error instead of buffering).
-Neither knob changes output bits. Format and backend names are
+--shards S runs S independent backend+queue instances, and --queue-depth Q
+bounds each shard's waiting line (further requests are rejected with a
+queue-full error instead of buffering). --placement P picks how requests
+spread across shards: round-robin (the default) or request-hash (keyed
+requests stick to one shard, keeping its caches warm). None of these
+knobs changes output bits. Format, backend and placement names are
 case-insensitive.";
 
 /// Resolve `--method`/`--steps` into a registry entry. `--steps` keeps its
@@ -147,6 +149,16 @@ fn queue_depth_arg(parsed: &Parsed) -> Result<usize, String> {
     Ok(depth)
 }
 
+/// Resolve `--placement` into the service registry's [`Placement`]
+/// (default: round-robin, case-insensitive).
+fn placement_arg(parsed: &Parsed) -> Result<Placement, String> {
+    match parsed.get("placement") {
+        None => Ok(Placement::RoundRobin),
+        Some(text) => Placement::parse(text)
+            .ok_or_else(|| format!("unknown placement '{text}' (round-robin|request-hash)")),
+    }
+}
+
 /// Build the [`NormService`] for the parsed `--backend`/`--format`/
 /// `--shards`/`--queue-depth` flags — the single dispatch point every
 /// normalization subcommand shares (the old per-format `with_exec!`
@@ -161,6 +173,7 @@ fn build_service(
     let format = format_kind(parsed)?;
     let shards = shards_arg(parsed)?;
     let queue_depth = queue_depth_arg(parsed)?;
+    let placement = placement_arg(parsed)?;
     ServiceConfig::new(d)
         .with_backend(backend)
         .with_format(format)
@@ -168,6 +181,7 @@ fn build_service(
         .with_threads(threads)
         .with_shards(shards)
         .with_queue_depth(queue_depth)
+        .with_placement(placement)
         .build()
         .map_err(|e| e.to_string())
 }

@@ -164,6 +164,40 @@ fn sharding_flags_happy_paths_and_rejections() {
 }
 
 #[test]
+fn placement_flag_happy_paths_and_rejections() {
+    // Both policies end to end on batch and demo; placement never changes
+    // output bits, so these succeed identically to the default.
+    commands::batch(&parsed(&[
+        "--d",
+        "32",
+        "--rows",
+        "8",
+        "--shards",
+        "2",
+        "--placement",
+        "request-hash",
+    ]))
+    .unwrap();
+    commands::demo(&parsed(&[
+        "--d",
+        "48",
+        "--shards",
+        "2",
+        "--placement",
+        "round-robin",
+    ]))
+    .unwrap();
+    // Case-insensitive, like --format/--backend.
+    commands::demo(&parsed(&["--d", "16", "--placement", "Request-Hash"])).unwrap();
+    // Unknown policies are rejected with the alternatives named.
+    let err = commands::demo(&parsed(&["--placement", "random"])).unwrap_err();
+    assert!(
+        err.contains("random") && err.contains("round-robin") && err.contains("request-hash"),
+        "{err}"
+    );
+}
+
+#[test]
 fn backend_flag_happy_paths() {
     // Native on fp32 (explicit and default format), emulated explicitly,
     // and threaded partitioning — all end to end.

@@ -29,15 +29,58 @@
 //! load — a single submitting thread always finds an idle backend and
 //! runs exactly one request per batch.
 //!
-//! # Sharding and backpressure
+//! # Async submission
+//!
+//! [`NormService::submit`] parks the submitting thread until its result is
+//! ready. [`NormService::submit_async`] does not: it enqueues into the
+//! shard's combining queue and returns a [`NormTicket`] immediately, so a
+//! caller can overlap its own work with normalization the way an
+//! inference loop overlaps layers, then collect through
+//! [`NormTicket::try_take`] (poll), [`NormTicket::wait`] (park) or
+//! [`NormTicket::wait_timeout`] (bounded park). Async requests ride the
+//! *same* leader/follower rounds as blocking ones — a concurrent blocking
+//! submitter's round executes queued tickets, and when nobody else drives,
+//! the ticket's collect methods run the round themselves — so async,
+//! blocking and serial per-request execution are all bit-identical
+//! (enforced by `tests/service_bit_identity.rs`). Backpressure applies at
+//! enqueue time: a full shard fails `submit_async` with
+//! [`NormError::QueueFull`] before any request-sized work is done.
+//!
+//! ```
+//! use iterl2norm::service::{NormRequest, ServiceConfig};
+//!
+//! # fn main() -> Result<(), iterl2norm::NormError> {
+//! let d = 64;
+//! let service = ServiceConfig::new(d).build()?;
+//! let rows: Vec<u32> = (0..2 * d as u32).map(|i| f32::to_bits(0.5 + i as f32)).collect();
+//!
+//! // Enqueue without blocking, overlap other work, collect later.
+//! let mut ticket = service.submit_async(NormRequest::bits(&rows))?;
+//! let overlapped_work = 6 * 7; // ... the caller's own computation ...
+//! let response = ticket.wait()?;
+//! assert_eq!(overlapped_work, 42);
+//! assert_eq!(response.rows(), 2);
+//!
+//! // Bit-identical to the blocking path.
+//! let blocking = service.submit(NormRequest::bits(&rows))?;
+//! assert_eq!(response.bits(), blocking.bits());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Sharding, placement and backpressure
 //!
 //! One combining queue over one backend mutex serializes *all* traffic on
 //! a single lock. [`ServiceConfig::with_shards`] splits the service into N
 //! independent shards — each owns its own backend instance (built from the
 //! identical plan), combining queue and coalescing state — and requests
-//! are placed round-robin across shards. Because every shard executes the
+//! are placed across shards by the configured [`Placement`]: round-robin
+//! by default, or sticky request-hash
+//! ([`ServiceConfig::with_placement`] + [`NormRequest::with_key`]), which
+//! keeps a hot caller's traffic on one shard so that shard's backend
+//! scratch and buffer pool stay warm. Because every shard executes the
 //! same plan with the same arithmetic, output bits are independent of the
-//! shard count and of which shard served a request.
+//! shard count, the placement policy and of which shard served a request.
 //!
 //! Each shard's waiting line is bounded by
 //! [`ServiceConfig::with_queue_depth`]: a request that arrives when the
@@ -93,6 +136,18 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use softfloat::{Bf16, Float, Fp16, Fp32, HostF32};
+
+/// SplitMix64's finalizer: a cheap, well-mixed `u64 -> u64` hash for
+/// request-hash placement. Sequential keys (the common caller pattern:
+/// layer index, session id) must spread across shards instead of
+/// clustering, and the mapping must be stable across runs — no
+/// `RandomState` seeding.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 use crate::backend::{build_backend_affine, BackendKind, FormatKind, NormBackend, RowMoments};
 use crate::config::IterConfig;
@@ -151,6 +206,7 @@ pub struct ServiceConfig {
     shards: usize,
     queue_depth: usize,
     buffer_pool: bool,
+    placement: Placement,
 }
 
 impl ServiceConfig {
@@ -174,6 +230,7 @@ impl ServiceConfig {
             shards: 1,
             queue_depth: DEFAULT_QUEUE_DEPTH,
             buffer_pool: true,
+            placement: Placement::default(),
         }
     }
 
@@ -279,6 +336,18 @@ impl ServiceConfig {
         self
     }
 
+    /// Same config with a different shard-placement policy.
+    /// [`Placement::RoundRobin`] (the default) spreads requests evenly;
+    /// [`Placement::RequestHash`] pins requests that carry a
+    /// [`key`](NormRequest::with_key) to one shard, keeping that shard's
+    /// backend scratch warm for a hot caller (keyless requests still go
+    /// round-robin). On a single-shard service both policies are the
+    /// identity. Placement never changes output bits.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
     /// Same config with the response-buffer pool enabled or disabled.
     /// When enabled (the default), output buffers are leased from a small
     /// free list and returned when the [`NormResponse`] is dropped, so
@@ -343,6 +412,11 @@ impl ServiceConfig {
     /// Whether response buffers are pooled.
     pub fn buffer_pool(&self) -> bool {
         self.buffer_pool
+    }
+
+    /// The shard-placement policy.
+    pub fn placement(&self) -> Placement {
+        self.placement
     }
 
     /// Validate the configuration and erase it behind a [`NormService`].
@@ -435,14 +509,73 @@ impl ServiceConfig {
     }
 }
 
-/// One unit of normalization work: row-major data with stride `d`.
+/// Where a sharded service places incoming requests. Every shard executes
+/// the identical plan, so placement affects only contention and cache
+/// warmth — **never output bits** (enforced by
+/// `tests/service_bit_identity.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Spread requests across shards with an atomic cursor (the default):
+    /// even load, no caller cooperation needed.
+    #[default]
+    RoundRobin,
+    /// Sticky placement: a request carrying a
+    /// [`key`](NormRequest::with_key) always lands on the same shard
+    /// (`hash(key) mod shards`), keeping one shard's backend scratch and
+    /// buffer pool warm for a hot caller. Requests *without* a key fall
+    /// back to round-robin.
+    RequestHash,
+}
+
+impl Placement {
+    /// Every placement policy, for sweeps and CLI help.
+    pub const ALL: [Placement; 2] = [Placement::RoundRobin, Placement::RequestHash];
+
+    /// Parse a placement name (`"round-robin"`/`"rr"`,
+    /// `"request-hash"`/`"hash"`), case-insensitively — CLI flags and
+    /// config files should not care about capitalization. Returns `None`
+    /// for anything else.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text.to_ascii_lowercase().as_str() {
+            "round-robin" | "roundrobin" | "rr" => Some(Placement::RoundRobin),
+            "request-hash" | "requesthash" | "hash" => Some(Placement::RequestHash),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (`"round-robin"` / `"request-hash"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::RoundRobin => "round-robin",
+            Placement::RequestHash => "request-hash",
+        }
+    }
+}
+
+impl core::fmt::Display for Placement {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One unit of normalization work: row-major data with stride `d`, plus
+/// an optional placement key.
 ///
 /// Bits are the service's exchange currency (every format stores one `u32`
 /// per element); native `f32` slices are accepted as a convenience for
 /// FP32-shaped serving traffic — for an FP32 service they are re-tagged
-/// bit for bit, for FP16/BF16 they are rounded into the format.
+/// bit for bit, for FP16/BF16 they are rounded into the format. A
+/// [`key`](NormRequest::with_key) makes the request sticky under
+/// [`Placement::RequestHash`]; services on any other placement ignore it.
 #[derive(Debug, Clone, Copy)]
-pub enum NormRequest<'a> {
+pub struct NormRequest<'a> {
+    payload: Payload<'a>,
+    key: Option<u64>,
+}
+
+/// The two accepted payload encodings.
+#[derive(Debug, Clone, Copy)]
+enum Payload<'a> {
     /// Row-major storage bit patterns (`rows × d` elements).
     Bits(&'a [u32]),
     /// Row-major native `f32` values (`rows × d` elements).
@@ -452,19 +585,41 @@ pub enum NormRequest<'a> {
 impl<'a> NormRequest<'a> {
     /// Request over raw storage bit patterns.
     pub fn bits(data: &'a [u32]) -> Self {
-        NormRequest::Bits(data)
+        NormRequest {
+            payload: Payload::Bits(data),
+            key: None,
+        }
     }
 
     /// Request over native `f32` values.
     pub fn f32(data: &'a [f32]) -> Self {
-        NormRequest::F32(data)
+        NormRequest {
+            payload: Payload::F32(data),
+            key: None,
+        }
+    }
+
+    /// Same request tagged with a placement key. Under
+    /// [`Placement::RequestHash`] every request with the same key lands on
+    /// the same shard ([`NormService::shard_for`] tells you which);
+    /// under [`Placement::RoundRobin`] the key is ignored. Keys never
+    /// affect output bits.
+    pub fn with_key(mut self, key: u64) -> Self {
+        self.key = Some(key);
+        self
+    }
+
+    /// The placement key, if one was set with
+    /// [`with_key`](NormRequest::with_key).
+    pub fn key(&self) -> Option<u64> {
+        self.key
     }
 
     /// Number of `u32`/`f32` elements in the request.
     pub fn len(&self) -> usize {
-        match self {
-            NormRequest::Bits(b) => b.len(),
-            NormRequest::F32(v) => v.len(),
+        match self.payload {
+            Payload::Bits(b) => b.len(),
+            Payload::F32(v) => v.len(),
         }
     }
 
@@ -478,9 +633,9 @@ impl<'a> NormRequest<'a> {
     /// formats round each value in.
     fn encode_into(&self, format: FormatKind, out: &mut Vec<u32>) {
         out.clear();
-        match *self {
-            NormRequest::Bits(b) => out.extend_from_slice(b),
-            NormRequest::F32(v) => match format {
+        match self.payload {
+            Payload::Bits(b) => out.extend_from_slice(b),
+            Payload::F32(v) => match format {
                 FormatKind::Fp32 => out.extend(v.iter().map(|x| x.to_bits())),
                 _ => out.extend(v.iter().map(|&x| format.encode_f64(f64::from(x)))),
             },
@@ -491,9 +646,9 @@ impl<'a> NormRequest<'a> {
     /// bits — the uncontended submit path borrows the caller's buffer for
     /// the duration of the backend call.
     fn encode_cow(&self, format: FormatKind) -> Cow<'a, [u32]> {
-        match *self {
-            NormRequest::Bits(b) => Cow::Borrowed(b),
-            NormRequest::F32(_) => {
+        match self.payload {
+            Payload::Bits(b) => Cow::Borrowed(b),
+            Payload::F32(_) => {
                 let mut owned = Vec::new();
                 self.encode_into(format, &mut owned);
                 Cow::Owned(owned)
@@ -657,8 +812,16 @@ pub struct ServiceStats {
     /// Total rows normalized.
     pub rows: u64,
     /// Requests rejected with [`NormError::QueueFull`] because their
-    /// shard's waiting line was at the configured depth.
+    /// shard's waiting line was at the configured depth. Blocking and
+    /// async submissions are counted alike — both are admitted through
+    /// the same per-shard bound.
     pub queue_full_rejections: u64,
+    /// [`NormTicket`]s dropped before their result was taken. The
+    /// abandoned request still executes (it was already accepted), but
+    /// its response buffer goes straight back to the shard's pool instead
+    /// of to a caller — a steadily growing count means some caller is
+    /// submitting work it never collects.
+    pub abandoned_tickets: u64,
     /// Cumulative time accepted requests spent between acceptance and the
     /// start of the backend execution that served them — time parked in
     /// the combining queue, any coalescing window, and waits on the
@@ -680,6 +843,7 @@ impl ServiceStats {
         self.coalesced_requests += other.coalesced_requests;
         self.rows += other.rows;
         self.queue_full_rejections += other.queue_full_rejections;
+        self.abandoned_tickets += other.abandoned_tickets;
         self.queue_wait += other.queue_wait;
         self.execute += other.execute;
     }
@@ -781,29 +945,60 @@ fn finish(result: SlotResult, sink: &mut Sink<'_>, pool: &BufferPool) -> Result<
 
 /// One waiting submitter's mailbox. Filled by whichever submitter runs
 /// the round that serves it; waiters are woken through the shard-level
-/// condvar (`Shard::queue_cv`), not per slot. The slot lock protects a
-/// single `Option` assignment, so a poisoned guard is recovered and used
+/// condvar (`Shard::queue_cv`), not per slot. The slot lock protects
+/// plain one-shot state, so a poisoned guard is recovered and used
 /// as-is — a panic cannot leave that state inconsistent.
+///
+/// The `abandoned` flag is the async path's leak guard: a [`NormTicket`]
+/// dropped before its round ran sets it, and the eventual [`fill`](Slot::fill)
+/// then returns the result buffer to the shard's pool instead of parking
+/// it in a mailbox nobody will ever read.
 struct Slot {
-    state: Mutex<Option<SlotOutcome>>,
+    state: Mutex<SlotState>,
+    /// The shard pool an abandoned outcome's buffer returns to.
+    pool: Arc<BufferPool>,
+}
+
+#[derive(Default)]
+struct SlotState {
+    outcome: Option<SlotOutcome>,
+    abandoned: bool,
 }
 
 impl Slot {
-    fn new() -> Arc<Self> {
+    fn new(pool: Arc<BufferPool>) -> Arc<Self> {
         Arc::new(Slot {
-            state: Mutex::new(None),
+            state: Mutex::new(SlotState::default()),
+            pool,
         })
     }
 
     fn fill(&self, outcome: SlotOutcome) {
-        *self.state.lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.abandoned {
+            // Nobody will take this result: recycle its buffer now.
+            if let Ok(result) = outcome {
+                self.pool.give_back(result.bits);
+            }
+            return;
+        }
+        state.outcome = Some(outcome);
     }
 
     fn take(&self) -> Option<SlotOutcome> {
         self.state
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
+            .outcome
             .take()
+    }
+
+    /// Mark the slot abandoned (its ticket was dropped), returning any
+    /// already-delivered outcome so the caller can recycle its buffer.
+    fn abandon(&self) -> Option<SlotOutcome> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.abandoned = true;
+        state.outcome.take()
     }
 }
 
@@ -887,6 +1082,25 @@ impl Inner {
             Err(poisoned) => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 poisoned.into_inner()
+            }
+        }
+    }
+
+    /// [`wait_on`](Inner::wait_on) bounded by `timeout` — the building
+    /// block of [`NormTicket::wait_timeout`]. Spurious wakeups and
+    /// timeouts look the same to the caller (a returned guard); the
+    /// caller re-checks its deadline against the clock.
+    fn wait_timeout_on<'s>(
+        &self,
+        shard: &'s Shard,
+        guard: MutexGuard<'s, QueueState>,
+        timeout: Duration,
+    ) -> MutexGuard<'s, QueueState> {
+        match shard.queue_cv.wait_timeout(guard, timeout) {
+            Ok((guard, _)) => guard,
+            Err(poisoned) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                poisoned.into_inner().0
             }
         }
     }
@@ -1074,7 +1288,7 @@ impl NormService {
             return Err(NormError::ServiceShutdown);
         }
         let start = Instant::now();
-        let shard = self.pick_shard();
+        let shard = &self.inner.shards[self.pick_shard(request.key())];
         let mut out = Vec::new();
         let served = {
             let mut sink = Sink::Leased(&mut out);
@@ -1122,19 +1336,121 @@ impl NormService {
                 actual: out.len(),
             });
         }
-        let shard = self.pick_shard();
+        let shard = &self.inner.shards[self.pick_shard(request.key())];
         Ok(self.serve(&request, &mut Sink::Caller(out), shard)?.rows)
     }
 
-    /// Round-robin shard placement. Every shard executes the identical
-    /// plan, so placement affects only contention, never output bits.
-    fn pick_shard(&self) -> &Shard {
+    /// Non-blocking submission: enqueue the request into its shard's
+    /// combining queue and return a [`NormTicket`] immediately, without
+    /// parking the submitting thread. The caller overlaps its own work
+    /// with normalization and collects the result later through
+    /// [`NormTicket::try_take`] / [`wait`](NormTicket::wait) /
+    /// [`wait_timeout`](NormTicket::wait_timeout) — the pipelining shape
+    /// an inference loop wants (submit the next layer's norm, keep
+    /// computing, join before the result is needed).
+    ///
+    /// The ticket composes with every blocking-path mechanism: its request
+    /// coalesces into the same leader/follower rounds as blocking submits
+    /// (a concurrent [`submit`](NormService::submit) may execute it), it is
+    /// admitted through the same per-shard queue-depth bound — a full
+    /// shard rejects **here, at enqueue time**, not at collect time — and
+    /// the output bits are identical to [`submit`](NormService::submit)
+    /// and to serial per-request execution (enforced by
+    /// `tests/service_bit_identity.rs`). The payload is encoded into a
+    /// pooled buffer before this returns, so the borrowed request data is
+    /// free to be reused immediately.
+    ///
+    /// If no blocking submitter ever visits the shard, nothing executes
+    /// until a ticket method drives a round itself — a dropped,
+    /// never-collected ticket's request simply rides the next round that
+    /// does run, and its buffers return to the shard pool then (see
+    /// [`NormTicket`]). On a service built
+    /// [`with_coalescing(false)`](ServiceConfig::with_coalescing) there is
+    /// no queue to park in: the request executes synchronously and the
+    /// returned ticket is already complete.
+    ///
+    /// # Errors
+    ///
+    /// [`NormError::ServiceShutdown`] after [`shutdown`](NormService::shutdown),
+    /// [`NormError::QueueFull`] when the target shard's waiting line is at
+    /// the configured depth, [`NormError::EmptyRequest`] /
+    /// [`NormError::BatchLengthMismatch`] for malformed shapes. Execution
+    /// errors surface later, from the ticket's collect methods.
+    pub fn submit_async(&self, request: NormRequest<'_>) -> Result<NormTicket, NormError> {
+        self.validate_shape(&request)?;
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(NormError::ServiceShutdown);
+        }
+        let rows = request.len() / self.inner.config.d;
+        let shard_idx = self.pick_shard(request.key());
+        let shard = &self.inner.shards[shard_idx];
+
+        if !self.inner.config.coalescing {
+            // Per-request mode has no combining queue to park in: run the
+            // request to completion now and hand back a finished ticket.
+            let accepted = Instant::now();
+            let mut out = Vec::new();
+            let served = {
+                let mut sink = Sink::Leased(&mut out);
+                self.serve(&request, &mut sink, shard)
+            };
+            let outcome = match served {
+                Ok(served) => Ok(NormResponse {
+                    bits: out,
+                    pool: Arc::clone(&shard.pool),
+                    format: self.inner.config.format,
+                    rows: served.rows,
+                    batch_rows: served.batch_rows,
+                    batch_requests: served.batch_requests,
+                    elapsed: accepted.elapsed(),
+                }),
+                Err(err) => {
+                    shard.pool.give_back(out);
+                    Err(err)
+                }
+            };
+            return Ok(NormTicket {
+                service: self.clone(),
+                shard_idx,
+                rows,
+                delivered: false,
+                repr: TicketRepr::Immediate(Some(outcome)),
+            });
+        }
+
+        let accepted = Instant::now();
+        let slot = self.enqueue(shard, &request, accepted)?;
+        Ok(NormTicket {
+            service: self.clone(),
+            shard_idx,
+            rows,
+            delivered: false,
+            repr: TicketRepr::Queued { slot, accepted },
+        })
+    }
+
+    /// The shard index [`Placement::RequestHash`] sends `key` to —
+    /// deterministic for a fixed key and shard count, so a caller can
+    /// predict (and tests can assert) where its keyed traffic lands.
+    /// Always in `0..shards()`; on a round-robin service this is what the
+    /// placement *would* be if the config switched to request-hash.
+    pub fn shard_for(&self, key: u64) -> usize {
+        (splitmix64(key) % self.inner.shards.len() as u64) as usize
+    }
+
+    /// Placement: keyed requests stick to [`shard_for`](NormService::shard_for)
+    /// under [`Placement::RequestHash`]; everything else goes round-robin
+    /// via the atomic cursor. Every shard executes the identical plan, so
+    /// placement affects only contention, never output bits.
+    fn pick_shard(&self, key: Option<u64>) -> usize {
         let n = self.inner.shards.len();
         if n == 1 {
-            return &self.inner.shards[0];
+            return 0;
         }
-        let slot = self.inner.next_shard.fetch_add(1, Ordering::Relaxed);
-        &self.inner.shards[slot % n]
+        if let (Placement::RequestHash, Some(key)) = (self.inner.config.placement, key) {
+            return self.shard_for(key);
+        }
+        self.inner.next_shard.fetch_add(1, Ordering::Relaxed) % n
     }
 
     /// The submission protocol both public entry points share, writing the
@@ -1233,37 +1549,8 @@ impl NormService {
             }
         }
 
-        // Cheap admission pre-check: a full shard sheds load without
-        // paying the request encode below.
-        let depth = self.inner.config.queue_depth;
-        {
-            let mut queue = self.inner.queue_of(shard);
-            if queue.waiting() >= depth {
-                queue.stats.queue_full_rejections += 1;
-                return Err(NormError::QueueFull { depth });
-            }
-        }
-        // Encode before re-taking the lock: concurrent submitters'
-        // per-element format conversions must overlap, not serialize on
-        // the shard queue mutex.
-        let mut bits = shard.pool.lease(0);
-        request.encode_into(self.inner.config.format, &mut bits);
-        let slot = Slot::new();
+        let slot = self.enqueue(shard, request, accepted)?;
         let mut queue = self.inner.queue_of(shard);
-        if queue.waiting() >= depth {
-            // The line filled while we encoded: shed after all, returning
-            // the payload lease.
-            queue.stats.queue_full_rejections += 1;
-            drop(queue);
-            shard.pool.give_back(bits);
-            return Err(NormError::QueueFull { depth });
-        }
-        queue.stats.requests += 1;
-        queue.pending.push(PendingEntry {
-            bits,
-            slot: Arc::clone(&slot),
-            accepted,
-        });
         loop {
             if let Some(outcome) = slot.take() {
                 drop(queue);
@@ -1276,30 +1563,7 @@ impl NormService {
                 queue.leader = true;
                 queue.leader_in_pending = true;
                 drop(queue);
-                let mut guard = LeaderGuard {
-                    inner: &self.inner,
-                    shard,
-                    completed: false,
-                };
-                if !self.inner.config.window.is_zero() {
-                    // Give concurrent submitters the configured window to
-                    // join this batch before draining the queue.
-                    std::thread::sleep(self.inner.config.window);
-                }
-                let round = self.run_round(shard);
-                {
-                    let mut queue = self.inner.queue_of(shard);
-                    queue.stats.batches += 1;
-                    queue.stats.rows += round.rows as u64;
-                    if round.requests > 1 {
-                        queue.stats.coalesced_requests += round.requests as u64;
-                    }
-                    queue.stats.queue_wait += round.queue_wait;
-                    queue.stats.execute += round.execute;
-                    queue.leader = false;
-                }
-                guard.completed = true;
-                shard.queue_cv.notify_all();
+                self.lead_round(shard, true);
                 let result = slot
                     .take()
                     .expect("a round serves every request pending when it starts")?;
@@ -1307,6 +1571,85 @@ impl NormService {
             }
             queue = self.inner.wait_on(shard, queue);
         }
+    }
+
+    /// The combining queue's one admission + enqueue protocol, shared by
+    /// blocking ([`serve`](NormService::serve)) and async
+    /// ([`submit_async`](NormService::submit_async)) submission — the two
+    /// paths cannot diverge on depth accounting or stats by construction.
+    /// Cheap depth pre-check first (a full shard sheds load without
+    /// paying the encode), then the payload is encoded into a pooled
+    /// buffer *outside* the queue lock so concurrent submitters'
+    /// per-element format conversions overlap instead of serializing,
+    /// then a re-check under the lock (the line may have filled while we
+    /// encoded) before the entry parks. Returns the entry's mailbox.
+    fn enqueue(
+        &self,
+        shard: &Shard,
+        request: &NormRequest<'_>,
+        accepted: Instant,
+    ) -> Result<Arc<Slot>, NormError> {
+        let depth = self.inner.config.queue_depth;
+        {
+            let mut queue = self.inner.queue_of(shard);
+            if queue.waiting() >= depth {
+                queue.stats.queue_full_rejections += 1;
+                return Err(NormError::QueueFull { depth });
+            }
+        }
+        let mut bits = shard.pool.lease(0);
+        request.encode_into(self.inner.config.format, &mut bits);
+        let slot = Slot::new(Arc::clone(&shard.pool));
+        let mut queue = self.inner.queue_of(shard);
+        if queue.waiting() >= depth {
+            // Shed after all, returning the payload lease.
+            queue.stats.queue_full_rejections += 1;
+            drop(queue);
+            shard.pool.give_back(bits);
+            return Err(NormError::QueueFull { depth });
+        }
+        queue.stats.requests += 1;
+        queue.pending.push(PendingEntry {
+            bits,
+            slot: Arc::clone(&slot),
+            accepted,
+        });
+        Ok(slot)
+    }
+
+    /// One leadership term on `shard`. The caller has just claimed
+    /// leadership under the queue lock (with its own entry, if any, still
+    /// in `pending`) and released the lock; this sleeps the coalescing
+    /// window (when `honor_window` — ticket polls skip it, since a poll
+    /// should not stall on a latency knob meant for submitters), runs one
+    /// combining round, folds the round's counters into the shard stats,
+    /// releases leadership and wakes the shard. Panic-safe: the
+    /// [`LeaderGuard`] fails every queued waiter if the round unwinds.
+    fn lead_round(&self, shard: &Shard, honor_window: bool) {
+        let mut guard = LeaderGuard {
+            inner: &self.inner,
+            shard,
+            completed: false,
+        };
+        if honor_window && !self.inner.config.window.is_zero() {
+            // Give concurrent submitters the configured window to
+            // join this batch before draining the queue.
+            std::thread::sleep(self.inner.config.window);
+        }
+        let round = self.run_round(shard);
+        {
+            let mut queue = self.inner.queue_of(shard);
+            queue.stats.batches += 1;
+            queue.stats.rows += round.rows as u64;
+            if round.requests > 1 {
+                queue.stats.coalesced_requests += round.requests as u64;
+            }
+            queue.stats.queue_wait += round.queue_wait;
+            queue.stats.execute += round.execute;
+            queue.leader = false;
+        }
+        guard.completed = true;
+        shard.queue_cv.notify_all();
     }
 
     /// One backend call over `bits` into a caller-provided buffer. The
@@ -1461,7 +1804,7 @@ impl NormService {
             return Err(NormError::ServiceShutdown);
         }
         let start = Instant::now();
-        let shard = self.pick_shard();
+        let shard = &self.inner.shards[self.pick_shard(request.key())];
         let pool = &shard.pool;
         let mut bits = pool.lease(0);
         request.encode_into(self.inner.config.format, &mut bits);
@@ -1580,6 +1923,266 @@ impl NormService {
             });
         }
         Ok(())
+    }
+}
+
+/// How a ticket poll is willing to wait for its outcome.
+enum WaitMode {
+    /// Return `None` the moment progress would require parking.
+    Poll,
+    /// Park until the outcome arrives.
+    Forever,
+    /// Park until the outcome arrives or the deadline passes.
+    Until(Instant),
+}
+
+/// A ticket's backing state.
+enum TicketRepr {
+    /// Per-request mode executed the request at submit time; the finished
+    /// outcome is parked here until a collect method takes it.
+    Immediate(Option<Result<NormResponse, NormError>>),
+    /// A combining-queue entry: the slot is filled by whichever round
+    /// (another submitter's, or one this ticket drives itself) serves it.
+    Queued {
+        slot: Arc<Slot>,
+        /// When the request was accepted — the ticket-side start of the
+        /// response's all-in `elapsed()` span.
+        accepted: Instant,
+    },
+}
+
+/// The poll/wait handle returned by [`NormService::submit_async`]: the
+/// submitted request's claim on a future [`NormResponse`].
+///
+/// A ticket is **passive by default** — its request executes when any
+/// combining round on its shard runs (typically driven by a concurrent
+/// blocking submitter). When no round is in flight, the collect methods
+/// drive one themselves, exactly like a blocking submitter would: a lone
+/// async caller therefore pays the backend call at collect time instead
+/// of submit time, and never deadlocks waiting for a driver that does not
+/// exist.
+///
+/// Dropping a ticket without collecting is safe and leak-free: the
+/// request's pooled payload and response buffers return to the shard's
+/// pool (immediately if the round already ran, otherwise when it does),
+/// and the drop is counted in [`ServiceStats::abandoned_tickets`]. A
+/// ticket that outlives [`NormService::shutdown`] before any round picked
+/// its request up collects [`NormError::ServiceShutdown`] — accepted-but-
+/// never-started async work does not outlive the service that accepted
+/// it (a request already drained into an in-flight round still completes,
+/// like a blocking submitter's would).
+///
+/// The result is delivered **exactly once**: after any collect method has
+/// returned `Some`/`Ok`/`Err`, the ticket is spent and further collect
+/// calls panic. See [`NormService::submit_async`] for an example.
+pub struct NormTicket {
+    service: NormService,
+    shard_idx: usize,
+    rows: usize,
+    delivered: bool,
+    repr: TicketRepr,
+}
+
+impl core::fmt::Debug for NormTicket {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("NormTicket")
+            .field("shard", &self.shard_idx)
+            .field("rows", &self.rows)
+            .field("delivered", &self.delivered)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NormTicket {
+    /// Number of rows the submitted request carries.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The shard index the request was placed on (see
+    /// [`NormService::shard_for`] for the request-hash mapping).
+    pub fn shard(&self) -> usize {
+        self.shard_idx
+    }
+
+    /// Non-blocking poll: `Some` with the request's outcome if it is
+    /// ready (or can be made ready without parking — an idle shard lets
+    /// the poll drive the combining round itself, so a lone polling
+    /// caller always makes progress), `None` while the outcome is still
+    /// being produced by someone else's in-flight round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome was already taken by a previous collect
+    /// call — a spent ticket is a caller bug, not a recoverable state.
+    pub fn try_take(&mut self) -> Option<Result<NormResponse, NormError>> {
+        self.poll(WaitMode::Poll)
+    }
+
+    /// Block until the request's outcome is ready and return it. If no
+    /// round is in flight on the shard, this drives one itself (honoring
+    /// the service's coalescing window), so a lone async submitter pays
+    /// exactly the blocking-submit cost — just deferred to collect time.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the request's execution produced — the
+    /// [`submit`](NormService::submit) error set, including
+    /// [`NormError::ServiceShutdown`] when the service was shut down (or
+    /// forced down by a panicking request) before the request executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome was already taken by a previous collect
+    /// call.
+    pub fn wait(&mut self) -> Result<NormResponse, NormError> {
+        self.poll(WaitMode::Forever)
+            .expect("WaitMode::Forever parks until the outcome arrives")
+    }
+
+    /// [`wait`](NormTicket::wait) bounded by `timeout`: `None` if the
+    /// outcome is still pending when the deadline passes. The bound
+    /// covers *parked* time — if the shard is idle this call drives the
+    /// round itself (skipping the coalescing window) and then runs the
+    /// backend call to completion, which may overshoot a timeout shorter
+    /// than the execution; the bound's job is to cap waiting on other
+    /// callers' in-flight work, not to abort a round this ticket started.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome was already taken by a previous collect
+    /// call.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<NormResponse, NormError>> {
+        // A timeout too large for the clock to represent (the
+        // `Duration::MAX` "effectively forever" idiom) is an unbounded
+        // wait, not an overflow panic.
+        let mode = match Instant::now().checked_add(timeout) {
+            Some(deadline) => WaitMode::Until(deadline),
+            None => WaitMode::Forever,
+        };
+        self.poll(mode)
+    }
+
+    /// The shared collect protocol: check the mailbox, withdraw on
+    /// shutdown, drive an idle shard's round, park according to `mode`.
+    fn poll(&mut self, mode: WaitMode) -> Option<Result<NormResponse, NormError>> {
+        assert!(
+            !self.delivered,
+            "NormTicket result already taken; a ticket delivers exactly once"
+        );
+        let outcome = match &mut self.repr {
+            TicketRepr::Immediate(outcome) => Some(
+                outcome
+                    .take()
+                    .expect("undelivered immediate ticket holds its outcome"),
+            ),
+            TicketRepr::Queued { .. } => self.poll_queued(mode),
+        };
+        if outcome.is_some() {
+            self.delivered = true;
+        }
+        outcome
+    }
+
+    /// The combining-queue side of [`poll`](NormTicket::poll). Mirrors the
+    /// waiter loop of the blocking path: the same queue-then-slot lock
+    /// order, the same leadership claim (only ever taken while our entry
+    /// is provably still pending), the same shard-condvar parking.
+    fn poll_queued(&self, mode: WaitMode) -> Option<Result<NormResponse, NormError>> {
+        let TicketRepr::Queued { slot, accepted } = &self.repr else {
+            unreachable!("poll_queued is only called on queued tickets");
+        };
+        let inner = &self.service.inner;
+        let shard = &inner.shards[self.shard_idx];
+        let mut queue = inner.queue_of(shard);
+        loop {
+            if let Some(outcome) = slot.take() {
+                drop(queue);
+                return Some(self.deliver(outcome, *accepted));
+            }
+            if inner.shutdown.load(Ordering::SeqCst) {
+                // A shut-down service runs no *new* rounds for tickets: if
+                // our request is still waiting, withdraw it and fail
+                // deterministically instead of completing post-shutdown
+                // work nobody is required to drive.
+                if let Some(pos) = queue
+                    .pending
+                    .iter()
+                    .position(|entry| Arc::ptr_eq(&entry.slot, slot))
+                {
+                    let entry = queue.pending.remove(pos);
+                    drop(queue);
+                    shard.pool.give_back(entry.bits);
+                    return Some(Err(NormError::ServiceShutdown));
+                }
+                // Not in the queue and not in the mailbox: an in-flight
+                // round owns our entry, and its fill (a result, or the
+                // LeaderGuard's clean shutdown error) is coming — park
+                // for it below.
+            } else if !queue.leader {
+                // Idle shard, our entry still pending (leadership is only
+                // released after a round fills the slots of everything it
+                // drained): drive the round ourselves.
+                queue.leader = true;
+                queue.leader_in_pending = true;
+                drop(queue);
+                self.service
+                    .lead_round(shard, matches!(mode, WaitMode::Forever));
+                let outcome = slot
+                    .take()
+                    .expect("a round serves every request pending when it starts");
+                return Some(self.deliver(outcome, *accepted));
+            }
+            queue = match mode {
+                WaitMode::Poll => return None,
+                WaitMode::Forever => inner.wait_on(shard, queue),
+                WaitMode::Until(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    inner.wait_timeout_on(shard, queue, deadline - now)
+                }
+            };
+        }
+    }
+
+    /// Wrap a served outcome as the public response, stamping the all-in
+    /// elapsed span (acceptance at submit to delivery here).
+    fn deliver(&self, outcome: SlotOutcome, accepted: Instant) -> Result<NormResponse, NormError> {
+        let result = outcome?;
+        let shard = &self.service.inner.shards[self.shard_idx];
+        Ok(NormResponse {
+            bits: result.bits,
+            pool: Arc::clone(&shard.pool),
+            format: self.service.inner.config.format,
+            rows: result.rows,
+            batch_rows: result.batch_rows,
+            batch_requests: result.batch_requests,
+            elapsed: accepted.elapsed(),
+        })
+    }
+}
+
+impl Drop for NormTicket {
+    fn drop(&mut self) {
+        if self.delivered {
+            return;
+        }
+        let shard = &self.service.inner.shards[self.shard_idx];
+        match &mut self.repr {
+            // The response's own Drop returns its pooled buffer.
+            TicketRepr::Immediate(outcome) => drop(outcome.take()),
+            TicketRepr::Queued { slot, .. } => {
+                // Mark the mailbox abandoned so a still-coming fill
+                // recycles its buffer; reclaim an already-delivered one
+                // ourselves.
+                if let Some(Ok(result)) = slot.abandon() {
+                    shard.pool.give_back(result.bits);
+                }
+            }
+        }
+        self.service.inner.queue_of(shard).stats.abandoned_tickets += 1;
     }
 }
 
@@ -2091,5 +2694,188 @@ mod tests {
     fn pool_rejects_unknown_site() {
         let pool = NormServicePool::new(ServiceConfig::new(4));
         let _ = pool.service(0, &MethodSpec::iterl2(5));
+    }
+
+    #[test]
+    fn submit_async_matches_blocking_submit() {
+        let d = 24;
+        let service = ServiceConfig::new(d).build().unwrap();
+        let bits: Vec<u32> = (0..3).flat_map(|r| row_bits(d, r)).collect();
+        let expect = service.submit(NormRequest::bits(&bits)).unwrap();
+
+        // wait() on an idle shard drives the round itself.
+        let mut ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
+        assert_eq!(ticket.rows(), 3);
+        let waited = ticket.wait().unwrap();
+        assert_eq!(waited.bits(), expect.bits());
+        assert_eq!(waited.rows(), 3);
+
+        // try_take() also makes progress alone (no other driver exists).
+        let mut ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
+        let polled = ticket
+            .try_take()
+            .expect("idle shard: poll drives the round");
+        assert_eq!(polled.unwrap().bits(), expect.bits());
+
+        // wait_timeout() within budget delivers the same bits.
+        let mut ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
+        let timed = ticket
+            .wait_timeout(Duration::from_secs(5))
+            .expect("idle shard: bounded wait drives the round");
+        assert_eq!(timed.unwrap().bits(), expect.bits());
+
+        // The "effectively forever" idiom must wait, not overflow-panic.
+        let mut ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
+        let forever = ticket
+            .wait_timeout(Duration::MAX)
+            .expect("an unbounded wait always delivers");
+        assert_eq!(forever.unwrap().bits(), expect.bits());
+    }
+
+    #[test]
+    fn submit_async_per_request_mode_returns_completed_ticket() {
+        let d = 16;
+        let service = ServiceConfig::new(d)
+            .with_coalescing(false)
+            .build()
+            .unwrap();
+        let bits = row_bits(d, 2);
+        let expect = service.submit(NormRequest::bits(&bits)).unwrap();
+        let mut ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
+        let response = ticket
+            .try_take()
+            .expect("per-request tickets are complete at submit")
+            .unwrap();
+        assert_eq!(response.bits(), expect.bits());
+        assert_eq!(response.batch_requests(), 1);
+    }
+
+    #[test]
+    fn submit_async_rejects_bad_shapes_and_shutdown_at_the_door() {
+        let d = 8;
+        let service = ServiceConfig::new(d).build().unwrap();
+        assert_eq!(
+            service.submit_async(NormRequest::bits(&[])).unwrap_err(),
+            NormError::EmptyRequest
+        );
+        let ragged = vec![0u32; d + 1];
+        assert_eq!(
+            service
+                .submit_async(NormRequest::bits(&ragged))
+                .unwrap_err(),
+            NormError::BatchLengthMismatch {
+                rows: 1,
+                d,
+                actual: d + 1
+            }
+        );
+        service.shutdown();
+        let bits = row_bits(d, 1);
+        assert_eq!(
+            service.submit_async(NormRequest::bits(&bits)).unwrap_err(),
+            NormError::ServiceShutdown
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "result already taken")]
+    fn spent_ticket_panics_on_reuse() {
+        let d = 8;
+        let service = ServiceConfig::new(d).build().unwrap();
+        let bits = row_bits(d, 1);
+        let mut ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
+        let _ = ticket.wait();
+        let _ = ticket.try_take();
+    }
+
+    #[test]
+    fn abandoned_tickets_are_counted_and_service_keeps_working() {
+        let d = 16;
+        let service = ServiceConfig::new(d).build().unwrap();
+        let bits = row_bits(d, 4);
+        let expect = service.submit(NormRequest::bits(&bits)).unwrap();
+
+        // Dropped before any round ran: the queued entry is executed by
+        // the next blocking submitter's round and its result recycled.
+        let ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
+        drop(ticket);
+        assert_eq!(service.stats().abandoned_tickets, 1);
+        let after = service.submit(NormRequest::bits(&bits)).unwrap();
+        assert_eq!(after.bits(), expect.bits());
+        // The blocking submit's round coalesced the orphaned entry in.
+        assert_eq!(after.batch_requests(), 2);
+
+        // Dropped after its round ran: the delivered outcome is reclaimed
+        // at drop time.
+        let ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
+        let kicked = service.submit(NormRequest::bits(&bits)).unwrap();
+        assert_eq!(kicked.batch_requests(), 2, "round served the ticket too");
+        drop(ticket);
+        assert_eq!(service.stats().abandoned_tickets, 2);
+        // The service stays fully usable.
+        let last = service.submit(NormRequest::bits(&bits)).unwrap();
+        assert_eq!(last.bits(), expect.bits());
+    }
+
+    #[test]
+    fn request_hash_placement_is_deterministic_and_in_range() {
+        let d = 8;
+        let service = ServiceConfig::new(d)
+            .with_shards(4)
+            .with_placement(Placement::RequestHash)
+            .build()
+            .unwrap();
+        assert_eq!(service.config().placement(), Placement::RequestHash);
+        for key in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+            let shard = service.shard_for(key);
+            assert!(shard < 4);
+            for _ in 0..3 {
+                assert_eq!(service.shard_for(key), shard, "sticky for key {key}");
+            }
+        }
+        // Distinct keys spread: 64 sequential keys must not all collapse
+        // onto one shard (splitmix64 mixes sequential inputs).
+        let hit: std::collections::BTreeSet<usize> =
+            (0..64u64).map(|k| service.shard_for(k)).collect();
+        assert!(hit.len() > 1, "sequential keys all landed on one shard");
+        // Keyed submissions produce the same bits as unkeyed ones.
+        let bits = row_bits(d, 6);
+        let unkeyed = service.submit(NormRequest::bits(&bits)).unwrap();
+        let keyed = service
+            .submit(NormRequest::bits(&bits).with_key(42))
+            .unwrap();
+        assert_eq!(unkeyed.bits(), keyed.bits());
+        let mut ticket = service
+            .submit_async(NormRequest::bits(&bits).with_key(42))
+            .unwrap();
+        assert_eq!(ticket.shard(), service.shard_for(42));
+        assert_eq!(ticket.wait().unwrap().bits(), unkeyed.bits());
+    }
+
+    #[test]
+    fn placement_parses_and_displays() {
+        assert_eq!(Placement::parse("round-robin"), Some(Placement::RoundRobin));
+        assert_eq!(Placement::parse("RR"), Some(Placement::RoundRobin));
+        assert_eq!(
+            Placement::parse("Request-Hash"),
+            Some(Placement::RequestHash)
+        );
+        assert_eq!(Placement::parse("hash"), Some(Placement::RequestHash));
+        assert_eq!(Placement::parse("random"), None);
+        for placement in Placement::ALL {
+            assert_eq!(Placement::parse(placement.name()), Some(placement));
+            assert_eq!(placement.to_string(), placement.name());
+        }
+        assert_eq!(Placement::default(), Placement::RoundRobin);
+    }
+
+    #[test]
+    fn request_key_accessors_round_trip() {
+        let data = [0u32; 4];
+        let plain = NormRequest::bits(&data);
+        assert_eq!(plain.key(), None);
+        assert_eq!(plain.with_key(9).key(), Some(9));
+        let values = [0.0f32; 4];
+        assert_eq!(NormRequest::f32(&values).with_key(3).key(), Some(3));
     }
 }

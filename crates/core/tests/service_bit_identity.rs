@@ -19,7 +19,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use iterl2norm::backend::{build_backend, BackendKind, FormatKind};
-use iterl2norm::service::{NormRequest, ServiceConfig};
+use iterl2norm::service::{NormRequest, Placement, ServiceConfig};
 use iterl2norm::{MethodSpec, NormError, ReduceOrder};
 use softfloat::Fp32;
 use workloads::{Distribution, VectorGen};
@@ -117,6 +117,127 @@ fn coalesced_matches_serial_for_every_exec_point_method_shard_and_submitter_coun
                     assert!(stats.batches <= stats.requests, "{context}");
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn async_submit_matches_blocking_and_serial_for_every_method_shard_and_submitter_count() {
+    // The PR-5 acceptance sweep: submit_async must produce bits identical
+    // to blocking submit and to serial per-request execution, across
+    // every execution point × registry method × shards {1, 2, 4} ×
+    // submitter counts {1, 2, 3, 8}. Each submitter pipelines two async
+    // tickets around a blocking submit (the intended overlap pattern), on
+    // a request-hash-placed service where half the traffic is keyed — so
+    // sticky placement, round-robin fallback, ticket-driven rounds and
+    // blocking-driven rounds all mix in one run.
+    let d = 33;
+    for (backend, format) in EXEC_POINTS {
+        for spec in MethodSpec::REGISTRY {
+            for shards in SHARDS {
+                for submitters in SUBMITTERS {
+                    let service = ServiceConfig::new(d)
+                        .with_backend(backend)
+                        .with_format(format)
+                        .with_method(spec)
+                        .with_shards(shards)
+                        .with_placement(Placement::RequestHash)
+                        .with_window(Duration::from_millis(1))
+                        .build()
+                        .unwrap();
+                    let barrier = Arc::new(Barrier::new(submitters));
+                    let context = format!(
+                        "{}/{} {} shards={shards} submitters={submitters}",
+                        backend.name(),
+                        format.name(),
+                        spec.label()
+                    );
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..submitters)
+                            .map(|who| {
+                                let service = service.clone();
+                                let barrier = Arc::clone(&barrier);
+                                scope.spawn(move || {
+                                    let rows = 1 + who % 3;
+                                    let a = request_bits(format, d, rows, 100 + who as u64);
+                                    let b = request_bits(format, d, rows, 200 + who as u64);
+                                    let c = request_bits(format, d, rows, 300 + who as u64);
+                                    barrier.wait();
+                                    // Pipeline: two tickets in flight while a
+                                    // blocking submit runs in between (whose
+                                    // round may execute the tickets' work).
+                                    let mut t1 =
+                                        service.submit_async(NormRequest::bits(&a)).unwrap();
+                                    let mut t2 = service
+                                        .submit_async(NormRequest::bits(&b).with_key(who as u64))
+                                        .unwrap();
+                                    let blocking = service.submit(NormRequest::bits(&c)).unwrap();
+                                    let r1 = t1.wait().unwrap();
+                                    let r2 = t2
+                                        .wait_timeout(Duration::from_secs(60))
+                                        .expect("async request starved for 60 s")
+                                        .unwrap();
+                                    // Direct async ≡ blocking on the same
+                                    // payload and service.
+                                    let again = service.submit(NormRequest::bits(&a)).unwrap();
+                                    assert_eq!(r1.bits(), again.bits());
+                                    [(a, r1), (b, r2), (c, blocking)]
+                                })
+                            })
+                            .collect();
+                        for handle in handles {
+                            for (bits, response) in handle.join().unwrap() {
+                                let expect = serial_reference(backend, format, d, &spec, &bits);
+                                assert_eq!(
+                                    response.bits(),
+                                    &expect[..],
+                                    "{context}: async/blocking bits differ from serial \
+                                     per-request bits"
+                                );
+                            }
+                        }
+                    });
+                    let stats = service.stats();
+                    // 2 async + 2 blocking requests per submitter.
+                    assert_eq!(stats.requests, 4 * submitters as u64, "{context}");
+                    assert_eq!(stats.abandoned_tickets, 0, "{context}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn request_hash_placement_is_sticky_and_bit_identical() {
+    let d = 24;
+    let bits = request_bits(FormatKind::Fp32, d, 2, 9);
+    let reference = serial_reference(
+        BackendKind::Emulated,
+        FormatKind::Fp32,
+        d,
+        &MethodSpec::iterl2(5),
+        &bits,
+    );
+    for shards in SHARDS {
+        let service = ServiceConfig::new(d)
+            .with_shards(shards)
+            .with_placement(Placement::RequestHash)
+            .build()
+            .unwrap();
+        let home = service.shard_for(0xFEED);
+        assert!(home < shards);
+        for _ in 0..3 {
+            // Sticky: the mapping never drifts between calls.
+            assert_eq!(service.shard_for(0xFEED), home);
+            let keyed = service
+                .submit(NormRequest::bits(&bits).with_key(0xFEED))
+                .unwrap();
+            assert_eq!(keyed.bits(), &reference[..], "shards={shards}");
+            let mut ticket = service
+                .submit_async(NormRequest::bits(&bits).with_key(0xFEED))
+                .unwrap();
+            assert_eq!(ticket.shard(), home, "async placement follows the key");
+            assert_eq!(ticket.wait().unwrap().bits(), &reference[..]);
         }
     }
 }

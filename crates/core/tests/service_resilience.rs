@@ -452,3 +452,200 @@ fn elapsed_starts_after_validation_and_stats_split_wait_from_execute() {
     assert!(service.submit(NormRequest::bits(&bits[..D - 1])).is_err());
     assert_eq!(service.stats().requests, 1);
 }
+
+#[test]
+fn ticket_wait_timeout_expires_cleanly_on_a_gated_backend() {
+    // A ticket parked behind an in-flight round must honor its deadline:
+    // wait_timeout/try_take return None while the gated backend holds the
+    // round open, and the same ticket collects normally once the gate
+    // lifts. The bound covers *parked* time — here another submitter
+    // leads the round, so the ticket never drives execution itself.
+    let gate = Gate::new();
+    let service = gated_service(&gate, false, 64);
+
+    std::thread::scope(|scope| {
+        // Leader: fast-path submit, blocked inside the gated backend.
+        let leader = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(40);
+                service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+            })
+        };
+        gate.await_entered();
+
+        // The async request queues behind the stuck leader.
+        let bits = row_bits(41);
+        let mut ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
+        assert!(
+            ticket.try_take().is_none(),
+            "a round is in flight: polling must not deliver or block"
+        );
+        let begin = std::time::Instant::now();
+        assert!(
+            ticket.wait_timeout(Duration::from_millis(50)).is_none(),
+            "the gated round cannot finish within the bound"
+        );
+        assert!(
+            begin.elapsed() >= Duration::from_millis(50),
+            "wait_timeout returned before its deadline"
+        );
+
+        gate.open();
+        assert_eq!(leader.join().unwrap(), Ok(1));
+        // Same ticket, same mailbox: now collectable (the leader's round
+        // ran alone, so the ticket drives its own round here).
+        let response = ticket.wait().unwrap();
+        assert_eq!(response.bits(), &bits[..], "identity backend");
+    });
+    assert_eq!(service.stats().requests, 2);
+    assert_eq!(service.stats().abandoned_tickets, 0);
+}
+
+#[test]
+fn ticket_outliving_shutdown_collects_service_shutdown() {
+    // An accepted-but-never-started async request does not outlive its
+    // service: every collect method observes a clean ServiceShutdown
+    // (and the withdrawn payload's pooled buffer is not leaked — the
+    // queue is empty afterwards, so a fresh service build would see it;
+    // observable here as the service staying consistent, not hanging).
+    let service = ServiceConfig::new(D).build().unwrap();
+    let bits = row_bits(50);
+    let mut waited = service.submit_async(NormRequest::bits(&bits)).unwrap();
+    let mut polled = service.submit_async(NormRequest::bits(&bits)).unwrap();
+    let mut timed = service.submit_async(NormRequest::bits(&bits)).unwrap();
+    service.shutdown();
+    assert_eq!(waited.wait().unwrap_err(), NormError::ServiceShutdown);
+    assert_eq!(
+        polled
+            .try_take()
+            .expect("shutdown outcome is immediate")
+            .unwrap_err(),
+        NormError::ServiceShutdown
+    );
+    assert_eq!(
+        timed
+            .wait_timeout(Duration::from_secs(5))
+            .expect("shutdown outcome is immediate")
+            .unwrap_err(),
+        NormError::ServiceShutdown
+    );
+    // The tickets were accepted before the shutdown; the failures are
+    // delivered outcomes, not abandonments.
+    let stats = service.stats();
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.abandoned_tickets, 0);
+}
+
+#[test]
+fn dropped_ticket_behind_a_gated_round_is_recycled_not_stranded() {
+    // Drop-without-wait while a round is in flight: the orphaned entry
+    // is still executed by the next round, its buffers return to the
+    // shard pool, the drop is counted, and the service keeps serving.
+    let gate = Gate::new();
+    let service = gated_service(&gate, false, 64);
+
+    std::thread::scope(|scope| {
+        let leader = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(60);
+                service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+            })
+        };
+        gate.await_entered();
+
+        let bits = row_bits(61);
+        let ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
+        drop(ticket);
+        assert_eq!(service.stats().abandoned_tickets, 1);
+
+        gate.open();
+        assert_eq!(leader.join().unwrap(), Ok(1));
+    });
+
+    // The next blocking submit's round drains the orphaned entry (its
+    // result buffer goes straight back to the pool) and serves us.
+    let bits = row_bits(62);
+    let response = service.submit(NormRequest::bits(&bits)).unwrap();
+    assert_eq!(response.bits(), &bits[..]);
+    assert_eq!(
+        response.batch_requests(),
+        2,
+        "the orphaned request executed alongside ours"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.abandoned_tickets, 1);
+}
+
+#[test]
+fn async_backpressure_rejects_at_enqueue_time() {
+    // QueueFull for submit_async fires when the ticket is requested — a
+    // caller never holds a ticket whose request was silently shed.
+    let gate = Gate::new();
+    let service = gated_service(&gate, false, 1);
+
+    std::thread::scope(|scope| {
+        let executing = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(70);
+                service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+            })
+        };
+        gate.await_entered();
+
+        // Fills the single waiting slot.
+        let bits = row_bits(71);
+        let mut admitted = service.submit_async(NormRequest::bits(&bits)).unwrap();
+        // The line is at its bound: rejected now, not at collect time.
+        let more = row_bits(72);
+        assert_eq!(
+            service.submit_async(NormRequest::bits(&more)).unwrap_err(),
+            NormError::QueueFull { depth: 1 }
+        );
+        assert_eq!(service.stats().queue_full_rejections, 1);
+
+        gate.open();
+        assert_eq!(executing.join().unwrap(), Ok(1));
+        assert_eq!(admitted.wait().unwrap().bits(), &bits[..]);
+    });
+    assert_eq!(service.stats().requests, 2);
+}
+
+#[test]
+fn panicking_leader_fails_queued_tickets_cleanly() {
+    // The LeaderGuard containment extends to async waiters: a ticket
+    // queued behind a panicking round collects a clean ServiceShutdown —
+    // never a hang, never a poisoned-mutex panic.
+    let gate = Gate::new();
+    let service = gated_service(&gate, true, 64);
+
+    std::thread::scope(|scope| {
+        let leader = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(80);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+                }))
+            })
+        };
+        gate.await_entered();
+
+        let bits = row_bits(81);
+        let mut ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
+
+        gate.open();
+        assert!(leader.join().unwrap().is_err(), "leader observes unwind");
+        assert_eq!(ticket.wait().unwrap_err(), NormError::ServiceShutdown);
+    });
+    assert!(service.is_shutdown());
+    // Later async submissions are refused at the door.
+    let bits = row_bits(82);
+    assert_eq!(
+        service.submit_async(NormRequest::bits(&bits)).unwrap_err(),
+        NormError::ServiceShutdown
+    );
+}

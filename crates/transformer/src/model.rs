@@ -8,7 +8,14 @@
 //! forward calls and across the threads of
 //! [`Model::perplexity_threaded`], so concurrent evaluation shares one
 //! plan, one scratch pool and one backend per norm site (and requests may
-//! be micro-batched together — bit-identical either way). The honest
+//! be micro-batched together — bit-identical either way). The final norm
+//! is **pipelined**: each position's final-norm request is submitted
+//! asynchronously ([`NormService::submit_async`]) and collected one
+//! position later, after the next layer stack has run — the head
+//! projection is off the next position's critical path, so concurrent
+//! windows can execute each other's final norms in shared combining
+//! rounds while a lone forward pass simply pays the cost at collect time
+//! (output bits identical either way, like every serving knob). The honest
 //! trade vs the old typed per-worker engines: concurrent workers'
 //! norm submissions serialize (or batch) on each site's shared backend.
 //! That is acceptable here because the matvecs around every norm dominate
@@ -30,7 +37,7 @@
 
 use std::sync::Arc;
 
-use iterl2norm::service::{NormRequest, NormService, NormServicePool, ServiceConfig};
+use iterl2norm::service::{NormRequest, NormService, NormServicePool, NormTicket, ServiceConfig};
 use iterl2norm::{ExecFloat, ReduceOrder};
 use softfloat::Float;
 
@@ -259,6 +266,15 @@ impl<F: ExecFloat> Model<F> {
         let mut keys: Vec<Vec<Vec<F>>> = vec![Vec::new(); c.n_layers];
         let mut values: Vec<Vec<Vec<F>>> = vec![Vec::new(); c.n_layers];
         let mut logits_out = Vec::with_capacity(tokens.len());
+        // The previous position's final norm, submitted asynchronously:
+        // its head projection is off the next position's critical path
+        // (the KV caches never see it), so the ticket rides through the
+        // next layer stack before being collected. Under concurrent
+        // evaluation (threaded perplexity windows sharing this model's
+        // services) another window's round may execute it meanwhile;
+        // alone, wait() runs it at collect time — bit-identical either
+        // way.
+        let mut pending_final: Option<NormTicket> = None;
 
         for (pos, &tok) in tokens.iter().enumerate() {
             assert!((tok as usize) < c.vocab, "token id {tok} out of vocab");
@@ -332,16 +348,38 @@ impl<F: ExecFloat> Model<F> {
                 }
             }
 
-            norm_row(
-                &final_service,
-                &x,
-                &mut bits_buf,
-                &mut out_bits,
-                &mut norm_buf,
+            // Collect the previous position's final norm (in order, so
+            // logits_out stays position-aligned) before pre-submitting
+            // this position's.
+            if let Some(ticket) = pending_final.take() {
+                logits_out.push(self.collect_final(ticket, &mut norm_buf));
+            }
+            bits_buf.clear();
+            bits_buf.extend(x.iter().map(|v| v.to_bits()));
+            // submit_async encodes the payload before returning, so
+            // bits_buf is free for the next position immediately.
+            pending_final = Some(
+                final_service
+                    .submit_async(NormRequest::bits(&bits_buf))
+                    .expect("norm wiring: x matches d_model and gamma/beta lengths match"),
             );
-            logits_out.push(self.head.matvec_bias(&norm_buf, &self.head_bias));
+        }
+        if let Some(ticket) = pending_final.take() {
+            logits_out.push(self.collect_final(ticket, &mut norm_buf));
         }
         logits_out
+    }
+
+    /// Join a pre-submitted final-norm ticket and project it through the
+    /// output head. Decoding reuses the forward pass's norm buffer.
+    fn collect_final(&self, mut ticket: NormTicket, norm_buf: &mut [F]) -> Vec<F> {
+        let response = ticket
+            .wait()
+            .expect("norm wiring: the final-norm service outlives the forward pass");
+        for (slot, &b) in norm_buf.iter_mut().zip(response.bits()) {
+            *slot = F::from_bits(b);
+        }
+        self.head.matvec_bias(norm_buf, &self.head_bias)
     }
 
     /// Negative log-likelihood subtotal of one window: `(Σ nll, predicted)`

@@ -48,8 +48,8 @@ pub mod prelude {
     pub use iterl2norm::{
         build_backend, layer_norm, layer_norm_detailed, BackendKind, ExecFloat, FormatKind,
         IterConfig, IterL2Norm, LayerNormInputs, MethodSpec, NormBackend, NormError, NormPlan,
-        NormRequest, NormService, NormServicePool, NormStats, Normalizer, ReduceOrder, RsqrtScale,
-        ScaleMethod, ServiceConfig, StopRule,
+        NormRequest, NormService, NormServicePool, NormStats, NormTicket, Normalizer, Placement,
+        ReduceOrder, RsqrtScale, ScaleMethod, ServiceConfig, StopRule,
     };
     pub use macrosim::{IterL2NormMacro, MacroConfig};
     pub use softfloat::{Bf16, Float, Fp16, Fp32, HostF32};
