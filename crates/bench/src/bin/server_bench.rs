@@ -1,0 +1,12 @@
+//! Network serving bench: wire protocol + admission measured end to end
+//! over TCP and Unix sockets, closed and open loop, with a
+//! gold/silver/bronze tenant mix, emitting `results/BENCH_server.json`.
+//!
+//! Requests per worker connection via `ITERL2_BENCH_REQS` (default 200).
+fn main() -> std::io::Result<()> {
+    let requests = std::env::var("ITERL2_BENCH_REQS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    benchkit::experiments::server::run(requests)
+}

@@ -7,6 +7,7 @@ pub mod fig3_precision;
 pub mod fig4_convergence;
 pub mod fig5_latency;
 pub mod fig6_breakdown;
+pub mod server;
 pub mod service;
 pub mod table1_fisr_cmp;
 pub mod table2_synthesis;

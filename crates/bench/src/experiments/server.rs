@@ -1,0 +1,322 @@
+//! Network serving bench: the wire protocol + admission layer measured
+//! end to end with the `workloads` load generator, over TCP and Unix
+//! sockets, closed and open loop, with a three-class tenant mix —
+//! emitting per-class p50/p99/p999 latency to `results/BENCH_server.json`.
+//!
+//! The tenant mix is the multi-tenant story in miniature:
+//!
+//! * **gold** — configured high priority, generous quota; its requests
+//!   jump the combining queue.
+//! * **silver** — configured normal priority, generous quota; the
+//!   baseline class.
+//! * **bronze** — tight token bucket (rate 50/s, burst 10); the class
+//!   that *should* see `over-quota` rejections under load, proving the
+//!   admission layer isolates the other two.
+//!
+//! A self-check runs before any numbers are reported: one probe request
+//! per transport must return bits identical to a direct in-process
+//! `NormService::submit` of the same payload — the wire is a transport
+//! knob, never a results knob.
+//!
+//! Honest caveat, mirroring the service bench: this container is
+//! single-core, so client and server threads time-slice one CPU and the
+//! measured latency includes scheduler hops a real deployment would not
+//! pay. The numbers are for *comparing transports and arrival models on
+//! this host* and regression-tracking the wire overhead, not for
+//! absolute-latency claims. Re-run on a multi-core host before quoting.
+
+use std::time::Instant;
+
+use iterl2norm::backend::{BackendKind, FormatKind};
+use iterl2norm::service::{NormRequest, ServiceConfig};
+use iterl2norm::{MethodSpec, Placement, Priority};
+use normserver::{serve, Admission, NormClient, ServerHandle, ServerOptions, TenantSpec};
+use workloads::loadgen::{payload_bits, run_load, Arrival, LoadConfig, LoadReport, TenantClass};
+
+use crate::io::{banner, print_table, write_json};
+
+/// Row length for every point — the paper's BERT-base hidden size.
+const D: usize = 768;
+/// Rows per request.
+const ROWS: usize = 4;
+/// Concurrent client connections.
+const WORKERS: usize = 4;
+/// Shards behind the served `NormService`.
+const SHARDS: usize = 2;
+/// Offered aggregate rate for the open-loop points, requests/s.
+const OPEN_RATE: f64 = 400.0;
+
+/// The admission table every point serves under.
+fn admission() -> Admission {
+    Admission::new(
+        vec![
+            TenantSpec {
+                tenant: 1,
+                rate: 100_000.0,
+                burst: 100_000.0,
+                priority: Priority::High,
+            },
+            TenantSpec {
+                tenant: 2,
+                rate: 100_000.0,
+                burst: 100_000.0,
+                priority: Priority::Normal,
+            },
+            TenantSpec {
+                tenant: 3,
+                rate: 50.0,
+                burst: 10.0,
+                priority: Priority::Normal,
+            },
+        ],
+        Instant::now(),
+    )
+}
+
+/// The traffic mix driving every point.
+fn classes() -> Vec<TenantClass> {
+    vec![
+        TenantClass {
+            name: "gold".into(),
+            tenant: 1,
+            weight: 1,
+            keyed_fraction: 0.5,
+            sessions: 8,
+            high_priority: true,
+        },
+        TenantClass {
+            name: "silver".into(),
+            tenant: 2,
+            weight: 2,
+            keyed_fraction: 0.5,
+            sessions: 8,
+            high_priority: false,
+        },
+        TenantClass {
+            name: "bronze".into(),
+            tenant: 3,
+            weight: 1,
+            keyed_fraction: 0.0,
+            sessions: 0,
+            high_priority: false,
+        },
+    ]
+}
+
+/// Build and start the served service; both listeners share one service
+/// and one admission table.
+fn start_server(unix_path: &std::path::Path) -> std::io::Result<ServerHandle> {
+    let service = ServiceConfig::new(D)
+        .with_backend(BackendKind::Native)
+        .with_format(FormatKind::Fp32)
+        .with_method(MethodSpec::iterl2(5))
+        .with_shards(SHARDS)
+        .with_placement(Placement::RequestHash)
+        .build()
+        .map_err(std::io::Error::other)?;
+    serve(
+        service,
+        admission(),
+        ServerOptions::default(),
+        Some("127.0.0.1:0"),
+        Some(unix_path),
+    )
+}
+
+/// Probe the server over `connect` and assert the reply bits match a
+/// direct in-process submit of the same payload.
+fn check_bit_identity(
+    handle: &ServerHandle,
+    transport: &str,
+    mut client: NormClient,
+) -> std::io::Result<()> {
+    let probe = payload_bits(D, ROWS, 0);
+    let direct = handle
+        .service()
+        .submit(NormRequest::bits(&probe))
+        .map_err(std::io::Error::other)?;
+    let reply = client
+        .request(&normserver::ClientRequest::new(2, D as u32, &probe))
+        .map_err(std::io::Error::other)?;
+    match reply {
+        normserver::ServerReply::Bits { bits, rows, .. } => {
+            assert_eq!(rows as usize, ROWS, "probe row count over {transport}");
+            assert_eq!(
+                bits,
+                direct.bits(),
+                "wire output diverged from direct execution over {transport}"
+            );
+            Ok(())
+        }
+        normserver::ServerReply::Rejected(err) => Err(std::io::Error::other(format!(
+            "probe over {transport} rejected: {err:?}"
+        ))),
+    }
+}
+
+/// One measured point: transport × arrival.
+struct Point {
+    transport: &'static str,
+    report: LoadReport,
+}
+
+/// Run the server bench: `requests_per_worker` requests per connection
+/// per point, printing the table and writing `results/BENCH_server.json`.
+///
+/// # Errors
+///
+/// Server start, wire, and JSON-write failures.
+pub fn run(requests_per_worker: usize) -> std::io::Result<()> {
+    banner(
+        "Network serving — wire protocol + admission, TCP and Unix, \
+         closed and open loop, gold/silver/bronze tenant mix",
+    );
+
+    let unix_path = std::env::temp_dir().join(format!("iterl2-bench-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&unix_path);
+    let handle = start_server(&unix_path)?;
+    let tcp_addr = handle.tcp_addr().expect("tcp listener was requested");
+
+    // The wire must be bit-faithful before any latency is reported.
+    check_bit_identity(&handle, "tcp", NormClient::connect_tcp(tcp_addr)?)?;
+    check_bit_identity(&handle, "unix", NormClient::connect_unix(&unix_path)?)?;
+
+    let arrivals = [
+        Arrival::Closed,
+        Arrival::Open {
+            rate_per_s: OPEN_RATE,
+        },
+    ];
+    let mut points: Vec<Point> = Vec::new();
+    let mut table = Vec::new();
+    for transport in ["tcp", "unix"] {
+        for arrival in arrivals {
+            let config = LoadConfig {
+                d: D,
+                rows_per_request: ROWS,
+                workers: WORKERS,
+                requests_per_worker,
+                arrival,
+                classes: classes(),
+                seed: 0x5EED_0007,
+            };
+            let report = match transport {
+                "tcp" => run_load(&config, || NormClient::connect_tcp(tcp_addr)),
+                _ => run_load(&config, || NormClient::connect_unix(&unix_path)),
+            }
+            .map_err(std::io::Error::other)?;
+            for class in &report.classes {
+                table.push(vec![
+                    transport.to_string(),
+                    arrival.name().to_string(),
+                    class.name.clone(),
+                    class.sent.to_string(),
+                    class.ok.to_string(),
+                    class.rejected_quota.to_string(),
+                    class.latency.p50_us.to_string(),
+                    class.latency.p99_us.to_string(),
+                    class.latency.p999_us.to_string(),
+                ]);
+            }
+            points.push(Point { transport, report });
+        }
+    }
+
+    print_table(
+        &[
+            "transport",
+            "arrival",
+            "class",
+            "sent",
+            "ok",
+            "rej-quota",
+            "p50 us",
+            "p99 us",
+            "p999 us",
+        ],
+        &table,
+    );
+
+    let snapshot = handle.service().stats().snapshot();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"server_latency\",\n");
+    json.push_str(&format!("  \"d\": {D},\n"));
+    json.push_str(&format!("  \"rows_per_request\": {ROWS},\n"));
+    json.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    json.push_str(&format!(
+        "  \"requests_per_worker\": {requests_per_worker},\n"
+    ));
+    json.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    json.push_str("  \"placement\": \"request-hash\",\n");
+    json.push_str(&format!("  \"open_rate_per_s\": {OPEN_RATE:.1},\n"));
+    json.push_str("  \"bit_identity_checked\": true,\n");
+    json.push_str("  \"points\": [\n");
+    for (i, point) in points.iter().enumerate() {
+        let r = &point.report;
+        json.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"arrival\": \"{}\", \
+             \"wall_s\": {:.3}, \"sent\": {}, \"ok\": {}, \
+             \"achieved_rps\": {:.1}, \"offered_rps\": {}, \"classes\": [\n",
+            point.transport,
+            if r.offered_rps.is_some() {
+                "open"
+            } else {
+                "closed"
+            },
+            r.wall_s,
+            r.sent,
+            r.ok,
+            r.achieved_rps,
+            r.offered_rps
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "null".into()),
+        ));
+        for (j, class) in r.classes.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"class\": \"{}\", \"tenant\": {}, \"sent\": {}, \
+                 \"ok\": {}, \"rows\": {}, \"rejected_quota\": {}, \
+                 \"rejected_queue_full\": {}, \"rejected_other\": {}, \
+                 \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+                 \"max_us\": {}, \"mean_us\": {}}}{}\n",
+                class.name,
+                class.tenant,
+                class.sent,
+                class.ok,
+                class.rows,
+                class.rejected_quota,
+                class.rejected_queue_full,
+                class.rejected_other,
+                class.latency.p50_us,
+                class.latency.p99_us,
+                class.latency.p999_us,
+                class.latency.max_us,
+                class.latency.mean_us,
+                if j + 1 < r.classes.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    // The served service's own counters, from the stable snapshot — the
+    // same fields the in-band metrics export renders, so the two cannot
+    // drift.
+    json.push_str("  \"service_stats\": {");
+    let fields = snapshot.fields();
+    for (i, (name, value)) in fields.iter().enumerate() {
+        json.push_str(&format!(
+            "\"{name}\": {value}{}",
+            if i + 1 < fields.len() { ", " } else { "" }
+        ));
+    }
+    json.push_str("}\n}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&unix_path);
+    let path = write_json("BENCH_server", &json)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}

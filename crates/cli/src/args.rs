@@ -13,7 +13,7 @@ pub struct Parsed {
 
 /// Option keys that take a value; anything else starting with `--` is a
 /// boolean flag.
-const VALUED: [&str; 13] = [
+const VALUED: [&str; 16] = [
     "format",
     "steps",
     "d",
@@ -27,6 +27,9 @@ const VALUED: [&str; 13] = [
     "shards",
     "queue-depth",
     "placement",
+    "listen",
+    "unix",
+    "tenants",
 ];
 
 impl Parsed {
@@ -130,6 +133,24 @@ mod tests {
         let p = Parsed::parse(&sv(&["--placement", "request-hash"])).unwrap();
         assert_eq!(p.get("placement"), Some("request-hash"));
         assert!(Parsed::parse(&sv(&["--placement"])).is_err());
+    }
+
+    #[test]
+    fn serve_options_parse_as_values() {
+        let p = Parsed::parse(&sv(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--unix",
+            "/tmp/norm.sock",
+            "--tenants",
+            "1:100:10:high;2:50:5",
+        ]))
+        .unwrap();
+        assert_eq!(p.get("listen"), Some("127.0.0.1:0"));
+        assert_eq!(p.get("unix"), Some("/tmp/norm.sock"));
+        assert_eq!(p.get("tenants"), Some("1:100:10:high;2:50:5"));
+        assert!(Parsed::parse(&sv(&["--listen"])).is_err());
+        assert!(Parsed::parse(&sv(&["--tenants"])).is_err());
     }
 
     #[test]

@@ -41,6 +41,14 @@ USAGE:
                    [--shards S] [--queue-depth Q] [--placement P]
       Normalize a random R x LEN batch through the engine, printing rows/s
       for the per-call path vs the plan/batch path.
+  iterl2norm serve --listen ADDR | --unix PATH [--d LEN] [--format …]
+                   [--backend B] [--method M] [--threads N] [--shards S]
+                   [--queue-depth Q] [--placement P] [--tenants SPEC]
+      Serve the engine over the wire protocol (TCP and/or Unix socket)
+      until interrupted. --tenants configures per-tenant admission:
+      'id:rate:burst[:priority]' entries separated by ';', e.g.
+      '1:100:20:high;2:50:10'. Unlisted tenants are admitted unlimited
+      at normal priority.
   iterl2norm help
       This text.
 
@@ -370,6 +378,61 @@ pub fn demo(parsed: &Parsed) -> Result<(), String> {
         "avg |err| {:.3e}   max |err| {:.3e}   over {} elements",
         stats.avg_abs, stats.max_abs, stats.count
     );
+    Ok(())
+}
+
+/// Build and start the network server for `serve` — the testable half:
+/// returns the running [`ServerHandle`](normserver::ServerHandle) so
+/// tests can bind an ephemeral port, poke it, and shut it down.
+pub fn serve_impl(parsed: &Parsed) -> Result<normserver::ServerHandle, String> {
+    let listen = parsed.get("listen");
+    let unix = parsed.get("unix");
+    if listen.is_none() && unix.is_none() {
+        return Err("serve needs --listen ADDR and/or --unix PATH".into());
+    }
+    let d: usize = parsed.num("d", 768)?;
+    if d == 0 {
+        return Err("serve needs --d at least 1".into());
+    }
+    let spec = method_spec(parsed)?;
+    let threads = threads_arg(parsed)?;
+    let service = build_service(parsed, d, spec, threads)?;
+    let admission = match parsed.get("tenants") {
+        None => normserver::Admission::open(),
+        Some(text) => {
+            let specs = normserver::TenantSpec::parse_list(text)
+                .map_err(|e| format!("option --tenants: {e}"))?;
+            normserver::Admission::new(specs, Instant::now())
+        }
+    };
+    normserver::serve(
+        service,
+        admission,
+        normserver::ServerOptions::default(),
+        listen,
+        unix.map(std::path::Path::new),
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// `serve` subcommand: start the server, print where it listens, and
+/// block until the process is interrupted.
+pub fn serve(parsed: &Parsed) -> Result<(), String> {
+    let handle = serve_impl(parsed)?;
+    if let Some(addr) = handle.tcp_addr() {
+        println!("listening on tcp {addr}");
+    }
+    if let Some(path) = handle.unix_path() {
+        println!("listening on unix {}", path.display());
+    }
+    println!(
+        "service: d {}  format {}  backend {}  method {}",
+        handle.service().d(),
+        handle.service().format().name(),
+        handle.service().backend().name(),
+        handle.service().method().label()
+    );
+    handle.wait();
     Ok(())
 }
 

@@ -339,6 +339,49 @@ fn unknown_backend_and_bad_threads_are_rejected() {
 }
 
 #[test]
+fn serve_requires_a_listener_and_validates_flags() {
+    // No listener at all: rejected with both options named.
+    let err = commands::serve_impl(&parsed(&[])).unwrap_err();
+    assert!(err.contains("--listen") && err.contains("--unix"), "{err}");
+    // Bad tenant specs are rejected with the option named before any
+    // socket is bound.
+    for bad in ["1:100", "1:-5:10", "x:1:1", "1:1:0", "1:1:1;1:2:2"] {
+        let err = commands::serve_impl(&parsed(&["--listen", "127.0.0.1:0", "--tenants", bad]))
+            .unwrap_err();
+        assert!(err.contains("--tenants"), "{bad:?}: {err}");
+    }
+    // Service-config validation still applies.
+    let err = commands::serve_impl(&parsed(&["--listen", "127.0.0.1:0", "--d", "0"])).unwrap_err();
+    assert!(err.contains("--d"), "{err}");
+    let err =
+        commands::serve_impl(&parsed(&["--listen", "127.0.0.1:0", "--shards", "0"])).unwrap_err();
+    assert!(err.contains("--shards"), "{err}");
+    // An unbindable address surfaces as an error, not a hang.
+    assert!(commands::serve_impl(&parsed(&["--listen", "256.0.0.1:bad"])).is_err());
+}
+
+#[test]
+fn serve_binds_an_ephemeral_port_and_shuts_down() {
+    let handle = commands::serve_impl(&parsed(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--d",
+        "32",
+        "--shards",
+        "2",
+        "--placement",
+        "request-hash",
+        "--tenants",
+        "1:100:20:high;2:50:10",
+    ]))
+    .unwrap();
+    let addr = handle.tcp_addr().expect("tcp listener was requested");
+    assert_ne!(addr.port(), 0, "ephemeral port was assigned");
+    assert_eq!(handle.service().d(), 32);
+    handle.shutdown();
+}
+
+#[test]
 fn backend_and_threads_take_values() {
     // Both are valued options: trailing flag with no value is a parse
     // error, not a silent boolean.

@@ -97,6 +97,6 @@ pub use layernorm::{
     RsqrtScale,
 };
 pub use service::{
-    NormRequest, NormResponse, NormService, NormServicePool, NormTicket, Placement, ScalarTrace,
-    ServiceConfig, ServiceStats,
+    NormRequest, NormResponse, NormService, NormServicePool, NormTicket, Placement, Priority,
+    ScalarTrace, ServiceConfig, ServiceStats, ServiceStatsSnapshot,
 };

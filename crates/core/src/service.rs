@@ -558,6 +558,57 @@ impl core::fmt::Display for Placement {
     }
 }
 
+/// How urgently a shard's combining queue treats a request. Priority is a
+/// *scheduling* property: it decides where a request parks in the waiting
+/// line and how the queue-depth bound applies to it — **never output
+/// bits** (every request executes the identical plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// The default class: admitted while the shard's waiting line is
+    /// below the configured queue depth, served in arrival order.
+    #[default]
+    Normal,
+    /// Jump the combining queue: a high-priority request is inserted at
+    /// the *front* of the waiting line (it rides the next round ahead of
+    /// every parked normal request) and is admitted even when the line is
+    /// nominally full, up to a reserved overflow of one extra queue-depth
+    /// that normal traffic can never occupy (beyond `2 × depth` waiting
+    /// requests even high-priority work is shed with
+    /// [`NormError::QueueFull`], so backpressure stays bounded). Quota
+    /// policy for *who may use* this class belongs to the layer above —
+    /// the network server's per-tenant admission control.
+    High,
+}
+
+impl Priority {
+    /// Every priority class, for sweeps and CLI help.
+    pub const ALL: [Priority; 2] = [Priority::Normal, Priority::High];
+
+    /// Parse a priority name (`"normal"`, `"high"`), case-insensitively.
+    /// Returns `None` for anything else.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text.to_ascii_lowercase().as_str() {
+            "normal" => Some(Priority::Normal),
+            "high" => Some(Priority::High),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (`"normal"` / `"high"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
+impl core::fmt::Display for Priority {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One unit of normalization work: row-major data with stride `d`, plus
 /// an optional placement key.
 ///
@@ -571,6 +622,7 @@ impl core::fmt::Display for Placement {
 pub struct NormRequest<'a> {
     payload: Payload<'a>,
     key: Option<u64>,
+    priority: Priority,
 }
 
 /// The two accepted payload encodings.
@@ -588,6 +640,7 @@ impl<'a> NormRequest<'a> {
         NormRequest {
             payload: Payload::Bits(data),
             key: None,
+            priority: Priority::Normal,
         }
     }
 
@@ -596,6 +649,7 @@ impl<'a> NormRequest<'a> {
         NormRequest {
             payload: Payload::F32(data),
             key: None,
+            priority: Priority::Normal,
         }
     }
 
@@ -613,6 +667,21 @@ impl<'a> NormRequest<'a> {
     /// [`with_key`](NormRequest::with_key).
     pub fn key(&self) -> Option<u64> {
         self.key
+    }
+
+    /// Same request in the given scheduling class.
+    /// [`Priority::High`] requests jump the shard's combining queue and
+    /// may use its reserved overflow region (see [`Priority`]); priority
+    /// never affects output bits.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The request's scheduling class ([`Priority::Normal`] unless set
+    /// with [`with_priority`](NormRequest::with_priority)).
+    pub fn priority(&self) -> Priority {
+        self.priority
     }
 
     /// Number of `u32`/`f32` elements in the request.
@@ -846,6 +915,69 @@ impl ServiceStats {
         self.abandoned_tickets += other.abandoned_tickets;
         self.queue_wait += other.queue_wait;
         self.execute += other.execute;
+    }
+
+    /// Freeze these counters into the stable export form every external
+    /// consumer (metrics text, bench JSON) reads. Durations become
+    /// microseconds so the snapshot is plain integers end to end.
+    pub fn snapshot(&self) -> ServiceStatsSnapshot {
+        let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        ServiceStatsSnapshot {
+            requests: self.requests,
+            batches: self.batches,
+            coalesced_requests: self.coalesced_requests,
+            rows: self.rows,
+            queue_full_rejections: self.queue_full_rejections,
+            abandoned_tickets: self.abandoned_tickets,
+            queue_wait_us: us(self.queue_wait),
+            execute_us: us(self.execute),
+        }
+    }
+}
+
+/// A stable, explicitly named snapshot of [`ServiceStats`] for export.
+///
+/// This is the *one* bridge between the service's counters and anything
+/// serialized outside the process — the network server's `/metrics` text
+/// and the bench suite's `BENCH_server.json` both iterate
+/// [`fields`](ServiceStatsSnapshot::fields) rather than naming counters
+/// ad hoc, so the two formats cannot silently drift apart (or from the
+/// counters themselves) when a field is added or renamed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStatsSnapshot {
+    /// Requests accepted (valid shape, not rejected at the door).
+    pub requests: u64,
+    /// Backend batch calls issued.
+    pub batches: u64,
+    /// Requests that shared a batch with at least one other request.
+    pub coalesced_requests: u64,
+    /// Total rows normalized.
+    pub rows: u64,
+    /// Requests shed with [`NormError::QueueFull`].
+    pub queue_full_rejections: u64,
+    /// [`NormTicket`]s dropped before their result was taken.
+    pub abandoned_tickets: u64,
+    /// Cumulative queue wait (acceptance → backend execution start), µs.
+    pub queue_wait_us: u64,
+    /// Cumulative backend execution wall time, µs.
+    pub execute_us: u64,
+}
+
+impl ServiceStatsSnapshot {
+    /// Every counter as a `(name, value)` pair, in a fixed order.
+    /// Exporters iterate this instead of naming fields, so field coverage
+    /// is total by construction.
+    pub fn fields(&self) -> [(&'static str, u64); 8] {
+        [
+            ("requests", self.requests),
+            ("batches", self.batches),
+            ("coalesced_requests", self.coalesced_requests),
+            ("rows", self.rows),
+            ("queue_full_rejections", self.queue_full_rejections),
+            ("abandoned_tickets", self.abandoned_tickets),
+            ("queue_wait_us", self.queue_wait_us),
+            ("execute_us", self.execute_us),
+        ]
     }
 }
 
@@ -1583,6 +1715,11 @@ impl NormService {
     /// per-element format conversions overlap instead of serializing,
     /// then a re-check under the lock (the line may have filled while we
     /// encoded) before the entry parks. Returns the entry's mailbox.
+    ///
+    /// [`Priority::High`] requests are admitted against a relaxed bound
+    /// (`2 × depth` — the reserved overflow region normal traffic cannot
+    /// touch) and park at the *front* of the line, so they ride the next
+    /// round ahead of every already-waiting normal request.
     fn enqueue(
         &self,
         shard: &Shard,
@@ -1590,9 +1727,13 @@ impl NormService {
         accepted: Instant,
     ) -> Result<Arc<Slot>, NormError> {
         let depth = self.inner.config.queue_depth;
+        let limit = match request.priority() {
+            Priority::Normal => depth,
+            Priority::High => depth.saturating_mul(2),
+        };
         {
             let mut queue = self.inner.queue_of(shard);
-            if queue.waiting() >= depth {
+            if queue.waiting() >= limit {
                 queue.stats.queue_full_rejections += 1;
                 return Err(NormError::QueueFull { depth });
             }
@@ -1601,7 +1742,7 @@ impl NormService {
         request.encode_into(self.inner.config.format, &mut bits);
         let slot = Slot::new(Arc::clone(&shard.pool));
         let mut queue = self.inner.queue_of(shard);
-        if queue.waiting() >= depth {
+        if queue.waiting() >= limit {
             // Shed after all, returning the payload lease.
             queue.stats.queue_full_rejections += 1;
             drop(queue);
@@ -1609,11 +1750,18 @@ impl NormService {
             return Err(NormError::QueueFull { depth });
         }
         queue.stats.requests += 1;
-        queue.pending.push(PendingEntry {
+        let entry = PendingEntry {
             bits,
             slot: Arc::clone(&slot),
             accepted,
-        });
+        };
+        match request.priority() {
+            Priority::Normal => queue.pending.push(entry),
+            // Jump the line. Within one drained round batch layout is
+            // queue order, so front insertion puts this request's rows
+            // first in the next backend call as well.
+            Priority::High => queue.pending.insert(0, entry),
+        }
         Ok(slot)
     }
 
@@ -2877,5 +3025,99 @@ mod tests {
         assert_eq!(plain.with_key(9).key(), Some(9));
         let values = [0.0f32; 4];
         assert_eq!(NormRequest::f32(&values).with_key(3).key(), Some(3));
+    }
+
+    #[test]
+    fn priority_parses_and_displays() {
+        assert_eq!(Priority::parse("normal"), Some(Priority::Normal));
+        assert_eq!(Priority::parse("HIGH"), Some(Priority::High));
+        assert_eq!(Priority::parse("urgent"), None);
+        for priority in Priority::ALL {
+            assert_eq!(Priority::parse(priority.name()), Some(priority));
+            assert_eq!(priority.to_string(), priority.name());
+        }
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn request_priority_accessors_round_trip() {
+        let data = [0u32; 4];
+        assert_eq!(NormRequest::bits(&data).priority(), Priority::Normal);
+        assert_eq!(
+            NormRequest::bits(&data)
+                .with_priority(Priority::High)
+                .priority(),
+            Priority::High
+        );
+        // Priority composes with keys and never affects output bits.
+        let d = 8;
+        let service = ServiceConfig::new(d).build().unwrap();
+        let bits = row_bits(d, 3);
+        let normal = service.submit(NormRequest::bits(&bits)).unwrap();
+        let high = service
+            .submit(
+                NormRequest::bits(&bits)
+                    .with_priority(Priority::High)
+                    .with_key(5),
+            )
+            .unwrap();
+        assert_eq!(normal.bits(), high.bits());
+    }
+
+    #[test]
+    fn stats_snapshot_mirrors_every_counter() {
+        let stats = ServiceStats {
+            requests: 1,
+            batches: 2,
+            coalesced_requests: 3,
+            rows: 4,
+            queue_full_rejections: 5,
+            abandoned_tickets: 6,
+            queue_wait: Duration::from_micros(7),
+            execute: Duration::from_micros(8),
+        };
+        let snap = stats.snapshot();
+        assert_eq!(snap.queue_wait_us, 7);
+        assert_eq!(snap.execute_us, 8);
+        // fields() covers each counter exactly once, in declaration
+        // order, with the struct's own values.
+        let fields = snap.fields();
+        let expect = [
+            ("requests", 1u64),
+            ("batches", 2),
+            ("coalesced_requests", 3),
+            ("rows", 4),
+            ("queue_full_rejections", 5),
+            ("abandoned_tickets", 6),
+            ("queue_wait_us", 7),
+            ("execute_us", 8),
+        ];
+        assert_eq!(fields, expect);
+        let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), fields.len(), "duplicate field name");
+    }
+
+    #[test]
+    fn stats_snapshot_saturates_on_absurd_durations() {
+        let stats = ServiceStats {
+            queue_wait: Duration::MAX,
+            ..ServiceStats::default()
+        };
+        assert_eq!(stats.snapshot().queue_wait_us, u64::MAX);
+    }
+
+    #[test]
+    fn live_service_snapshot_tracks_traffic() {
+        let d = 8;
+        let service = ServiceConfig::new(d).build().unwrap();
+        let bits = row_bits(d, 1);
+        service.submit(NormRequest::bits(&bits)).unwrap();
+        service.submit(NormRequest::bits(&bits)).unwrap();
+        let snap = service.stats().snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.rows, 2);
+        assert_eq!(snap.queue_full_rejections, 0);
     }
 }

@@ -22,7 +22,7 @@ use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::Duration;
 
 use iterl2norm::service::{NormRequest, ServiceConfig};
-use iterl2norm::{BackendKind, NormBackend, NormError, RowMoments};
+use iterl2norm::{BackendKind, NormBackend, NormError, Priority, RowMoments};
 
 const D: usize = 8;
 
@@ -648,4 +648,176 @@ fn panicking_leader_fails_queued_tickets_cleanly() {
         service.submit_async(NormRequest::bits(&bits)).unwrap_err(),
         NormError::ServiceShutdown
     );
+}
+
+#[test]
+fn high_priority_is_admitted_past_a_full_waiting_line() {
+    // The priority class's admission contract at queue depth 1: once the
+    // line is full, normal traffic is shed but a high-priority request is
+    // still admitted into the reserved overflow region — and that region
+    // itself is bounded at one extra depth, so a second high request is
+    // shed too. Backpressure stays bounded for every class.
+    let gate = Gate::new();
+    let service = gated_service(&gate, false, 1);
+
+    std::thread::scope(|scope| {
+        // Occupies the backend (blocked at the gate).
+        let executing = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(90);
+                service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+            })
+        };
+        gate.await_entered();
+
+        // Fills the single waiting slot.
+        let normal_bits = row_bits(91);
+        let mut normal = service
+            .submit_async(NormRequest::bits(&normal_bits))
+            .unwrap();
+
+        // Normal traffic now sheds…
+        let shed = row_bits(92);
+        assert_eq!(
+            service.submit_async(NormRequest::bits(&shed)).unwrap_err(),
+            NormError::QueueFull { depth: 1 }
+        );
+
+        // …but a high-priority request jumps the full line.
+        let high_bits = row_bits(93);
+        let mut high = service
+            .submit_async(NormRequest::bits(&high_bits).with_priority(Priority::High))
+            .unwrap();
+
+        // The overflow region is itself bounded: 2 × depth waiting
+        // requests refuse even high-priority work.
+        assert_eq!(
+            service
+                .submit_async(NormRequest::bits(&shed).with_priority(Priority::High))
+                .unwrap_err(),
+            NormError::QueueFull { depth: 1 }
+        );
+
+        gate.open();
+        assert_eq!(executing.join().unwrap(), Ok(1));
+        assert_eq!(normal.wait().unwrap().bits(), &normal_bits[..]);
+        assert_eq!(high.wait().unwrap().bits(), &high_bits[..]);
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.queue_full_rejections, 2);
+}
+
+/// An injected backend that records every batch it executes (input bits,
+/// in batch order) after waiting at the gate — how the priority tests
+/// observe where in a combined round each request's rows landed.
+struct RecordingBackend {
+    gate: Arc<Gate>,
+    batches: Arc<Mutex<Vec<Vec<u32>>>>,
+}
+
+impl NormBackend for RecordingBackend {
+    fn backend(&self) -> BackendKind {
+        BackendKind::Emulated
+    }
+
+    fn format_name(&self) -> &'static str {
+        "FP32"
+    }
+
+    fn d(&self) -> usize {
+        D
+    }
+
+    fn method_label(&self) -> String {
+        "recording-test".into()
+    }
+
+    fn normalize_batch_bits(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+        _threads: usize,
+    ) -> Result<usize, NormError> {
+        self.gate.pass();
+        self.batches.lock().unwrap().push(input.to_vec());
+        out.copy_from_slice(input);
+        Ok(input.len() / D)
+    }
+
+    fn normalize_row_bits_detailed(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+    ) -> Result<RowMoments, NormError> {
+        self.normalize_batch_bits(input, out, 1)?;
+        Ok(RowMoments {
+            mean: 0.0,
+            m: 1.0,
+            scale: 1.0,
+        })
+    }
+}
+
+#[test]
+fn high_priority_rides_at_the_front_of_the_next_round() {
+    // Ordering half of the priority contract: a high request submitted
+    // *after* a parked normal request still leads the next combined
+    // round — its rows come first in the backend's batch input.
+    let gate = Gate::new();
+    let batches: Arc<Mutex<Vec<Vec<u32>>>> = Arc::new(Mutex::new(Vec::new()));
+    let service = ServiceConfig::new(D)
+        .with_queue_depth(8)
+        .build_with_backends(|| {
+            Box::new(RecordingBackend {
+                gate: Arc::clone(&gate),
+                batches: Arc::clone(&batches),
+            })
+        })
+        .unwrap();
+
+    let normal_bits = row_bits(94);
+    let high_bits = row_bits(95);
+    std::thread::scope(|scope| {
+        // Leader occupies the backend; everything below queues behind it.
+        let leader = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(96);
+                service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+            })
+        };
+        gate.await_entered();
+
+        // Normal first, high second — arrival order.
+        let mut normal = service
+            .submit_async(NormRequest::bits(&normal_bits))
+            .unwrap();
+        let mut high = service
+            .submit_async(NormRequest::bits(&high_bits).with_priority(Priority::High))
+            .unwrap();
+        await_accepted(&service, 3);
+
+        gate.open();
+        assert_eq!(leader.join().unwrap(), Ok(1));
+        let normal_response = normal.wait().unwrap();
+        let high_response = high.wait().unwrap();
+        // Both rode one combined round, bits intact.
+        assert_eq!(normal_response.bits(), &normal_bits[..]);
+        assert_eq!(high_response.bits(), &high_bits[..]);
+        assert_eq!(high_response.batch_requests(), 2);
+    });
+
+    let batches = batches.lock().unwrap();
+    assert_eq!(batches.len(), 2, "leader round + one combined round");
+    // The combined round's batch starts with the high request's rows even
+    // though the normal request arrived first.
+    assert_eq!(
+        &batches[1][..D],
+        &high_bits[..],
+        "high-priority rows must lead the combined batch"
+    );
+    assert_eq!(&batches[1][D..], &normal_bits[..]);
 }

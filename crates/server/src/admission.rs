@@ -1,0 +1,353 @@
+//! Per-tenant admission control: token-bucket quotas and priority
+//! classes, layered on top of the service's per-shard backpressure.
+//!
+//! The division of labor is deliberate:
+//!
+//! * the **token bucket** here answers "may this tenant enter at all?" —
+//!   a long-term rate with a burst allowance, so one tenant cannot starve
+//!   the rest no matter how fast it sends;
+//! * the service's **queue-depth bound** answers "can the placed shard
+//!   hold the work right now?" — instantaneous backpressure, shared by
+//!   all tenants;
+//! * the tenant's **priority class** decides where an admitted request
+//!   parks in the combining queue ([`Priority::High`] jumps the line —
+//!   see [`iterl2norm::Priority`]).
+//!
+//! Tenants without a configured [`TenantSpec`] are admitted without a
+//! quota at [`Priority::Normal`] — the open-by-default posture a loopback
+//! test rig wants; a production deployment configures every tenant it
+//! cares about. Buckets start full (a configured tenant can always spend
+//! its burst immediately) and refill continuously at `rate` tokens per
+//! second up to `burst`.
+//!
+//! Time is injected ([`Admission::admit_at`]) so quota behavior is
+//! deterministic under test; the serving path uses the wall clock via
+//! [`Admission::admit`].
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use iterl2norm::Priority;
+
+/// One tenant's admission configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// The tenant id requests bill to (the request frame's `tenant`).
+    pub tenant: u64,
+    /// Sustained admission rate, requests per second. `0` means the
+    /// tenant never refills — it gets exactly its burst, ever (useful in
+    /// tests and as a hard cutoff).
+    pub rate: f64,
+    /// Bucket capacity: how many requests the tenant may burst above its
+    /// sustained rate. Buckets start full.
+    pub burst: f64,
+    /// The scheduling class this tenant's admitted requests run at.
+    pub priority: Priority,
+}
+
+impl TenantSpec {
+    /// Parse one spec from the CLI grammar `id:rate:burst[:priority]`,
+    /// e.g. `7:100:20:high`. Priority defaults to `normal`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = text.split(':').collect();
+        if !(3..=4).contains(&parts.len()) {
+            return Err(format!(
+                "tenant spec '{text}' must be id:rate:burst[:priority]"
+            ));
+        }
+        let tenant: u64 = parts[0]
+            .trim()
+            .parse()
+            .map_err(|_| format!("tenant spec '{text}': bad tenant id '{}'", parts[0]))?;
+        let rate: f64 = parts[1]
+            .trim()
+            .parse()
+            .map_err(|_| format!("tenant spec '{text}': bad rate '{}'", parts[1]))?;
+        let burst: f64 = parts[2]
+            .trim()
+            .parse()
+            .map_err(|_| format!("tenant spec '{text}': bad burst '{}'", parts[2]))?;
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(format!(
+                "tenant spec '{text}': rate must be finite and >= 0"
+            ));
+        }
+        if !burst.is_finite() || burst < 1.0 {
+            return Err(format!(
+                "tenant spec '{text}': burst must be finite and >= 1 \
+                 (a tenant that can never send is a misconfiguration)"
+            ));
+        }
+        let priority = match parts.get(3) {
+            None => Priority::Normal,
+            Some(name) => Priority::parse(name.trim()).ok_or_else(|| {
+                format!("tenant spec '{text}': unknown priority '{name}' (expected normal or high)")
+            })?,
+        };
+        Ok(TenantSpec {
+            tenant,
+            rate,
+            burst,
+            priority,
+        })
+    }
+
+    /// Parse a `;`-separated list of specs (the CLI's `--tenants` value).
+    /// Duplicate tenant ids are a configuration error.
+    pub fn parse_list(text: &str) -> Result<Vec<Self>, String> {
+        let mut specs = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for part in text.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let spec = TenantSpec::parse(part)?;
+            if !seen.insert(spec.tenant) {
+                return Err(format!("tenant {} configured twice", spec.tenant));
+            }
+            specs.push(spec);
+        }
+        Ok(specs)
+    }
+}
+
+/// The continuous token-bucket state for one tenant.
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    refreshed: Instant,
+}
+
+#[derive(Debug)]
+struct TenantState {
+    spec: TenantSpec,
+    bucket: Mutex<Bucket>,
+}
+
+/// The verdict for one request at the admission door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Admitted; submit at this scheduling class.
+    Admit(Priority),
+    /// The tenant's bucket is empty — over quota. The request never
+    /// reaches the service.
+    RejectQuota,
+}
+
+/// The server's admission table: a fixed set of [`TenantSpec`]s, one
+/// bucket each. Shared read-only across connections; each bucket has its
+/// own lock, so tenants never contend with each other at the door.
+#[derive(Debug)]
+pub struct Admission {
+    tenants: BTreeMap<u64, TenantState>,
+}
+
+impl Admission {
+    /// An admission table with the given tenant quotas. Unlisted tenants
+    /// are unlimited at [`Priority::Normal`].
+    pub fn new(specs: Vec<TenantSpec>, now: Instant) -> Self {
+        let tenants = specs
+            .into_iter()
+            .map(|spec| {
+                let bucket = Mutex::new(Bucket {
+                    tokens: spec.burst,
+                    refreshed: now,
+                });
+                (spec.tenant, TenantState { spec, bucket })
+            })
+            .collect();
+        Admission { tenants }
+    }
+
+    /// No quotas at all: every tenant admitted at [`Priority::Normal`].
+    pub fn open() -> Self {
+        Admission {
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    /// The configured spec for `tenant`, if any.
+    pub fn spec(&self, tenant: u64) -> Option<&TenantSpec> {
+        self.tenants.get(&tenant).map(|state| &state.spec)
+    }
+
+    /// Admit or reject one request from `tenant`, against the wall clock.
+    pub fn admit(&self, tenant: u64) -> Decision {
+        self.admit_at(tenant, Instant::now())
+    }
+
+    /// [`admit`](Admission::admit) with the clock injected — refills are
+    /// computed from the time elapsed since the bucket was last touched,
+    /// so tests can step time explicitly.
+    pub fn admit_at(&self, tenant: u64, now: Instant) -> Decision {
+        let Some(state) = self.tenants.get(&tenant) else {
+            return Decision::Admit(Priority::Normal);
+        };
+        let mut bucket = state.bucket.lock().unwrap_or_else(PoisonError::into_inner);
+        // Continuous refill; saturating_duration_since keeps an
+        // out-of-order `now` (clock injected by a test, or two threads
+        // racing) from panicking — it just refills nothing.
+        let elapsed = now
+            .saturating_duration_since(bucket.refreshed)
+            .as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * state.spec.rate).min(state.spec.burst);
+        bucket.refreshed = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Decision::Admit(state.spec.priority)
+        } else {
+            Decision::RejectQuota
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn spec_parses_the_full_grammar() {
+        let spec = TenantSpec::parse("7:100:20:high").unwrap();
+        assert_eq!(spec.tenant, 7);
+        assert_eq!(spec.rate, 100.0);
+        assert_eq!(spec.burst, 20.0);
+        assert_eq!(spec.priority, Priority::High);
+        // Priority defaults to normal; whitespace is tolerated.
+        let spec = TenantSpec::parse(" 1 : 0.5 : 1 ").unwrap();
+        assert_eq!(spec.priority, Priority::Normal);
+        assert_eq!(spec.rate, 0.5);
+    }
+
+    #[test]
+    fn spec_rejects_malformed_input() {
+        for bad in [
+            "",
+            "7",
+            "7:100",
+            "x:1:1",
+            "1:fast:1",
+            "1:1:wide",
+            "1:1:1:urgent",
+            "1:-1:1",
+            "1:1:0",
+            "1:inf:1",
+            "1:1:1:high:extra",
+        ] {
+            let err = TenantSpec::parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn list_parses_and_rejects_duplicates() {
+        let specs = TenantSpec::parse_list("1:100:10:high; 2:50:5").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].tenant, 1);
+        assert_eq!(specs[1].priority, Priority::Normal);
+        assert!(TenantSpec::parse_list("1:1:1;1:2:2")
+            .unwrap_err()
+            .contains("twice"));
+        // Empty segments (trailing semicolons) are fine.
+        assert_eq!(TenantSpec::parse_list("1:1:1;").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn burst_is_spent_then_rejected_then_refilled() {
+        let t0 = Instant::now();
+        let admission = Admission::new(
+            vec![TenantSpec {
+                tenant: 5,
+                rate: 2.0, // one token every 500 ms
+                burst: 2.0,
+                priority: Priority::Normal,
+            }],
+            t0,
+        );
+        // The full burst is available immediately…
+        assert_eq!(admission.admit_at(5, t0), Decision::Admit(Priority::Normal));
+        assert_eq!(admission.admit_at(5, t0), Decision::Admit(Priority::Normal));
+        // …then the bucket is empty…
+        assert_eq!(admission.admit_at(5, t0), Decision::RejectQuota);
+        // …and refills with time: after 500 ms there is one token again.
+        let t1 = t0 + Duration::from_millis(500);
+        assert_eq!(admission.admit_at(5, t1), Decision::Admit(Priority::Normal));
+        assert_eq!(admission.admit_at(5, t1), Decision::RejectQuota);
+        // Refill caps at the burst, no matter how long the idle gap.
+        let t2 = t1 + Duration::from_secs(3600);
+        assert_eq!(admission.admit_at(5, t2), Decision::Admit(Priority::Normal));
+        assert_eq!(admission.admit_at(5, t2), Decision::Admit(Priority::Normal));
+        assert_eq!(admission.admit_at(5, t2), Decision::RejectQuota);
+    }
+
+    #[test]
+    fn zero_rate_means_burst_only() {
+        let t0 = Instant::now();
+        let admission = Admission::new(
+            vec![TenantSpec {
+                tenant: 9,
+                rate: 0.0,
+                burst: 1.0,
+                priority: Priority::High,
+            }],
+            t0,
+        );
+        assert_eq!(admission.admit_at(9, t0), Decision::Admit(Priority::High));
+        // Never refills, even years later.
+        let later = t0 + Duration::from_secs(86_400 * 365);
+        assert_eq!(admission.admit_at(9, later), Decision::RejectQuota);
+    }
+
+    #[test]
+    fn unknown_tenants_are_unlimited_normal() {
+        let admission = Admission::open();
+        let now = Instant::now();
+        for _ in 0..1000 {
+            assert_eq!(
+                admission.admit_at(77, now),
+                Decision::Admit(Priority::Normal)
+            );
+        }
+        assert!(admission.spec(77).is_none());
+    }
+
+    #[test]
+    fn configured_priority_rides_the_admit_decision() {
+        let t0 = Instant::now();
+        let admission = Admission::new(
+            vec![TenantSpec {
+                tenant: 1,
+                rate: 1000.0,
+                burst: 10.0,
+                priority: Priority::High,
+            }],
+            t0,
+        );
+        assert_eq!(admission.admit_at(1, t0), Decision::Admit(Priority::High));
+        assert_eq!(admission.spec(1).unwrap().priority, Priority::High);
+    }
+
+    #[test]
+    fn out_of_order_clock_refills_nothing_and_never_panics() {
+        let t0 = Instant::now() + Duration::from_secs(10);
+        let admission = Admission::new(
+            vec![TenantSpec {
+                tenant: 2,
+                rate: 1.0,
+                burst: 1.0,
+                priority: Priority::Normal,
+            }],
+            t0,
+        );
+        assert_eq!(
+            admission.admit_at(2, t0 - Duration::from_secs(5)),
+            Decision::Admit(Priority::Normal)
+        );
+        assert_eq!(
+            admission.admit_at(2, t0 - Duration::from_secs(5)),
+            Decision::RejectQuota
+        );
+    }
+}

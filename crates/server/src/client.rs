@@ -1,0 +1,193 @@
+//! A small blocking client for the wire protocol — what the `workloads`
+//! load generator and the loopback tests speak.
+//!
+//! One [`NormClient`] owns one connection (TCP or Unix socket). Requests
+//! can be pipelined: [`send`](NormClient::send) returns as soon as the
+//! frame is on the wire, and replies come back **in submission order**
+//! via [`recv_reply`](NormClient::recv_reply) — the server guarantees
+//! per-connection ordering, and the echoed request id makes it checkable.
+//! [`request`](NormClient::request) is the simple send-then-wait form.
+
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+
+use crate::protocol::{read_frame, write_frame, ErrorFrame, Frame, RequestFrame, WireError};
+use iterl2norm::Priority;
+
+/// One request as the client builds it: tenant, shape, payload bits, and
+/// the optional placement key / priority flag.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientRequest<'a> {
+    tenant: u64,
+    d: u32,
+    bits: &'a [u32],
+    key: Option<u64>,
+    priority: Priority,
+}
+
+impl<'a> ClientRequest<'a> {
+    /// A normal-priority, unkeyed request of `rows × d` storage bits.
+    pub fn new(tenant: u64, d: u32, bits: &'a [u32]) -> Self {
+        ClientRequest {
+            tenant,
+            d,
+            bits,
+            key: None,
+            priority: Priority::Normal,
+        }
+    }
+
+    /// Tag with a placement key (sticky shard under request-hash
+    /// placement on the serving side).
+    pub fn with_key(mut self, key: u64) -> Self {
+        self.key = Some(key);
+        self
+    }
+
+    /// Ask for the given scheduling class. The server honors the flag
+    /// only for tenants without a configured admission entry.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// The outcome of one request, as seen over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerReply {
+    /// Normalized bits came back.
+    Bits {
+        /// The echoed request id.
+        request_id: u64,
+        /// Rows normalized.
+        rows: u32,
+        /// The normalized storage bits.
+        bits: Vec<u32>,
+    },
+    /// The server answered with an error frame.
+    Rejected(ErrorFrame),
+}
+
+impl ServerReply {
+    /// The echoed request id, whichever way the request went.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            ServerReply::Bits { request_id, .. } => *request_id,
+            ServerReply::Rejected(err) => err.request_id,
+        }
+    }
+}
+
+/// A blocking connection to a norm server.
+pub struct NormClient {
+    reader: Box<dyn Read + Send>,
+    writer: BufWriter<Box<dyn Write + Send>>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for NormClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NormClient")
+            .field("next_id", &self.next_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NormClient {
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream.try_clone()?;
+        Ok(NormClient {
+            reader: Box::new(reader),
+            writer: BufWriter::new(Box::new(stream)),
+            next_id: 1,
+        })
+    }
+
+    /// Connect over a Unix socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> io::Result<Self> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        let reader = stream.try_clone()?;
+        Ok(NormClient {
+            reader: Box::new(reader),
+            writer: BufWriter::new(Box::new(stream)),
+            next_id: 1,
+        })
+    }
+
+    /// Send one request (flushed onto the wire) and return its assigned
+    /// id, without waiting for the reply — the pipelining half.
+    pub fn send(&mut self, request: &ClientRequest<'_>) -> Result<u64, WireError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        let frame = Frame::Request(RequestFrame {
+            request_id,
+            tenant: request.tenant,
+            key: request.key,
+            priority: request.priority,
+            d: request.d,
+            bits: request.bits.to_vec(),
+        });
+        write_frame(&mut self.writer, &frame)?;
+        self.writer.flush()?;
+        Ok(request_id)
+    }
+
+    /// Receive the next reply in submission order.
+    pub fn recv_reply(&mut self) -> Result<ServerReply, WireError> {
+        match read_frame(&mut self.reader)? {
+            Some(Frame::Response(resp)) => Ok(ServerReply::Bits {
+                request_id: resp.request_id,
+                rows: resp.rows,
+                bits: resp.bits,
+            }),
+            Some(Frame::Error(err)) => Ok(ServerReply::Rejected(err)),
+            Some(other) => Err(WireError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a response or error frame, got {other:?}"),
+            ))),
+            None => Err(WireError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ))),
+        }
+    }
+
+    /// Send one request and wait for its reply (checked against the
+    /// assigned id — per-connection ordering makes this deterministic).
+    pub fn request(&mut self, request: &ClientRequest<'_>) -> Result<ServerReply, WireError> {
+        let request_id = self.send(request)?;
+        let reply = self.recv_reply()?;
+        if reply.request_id() != request_id && reply.request_id() != 0 {
+            return Err(WireError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "reply id {} does not match request id {request_id}",
+                    reply.request_id()
+                ),
+            )));
+        }
+        Ok(reply)
+    }
+
+    /// Fetch the server's plaintext metrics export in-band.
+    pub fn metrics(&mut self) -> Result<String, WireError> {
+        write_frame(&mut self.writer, &Frame::MetricsRequest)?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            Some(Frame::MetricsResponse(text)) => Ok(text),
+            Some(other) => Err(WireError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a metrics response, got {other:?}"),
+            ))),
+            None => Err(WireError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ))),
+        }
+    }
+}

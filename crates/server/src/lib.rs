@@ -1,0 +1,50 @@
+//! Network front end for the IterL2Norm serving layer.
+//!
+//! [`iterl2norm::NormService`] is an in-process engine; this
+//! crate puts a wire on it. It is **std-only** — no external dependencies,
+//! no async runtime — because the service underneath already provides the
+//! concurrency that matters (per-shard combining queues, `submit_async`
+//! tickets); the network layer only has to move frames and let the
+//! service pipeline the work.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`protocol`] — a length-prefixed binary frame codec (magic, version,
+//!   request id, tenant id, optional placement key, priority flag, shape
+//!   header, big-endian `u32` storage bits) with explicit error frames.
+//!   The same bytes travel over TCP and Unix sockets.
+//! * [`admission`] — per-tenant token-bucket quotas and priority classes,
+//!   layered *on top of* the service's per-shard queue-depth bound: the
+//!   bucket decides whether a tenant may enter at all, the queue depth
+//!   decides whether the shard can hold the work, and a tenant's
+//!   [`Priority`](iterl2norm::Priority) class decides where in the
+//!   combining queue an admitted request parks.
+//! * [`metrics`] — per-tenant counters plus the service's own
+//!   [`ServiceStatsSnapshot`](iterl2norm::ServiceStatsSnapshot), rendered
+//!   as a plaintext `/metrics`-style export (also served in-band via a
+//!   metrics frame).
+//! * [`server`] — the accept/connection loops. One reader thread per
+//!   connection drives requests through `submit_async`, so a single
+//!   connection can pipeline many in-flight tickets; a paired writer
+//!   thread collects tickets **in submission order** and writes response
+//!   or error frames back.
+//! * [`client`] — a small blocking client (used by the `workloads` load
+//!   generator and the loopback tests) speaking the same codec.
+//!
+//! Bit-identity is the whole game: the bytes a client gets back over the
+//! wire equal a direct in-process `NormService::submit` of the same bits,
+//! for every format, method and shard count — enforced end to end by
+//! `tests/server_loopback.rs` at the workspace root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Admission, Decision, TenantSpec};
+pub use client::{ClientRequest, NormClient, ServerReply};
+pub use server::{serve, ServerHandle, ServerOptions};

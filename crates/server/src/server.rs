@@ -1,0 +1,613 @@
+//! The accept/connection machinery that fronts a
+//! [`NormService`] with sockets.
+//!
+//! Thread shape: one accept thread per listener (TCP, Unix socket, or
+//! both on one server), and **two** threads per connection —
+//!
+//! * the *reader* parses frames, runs shape checks and per-tenant
+//!   admission, and drives admitted requests through
+//!   [`submit_async`](iterl2norm::NormService::submit_async), so a single
+//!   connection can pipeline many in-flight tickets without waiting for
+//!   earlier responses;
+//! * the *writer* collects those tickets **in submission order** from a
+//!   bounded channel and writes response/error frames back. The channel
+//!   bound is the per-connection pipelining window: a client that floods
+//!   faster than responses drain blocks in the reader, which is exactly
+//!   the flow control a byte stream wants.
+//!
+//! Rejections are explicit error frames, never dropped bytes: shape
+//! mismatches, over-quota tenants, a full shard queue and a shut-down
+//! service each map to their own [`ErrorCode`]. On one core none of this
+//! buys parallel execution — it buys *pipelining* and honest admission
+//! behavior, which is what the loopback tests pin down.
+//!
+//! Shutdown is cooperative: readers poll the shutdown flag on a short
+//! socket read timeout (mid-frame partial reads are preserved across
+//! polls, so a slow writer never corrupts framing), writers drain their
+//! queues, and [`ServerHandle::shutdown`] joins everything.
+
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use iterl2norm::{NormError, NormRequest, NormService, NormTicket};
+
+use crate::admission::{Admission, Decision};
+use crate::metrics::{MetricsRegistry, RejectCause, TenantCounters};
+use crate::protocol::{
+    decode_body, write_frame, ErrorCode, ErrorFrame, Frame, FrameError, RequestFrame,
+    ResponseFrame, WireError, MAX_FRAME_BYTES,
+};
+
+/// How often a parked connection reader wakes to re-check the shutdown
+/// flag (the socket read timeout).
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// How long an idle accept loop sleeps between polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Tunables for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// The per-connection pipelining window: how many submitted-but-not-
+    /// yet-written responses may be in flight before the connection's
+    /// reader blocks. Bounds per-connection memory; the service's
+    /// queue-depth bound still applies underneath.
+    pub max_inflight_per_connection: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_inflight_per_connection: 64,
+        }
+    }
+}
+
+/// State shared by every thread the server spawns.
+struct Shared {
+    service: NormService,
+    admission: Admission,
+    metrics: MetricsRegistry,
+    options: ServerOptions,
+    shutdown: AtomicBool,
+    /// Connection thread handles, joined at shutdown. Finished threads
+    /// leave finished handles here — joining those is free.
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn lock_connections(&self) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+        self.connections
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn metrics_text(&self) -> String {
+        self.metrics.render(&self.service.stats().snapshot())
+    }
+}
+
+/// A running server: the listeners' addresses, the shared service, and
+/// the shutdown/join switch. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    accept_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("tcp_addr", &self.tcp_addr)
+            .field("unix_path", &self.unix_path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The bound TCP address, when a TCP listener was requested — with an
+    /// ephemeral port (`:0`) this is where the real port lives.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The Unix socket path, when a Unix listener was requested.
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// The service behind the wire — for direct in-process submits
+    /// (bit-identity probes) and stats reads.
+    pub fn service(&self) -> &NormService {
+        &self.shared.service
+    }
+
+    /// The server's metrics registry (per-tenant counters, gauges).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+
+    /// The full plaintext metrics export — the same text a
+    /// [`Frame::MetricsRequest`] gets over the wire.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
+    /// Stop accepting, drain in-flight work, join every thread, and (for
+    /// a Unix listener) unlink the socket file. Idempotent; also runs on
+    /// drop. Connections mid-request finish their accepted work — the
+    /// readers stop feeding, the writers drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let accept: Vec<_> = {
+            let mut threads = self
+                .accept_threads
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            threads.drain(..).collect()
+        };
+        for handle in accept {
+            let _ = handle.join();
+        }
+        let connections: Vec<_> = self.shared.lock_connections().drain(..).collect();
+        for handle in connections {
+            let _ = handle.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Block until the server shuts down (a foreground `serve` process's
+    /// main thread). Joins the accept threads, which run until the
+    /// shutdown flag is set from another thread or the process dies.
+    pub fn wait(&self) {
+        let accept: Vec<_> = {
+            let mut threads = self
+                .accept_threads
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            threads.drain(..).collect()
+        };
+        for handle in accept {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start a server over `service` with the given admission table. At
+/// least one listener is required: `tcp` is a bind address
+/// (`"127.0.0.1:0"` for an ephemeral port), `unix` a socket path. Both
+/// at once serve the same service and share the same admission state.
+///
+/// # Errors
+///
+/// Bind failures, plus [`io::ErrorKind::InvalidInput`] when no listener
+/// was requested (or a Unix listener was requested off-unix).
+pub fn serve(
+    service: NormService,
+    admission: Admission,
+    options: ServerOptions,
+    tcp: Option<&str>,
+    unix: Option<&Path>,
+) -> io::Result<ServerHandle> {
+    if tcp.is_none() && unix.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "server needs at least one listener (tcp address or unix path)",
+        ));
+    }
+    let shared = Arc::new(Shared {
+        service,
+        admission,
+        metrics: MetricsRegistry::new(),
+        options,
+        shutdown: AtomicBool::new(false),
+        connections: Mutex::new(Vec::new()),
+    });
+    let mut accept_threads = Vec::new();
+    let mut tcp_addr = None;
+    if let Some(addr) = tcp {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        tcp_addr = Some(listener.local_addr()?);
+        let shared = Arc::clone(&shared);
+        accept_threads.push(std::thread::spawn(move || {
+            tcp_accept_loop(shared, listener)
+        }));
+    }
+    let mut unix_path = None;
+    if let Some(path) = unix {
+        #[cfg(unix)]
+        {
+            let listener = std::os::unix::net::UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.to_path_buf());
+            let shared = Arc::clone(&shared);
+            accept_threads.push(std::thread::spawn(move || {
+                unix_accept_loop(shared, listener)
+            }));
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "unix sockets are not available on this platform: {}",
+                    path.display()
+                ),
+            ));
+        }
+    }
+    Ok(ServerHandle {
+        shared,
+        tcp_addr,
+        unix_path,
+        accept_threads: Mutex::new(accept_threads),
+    })
+}
+
+fn tcp_accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Err(_e) = spawn_tcp_connection(&shared, stream) {
+                    // A failed clone/configure drops just this socket.
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn spawn_tcp_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let _ = stream.set_nodelay(true);
+    let reader = stream.try_clone()?;
+    reader.set_read_timeout(Some(READ_POLL))?;
+    spawn_connection(shared, reader, stream);
+    Ok(())
+}
+
+#[cfg(unix)]
+fn unix_accept_loop(shared: Arc<Shared>, listener: std::os::unix::net::UnixListener) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = spawn_unix_connection(&shared, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+#[cfg(unix)]
+fn spawn_unix_connection(
+    shared: &Arc<Shared>,
+    stream: std::os::unix::net::UnixStream,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let reader = stream.try_clone()?;
+    reader.set_read_timeout(Some(READ_POLL))?;
+    spawn_connection(shared, reader, stream);
+    Ok(())
+}
+
+/// What the reader hands the writer, in submission order.
+enum WriteItem {
+    /// A frame ready to go (metrics responses, rejection errors).
+    Frame(Frame),
+    /// An in-flight ticket: the writer waits it out, then writes the
+    /// response (or the execution error) under the request's id.
+    Ticket {
+        request_id: u64,
+        counters: Arc<TenantCounters>,
+        ticket: NormTicket,
+    },
+}
+
+/// Wire up one accepted connection: a bounded in-order channel, a writer
+/// thread draining it, a reader thread feeding it.
+fn spawn_connection<R, W>(shared: &Arc<Shared>, reader: R, writer: W)
+where
+    R: Read + Send + 'static,
+    W: Write + Send + 'static,
+{
+    shared
+        .metrics
+        .connections_total
+        .fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .active_connections
+        .fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = mpsc::sync_channel(shared.options.max_inflight_per_connection.max(1));
+    let writer_handle = std::thread::spawn(move || {
+        let mut writer = BufWriter::new(writer);
+        connection_writer(&mut writer, rx);
+    });
+    let reader_shared = Arc::clone(shared);
+    let handle = std::thread::spawn(move || {
+        let mut reader = reader;
+        connection_reader(&reader_shared, &mut reader, tx);
+        // Dropping `tx` (done by connection_reader returning) lets the
+        // writer drain its remaining in-order items and exit.
+        let _ = writer_handle.join();
+        reader_shared
+            .metrics
+            .active_connections
+            .fetch_sub(1, Ordering::Relaxed);
+    });
+    shared.lock_connections().push(handle);
+}
+
+/// The reader half: frames in, tickets (or immediate rejections) out.
+fn connection_reader<R: Read>(shared: &Shared, reader: &mut R, tx: SyncSender<WriteItem>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame_polling(reader, &shared.shutdown) {
+            Ok(None) => return,
+            Ok(Some(frame)) => {
+                if !handle_frame(shared, frame, &tx) {
+                    return;
+                }
+            }
+            Err(WireError::Malformed(err)) => {
+                // The stream's framing is gone — answer once, then close.
+                let _ = tx.send(WriteItem::Frame(Frame::Error(ErrorFrame {
+                    request_id: 0,
+                    code: ErrorCode::BadRequest,
+                    message: err.to_string(),
+                })));
+                return;
+            }
+            Err(WireError::Io(_)) => return,
+        }
+    }
+}
+
+/// Dispatch one parsed frame. Returns `false` when the connection should
+/// close (a send failing means the writer died; a client sending
+/// server-only frames is a protocol violation).
+fn handle_frame(shared: &Shared, frame: Frame, tx: &SyncSender<WriteItem>) -> bool {
+    match frame {
+        Frame::Request(request) => handle_request(shared, request, tx),
+        Frame::MetricsRequest => tx
+            .send(WriteItem::Frame(Frame::MetricsResponse(
+                shared.metrics_text(),
+            )))
+            .is_ok(),
+        Frame::Response(_) | Frame::Error(_) | Frame::MetricsResponse(_) => {
+            let _ = tx.send(WriteItem::Frame(Frame::Error(ErrorFrame {
+                request_id: 0,
+                code: ErrorCode::BadRequest,
+                message: "clients may only send request and metrics-request frames".into(),
+            })));
+            false
+        }
+    }
+}
+
+/// Shape check → admission → `submit_async`, with every refusal mapped
+/// to an explicit error frame and a per-tenant counter.
+fn handle_request(shared: &Shared, request: RequestFrame, tx: &SyncSender<WriteItem>) -> bool {
+    let counters = shared.metrics.tenant(request.tenant);
+    counters.requests.fetch_add(1, Ordering::Relaxed);
+    let d = shared.service.d();
+    if request.d as usize != d {
+        counters.reject(RejectCause::Shape);
+        return send_error(
+            tx,
+            request.request_id,
+            ErrorCode::ShapeMismatch,
+            format!("request d = {} but this service serves d = {d}", request.d),
+        );
+    }
+    if request.bits.is_empty() || !request.bits.len().is_multiple_of(d) {
+        counters.reject(RejectCause::Shape);
+        return send_error(
+            tx,
+            request.request_id,
+            ErrorCode::ShapeMismatch,
+            format!(
+                "payload of {} elements is not a positive whole number of d = {d} rows",
+                request.bits.len()
+            ),
+        );
+    }
+    let priority = match shared.admission.admit(request.tenant) {
+        Decision::RejectQuota => {
+            counters.reject(RejectCause::Quota);
+            return send_error(
+                tx,
+                request.request_id,
+                ErrorCode::OverQuota,
+                format!("tenant {} is over its admission quota", request.tenant),
+            );
+        }
+        // A configured tenant runs at its configured class; only tenants
+        // without an admission entry may self-select via the frame flag.
+        Decision::Admit(configured) => {
+            if shared.admission.spec(request.tenant).is_some() {
+                configured
+            } else {
+                request.priority
+            }
+        }
+    };
+    let mut norm_request = NormRequest::bits(&request.bits).with_priority(priority);
+    if let Some(key) = request.key {
+        norm_request = norm_request.with_key(key);
+    }
+    match shared.service.submit_async(norm_request) {
+        Ok(ticket) => tx
+            .send(WriteItem::Ticket {
+                request_id: request.request_id,
+                counters,
+                ticket,
+            })
+            .is_ok(),
+        Err(err) => {
+            let (code, cause) = classify(&err);
+            counters.reject(cause);
+            send_error(tx, request.request_id, code, err.to_string())
+        }
+    }
+}
+
+fn send_error(
+    tx: &SyncSender<WriteItem>,
+    request_id: u64,
+    code: ErrorCode,
+    message: String,
+) -> bool {
+    tx.send(WriteItem::Frame(Frame::Error(ErrorFrame {
+        request_id,
+        code,
+        message,
+    })))
+    .is_ok()
+}
+
+/// Map a service refusal onto its wire code and metrics cause.
+fn classify(err: &NormError) -> (ErrorCode, RejectCause) {
+    match err {
+        NormError::QueueFull { .. } => (ErrorCode::QueueFull, RejectCause::QueueFull),
+        NormError::ServiceShutdown => (ErrorCode::ServiceShutdown, RejectCause::Shutdown),
+        NormError::EmptyRequest
+        | NormError::BatchLengthMismatch { .. }
+        | NormError::InputLengthMismatch { .. } => (ErrorCode::ShapeMismatch, RejectCause::Shape),
+        _ => (ErrorCode::Internal, RejectCause::Other),
+    }
+}
+
+/// The writer half: drain the channel in order, waiting each ticket to
+/// completion. Exits when the channel disconnects (reader done) or the
+/// socket dies (client gone — remaining tickets still drain so their
+/// buffers return to the shard pools, they just have nowhere to go).
+fn connection_writer<W: Write>(writer: &mut W, rx: Receiver<WriteItem>) {
+    let mut socket_dead = false;
+    while let Ok(item) = rx.recv() {
+        let frame = match item {
+            WriteItem::Frame(frame) => frame,
+            WriteItem::Ticket {
+                request_id,
+                counters,
+                mut ticket,
+            } => match ticket.wait() {
+                Ok(response) => {
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                    counters
+                        .rows
+                        .fetch_add(response.rows() as u64, Ordering::Relaxed);
+                    Frame::Response(ResponseFrame {
+                        request_id,
+                        rows: response.rows() as u32,
+                        bits: response.bits().to_vec(),
+                    })
+                }
+                Err(err) => {
+                    let (code, cause) = classify(&err);
+                    counters.reject(cause);
+                    Frame::Error(ErrorFrame {
+                        request_id,
+                        code,
+                        message: err.to_string(),
+                    })
+                }
+            },
+        };
+        if socket_dead {
+            continue;
+        }
+        if write_frame(writer, &frame)
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            // Keep draining tickets (see above), stop writing.
+            socket_dead = true;
+        }
+    }
+}
+
+/// [`crate::protocol::read_frame`] with shutdown polling: the socket has
+/// a read timeout, and every timeout tick re-checks the flag. Partial
+/// reads are preserved across ticks, so a frame arriving slowly is never
+/// corrupted — the loop resumes exactly where the bytes stopped.
+fn read_frame_polling(
+    reader: &mut impl Read,
+    shutdown: &AtomicBool,
+) -> Result<Option<Frame>, WireError> {
+    let mut prefix = [0u8; 4];
+    if !fill_polling(reader, shutdown, &mut prefix, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized {
+            len,
+            cap: MAX_FRAME_BYTES,
+        }
+        .into());
+    }
+    let mut body = vec![0u8; len];
+    if !fill_polling(reader, shutdown, &mut body, false)? {
+        return Ok(None);
+    }
+    decode_body(&body).map(Some).map_err(WireError::from)
+}
+
+/// Fill `buf` completely, tolerating read-timeout polls. Returns
+/// `Ok(false)` for a clean stop: end of stream before the first byte
+/// (when `eof_ok_at_start`), or shutdown observed while no byte of `buf`
+/// has arrived yet — mid-buffer shutdown keeps reading so an in-flight
+/// frame is either completed or cleanly times out with the peer.
+fn fill_polling(
+    reader: &mut impl Read,
+    shutdown: &AtomicBool,
+    buf: &mut [u8],
+    eof_ok_at_start: bool,
+) -> Result<bool, WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && eof_ok_at_start => return Ok(false),
+            Ok(0) => {
+                return Err(FrameError::Truncated {
+                    needed: buf.len(),
+                    got: filled,
+                }
+                .into())
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 && shutdown.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}

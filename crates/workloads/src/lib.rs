@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod loadgen;
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use softfloat::Float;

@@ -1,0 +1,506 @@
+//! A closed-loop / open-loop load generator speaking the norm server's
+//! wire protocol — the measurement half of the serving story.
+//!
+//! The two arrival models answer different questions:
+//!
+//! * [`Arrival::Closed`] — each worker submits its next request the
+//!   moment the previous reply lands. Measures the system's *capacity*:
+//!   latency under a fixed concurrency level.
+//! * [`Arrival::Open`] — requests are paced by a seeded Poisson process
+//!   (exponential interarrivals at a target rate), independent of how
+//!   fast replies come back. Measures latency *at a given offered load*,
+//!   which is what a tail-latency SLO is actually about.
+//!
+//! Honesty note: this is a std-only generator over blocking sockets, so
+//! the open-loop model is an approximation — each worker paces its sends
+//! but still waits for the reply before its next send, which under
+//! overload lets the schedule slip (coordinated omission). The report
+//! therefore carries both the offered and the achieved rate; on the
+//! 1-core container this distinction matters more than any threading.
+//!
+//! Tenant mixes are weighted [`TenantClass`]es with per-class keyed
+//! session stickiness (a keyed request always carries one of the class's
+//! `sessions` keys, so request-hash services see stable placement) and an
+//! optional high-priority flag. Every random choice is seeded: the same
+//! [`LoadConfig`] replays the same request sequence.
+//!
+//! Latency is recorded per class in microseconds and summarized as
+//! p50/p99/p999 (nearest-rank on the merged, sorted samples) — the
+//! numbers `results/BENCH_server.json` publishes.
+
+use std::io;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use normserver::protocol::ErrorCode;
+use normserver::{ClientRequest, NormClient, ServerReply};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use softfloat::Fp32;
+
+use crate::VectorGen;
+
+/// How requests are timed onto the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Submit the next request as soon as the previous reply arrives.
+    Closed,
+    /// Pace sends by a seeded Poisson process at this aggregate rate
+    /// (requests per second across all workers).
+    Open {
+        /// Offered load, requests per second.
+        rate_per_s: f64,
+    },
+}
+
+impl Arrival {
+    /// Short name for reports (`"closed"` / `"open"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arrival::Closed => "closed",
+            Arrival::Open { .. } => "open",
+        }
+    }
+}
+
+/// One tenant population in the traffic mix.
+#[derive(Debug, Clone)]
+pub struct TenantClass {
+    /// Report label, e.g. `"gold"`.
+    pub name: String,
+    /// The tenant id requests bill to.
+    pub tenant: u64,
+    /// Relative share of the traffic (sampled per request).
+    pub weight: u32,
+    /// Fraction of this class's requests that carry a session key.
+    pub keyed_fraction: f64,
+    /// Distinct session keys the class draws from (stickiness: the same
+    /// session always hashes to the same shard on the serving side).
+    pub sessions: u64,
+    /// Send the high-priority flag on this class's requests.
+    pub high_priority: bool,
+}
+
+/// The full description of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Row length; must match the serving side.
+    pub d: usize,
+    /// Rows per request.
+    pub rows_per_request: usize,
+    /// Concurrent connections (one blocking client each).
+    pub workers: usize,
+    /// Requests each worker submits.
+    pub requests_per_worker: usize,
+    /// Arrival model.
+    pub arrival: Arrival,
+    /// The tenant mix; weights are sampled per request.
+    pub classes: Vec<TenantClass>,
+    /// Root seed — same seed, same request sequence.
+    pub seed: u64,
+}
+
+/// Latency percentiles over one class's successful requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub samples: u64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile, microseconds.
+    pub p999_us: u64,
+    /// Worst observed, microseconds.
+    pub max_us: u64,
+    /// Arithmetic mean, microseconds.
+    pub mean_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarize a sample set (sorted internally; empty sets are all
+    /// zeros). Percentiles are nearest-rank: `ceil(q·n)`-th smallest.
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let rank = |q: f64| -> u64 {
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            samples[idx]
+        };
+        let sum: u128 = samples.iter().map(|&s| u128::from(s)).sum();
+        LatencySummary {
+            samples: n as u64,
+            p50_us: rank(0.50),
+            p99_us: rank(0.99),
+            p999_us: rank(0.999),
+            max_us: samples[n - 1],
+            mean_us: (sum / n as u128) as u64,
+        }
+    }
+}
+
+/// Per-class outcome counts and latency for one run.
+#[derive(Debug, Clone)]
+pub struct ClassReport {
+    /// The class's label.
+    pub name: String,
+    /// The class's tenant id.
+    pub tenant: u64,
+    /// Requests sent.
+    pub sent: u64,
+    /// Requests that returned normalized bits.
+    pub ok: u64,
+    /// Rows normalized across `ok` requests.
+    pub rows: u64,
+    /// Error frames with [`ErrorCode::OverQuota`].
+    pub rejected_quota: u64,
+    /// Error frames with [`ErrorCode::QueueFull`].
+    pub rejected_queue_full: u64,
+    /// Any other error frame.
+    pub rejected_other: u64,
+    /// Latency over the `ok` requests.
+    pub latency: LatencySummary,
+}
+
+/// The whole run's outcome.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Wall time of the measurement, seconds.
+    pub wall_s: f64,
+    /// Requests sent across all classes.
+    pub sent: u64,
+    /// Requests that returned normalized bits.
+    pub ok: u64,
+    /// Completed requests per second of wall time.
+    pub achieved_rps: f64,
+    /// Offered rate for open-loop runs (`None` for closed loop).
+    pub offered_rps: Option<f64>,
+    /// One report per configured class, in configuration order.
+    pub classes: Vec<ClassReport>,
+}
+
+/// Deterministic request payload `index` for shape `rows × d`: the
+/// paper's Uniform(−1,1) workload rounded into FP32 storage bits —
+/// exactly what a direct in-process submit of the same index produces,
+/// so wire-vs-direct bit comparisons need no tolerance.
+pub fn payload_bits(d: usize, rows: usize, index: u64) -> Vec<u32> {
+    VectorGen::paper()
+        .vector::<Fp32>(d * rows, index)
+        .into_iter()
+        .map(|x| x.to_bits())
+        .collect()
+}
+
+/// Per-worker accumulation, merged after the run.
+#[derive(Default)]
+struct ClassAccum {
+    sent: u64,
+    ok: u64,
+    rows: u64,
+    rejected_quota: u64,
+    rejected_queue_full: u64,
+    rejected_other: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// The number of distinct payloads the generator cycles through — enough
+/// to defeat trivial caching, few enough to amortize generation.
+const PAYLOAD_POOL: u64 = 8;
+
+/// Drive one load-generation run against a server, connecting each
+/// worker through `connect` (e.g. a closure around
+/// [`NormClient::connect_tcp`]). Returns the merged report.
+///
+/// # Errors
+///
+/// Config validation failures, connection failures, and any wire-level
+/// error mid-run (a malformed frame or dead socket aborts the run — a
+/// load test over a broken transport has no meaningful numbers).
+pub fn run_load<F>(config: &LoadConfig, connect: F) -> Result<LoadReport, String>
+where
+    F: Fn() -> io::Result<NormClient> + Sync,
+{
+    if config.d == 0 || config.rows_per_request == 0 {
+        return Err("load config needs d >= 1 and rows_per_request >= 1".into());
+    }
+    if config.workers == 0 || config.requests_per_worker == 0 {
+        return Err("load config needs workers >= 1 and requests_per_worker >= 1".into());
+    }
+    if config.classes.is_empty() {
+        return Err("load config needs at least one tenant class".into());
+    }
+    let total_weight: u64 = config.classes.iter().map(|c| u64::from(c.weight)).sum();
+    if total_weight == 0 {
+        return Err("tenant class weights must not all be zero".into());
+    }
+    if let Arrival::Open { rate_per_s } = config.arrival {
+        if !(rate_per_s.is_finite() && rate_per_s > 0.0) {
+            return Err("open-loop rate must be finite and > 0".into());
+        }
+    }
+
+    // Payloads are shared, read-only, generated once.
+    let payloads: Vec<Vec<u32>> = (0..PAYLOAD_POOL)
+        .map(|i| payload_bits(config.d, config.rows_per_request, i))
+        .collect();
+
+    let accums: Mutex<Vec<Vec<ClassAccum>>> = Mutex::new(Vec::new());
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..config.workers {
+            let connect = &connect;
+            let payloads = &payloads;
+            let accums = &accums;
+            let failure = &failure;
+            scope.spawn(
+                move || match run_worker(config, worker, connect, payloads, start) {
+                    Ok(acc) => accums.lock().unwrap().push(acc),
+                    Err(e) => {
+                        let mut failure = failure.lock().unwrap();
+                        if failure.is_none() {
+                            *failure = Some(format!("worker {worker}: {e}"));
+                        }
+                    }
+                },
+            );
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    if let Some(err) = failure.into_inner().unwrap() {
+        return Err(err);
+    }
+
+    // Merge workers' per-class accumulators.
+    let per_worker = accums.into_inner().unwrap();
+    let mut classes = Vec::with_capacity(config.classes.len());
+    let mut sent = 0u64;
+    let mut ok = 0u64;
+    for (idx, class) in config.classes.iter().enumerate() {
+        let mut merged = ClassAccum::default();
+        for worker_acc in &per_worker {
+            let acc = &worker_acc[idx];
+            merged.sent += acc.sent;
+            merged.ok += acc.ok;
+            merged.rows += acc.rows;
+            merged.rejected_quota += acc.rejected_quota;
+            merged.rejected_queue_full += acc.rejected_queue_full;
+            merged.rejected_other += acc.rejected_other;
+            merged.latencies_us.extend_from_slice(&acc.latencies_us);
+        }
+        sent += merged.sent;
+        ok += merged.ok;
+        classes.push(ClassReport {
+            name: class.name.clone(),
+            tenant: class.tenant,
+            sent: merged.sent,
+            ok: merged.ok,
+            rows: merged.rows,
+            rejected_quota: merged.rejected_quota,
+            rejected_queue_full: merged.rejected_queue_full,
+            rejected_other: merged.rejected_other,
+            latency: LatencySummary::from_samples(merged.latencies_us),
+        });
+    }
+    Ok(LoadReport {
+        wall_s,
+        sent,
+        ok,
+        achieved_rps: if wall_s > 0.0 {
+            ok as f64 / wall_s
+        } else {
+            0.0
+        },
+        offered_rps: match config.arrival {
+            Arrival::Closed => None,
+            Arrival::Open { rate_per_s } => Some(rate_per_s),
+        },
+        classes,
+    })
+}
+
+fn run_worker(
+    config: &LoadConfig,
+    worker: usize,
+    connect: &(impl Fn() -> io::Result<NormClient> + Sync),
+    payloads: &[Vec<u32>],
+    start: Instant,
+) -> Result<Vec<ClassAccum>, String> {
+    let mut client = connect().map_err(|e| format!("connect failed: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(worker as u64),
+    );
+    let total_weight: u64 = config.classes.iter().map(|c| u64::from(c.weight)).sum();
+    let mut acc: Vec<ClassAccum> = config
+        .classes
+        .iter()
+        .map(|_| ClassAccum::default())
+        .collect();
+    // Open loop: this worker paces 1/workers of the aggregate rate.
+    let worker_rate = match config.arrival {
+        Arrival::Closed => 0.0,
+        Arrival::Open { rate_per_s } => rate_per_s / config.workers as f64,
+    };
+    let mut next_send_s = 0.0f64;
+
+    for _ in 0..config.requests_per_worker {
+        // Weighted class pick.
+        let mut ticket = rng.random_range(0..total_weight);
+        let mut class_idx = 0usize;
+        for (idx, class) in config.classes.iter().enumerate() {
+            let w = u64::from(class.weight);
+            if ticket < w {
+                class_idx = idx;
+                break;
+            }
+            ticket -= w;
+        }
+        let class = &config.classes[class_idx];
+        let payload = &payloads[rng.random_range(0..payloads.len() as u64) as usize];
+
+        // Session stickiness: a keyed request draws one of the class's
+        // session keys; the same session always maps to the same key.
+        let key = if class.sessions > 0 && rng.random_bool(class.keyed_fraction) {
+            let session = rng.random_range(0..class.sessions);
+            Some(
+                class
+                    .tenant
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(session),
+            )
+        } else {
+            None
+        };
+
+        // Open loop: wait for the scheduled arrival.
+        if worker_rate > 0.0 {
+            let u: f64 = rng.random_range(0.0..1.0);
+            next_send_s += -(1.0 - u).ln() / worker_rate;
+            let target = Duration::from_secs_f64(next_send_s);
+            let elapsed = start.elapsed();
+            if target > elapsed {
+                std::thread::sleep(target - elapsed);
+            }
+        }
+
+        let mut request = ClientRequest::new(class.tenant, config.d as u32, payload);
+        if let Some(key) = key {
+            request = request.with_key(key);
+        }
+        if class.high_priority {
+            request = request.with_priority(iterl2norm::Priority::High);
+        }
+        let acc = &mut acc[class_idx];
+        acc.sent += 1;
+        let begin = Instant::now();
+        let reply = client
+            .request(&request)
+            .map_err(|e| format!("request failed: {e}"))?;
+        let elapsed_us = u64::try_from(begin.elapsed().as_micros()).unwrap_or(u64::MAX);
+        match reply {
+            ServerReply::Bits { rows, .. } => {
+                acc.ok += 1;
+                acc.rows += u64::from(rows);
+                acc.latencies_us.push(elapsed_us);
+            }
+            ServerReply::Rejected(err) => match err.code {
+                ErrorCode::OverQuota => acc.rejected_quota += 1,
+                ErrorCode::QueueFull => acc.rejected_queue_full += 1,
+                _ => acc.rejected_other += 1,
+            },
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank_on_known_data() {
+        // 1..=1000 µs: p50 = 500, p99 = 990, p999 = 999, max = 1000.
+        let samples: Vec<u64> = (1..=1000).collect();
+        let summary = LatencySummary::from_samples(samples);
+        assert_eq!(summary.samples, 1000);
+        assert_eq!(summary.p50_us, 500);
+        assert_eq!(summary.p99_us, 990);
+        assert_eq!(summary.p999_us, 999);
+        assert_eq!(summary.max_us, 1000);
+        assert_eq!(summary.mean_us, 500); // (1+1000)/2 truncated
+    }
+
+    #[test]
+    fn percentiles_on_tiny_and_empty_sets() {
+        assert_eq!(
+            LatencySummary::from_samples(vec![]),
+            LatencySummary::default()
+        );
+        let one = LatencySummary::from_samples(vec![7]);
+        assert_eq!(one.p50_us, 7);
+        assert_eq!(one.p99_us, 7);
+        assert_eq!(one.p999_us, 7);
+        assert_eq!(one.max_us, 7);
+        // Unsorted input is sorted internally.
+        let two = LatencySummary::from_samples(vec![9, 3]);
+        assert_eq!(two.p50_us, 3);
+        assert_eq!(two.p999_us, 9);
+    }
+
+    #[test]
+    fn payload_bits_are_deterministic_and_shaped() {
+        let a = payload_bits(16, 4, 0);
+        let b = payload_bits(16, 4, 0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        assert_ne!(a, payload_bits(16, 4, 1));
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let base = LoadConfig {
+            d: 8,
+            rows_per_request: 1,
+            workers: 1,
+            requests_per_worker: 1,
+            arrival: Arrival::Closed,
+            classes: vec![TenantClass {
+                name: "t".into(),
+                tenant: 1,
+                weight: 1,
+                keyed_fraction: 0.0,
+                sessions: 0,
+                high_priority: false,
+            }],
+            seed: 1,
+        };
+        let connect =
+            || -> io::Result<NormClient> { Err(io::Error::other("no server in this test")) };
+        for mutate in [
+            |c: &mut LoadConfig| c.d = 0,
+            |c: &mut LoadConfig| c.workers = 0,
+            |c: &mut LoadConfig| c.classes.clear(),
+            |c: &mut LoadConfig| c.classes[0].weight = 0,
+            |c: &mut LoadConfig| c.arrival = Arrival::Open { rate_per_s: 0.0 },
+        ] {
+            let mut config = base.clone();
+            mutate(&mut config);
+            assert!(run_load(&config, connect).is_err());
+        }
+        // The base config is otherwise fine — it fails only at connect.
+        let err = run_load(&base, connect).unwrap_err();
+        assert!(err.contains("connect failed"), "{err}");
+    }
+
+    #[test]
+    fn arrival_names() {
+        assert_eq!(Arrival::Closed.name(), "closed");
+        assert_eq!(Arrival::Open { rate_per_s: 5.0 }.name(), "open");
+    }
+}

@@ -8,7 +8,10 @@
 //! * [`macrosim`] — the cycle-accurate macro simulator,
 //! * [`synthmodel`] — the area/power cost model,
 //! * [`transformer`] / [`textgen`] — the LLM-level evaluation substrate,
-//! * [`workloads`] — deterministic experiment vectors.
+//! * [`workloads`] — deterministic experiment vectors and the wire-level
+//!   load generator,
+//! * [`normserver`] — the network-facing multi-tenant serving layer
+//!   (wire protocol, admission control, metrics export).
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@
 
 pub use iterl2norm;
 pub use macrosim;
+pub use normserver;
 pub use softfloat;
 pub use synthmodel;
 pub use textgen;
@@ -49,9 +53,13 @@ pub mod prelude {
         build_backend, layer_norm, layer_norm_detailed, BackendKind, ExecFloat, FormatKind,
         IterConfig, IterL2Norm, LayerNormInputs, MethodSpec, NormBackend, NormError, NormPlan,
         NormRequest, NormService, NormServicePool, NormStats, NormTicket, Normalizer, Placement,
-        ReduceOrder, RsqrtScale, ScaleMethod, ServiceConfig, StopRule,
+        Priority, ReduceOrder, RsqrtScale, ScaleMethod, ServiceConfig, StopRule,
     };
     pub use macrosim::{IterL2NormMacro, MacroConfig};
+    pub use normserver::{
+        serve, Admission, ClientRequest, NormClient, ServerHandle, ServerOptions, ServerReply,
+        TenantSpec,
+    };
     pub use softfloat::{Bf16, Float, Fp16, Fp32, HostF32};
     pub use synthmodel::CostModel;
     pub use textgen::Corpus;
