@@ -143,9 +143,10 @@ fn shards_arg(parsed: &Parsed) -> Result<usize, String> {
     Ok(shards)
 }
 
-/// Resolve `--queue-depth` (default [`DEFAULT_QUEUE_DEPTH`]
-/// (iterl2norm::service::DEFAULT_QUEUE_DEPTH)), rejecting 0 with the
-/// offending option named — like `--shards`/`--threads`.
+/// Resolve `--queue-depth` (default
+/// [`DEFAULT_QUEUE_DEPTH`](iterl2norm::service::DEFAULT_QUEUE_DEPTH)),
+/// rejecting 0 with the offending option named — like
+/// `--shards`/`--threads`.
 fn queue_depth_arg(parsed: &Parsed) -> Result<usize, String> {
     let depth: usize = parsed.num("queue-depth", iterl2norm::service::DEFAULT_QUEUE_DEPTH)?;
     if depth == 0 {

@@ -568,15 +568,16 @@ pub enum Priority {
     /// below the configured queue depth, served in arrival order.
     #[default]
     Normal,
-    /// Jump the combining queue: a high-priority request is inserted at
-    /// the *front* of the waiting line (it rides the next round ahead of
-    /// every parked normal request) and is admitted even when the line is
-    /// nominally full, up to a reserved overflow of one extra queue-depth
-    /// that normal traffic can never occupy (beyond `2 × depth` waiting
-    /// requests even high-priority work is shed with
-    /// [`NormError::QueueFull`], so backpressure stays bounded). Quota
-    /// policy for *who may use* this class belongs to the layer above —
-    /// the network server's per-tenant admission control.
+    /// Jump the combining queue: a high-priority request is inserted
+    /// ahead of every parked normal request (but behind earlier
+    /// high-priority requests — each class is served in its own arrival
+    /// order) and is admitted even when the line is nominally full, up
+    /// to a reserved overflow of one extra queue-depth that normal
+    /// traffic can never occupy (beyond `2 × depth` waiting requests
+    /// even high-priority work is shed with [`NormError::QueueFull`],
+    /// so backpressure stays bounded). Quota policy for *who may use*
+    /// this class belongs to the layer above — the network server's
+    /// per-tenant admission control.
     High,
 }
 
@@ -1134,11 +1135,15 @@ impl Slot {
     }
 }
 
-/// A request parked in a shard's combining queue.
+/// A request parked in a shard's combining queue. Entries keep their
+/// class so a new high-priority arrival can find the end of the high
+/// prefix — the queue is always high-class entries first, each class in
+/// arrival order.
 struct PendingEntry {
     bits: Vec<u32>,
     slot: Arc<Slot>,
     accepted: Instant,
+    priority: Priority,
 }
 
 #[derive(Default)]
@@ -1718,8 +1723,9 @@ impl NormService {
     ///
     /// [`Priority::High`] requests are admitted against a relaxed bound
     /// (`2 × depth` — the reserved overflow region normal traffic cannot
-    /// touch) and park at the *front* of the line, so they ride the next
-    /// round ahead of every already-waiting normal request.
+    /// touch) and park ahead of every already-waiting normal request but
+    /// behind earlier high-priority ones, so the class jumps the line
+    /// while staying FIFO within itself.
     fn enqueue(
         &self,
         shard: &Shard,
@@ -1754,13 +1760,24 @@ impl NormService {
             bits,
             slot: Arc::clone(&slot),
             accepted,
+            priority: request.priority(),
         };
         match request.priority() {
             Priority::Normal => queue.pending.push(entry),
-            // Jump the line. Within one drained round batch layout is
-            // queue order, so front insertion puts this request's rows
-            // first in the next backend call as well.
-            Priority::High => queue.pending.insert(0, entry),
+            // Jump ahead of every waiting normal request but stay FIFO
+            // within the class: insert at the end of the high prefix,
+            // never at index 0, or sustained high traffic would keep
+            // pushing its own oldest request back. Within one drained
+            // round batch layout is queue order, so the high-class rows
+            // lead the next backend call in arrival order.
+            Priority::High => {
+                let at = queue
+                    .pending
+                    .iter()
+                    .position(|e| e.priority == Priority::Normal)
+                    .unwrap_or(queue.pending.len());
+                queue.pending.insert(at, entry);
+            }
         }
         Ok(slot)
     }

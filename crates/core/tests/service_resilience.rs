@@ -821,3 +821,65 @@ fn high_priority_rides_at_the_front_of_the_next_round() {
     );
     assert_eq!(&batches[1][D..], &normal_bits[..]);
 }
+
+#[test]
+fn high_priority_is_fifo_within_its_class() {
+    // Two high requests behind a parked normal request: both jump the
+    // normal request, but keep their own arrival order — a newer high
+    // request must never preempt an older one still waiting, or
+    // sustained high-priority load would starve its own oldest request.
+    let gate = Gate::new();
+    let batches: Arc<Mutex<Vec<Vec<u32>>>> = Arc::new(Mutex::new(Vec::new()));
+    let service = ServiceConfig::new(D)
+        .with_queue_depth(8)
+        .build_with_backends(|| {
+            Box::new(RecordingBackend {
+                gate: Arc::clone(&gate),
+                batches: Arc::clone(&batches),
+            })
+        })
+        .unwrap();
+
+    let normal_bits = row_bits(97);
+    let first_high_bits = row_bits(98);
+    let second_high_bits = row_bits(99);
+    std::thread::scope(|scope| {
+        // Leader occupies the backend; everything below queues behind it.
+        let leader = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(100);
+                service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+            })
+        };
+        gate.await_entered();
+
+        let mut normal = service
+            .submit_async(NormRequest::bits(&normal_bits))
+            .unwrap();
+        let mut first_high = service
+            .submit_async(NormRequest::bits(&first_high_bits).with_priority(Priority::High))
+            .unwrap();
+        let mut second_high = service
+            .submit_async(NormRequest::bits(&second_high_bits).with_priority(Priority::High))
+            .unwrap();
+        await_accepted(&service, 4);
+
+        gate.open();
+        assert_eq!(leader.join().unwrap(), Ok(1));
+        assert_eq!(normal.wait().unwrap().bits(), &normal_bits[..]);
+        assert_eq!(first_high.wait().unwrap().bits(), &first_high_bits[..]);
+        assert_eq!(second_high.wait().unwrap().bits(), &second_high_bits[..]);
+    });
+
+    let batches = batches.lock().unwrap();
+    assert_eq!(batches.len(), 2, "leader round + one combined round");
+    // High beats normal, but within the high class arrival order holds.
+    assert_eq!(
+        &batches[1][..D],
+        &first_high_bits[..],
+        "the older high request must stay first in its class"
+    );
+    assert_eq!(&batches[1][D..2 * D], &second_high_bits[..]);
+    assert_eq!(&batches[1][2 * D..], &normal_bits[..]);
+}

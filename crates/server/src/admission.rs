@@ -16,7 +16,10 @@
 //! Tenants without a configured [`TenantSpec`] are admitted without a
 //! quota at [`Priority::Normal`] — the open-by-default posture a loopback
 //! test rig wants; a production deployment configures every tenant it
-//! cares about. Buckets start full (a configured tenant can always spend
+//! cares about. The configured class is also an entitlement cap: the wire
+//! protocol's high-priority flag is honored only for tenants whose spec
+//! grants `high`, so an unknown tenant id can never buy its way into the
+//! high class. Buckets start full (a configured tenant can always spend
 //! its burst immediately) and refill continuously at `rate` tokens per
 //! second up to `burst`.
 //!
@@ -186,14 +189,16 @@ impl Admission {
             return Decision::Admit(Priority::Normal);
         };
         let mut bucket = state.bucket.lock().unwrap_or_else(PoisonError::into_inner);
-        // Continuous refill; saturating_duration_since keeps an
-        // out-of-order `now` (clock injected by a test, or two threads
-        // racing) from panicking — it just refills nothing.
-        let elapsed = now
-            .saturating_duration_since(bucket.refreshed)
-            .as_secs_f64();
-        bucket.tokens = (bucket.tokens + elapsed * state.spec.rate).min(state.spec.burst);
-        bucket.refreshed = now;
+        // Continuous refill with a monotone timestamp: when `now` is
+        // behind the bucket (clock injected by a test, or two racing
+        // threads that captured `Instant::now` out of order) nothing
+        // refills AND `refreshed` stays put — rewinding it would credit
+        // the already-elapsed window a second time on the next admit.
+        if now > bucket.refreshed {
+            let elapsed = now.duration_since(bucket.refreshed).as_secs_f64();
+            bucket.tokens = (bucket.tokens + elapsed * state.spec.rate).min(state.spec.burst);
+            bucket.refreshed = now;
+        }
         if bucket.tokens >= 1.0 {
             bucket.tokens -= 1.0;
             Decision::Admit(state.spec.priority)
@@ -327,6 +332,28 @@ mod tests {
         );
         assert_eq!(admission.admit_at(1, t0), Decision::Admit(Priority::High));
         assert_eq!(admission.spec(1).unwrap().priority, Priority::High);
+    }
+
+    #[test]
+    fn rewound_clock_cannot_double_credit_a_refill_window() {
+        let t0 = Instant::now();
+        let admission = Admission::new(
+            vec![TenantSpec {
+                tenant: 3,
+                rate: 1.0,
+                burst: 1.0,
+                priority: Priority::Normal,
+            }],
+            t0,
+        );
+        let t1 = t0 + Duration::from_secs(1);
+        // Burst spent, then the one-second refill spent.
+        assert_eq!(admission.admit_at(3, t0), Decision::Admit(Priority::Normal));
+        assert_eq!(admission.admit_at(3, t1), Decision::Admit(Priority::Normal));
+        // A rewound observation must not rewind the refill timestamp…
+        assert_eq!(admission.admit_at(3, t0), Decision::RejectQuota);
+        // …or the t0 → t1 window would be credited (and spent) twice.
+        assert_eq!(admission.admit_at(3, t1), Decision::RejectQuota);
     }
 
     #[test]

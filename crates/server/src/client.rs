@@ -45,8 +45,9 @@ impl<'a> ClientRequest<'a> {
         self
     }
 
-    /// Ask for the given scheduling class. The server honors the flag
-    /// only for tenants without a configured admission entry.
+    /// Ask for the given scheduling class. The server honors a high
+    /// request only for tenants whose configured admission spec grants
+    /// `high`; everyone else runs at normal priority.
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
         self

@@ -50,9 +50,12 @@ pub const MAX_FRAME_BYTES: usize = 1 << 24;
 /// sticky shard placement under request-hash services.
 pub const FLAG_KEYED: u8 = 0b0000_0001;
 
-/// Request flag: ask for [`Priority::High`] scheduling. The server only
-/// honors it for tenants without a configured admission entry; configured
-/// tenants get their configured class (clients cannot self-promote).
+/// Request flag: ask for [`Priority::High`] scheduling. The configured
+/// admission class is an entitlement cap — the server honors the flag
+/// only for tenants whose [`TenantSpec`](crate::admission::TenantSpec)
+/// grants `high`; every other tenant (including ids with no configured
+/// entry at all) runs at normal priority, so the wire flag can never
+/// self-promote past the admission table.
 pub const FLAG_HIGH_PRIORITY: u8 = 0b0000_0010;
 
 const TYPE_REQUEST: u8 = 1;

@@ -21,10 +21,14 @@
 //! buys parallel execution — it buys *pipelining* and honest admission
 //! behavior, which is what the loopback tests pin down.
 //!
-//! Shutdown is cooperative: readers poll the shutdown flag on a short
-//! socket read timeout (mid-frame partial reads are preserved across
-//! polls, so a slow writer never corrupts framing), writers drain their
-//! queues, and [`ServerHandle::shutdown`] joins everything.
+//! Shutdown is cooperative first, forceful second: readers poll the
+//! shutdown flag on a short socket read timeout and check it on *every*
+//! tick (a mid-frame partial read is preserved across polls and gets a
+//! bounded grace to complete, then the frame is abandoned), writers
+//! drain their queues behind a socket write timeout, and
+//! [`ServerHandle::shutdown`] joins everything — after a short drain
+//! grace it force-closes the sockets of connections still running, so a
+//! peer parked mid-frame or refusing to read can never hang shutdown.
 
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -33,9 +37,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use iterl2norm::{NormError, NormRequest, NormService, NormTicket};
+use iterl2norm::{NormError, NormRequest, NormService, NormTicket, Priority};
 
 use crate::admission::{Admission, Decision};
 use crate::metrics::{MetricsRegistry, RejectCause, TenantCounters};
@@ -50,6 +54,21 @@ const READ_POLL: Duration = Duration::from_millis(50);
 
 /// How long an idle accept loop sleeps between polls.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// How many extra read-timeout ticks a mid-frame read waits after
+/// observing shutdown before abandoning the partial frame — long enough
+/// for a live peer to finish a frame it already started sending, short
+/// enough that a stalled peer cannot hold a reader thread hostage.
+const SHUTDOWN_MIDFRAME_GRACE_TICKS: u32 = 4;
+
+/// How long [`ServerHandle::shutdown`] lets connections drain
+/// cooperatively before force-closing the sockets of any still running.
+const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_millis(500);
+
+/// Socket write timeout: a peer that accepts no bytes for this long
+/// while responses are queued is treated as dead — the writer marks the
+/// socket dead and keeps draining tickets without it.
+const WRITE_STALL: Duration = Duration::from_secs(5);
 
 /// Tunables for [`serve`].
 #[derive(Debug, Clone)]
@@ -69,6 +88,11 @@ impl Default for ServerOptions {
     }
 }
 
+/// A force-close switch for one connection's socket: invoking it shuts
+/// the socket down both ways, unblocking any read or write parked on an
+/// uncooperative peer.
+type KillSwitch = Box<dyn Fn() + Send>;
+
 /// State shared by every thread the server spawns.
 struct Shared {
     service: NormService,
@@ -76,9 +100,19 @@ struct Shared {
     metrics: MetricsRegistry,
     options: ServerOptions,
     shutdown: AtomicBool,
-    /// Connection thread handles, joined at shutdown. Finished threads
-    /// leave finished handles here — joining those is free.
+    /// Connection thread handles, joined at shutdown. Finished entries
+    /// are reaped opportunistically on each accept, so a long-running
+    /// server serving short-lived connections does not grow this without
+    /// bound.
     connections: Mutex<Vec<JoinHandle<()>>>,
+    /// Kill switches for the connections still running, keyed by a
+    /// per-connection id. Each connection unregisters itself as its last
+    /// act — the switch holds a clone of the socket, so keeping it past
+    /// the connection's exit would hold the peer's EOF hostage. Whatever
+    /// is still registered when shutdown's drain grace expires is
+    /// exactly the set of stalled connections to force-close.
+    kills: Mutex<std::collections::BTreeMap<u64, KillSwitch>>,
+    next_connection_id: std::sync::atomic::AtomicU64,
 }
 
 impl Shared {
@@ -86,6 +120,10 @@ impl Shared {
         self.connections
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_kills(&self) -> std::sync::MutexGuard<'_, std::collections::BTreeMap<u64, KillSwitch>> {
+        self.kills.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn metrics_text(&self) -> String {
@@ -143,7 +181,10 @@ impl ServerHandle {
     /// Stop accepting, drain in-flight work, join every thread, and (for
     /// a Unix listener) unlink the socket file. Idempotent; also runs on
     /// drop. Connections mid-request finish their accepted work — the
-    /// readers stop feeding, the writers drain.
+    /// readers stop feeding, the writers drain — but a stalled peer (one
+    /// parked mid-frame, or refusing to read its responses) only gets
+    /// a short drain grace before its socket is force-closed, so
+    /// shutdown always returns.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         let accept: Vec<_> = {
@@ -155,6 +196,29 @@ impl ServerHandle {
         };
         for handle in accept {
             let _ = handle.join();
+        }
+        // Cooperative phase: readers observe the flag within a poll tick
+        // (plus the bounded mid-frame grace) and writers flush what is
+        // already queued. Poll instead of joining so a blocked thread
+        // cannot stall this loop past the grace deadline.
+        let deadline = Instant::now() + SHUTDOWN_DRAIN_GRACE;
+        loop {
+            let all_finished = self
+                .shared
+                .lock_connections()
+                .iter()
+                .all(|handle| handle.is_finished());
+            if all_finished || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(ACCEPT_POLL);
+        }
+        // Forceful phase: close the sockets of connections still running
+        // (exactly the kill switches still registered) — blocked reads
+        // and writes error out, the threads unwind through their normal
+        // exit paths, and the joins below return.
+        for kill in self.shared.lock_kills().values() {
+            kill();
         }
         let connections: Vec<_> = self.shared.lock_connections().drain(..).collect();
         for handle in connections {
@@ -218,6 +282,8 @@ pub fn serve(
         options,
         shutdown: AtomicBool::new(false),
         connections: Mutex::new(Vec::new()),
+        kills: Mutex::new(std::collections::BTreeMap::new()),
+        next_connection_id: std::sync::atomic::AtomicU64::new(0),
     });
     let mut accept_threads = Vec::new();
     let mut tcp_addr = None;
@@ -278,9 +344,18 @@ fn tcp_accept_loop(shared: Arc<Shared>, listener: TcpListener) {
 fn spawn_tcp_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     let _ = stream.set_nodelay(true);
+    stream.set_write_timeout(Some(WRITE_STALL))?;
     let reader = stream.try_clone()?;
     reader.set_read_timeout(Some(READ_POLL))?;
-    spawn_connection(shared, reader, stream);
+    let kill = stream.try_clone()?;
+    spawn_connection(
+        shared,
+        reader,
+        stream,
+        Box::new(move || {
+            let _ = kill.shutdown(std::net::Shutdown::Both);
+        }),
+    );
     Ok(())
 }
 
@@ -303,9 +378,18 @@ fn spawn_unix_connection(
     stream: std::os::unix::net::UnixStream,
 ) -> io::Result<()> {
     stream.set_nonblocking(false)?;
+    stream.set_write_timeout(Some(WRITE_STALL))?;
     let reader = stream.try_clone()?;
     reader.set_read_timeout(Some(READ_POLL))?;
-    spawn_connection(shared, reader, stream);
+    let kill = stream.try_clone()?;
+    spawn_connection(
+        shared,
+        reader,
+        stream,
+        Box::new(move || {
+            let _ = kill.shutdown(std::net::Shutdown::Both);
+        }),
+    );
     Ok(())
 }
 
@@ -323,8 +407,11 @@ enum WriteItem {
 }
 
 /// Wire up one accepted connection: a bounded in-order channel, a writer
-/// thread draining it, a reader thread feeding it.
-fn spawn_connection<R, W>(shared: &Arc<Shared>, reader: R, writer: W)
+/// thread draining it, a reader thread feeding it. `kill` force-closes
+/// the transport (shutdown's last resort against a stalled peer); it is
+/// registered for the connection's lifetime and unregistered — dropping
+/// its socket clone — as the connection's last act.
+fn spawn_connection<R, W>(shared: &Arc<Shared>, reader: R, writer: W, kill: KillSwitch)
 where
     R: Read + Send + 'static,
     W: Write + Send + 'static,
@@ -337,6 +424,10 @@ where
         .metrics
         .active_connections
         .fetch_add(1, Ordering::Relaxed);
+    let connection_id = shared
+        .next_connection_id
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    shared.lock_kills().insert(connection_id, kill);
     let (tx, rx) = mpsc::sync_channel(shared.options.max_inflight_per_connection.max(1));
     let writer_handle = std::thread::spawn(move || {
         let mut writer = BufWriter::new(writer);
@@ -348,13 +439,28 @@ where
         connection_reader(&reader_shared, &mut reader, tx);
         // Dropping `tx` (done by connection_reader returning) lets the
         // writer drain its remaining in-order items and exit.
+        drop(reader);
         let _ = writer_handle.join();
+        // Both socket halves are gone; dropping the kill switch releases
+        // the last clone, so the peer sees EOF now, not at shutdown.
+        reader_shared.lock_kills().remove(&connection_id);
         reader_shared
             .metrics
             .active_connections
             .fetch_sub(1, Ordering::Relaxed);
     });
-    shared.lock_connections().push(handle);
+    let mut connections = shared.lock_connections();
+    // Reap connections that already exited — their threads are done, so
+    // the joins are free — before tracking the new one.
+    let mut i = 0;
+    while i < connections.len() {
+        if connections[i].is_finished() {
+            let _ = connections.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+    connections.push(handle);
 }
 
 /// The reader half: frames in, tickets (or immediate rejections) out.
@@ -443,15 +549,13 @@ fn handle_request(shared: &Shared, request: RequestFrame, tx: &SyncSender<WriteI
                 format!("tenant {} is over its admission quota", request.tenant),
             );
         }
-        // A configured tenant runs at its configured class; only tenants
-        // without an admission entry may self-select via the frame flag.
-        Decision::Admit(configured) => {
-            if shared.admission.spec(request.tenant).is_some() {
-                configured
-            } else {
-                request.priority
-            }
-        }
+        // The configured class is an entitlement cap: the wire flag
+        // *requests* high priority and is honored only when the tenant's
+        // spec grants it. Unknown tenants are capped at normal, so a
+        // fresh tenant id can never self-promote past every configured
+        // tenant or into the reserved queue-overflow region.
+        Decision::Admit(Priority::High) => request.priority,
+        Decision::Admit(Priority::Normal) => Priority::Normal,
     };
     let mut norm_request = NormRequest::bits(&request.bits).with_priority(priority);
     if let Some(key) = request.key {
@@ -577,9 +681,11 @@ fn read_frame_polling(
 
 /// Fill `buf` completely, tolerating read-timeout polls. Returns
 /// `Ok(false)` for a clean stop: end of stream before the first byte
-/// (when `eof_ok_at_start`), or shutdown observed while no byte of `buf`
-/// has arrived yet — mid-buffer shutdown keeps reading so an in-flight
-/// frame is either completed or cleanly times out with the peer.
+/// (when `eof_ok_at_start`), shutdown observed while no byte of `buf`
+/// has arrived yet, or shutdown observed mid-buffer once the grace of
+/// [`SHUTDOWN_MIDFRAME_GRACE_TICKS`] idle ticks runs out — an in-flight
+/// frame from a live peer gets a moment to complete, a stalled peer
+/// cannot pin the reader past the grace.
 fn fill_polling(
     reader: &mut impl Read,
     shutdown: &AtomicBool,
@@ -587,6 +693,7 @@ fn fill_polling(
     eof_ok_at_start: bool,
 ) -> Result<bool, WireError> {
     let mut filled = 0usize;
+    let mut shutdown_ticks = 0u32;
     while filled < buf.len() {
         match reader.read(&mut buf[filled..]) {
             Ok(0) if filled == 0 && eof_ok_at_start => return Ok(false),
@@ -601,8 +708,14 @@ fn fill_polling(
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                if filled == 0 && shutdown.load(Ordering::SeqCst) {
-                    return Ok(false);
+                if shutdown.load(Ordering::SeqCst) {
+                    if filled == 0 {
+                        return Ok(false);
+                    }
+                    shutdown_ticks += 1;
+                    if shutdown_ticks > SHUTDOWN_MIDFRAME_GRACE_TICKS {
+                        return Ok(false);
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,

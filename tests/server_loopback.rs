@@ -362,6 +362,94 @@ fn queue_full_surfaces_as_error_frames_over_the_wire() {
     handle.shutdown();
 }
 
+/// The wire's high-priority flag is an entitlement, not a free upgrade:
+/// with the shard's waiting line full, a flagged request from an
+/// unconfigured tenant is shed exactly like normal traffic (no reserved
+/// overflow region, no queue jumping), while the same flag from a tenant
+/// whose spec grants `high` is admitted past the full line.
+#[test]
+fn priority_flag_cannot_self_promote_unconfigured_tenants() {
+    let gate = Gate::new();
+    let served = ServiceConfig::new(D)
+        .with_queue_depth(1)
+        .build_with_backends(|| {
+            Box::new(GatedBackend {
+                gate: Arc::clone(&gate),
+            })
+        })
+        .expect("valid config");
+    let handle = serve(
+        served,
+        Admission::new(
+            vec![TenantSpec {
+                tenant: 1,
+                rate: 100_000.0,
+                burst: 100_000.0,
+                priority: Priority::High,
+            }],
+            Instant::now(),
+        ),
+        ServerOptions::default(),
+        Some("127.0.0.1:0"),
+        None,
+    )
+    .expect("server starts");
+    let mut client = NormClient::connect_tcp(handle.tcp_addr().expect("tcp")).expect("connect");
+    let bits = payload(1, 7);
+
+    // Tenant 9 (unconfigured) occupies the backend…
+    let executing = client
+        .send(&ClientRequest::new(9, D as u32, &bits))
+        .expect("send");
+    gate.await_entered();
+    // …and fills the single waiting slot. The connection's reader
+    // processes frames strictly in order, so by the time the next frame
+    // is parsed this one has parked.
+    let parked = client
+        .send(&ClientRequest::new(9, D as u32, &bits))
+        .expect("send");
+
+    // The flagged request from the unconfigured tenant competes as
+    // normal traffic against the full line: shed.
+    let denied = client
+        .send(&ClientRequest::new(9, D as u32, &bits).with_priority(Priority::High))
+        .expect("send");
+    // The same flag from the high-entitled tenant enters the reserved
+    // overflow region instead.
+    let granted = client
+        .send(&ClientRequest::new(1, D as u32, &bits).with_priority(Priority::High))
+        .expect("send");
+
+    gate.open();
+    let replies: Vec<ServerReply> = (0..4)
+        .map(|_| client.recv_reply().expect("reply"))
+        .collect();
+    for (reply, id) in replies.iter().zip([executing, parked, denied, granted]) {
+        assert_eq!(reply.request_id(), id, "in-order replies");
+    }
+    assert!(
+        matches!(replies[0], ServerReply::Bits { .. }),
+        "{replies:?}"
+    );
+    assert!(
+        matches!(replies[1], ServerReply::Bits { .. }),
+        "{replies:?}"
+    );
+    match &replies[2] {
+        ServerReply::Rejected(err) => {
+            assert_eq!(err.code, ErrorCode::QueueFull, "{err:?}");
+        }
+        other => {
+            panic!("a self-promoted unknown tenant must be shed like normal traffic: {other:?}")
+        }
+    }
+    assert!(
+        matches!(replies[3], ServerReply::Bits { .. }),
+        "the entitled tenant rides the overflow region: {replies:?}"
+    );
+    handle.shutdown();
+}
+
 /// The in-band metrics export carries both the service counters and the
 /// per-tenant counters, rendered from the stable stats snapshot.
 #[test]
@@ -416,6 +504,50 @@ fn metrics_export_reports_service_and_tenant_counters() {
         "{metrics}"
     );
     handle.shutdown();
+}
+
+/// Shutdown must return even with uncooperative peers attached: one
+/// parked mid-frame (a partial frame then silence), one idle. The reader
+/// abandons the partial frame after a bounded grace — a stalled peer
+/// cannot hold [`ServerHandle::shutdown`] (and thus `Drop`) hostage.
+#[test]
+fn shutdown_is_not_hostage_to_stalled_peers() {
+    use std::io::Write;
+
+    let served = service_config(MethodSpec::iterl2(5), 1)
+        .build()
+        .expect("valid");
+    let handle = serve(
+        served,
+        Admission::open(),
+        ServerOptions::default(),
+        Some("127.0.0.1:0"),
+        None,
+    )
+    .expect("server starts");
+    let addr = handle.tcp_addr().expect("tcp");
+
+    // A length prefix promising 16 bytes, then only 2 of them — the
+    // server's reader is parked mid-frame when shutdown arrives.
+    let mut midframe = std::net::TcpStream::connect(addr).expect("connect");
+    midframe
+        .write_all(&[0, 0, 0, 16, 1, 2])
+        .expect("partial frame");
+    midframe.flush().expect("flush");
+    // An accepted connection that never sends anything at all.
+    let idle = std::net::TcpStream::connect(addr).expect("connect");
+
+    // Let the accept loop pick both up and park their readers.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let begin = Instant::now();
+    handle.shutdown();
+    assert!(
+        begin.elapsed() < Duration::from_secs(5),
+        "shutdown must not hang on stalled peers (took {:?})",
+        begin.elapsed()
+    );
+    drop((midframe, idle));
 }
 
 /// Raw garbage on the wire gets one `bad-request` error frame back, then
