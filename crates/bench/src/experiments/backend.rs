@@ -1,17 +1,21 @@
-//! Execution-backend throughput: native-f32 vs softfloat emulation, and
-//! thread scaling of the partitioned batch path.
+//! Execution-backend throughput: native-f32 vs softfloat emulation, the
+//! native SIMD tier vs its forced-scalar floor, and thread scaling of the
+//! partitioned batch path.
 //!
 //! This is the bench behind the README's performance notes and the
 //! checked-in `results/BENCH_backend.json`. Every point drives the same
-//! row-major FP32 batch through [`iterl2norm::backend::build_backend`]'s
-//! bits interface — the exact seam the CLI and a serving front end use —
-//! and a self-check asserts the native output stays bit-identical to the
-//! emulated reference before any number is reported.
+//! row-major FP32 batch through
+//! [`iterl2norm::backend::build_backend_simd`]'s bits interface — the
+//! exact seam the CLI and a serving front end use — and a self-check
+//! asserts every native configuration (any SIMD level, any thread count)
+//! stays bit-identical to the emulated reference before any number is
+//! reported. Each point records the *resolved* SIMD level (`auto` is
+//! resolved at build time, so a point can never be mislabeled).
 
 use std::time::Instant;
 
-use iterl2norm::backend::{build_backend, BackendKind, FormatKind};
-use iterl2norm::{MethodSpec, ReduceOrder};
+use iterl2norm::backend::{build_backend_simd, BackendKind, FormatKind};
+use iterl2norm::{MethodSpec, ReduceOrder, SimdLevel};
 use softfloat::Fp32;
 use workloads::VectorGen;
 
@@ -21,36 +25,48 @@ use crate::io::{banner, print_table, write_json};
 struct Point {
     d: usize,
     backend: BackendKind,
+    simd: SimdLevel,
     threads: usize,
     rows_per_s: f64,
     ns_per_row: f64,
 }
 
-/// Best-of-`reps` wall-clock for one backend/thread configuration.
+/// Best-of-[`REPS`] wall-clock for one backend/simd/thread configuration,
+/// plus the resolved SIMD level that actually ran.
+const REPS: usize = 3;
+
 fn measure(
     backend: BackendKind,
     d: usize,
     threads: usize,
     spec: &MethodSpec,
+    simd: SimdLevel,
     input: &[u32],
     out: &mut [u32],
-    reps: usize,
-) -> std::io::Result<f64> {
-    let mut engine = build_backend(backend, FormatKind::Fp32, d, spec, ReduceOrder::HwTree)
-        .map_err(std::io::Error::other)?;
+) -> std::io::Result<(f64, SimdLevel)> {
+    let mut engine = build_backend_simd(
+        backend,
+        FormatKind::Fp32,
+        d,
+        spec,
+        ReduceOrder::HwTree,
+        simd,
+    )
+    .map_err(std::io::Error::other)?;
+    let resolved = engine.simd_level();
     // Warm-up sizes the conversion buffers and worker scratch.
     engine
         .normalize_batch_bits(input, out, threads)
         .map_err(std::io::Error::other)?;
     let mut best = f64::INFINITY;
-    for _ in 0..reps {
+    for _ in 0..REPS {
         let t0 = Instant::now();
         engine
             .normalize_batch_bits(input, out, threads)
             .map_err(std::io::Error::other)?;
         best = best.min(t0.elapsed().as_secs_f64());
     }
-    Ok(best)
+    Ok((best, resolved))
 }
 
 /// Run the backend bench at the given dimensions, batch size and thread
@@ -60,9 +76,8 @@ fn measure(
 ///
 /// Propagates JSON-write failures (and backend errors as `io::Error`).
 pub fn run_at(dims: &[usize], rows: usize, thread_counts: &[usize]) -> std::io::Result<()> {
-    banner("Backend throughput — native-f32 vs emulated, thread scaling");
+    banner("Backend throughput — native-f32 vs emulated, SIMD tier, thread scaling");
     let spec = MethodSpec::iterl2(5);
-    let reps = 3;
     let gen = VectorGen::paper();
     let mut points: Vec<Point> = Vec::new();
     let mut table = Vec::new();
@@ -79,60 +94,78 @@ pub fn run_at(dims: &[usize], rows: usize, thread_counts: &[usize]) -> std::io::
         let mut out = vec![0u32; input.len()];
 
         // The emulated serial reference: timed, and kept as the oracle.
-        let t_emulated = measure(BackendKind::Emulated, d, 1, &spec, &input, &mut out, reps)?;
+        let (t_emulated, _) = measure(
+            BackendKind::Emulated,
+            d,
+            1,
+            &spec,
+            SimdLevel::Auto,
+            &input,
+            &mut out,
+        )?;
         let reference = out.clone();
         points.push(Point {
             d,
             backend: BackendKind::Emulated,
+            simd: SimdLevel::Scalar,
             threads: 1,
             rows_per_s: rows as f64 / t_emulated,
             ns_per_row: t_emulated * 1e9 / rows as f64,
         });
 
-        let mut t_native_serial = f64::NAN;
-        for &threads in thread_counts {
-            let t = measure(
-                BackendKind::Native,
-                d,
-                threads,
-                &spec,
-                &input,
-                &mut out,
-                reps,
-            )?;
-            // Self-check before reporting: the speedup must not be a
-            // different computation.
-            assert_eq!(
-                out, reference,
-                "native output diverged from emulated at d = {d}, threads = {threads}"
-            );
-            if threads == 1 {
-                t_native_serial = t;
+        // Native: the forced-scalar floor vs the auto-resolved SIMD tier,
+        // across the thread counts. Serial scalar is the per-d baseline
+        // the "vs scalar@1" column compares against.
+        let mut t_scalar_serial = f64::NAN;
+        for simd in [SimdLevel::Scalar, SimdLevel::Auto] {
+            for &threads in thread_counts {
+                let (t, resolved) = measure(
+                    BackendKind::Native,
+                    d,
+                    threads,
+                    &spec,
+                    simd,
+                    &input,
+                    &mut out,
+                )?;
+                // Self-check before reporting: the speedup must not be a
+                // different computation.
+                assert_eq!(
+                    out, reference,
+                    "native output diverged from emulated at d = {d}, \
+                     simd = {resolved}, threads = {threads}"
+                );
+                if simd == SimdLevel::Scalar && threads == 1 {
+                    t_scalar_serial = t;
+                }
+                points.push(Point {
+                    d,
+                    backend: BackendKind::Native,
+                    simd: resolved,
+                    threads,
+                    rows_per_s: rows as f64 / t,
+                    ns_per_row: t * 1e9 / rows as f64,
+                });
+                table.push(vec![
+                    d.to_string(),
+                    BackendKind::Native.name().to_string(),
+                    resolved.to_string(),
+                    threads.to_string(),
+                    format!("{:.0}", rows as f64 / t),
+                    format!("{:.0}", t * 1e9 / rows as f64),
+                    format!("{:.1}x", t_emulated / t),
+                    if t_scalar_serial.is_finite() {
+                        format!("{:.2}x", t_scalar_serial / t)
+                    } else {
+                        "-".to_string()
+                    },
+                ]);
             }
-            points.push(Point {
-                d,
-                backend: BackendKind::Native,
-                threads,
-                rows_per_s: rows as f64 / t,
-                ns_per_row: t * 1e9 / rows as f64,
-            });
-            table.push(vec![
-                d.to_string(),
-                BackendKind::Native.name().to_string(),
-                threads.to_string(),
-                format!("{:.0}", rows as f64 / t),
-                format!("{:.0}", t * 1e9 / rows as f64),
-                format!("{:.1}x", t_emulated / t),
-                if t_native_serial.is_finite() {
-                    format!("{:.2}x", t_native_serial / t)
-                } else {
-                    "-".to_string()
-                },
-            ]);
         }
         table.push(vec![
             d.to_string(),
             BackendKind::Emulated.name().to_string(),
+            SimdLevel::Scalar.to_string(),
             "1".to_string(),
             format!("{:.0}", rows as f64 / t_emulated),
             format!("{:.0}", t_emulated * 1e9 / rows as f64),
@@ -145,11 +178,12 @@ pub fn run_at(dims: &[usize], rows: usize, thread_counts: &[usize]) -> std::io::
         &[
             "d",
             "backend",
+            "simd",
             "threads",
             "rows/s",
             "ns/row",
             "vs emulated",
-            "vs 1 thread",
+            "vs scalar@1",
         ],
         &table,
     );
@@ -161,15 +195,16 @@ pub fn run_at(dims: &[usize], rows: usize, thread_counts: &[usize]) -> std::io::
     json.push_str("  \"format\": \"FP32\",\n");
     json.push_str("  \"reduce\": \"hwtree\",\n");
     json.push_str(&format!("  \"rows_per_batch\": {rows},\n"));
-    json.push_str(&format!("  \"reps_best_of\": {reps},\n"));
+    json.push_str(&format!("  \"reps_best_of\": {REPS},\n"));
     json.push_str("  \"bit_identity_checked\": true,\n");
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"d\": {}, \"backend\": \"{}\", \"threads\": {}, \
+            "    {{\"d\": {}, \"backend\": \"{}\", \"simd\": \"{}\", \"threads\": {}, \
              \"rows_per_s\": {:.1}, \"ns_per_row\": {:.1}}}{}\n",
             p.d,
             p.backend.name(),
+            p.simd,
             p.threads,
             p.rows_per_s,
             p.ns_per_row,

@@ -13,7 +13,7 @@ pub struct Parsed {
 
 /// Option keys that take a value; anything else starting with `--` is a
 /// boolean flag.
-const VALUED: [&str; 16] = [
+const VALUED: [&str; 17] = [
     "format",
     "steps",
     "d",
@@ -30,6 +30,7 @@ const VALUED: [&str; 16] = [
     "listen",
     "unix",
     "tenants",
+    "simd",
 ];
 
 impl Parsed {
@@ -151,6 +152,13 @@ mod tests {
         assert_eq!(p.get("tenants"), Some("1:100:10:high;2:50:5"));
         assert!(Parsed::parse(&sv(&["--listen"])).is_err());
         assert!(Parsed::parse(&sv(&["--tenants"])).is_err());
+    }
+
+    #[test]
+    fn simd_option_parses_as_a_value() {
+        let p = Parsed::parse(&sv(&["--simd", "avx2"])).unwrap();
+        assert_eq!(p.get("simd"), Some("avx2"));
+        assert!(Parsed::parse(&sv(&["--simd"])).is_err());
     }
 
     #[test]

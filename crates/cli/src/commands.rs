@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use iterl2norm::service::{NormRequest, NormService, Placement, ServiceConfig};
-use iterl2norm::{BackendKind, FormatKind, MethodSpec, NormError};
+use iterl2norm::{BackendKind, FormatKind, MethodSpec, NormError, SimdLevel};
 use macrosim::{activity_trace, utilization, IterL2NormMacro, MacroConfig};
 use softfloat::{Bf16, Fp16, Fp32};
 use synthmodel::CostModel;
@@ -34,16 +34,17 @@ USAGE:
   iterl2norm cost [--format …]
       Print the 32/28nm cost-model report (Table II row + breakdown).
   iterl2norm demo [--d LEN] [--format …] [--backend B] [--method M] [--seed S]
-                  [--shards S] [--queue-depth Q] [--placement P]
+                  [--shards S] [--queue-depth Q] [--placement P] [--simd L]
       Normalize a random uniform(-1,1) vector end to end.
   iterl2norm batch [--d LEN] [--rows R] [--format …] [--backend B]
                    [--threads N] [--method M] [--seed S]
-                   [--shards S] [--queue-depth Q] [--placement P]
+                   [--shards S] [--queue-depth Q] [--placement P] [--simd L]
       Normalize a random R x LEN batch through the engine, printing rows/s
       for the per-call path vs the plan/batch path.
   iterl2norm serve --listen ADDR | --unix PATH [--d LEN] [--format …]
                    [--backend B] [--method M] [--threads N] [--shards S]
                    [--queue-depth Q] [--placement P] [--tenants SPEC]
+                   [--simd L]
       Serve the engine over the wire protocol (TCP and/or Unix socket)
       until interrupted. --tenants configures per-tenant admission:
       'id:rate:burst[:priority]' entries separated by ';', e.g.
@@ -61,8 +62,12 @@ batch rows across N worker threads (output bits never depend on N).
 bounds each shard's waiting line (further requests are rejected with a
 queue-full error instead of buffering). --placement P picks how requests
 spread across shards: round-robin (the default) or request-hash (keyed
-requests stick to one shard, keeping its caches warm). None of these
-knobs changes output bits. Format, backend and placement names are
+requests stick to one shard, keeping its caches warm). --simd L selects
+the native backend's vector tier: auto (the default — best level the
+host supports), scalar, portable, sse2 or avx2. A forced level the host
+or backend cannot run is an error, never a silent downgrade, and every
+level produces identical output bits. None of these knobs changes
+output bits. Format, backend, placement and simd names are
 case-insensitive.";
 
 /// Resolve `--method`/`--steps` into a registry entry. `--steps` keeps its
@@ -158,6 +163,19 @@ fn queue_depth_arg(parsed: &Parsed) -> Result<usize, String> {
     Ok(depth)
 }
 
+/// Resolve `--simd` into the core registry's [`SimdLevel`]
+/// (default: auto, case-insensitive). This only parses the name; whether
+/// the level is *available* is checked when the service builds, so a
+/// forced level on an unsupported host fails with the engine's own
+/// error instead of silently downgrading.
+fn simd_arg(parsed: &Parsed) -> Result<SimdLevel, String> {
+    match parsed.get("simd") {
+        None => Ok(SimdLevel::Auto),
+        Some(text) => SimdLevel::parse(text)
+            .ok_or_else(|| format!("unknown simd level '{text}' (auto|scalar|portable|sse2|avx2)")),
+    }
+}
+
 /// Resolve `--placement` into the service registry's [`Placement`]
 /// (default: round-robin, case-insensitive).
 fn placement_arg(parsed: &Parsed) -> Result<Placement, String> {
@@ -183,6 +201,7 @@ fn build_service(
     let shards = shards_arg(parsed)?;
     let queue_depth = queue_depth_arg(parsed)?;
     let placement = placement_arg(parsed)?;
+    let simd = simd_arg(parsed)?;
     ServiceConfig::new(d)
         .with_backend(backend)
         .with_format(format)
@@ -191,6 +210,7 @@ fn build_service(
         .with_shards(shards)
         .with_queue_depth(queue_depth)
         .with_placement(placement)
+        .with_simd(simd)
         .build()
         .map_err(|e| e.to_string())
 }
@@ -368,6 +388,9 @@ pub fn demo(parsed: &Parsed) -> Result<(), String> {
     for (&b, &e) in response.bits().iter().zip(&exact) {
         stats.record(format.decode_f64(b), e);
     }
+    // NOTE: this line is pinned byte-for-byte by the stdout goldens; the
+    // resolved SIMD tier is reported through `NormService::simd_level`
+    // (and the `serve` banner), not here.
     println!(
         "format {}  backend {}  d {d}  method {}  seed {seed}",
         format.name(),
@@ -427,10 +450,11 @@ pub fn serve(parsed: &Parsed) -> Result<(), String> {
         println!("listening on unix {}", path.display());
     }
     println!(
-        "service: d {}  format {}  backend {}  method {}",
+        "service: d {}  format {}  backend {}  simd {}  method {}",
         handle.service().d(),
         handle.service().format().name(),
         handle.service().backend().name(),
+        handle.service().simd_level(),
         handle.service().method().label()
     );
     handle.wait();
@@ -495,6 +519,8 @@ pub fn batch(parsed: &Parsed) -> Result<(), String> {
     }
 
     let rps = |t: std::time::Duration| rows as f64 / t.as_secs_f64().max(1e-12);
+    // NOTE: pinned by the stdout goldens — the resolved SIMD tier lives in
+    // `NormResponse::simd_level`, not in this line.
     println!(
         "format {}  backend {}  d {d}  rows {}  threads {threads}  method {}",
         format.name(),

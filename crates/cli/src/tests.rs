@@ -339,6 +339,100 @@ fn unknown_backend_and_bad_threads_are_rejected() {
 }
 
 #[test]
+fn simd_flag_happy_paths_and_rejections() {
+    // Auto and scalar always build; portable builds on every host; so do
+    // the default (no flag) and case-folded spellings.
+    commands::batch(&parsed(&[
+        "--d",
+        "64",
+        "--rows",
+        "8",
+        "--backend",
+        "native",
+        "--simd",
+        "auto",
+    ]))
+    .unwrap();
+    commands::batch(&parsed(&[
+        "--d",
+        "64",
+        "--rows",
+        "8",
+        "--backend",
+        "native",
+        "--simd",
+        "scalar",
+    ]))
+    .unwrap();
+    commands::batch(&parsed(&[
+        "--d",
+        "64",
+        "--rows",
+        "9",
+        "--backend",
+        "native",
+        "--simd",
+        "portable",
+        "--threads",
+        "3",
+    ]))
+    .unwrap();
+    commands::demo(&parsed(&[
+        "--d",
+        "48",
+        "--backend",
+        "native",
+        "--simd",
+        "AVX2",
+    ]))
+    .or_else(|e| {
+        // Hosts without AVX2 must reject the forced level by name —
+        // never silently downgrade.
+        if e.contains("avx2") {
+            Ok(())
+        } else {
+            Err(e)
+        }
+    })
+    .unwrap();
+    // Unknown levels are rejected with the alternatives named.
+    let err = commands::demo(&parsed(&["--d", "16", "--simd", "avx512"])).unwrap_err();
+    assert!(
+        err.contains("avx512") && err.contains("auto|scalar|portable|sse2|avx2"),
+        "{err}"
+    );
+    // Forcing a vector level onto the emulated backend is a config error
+    // that names both sides (the emulator has no vector tier).
+    let err = commands::batch(&parsed(&[
+        "--d",
+        "32",
+        "--rows",
+        "4",
+        "--backend",
+        "emulated",
+        "--simd",
+        "portable",
+    ]))
+    .unwrap_err();
+    assert!(
+        err.contains("portable") && err.contains("emulated"),
+        "{err}"
+    );
+    // --simd auto on emulated is fine (resolves to the scalar engine).
+    commands::batch(&parsed(&[
+        "--d",
+        "32",
+        "--rows",
+        "4",
+        "--backend",
+        "emulated",
+        "--simd",
+        "auto",
+    ]))
+    .unwrap();
+}
+
+#[test]
 fn serve_requires_a_listener_and_validates_flags() {
     // No listener at all: rejected with both options named.
     let err = commands::serve_impl(&parsed(&[])).unwrap_err();

@@ -51,6 +51,7 @@ use softfloat::{Bf16, Float, Fp16, Fp32, HostF32};
 use crate::engine::{MethodSpec, NormPlan, Normalizer};
 use crate::error::NormError;
 use crate::hworder::ReduceOrder;
+use crate::simd::{self, SimdKernel, SimdLevel, SimdNative};
 
 /// Which arithmetic implementation executes the normalization pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -227,6 +228,15 @@ pub trait NormBackend: Send {
 
     /// The scale method's report label (e.g. `"iterl2[5]"`).
     fn method_label(&self) -> String;
+
+    /// The *resolved* SIMD execution level this backend runs — never
+    /// [`SimdLevel::Auto`]; a backend that executes the generic scalar
+    /// engine (the default for every implementation without a vector
+    /// path) reports [`SimdLevel::Scalar`]. Surfaced through service
+    /// metadata so benchmark points record the tier that actually ran.
+    fn simd_level(&self) -> SimdLevel {
+        SimdLevel::Scalar
+    }
 
     /// Combined report label, e.g. `"native-f32/FP32/iterl2[5]"`.
     fn label(&self) -> String {
@@ -414,14 +424,40 @@ impl<F: Float> NormBackend for Emulated<F> {
 #[derive(Debug, Clone)]
 pub struct NativeF32 {
     inner: BitsEngine<HostF32>,
+    /// The resolved vector executor, or `None` for the forced-scalar
+    /// generic engine. Both produce identical bits; they differ only in
+    /// throughput.
+    simd: Option<SimdNative>,
 }
 
 impl NativeF32 {
-    /// Backend executing `plan` with the given scale method.
+    /// Backend executing `plan` with the given scale method, at the best
+    /// SIMD level the host supports ([`SimdLevel::Auto`]).
     pub fn new(plan: NormPlan<HostF32>, spec: &MethodSpec) -> Self {
-        NativeF32 {
-            inner: BitsEngine::new(plan, spec),
-        }
+        Self::with_simd(plan, spec, SimdLevel::Auto)
+            .expect("SimdLevel::Auto always resolves on the native backend")
+    }
+
+    /// Backend executing `plan` at a specific SIMD level.
+    ///
+    /// # Errors
+    ///
+    /// [`NormError::SimdUnsupported`] when `level` forces an instruction
+    /// set this host does not have — a forced level never silently
+    /// downgrades; [`SimdLevel::Auto`] is the degrade-gracefully path.
+    pub fn with_simd(
+        plan: NormPlan<HostF32>,
+        spec: &MethodSpec,
+        level: SimdLevel,
+    ) -> Result<Self, NormError> {
+        let kernel = simd::resolve(level, BackendKind::Native)?;
+        Ok(Self::with_kernel(plan, spec, kernel))
+    }
+
+    fn with_kernel(plan: NormPlan<HostF32>, spec: &MethodSpec, kernel: Option<SimdKernel>) -> Self {
+        let inner = BitsEngine::new(plan, spec);
+        let simd = kernel.map(|k| SimdNative::new(k, &inner.plan, inner.engine.method()));
+        NativeF32 { inner, simd }
     }
 
     /// Bridge an emulated-FP32 plan into the native backend: the constants
@@ -470,13 +506,28 @@ impl NormBackend for NativeF32 {
         self.inner.spec.label()
     }
 
+    fn simd_level(&self) -> SimdLevel {
+        self.simd
+            .as_ref()
+            .map_or(SimdLevel::Scalar, SimdNative::level)
+    }
+
     fn normalize_batch_bits(
         &mut self,
         input: &[u32],
         out: &mut [u32],
         threads: usize,
     ) -> Result<usize, NormError> {
-        self.inner.run(input, out, threads)
+        match &self.simd {
+            Some(simd) => simd.normalize_batch(
+                &self.inner.plan,
+                self.inner.engine.method(),
+                input,
+                out,
+                threads,
+            ),
+            None => self.inner.run(input, out, threads),
+        }
     }
 
     fn normalize_row_bits_detailed(
@@ -484,6 +535,9 @@ impl NormBackend for NativeF32 {
         input: &[u32],
         out: &mut [u32],
     ) -> Result<RowMoments, NormError> {
+        // The detailed path reports scalar intermediates, so it runs the
+        // generic engine regardless of tier — single-row latency is not
+        // the SIMD path's concern, and the output bits are identical.
         self.inner.run_row_detailed(input, out)
     }
 }
@@ -522,7 +576,34 @@ pub fn build_backend(
     spec: &MethodSpec,
     reduce: ReduceOrder,
 ) -> Result<Box<dyn NormBackend>, NormError> {
-    build_backend_affine(backend, format, d, spec, reduce, None, None)
+    build_backend_affine(
+        backend,
+        format,
+        d,
+        spec,
+        reduce,
+        None,
+        None,
+        SimdLevel::Auto,
+    )
+}
+
+/// [`build_backend`] with an explicit SIMD level — the knob the CLI's
+/// `--simd` flag and the bench sweep's `simd` axis resolve through.
+///
+/// # Errors
+///
+/// The [`build_backend`] errors plus [`NormError::SimdUnsupported`] when
+/// the forced level cannot run on this host or backend.
+pub fn build_backend_simd(
+    backend: BackendKind,
+    format: FormatKind,
+    d: usize,
+    spec: &MethodSpec,
+    reduce: ReduceOrder,
+    simd: SimdLevel,
+) -> Result<Box<dyn NormBackend>, NormError> {
+    build_backend_affine(backend, format, d, spec, reduce, None, None, simd)
 }
 
 /// [`build_backend`] plus optional affine parameters given as storage bit
@@ -532,7 +613,10 @@ pub fn build_backend(
 ///
 /// # Errors
 ///
-/// The [`build_backend`] errors plus the γ/β length-mismatch variants.
+/// The [`build_backend`] errors, the γ/β length-mismatch variants, and
+/// [`NormError::SimdUnsupported`] when `simd` forces a level this host or
+/// backend cannot run ([`SimdLevel::Auto`] never fails).
+#[allow(clippy::too_many_arguments)]
 pub fn build_backend_affine(
     backend: BackendKind,
     format: FormatKind,
@@ -541,7 +625,11 @@ pub fn build_backend_affine(
     reduce: ReduceOrder,
     gamma_bits: Option<&[u32]>,
     beta_bits: Option<&[u32]>,
+    simd: SimdLevel,
 ) -> Result<Box<dyn NormBackend>, NormError> {
+    // Resolve the SIMD level first so an unsupported forced level fails
+    // cleanly before any plan work, on every backend kind.
+    let kernel = simd::resolve(simd, backend)?;
     match backend {
         BackendKind::Emulated => Ok(match format {
             FormatKind::Fp32 => Box::new(Emulated::<Fp32>::new(
@@ -564,9 +652,10 @@ pub fn build_backend_affine(
                     format: format.name(),
                 });
             }
-            Ok(Box::new(NativeF32::new(
+            Ok(Box::new(NativeF32::with_kernel(
                 plan_with_affine_bits(d, reduce, gamma_bits, beta_bits)?,
                 spec,
+                kernel,
             )))
         }
     }
@@ -709,6 +798,7 @@ mod tests {
                 ReduceOrder::HwTree,
                 Some(&gamma),
                 Some(&beta),
+                SimdLevel::Auto,
             )
             .unwrap();
             let mut out = vec![0u32; d];
@@ -725,6 +815,7 @@ mod tests {
                 ReduceOrder::HwTree,
                 Some(&gamma[..d - 1]),
                 None,
+                SimdLevel::Auto,
             )
             .err()
             .expect("short gamma must be rejected"),
@@ -804,6 +895,101 @@ mod tests {
         )
         .unwrap();
         assert_eq!(emulated.label(), "emulated/FP16/iterl2[5]");
+    }
+
+    #[test]
+    fn simd_levels_are_resolved_and_reported_never_auto() {
+        let spec = MethodSpec::iterl2(5);
+        // Auto on the native backend resolves to a concrete vector tier.
+        let auto = build_backend(
+            BackendKind::Native,
+            FormatKind::Fp32,
+            8,
+            &spec,
+            ReduceOrder::HwTree,
+        )
+        .unwrap();
+        assert_ne!(auto.simd_level(), SimdLevel::Auto);
+        assert_ne!(auto.simd_level(), SimdLevel::Scalar);
+        // Forced scalar reports scalar; the emulated backend always does.
+        let scalar = build_backend_simd(
+            BackendKind::Native,
+            FormatKind::Fp32,
+            8,
+            &spec,
+            ReduceOrder::HwTree,
+            SimdLevel::Scalar,
+        )
+        .unwrap();
+        assert_eq!(scalar.simd_level(), SimdLevel::Scalar);
+        let emulated = build_backend(
+            BackendKind::Emulated,
+            FormatKind::Fp32,
+            8,
+            &spec,
+            ReduceOrder::HwTree,
+        )
+        .unwrap();
+        assert_eq!(emulated.simd_level(), SimdLevel::Scalar);
+    }
+
+    #[test]
+    fn simd_factory_rejects_emulated_vector_levels() {
+        let spec = MethodSpec::iterl2(5);
+        for level in [SimdLevel::Portable, SimdLevel::Sse2, SimdLevel::Avx2] {
+            assert_eq!(
+                build_backend_simd(
+                    BackendKind::Emulated,
+                    FormatKind::Fp32,
+                    8,
+                    &spec,
+                    ReduceOrder::HwTree,
+                    level,
+                )
+                .err()
+                .expect("emulated has no vector path"),
+                NormError::SimdUnsupported {
+                    level: level.name(),
+                    backend: "emulated",
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn simd_batch_bits_match_forced_scalar_bitwise() {
+        let d = 129; // straddles chunk and lane remainders
+        let spec = MethodSpec::iterl2(5);
+        let bits: Vec<u32> = (0..11 * d as u32)
+            .map(|i| Fp32::from_f64(((i as f64) * 0.317).sin() * 3.0).to_bits())
+            .collect();
+        let mut scalar = build_backend_simd(
+            BackendKind::Native,
+            FormatKind::Fp32,
+            d,
+            &spec,
+            ReduceOrder::HwTree,
+            SimdLevel::Scalar,
+        )
+        .unwrap();
+        let mut expect = vec![0u32; bits.len()];
+        scalar.normalize_batch_bits(&bits, &mut expect, 1).unwrap();
+        for level in [SimdLevel::Auto, SimdLevel::Portable] {
+            let mut simd = build_backend_simd(
+                BackendKind::Native,
+                FormatKind::Fp32,
+                d,
+                &spec,
+                ReduceOrder::HwTree,
+                level,
+            )
+            .unwrap();
+            for threads in [1usize, 3] {
+                let mut out = vec![0u32; bits.len()];
+                simd.normalize_batch_bits(&bits, &mut out, threads).unwrap();
+                assert_eq!(out, expect, "{level:?} × {threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -607,9 +607,8 @@ impl<F: Float, S: RsqrtScale<F> + Sync> Normalizer<F, S> {
         std::thread::scope(|scope| {
             let mut in_rest = input;
             let mut out_rest = &mut *out;
-            let (base, extra) = (rows / workers, rows % workers);
             for wi in 0..workers {
-                let take = (base + usize::from(wi < extra)) * d;
+                let take = worker_rows(rows, workers, wi) * d;
                 let (in_chunk, in_tail) = in_rest.split_at(take);
                 let (out_chunk, out_tail) = out_rest.split_at_mut(take);
                 in_rest = in_tail;
@@ -656,9 +655,8 @@ impl<F: Float, S: RsqrtScale<F> + Sync> Normalizer<F, S> {
         let method = &self.method;
         std::thread::scope(|scope| {
             let mut rest = data;
-            let (base, extra) = (rows / workers, rows % workers);
             for wi in 0..workers {
-                let take = (base + usize::from(wi < extra)) * d;
+                let take = worker_rows(rows, workers, wi) * d;
                 let (chunk, tail) = rest.split_at_mut(take);
                 rest = tail;
                 let params = &params;
@@ -678,6 +676,15 @@ impl<F: Float, S: RsqrtScale<F> + Sync> Normalizer<F, S> {
 /// length `d`: one partial sum per 64-element chunk.
 fn partials_capacity(d: usize) -> usize {
     d.div_ceil(crate::hworder::CHUNK)
+}
+
+/// Rows assigned to worker `wi` when `rows` are split into contiguous
+/// runs across `workers` workers: the first `rows % workers` workers take
+/// one extra row. Shared by the scalar parallel paths above and the SIMD
+/// batch driver, so every execution tier partitions identically and
+/// per-row output bits never depend on the thread count.
+pub(crate) fn worker_rows(rows: usize, workers: usize, wi: usize) -> usize {
+    rows / workers + usize::from(wi < rows % workers)
 }
 
 #[cfg(test)]

@@ -79,6 +79,17 @@ pub enum NormError {
     /// always a caller bug (a drained buffer, an off-by-one on the row
     /// count), so the service rejects it instead of silently succeeding.
     EmptyRequest,
+    /// A forced SIMD level cannot run here: the host lacks the instruction
+    /// set, or the backend has no vector path at all (softfloat emulation
+    /// is scalar by nature). Forcing a level must fail loudly rather than
+    /// silently downgrade — otherwise benchmark points get mislabeled.
+    /// `SimdLevel::Auto` is the degrade-gracefully path.
+    SimdUnsupported {
+        /// The requested level's name (e.g. `"avx2"`).
+        level: &'static str,
+        /// The backend the level was requested for (e.g. `"emulated"`).
+        backend: &'static str,
+    },
 }
 
 impl fmt::Display for NormError {
@@ -140,6 +151,14 @@ impl fmt::Display for NormError {
                 write!(
                     f,
                     "request contains no rows (submit at least one d-length row)"
+                )
+            }
+            NormError::SimdUnsupported { level, backend } => {
+                write!(
+                    f,
+                    "simd level '{level}' is not available for backend '{backend}' on this \
+                     host; use 'auto' to pick the best supported level or 'scalar' to force \
+                     the generic path"
                 )
             }
         }
@@ -308,6 +327,26 @@ mod tests {
         assert!(s.contains("37"), "'{s}' must name the depth bound");
         assert!(s.contains("full") && s.contains("retry"), "{s}");
         assert!(s.contains("queue depth"), "{s}");
+    }
+
+    #[test]
+    fn simd_unsupported_displays_level_backend_and_escape_hatches() {
+        let e = NormError::SimdUnsupported {
+            level: "avx2",
+            backend: "native-f32",
+        };
+        let s = e.to_string();
+        assert!(
+            s.chars().next().unwrap().is_lowercase(),
+            "not lowercase: {s}"
+        );
+        assert!(
+            s.contains("avx2") && s.contains("native-f32"),
+            "'{s}' must name both the level and the backend"
+        );
+        // The message points at both ways out: graceful auto-detection and
+        // the always-available scalar path.
+        assert!(s.contains("auto") && s.contains("scalar"), "{s}");
     }
 
     #[test]

@@ -64,7 +64,11 @@
 //! [`ScaleMethod`] registry (or any custom `&dyn RsqrtScale<F>` — the
 //! trait is object-safe).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module is the one place in the
+// workspace that needs `unsafe` (std::arch intrinsics plus two u32/f32
+// slice reinterpretations) and opts back in with a scoped `allow`; every
+// other module stays unsafe-free, enforced at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analytic;
@@ -79,10 +83,11 @@ mod layernorm;
 pub mod metrics;
 pub mod reference;
 pub mod service;
+pub mod simd;
 
 pub use backend::{
-    build_backend, build_backend_affine, BackendKind, ExecFloat, FormatKind, NormBackend,
-    RowMoments,
+    build_backend, build_backend_affine, build_backend_simd, BackendKind, ExecFloat, FormatKind,
+    NormBackend, RowMoments,
 };
 pub use config::{InitRule, IterConfig, LambdaRule, StopRule, UpdateStyle};
 pub use engine::{MethodSpec, NormPlan, Normalizer, ScaleMethod};
@@ -100,3 +105,4 @@ pub use service::{
     NormRequest, NormResponse, NormService, NormServicePool, NormTicket, Placement, Priority,
     ScalarTrace, ServiceConfig, ServiceStats, ServiceStatsSnapshot,
 };
+pub use simd::SimdLevel;

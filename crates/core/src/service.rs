@@ -156,6 +156,7 @@ use crate::error::NormError;
 use crate::hworder::ReduceOrder;
 use crate::iteration::iterate;
 use crate::layernorm::{layer_norm, LayerNormInputs};
+use crate::simd::SimdLevel;
 
 /// Dispatch a body over the concrete [`Float`] type a validated
 /// `(backend, format)` pair executes. Only reachable after
@@ -207,6 +208,7 @@ pub struct ServiceConfig {
     queue_depth: usize,
     buffer_pool: bool,
     placement: Placement,
+    simd: SimdLevel,
 }
 
 impl ServiceConfig {
@@ -231,6 +233,7 @@ impl ServiceConfig {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             buffer_pool: true,
             placement: Placement::default(),
+            simd: SimdLevel::Auto,
         }
     }
 
@@ -348,6 +351,19 @@ impl ServiceConfig {
         self
     }
 
+    /// Same config with a different SIMD level for the native backend.
+    /// [`SimdLevel::Auto`] (the default) picks the widest kernel the host
+    /// supports; a forced level either runs exactly that tier or fails
+    /// [`build`](ServiceConfig::build) with
+    /// [`NormError::SimdUnsupported`] — never a silent downgrade. The
+    /// resolved level is reported by
+    /// [`NormService::simd_level`] and on every [`NormResponse`]. Output
+    /// bits are identical at every level.
+    pub fn with_simd(mut self, simd: SimdLevel) -> Self {
+        self.simd = simd;
+        self
+    }
+
     /// Same config with the response-buffer pool enabled or disabled.
     /// When enabled (the default), output buffers are leased from a small
     /// free list and returned when the [`NormResponse`] is dropped, so
@@ -419,6 +435,13 @@ impl ServiceConfig {
         self.placement
     }
 
+    /// The *requested* SIMD level (possibly [`SimdLevel::Auto`]); the
+    /// resolved level a built service actually runs is
+    /// [`NormService::simd_level`].
+    pub fn simd(&self) -> SimdLevel {
+        self.simd
+    }
+
     /// Validate the configuration and erase it behind a [`NormService`].
     ///
     /// # Errors
@@ -440,6 +463,7 @@ impl ServiceConfig {
                 self.reduce,
                 self.gamma_bits.as_deref(),
                 self.beta_bits.as_deref(),
+                self.simd,
             )?);
         }
         Ok(self.assemble(backends))
@@ -485,6 +509,9 @@ impl ServiceConfig {
 
     fn assemble(self, backends: Vec<Box<dyn NormBackend>>) -> NormService {
         let label = backends[0].label();
+        // Every shard was built from the same config, so the resolved
+        // level is uniform — record it once for response metadata.
+        let simd_level = backends[0].simd_level();
         let shards = backends
             .into_iter()
             .map(|backend| Shard {
@@ -500,6 +527,7 @@ impl ServiceConfig {
         NormService {
             inner: Arc::new(Inner {
                 label,
+                simd_level,
                 config: self,
                 shards,
                 next_shard: AtomicUsize::new(0),
@@ -800,6 +828,7 @@ pub struct NormResponse {
     batch_rows: usize,
     batch_requests: usize,
     elapsed: Duration,
+    simd: SimdLevel,
 }
 
 impl Drop for NormResponse {
@@ -834,6 +863,13 @@ impl NormResponse {
     /// Number of requests that shared the backend batch (1 = ran alone).
     pub fn batch_requests(&self) -> usize {
         self.batch_requests
+    }
+
+    /// The *resolved* SIMD level the serving backend runs — never
+    /// [`SimdLevel::Auto`]; [`SimdLevel::Scalar`] for the generic engine.
+    /// Metadata only: output bits are identical at every level.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
     }
 
     /// Wall-clock time of this request **measured from acceptance to
@@ -1182,6 +1218,9 @@ struct Shard {
 struct Inner {
     config: ServiceConfig,
     label: String,
+    /// The resolved SIMD level of shard 0's backend (uniform across
+    /// shards), stamped onto every response.
+    simd_level: SimdLevel,
     shards: Vec<Shard>,
     /// Round-robin placement cursor (wraps on overflow, which is fine —
     /// placement only needs to spread load, not count).
@@ -1376,6 +1415,14 @@ impl NormService {
         &self.inner.label
     }
 
+    /// The *resolved* SIMD level this service's backends execute — never
+    /// [`SimdLevel::Auto`] (auto is resolved at build time);
+    /// [`SimdLevel::Scalar`] when the generic engine runs (forced scalar,
+    /// the emulated backend, or a custom backend without a vector path).
+    pub fn simd_level(&self) -> SimdLevel {
+        self.inner.simd_level
+    }
+
     /// Execution counters so far, aggregated over all shards.
     pub fn stats(&self) -> ServiceStats {
         let mut total = ServiceStats::default();
@@ -1440,6 +1487,7 @@ impl NormService {
                 batch_rows: served.batch_rows,
                 batch_requests: served.batch_requests,
                 elapsed: start.elapsed(),
+                simd: self.inner.simd_level,
             }),
             Err(err) => {
                 shard.pool.give_back(out);
@@ -1540,6 +1588,7 @@ impl NormService {
                     batch_rows: served.batch_rows,
                     batch_requests: served.batch_requests,
                     elapsed: accepted.elapsed(),
+                    simd: self.inner.simd_level,
                 }),
                 Err(err) => {
                     shard.pool.give_back(out);
@@ -2014,6 +2063,10 @@ impl NormService {
                 batch_rows: 1,
                 batch_requests: 1,
                 elapsed: start.elapsed(),
+                // The detailed path runs the scalar engine (it reports
+                // intermediates), but the service's tier is what callers
+                // care about — and bits are identical either way.
+                simd: self.inner.simd_level,
             },
             moments,
         ))
@@ -2325,6 +2378,7 @@ impl NormTicket {
             batch_rows: result.batch_rows,
             batch_requests: result.batch_requests,
             elapsed: accepted.elapsed(),
+            simd: self.service.inner.simd_level,
         })
     }
 }

@@ -10,8 +10,12 @@
 //! bit-equal). CI runs this suite in debug *and* release mode: optimizer
 //! levels may only change float codegen if the bit-ops were wrong.
 
-use iterl2norm::backend::{build_backend, BackendKind, Emulated, FormatKind, NativeF32};
-use iterl2norm::{MethodSpec, NormBackend, NormError, NormPlan, Normalizer, ReduceOrder};
+use iterl2norm::backend::{
+    build_backend, build_backend_simd, BackendKind, Emulated, FormatKind, NativeF32,
+};
+use iterl2norm::{
+    MethodSpec, NormBackend, NormError, NormPlan, Normalizer, ReduceOrder, SimdLevel,
+};
 use softfloat::{Float, Fp32, HostF32};
 use workloads::{Distribution, VectorGen};
 
@@ -210,6 +214,236 @@ fn parallel_preserves_row_stats_independence() {
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.to_bits(), b.to_bits(), "rows={rows}");
         }
+    }
+}
+
+// --------------------------------------------------------------------
+// SIMD tier: every forced level ≡ forced scalar ≡ emulated, bitwise.
+// --------------------------------------------------------------------
+
+/// The SIMD sweep's dimensions: below/at/above one 8-lane group, one full
+/// 64-element hardware chunk, the paper's transformer widths, and a
+/// many-chunk width that exercises the partial-fold tree.
+const SIMD_DIMS: [usize; 8] = [1, 7, 8, 9, 64, 384, 768, 4096];
+
+/// Every *forced* level (never `Auto` — the sweep must know exactly which
+/// kernel ran).
+const FORCED_LEVELS: [SimdLevel; 4] = [
+    SimdLevel::Scalar,
+    SimdLevel::Portable,
+    SimdLevel::Sse2,
+    SimdLevel::Avx2,
+];
+
+/// Build the native backend at a forced level, or `None` (with a notice on
+/// stderr) when this host cannot run it. Any error other than
+/// [`NormError::SimdUnsupported`] is a bug.
+fn forced_native(
+    d: usize,
+    spec: &MethodSpec,
+    reduce: ReduceOrder,
+    level: SimdLevel,
+) -> Option<Box<dyn NormBackend>> {
+    match build_backend_simd(
+        BackendKind::Native,
+        FormatKind::Fp32,
+        d,
+        spec,
+        reduce,
+        level,
+    ) {
+        Ok(backend) => Some(backend),
+        Err(NormError::SimdUnsupported { .. }) => {
+            eprintln!("notice: skipping simd level '{level}': unsupported on this host");
+            None
+        }
+        Err(other) => panic!("forcing simd level '{level}' failed unexpectedly: {other}"),
+    }
+}
+
+#[test]
+fn every_simd_level_matches_emulated_for_every_method_dim_and_order() {
+    for spec in MethodSpec::REGISTRY {
+        for d in SIMD_DIMS {
+            for reduce in [ReduceOrder::HwTree, ReduceOrder::Linear] {
+                let input = batch_bits(d);
+                // One emulated reference per (method, d, order) — the
+                // paper-faithful oracle every level must reproduce.
+                let mut reference = vec![0u32; input.len()];
+                build_backend(BackendKind::Emulated, FormatKind::Fp32, d, &spec, reduce)
+                    .unwrap()
+                    .normalize_batch_bits(&input, &mut reference, 1)
+                    .unwrap();
+                for level in FORCED_LEVELS {
+                    let Some(mut native) = forced_native(d, &spec, reduce, level) else {
+                        continue;
+                    };
+                    assert_eq!(native.simd_level(), level, "forced level must stick");
+                    for threads in [1usize, 3] {
+                        let mut out = vec![0u32; input.len()];
+                        let rows = native
+                            .normalize_batch_bits(&input, &mut out, threads)
+                            .unwrap();
+                        assert_eq!(rows * d, input.len());
+                        assert_bits_eq(
+                            &out,
+                            &reference,
+                            &format!(
+                                "{} d={d} reduce={reduce:?} simd={level} threads={threads}",
+                                spec.label()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Compare a NaN-seeded batch native-scalar vs every native vector level,
+/// bitwise, after asserting the scalar reference really produced NaNs.
+fn assert_nan_batch_bit_stable(d: usize, spec: &MethodSpec, bits: &[u32], context: &str) {
+    let Some(mut scalar) = forced_native(d, spec, ReduceOrder::HwTree, SimdLevel::Scalar) else {
+        return;
+    };
+    let mut reference = vec![0u32; bits.len()];
+    scalar
+        .normalize_batch_bits(bits, &mut reference, 1)
+        .unwrap();
+    // Every NaN-seeded row must come out all-NaN — the rows would
+    // otherwise not exercise payload propagation at all.
+    assert!(
+        reference
+            .iter()
+            .all(|&b| (b & 0x7F80_0000) == 0x7F80_0000 && (b & 0x007F_FFFF) != 0),
+        "{context}: NaN rows must normalize to NaNs"
+    );
+    for level in [SimdLevel::Portable, SimdLevel::Sse2, SimdLevel::Avx2] {
+        let Some(mut native) = forced_native(d, spec, ReduceOrder::HwTree, level) else {
+            continue;
+        };
+        let mut out = vec![0u32; bits.len()];
+        native.normalize_batch_bits(bits, &mut out, 1).unwrap();
+        assert_bits_eq(&out, &reference, &format!("{context} simd={level}"));
+    }
+}
+
+#[test]
+fn nan_rows_are_bit_stable_across_simd_levels_for_every_method() {
+    // The emulator canonicalizes NaNs, so NaN handling is compared
+    // native-scalar vs native-vector only. x86 propagates one *operand's*
+    // payload through arithmetic, and LLVM does not pin operand order for
+    // commutable float ops — so an all-methods row must keep every NaN in
+    // flight at the *canonical* bits 0x7FC0_0000 (methods like `lut` turn
+    // a NaN `m` into a canonical-NaN scale, and mixing payloads at the
+    // final multiply would be order-dependent, not a kernel bug).
+    let canonical = 0x7FC0_0000u32;
+    for d in [7usize, 67, 384] {
+        let mut bits = Vec::new();
+        let mut single = batch_row(d, 0.25, 0.01);
+        single[d / 2] = canonical;
+        bits.extend(&single);
+        bits.extend(std::iter::repeat_n(canonical, d));
+        for spec in MethodSpec::REGISTRY {
+            assert_nan_batch_bit_stable(
+                d,
+                &spec,
+                &bits,
+                &format!("{} d={d} canonical NaN", spec.label()),
+            );
+        }
+    }
+}
+
+#[test]
+fn iterl2_preserves_distinct_nan_payloads_across_simd_levels() {
+    // The paper's method is pure bit-ops plus same-payload arithmetic on a
+    // NaN `m`, so *every* NaN in flight carries the seeded payload and the
+    // comparison is commutation-proof even for distinctive payloads:
+    // a single quiet NaN, an all-identical negative-NaN row, and a single
+    // signaling NaN (which hardware quiets to payload|quiet-bit — the
+    // exact bits its quiet descendants carry).
+    let quiet = 0x7FC1_2345u32;
+    let quiet_neg = 0xFFC0_00ABu32;
+    let signaling = 0x7F80_0001u32;
+    let spec = MethodSpec::iterl2(5);
+    for d in [7usize, 67, 384] {
+        let mut bits = Vec::new();
+        let mut single = batch_row(d, 0.25, 0.01);
+        single[d / 2] = quiet;
+        bits.extend(&single);
+        bits.extend(std::iter::repeat_n(quiet_neg, d));
+        let mut snan = batch_row(d, -1.5, 0.02);
+        snan[0] = signaling;
+        bits.extend(&snan);
+        assert_nan_batch_bit_stable(d, &spec, &bits, &format!("iterl2 d={d} NaN payloads"));
+    }
+}
+
+/// A deterministic non-NaN row as raw FP32 bits.
+fn batch_row(d: usize, base: f64, step: f64) -> Vec<u32> {
+    (0..d)
+        .map(|i| Fp32::from_f64(base + i as f64 * step).to_bits())
+        .collect()
+}
+
+#[test]
+fn forced_unavailable_levels_error_instead_of_downgrading() {
+    let spec = MethodSpec::iterl2(5);
+    // The emulated backend has no vector tier: every forced vector level
+    // is a clean, nameable error — never a silent fall-through to scalar.
+    for level in [SimdLevel::Portable, SimdLevel::Sse2, SimdLevel::Avx2] {
+        let err = match build_backend_simd(
+            BackendKind::Emulated,
+            FormatKind::Fp32,
+            64,
+            &spec,
+            ReduceOrder::HwTree,
+            level,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("emulated backend accepted forced level '{level}'"),
+        };
+        assert!(
+            matches!(err, NormError::SimdUnsupported { .. }),
+            "expected SimdUnsupported, got {err}"
+        );
+        let text = err.to_string();
+        assert!(
+            text.contains(level.name()) && text.contains("emulated"),
+            "{text}"
+        );
+    }
+    // On a host without AVX2, forcing it on the native backend errors the
+    // same way (cannot be asserted unconditionally — CI hosts vary).
+    #[cfg(target_arch = "x86_64")]
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        let err = match build_backend_simd(
+            BackendKind::Native,
+            FormatKind::Fp32,
+            64,
+            &spec,
+            ReduceOrder::HwTree,
+            SimdLevel::Avx2,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("host without avx2 accepted forced avx2"),
+        };
+        assert!(matches!(err, NormError::SimdUnsupported { .. }), "{err}");
+    }
+    // Auto must always build on both backends, resolving to a concrete
+    // level (never reporting Auto back).
+    for backend in BackendKind::ALL {
+        let b = build_backend_simd(
+            backend,
+            FormatKind::Fp32,
+            64,
+            &spec,
+            ReduceOrder::HwTree,
+            SimdLevel::Auto,
+        )
+        .unwrap();
+        assert_ne!(b.simd_level(), SimdLevel::Auto);
     }
 }
 

@@ -474,6 +474,7 @@ fn affine_service_matches_affine_backend_bitwise() {
         ReduceOrder::HwTree,
         Some(&gamma),
         Some(&beta),
+        iterl2norm::SimdLevel::Auto,
     )
     .unwrap();
     let mut expect = vec![0u32; bits.len()];
@@ -489,4 +490,47 @@ fn affine_service_matches_affine_backend_bitwise() {
         let response = service.submit(NormRequest::bits(&bits)).unwrap();
         assert_eq!(response.bits(), &expect[..], "{}", service.label());
     }
+}
+
+#[test]
+fn simd_service_reports_its_level_and_matches_forced_scalar_bitwise() {
+    use iterl2norm::SimdLevel;
+    let d = 129; // never a whole number of 64-wide chunks or 8-row blocks
+    let bits = request_bits(FormatKind::Fp32, d, 11, 77);
+
+    // Forced-scalar native is the in-service reference.
+    let scalar = ServiceConfig::new(d)
+        .with_backend(BackendKind::Native)
+        .with_simd(SimdLevel::Scalar)
+        .build()
+        .unwrap();
+    assert_eq!(scalar.simd_level(), SimdLevel::Scalar);
+    let reference = scalar.submit(NormRequest::bits(&bits)).unwrap();
+    assert_eq!(reference.simd_level(), SimdLevel::Scalar);
+
+    // Auto resolves to a concrete level, reports it on service and
+    // response, and changes no bits — with sharding and threads in play.
+    let auto = ServiceConfig::new(d)
+        .with_backend(BackendKind::Native)
+        .with_threads(3)
+        .with_shards(2)
+        .build()
+        .unwrap();
+    assert_ne!(auto.simd_level(), SimdLevel::Auto, "auto must resolve");
+    let response = auto.submit(NormRequest::bits(&bits)).unwrap();
+    assert_eq!(response.simd_level(), auto.simd_level());
+    assert_eq!(response.bits(), reference.bits(), "simd changed bits");
+
+    // The emulated backend always reports scalar under auto.
+    let emulated = ServiceConfig::new(d).build().unwrap();
+    assert_eq!(emulated.simd_level(), SimdLevel::Scalar);
+
+    // A forced vector level the backend cannot run fails the *build*,
+    // never a later submit.
+    let err = ServiceConfig::new(d)
+        .with_simd(SimdLevel::Avx2)
+        .build()
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, NormError::SimdUnsupported { .. }), "{err}");
 }
