@@ -13,3 +13,4 @@ pub mod table1_fisr_cmp;
 pub mod table2_synthesis;
 pub mod table3_comparison;
 pub mod table4_llm;
+pub mod whiten;

@@ -30,13 +30,22 @@
 //! d = 4096 request — so both variants are recorded for re-running on
 //! other hosts and allocators. Re-run on a multi-core host for meaningful
 //! shard scaling and genuine submit/execute overlap.
+//!
+//! A final sweep sends whitening traffic ([`NormRequest::whiten_group`])
+//! through the same variants: one `32 x 64` group per request under the
+//! default `whiten[t=5]` spec, self-checked bit for bit against the
+//! direct [`iterl2norm::build_whiten`] executor. A whiten request costs
+//! `T·d³` matmul work instead of a handful of row reductions, so its
+//! per-request figures sit orders of magnitude above the norm rows —
+//! the point of the row is the contrast, and that the same queueing
+//! machinery carries both kinds without touching either's bits.
 
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use iterl2norm::backend::{build_backend, BackendKind, FormatKind};
 use iterl2norm::service::{NormRequest, NormService, ServiceConfig};
-use iterl2norm::{MethodSpec, ReduceOrder};
+use iterl2norm::{build_whiten, MethodSpec, ReduceOrder, SimdLevel, WhitenSpec};
 use workloads::VectorGen;
 
 use crate::io::{banner, print_table, write_json};
@@ -59,8 +68,22 @@ const VARIANTS: [(&str, usize, bool); 9] = [
 /// (submit the next layer's norm, keep computing, join later).
 pub const PIPELINE_DEPTH: usize = 4;
 
+/// The whitening-traffic sweep: group dimension, rows per group, and the
+/// service variants the whiten rows run under. One whiten request is one
+/// `rows x d` group, so a request is ~`T·d³` of matmul work — orders of
+/// magnitude heavier than a row-norm request, which is why the whiten
+/// rows report far fewer requests/s at far higher per-request cost.
+const WHITEN_D: usize = 64;
+const WHITEN_ROWS: usize = 32;
+const WHITEN_VARIANTS: [(&str, usize, bool); 3] = [
+    ("per-request", 1, true),
+    ("coalesced", 1, true),
+    ("async", 1, true),
+];
+
 /// One measured configuration.
 struct Point {
+    workload: &'static str,
     d: usize,
     submitters: usize,
     mode: &'static str,
@@ -86,6 +109,16 @@ fn request_bits(d: usize, rows: usize, who: u64, req: u64) -> Vec<u32> {
     bits
 }
 
+/// The request constructor for one payload: a whiten-group request or a
+/// plain row-norm request over the same bits.
+fn request_for(bits: &[u32], whiten: bool) -> NormRequest<'_> {
+    if whiten {
+        NormRequest::whiten_group(bits)
+    } else {
+        NormRequest::bits(bits)
+    }
+}
+
 /// Drive `submitters` threads, each submitting `requests` pre-generated
 /// requests of `rows` rows, through `service`; returns the wall-clock
 /// seconds from the first worker's post-barrier start to the last
@@ -101,6 +134,7 @@ fn measure(
     submitters: usize,
     requests: usize,
     rows: usize,
+    whiten: bool,
 ) -> f64 {
     let barrier = Arc::new(Barrier::new(submitters));
     std::thread::scope(|scope| {
@@ -127,7 +161,7 @@ fn measure(
                             }
                             inflight.push_back(
                                 service
-                                    .submit_async(NormRequest::bits(bits))
+                                    .submit_async(request_for(bits, whiten))
                                     .expect("bench queue depth is never exceeded"),
                             );
                         }
@@ -138,7 +172,7 @@ fn measure(
                     } else {
                         for bits in &payloads {
                             let response = service
-                                .submit(NormRequest::bits(bits))
+                                .submit(request_for(bits, whiten))
                                 .expect("bench requests are well-formed");
                             std::hint::black_box(response.rows());
                         }
@@ -258,6 +292,7 @@ pub fn run_at(
                     submitters,
                     requests_per_thread,
                     rows_per_request,
+                    false,
                 );
                 let stats = service.stats();
                 let total_requests = (submitters * requests_per_thread) as f64;
@@ -269,6 +304,7 @@ pub fn run_at(
                     * 1e6
                     / measured_requests.max(1.0);
                 points.push(Point {
+                    workload: "norm",
                     d,
                     submitters,
                     mode,
@@ -280,7 +316,92 @@ pub fn run_at(
                     queue_wait_us_per_request,
                 });
                 table.push(vec![
+                    "norm".to_string(),
                     d.to_string(),
+                    submitters.to_string(),
+                    mode.to_string(),
+                    shards.to_string(),
+                    if buffer_pool { "on" } else { "off" }.to_string(),
+                    format!("{:.0}", total_rows / seconds),
+                    format!("{:.1}", seconds * 1e6 / total_requests),
+                    format!("{requests_per_batch:.2}"),
+                    format!("{queue_wait_us_per_request:.2}"),
+                ]);
+            }
+        }
+    }
+
+    // Whitening traffic through the same front door: each request is one
+    // WHITEN_ROWS x WHITEN_D group whitened under the service's default
+    // spec. Self-check against the direct executor first, then time the
+    // blocking, coalesced and pipelined paths.
+    let whiten_spec = WhitenSpec::new();
+    {
+        let probe = request_bits(WHITEN_D, WHITEN_ROWS, 0, 0);
+        let mut reference = build_whiten(
+            BackendKind::Native,
+            FormatKind::Fp32,
+            WHITEN_D,
+            whiten_spec,
+            SimdLevel::Auto,
+        )
+        .map_err(std::io::Error::other)?;
+        let mut expect = vec![0u32; probe.len()];
+        reference
+            .whiten_groups(&probe, &mut expect, &[WHITEN_ROWS], 1)
+            .map_err(std::io::Error::other)?;
+        for (mode, shards, buffer_pool) in WHITEN_VARIANTS {
+            let service = service_for(WHITEN_D, mode, shards, buffer_pool);
+            let response = service
+                .submit(NormRequest::whiten_group(&probe))
+                .map_err(std::io::Error::other)?;
+            assert_eq!(
+                response.bits(),
+                &expect[..],
+                "service whitening diverged from the direct executor \
+                 ({mode}, shards={shards}, pool={buffer_pool})"
+            );
+        }
+        for &submitters in submitter_counts {
+            for (mode, shards, buffer_pool) in WHITEN_VARIANTS {
+                let service = service_for(WHITEN_D, mode, shards, buffer_pool);
+                let warm = request_bits(WHITEN_D, WHITEN_ROWS, 99, 0);
+                service
+                    .submit(NormRequest::whiten_group(&warm))
+                    .map_err(std::io::Error::other)?;
+                let base = service.stats();
+                let seconds = measure(
+                    &service,
+                    mode,
+                    submitters,
+                    requests_per_thread,
+                    WHITEN_ROWS,
+                    true,
+                );
+                let stats = service.stats();
+                let total_requests = (submitters * requests_per_thread) as f64;
+                let total_rows = total_requests * WHITEN_ROWS as f64;
+                let measured_requests = (stats.whiten_requests - base.whiten_requests) as f64;
+                let requests_per_batch =
+                    measured_requests / ((stats.batches - base.batches) as f64).max(1.0);
+                let queue_wait_us_per_request = (stats.queue_wait - base.queue_wait).as_secs_f64()
+                    * 1e6
+                    / measured_requests.max(1.0);
+                points.push(Point {
+                    workload: "whiten",
+                    d: WHITEN_D,
+                    submitters,
+                    mode,
+                    shards,
+                    buffer_pool,
+                    rows_per_s: total_rows / seconds,
+                    us_per_request: seconds * 1e6 / total_requests,
+                    requests_per_batch,
+                    queue_wait_us_per_request,
+                });
+                table.push(vec![
+                    "whiten".to_string(),
+                    WHITEN_D.to_string(),
                     submitters.to_string(),
                     mode.to_string(),
                     shards.to_string(),
@@ -296,6 +417,7 @@ pub fn run_at(
 
     print_table(
         &[
+            "workload",
             "d",
             "submitters",
             "mode",
@@ -321,15 +443,26 @@ pub fn run_at(
         "  \"requests_per_thread\": {requests_per_thread},\n"
     ));
     json.push_str(&format!("  \"async_pipeline_depth\": {PIPELINE_DEPTH},\n"));
+    json.push_str(&format!(
+        "  \"whiten_method\": \"{}\",\n",
+        whiten_spec.label()
+    ));
+    json.push_str(&format!("  \"whiten_rows_per_group\": {WHITEN_ROWS},\n"));
     json.push_str("  \"bit_identity_checked\": true,\n");
+    json.push_str(
+        "  \"caveat\": \"generated on a 1-core container; blocking modes measure \
+         within noise of each other and shard curves are flat — re-run on a \
+         multi-core host for genuine submit/execute overlap\",\n",
+    );
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"d\": {}, \"submitters\": {}, \"mode\": \"{}\", \
+            "    {{\"workload\": \"{}\", \"d\": {}, \"submitters\": {}, \"mode\": \"{}\", \
              \"shards\": {}, \"buffer_pool\": {}, \
              \"rows_per_s\": {:.1}, \"us_per_request\": {:.1}, \
              \"requests_per_batch\": {:.2}, \
              \"queue_wait_us_per_request\": {:.2}}}{}\n",
+            p.workload,
             p.d,
             p.submitters,
             p.mode,

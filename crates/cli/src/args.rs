@@ -13,7 +13,7 @@ pub struct Parsed {
 
 /// Option keys that take a value; anything else starting with `--` is a
 /// boolean flag.
-const VALUED: [&str; 17] = [
+const VALUED: [&str; 20] = [
     "format",
     "steps",
     "d",
@@ -31,6 +31,9 @@ const VALUED: [&str; 17] = [
     "unix",
     "tenants",
     "simd",
+    "eps",
+    "group-mode",
+    "tol",
 ];
 
 impl Parsed {
@@ -159,6 +162,25 @@ mod tests {
         let p = Parsed::parse(&sv(&["--simd", "avx2"])).unwrap();
         assert_eq!(p.get("simd"), Some("avx2"));
         assert!(Parsed::parse(&sv(&["--simd"])).is_err());
+    }
+
+    #[test]
+    fn whiten_options_parse_as_values() {
+        let p = Parsed::parse(&sv(&[
+            "--eps",
+            "1e-4",
+            "--group-mode",
+            "raw",
+            "--tol",
+            "0.01",
+        ]))
+        .unwrap();
+        assert_eq!(p.num("eps", 1e-5f64).unwrap(), 1e-4);
+        assert_eq!(p.get("group-mode"), Some("raw"));
+        assert_eq!(p.num("tol", f64::INFINITY).unwrap(), 0.01);
+        assert!(Parsed::parse(&sv(&["--eps"])).is_err());
+        assert!(Parsed::parse(&sv(&["--group-mode"])).is_err());
+        assert!(Parsed::parse(&sv(&["--tol"])).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! iterl2norm cost [--format fp32]
 //! iterl2norm demo --d 768 --format fp32 --method fisr
 //! iterl2norm batch --d 768 --rows 512 --method iterl2
+//! iterl2norm whiten --d 16 --m 64 --steps 5 --group-mode center
 //! iterl2norm serve --listen 127.0.0.1:7070 --tenants 1:100:20:high
 //! ```
 
@@ -42,6 +43,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "cost" => commands::cost(&parsed),
         "demo" => commands::demo(&parsed),
         "batch" => commands::batch(&parsed),
+        "whiten" => commands::whiten(&parsed),
         "serve" => commands::serve(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

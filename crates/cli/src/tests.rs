@@ -433,6 +433,56 @@ fn simd_flag_happy_paths_and_rejections() {
 }
 
 #[test]
+fn whiten_happy_paths_all_formats_and_backends() {
+    // The emulated oracle on every format, the native f32 path, and a
+    // forced scalar tier — all end to end through the service front door.
+    for fmt in ["fp32", "fp16", "bf16"] {
+        commands::whiten(&parsed(&["--d", "8", "--m", "32", "--format", fmt]))
+            .unwrap_or_else(|e| panic!("{fmt}: {e}"));
+    }
+    commands::whiten(&parsed(&["--d", "8", "--m", "32", "--backend", "native"])).unwrap();
+    commands::whiten(&parsed(&[
+        "--d",
+        "8",
+        "--m",
+        "32",
+        "--backend",
+        "native",
+        "--simd",
+        "scalar",
+    ]))
+    .unwrap();
+    // Both group modes, an explicit ridge, and T = 0 (trace normalization
+    // only — reports residual 0 by construction, no convergence claim).
+    commands::whiten(&parsed(&["--d", "4", "--m", "16", "--group-mode", "raw"])).unwrap();
+    commands::whiten(&parsed(&["--d", "4", "--m", "16", "--eps", "1e-3"])).unwrap();
+    commands::whiten(&parsed(&["--d", "4", "--m", "16", "--steps", "0"])).unwrap();
+}
+
+#[test]
+fn whiten_validates_flags_and_enforces_tol() {
+    assert!(commands::whiten(&parsed(&["--d", "0"])).is_err());
+    assert!(commands::whiten(&parsed(&["--m", "0"])).is_err());
+    let err = commands::whiten(&parsed(&["--group-mode", "zca"])).unwrap_err();
+    assert!(err.contains("zca") && err.contains("center|raw"), "{err}");
+    let err = commands::whiten(&parsed(&["--eps", "-1"])).unwrap_err();
+    assert!(err.contains("--eps"), "{err}");
+    // Native whitening is an f32 pipeline, like the native norm backend.
+    let err = commands::whiten(&parsed(&["--backend", "native", "--format", "fp16"])).unwrap_err();
+    assert!(err.contains("native-f32") && err.contains("FP16"), "{err}");
+    // The emulator has no vector tier for whitening either.
+    let err = commands::whiten(&parsed(&["--backend", "emulated", "--simd", "sse2"])).unwrap_err();
+    assert!(err.contains("sse2") && err.contains("emulated"), "{err}");
+    // A zero-step iteration cannot meet a finite residual bar at d > 1:
+    // --tol turns the report into the engine's own convergence error.
+    let err = commands::whiten(&parsed(&[
+        "--d", "8", "--m", "32", "--steps", "1", "--tol", "1e-12",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("did not converge"), "{err}");
+}
+
+#[test]
 fn serve_requires_a_listener_and_validates_flags() {
     // No listener at all: rejected with both options named.
     let err = commands::serve_impl(&parsed(&[])).unwrap_err();

@@ -174,6 +174,54 @@ fn batch_stdout_structure_is_preserved() {
 }
 
 #[test]
+fn whiten_stdout_is_byte_identical_and_backend_independent() {
+    assert_eq!(
+        run(&["whiten", "--d", "8", "--m", "32", "--seed", "3"]),
+        "format FP32  backend emulated  d 8  m 32  whiten[t=5,eps=1e-5,center]  seed 3\n\
+         mean 0.020992  trace 2.6521  scale 0.614053\n\
+         residual |P^2*Sigma_N - I| 5.219e-2   output covariance max |dev from I| 5.224e-2\n"
+    );
+    // The native path is bit-identical to the emulated oracle, so its
+    // stdout differs only in the backend name.
+    assert_eq!(
+        run(&[
+            "whiten",
+            "--d",
+            "8",
+            "--m",
+            "32",
+            "--seed",
+            "3",
+            "--backend",
+            "native"
+        ]),
+        "format FP32  backend native-f32  d 8  m 32  whiten[t=5,eps=1e-5,center]  seed 3\n\
+         mean 0.020992  trace 2.6521  scale 0.614053\n\
+         residual |P^2*Sigma_N - I| 5.219e-2   output covariance max |dev from I| 5.224e-2\n"
+    );
+    assert_eq!(
+        run(&[
+            "whiten",
+            "--d",
+            "4",
+            "--m",
+            "16",
+            "--seed",
+            "1",
+            "--format",
+            "fp16",
+            "--group-mode",
+            "raw",
+            "--steps",
+            "3",
+        ]),
+        "format FP16  backend emulated  d 4  m 16  whiten[t=3,eps=1e-5,raw]  seed 1\n\
+         mean 0.114673  trace 1.5085  scale 0.814181\n\
+         residual |P^2*Sigma_N - I| 1.468e-1   output covariance max |dev from I| 1.463e-1\n"
+    );
+}
+
+#[test]
 fn case_insensitive_flags_match_lowercase_output_exactly() {
     // New with the service API: --format/--backend parse case-insensitively
     // and produce byte-identical output to the lowercase spelling.

@@ -90,6 +90,33 @@ pub enum NormError {
         /// The backend the level was requested for (e.g. `"emulated"`).
         backend: &'static str,
     },
+    /// A whitening group was not a positive whole number of `d`-length
+    /// rows. The group analogue of [`BatchLengthMismatch`]: a whitening
+    /// request is one `m × d` group, so a ragged buffer cannot even name
+    /// its sample count `m`.
+    ///
+    /// [`BatchLengthMismatch`]: NormError::BatchLengthMismatch
+    GroupShapeMismatch {
+        /// Complete rows contained in the buffer (`actual / d`).
+        rows: usize,
+        /// The configured feature length `d`.
+        d: usize,
+        /// Observed buffer length.
+        actual: usize,
+    },
+    /// The Newton–Schulz whitening iteration did not reach the requested
+    /// residual tolerance after its configured step budget — the produced
+    /// `P_T` is not close enough to `Σ_N^{-1/2}`. The residual and the
+    /// tolerance are carried as exact `f64` bit patterns (`f64::to_bits`)
+    /// so the variant stays `Eq`; decode with `f64::from_bits`.
+    WhitenNotConverged {
+        /// Newton–Schulz steps that ran (the configured `t`).
+        steps: u32,
+        /// `f64::to_bits` of the measured residual `‖P_T² Σ_N − I‖_max`.
+        residual_bits: u64,
+        /// `f64::to_bits` of the requested tolerance.
+        tol_bits: u64,
+    },
 }
 
 impl fmt::Display for NormError {
@@ -161,6 +188,27 @@ impl fmt::Display for NormError {
                      the generic path"
                 )
             }
+            NormError::GroupShapeMismatch { rows, d, actual } => write!(
+                f,
+                "whitening group of length {actual} is not a positive whole number of rows \
+                 of length {d} ({rows} complete rows plus {} leftover elements); submit one \
+                 m x d group per request",
+                // Saturating: the variant's fields are public, so Display
+                // must stay total even for inconsistent hand-built values.
+                actual.saturating_sub(rows.saturating_mul(*d))
+            ),
+            NormError::WhitenNotConverged {
+                steps,
+                residual_bits,
+                tol_bits,
+            } => write!(
+                f,
+                "whitening did not converge after {steps} Newton-Schulz steps: residual \
+                 {:.3e} exceeds tolerance {:.3e}; raise the step count t, raise eps, or \
+                 loosen the tolerance",
+                f64::from_bits(*residual_bits),
+                f64::from_bits(*tol_bits)
+            ),
         }
     }
 }
@@ -347,6 +395,77 @@ mod tests {
         // The message points at both ways out: graceful auto-detection and
         // the always-available scalar path.
         assert!(s.contains("auto") && s.contains("scalar"), "{s}");
+    }
+
+    #[test]
+    fn group_shape_mismatch_displays_its_numbers_and_the_fix() {
+        let e = NormError::GroupShapeMismatch {
+            rows: 3,
+            d: 16,
+            actual: 50,
+        };
+        let s = e.to_string();
+        assert!(
+            s.chars().next().unwrap().is_lowercase(),
+            "not lowercase: {s}"
+        );
+        for n in [3usize, 16, 50] {
+            assert!(s.contains(&n.to_string()), "'{s}' missing {n}");
+        }
+        assert!(s.contains("2 leftover"), "{s}");
+        // The message says what a valid whitening request looks like.
+        assert!(s.contains("m x d group"), "{s}");
+    }
+
+    #[test]
+    fn group_shape_mismatch_display_is_total_for_inconsistent_fields() {
+        let e = NormError::GroupShapeMismatch {
+            rows: usize::MAX,
+            d: usize::MAX,
+            actual: 1,
+        };
+        let _ = e.to_string();
+        let e = NormError::GroupShapeMismatch {
+            rows: 9,
+            d: 10,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("0 leftover"), "{e}");
+    }
+
+    #[test]
+    fn whiten_not_converged_displays_steps_residual_tolerance_and_fixes() {
+        let e = NormError::WhitenNotConverged {
+            steps: 5,
+            residual_bits: 0.25f64.to_bits(),
+            tol_bits: 1e-3f64.to_bits(),
+        };
+        let s = e.to_string();
+        assert!(
+            s.chars().next().unwrap().is_lowercase(),
+            "not lowercase: {s}"
+        );
+        assert!(s.contains('5'), "'{s}' must name the step budget");
+        assert!(s.contains("2.500e-1"), "'{s}' must show the residual");
+        assert!(s.contains("1.000e-3"), "'{s}' must show the tolerance");
+        // The message points at every way out: more steps, more damping,
+        // or a looser bar.
+        assert!(
+            s.contains('t') && s.contains("eps") && s.contains("tolerance"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn whiten_not_converged_display_is_total_for_nan_residuals() {
+        // A NaN residual (a blown-up iteration) must still print.
+        let e = NormError::WhitenNotConverged {
+            steps: 1,
+            residual_bits: f64::NAN.to_bits(),
+            tol_bits: f64::INFINITY.to_bits(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("NaN"), "{s}");
     }
 
     #[test]

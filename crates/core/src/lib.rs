@@ -64,10 +64,11 @@
 //! [`ScaleMethod`] registry (or any custom `&dyn RsqrtScale<F>` — the
 //! trait is object-safe).
 
-// `deny` rather than `forbid`: the `simd` module is the one place in the
-// workspace that needs `unsafe` (std::arch intrinsics plus two u32/f32
-// slice reinterpretations) and opts back in with a scoped `allow`; every
-// other module stays unsafe-free, enforced at compile time.
+// `deny` rather than `forbid`: the `simd` and `whiten` modules are the
+// only places in the workspace that need `unsafe` (std::arch intrinsics
+// plus, in `simd`, two u32/f32 slice reinterpretations) and opt back in
+// with a scoped `allow`; every other module stays unsafe-free, enforced
+// at compile time.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -84,6 +85,7 @@ pub mod metrics;
 pub mod reference;
 pub mod service;
 pub mod simd;
+pub mod whiten;
 
 pub use backend::{
     build_backend, build_backend_affine, build_backend_simd, BackendKind, ExecFloat, FormatKind,
@@ -103,6 +105,9 @@ pub use layernorm::{
 };
 pub use service::{
     NormRequest, NormResponse, NormService, NormServicePool, NormTicket, Placement, Priority,
-    ScalarTrace, ServiceConfig, ServiceStats, ServiceStatsSnapshot,
+    RequestKind, ScalarTrace, ServiceConfig, ServiceStats, ServiceStatsSnapshot,
 };
 pub use simd::SimdLevel;
+pub use whiten::{
+    build_whiten, EmulatedWhiten, GroupMode, NativeWhitenF32, WhitenDetail, WhitenExec, WhitenSpec,
+};

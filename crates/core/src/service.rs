@@ -157,6 +157,7 @@ use crate::hworder::ReduceOrder;
 use crate::iteration::iterate;
 use crate::layernorm::{layer_norm, LayerNormInputs};
 use crate::simd::SimdLevel;
+use crate::whiten::{build_whiten, WhitenDetail, WhitenExec, WhitenSpec};
 
 /// Dispatch a body over the concrete [`Float`] type a validated
 /// `(backend, format)` pair executes. Only reachable after
@@ -209,6 +210,7 @@ pub struct ServiceConfig {
     buffer_pool: bool,
     placement: Placement,
     simd: SimdLevel,
+    whiten: WhitenSpec,
 }
 
 impl ServiceConfig {
@@ -234,6 +236,7 @@ impl ServiceConfig {
             buffer_pool: true,
             placement: Placement::default(),
             simd: SimdLevel::Auto,
+            whiten: WhitenSpec::default(),
         }
     }
 
@@ -364,6 +367,17 @@ impl ServiceConfig {
         self
     }
 
+    /// Same config with a different whitening spec — the iteration count,
+    /// covariance ridge and group mode that
+    /// [`NormRequest::whiten_group`] requests execute under. Whitening
+    /// shares this config's backend, format, SIMD level and thread count;
+    /// the executor itself is built lazily, on the first whitening
+    /// request a shard sees, so services that never whiten pay nothing.
+    pub fn with_whiten(mut self, whiten: WhitenSpec) -> Self {
+        self.whiten = whiten;
+        self
+    }
+
     /// Same config with the response-buffer pool enabled or disabled.
     /// When enabled (the default), output buffers are leased from a small
     /// free list and returned when the [`NormResponse`] is dropped, so
@@ -442,6 +456,11 @@ impl ServiceConfig {
         self.simd
     }
 
+    /// The whitening spec [`NormRequest::whiten_group`] requests run.
+    pub fn whiten(&self) -> WhitenSpec {
+        self.whiten
+    }
+
     /// Validate the configuration and erase it behind a [`NormService`].
     ///
     /// # Errors
@@ -518,6 +537,9 @@ impl ServiceConfig {
                 queue: Mutex::new(QueueState::default()),
                 queue_cv: Condvar::new(),
                 backend: Mutex::new(backend),
+                // Lazily built on the shard's first whitening request —
+                // see [`Inner::whiten_of`].
+                whiten: Mutex::new(None),
                 // Per shard on purpose: a single service-wide pool mutex
                 // would reintroduce the global serialization point that
                 // sharding exists to remove.
@@ -652,6 +674,21 @@ pub struct NormRequest<'a> {
     payload: Payload<'a>,
     key: Option<u64>,
     priority: Priority,
+    kind: RequestKind,
+}
+
+/// Which workload a [`NormRequest`] carries. Both kinds ride the same
+/// shard queues, coalescing rounds, tickets and backpressure; they differ
+/// only in how the payload is interpreted (independent `d`-length rows vs
+/// one `m × d` group) and which executor serves them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RequestKind {
+    /// Row-wise normalization: every `d`-length row is independent.
+    #[default]
+    Normalize,
+    /// Group whitening: the payload is one `m × d` group, whitened as a
+    /// unit with the service's [`WhitenSpec`] (Newton–Schulz `Σ^{-1/2}`).
+    Whiten,
 }
 
 /// The two accepted payload encodings.
@@ -670,6 +707,7 @@ impl<'a> NormRequest<'a> {
             payload: Payload::Bits(data),
             key: None,
             priority: Priority::Normal,
+            kind: RequestKind::Normalize,
         }
     }
 
@@ -679,6 +717,33 @@ impl<'a> NormRequest<'a> {
             payload: Payload::F32(data),
             key: None,
             priority: Priority::Normal,
+            kind: RequestKind::Normalize,
+        }
+    }
+
+    /// A whitening request: `data` is one row-major `m × d` group of
+    /// storage bit patterns, whitened as a unit under the service's
+    /// [`WhitenSpec`] ([`ServiceConfig::with_whiten`]). Rides the same
+    /// shard queues, coalescing rounds, tickets and stats as
+    /// normalization traffic.
+    pub fn whiten_group(data: &'a [u32]) -> Self {
+        NormRequest {
+            payload: Payload::Bits(data),
+            key: None,
+            priority: Priority::Normal,
+            kind: RequestKind::Whiten,
+        }
+    }
+
+    /// [`whiten_group`](NormRequest::whiten_group) over native `f32`
+    /// values (re-tagged bit for bit on FP32 services, rounded in on
+    /// narrower formats).
+    pub fn whiten_group_f32(data: &'a [f32]) -> Self {
+        NormRequest {
+            payload: Payload::F32(data),
+            key: None,
+            priority: Priority::Normal,
+            kind: RequestKind::Whiten,
         }
     }
 
@@ -711,6 +776,12 @@ impl<'a> NormRequest<'a> {
     /// with [`with_priority`](NormRequest::with_priority)).
     pub fn priority(&self) -> Priority {
         self.priority
+    }
+
+    /// The workload this request carries ([`RequestKind::Normalize`]
+    /// unless built with one of the `whiten_group` constructors).
+    pub fn kind(&self) -> RequestKind {
+        self.kind
     }
 
     /// Number of `u32`/`f32` elements in the request.
@@ -939,6 +1010,14 @@ pub struct ServiceStats {
     /// Summed per batch, so `queue_wait + execute` does not double-count
     /// a coalesced batch's execution once per member request.
     pub execute: Duration,
+    /// Accepted requests that were whitening groups
+    /// ([`NormRequest::whiten_group`]) — a subset of
+    /// [`requests`](ServiceStats::requests), so normalization traffic is
+    /// `requests − whiten_requests`.
+    pub whiten_requests: u64,
+    /// Rows whitened — a subset of [`rows`](ServiceStats::rows), counted
+    /// the same way (only for requests whose backend call actually ran).
+    pub whiten_rows: u64,
 }
 
 impl ServiceStats {
@@ -952,6 +1031,8 @@ impl ServiceStats {
         self.abandoned_tickets += other.abandoned_tickets;
         self.queue_wait += other.queue_wait;
         self.execute += other.execute;
+        self.whiten_requests += other.whiten_requests;
+        self.whiten_rows += other.whiten_rows;
     }
 
     /// Freeze these counters into the stable export form every external
@@ -968,6 +1049,8 @@ impl ServiceStats {
             abandoned_tickets: self.abandoned_tickets,
             queue_wait_us: us(self.queue_wait),
             execute_us: us(self.execute),
+            whiten_requests: self.whiten_requests,
+            whiten_rows: self.whiten_rows,
         }
     }
 }
@@ -998,13 +1081,17 @@ pub struct ServiceStatsSnapshot {
     pub queue_wait_us: u64,
     /// Cumulative backend execution wall time, µs.
     pub execute_us: u64,
+    /// Accepted whitening-group requests (subset of `requests`).
+    pub whiten_requests: u64,
+    /// Rows whitened (subset of `rows`).
+    pub whiten_rows: u64,
 }
 
 impl ServiceStatsSnapshot {
     /// Every counter as a `(name, value)` pair, in a fixed order.
     /// Exporters iterate this instead of naming fields, so field coverage
     /// is total by construction.
-    pub fn fields(&self) -> [(&'static str, u64); 8] {
+    pub fn fields(&self) -> [(&'static str, u64); 10] {
         [
             ("requests", self.requests),
             ("batches", self.batches),
@@ -1014,6 +1101,8 @@ impl ServiceStatsSnapshot {
             ("abandoned_tickets", self.abandoned_tickets),
             ("queue_wait_us", self.queue_wait_us),
             ("execute_us", self.execute_us),
+            ("whiten_requests", self.whiten_requests),
+            ("whiten_rows", self.whiten_rows),
         ]
     }
 }
@@ -1042,11 +1131,28 @@ struct SlotResult {
 }
 
 /// What one combining round executed (for the leader's stats update).
+/// A mixed round issues up to two backend calls — one per
+/// [`RequestKind`] — so the batch count is carried here instead of being
+/// assumed to be one.
+#[derive(Default)]
 struct RoundStats {
-    requests: usize,
-    rows: usize,
+    batches: u64,
+    coalesced_requests: u64,
+    rows: u64,
+    whiten_rows: u64,
     queue_wait: Duration,
     execute: Duration,
+}
+
+impl RoundStats {
+    fn absorb(&mut self, sub: RoundStats) {
+        self.batches += sub.batches;
+        self.coalesced_requests += sub.coalesced_requests;
+        self.rows += sub.rows;
+        self.whiten_rows += sub.whiten_rows;
+        self.queue_wait += sub.queue_wait;
+        self.execute += sub.execute;
+    }
 }
 
 /// A successful backend call's timing: when execution actually began
@@ -1180,6 +1286,7 @@ struct PendingEntry {
     slot: Arc<Slot>,
     accepted: Instant,
     priority: Priority,
+    kind: RequestKind,
 }
 
 #[derive(Default)]
@@ -1210,6 +1317,12 @@ struct Shard {
     /// filled, or leadership may be free for one of them to claim).
     queue_cv: Condvar,
     backend: Mutex<Box<dyn NormBackend>>,
+    /// The shard's whitening executor, built from the config on the first
+    /// whitening request this shard sees (`None` until then — a service
+    /// that never whitens never builds one). Own mutex so whitening
+    /// rounds and custom-backend services stay decoupled from the
+    /// normalization backend lock.
+    whiten: Mutex<Option<Box<dyn WhitenExec>>>,
     /// Shard-local buffer pool; responses hold an [`Arc`] to it so a
     /// buffer always returns to the shard that leased it.
     pool: Arc<BufferPool>,
@@ -1301,6 +1414,40 @@ impl Inner {
                 Err(NormError::ServiceShutdown)
             }
         }
+    }
+
+    /// Lock a shard's whitening executor, building it from the config on
+    /// first use. Build errors (an impossible backend/format/SIMD combo
+    /// for whitening) surface to the whitening submitter only — they do
+    /// not shut the service down, and normalization traffic is
+    /// unaffected. Poison is handled like [`backend_of`](Inner::backend_of):
+    /// a panic mid-whitening may have left executor scratch inconsistent.
+    #[allow(clippy::type_complexity)]
+    fn whiten_of<'s>(
+        &self,
+        shard: &'s Shard,
+    ) -> Result<MutexGuard<'s, Option<Box<dyn WhitenExec>>>, NormError> {
+        let mut guard = match shard.whiten.lock() {
+            Ok(guard) => guard,
+            Err(_) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                for other in &self.shards {
+                    other.queue_cv.notify_all();
+                }
+                return Err(NormError::ServiceShutdown);
+            }
+        };
+        if guard.is_none() {
+            let config = &self.config;
+            *guard = Some(build_whiten(
+                config.backend,
+                config.format,
+                config.d,
+                config.whiten,
+                config.simd,
+            )?);
+        }
+        Ok(guard)
     }
 }
 
@@ -1668,16 +1815,28 @@ impl NormService {
 
         if !self.inner.config.coalescing {
             let bits = request.encode_cow(self.inner.config.format);
-            let executed = self.execute_into(shard, &bits, sink.buf(&shard.pool, request.len()));
+            let executed = self.execute_request_into(
+                shard,
+                request.kind(),
+                &bits,
+                rows,
+                sink.buf(&shard.pool, request.len()),
+            );
             let mut queue = self.inner.queue_of(shard);
             queue.stats.requests += 1;
             queue.stats.batches += 1;
+            if request.kind() == RequestKind::Whiten {
+                queue.stats.whiten_requests += 1;
+            }
             if let Ok(exec) = &executed {
                 // Counted on success only: `rows` is rows actually
                 // normalized, and the wait runs up to the moment execution
                 // began — backend-lock waits charge to queue_wait.
                 queue.stats.queue_wait += exec.exec_start.duration_since(accepted);
                 queue.stats.rows += rows as u64;
+                if request.kind() == RequestKind::Whiten {
+                    queue.stats.whiten_rows += rows as u64;
+                }
                 queue.stats.execute += exec.execute;
             }
             drop(queue);
@@ -1698,6 +1857,9 @@ impl NormService {
                 if !queue.leader && queue.pending.is_empty() {
                     queue.leader = true;
                     queue.stats.requests += 1;
+                    if request.kind() == RequestKind::Whiten {
+                        queue.stats.whiten_requests += 1;
+                    }
                     true
                 } else {
                     false
@@ -1710,14 +1872,22 @@ impl NormService {
                     completed: false,
                 };
                 let bits = request.encode_cow(self.inner.config.format);
-                let executed =
-                    self.execute_into(shard, &bits, sink.buf(&shard.pool, request.len()));
+                let executed = self.execute_request_into(
+                    shard,
+                    request.kind(),
+                    &bits,
+                    rows,
+                    sink.buf(&shard.pool, request.len()),
+                );
                 {
                     let mut queue = self.inner.queue_of(shard);
                     queue.stats.batches += 1;
                     if let Ok(exec) = &executed {
                         queue.stats.queue_wait += exec.exec_start.duration_since(accepted);
                         queue.stats.rows += rows as u64;
+                        if request.kind() == RequestKind::Whiten {
+                            queue.stats.whiten_rows += rows as u64;
+                        }
                         queue.stats.execute += exec.execute;
                     }
                     queue.leader = false;
@@ -1805,11 +1975,15 @@ impl NormService {
             return Err(NormError::QueueFull { depth });
         }
         queue.stats.requests += 1;
+        if request.kind() == RequestKind::Whiten {
+            queue.stats.whiten_requests += 1;
+        }
         let entry = PendingEntry {
             bits,
             slot: Arc::clone(&slot),
             accepted,
             priority: request.priority(),
+            kind: request.kind(),
         };
         match request.priority() {
             Priority::Normal => queue.pending.push(entry),
@@ -1853,11 +2027,10 @@ impl NormService {
         let round = self.run_round(shard);
         {
             let mut queue = self.inner.queue_of(shard);
-            queue.stats.batches += 1;
-            queue.stats.rows += round.rows as u64;
-            if round.requests > 1 {
-                queue.stats.coalesced_requests += round.requests as u64;
-            }
+            queue.stats.batches += round.batches;
+            queue.stats.rows += round.rows;
+            queue.stats.whiten_rows += round.whiten_rows;
+            queue.stats.coalesced_requests += round.coalesced_requests;
             queue.stats.queue_wait += round.queue_wait;
             queue.stats.execute += round.execute;
             queue.leader = false;
@@ -1885,42 +2058,115 @@ impl NormService {
         })
     }
 
+    /// [`execute_into`](NormService::execute_into) for whitening work:
+    /// one [`WhitenExec::whiten_groups`] call over the concatenated
+    /// groups (`group_rows[i]` rows each), timed identically.
+    fn execute_whiten_into(
+        &self,
+        shard: &Shard,
+        bits: &[u32],
+        group_rows: &[usize],
+        out: &mut [u32],
+    ) -> Result<Executed, NormError> {
+        let mut guard = self.inner.whiten_of(shard)?;
+        let exec = guard.as_mut().expect("whiten_of builds on first use");
+        let exec_start = Instant::now();
+        exec.whiten_groups(bits, out, group_rows, self.inner.config.threads)?;
+        Ok(Executed {
+            exec_start,
+            execute: exec_start.elapsed(),
+        })
+    }
+
+    /// One backend call for a lone request, routed by its kind: a
+    /// normalization request is `rows` independent rows, a whitening
+    /// request is one `rows × d` group.
+    fn execute_request_into(
+        &self,
+        shard: &Shard,
+        kind: RequestKind,
+        bits: &[u32],
+        rows: usize,
+        out: &mut [u32],
+    ) -> Result<Executed, NormError> {
+        match kind {
+            RequestKind::Normalize => self.execute_into(shard, bits, out),
+            RequestKind::Whiten => self.execute_whiten_into(shard, bits, &[rows], out),
+        }
+    }
+
     /// Run one combining round on `shard`: drain everything queued,
-    /// execute it as a single partitioned backend call, split the output
-    /// back per caller and fill the waiters' slots. Exactly one round per
-    /// leadership claim — the caller releases leadership afterwards and
-    /// wakes a waiter to take the next round. Panic-safe: if the backend
-    /// unwinds, every drained waiter is failed instead of abandoned.
+    /// execute it, split the output back per caller and fill the
+    /// waiters' slots. The drained entries are partitioned by
+    /// [`RequestKind`] — normalization rows and whitening groups execute
+    /// through different backend calls, so a mixed round issues one
+    /// sub-batch per kind present (arrival order preserved within each).
+    /// Exactly one round per leadership claim — the caller releases
+    /// leadership afterwards and wakes a waiter to take the next round.
+    /// Panic-safe: if a backend unwinds, every drained waiter is failed
+    /// instead of abandoned.
     fn run_round(&self, shard: &Shard) -> RoundStats {
+        let drained = {
+            let mut queue = self.inner.queue_of(shard);
+            // Draining moves the leader's own entry out of the
+            // waiting line, so it stops discounting the depth bound.
+            queue.leader_in_pending = false;
+            std::mem::take(&mut queue.pending)
+        };
+        let (whiten, norm): (Vec<_>, Vec<_>) = drained
+            .into_iter()
+            .partition(|entry| entry.kind == RequestKind::Whiten);
+        let mut round = RoundStats::default();
+        if !norm.is_empty() {
+            let inflight = InFlight { entries: norm };
+            round.absorb(self.run_subround(shard, inflight, RequestKind::Normalize));
+        }
+        if !whiten.is_empty() {
+            let inflight = InFlight { entries: whiten };
+            round.absorb(self.run_subround(shard, inflight, RequestKind::Whiten));
+        }
+        round
+    }
+
+    /// Execute one kind's share of a combining round as a single backend
+    /// call and fill its waiters' slots.
+    fn run_subround(&self, shard: &Shard, mut inflight: InFlight, kind: RequestKind) -> RoundStats {
         let d = self.inner.config.d;
         let pool = &shard.pool;
-        let mut inflight = InFlight {
-            entries: {
-                let mut queue = self.inner.queue_of(shard);
-                // Draining moves the leader's own entry out of the
-                // waiting line, so it stops discounting the depth bound.
-                queue.leader_in_pending = false;
-                std::mem::take(&mut queue.pending)
-            },
-        };
         let total: usize = inflight.entries.iter().map(|e| e.bits.len()).sum();
         let batch_requests = inflight.entries.len();
         let batch_rows = total / d;
-        let mut queue_wait = Duration::ZERO;
-        let mut execute = Duration::ZERO;
+        let mut sub = RoundStats {
+            batches: 1,
+            // Requests share a batch only within their own sub-batch — a
+            // lone whitening group riding a round with two normalization
+            // requests did not share its backend call with anything.
+            coalesced_requests: if batch_requests > 1 {
+                batch_requests as u64
+            } else {
+                0
+            },
+            ..RoundStats::default()
+        };
         let mut succeeded = false;
         if batch_requests == 1 {
             // A lone request needs no concat/split: execute it in place
             // and hand the output buffer to the slot whole, sparing the
             // two batch-sized copies (which dominate for large requests).
             let mut out = pool.lease(total);
-            let exec = self.execute_into(shard, &inflight.entries[0].bits, &mut out);
+            let exec = self.execute_request_into(
+                shard,
+                kind,
+                &inflight.entries[0].bits,
+                batch_rows,
+                &mut out,
+            );
             let entry = inflight.entries.pop().expect("one request");
             pool.give_back(entry.bits);
             match exec {
                 Ok(e) => {
-                    queue_wait = e.exec_start.duration_since(entry.accepted);
-                    execute = e.execute;
+                    sub.queue_wait = e.exec_start.duration_since(entry.accepted);
+                    sub.execute = e.execute;
                     succeeded = true;
                     entry.slot.fill(Ok(SlotResult {
                         bits: out,
@@ -1944,16 +2190,26 @@ impl NormService {
                 offset += entry.bits.len();
             }
             let mut out = pool.lease(total);
-            let exec = self.execute_into(shard, &input, &mut out);
+            let exec = match kind {
+                RequestKind::Normalize => self.execute_into(shard, &input, &mut out),
+                RequestKind::Whiten => {
+                    // Each entry is one group; the concatenated call
+                    // whitens them independently, so the coalesced bits
+                    // equal per-request execution exactly like rows do.
+                    let group_rows: Vec<usize> =
+                        inflight.entries.iter().map(|e| e.bits.len() / d).collect();
+                    self.execute_whiten_into(shard, &input, &group_rows, &mut out)
+                }
+            };
             pool.give_back(input);
             match exec {
                 Ok(e) => {
-                    queue_wait = inflight
+                    sub.queue_wait = inflight
                         .entries
                         .iter()
                         .map(|entry| e.exec_start.duration_since(entry.accepted))
                         .sum();
-                    execute = e.execute;
+                    sub.execute = e.execute;
                     succeeded = true;
                     let mut offset = 0;
                     for entry in inflight.entries.drain(..) {
@@ -1983,21 +2239,27 @@ impl NormService {
                 }
             }
         }
-        RoundStats {
-            requests: batch_requests,
-            // Stats count rows actually normalized: a failed round issued
-            // a batch call but produced nothing.
-            rows: if succeeded { batch_rows } else { 0 },
-            queue_wait,
-            execute,
+        if succeeded {
+            // Stats count rows actually processed: a failed sub-batch
+            // issued a backend call but produced nothing.
+            sub.rows = batch_rows as u64;
+            if kind == RequestKind::Whiten {
+                sub.whiten_rows = batch_rows as u64;
+            }
         }
+        sub
     }
 
-    /// Normalize exactly one `d`-length row, additionally returning the
-    /// scalar intermediates ([`RowMoments`]) — the reporting path behind
-    /// the CLI's `normalize` and `demo`. Runs directly on a shard's
-    /// backend (never coalesced — the batch path does not surface per-row
-    /// stats); the output bits are identical to
+    /// Normalize exactly one `d`-length row — or whiten exactly one
+    /// `m × d` group, for a [`NormRequest::whiten_group`] request —
+    /// additionally returning the scalar intermediates ([`RowMoments`]):
+    /// the reporting path behind the CLI's `normalize`, `demo` and
+    /// `whiten`. For a whitening request the moments are the group's
+    /// diagnostics — `mean` is the all-element mean, `m` is `trace(Σ)`
+    /// and `scale` is the global `√(1/trace)` folded into the whiten
+    /// matrix (see [`WhitenDetail`]). Runs directly on a shard's
+    /// executor (never coalesced — the batch path does not surface
+    /// per-request stats); the output bits are identical to
     /// [`submit`](NormService::submit). Timing starts after the empty
     /// check, like [`submit`](NormService::submit).
     ///
@@ -2005,8 +2267,9 @@ impl NormService {
     ///
     /// [`NormError::ServiceShutdown`] after shutdown,
     /// [`NormError::EmptyRequest`] for an empty request,
-    /// [`NormError::InputLengthMismatch`] when the request is not exactly
-    /// one row.
+    /// [`NormError::InputLengthMismatch`] when a normalization request is
+    /// not exactly one row, [`NormError::GroupShapeMismatch`] when a
+    /// whitening request is not whole `d`-length rows.
     pub fn submit_detailed(
         &self,
         request: NormRequest<'_>,
@@ -2022,21 +2285,42 @@ impl NormService {
         let pool = &shard.pool;
         let mut bits = pool.lease(0);
         request.encode_into(self.inner.config.format, &mut bits);
+        let rows = bits.len() / self.inner.config.d.max(1);
         let mut out = pool.lease(bits.len());
         let exec_start;
-        let moments = {
-            let mut backend = match self.inner.backend_of(shard) {
-                Ok(guard) => guard,
-                Err(err) => {
-                    pool.give_back(bits);
-                    pool.give_back(out);
-                    return Err(err);
-                }
-            };
-            // Timed after the lock lands, like `execute_into`: the wait
-            // for the backend belongs to queue_wait, not execute.
-            exec_start = Instant::now();
-            backend.normalize_row_bits_detailed(&bits, &mut out)
+        let moments = match request.kind() {
+            RequestKind::Normalize => {
+                let mut backend = match self.inner.backend_of(shard) {
+                    Ok(guard) => guard,
+                    Err(err) => {
+                        pool.give_back(bits);
+                        pool.give_back(out);
+                        return Err(err);
+                    }
+                };
+                // Timed after the lock lands, like `execute_into`: the
+                // wait for the backend belongs to queue_wait, not execute.
+                exec_start = Instant::now();
+                backend.normalize_row_bits_detailed(&bits, &mut out)
+            }
+            RequestKind::Whiten => {
+                let mut guard = match self.inner.whiten_of(shard) {
+                    Ok(guard) => guard,
+                    Err(err) => {
+                        pool.give_back(bits);
+                        pool.give_back(out);
+                        return Err(err);
+                    }
+                };
+                let exec = guard.as_mut().expect("whiten_of builds on first use");
+                exec_start = Instant::now();
+                exec.whiten_group_detailed(&bits, &mut out)
+                    .map(|detail| RowMoments {
+                        mean: detail.mean,
+                        m: detail.trace,
+                        scale: detail.scale,
+                    })
+            }
         };
         let execute = exec_start.elapsed();
         pool.give_back(bits);
@@ -2047,10 +2331,18 @@ impl NormService {
                 return Err(err);
             }
         };
+        let served_rows = match request.kind() {
+            RequestKind::Normalize => 1,
+            RequestKind::Whiten => rows,
+        };
         let mut queue = self.inner.queue_of(shard);
         queue.stats.requests += 1;
         queue.stats.batches += 1;
-        queue.stats.rows += 1;
+        queue.stats.rows += served_rows as u64;
+        if request.kind() == RequestKind::Whiten {
+            queue.stats.whiten_requests += 1;
+            queue.stats.whiten_rows += served_rows as u64;
+        }
         queue.stats.queue_wait += exec_start.duration_since(start);
         queue.stats.execute += execute;
         drop(queue);
@@ -2059,8 +2351,8 @@ impl NormService {
                 bits: out,
                 pool: Arc::clone(pool),
                 format: self.inner.config.format,
-                rows: 1,
-                batch_rows: 1,
+                rows: served_rows,
+                batch_rows: served_rows,
                 batch_requests: 1,
                 elapsed: start.elapsed(),
                 // The detailed path runs the scalar engine (it reports
@@ -2070,6 +2362,35 @@ impl NormService {
             },
             moments,
         ))
+    }
+
+    /// Whiten one group directly on shard 0's executor with a
+    /// convergence bar — the diagnostic companion of
+    /// [`submit_detailed`](NormService::submit_detailed), reporting the
+    /// full [`WhitenDetail`] (including the Newton–Schulz residual) and
+    /// failing with [`NormError::WhitenNotConverged`] when the residual
+    /// misses `tol`. Output bits land in `out` either way (the
+    /// unconverged result is inspectable). Bits are identical to
+    /// [`NormRequest::whiten_group`] through
+    /// [`submit`](NormService::submit).
+    ///
+    /// # Errors
+    ///
+    /// [`NormError::ServiceShutdown`] after shutdown, the whitening shape
+    /// errors, and [`NormError::WhitenNotConverged`].
+    pub fn whiten_check(
+        &self,
+        group_bits: &[u32],
+        out: &mut [u32],
+        tol: f64,
+    ) -> Result<WhitenDetail, NormError> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(NormError::ServiceShutdown);
+        }
+        let shard = &self.inner.shards[0];
+        let mut guard = self.inner.whiten_of(shard)?;
+        let exec = guard.as_mut().expect("whiten_of builds on first use");
+        exec.whiten_group_checked(group_bits, out, tol)
     }
 
     /// The one-shot compatibility path: normalize one `d`-length row the
@@ -2134,10 +2455,17 @@ impl NormService {
         let d = self.inner.config.d;
         let len = request.len();
         if !len.is_multiple_of(d) {
-            return Err(NormError::BatchLengthMismatch {
-                rows: len / d,
-                d,
-                actual: len,
+            return Err(match request.kind() {
+                RequestKind::Normalize => NormError::BatchLengthMismatch {
+                    rows: len / d,
+                    d,
+                    actual: len,
+                },
+                RequestKind::Whiten => NormError::GroupShapeMismatch {
+                    rows: len / d,
+                    d,
+                    actual: len,
+                },
             });
         }
         Ok(())
@@ -3146,6 +3474,8 @@ mod tests {
             abandoned_tickets: 6,
             queue_wait: Duration::from_micros(7),
             execute: Duration::from_micros(8),
+            whiten_requests: 9,
+            whiten_rows: 10,
         };
         let snap = stats.snapshot();
         assert_eq!(snap.queue_wait_us, 7);
@@ -3162,6 +3492,8 @@ mod tests {
             ("abandoned_tickets", 6),
             ("queue_wait_us", 7),
             ("execute_us", 8),
+            ("whiten_requests", 9),
+            ("whiten_rows", 10),
         ];
         assert_eq!(fields, expect);
         let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();

@@ -24,6 +24,7 @@ pub struct ClientRequest<'a> {
     bits: &'a [u32],
     key: Option<u64>,
     priority: Priority,
+    whiten: bool,
 }
 
 impl<'a> ClientRequest<'a> {
@@ -35,6 +36,7 @@ impl<'a> ClientRequest<'a> {
             bits,
             key: None,
             priority: Priority::Normal,
+            whiten: false,
         }
     }
 
@@ -50,6 +52,15 @@ impl<'a> ClientRequest<'a> {
     /// `high`; everyone else runs at normal priority.
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Mark the payload as one row-major `m × d` whitening group (the
+    /// wire's [`FLAG_WHITEN`](crate::protocol::FLAG_WHITEN)): the server
+    /// runs it through the service's whitening engine instead of row
+    /// normalization.
+    pub fn whiten_group(mut self) -> Self {
+        self.whiten = true;
         self
     }
 }
@@ -130,6 +141,7 @@ impl NormClient {
             tenant: request.tenant,
             key: request.key,
             priority: request.priority,
+            whiten: request.whiten,
             d: request.d,
             bits: request.bits.to_vec(),
         });

@@ -58,6 +58,14 @@ pub const FLAG_KEYED: u8 = 0b0000_0001;
 /// self-promote past the admission table.
 pub const FLAG_HIGH_PRIORITY: u8 = 0b0000_0010;
 
+/// Request flag: the payload is one row-major `m × d` whitening group,
+/// not independent rows — routed to
+/// [`NormRequest::whiten_group`](iterl2norm::NormRequest::whiten_group)
+/// and executed under the service's configured
+/// [`WhitenSpec`](iterl2norm::WhitenSpec). The response carries the
+/// whitened group with the same shape.
+pub const FLAG_WHITEN: u8 = 0b0000_0100;
+
 const TYPE_REQUEST: u8 = 1;
 const TYPE_RESPONSE: u8 = 2;
 const TYPE_ERROR: u8 = 3;
@@ -93,6 +101,9 @@ pub struct RequestFrame {
     /// Requested scheduling class (see [`FLAG_HIGH_PRIORITY`] for who
     /// may actually use it).
     pub priority: Priority,
+    /// Whether the payload is one whitening group (see [`FLAG_WHITEN`])
+    /// rather than independent normalization rows.
+    pub whiten: bool,
     /// Row length the payload claims; must equal the serving side's `d`.
     pub d: u32,
     /// Row-major storage bits, `rows × d` elements.
@@ -346,6 +357,9 @@ pub fn encode_body(frame: &Frame) -> Vec<u8> {
             if req.priority == Priority::High {
                 flags |= FLAG_HIGH_PRIORITY;
             }
+            if req.whiten {
+                flags |= FLAG_WHITEN;
+            }
             out.push(flags);
             if let Some(key) = req.key {
                 out.extend_from_slice(&key.to_be_bytes());
@@ -482,6 +496,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
             } else {
                 Priority::Normal
             };
+            let whiten = flags & FLAG_WHITEN != 0;
             let d = c.u32_be()?;
             let bits = decode_bits(c.rest())?;
             Ok(Frame::Request(RequestFrame {
@@ -489,6 +504,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
                 tenant,
                 key,
                 priority,
+                whiten,
                 d,
                 bits,
             }))
@@ -611,6 +627,7 @@ mod tests {
             tenant: 42,
             key: None,
             priority: Priority::Normal,
+            whiten: false,
             d: 8,
             bits: vec![1, 2, 3, 4, 5, 6, 7, 8],
         }));
@@ -620,6 +637,7 @@ mod tests {
             tenant: 0,
             key: Some(0xDEAD_BEEF_u64),
             priority: Priority::High,
+            whiten: false,
             d: 768,
             bits: Vec::new(),
         }));
@@ -745,6 +763,7 @@ mod tests {
             tenant: 1,
             key: None,
             priority: Priority::Normal,
+            whiten: false,
             d: 4,
             bits: vec![1, 2, 3, 4],
         }));

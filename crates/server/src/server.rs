@@ -42,7 +42,7 @@ use std::time::{Duration, Instant};
 use iterl2norm::{NormError, NormRequest, NormService, NormTicket, Priority};
 
 use crate::admission::{Admission, Decision};
-use crate::metrics::{MetricsRegistry, RejectCause, TenantCounters};
+use crate::metrics::{MetricsRegistry, RejectCause, RequestMethod, TenantCounters};
 use crate::protocol::{
     decode_body, write_frame, ErrorCode, ErrorFrame, Frame, FrameError, RequestFrame,
     ResponseFrame, WireError, MAX_FRAME_BYTES,
@@ -517,6 +517,11 @@ fn handle_frame(shared: &Shared, frame: Frame, tx: &SyncSender<WriteItem>) -> bo
 fn handle_request(shared: &Shared, request: RequestFrame, tx: &SyncSender<WriteItem>) -> bool {
     let counters = shared.metrics.tenant(request.tenant);
     counters.requests.fetch_add(1, Ordering::Relaxed);
+    counters.record_method(if request.whiten {
+        RequestMethod::Whiten
+    } else {
+        RequestMethod::Norm
+    });
     let d = shared.service.d();
     if request.d as usize != d {
         counters.reject(RejectCause::Shape);
@@ -557,7 +562,12 @@ fn handle_request(shared: &Shared, request: RequestFrame, tx: &SyncSender<WriteI
         Decision::Admit(Priority::High) => request.priority,
         Decision::Admit(Priority::Normal) => Priority::Normal,
     };
-    let mut norm_request = NormRequest::bits(&request.bits).with_priority(priority);
+    let mut norm_request = if request.whiten {
+        NormRequest::whiten_group(&request.bits)
+    } else {
+        NormRequest::bits(&request.bits)
+    }
+    .with_priority(priority);
     if let Some(key) = request.key {
         norm_request = norm_request.with_key(key);
     }
@@ -598,6 +608,7 @@ fn classify(err: &NormError) -> (ErrorCode, RejectCause) {
         NormError::ServiceShutdown => (ErrorCode::ServiceShutdown, RejectCause::Shutdown),
         NormError::EmptyRequest
         | NormError::BatchLengthMismatch { .. }
+        | NormError::GroupShapeMismatch { .. }
         | NormError::InputLengthMismatch { .. } => (ErrorCode::ShapeMismatch, RejectCause::Shape),
         _ => (ErrorCode::Internal, RejectCause::Other),
     }

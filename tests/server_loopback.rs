@@ -492,6 +492,14 @@ fn metrics_export_reports_service_and_tenant_counters() {
         "{metrics}"
     );
     assert!(
+        metrics.contains("norm_tenant_method_requests{tenant=\"42\",method=\"norm\"} 3"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("norm_tenant_method_requests{tenant=\"42\",method=\"whiten\"} 0"),
+        "{metrics}"
+    );
+    assert!(
         metrics.contains("norm_tenant_completed{tenant=\"42\"} 3"),
         "{metrics}"
     );
@@ -503,6 +511,88 @@ fn metrics_export_reports_service_and_tenant_counters() {
         metrics.contains("norm_server_active_connections 1"),
         "{metrics}"
     );
+    handle.shutdown();
+}
+
+/// Whitening over the wire: the whiten flag routes the payload through
+/// the service's whitening engine — bit-identical to a direct in-process
+/// whiten submit of the same group — and the per-method tenant counters
+/// split whitening from normalization traffic in the metrics export.
+#[test]
+fn whiten_over_the_wire_is_bit_identical_and_counted_per_method() {
+    let served = service_config(MethodSpec::iterl2(5), 2)
+        .build()
+        .expect("valid");
+    let reference = service_config(MethodSpec::iterl2(5), 2)
+        .build()
+        .expect("valid");
+    let handle = serve(
+        served,
+        Admission::open(),
+        ServerOptions::default(),
+        Some("127.0.0.1:0"),
+        None,
+    )
+    .expect("server starts");
+    let mut client = NormClient::connect_tcp(handle.tcp_addr().expect("tcp")).expect("connect");
+
+    let group = payload(6, 11);
+    let expect = reference
+        .submit(NormRequest::whiten_group(&group))
+        .expect("direct whiten submit");
+    for _ in 0..2 {
+        match client
+            .request(&ClientRequest::new(42, D as u32, &group).whiten_group())
+            .expect("whiten request")
+        {
+            ServerReply::Bits { rows, bits, .. } => {
+                assert_eq!(rows as usize, 6);
+                assert_eq!(
+                    bits,
+                    expect.bits(),
+                    "wire whitening diverged from direct execution"
+                );
+            }
+            ServerReply::Rejected(err) => panic!("unexpected rejection: {err:?}"),
+        }
+    }
+    // One normalization request from the same tenant, for contrast in the
+    // per-method split.
+    let row = payload(1, 3);
+    match client
+        .request(&ClientRequest::new(42, D as u32, &row))
+        .expect("norm request")
+    {
+        ServerReply::Bits { .. } => {}
+        ServerReply::Rejected(err) => panic!("unexpected rejection: {err:?}"),
+    }
+    // A ragged whiten group (not a whole number of rows) is a shape error
+    // frame, and the connection stays usable.
+    let ragged = vec![1.0f32.to_bits(); D + 1];
+    match client
+        .request(&ClientRequest::new(42, D as u32, &ragged).whiten_group())
+        .expect("ragged whiten request")
+    {
+        ServerReply::Rejected(err) => assert_eq!(err.code, ErrorCode::ShapeMismatch, "{err:?}"),
+        ServerReply::Bits { .. } => panic!("ragged whiten group must not execute"),
+    }
+
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics.contains("norm_tenant_method_requests{tenant=\"42\",method=\"whiten\"} 3"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("norm_tenant_method_requests{tenant=\"42\",method=\"norm\"} 1"),
+        "{metrics}"
+    );
+    // The service-level whiten counters flow through the same snapshot
+    // bridge as every other field (only admitted requests execute).
+    assert!(
+        metrics.contains("norm_service_whiten_requests 2"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("norm_service_whiten_rows 12"), "{metrics}");
     handle.shutdown();
 }
 
