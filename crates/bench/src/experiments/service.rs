@@ -280,7 +280,7 @@ pub fn run_at(
                 let service = service_for(d, mode, shards, buffer_pool);
                 // Warm-up sizes the conversion buffers and scratch.
                 let warm = request_bits(d, rows_per_request, 99, 0);
-                service
+                let _ = service
                     .submit(NormRequest::bits(&warm))
                     .map_err(std::io::Error::other)?;
                 // Baseline after warm-up: every reported ratio below uses
@@ -366,7 +366,7 @@ pub fn run_at(
             for (mode, shards, buffer_pool) in WHITEN_VARIANTS {
                 let service = service_for(WHITEN_D, mode, shards, buffer_pool);
                 let warm = request_bits(WHITEN_D, WHITEN_ROWS, 99, 0);
-                service
+                let _ = service
                     .submit(NormRequest::whiten_group(&warm))
                     .map_err(std::io::Error::other)?;
                 let base = service.stats();

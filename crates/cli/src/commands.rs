@@ -597,7 +597,7 @@ pub fn batch(parsed: &Parsed) -> Result<(), String> {
     // submit sizes the backend's conversion buffers first — the same
     // methodology as backend_bench — so the timed run measures execution,
     // not first-touch allocation.
-    service
+    let _ = service
         .submit(NormRequest::bits(&flat))
         .map_err(|e| e.to_string())?;
     let t1 = Instant::now();

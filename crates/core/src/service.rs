@@ -129,6 +129,12 @@
 //! # }
 //! ```
 
+// normlint: module(no-panic)
+// Every non-test panic path in this file is a lint violation: a panic
+// here unwinds inside the combining-round protocol and poisons the very
+// shard locks the PR 4 recovery helpers exist to rescue. Recover, fail
+// closed through `Inner::torn_state`, or attach a justified waiver.
+
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -485,7 +491,7 @@ impl ServiceConfig {
                 self.simd,
             )?);
         }
-        Ok(self.assemble(backends))
+        Ok(self.assemble(backends, None))
     }
 
     /// [`build`](ServiceConfig::build) with caller-supplied backends: the
@@ -510,7 +516,30 @@ impl ServiceConfig {
             return Err(NormError::EmptyInput);
         }
         let backends = (0..self.shards).map(|_| make()).collect();
-        Ok(self.assemble(backends))
+        Ok(self.assemble(backends, None))
+    }
+
+    /// [`build_with_backends`](ServiceConfig::build_with_backends) plus a
+    /// custom whitening-executor factory: each shard's executor is built
+    /// through `make_whiten` on its first whitening request instead of
+    /// from the config. The same bit-identity caveat applies. Exists so
+    /// resilience tests can inject executors that fail or panic
+    /// mid-whitening and observe the service's poison recovery.
+    ///
+    /// # Errors
+    ///
+    /// Same set as [`build_with_backends`](ServiceConfig::build_with_backends).
+    pub fn build_with_backends_and_whiten(
+        self,
+        mut make: impl FnMut() -> Box<dyn NormBackend>,
+        make_whiten: impl Fn() -> Box<dyn WhitenExec> + Send + Sync + 'static,
+    ) -> Result<NormService, NormError> {
+        self.validate_counts()?;
+        if self.d == 0 {
+            return Err(NormError::EmptyInput);
+        }
+        let backends = (0..self.shards).map(|_| make()).collect();
+        Ok(self.assemble(backends, Some(Box::new(make_whiten))))
     }
 
     fn validate_counts(&self) -> Result<(), NormError> {
@@ -526,7 +555,11 @@ impl ServiceConfig {
         Ok(())
     }
 
-    fn assemble(self, backends: Vec<Box<dyn NormBackend>>) -> NormService {
+    fn assemble(
+        self,
+        backends: Vec<Box<dyn NormBackend>>,
+        make_whiten: Option<Box<dyn Fn() -> Box<dyn WhitenExec> + Send + Sync>>,
+    ) -> NormService {
         let label = backends[0].label();
         // Every shard was built from the same config, so the resolved
         // level is uniform — record it once for response metadata.
@@ -551,6 +584,7 @@ impl ServiceConfig {
                 label,
                 simd_level,
                 config: self,
+                make_whiten,
                 shards,
                 next_shard: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
@@ -891,6 +925,7 @@ impl BufferPool {
 /// how the request was executed (useful for observing coalescing). On drop
 /// the bit buffer is returned to the service's pool for reuse.
 #[derive(Debug, Clone)]
+#[must_use = "a NormResponse carries the normalized bits and returns its buffer to the pool"]
 pub struct NormResponse {
     bits: Vec<u32>,
     pool: Arc<BufferPool>,
@@ -1064,6 +1099,7 @@ impl ServiceStats {
 /// ad hoc, so the two formats cannot silently drift apart (or from the
 /// counters themselves) when a field is added or renamed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[must_use = "a stats snapshot is pure data; dropping it unread observed nothing"]
 pub struct ServiceStatsSnapshot {
     /// Requests accepted (valid shape, not rejected at the door).
     pub requests: u64,
@@ -1331,6 +1367,11 @@ struct Shard {
 struct Inner {
     config: ServiceConfig,
     label: String,
+    /// Test-oriented whitening-executor factory: when set (via
+    /// [`ServiceConfig::build_with_backends_and_whiten`]), `whiten_of`
+    /// builds through it instead of the config. Lets resilience tests
+    /// inject executors that panic mid-whitening; `None` in production.
+    make_whiten: Option<Box<dyn Fn() -> Box<dyn WhitenExec> + Send + Sync>>,
     /// The resolved SIMD level of shard 0's backend (uniform across
     /// shards), stamped onto every response.
     simd_level: SimdLevel,
@@ -1439,15 +1480,34 @@ impl Inner {
         };
         if guard.is_none() {
             let config = &self.config;
-            *guard = Some(build_whiten(
-                config.backend,
-                config.format,
-                config.d,
-                config.whiten,
-                config.simd,
-            )?);
+            *guard = match &self.make_whiten {
+                Some(make) => Some(make()),
+                None => Some(build_whiten(
+                    config.backend,
+                    config.format,
+                    config.d,
+                    config.whiten,
+                    config.simd,
+                )?),
+            };
         }
         Ok(guard)
+    }
+
+    /// Fail closed on a state invariant the protocol guarantees but this
+    /// call found violated (a slot left unserved by a finished round, a
+    /// built whitening executor missing behind a held lock): some thread
+    /// panicked mid-protocol in a way poison recovery did not catch, so
+    /// shard state can no longer be trusted. Marks the service shut
+    /// down, wakes every parked waiter, and returns the error the caller
+    /// surfaces — never a panic, which would poison the locks the
+    /// recovery helpers just rescued.
+    fn torn_state(&self) -> NormError {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.shards {
+            shard.queue_cv.notify_all();
+        }
+        NormError::ServiceShutdown
     }
 }
 
@@ -1920,9 +1980,13 @@ impl NormService {
                 queue.leader_in_pending = true;
                 drop(queue);
                 self.lead_round(shard, true);
-                let result = slot
-                    .take()
-                    .expect("a round serves every request pending when it starts")?;
+                // A round serves every request pending when it starts, so
+                // an empty slot here means the round protocol was torn by
+                // a panic elsewhere — fail closed, don't panic in turn.
+                let result = match slot.take() {
+                    Some(outcome) => outcome?,
+                    None => return Err(self.inner.torn_state()),
+                };
                 return finish(result, sink, &shard.pool);
             }
             queue = self.inner.wait_on(shard, queue);
@@ -2069,7 +2133,11 @@ impl NormService {
         out: &mut [u32],
     ) -> Result<Executed, NormError> {
         let mut guard = self.inner.whiten_of(shard)?;
-        let exec = guard.as_mut().expect("whiten_of builds on first use");
+        // `whiten_of` guarantees `Some` on `Ok`; `None` here means torn
+        // shard state — fail closed instead of panicking under the lock.
+        let Some(exec) = guard.as_mut() else {
+            return Err(self.inner.torn_state());
+        };
         let exec_start = Instant::now();
         exec.whiten_groups(bits, out, group_rows, self.inner.config.threads)?;
         Ok(Executed {
@@ -2161,7 +2229,14 @@ impl NormService {
                 batch_rows,
                 &mut out,
             );
-            let entry = inflight.entries.pop().expect("one request");
+            // `batch_requests == 1` guarantees exactly one entry; an
+            // empty list means another thread tore the round state — fail
+            // closed (the submitter sees shutdown via its slot's
+            // LeaderGuard path) rather than panic while leading.
+            let Some(entry) = inflight.entries.pop() else {
+                let _ = self.inner.torn_state();
+                return sub;
+            };
             pool.give_back(entry.bits);
             match exec {
                 Ok(e) => {
@@ -2312,7 +2387,16 @@ impl NormService {
                         return Err(err);
                     }
                 };
-                let exec = guard.as_mut().expect("whiten_of builds on first use");
+                // As in `execute_whiten_into`: `None` behind an `Ok`
+                // guard is torn state — return the buffers and fail closed.
+                let exec = match guard.as_mut() {
+                    Some(exec) => exec,
+                    None => {
+                        pool.give_back(bits);
+                        pool.give_back(out);
+                        return Err(self.inner.torn_state());
+                    }
+                };
                 exec_start = Instant::now();
                 exec.whiten_group_detailed(&bits, &mut out)
                     .map(|detail| RowMoments {
@@ -2389,7 +2473,10 @@ impl NormService {
         }
         let shard = &self.inner.shards[0];
         let mut guard = self.inner.whiten_of(shard)?;
-        let exec = guard.as_mut().expect("whiten_of builds on first use");
+        // `whiten_of` guarantees `Some` on `Ok`; fail closed otherwise.
+        let Some(exec) = guard.as_mut() else {
+            return Err(self.inner.torn_state());
+        };
         exec.whiten_group_checked(group_bits, out, tol)
     }
 
@@ -2521,6 +2608,7 @@ enum TicketRepr {
 /// The result is delivered **exactly once**: after any collect method has
 /// returned `Some`/`Ok`/`Err`, the ticket is spent and further collect
 /// calls panic. See [`NormService::submit_async`] for an example.
+#[must_use = "dropping a NormTicket discards the submitted request's result"]
 pub struct NormTicket {
     service: NormService,
     shard_idx: usize,
@@ -2583,6 +2671,10 @@ impl NormTicket {
     /// call.
     pub fn wait(&mut self) -> Result<NormResponse, NormError> {
         self.poll(WaitMode::Forever)
+            // normlint: allow(L001) — infallible by construction: only the
+            // Poll/Until modes can return None, Forever always parks until
+            // an outcome arrives (and the delivered-twice case is the
+            // documented `# Panics` contract, asserted inside poll).
             .expect("WaitMode::Forever parks until the outcome arrives")
     }
 
@@ -2620,6 +2712,9 @@ impl NormTicket {
             TicketRepr::Immediate(outcome) => Some(
                 outcome
                     .take()
+                    // normlint: allow(L001) — unreachable: the assert above
+                    // rejects a delivered ticket, and an undelivered
+                    // immediate ticket holds its outcome by construction.
                     .expect("undelivered immediate ticket holds its outcome"),
             ),
             TicketRepr::Queued { .. } => self.poll_queued(mode),
@@ -2674,9 +2769,12 @@ impl NormTicket {
                 drop(queue);
                 self.service
                     .lead_round(shard, matches!(mode, WaitMode::Forever));
-                let outcome = slot
-                    .take()
-                    .expect("a round serves every request pending when it starts");
+                // Same invariant as the blocking path: an unserved slot
+                // after the round we led means torn state — fail closed.
+                let outcome = match slot.take() {
+                    Some(outcome) => outcome,
+                    None => return Some(Err(inner.torn_state())),
+                };
                 return Some(self.deliver(outcome, *accepted));
             }
             queue = match mode {
@@ -3043,7 +3141,7 @@ mod tests {
         let d = 8;
         let service = ServiceConfig::new(d).with_shards(2).build().unwrap();
         let bits = row_bits(d, 1);
-        service.submit(NormRequest::bits(&bits)).unwrap();
+        let _ = service.submit(NormRequest::bits(&bits)).unwrap();
         assert!(!service.is_shutdown());
         service.shutdown();
         assert!(service.is_shutdown());
@@ -3516,8 +3614,8 @@ mod tests {
         let d = 8;
         let service = ServiceConfig::new(d).build().unwrap();
         let bits = row_bits(d, 1);
-        service.submit(NormRequest::bits(&bits)).unwrap();
-        service.submit(NormRequest::bits(&bits)).unwrap();
+        let _ = service.submit(NormRequest::bits(&bits)).unwrap();
+        let _ = service.submit(NormRequest::bits(&bits)).unwrap();
         let snap = service.stats().snapshot();
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.rows, 2);

@@ -328,14 +328,13 @@ impl SimdNative {
 
     fn process_rows(&self, ctx: &RowCtx<'_>, x: &[f32], o: &mut [f32]) {
         match self.kernel {
-            // SAFETY (all arms): the kernel was resolved by `resolve`,
-            // which only yields `Sse2`/`Avx2` when the running host has
-            // the corresponding instructions (SSE2 is the x86-64
-            // baseline; AVX2+FMA is runtime-detected).
+            // SAFETY: the portable kernel has no instruction-set requirement.
             SimdKernel::Portable => unsafe { process_rows_portable(ctx, x, o) },
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `resolve` yields Sse2 only on x86-64, where SSE2 is baseline.
             SimdKernel::Sse2 => unsafe { x86::process_rows_sse2(ctx, x, o) },
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `resolve` yields Avx2 only after runtime-detecting AVX2+FMA.
             SimdKernel::Avx2 => unsafe { x86::process_rows_avx2(ctx, x, o) },
             #[cfg(not(target_arch = "x86_64"))]
             SimdKernel::Sse2 | SimdKernel::Avx2 => {
@@ -385,15 +384,28 @@ trait RowReduce {
     /// Row sum in the plan's reduce order (hwtree chunk sums through this
     /// kernel, linear stays a scalar left-to-right fold — a loop-carried
     /// dependence no bit-preserving vectorization can break).
+    ///
+    /// # Safety
+    ///
+    /// Callable only on a host that supports the implementing kernel's
+    /// instruction set (`resolve` guarantees the match).
     unsafe fn sum(&self, x: &[f32], scratch: &mut Vec<HostF32>, reduce: ReduceOrder) -> f32;
 
     /// Row sum of squares, same contract as [`RowReduce::sum`].
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`RowReduce::sum`].
     unsafe fn sum_sq(&self, x: &[f32], scratch: &mut Vec<HostF32>, reduce: ReduceOrder) -> f32;
 
     /// The fixed-step IterL2Norm iteration for [`ROW_LANES`] independent
     /// rows, one per lane: seeds and rates come from the scalar bit-field
     /// rules (`a0_from_exponent` / `lambda_from_exponent`), the update
     /// steps run lanewise, and `scales[l] = a∞[l] · √d`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`RowReduce::sum`].
     unsafe fn iter_scales(
         &self,
         m: &[f32; ROW_LANES],
@@ -513,6 +525,7 @@ fn portable_chunk(chunk: &[f32], square: bool) -> f32 {
 struct PortableReduce;
 
 impl RowReduce for PortableReduce {
+    // SAFETY: portable kernel — no target-specific instructions.
     #[inline(always)]
     unsafe fn sum(&self, x: &[f32], scratch: &mut Vec<HostF32>, reduce: ReduceOrder) -> f32 {
         match reduce {
@@ -525,6 +538,7 @@ impl RowReduce for PortableReduce {
         }
     }
 
+    // SAFETY: portable kernel — no target-specific instructions.
     #[inline(always)]
     unsafe fn sum_sq(&self, x: &[f32], scratch: &mut Vec<HostF32>, reduce: ReduceOrder) -> f32 {
         match reduce {
@@ -537,6 +551,7 @@ impl RowReduce for PortableReduce {
         }
     }
 
+    // SAFETY: portable kernel — no target-specific instructions.
     #[inline(always)]
     unsafe fn iter_scales(
         &self,
@@ -554,6 +569,7 @@ impl RowReduce for PortableReduce {
             a[l] = a0_from_exponent(HostF32(m[l])).0;
             lam[l] = lambda_from_exponent(HostF32(m[l])).0;
         }
+        // normlint: kernel-begin
         for _ in 0..steps {
             // One `UpdateStyle::Separate` step per lane, in the macro's
             // operation order (`update_step` + the `a + Δa` apply).
@@ -565,6 +581,7 @@ impl RowReduce for PortableReduce {
                 a[l] += t4 * t3;
             }
         }
+        // normlint: kernel-end
         for l in 0..ROW_LANES {
             scales[l] = a[l] * sqrt_d;
         }
@@ -670,6 +687,7 @@ mod x86 {
     /// readable `f32`s.
     #[inline(always)]
     unsafe fn sse2_chunk(p: *const f32, square: bool) -> f32 {
+        // SAFETY: SSE2 shuffle/unpack only, same baseline the enclosing fn requires.
         #[inline(always)]
         unsafe fn transpose4(r0: __m128, r1: __m128, r2: __m128, r3: __m128) -> [__m128; 4] {
             let t0 = _mm_unpacklo_ps(r0, r1);
@@ -727,6 +745,10 @@ mod x86 {
     /// chunks go straight to the kernel, the tail chunk is padded with
     /// `+0.0` (bit-identical, see the module docs), and the partial sums
     /// fold through the scalar engine's own `fold_partials`.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `C` kernel's instruction set on the running host.
     #[inline(always)]
     unsafe fn hw_row_sum<C: ChunkSum>(x: &[f32], scratch: &mut Vec<HostF32>, square: bool) -> f32 {
         scratch.clear();
@@ -746,6 +768,7 @@ mod x86 {
     struct Avx2Chunk;
 
     impl ChunkSum for Avx2Chunk {
+        // SAFETY: forwards to `avx2_chunk`; the caller holds the AVX2+FMA requirement.
         #[inline(always)]
         unsafe fn chunk(p: *const f32, square: bool) -> f32 {
             avx2_chunk(p, square)
@@ -755,6 +778,7 @@ mod x86 {
     struct Sse2Chunk;
 
     impl ChunkSum for Sse2Chunk {
+        // SAFETY: forwards to `sse2_chunk`; SSE2 is the x86-64 baseline.
         #[inline(always)]
         unsafe fn chunk(p: *const f32, square: bool) -> f32 {
             sse2_chunk(p, square)
@@ -764,6 +788,7 @@ mod x86 {
     struct Avx2Reduce;
 
     impl RowReduce for Avx2Reduce {
+        // SAFETY: linear path is scalar; hwtree forwards to the AVX2 chunk kernel under the caller’s AVX2+FMA guarantee.
         #[inline(always)]
         unsafe fn sum(&self, x: &[f32], scratch: &mut Vec<HostF32>, reduce: ReduceOrder) -> f32 {
             match reduce {
@@ -772,6 +797,7 @@ mod x86 {
             }
         }
 
+        // SAFETY: linear path is scalar; hwtree forwards to the AVX2 chunk kernel under the caller’s AVX2+FMA guarantee.
         #[inline(always)]
         unsafe fn sum_sq(&self, x: &[f32], scratch: &mut Vec<HostF32>, reduce: ReduceOrder) -> f32 {
             match reduce {
@@ -780,6 +806,7 @@ mod x86 {
             }
         }
 
+        // SAFETY: AVX2 lanewise mul/add/sub only, under the caller’s AVX2 guarantee.
         #[inline(always)]
         unsafe fn iter_scales(
             &self,
@@ -793,6 +820,7 @@ mod x86 {
             let lv = _mm256_loadu_ps(lam.as_ptr());
             let mut av = _mm256_loadu_ps(a.as_ptr());
             let one = _mm256_set1_ps(1.0);
+            // normlint: kernel-begin
             for _ in 0..steps {
                 // `UpdateStyle::Separate`, one row per lane: explicit
                 // mul/sub/mul/mul then add — never an FMA, so the
@@ -803,6 +831,7 @@ mod x86 {
                 let t4 = _mm256_mul_ps(lv, t1);
                 av = _mm256_add_ps(av, _mm256_mul_ps(t4, t3));
             }
+            // normlint: kernel-end
             av = _mm256_mul_ps(av, _mm256_set1_ps(sqrt_d));
             _mm256_storeu_ps(scales.as_mut_ptr(), av);
         }
@@ -811,6 +840,7 @@ mod x86 {
     struct Sse2Reduce;
 
     impl RowReduce for Sse2Reduce {
+        // SAFETY: linear path is scalar; hwtree forwards to the SSE2 chunk kernel (x86-64 baseline).
         #[inline(always)]
         unsafe fn sum(&self, x: &[f32], scratch: &mut Vec<HostF32>, reduce: ReduceOrder) -> f32 {
             match reduce {
@@ -819,6 +849,7 @@ mod x86 {
             }
         }
 
+        // SAFETY: linear path is scalar; hwtree forwards to the SSE2 chunk kernel (x86-64 baseline).
         #[inline(always)]
         unsafe fn sum_sq(&self, x: &[f32], scratch: &mut Vec<HostF32>, reduce: ReduceOrder) -> f32 {
             match reduce {
@@ -827,6 +858,7 @@ mod x86 {
             }
         }
 
+        // SAFETY: SSE2 lanewise ops only (x86-64 baseline).
         #[inline(always)]
         unsafe fn iter_scales(
             &self,
@@ -845,6 +877,7 @@ mod x86 {
                 let mv = _mm_loadu_ps(m.as_ptr().add(off));
                 let lv = _mm_loadu_ps(lam.as_ptr().add(off));
                 let mut av = _mm_loadu_ps(a.as_ptr().add(off));
+                // normlint: kernel-begin
                 for _ in 0..steps {
                     let t1 = _mm_mul_ps(mv, av);
                     let t2 = _mm_mul_ps(t1, av);
@@ -852,6 +885,7 @@ mod x86 {
                     let t4 = _mm_mul_ps(lv, t1);
                     av = _mm_add_ps(av, _mm_mul_ps(t4, t3));
                 }
+                // normlint: kernel-end
                 _mm_storeu_ps(scales.as_mut_ptr().add(off), _mm_mul_ps(av, sd));
             }
         }

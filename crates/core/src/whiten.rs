@@ -385,6 +385,7 @@ impl<F: Float> Scratch<F> {
 /// `c = a·b` for `d × d` row-major matrices: zero the output, then the
 /// i-k-j axpy order — each `c[i][j]` accumulates `a[i][k]·b[k][j]` over
 /// `k` ascending, one multiply then one add per term.
+// normlint: kernel-begin
 fn matmul_soft<F: Float>(c: &mut [F], a: &[F], b: &[F], d: usize) {
     c.fill(F::zero());
     for i in 0..d {
@@ -398,6 +399,7 @@ fn matmul_soft<F: Float>(c: &mut [F], a: &[F], b: &[F], d: usize) {
         }
     }
 }
+// normlint: kernel-end
 
 /// Whiten one group in format arithmetic. `x` is `m × d`; the whitened
 /// rows land in `y`. The scratch keeps `sigma`, `sigman` and `p` for the
@@ -467,6 +469,7 @@ fn whiten_group_soft<F: Float>(
     }
     let three_halves = F::from_f64(1.5);
     let half = F::from_f64(0.5);
+    // normlint: kernel-begin
     for _ in 0..spec.t {
         let (p2, p3, g) = (&mut s.p2, &mut s.p3, &mut s.g);
         matmul_soft(p2, &s.p, &s.p, d);
@@ -476,6 +479,7 @@ fn whiten_group_soft<F: Float>(
             *pij = (three_halves * *pij) - (half * gij);
         }
     }
+    // normlint: kernel-end
     // Fold the trace scale back in and transpose for a contiguous apply.
     let scale = rtr.sqrt();
     for (wij, &pij) in s.g.iter_mut().zip(&s.p) {
@@ -673,14 +677,29 @@ impl<F: Float> WhitenExec for EmulatedWhiten<F> {
 /// by [`simd::resolve`] for this host.
 trait WhitenOps {
     /// `dst[i] = dst[i] + src[i]`.
+    ///
+    /// # Safety: callers must hold the implementation's ISA requirement
+    /// (kernels are resolved for this host by [`simd::resolve`]).
     unsafe fn add_assign(&self, dst: &mut [f32], src: &[f32]);
     /// `dst[i] = dst[i] * s`.
+    ///
+    /// # Safety: callers must hold the implementation's ISA requirement
+    /// (kernels are resolved for this host by [`simd::resolve`]).
     unsafe fn scale_assign(&self, dst: &mut [f32], s: f32);
     /// `dst[i] = a[i] - b[i]`.
+    ///
+    /// # Safety: callers must hold the implementation's ISA requirement
+    /// (kernels are resolved for this host by [`simd::resolve`]).
     unsafe fn sub_into(&self, dst: &mut [f32], a: &[f32], b: &[f32]);
     /// `dst[i] = dst[i] + (a * src[i])` — multiply, then add, never FMA.
+    ///
+    /// # Safety: callers must hold the implementation's ISA requirement
+    /// (kernels are resolved for this host by [`simd::resolve`]).
     unsafe fn axpy(&self, dst: &mut [f32], a: f32, src: &[f32]);
     /// `p[i] = (1.5 * p[i]) - (0.5 * g[i])` — the Newton–Schulz combine.
+    ///
+    /// # Safety: callers must hold the implementation's ISA requirement
+    /// (kernels are resolved for this host by [`simd::resolve`]).
     unsafe fn ns_combine(&self, p: &mut [f32], g: &[f32]);
 }
 
@@ -689,6 +708,7 @@ trait WhitenOps {
 struct ScalarOps;
 
 impl WhitenOps for ScalarOps {
+    // SAFETY: plain scalar loops — no instruction-set requirement.
     #[inline(always)]
     unsafe fn add_assign(&self, dst: &mut [f32], src: &[f32]) {
         for (d, &s) in dst.iter_mut().zip(src) {
@@ -696,6 +716,7 @@ impl WhitenOps for ScalarOps {
         }
     }
 
+    // SAFETY: plain scalar loops — no instruction-set requirement.
     #[inline(always)]
     unsafe fn scale_assign(&self, dst: &mut [f32], s: f32) {
         for d in dst.iter_mut() {
@@ -703,6 +724,7 @@ impl WhitenOps for ScalarOps {
         }
     }
 
+    // SAFETY: plain scalar loops — no instruction-set requirement.
     #[inline(always)]
     unsafe fn sub_into(&self, dst: &mut [f32], a: &[f32], b: &[f32]) {
         for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
@@ -710,6 +732,7 @@ impl WhitenOps for ScalarOps {
         }
     }
 
+    // SAFETY: plain scalar loops — no instruction-set requirement.
     #[inline(always)]
     unsafe fn axpy(&self, dst: &mut [f32], a: f32, src: &[f32]) {
         for (d, &s) in dst.iter_mut().zip(src) {
@@ -717,6 +740,7 @@ impl WhitenOps for ScalarOps {
         }
     }
 
+    // SAFETY: plain scalar loops — no instruction-set requirement.
     #[inline(always)]
     unsafe fn ns_combine(&self, p: &mut [f32], g: &[f32]) {
         for (pi, &gi) in p.iter_mut().zip(g) {
@@ -764,16 +788,19 @@ macro_rules! portable_zip {
 }
 
 impl WhitenOps for PortableOps {
+    // SAFETY: portable lanewise loops — no target-specific instructions.
     #[inline(always)]
     unsafe fn add_assign(&self, dst: &mut [f32], src: &[f32]) {
         portable_zip!(dst, src, |d, s| *d += s);
     }
 
+    // SAFETY: portable lanewise loops — no target-specific instructions.
     #[inline(always)]
     unsafe fn scale_assign(&self, dst: &mut [f32], s: f32) {
         portable_map!(dst, |d| *d *= s);
     }
 
+    // SAFETY: portable lanewise loops — no target-specific instructions.
     #[inline(always)]
     unsafe fn sub_into(&self, dst: &mut [f32], a: &[f32], b: &[f32]) {
         let mut dc = dst.chunks_exact_mut(PORTABLE_LANES);
@@ -794,11 +821,13 @@ impl WhitenOps for PortableOps {
         }
     }
 
+    // SAFETY: portable lanewise loops — no target-specific instructions.
     #[inline(always)]
     unsafe fn axpy(&self, dst: &mut [f32], a: f32, src: &[f32]) {
         portable_zip!(dst, src, |d, s| *d += a * s);
     }
 
+    // SAFETY: portable lanewise loops — no target-specific instructions.
     #[inline(always)]
     unsafe fn ns_combine(&self, p: &mut [f32], g: &[f32]) {
         portable_zip!(p, g, |pi, gi| *pi = (1.5 * *pi) - (0.5 * gi));
@@ -839,7 +868,9 @@ impl ScratchF32 {
 
 /// `c = a·b` through the kernel's axpy — the i-k-j order of
 /// [`matmul_soft`], statement for statement.
+// SAFETY: bounds-checked slice loops; `unsafe` only forwards the `ops` ISA contract.
 #[inline(always)]
+// normlint: kernel-begin
 unsafe fn matmul_f32<O: WhitenOps>(ops: &O, c: &mut [f32], a: &[f32], b: &[f32], d: usize) {
     c.fill(0.0);
     for i in 0..d {
@@ -849,10 +880,12 @@ unsafe fn matmul_f32<O: WhitenOps>(ops: &O, c: &mut [f32], a: &[f32], b: &[f32],
         }
     }
 }
+// normlint: kernel-end
 
 /// Whiten one group in host-`f32` arithmetic — the f32 twin of
 /// [`whiten_group_soft`]: identical loop structure and fold directions,
 /// with the elementwise inner loops routed through `ops`.
+// SAFETY: bounds-checked slice loops; `unsafe` only forwards the `ops` ISA contract.
 #[inline(always)]
 unsafe fn whiten_group_f32<O: WhitenOps>(
     ops: &O,
@@ -900,12 +933,14 @@ unsafe fn whiten_group_f32<O: WhitenOps>(
     for i in 0..d {
         s.p[i * d + i] = 1.0;
     }
+    // normlint: kernel-begin
     for _ in 0..spec.t {
         matmul_f32(ops, &mut s.p2, &s.p, &s.p, d);
         matmul_f32(ops, &mut s.p3, &s.p2, &s.p, d);
         matmul_f32(ops, &mut s.g, &s.p3, &s.sigman, d);
         ops.ns_combine(&mut s.p, &s.g);
     }
+    // normlint: kernel-end
     let scale = rtr.sqrt();
     s.g.copy_from_slice(&s.p);
     ops.scale_assign(&mut s.g, scale);
@@ -961,6 +996,7 @@ mod x86 {
     pub(super) struct Sse2Ops;
 
     impl WhitenOps for Sse2Ops {
+        // SAFETY: SSE2 ops on in-bounds offsets (`i + 4 <= len`); SSE2 is the x86-64 baseline.
         #[inline(always)]
         unsafe fn add_assign(&self, dst: &mut [f32], src: &[f32]) {
             let mut i = 0;
@@ -976,6 +1012,7 @@ mod x86 {
             }
         }
 
+        // SAFETY: SSE2 ops on in-bounds offsets (`i + 4 <= len`); SSE2 is the x86-64 baseline.
         #[inline(always)]
         unsafe fn scale_assign(&self, dst: &mut [f32], s: f32) {
             let sv = _mm_set1_ps(s);
@@ -991,6 +1028,7 @@ mod x86 {
             }
         }
 
+        // SAFETY: SSE2 ops on in-bounds offsets (`i + 4 <= len`); SSE2 is the x86-64 baseline.
         #[inline(always)]
         unsafe fn sub_into(&self, dst: &mut [f32], a: &[f32], b: &[f32]) {
             let mut i = 0;
@@ -1006,6 +1044,7 @@ mod x86 {
             }
         }
 
+        // SAFETY: SSE2 ops on in-bounds offsets (`i + 4 <= len`); SSE2 is the x86-64 baseline.
         #[inline(always)]
         unsafe fn axpy(&self, dst: &mut [f32], a: f32, src: &[f32]) {
             // Multiply then add — never `_mm_fmadd_ps`; the scalar chain
@@ -1025,6 +1064,7 @@ mod x86 {
             }
         }
 
+        // SAFETY: SSE2 ops on in-bounds offsets (`i + 4 <= len`); SSE2 is the x86-64 baseline.
         #[inline(always)]
         unsafe fn ns_combine(&self, p: &mut [f32], g: &[f32]) {
             let c15 = _mm_set1_ps(1.5);
@@ -1048,6 +1088,7 @@ mod x86 {
     pub(super) struct Avx2Ops;
 
     impl WhitenOps for Avx2Ops {
+        // SAFETY: AVX2 ops on in-bounds offsets; reached only through the AVX2-resolved kernel.
         #[inline(always)]
         unsafe fn add_assign(&self, dst: &mut [f32], src: &[f32]) {
             let mut i = 0;
@@ -1063,6 +1104,7 @@ mod x86 {
             }
         }
 
+        // SAFETY: AVX2 ops on in-bounds offsets; reached only through the AVX2-resolved kernel.
         #[inline(always)]
         unsafe fn scale_assign(&self, dst: &mut [f32], s: f32) {
             let sv = _mm256_set1_ps(s);
@@ -1078,6 +1120,7 @@ mod x86 {
             }
         }
 
+        // SAFETY: AVX2 ops on in-bounds offsets; reached only through the AVX2-resolved kernel.
         #[inline(always)]
         unsafe fn sub_into(&self, dst: &mut [f32], a: &[f32], b: &[f32]) {
             let mut i = 0;
@@ -1093,6 +1136,7 @@ mod x86 {
             }
         }
 
+        // SAFETY: AVX2 ops on in-bounds offsets; reached only through the AVX2-resolved kernel.
         #[inline(always)]
         unsafe fn axpy(&self, dst: &mut [f32], a: f32, src: &[f32]) {
             // Multiply then add — never `_mm256_fmadd_ps` (see Sse2Ops).
@@ -1111,6 +1155,7 @@ mod x86 {
             }
         }
 
+        // SAFETY: AVX2 ops on in-bounds offsets; reached only through the AVX2-resolved kernel.
         #[inline(always)]
         unsafe fn ns_combine(&self, p: &mut [f32], g: &[f32]) {
             let c15 = _mm256_set1_ps(1.5);
@@ -1226,14 +1271,13 @@ impl NativeWhitenF32 {
             Some(SimdKernel::Portable) => {
                 whiten_group_portable(x, y, self.d, &self.spec, self.eps, scratch)
             }
-            // SAFETY (both arms): the kernel was resolved by
-            // `simd::resolve`, which only yields `Sse2`/`Avx2` when the
-            // running host has the corresponding instructions.
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `simd::resolve` yields Sse2 only on x86-64, where SSE2 is baseline.
             Some(SimdKernel::Sse2) => unsafe {
                 x86::whiten_group_sse2(x, y, self.d, &self.spec, self.eps, scratch)
             },
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: `simd::resolve` yields Avx2 only after runtime-detecting AVX2+FMA.
             Some(SimdKernel::Avx2) => unsafe {
                 x86::whiten_group_avx2(x, y, self.d, &self.spec, self.eps, scratch)
             },

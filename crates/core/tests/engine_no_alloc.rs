@@ -3,6 +3,10 @@
 //! `normalize_batch` after plan construction and asserts that not a single
 //! heap allocation happens on the calling thread.
 
+// The counting allocator below is the one test in the workspace that needs
+// unsafe outside the SIMD kernels; it opts in explicitly per L002.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -19,15 +23,18 @@ struct CountingAllocator;
 // only addition is a thread-local counter bump (const-initialized Cell, so
 // the TLS access itself never allocates).
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same layout contract as `System.alloc`, to which this forwards.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_COUNT.with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
 
+    // SAFETY: same ptr/layout contract as `System.dealloc`, to which this forwards.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same ptr/layout contract as `System.realloc`, to which this forwards.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_COUNT.with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)

@@ -883,3 +883,132 @@ fn high_priority_is_fifo_within_its_class() {
     assert_eq!(&batches[1][D..2 * D], &second_high_bits[..]);
     assert_eq!(&batches[1][2 * D..], &normal_bits[..]);
 }
+
+// ---------------------------------------------------------------------
+// Poisoned whiten lock (PR 9 regression test): a whitening executor that
+// panics mid-call poisons the shard's whiten mutex. Every later request
+// must see a clean `NormError::ServiceShutdown` — never a poisoned-mutex
+// panic cascade, and never a hang.
+// ---------------------------------------------------------------------
+
+/// An injected whitening executor whose every execution panics — the
+/// worst-case backend bug, unwinding with the whiten lock held.
+struct PanickingWhiten;
+
+impl iterl2norm::WhitenExec for PanickingWhiten {
+    fn backend(&self) -> BackendKind {
+        BackendKind::Emulated
+    }
+
+    fn format_name(&self) -> &'static str {
+        "FP32"
+    }
+
+    fn d(&self) -> usize {
+        D
+    }
+
+    fn spec(&self) -> iterl2norm::WhitenSpec {
+        iterl2norm::WhitenSpec::default()
+    }
+
+    fn whiten_groups(
+        &mut self,
+        _input: &[u32],
+        _out: &mut [u32],
+        _group_rows: &[usize],
+        _threads: usize,
+    ) -> Result<usize, NormError> {
+        panic!("injected whitening panic");
+    }
+
+    fn whiten_group_detailed(
+        &mut self,
+        _input: &[u32],
+        _out: &mut [u32],
+    ) -> Result<iterl2norm::WhitenDetail, NormError> {
+        panic!("injected whitening panic");
+    }
+}
+
+/// A minimal pass-through backend so normalization traffic works while
+/// the whiten executor is rigged to panic.
+struct PassBackend;
+
+impl NormBackend for PassBackend {
+    fn backend(&self) -> BackendKind {
+        BackendKind::Emulated
+    }
+
+    fn format_name(&self) -> &'static str {
+        "FP32"
+    }
+
+    fn d(&self) -> usize {
+        D
+    }
+
+    fn method_label(&self) -> String {
+        "pass-test".into()
+    }
+
+    fn normalize_batch_bits(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+        _threads: usize,
+    ) -> Result<usize, NormError> {
+        out.copy_from_slice(input);
+        Ok(input.len() / D)
+    }
+
+    fn normalize_row_bits_detailed(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+    ) -> Result<RowMoments, NormError> {
+        out.copy_from_slice(input);
+        Ok(RowMoments {
+            mean: 0.0,
+            m: 1.0,
+            scale: 1.0,
+        })
+    }
+}
+
+#[test]
+fn poisoned_whiten_lock_fails_closed_not_cascading() {
+    let service = ServiceConfig::new(D)
+        .build_with_backends_and_whiten(|| Box::new(PassBackend), || Box::new(PanickingWhiten))
+        .unwrap();
+
+    // Normalization works before anything whitens (the executor is lazy).
+    let bits = row_bits(7);
+    assert_eq!(service.submit(NormRequest::bits(&bits)).unwrap().rows(), 1);
+
+    // First whitening call: the injected executor panics with the whiten
+    // mutex held, poisoning it. The panic surfaces on this thread (the
+    // submitter leads its own round) — contain it here like a real
+    // worker's panic hook would.
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let group = row_bits(9);
+        let _ = service.submit(NormRequest::whiten_group(&group));
+    }));
+    assert!(panicked.is_err(), "the injected whitening panic must fire");
+
+    // Second whitening call: the poisoned whiten mutex must surface as a
+    // clean ServiceShutdown through `whiten_of`'s recovery — not a
+    // poisoned-lock panic, not a hang.
+    let group = row_bits(11);
+    match service.submit(NormRequest::whiten_group(&group)) {
+        Err(NormError::ServiceShutdown) => {}
+        other => panic!("expected clean ServiceShutdown after poison, got {other:?}"),
+    }
+
+    // The service is now shut down as a precaution; normalization is
+    // refused cleanly too — again an `Err`, never a cascade.
+    match service.submit(NormRequest::bits(&bits)) {
+        Err(NormError::ServiceShutdown) => {}
+        other => panic!("expected ServiceShutdown at the door, got {other:?}"),
+    }
+}

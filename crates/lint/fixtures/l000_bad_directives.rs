@@ -1,0 +1,11 @@
+// Fixture: malformed directives are themselves diagnostics (L000), and a
+// broken waiver waives nothing.
+use std::sync::Mutex;
+
+pub fn reasonless(m: &Mutex<u64>) -> u64 {
+    // normlint: allow(L001)
+    *m.lock().unwrap()
+}
+
+// normlint: allom(L001) — typo in the directive verb
+pub fn unknown_directive() {}

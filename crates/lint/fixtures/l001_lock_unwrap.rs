@@ -1,0 +1,30 @@
+// Fixture: L001 fires on `.unwrap()` / `.expect()` applied to lock results.
+use std::sync::Mutex;
+
+pub fn read_counter(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+pub fn bump_counter(m: &Mutex<u64>) {
+    *m.lock().expect("counter lock") += 1;
+}
+
+pub fn fine(m: &Mutex<u64>) -> u64 {
+    // Recovery idiom: never flagged.
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub fn option_unwrap_is_fine(v: Option<u64>) -> u64 {
+    // Not a lock result and not a no-panic module: L001 stays quiet.
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt(m: &Mutex<u64>) {
+        let _ = m.lock().unwrap();
+    }
+}

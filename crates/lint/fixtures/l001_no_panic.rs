@@ -1,0 +1,18 @@
+// normlint: module(no-panic)
+// Fixture: in a `module(no-panic)` file every non-test unwrap/expect fires.
+
+pub fn first(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn second(r: Result<u64, ()>) -> u64 {
+    r.expect("value")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let _ = Some(1u64).unwrap();
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: with the opt-in present, each `unsafe` still needs a SAFETY comment.
+#![allow(unsafe_code)]
+
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees `p` is valid for reads (fixture contract).
+    unsafe { *p }
+}
+
+// SAFETY: justification above the item, across the attribute, also counts.
+#[inline]
+pub unsafe fn item_level(p: *const u32) -> u32 {
+    *p
+}

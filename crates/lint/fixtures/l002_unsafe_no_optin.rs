@@ -1,0 +1,5 @@
+// Fixture: L002 fires on `unsafe` in a file without `#![allow(unsafe_code)]`.
+
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}

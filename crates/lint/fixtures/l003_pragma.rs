@@ -1,0 +1,7 @@
+// normlint: value-path
+// Fixture: a file can self-declare value-path membership with a pragma.
+use std::time::SystemTime;
+
+pub fn stamps() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,15 @@
+// Fixture: L003 fires on wall-clock / sleep calls, but only when the file
+// is on the value path (by config path or by `// normlint: value-path`).
+use std::time::Instant;
+
+pub fn timed_kernel(x: &mut [f32]) -> f64 {
+    let t0 = Instant::now();
+    for v in x.iter_mut() {
+        *v *= 0.5;
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn politely_waits() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

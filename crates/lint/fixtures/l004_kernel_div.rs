@@ -1,0 +1,16 @@
+// Fixture: inside kernel-marked regions, division and hardware math
+// methods are banned; outside them, anything goes.
+
+pub fn outside_is_free(a: f32, b: f32) -> f32 {
+    (a / b).sqrt()
+}
+
+pub fn newton_schulz_step(y: &mut [f32], c: f32) {
+    // normlint: kernel-begin
+    for v in y.iter_mut() {
+        let halved = *v / 2.0;
+        let rooted = c.sqrt();
+        *v = halved.mul_add(c, rooted);
+    }
+    // normlint: kernel-end
+}

@@ -1,0 +1,31 @@
+// Fixture: L005 fires when a second lock is acquired while a guard from
+// the first is still live in the same scope.
+use std::sync::{Mutex, PoisonError};
+
+pub struct Shard {
+    pub queue: Mutex<Vec<u64>>,
+    pub stats: Mutex<u64>,
+}
+
+pub fn nested(shard: &Shard) -> u64 {
+    let queue = shard.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    let stats = shard.stats.lock().unwrap_or_else(PoisonError::into_inner);
+    *stats + queue.len() as u64
+}
+
+pub fn sequential(shard: &Shard) -> u64 {
+    let queue_len = {
+        let queue = shard.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        queue.len() as u64
+    };
+    let stats = shard.stats.lock().unwrap_or_else(PoisonError::into_inner);
+    *stats + queue_len
+}
+
+pub fn dropped_first(shard: &Shard) -> u64 {
+    let queue = shard.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    let len = queue.len() as u64;
+    drop(queue);
+    let stats = shard.stats.lock().unwrap_or_else(PoisonError::into_inner);
+    *stats + len
+}

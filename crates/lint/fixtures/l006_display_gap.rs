@@ -1,0 +1,19 @@
+// Fixture: every `NormError` variant must be named in its Display impl;
+// `QueueFull` is deliberately missing below.
+use std::fmt;
+
+pub enum NormError {
+    ShapeMismatch,
+    QueueFull,
+    ServiceShutdown,
+}
+
+impl fmt::Display for NormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormError::ShapeMismatch => write!(f, "input shape mismatch"),
+            NormError::ServiceShutdown => write!(f, "service is shut down"),
+            _ => write!(f, "unspecified error"),
+        }
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: a well-formed waiver silences the named rule on the next code line.
+use std::sync::Mutex;
+
+pub fn covered(m: &Mutex<u64>) -> u64 {
+    // normlint: allow(L001) — fixture: demonstrates the waiver escape hatch
+    *m.lock().unwrap()
+}

@@ -1,0 +1,452 @@
+//! A hand-rolled Rust lexer: tokens with line/column spans, aware of
+//! line/block/doc comments, string/char/byte literals, raw strings and
+//! raw identifiers. It does **not** parse — the rule passes work on the
+//! token stream plus a little scope tracking ([`crate::scope`]) — but it
+//! is exact about what is *code* and what is comment or literal text, so
+//! a rule never fires on the word `unsafe` inside a doc comment or on a
+//! `/` inside a string.
+
+/// What a token is. Punctuation is kept one character at a time (`::` is
+/// two `Punct(':')` tokens) — every rule that needs a multi-character
+/// operator matches the pair explicitly, which keeps the lexer trivial
+/// and the rules honest about adjacency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `r#async`, ...).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// String, raw string, byte string, byte or char literal.
+    Literal,
+    /// `// ...` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* ... */` comment (nesting handled), including `/** ... */`.
+    BlockComment,
+    /// Any other single character (`.`, `(`, `/`, `#`, ...).
+    Punct(char),
+}
+
+/// One lexed token: kind plus byte span and 1-based line/column.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based byte column of the first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// True when this token is the identifier `word`.
+    pub fn is_ident(&self, src: &str, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(src) == word
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lex `src` into a token stream. Unterminated literals or comments are
+/// tolerated (the remainder of the file becomes one token) — a lint tool
+/// should degrade, not abort, on the file it is diagnosing.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let c = self.bytes[self.pos];
+            let kind = match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment();
+                    TokenKind::LineComment
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment();
+                    TokenKind::BlockComment
+                }
+                b'r' | b'b' if self.starts_raw_or_byte_literal() => self.take_prefixed_literal(),
+                b'r' if self.peek(1) == Some(b'#')
+                    && matches!(self.peek(2), Some(c) if is_ident_start(c)) =>
+                {
+                    // Raw identifier `r#ident`: one Ident token.
+                    self.bump();
+                    self.bump();
+                    self.take_ident();
+                    TokenKind::Ident
+                }
+                b'"' => {
+                    self.take_string();
+                    TokenKind::Literal
+                }
+                b'\'' => self.take_char_or_lifetime(),
+                b'0'..=b'9' => {
+                    self.take_number();
+                    TokenKind::Number
+                }
+                c if is_ident_start(c) => {
+                    self.take_ident();
+                    TokenKind::Ident
+                }
+                c => {
+                    self.bump();
+                    TokenKind::Punct(c as char)
+                }
+            };
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+                col,
+            });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn take_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.bump();
+        }
+    }
+
+    fn take_block_comment(&mut self) {
+        // Rust block comments nest.
+        let mut depth = 0usize;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// At a `r` or `b`: is this the start of a raw string (`r"`, `r#"`,
+    /// `br"`, ...), a byte string (`b"`), or a byte char (`b'`)? A raw
+    /// *identifier* (`r#ident`) is not a literal.
+    fn starts_raw_or_byte_literal(&self) -> bool {
+        let mut i = 1;
+        if self.bytes[self.pos] == b'b' && self.peek(1) == Some(b'r') {
+            i = 2;
+        }
+        if self.bytes[self.pos] == b'b' && matches!(self.peek(1), Some(b'"') | Some(b'\'')) {
+            return true;
+        }
+        if self.bytes[self.pos] == b'r' || i == 2 {
+            let mut j = i;
+            while self.peek(j) == Some(b'#') {
+                j += 1;
+            }
+            // `r#ident` has ident chars after the hashes; a raw string has
+            // a quote there (and `r"` has a quote with zero hashes).
+            return self.peek(j) == Some(b'"') && (j > i || self.peek(i) == Some(b'"'));
+        }
+        false
+    }
+
+    /// Take a literal starting with `r`/`b`: raw string, byte string or
+    /// byte char. Falls back to an identifier when it is `r#ident`.
+    fn take_prefixed_literal(&mut self) -> TokenKind {
+        // Skip the prefix letters.
+        while matches!(self.bytes.get(self.pos), Some(b'r') | Some(b'b'))
+            && self.pos < self.bytes.len()
+        {
+            // At most two prefix letters (`br`); a lone `b` before a quote.
+            let next = self.peek(1);
+            self.bump();
+            if matches!(next, Some(b'"') | Some(b'\'') | Some(b'#')) {
+                break;
+            }
+        }
+        let mut hashes = 0usize;
+        while self.bytes.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'"') if hashes > 0 => {
+                // Raw string: scan to `"` followed by `hashes` hashes.
+                self.bump();
+                while self.pos < self.bytes.len() {
+                    if self.bytes[self.pos] == b'"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if self.peek(1 + k) != Some(b'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        self.bump();
+                        if ok {
+                            for _ in 0..hashes {
+                                self.bump();
+                            }
+                            return TokenKind::Literal;
+                        }
+                    } else {
+                        self.bump();
+                    }
+                }
+                TokenKind::Literal
+            }
+            Some(b'"') => {
+                self.take_string();
+                TokenKind::Literal
+            }
+            Some(b'\'') => {
+                self.take_char_body();
+                TokenKind::Literal
+            }
+            _ => {
+                // `r#ident`: the hashes were consumed; take the ident.
+                self.take_ident();
+                TokenKind::Ident
+            }
+        }
+    }
+
+    fn take_string(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// At a `'`: char literal or lifetime. A lifetime is `'` + ident with
+    /// no closing quote (`'a`, `'static`); anything else (escape, single
+    /// char + `'`) is a char literal.
+    fn take_char_or_lifetime(&mut self) -> TokenKind {
+        // Lifetime: quote, ident-start, then ident chars NOT followed by a
+        // closing quote (`'a'` is a char literal, `'a` a lifetime).
+        if let Some(c) = self.peek(1) {
+            if is_ident_start(c) && self.peek(2) != Some(b'\'') {
+                self.bump(); // '
+                while matches!(self.bytes.get(self.pos), Some(&c) if is_ident_continue(c)) {
+                    self.bump();
+                }
+                return TokenKind::Lifetime;
+            }
+        }
+        self.take_char_body();
+        TokenKind::Literal
+    }
+
+    fn take_char_body(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn take_number(&mut self) {
+        // Integer part (any base, underscores, suffix letters).
+        while matches!(self.bytes.get(self.pos), Some(&c) if c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.bump();
+        }
+        // Fractional part only when `.` is followed by a digit (so `1..2`
+        // and `1.max(2)` stay untouched).
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && matches!(self.peek(1), Some(c) if c.is_ascii_digit())
+        {
+            self.bump();
+            while matches!(self.bytes.get(self.pos), Some(&c) if c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.bump();
+            }
+        }
+        // Exponent sign (`1e-5` — the alnum loop above ate the `e`).
+        if matches!(self.bytes.get(self.pos), Some(b'+') | Some(b'-'))
+            && matches!(
+                self.bytes.get(self.pos.wrapping_sub(1)),
+                Some(b'e') | Some(b'E')
+            )
+        {
+            self.bump();
+            while matches!(self.bytes.get(self.pos), Some(&c) if c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.bump();
+            }
+        }
+    }
+
+    fn take_ident(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(&c) if is_ident_continue(c)) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_chars_are_opaque() {
+        let src = r##"let x = "a / b"; // unsafe in comment
+let c = 'x'; let l: &'static str = r#"raw " body"#; /* block /* nested */ unsafe */"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("unsafe")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("a / b")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.contains("raw \" body")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t.contains("nested")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+        // No bare Ident token for the commented/quoted words.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn division_is_a_punct_but_comments_are_not() {
+        let src = "let y = a / b; // not / division\n";
+        let toks = lex(src);
+        let slashes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct('/'))
+            .collect();
+        assert_eq!(slashes.len(), 1);
+        assert_eq!(slashes[0].line, 1);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_operators() {
+        let src = "let z = 1.5 * m; let r = 0x1f / 2e-3; let q = 1..4;";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1.5"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "2e-3"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Punct('*')));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Punct('/')));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn spans_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

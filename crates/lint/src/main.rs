@@ -1,0 +1,112 @@
+//! The `normlint` binary. Usage:
+//!
+//! ```text
+//! cargo run -p normlint                 # lint the workspace, all rules
+//! cargo run -p normlint -- --deny all   # same, explicitly
+//! cargo run -p normlint -- --allow L005 # disable one rule
+//! cargo run -p normlint -- --json       # machine-readable output
+//! cargo run -p normlint -- --root PATH  # lint a different tree
+//! ```
+//!
+//! Exit code 0 when clean, 1 when any diagnostic fires, 2 on usage or
+//! I/O errors.
+
+use normlint::diag::{render_json, RuleId, ALL_RULES};
+use normlint::{find_workspace_root, run_workspace, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg = Config::default();
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny" => match args.next().as_deref() {
+                Some("all") => cfg.deny_all(),
+                Some(code) => match RuleId::parse(code) {
+                    Some(rule) => cfg.deny(rule),
+                    None => return usage_error(&format!("unknown rule `{code}`")),
+                },
+                None => return usage_error("--deny needs a rule code or `all`"),
+            },
+            "--allow" => match args.next().as_deref() {
+                Some("all") => {
+                    for r in ALL_RULES {
+                        cfg.allow(r);
+                    }
+                }
+                Some(code) => match RuleId::parse(code) {
+                    Some(rule) => cfg.allow(rule),
+                    None => return usage_error(&format!("unknown rule `{code}`")),
+                },
+                None => return usage_error("--allow needs a rule code or `all`"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("normlint: no workspace root found (no Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+
+    match run_workspace(&root, &cfg) {
+        Ok((diags, scanned)) => {
+            if json {
+                println!("{}", render_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                eprintln!(
+                    "normlint: {} file(s) scanned, {} diagnostic(s)",
+                    scanned,
+                    diags.len()
+                );
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("normlint: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("normlint: {msg}");
+    print_help();
+    ExitCode::from(2)
+}
+
+fn print_help() {
+    eprintln!("usage: normlint [--json] [--deny RULE|all] [--allow RULE|all] [--root PATH]");
+    eprintln!("rules:");
+    for r in ALL_RULES {
+        eprintln!("  {}  {}", r.code(), r.summary());
+    }
+    eprintln!("waiver syntax: // normlint: allow(L00X) — reason");
+}

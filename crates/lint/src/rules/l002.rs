@@ -1,0 +1,115 @@
+//! L002 — unsafe containment (PR 7). Two requirements:
+//!
+//! 1. A file may use `unsafe` only if it opts in with
+//!    `#![allow(unsafe_code)]` at file scope (the rest of the workspace
+//!    carries `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]`).
+//! 2. Every `unsafe` token must be justified by a comment containing
+//!    `SAFETY` (or a `# Safety` doc heading) on the same line or in the
+//!    contiguous block of comment/attribute lines directly above it. A
+//!    blank line or a plain code line breaks the block — the
+//!    justification has to sit *next to* the unsafe code it covers.
+//!
+//! `#[cfg(test)]` regions are exempt from the SAFETY requirement (but
+//! not from the opt-in: a test exercising unsafe still needs the file
+//! gate), matching how PR 7 structured the SIMD test modules.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::TokenKind;
+use crate::rules::RuleCtx;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Flag `unsafe` outside opted-in modules or without a SAFETY comment.
+pub fn run(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let scope = ctx.scope;
+    // Per-line facts for the upward scan.
+    let mut safety_lines: BTreeSet<usize> = BTreeSet::new();
+    let mut comment_lines: BTreeSet<usize> = BTreeSet::new();
+    let mut first_code: BTreeMap<usize, char> = BTreeMap::new();
+    for t in &scope.tokens {
+        if t.is_comment() {
+            comment_lines.insert(t.line);
+            let text = t.text(ctx.src);
+            if text.contains("SAFETY") || text.contains("Safety") {
+                // A block comment may span lines; credit every line the
+                // span covers so `/** ... # Safety ... */` works.
+                let end_line = t.line + t.text(ctx.src).matches('\n').count();
+                for l in t.line..=end_line {
+                    safety_lines.insert(l);
+                }
+                for l in t.line..=end_line {
+                    comment_lines.insert(l);
+                }
+            } else if t.kind == TokenKind::BlockComment {
+                let end_line = t.line + text.matches('\n').count();
+                for l in t.line..=end_line {
+                    comment_lines.insert(l);
+                }
+            }
+        } else {
+            first_code.entry(t.line).or_insert(match t.kind {
+                TokenKind::Punct(c) => c,
+                _ => 'i',
+            });
+        }
+    }
+
+    for &ti in &scope.code {
+        let t = &scope.tokens[ti];
+        if !t.is_ident(ctx.src, "unsafe") {
+            continue;
+        }
+        if !scope.allows_unsafe {
+            out.push(
+                ctx.diag(
+                    RuleId::L002,
+                    t.line,
+                    t.col,
+                    "`unsafe` in a file without `#![allow(unsafe_code)]` — unsafe is confined \
+                 to modules that opt in"
+                        .to_string(),
+                ),
+            );
+            continue;
+        }
+        if scope.in_test_region(t.line) {
+            continue;
+        }
+        if !has_safety_justification(t.line, &safety_lines, &comment_lines, &first_code) {
+            out.push(
+                ctx.diag(
+                    RuleId::L002,
+                    t.line,
+                    t.col,
+                    "`unsafe` without a `// SAFETY:` comment on the same line or directly above"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// Same line, or walk upward through contiguous comment/attribute lines.
+fn has_safety_justification(
+    line: usize,
+    safety: &BTreeSet<usize>,
+    comments: &BTreeSet<usize>,
+    first_code: &BTreeMap<usize, char>,
+) -> bool {
+    if safety.contains(&line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if safety.contains(&l) {
+            return true;
+        }
+        let is_attr = first_code.get(&l) == Some(&'#');
+        let is_comment_only = comments.contains(&l) && !first_code.contains_key(&l);
+        if is_attr || is_comment_only {
+            continue;
+        }
+        return false;
+    }
+    false
+}

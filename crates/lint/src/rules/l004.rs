@@ -1,0 +1,61 @@
+//! L004 — iterate-don't-invert (the paper's central contract, PRs 7–8).
+//! The Newton–Schulz value path replaces `1/sqrt(x)` with an iteration
+//! of multiplies and adds so every backend — scalar, SIMD, soft-float —
+//! lands on the same bits. Inside a region bracketed by
+//! `// normlint: kernel-begin` / `// normlint: kernel-end`, the
+//! division operator and the fast-math method family (`sqrt`,
+//! `mul_add`, `recip`, `powf`, `powi`) are therefore banned: an FMA
+//! contracts rounding steps, a hardware divide/sqrt rounds differently
+//! across targets.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::TokenKind;
+use crate::rules::RuleCtx;
+
+const BANNED_METHODS: &[&str] = &["mul_add", "sqrt", "recip", "powf", "powi", "div_euclid"];
+
+/// Flag division and fast-math methods inside kernel-marked regions.
+pub fn run(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let scope = ctx.scope;
+    if !scope.has_kernel_regions() {
+        return;
+    }
+    for (k, &ti) in scope.code.iter().enumerate() {
+        let t = &scope.tokens[ti];
+        if !scope.in_kernel_region(t.line) {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Punct('/') => {
+                out.push(
+                    ctx.diag(
+                        RuleId::L004,
+                        t.line,
+                        t.col,
+                        "division inside a kernel region — the Newton–Schulz path is \
+                     multiply/add only"
+                            .to_string(),
+                    ),
+                );
+            }
+            TokenKind::Ident => {
+                let name = t.text(ctx.src);
+                if BANNED_METHODS.contains(&name)
+                    && k > 0
+                    && scope.tokens[scope.code[k - 1]].kind == TokenKind::Punct('.')
+                {
+                    out.push(ctx.diag(
+                        RuleId::L004,
+                        t.line,
+                        t.col,
+                        format!(
+                            "`.{name}()` inside a kernel region — hardware divide/sqrt/FMA \
+                             rounds differently across targets"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}

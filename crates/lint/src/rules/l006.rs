@@ -1,0 +1,168 @@
+//! L006 — error-surface completeness (PR 1's contract). Every variant of
+//! `NormError` must be named in its `Display` impl: a variant that falls
+//! through to a catch-all arm ships an unhelpful message to operators of
+//! the multi-tenant server, and the CLI's exit-code mapping keys off the
+//! rendered text. The pass token-parses the enum declaration (skipping
+//! attributes, payloads and discriminants) and then checks each variant
+//! identifier appears somewhere inside the `impl ... Display for
+//! NormError { ... }` body. Only files declaring `enum NormError` are
+//! inspected.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::TokenKind;
+use crate::rules::RuleCtx;
+
+/// Check every `NormError` variant is named in its `Display` impl.
+pub fn run(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let scope = ctx.scope;
+    let code = &scope.code;
+    let text = |k: usize| scope.tokens[code[k]].text(ctx.src);
+    let kind = |k: usize| scope.tokens[code[k]].kind;
+
+    // Find `enum NormError {`.
+    let mut enum_open = None;
+    for k in 0..code.len().saturating_sub(2) {
+        if kind(k) == TokenKind::Ident
+            && text(k) == "enum"
+            && text(k + 1) == "NormError"
+            && kind(k + 2) == TokenKind::Punct('{')
+        {
+            enum_open = Some(k + 2);
+            break;
+        }
+    }
+    let Some(open) = enum_open else { return };
+
+    // Collect variant idents at brace depth 1, skipping `#[...]`
+    // attributes, `(...)`/`{...}` payloads and `= discriminant`s.
+    let mut variants: Vec<(String, usize, usize)> = Vec::new();
+    let mut k = open + 1;
+    let mut brace = 1usize;
+    let mut expect_variant = true;
+    while k < code.len() && brace > 0 {
+        match kind(k) {
+            TokenKind::Punct('#') => {
+                // Skip the `[...]` group.
+                if matches!(code.get(k + 1), Some(&i) if scope.tokens[i].kind == TokenKind::Punct('['))
+                {
+                    let mut depth = 0usize;
+                    k += 1;
+                    while k < code.len() {
+                        match kind(k) {
+                            TokenKind::Punct('[') => depth += 1,
+                            TokenKind::Punct(']') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            TokenKind::Punct('(') | TokenKind::Punct('{') => {
+                // Payload: skip the balanced group.
+                let (openc, closec) = if kind(k) == TokenKind::Punct('(') {
+                    ('(', ')')
+                } else {
+                    ('{', '}')
+                };
+                let mut depth = 0usize;
+                while k < code.len() {
+                    match kind(k) {
+                        TokenKind::Punct(c) if c == openc => depth += 1,
+                        TokenKind::Punct(c) if c == closec => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            TokenKind::Punct('}') => brace -= 1,
+            TokenKind::Punct(',') => expect_variant = true,
+            TokenKind::Ident if expect_variant => {
+                let t = &scope.tokens[code[k]];
+                variants.push((t.text(ctx.src).to_string(), t.line, t.col));
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+
+    // Find `impl ... Display for NormError {` and its body span.
+    let mut body: Option<(usize, usize)> = None;
+    for k in 0..code.len() {
+        if kind(k) == TokenKind::Ident && text(k) == "Display" {
+            // Look ahead for `for NormError` within a few tokens.
+            let mut j = k + 1;
+            let mut saw_for = false;
+            while j < code.len() && j < k + 6 {
+                if kind(j) == TokenKind::Ident && text(j) == "for" {
+                    saw_for = true;
+                } else if saw_for && kind(j) == TokenKind::Ident && text(j) == "NormError" {
+                    // Find opening brace and its match.
+                    let mut o = j + 1;
+                    while o < code.len() && kind(o) != TokenKind::Punct('{') {
+                        o += 1;
+                    }
+                    let mut depth = 0usize;
+                    let mut c = o;
+                    while c < code.len() {
+                        match kind(c) {
+                            TokenKind::Punct('{') => depth += 1,
+                            TokenKind::Punct('}') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        c += 1;
+                    }
+                    body = Some((o, c));
+                    break;
+                }
+                j += 1;
+            }
+            if body.is_some() {
+                break;
+            }
+        }
+    }
+
+    let Some((bo, bc)) = body else {
+        if let Some((_, line, col)) = variants.first().map(|v| (v.0.clone(), v.1, v.2)) {
+            out.push(
+                ctx.diag(
+                    RuleId::L006,
+                    line,
+                    col,
+                    "`NormError` has no `Display` impl in this file — every variant must \
+                 render a message"
+                        .to_string(),
+                ),
+            );
+        }
+        return;
+    };
+
+    for (name, line, col) in &variants {
+        let mentioned = (bo..=bc).any(|k| kind(k) == TokenKind::Ident && text(k) == *name);
+        if !mentioned {
+            out.push(ctx.diag(
+                RuleId::L006,
+                *line,
+                *col,
+                format!("variant `{name}` is not named in the `Display` impl for `NormError`"),
+            ));
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Per-file scope analysis shared by every rule: `#[cfg(test)]` regions,
+//! `normlint` directives (waivers, kernel markers, file pragmas), and the
+//! `#![allow(unsafe_code)]` opt-in. Runs once per file; rules consume the
+//! result read-only.
+//!
+//! Directive syntax (always inside a comment):
+//!
+//! - `normlint: allow(L00X) — reason` — waive the rule on this line and
+//!   the next code line. The reason text is mandatory.
+//! - `normlint: kernel-begin` / `normlint: kernel-end` — bracket a
+//!   value-path kernel region for L004. Must pair up in order.
+//! - `normlint: module(no-panic)` — file pragma: every non-test
+//!   `.unwrap(`/`.expect(` in the file is an L001 violation.
+//! - `normlint: value-path` — file pragma: the file opts into the L003
+//!   value-path module set regardless of its path.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Everything the rules need to know about one file.
+pub struct FileScope {
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices (into `tokens`) of non-comment tokens, in order. Rules walk
+    /// this view so a comment between `.` and `unwrap` cannot hide a call.
+    pub code: Vec<usize>,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// Line ranges (inclusive) between kernel-begin/kernel-end markers.
+    kernel_regions: Vec<(usize, usize)>,
+    /// Waivers: (rule, line of the waiver comment).
+    waivers: Vec<(RuleId, usize)>,
+    /// Lines that hold at least one code token (for waiver propagation).
+    code_lines: Vec<usize>,
+    /// `#![allow(unsafe_code)]` present at file scope.
+    pub allows_unsafe: bool,
+    /// `normlint: module(no-panic)` pragma present.
+    pub no_panic_module: bool,
+    /// `normlint: value-path` pragma present.
+    pub value_path_module: bool,
+    /// Directive errors found while parsing (reported under L000).
+    pub directive_errors: Vec<Diagnostic>,
+}
+
+impl FileScope {
+    /// Analyze one file. `path` is the workspace-relative path used in
+    /// any L000 diagnostics.
+    pub fn analyze(path: &str, src: &str) -> FileScope {
+        let tokens = lex(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let mut code_lines: Vec<usize> = code.iter().map(|&i| tokens[i].line).collect();
+        code_lines.dedup();
+
+        let mut scope = FileScope {
+            test_regions: Vec::new(),
+            kernel_regions: Vec::new(),
+            waivers: Vec::new(),
+            code_lines,
+            allows_unsafe: false,
+            no_panic_module: false,
+            value_path_module: false,
+            directive_errors: Vec::new(),
+            tokens,
+            code,
+        };
+        scope.scan_directives(path, src);
+        scope.scan_inner_attrs(src);
+        scope.scan_test_regions(src);
+        scope
+    }
+
+    /// Parse every `normlint:` directive comment.
+    fn scan_directives(&mut self, path: &str, src: &str) {
+        let mut kernel_open: Option<usize> = None;
+        let mut errors = Vec::new();
+        let mut kernels = Vec::new();
+        let mut waivers = Vec::new();
+        let mut err = |line: usize, col: usize, msg: String| {
+            errors.push(Diagnostic {
+                rule: RuleId::L000,
+                path: path.to_string(),
+                line,
+                col,
+                message: msg,
+            });
+        };
+        for t in &self.tokens {
+            if !t.is_comment() {
+                continue;
+            }
+            // Only a comment that *starts* with `normlint:` (after the
+            // comment sigils) is a directive — prose and doc text that
+            // merely mention the syntax are not.
+            let stripped = t
+                .text(src)
+                .trim_start_matches('/')
+                .trim_start_matches(['*', '!'])
+                .trim_start();
+            let Some(rest) = stripped.strip_prefix("normlint:") else {
+                continue;
+            };
+            let body = rest.trim_end_matches("*/").trim();
+            if body == "kernel-begin" {
+                if kernel_open.is_some() {
+                    err(
+                        t.line,
+                        t.col,
+                        "kernel-begin while a kernel region is already open".into(),
+                    );
+                } else {
+                    kernel_open = Some(t.line);
+                }
+            } else if body == "kernel-end" {
+                match kernel_open.take() {
+                    Some(begin) => kernels.push((begin, t.line)),
+                    None => err(
+                        t.line,
+                        t.col,
+                        "kernel-end without a matching kernel-begin".into(),
+                    ),
+                }
+            } else if body == "module(no-panic)" {
+                self.no_panic_module = true;
+            } else if body == "value-path" {
+                self.value_path_module = true;
+            } else if let Some(rest) = body.strip_prefix("allow(") {
+                let Some(close) = rest.find(')') else {
+                    err(
+                        t.line,
+                        t.col,
+                        format!("unclosed allow(...) in directive `{body}`"),
+                    );
+                    continue;
+                };
+                let code = &rest[..close];
+                let Some(rule) = RuleId::parse(code.trim()) else {
+                    err(
+                        t.line,
+                        t.col,
+                        format!("unknown rule `{}` in waiver", code.trim()),
+                    );
+                    continue;
+                };
+                // The reason is mandatory: text after the `)`, past an
+                // optional dash separator, must be non-empty.
+                let reason = rest[close + 1..]
+                    .trim_start_matches([' ', '\t'])
+                    .trim_start_matches(['—', '-', ':'])
+                    .trim();
+                if reason.is_empty() {
+                    err(
+                        t.line,
+                        t.col,
+                        format!(
+                            "waiver for {} has no reason — write `allow({}) — why`",
+                            rule, rule
+                        ),
+                    );
+                    continue;
+                }
+                waivers.push((rule, t.line));
+            } else {
+                err(
+                    t.line,
+                    t.col,
+                    format!("unrecognized normlint directive `{body}`"),
+                );
+            }
+        }
+        if let Some(begin) = kernel_open {
+            err(begin, 1, "kernel-begin never closed by kernel-end".into());
+        }
+        self.kernel_regions = kernels;
+        self.waivers = waivers;
+        self.directive_errors = errors;
+    }
+
+    /// Detect file-level inner attributes: `#![allow(unsafe_code)]`.
+    fn scan_inner_attrs(&mut self, src: &str) {
+        let want = ["#", "!", "[", "allow", "(", "unsafe_code", ")", "]"];
+        let code = &self.code;
+        for w in code.windows(want.len()) {
+            if w.iter().zip(want.iter()).all(|(&i, &s)| {
+                let t = &self.tokens[i];
+                t.text(src) == s
+            }) {
+                self.allows_unsafe = true;
+                return;
+            }
+        }
+    }
+
+    /// Find `#[cfg(test)]` attributes and record the line span of the
+    /// item each one governs (through the matching close brace of the
+    /// next `{`). Good enough for `mod tests` and `#[cfg(test)]` fns.
+    fn scan_test_regions(&mut self, src: &str) {
+        let want = ["#", "[", "cfg", "(", "test", ")", "]"];
+        let code = self.code.clone();
+        let mut regions = Vec::new();
+        let mut k = 0;
+        while k + want.len() <= code.len() {
+            let matches = code[k..k + want.len()]
+                .iter()
+                .zip(want.iter())
+                .all(|(&i, &s)| self.tokens[i].text(src) == s);
+            if !matches {
+                k += 1;
+                continue;
+            }
+            let attr_line = self.tokens[code[k]].line;
+            // Find the `{` that opens the governed item, then its match.
+            let mut j = k + want.len();
+            let mut open_at = None;
+            while j < code.len() {
+                match self.tokens[code[j]].kind {
+                    TokenKind::Punct('{') => {
+                        open_at = Some(j);
+                        break;
+                    }
+                    // A `;` before any `{` means the item is braceless
+                    // (e.g. `#[cfg(test)] use ...;`): region ends there.
+                    TokenKind::Punct(';') => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end_line = match open_at {
+                Some(open) => {
+                    let mut depth = 0usize;
+                    let mut end = self.tokens[code[open]].line;
+                    for &ci in &code[open..] {
+                        match self.tokens[ci].kind {
+                            TokenKind::Punct('{') => depth += 1,
+                            TokenKind::Punct('}') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = self.tokens[ci].line;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    end
+                }
+                None => self.tokens[code[j.min(code.len() - 1)]].line,
+            };
+            regions.push((attr_line, end_line));
+            k = j.max(k + 1);
+        }
+        self.test_regions = regions;
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// True when `line` falls inside a kernel-marked region.
+    pub fn in_kernel_region(&self, line: usize) -> bool {
+        self.kernel_regions
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// True when the file declares at least one kernel region.
+    pub fn has_kernel_regions(&self) -> bool {
+        !self.kernel_regions.is_empty()
+    }
+
+    /// True when `rule` is waived on `line`: the waiver comment sits on
+    /// the line itself or on a preceding line whose next code line is
+    /// `line`.
+    pub fn is_waived(&self, rule: RuleId, line: usize) -> bool {
+        self.waivers.iter().any(|&(r, wline)| {
+            r == rule
+                && (wline == line
+                    || self
+                        .code_lines
+                        .iter()
+                        .find(|&&cl| cl > wline)
+                        .is_some_and(|&cl| cl == line))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_region_covers_mod_body() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let s = FileScope::analyze("x.rs", src);
+        assert!(!s.in_test_region(1));
+        assert!(s.in_test_region(2));
+        assert!(s.in_test_region(4));
+        assert!(!s.in_test_region(6));
+    }
+
+    #[test]
+    fn waiver_covers_next_code_line() {
+        let src = "// normlint: allow(L001) — poison impossible here\nlet x = m.lock().unwrap();\nlet y = 1;\n";
+        let s = FileScope::analyze("x.rs", src);
+        assert!(s.is_waived(RuleId::L001, 2));
+        assert!(!s.is_waived(RuleId::L001, 3));
+        assert!(!s.is_waived(RuleId::L002, 2));
+        assert!(s.directive_errors.is_empty());
+    }
+
+    #[test]
+    fn same_line_waiver_works() {
+        let src = "let x = m.lock().unwrap(); // normlint: allow(L001) - shutdown path\n";
+        let s = FileScope::analyze("x.rs", src);
+        assert!(s.is_waived(RuleId::L001, 1));
+    }
+
+    #[test]
+    fn waiver_without_reason_is_an_error() {
+        let src = "// normlint: allow(L001)\nlet x = 1;\n";
+        let s = FileScope::analyze("x.rs", src);
+        assert!(!s.is_waived(RuleId::L001, 2));
+        assert_eq!(s.directive_errors.len(), 1);
+        assert!(s.directive_errors[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn unmatched_kernel_marker_is_an_error() {
+        let src = "// normlint: kernel-begin\nlet x = 1;\n";
+        let s = FileScope::analyze("x.rs", src);
+        assert_eq!(s.directive_errors.len(), 1);
+        assert!(s.directive_errors[0].message.contains("never closed"));
+    }
+
+    #[test]
+    fn kernel_region_spans_markers() {
+        let src = "let a = 1;\n// normlint: kernel-begin\nlet b = 2;\n// normlint: kernel-end\nlet c = 3;\n";
+        let s = FileScope::analyze("x.rs", src);
+        assert!(!s.in_kernel_region(1));
+        assert!(s.in_kernel_region(3));
+        assert!(!s.in_kernel_region(5));
+    }
+
+    #[test]
+    fn pragmas_are_detected() {
+        let src = "// normlint: module(no-panic)\n// normlint: value-path\nfn f() {}\n";
+        let s = FileScope::analyze("x.rs", src);
+        assert!(s.no_panic_module);
+        assert!(s.value_path_module);
+    }
+
+    #[test]
+    fn allow_unsafe_inner_attr_detected() {
+        let src = "#![allow(unsafe_code)]\nfn f() {}\n";
+        let s = FileScope::analyze("x.rs", src);
+        assert!(s.allows_unsafe);
+        let s2 = FileScope::analyze("x.rs", "#![forbid(unsafe_code)]\n");
+        assert!(!s2.allows_unsafe);
+    }
+}

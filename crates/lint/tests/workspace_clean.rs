@@ -1,0 +1,24 @@
+//! The CI gate as a test: the real workspace tree must be lint-clean
+//! under the default deny-all configuration. Any new violation — an
+//! unwrap on a lock result, an undocumented `unsafe`, a division inside
+//! a kernel region — fails this test before it fails the CI job.
+
+use normlint::{find_workspace_root, run_workspace, Config};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above the lint crate");
+    let (diags, files) = run_workspace(&root, &Config::default()).expect("workspace readable");
+
+    // Sanity: the walk actually saw the tree, not an empty directory.
+    assert!(files >= 50, "only {files} .rs files found under {root:?}");
+
+    let rendered: Vec<String> = diags.iter().map(|d| d.render_text()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace has {} lint finding(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}

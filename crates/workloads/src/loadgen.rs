@@ -29,7 +29,7 @@
 //! numbers `results/BENCH_server.json` publishes.
 
 use std::io;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use normserver::protocol::ErrorCode;
@@ -258,9 +258,12 @@ where
             let failure = &failure;
             scope.spawn(
                 move || match run_worker(config, worker, connect, payloads, start) {
-                    Ok(acc) => accums.lock().unwrap().push(acc),
+                    Ok(acc) => accums
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(acc),
                     Err(e) => {
-                        let mut failure = failure.lock().unwrap();
+                        let mut failure = failure.lock().unwrap_or_else(PoisonError::into_inner);
                         if failure.is_none() {
                             *failure = Some(format!("worker {worker}: {e}"));
                         }
@@ -270,7 +273,7 @@ where
         }
     });
     let wall_s = start.elapsed().as_secs_f64();
-    if let Some(err) = failure.into_inner().unwrap() {
+    if let Some(err) = failure.into_inner().unwrap_or_else(PoisonError::into_inner) {
         return Err(err);
     }
 
