@@ -10,9 +10,15 @@
 //! submitter pipelines requests through `submit_async` with
 //! [`PIPELINE_DEPTH`] tickets in flight (`async`, collecting the oldest
 //! ticket before submitting the next), plus how many independent
-//! backend+queue shards the service runs (`--shards`-equivalent) and
-//! whether response buffers are leased from the pool or freshly allocated
-//! per request. A self-check asserts every variant produces bit-identical
+//! backend+queue shards the service runs (`--shards`-equivalent), each
+//! shard's resident worker count (`--shard-threads`-equivalent — the
+//! executor axis), and whether response buffers are leased from the pool
+//! or freshly allocated per request. Every point also reports the
+//! resident workers' wait/execute split: `queue_wait` is time requests
+//! spent waiting in the shard queue (execution excluded), `worker_busy`
+//! is driver time inside rounds, `worker_idle` is parked time, and
+//! `worker_wakeups` counts driver unparks. A self-check asserts every
+//! variant produces bit-identical
 //! output before any number is reported — coalescing, sharding, async
 //! submission and pooling are throughput knobs, never results knobs.
 //!
@@ -50,17 +56,23 @@ use workloads::VectorGen;
 
 use crate::io::{banner, print_table, write_json};
 
-/// The swept service variants: `(mode, shards, buffer_pool)`.
-const VARIANTS: [(&str, usize, bool); 9] = [
-    ("per-request", 1, true),
-    ("per-request", 1, false),
-    ("coalesced", 1, true),
-    ("coalesced", 1, false),
-    ("coalesced", 2, true),
-    ("coalesced", 4, true),
-    ("async", 1, true),
-    ("async", 2, true),
-    ("async", 4, true),
+/// The swept service variants: `(mode, shards, buffer_pool,
+/// shard_threads)` — the last being each shard's resident worker count
+/// (the executor axis: 1 = a lone driver per shard, 2 = driver + one
+/// partition helper, so rounds of more than one request split across
+/// workers). All workers spawn at service build and park when idle.
+const VARIANTS: [(&str, usize, bool, usize); 11] = [
+    ("per-request", 1, true, 1),
+    ("per-request", 1, false, 1),
+    ("coalesced", 1, true, 1),
+    ("coalesced", 1, false, 1),
+    ("coalesced", 2, true, 1),
+    ("coalesced", 2, true, 2),
+    ("coalesced", 4, true, 1),
+    ("async", 1, true, 1),
+    ("async", 2, true, 1),
+    ("async", 2, true, 2),
+    ("async", 4, true, 1),
 ];
 
 /// Maximum tickets each async-mode submitter keeps in flight before
@@ -75,10 +87,11 @@ pub const PIPELINE_DEPTH: usize = 4;
 /// rows report far fewer requests/s at far higher per-request cost.
 const WHITEN_D: usize = 64;
 const WHITEN_ROWS: usize = 32;
-const WHITEN_VARIANTS: [(&str, usize, bool); 3] = [
-    ("per-request", 1, true),
-    ("coalesced", 1, true),
-    ("async", 1, true),
+const WHITEN_VARIANTS: [(&str, usize, bool, usize); 4] = [
+    ("per-request", 1, true, 1),
+    ("coalesced", 1, true, 1),
+    ("coalesced", 1, true, 2),
+    ("async", 1, true, 1),
 ];
 
 /// One measured configuration.
@@ -89,10 +102,14 @@ struct Point {
     mode: &'static str,
     shards: usize,
     buffer_pool: bool,
+    shard_threads: usize,
     rows_per_s: f64,
     us_per_request: f64,
     requests_per_batch: f64,
     queue_wait_us_per_request: f64,
+    worker_busy_us_per_request: f64,
+    worker_idle_us: f64,
+    worker_wakeups: u64,
 }
 
 /// Deterministic request payload for submitter `who`, request `req`.
@@ -200,7 +217,13 @@ fn measure(
 }
 
 /// Build the service for one variant.
-fn service_for(d: usize, mode: &str, shards: usize, buffer_pool: bool) -> NormService {
+fn service_for(
+    d: usize,
+    mode: &str,
+    shards: usize,
+    buffer_pool: bool,
+    shard_threads: usize,
+) -> NormService {
     ServiceConfig::new(d)
         .with_backend(BackendKind::Native)
         .with_format(FormatKind::Fp32)
@@ -209,6 +232,7 @@ fn service_for(d: usize, mode: &str, shards: usize, buffer_pool: bool) -> NormSe
         // per-request baseline runs without it.
         .with_coalescing(mode != "per-request")
         .with_shards(shards)
+        .with_threads(shard_threads)
         .with_buffer_pool(buffer_pool)
         .build()
         .expect("bench service config is valid")
@@ -250,8 +274,8 @@ pub fn run_at(
         reference
             .normalize_batch_bits(&probe, &mut expect, 1)
             .map_err(std::io::Error::other)?;
-        for (mode, shards, buffer_pool) in VARIANTS {
-            let service = service_for(d, mode, shards, buffer_pool);
+        for (mode, shards, buffer_pool, shard_threads) in VARIANTS {
+            let service = service_for(d, mode, shards, buffer_pool, shard_threads);
             let response = service
                 .submit(NormRequest::bits(&probe))
                 .map_err(std::io::Error::other)?;
@@ -259,7 +283,8 @@ pub fn run_at(
                 response.bits(),
                 &expect[..],
                 "service output diverged from the backend at \
-                 d = {d} ({mode}, shards={shards}, pool={buffer_pool})"
+                 d = {d} ({mode}, shards={shards}, pool={buffer_pool}, \
+                 threads={shard_threads})"
             );
             // The async path must agree bit for bit too before its
             // throughput numbers mean anything.
@@ -271,13 +296,14 @@ pub fn run_at(
                 waited.bits(),
                 &expect[..],
                 "async output diverged from the backend at \
-                 d = {d} ({mode}, shards={shards}, pool={buffer_pool})"
+                 d = {d} ({mode}, shards={shards}, pool={buffer_pool}, \
+                 threads={shard_threads})"
             );
         }
 
         for &submitters in submitter_counts {
-            for (mode, shards, buffer_pool) in VARIANTS {
-                let service = service_for(d, mode, shards, buffer_pool);
+            for (mode, shards, buffer_pool, shard_threads) in VARIANTS {
+                let service = service_for(d, mode, shards, buffer_pool, shard_threads);
                 // Warm-up sizes the conversion buffers and scratch.
                 let warm = request_bits(d, rows_per_request, 99, 0);
                 let _ = service
@@ -303,6 +329,9 @@ pub fn run_at(
                 let queue_wait_us_per_request = (stats.queue_wait - base.queue_wait).as_secs_f64()
                     * 1e6
                     / measured_requests.max(1.0);
+                let worker_busy_us_per_request =
+                    (stats.worker_busy - base.worker_busy).as_secs_f64() * 1e6
+                        / measured_requests.max(1.0);
                 points.push(Point {
                     workload: "norm",
                     d,
@@ -310,10 +339,14 @@ pub fn run_at(
                     mode,
                     shards,
                     buffer_pool,
+                    shard_threads,
                     rows_per_s: total_rows / seconds,
                     us_per_request: seconds * 1e6 / total_requests,
                     requests_per_batch,
                     queue_wait_us_per_request,
+                    worker_busy_us_per_request,
+                    worker_idle_us: (stats.worker_idle - base.worker_idle).as_secs_f64() * 1e6,
+                    worker_wakeups: stats.worker_wakeups - base.worker_wakeups,
                 });
                 table.push(vec![
                     "norm".to_string(),
@@ -322,10 +355,12 @@ pub fn run_at(
                     mode.to_string(),
                     shards.to_string(),
                     if buffer_pool { "on" } else { "off" }.to_string(),
+                    shard_threads.to_string(),
                     format!("{:.0}", total_rows / seconds),
                     format!("{:.1}", seconds * 1e6 / total_requests),
                     format!("{requests_per_batch:.2}"),
                     format!("{queue_wait_us_per_request:.2}"),
+                    format!("{worker_busy_us_per_request:.2}"),
                 ]);
             }
         }
@@ -350,8 +385,8 @@ pub fn run_at(
         reference
             .whiten_groups(&probe, &mut expect, &[WHITEN_ROWS], 1)
             .map_err(std::io::Error::other)?;
-        for (mode, shards, buffer_pool) in WHITEN_VARIANTS {
-            let service = service_for(WHITEN_D, mode, shards, buffer_pool);
+        for (mode, shards, buffer_pool, shard_threads) in WHITEN_VARIANTS {
+            let service = service_for(WHITEN_D, mode, shards, buffer_pool, shard_threads);
             let response = service
                 .submit(NormRequest::whiten_group(&probe))
                 .map_err(std::io::Error::other)?;
@@ -359,12 +394,13 @@ pub fn run_at(
                 response.bits(),
                 &expect[..],
                 "service whitening diverged from the direct executor \
-                 ({mode}, shards={shards}, pool={buffer_pool})"
+                 ({mode}, shards={shards}, pool={buffer_pool}, \
+                 threads={shard_threads})"
             );
         }
         for &submitters in submitter_counts {
-            for (mode, shards, buffer_pool) in WHITEN_VARIANTS {
-                let service = service_for(WHITEN_D, mode, shards, buffer_pool);
+            for (mode, shards, buffer_pool, shard_threads) in WHITEN_VARIANTS {
+                let service = service_for(WHITEN_D, mode, shards, buffer_pool, shard_threads);
                 let warm = request_bits(WHITEN_D, WHITEN_ROWS, 99, 0);
                 let _ = service
                     .submit(NormRequest::whiten_group(&warm))
@@ -387,6 +423,9 @@ pub fn run_at(
                 let queue_wait_us_per_request = (stats.queue_wait - base.queue_wait).as_secs_f64()
                     * 1e6
                     / measured_requests.max(1.0);
+                let worker_busy_us_per_request =
+                    (stats.worker_busy - base.worker_busy).as_secs_f64() * 1e6
+                        / measured_requests.max(1.0);
                 points.push(Point {
                     workload: "whiten",
                     d: WHITEN_D,
@@ -394,10 +433,14 @@ pub fn run_at(
                     mode,
                     shards,
                     buffer_pool,
+                    shard_threads,
                     rows_per_s: total_rows / seconds,
                     us_per_request: seconds * 1e6 / total_requests,
                     requests_per_batch,
                     queue_wait_us_per_request,
+                    worker_busy_us_per_request,
+                    worker_idle_us: (stats.worker_idle - base.worker_idle).as_secs_f64() * 1e6,
+                    worker_wakeups: stats.worker_wakeups - base.worker_wakeups,
                 });
                 table.push(vec![
                     "whiten".to_string(),
@@ -406,10 +449,12 @@ pub fn run_at(
                     mode.to_string(),
                     shards.to_string(),
                     if buffer_pool { "on" } else { "off" }.to_string(),
+                    shard_threads.to_string(),
                     format!("{:.0}", total_rows / seconds),
                     format!("{:.1}", seconds * 1e6 / total_requests),
                     format!("{requests_per_batch:.2}"),
                     format!("{queue_wait_us_per_request:.2}"),
+                    format!("{worker_busy_us_per_request:.2}"),
                 ]);
             }
         }
@@ -423,10 +468,12 @@ pub fn run_at(
             "mode",
             "shards",
             "pool",
+            "threads",
             "rows/s",
             "us/request",
             "reqs/batch",
             "qwait us/req",
+            "busy us/req",
         ],
         &table,
     );
@@ -458,20 +505,26 @@ pub fn run_at(
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"workload\": \"{}\", \"d\": {}, \"submitters\": {}, \"mode\": \"{}\", \
-             \"shards\": {}, \"buffer_pool\": {}, \
+             \"shards\": {}, \"buffer_pool\": {}, \"shard_threads\": {}, \
              \"rows_per_s\": {:.1}, \"us_per_request\": {:.1}, \
              \"requests_per_batch\": {:.2}, \
-             \"queue_wait_us_per_request\": {:.2}}}{}\n",
+             \"queue_wait_us_per_request\": {:.2}, \
+             \"worker_busy_us_per_request\": {:.2}, \
+             \"worker_idle_us\": {:.1}, \"worker_wakeups\": {}}}{}\n",
             p.workload,
             p.d,
             p.submitters,
             p.mode,
             p.shards,
             p.buffer_pool,
+            p.shard_threads,
             p.rows_per_s,
             p.us_per_request,
             p.requests_per_batch,
             p.queue_wait_us_per_request,
+            p.worker_busy_us_per_request,
+            p.worker_idle_us,
+            p.worker_wakeups,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

@@ -13,7 +13,7 @@ pub struct Parsed {
 
 /// Option keys that take a value; anything else starting with `--` is a
 /// boolean flag.
-const VALUED: [&str; 20] = [
+const VALUED: [&str; 23] = [
     "format",
     "steps",
     "d",
@@ -24,6 +24,7 @@ const VALUED: [&str; 20] = [
     "rows",
     "backend",
     "threads",
+    "shard-threads",
     "shards",
     "queue-depth",
     "placement",
@@ -34,6 +35,8 @@ const VALUED: [&str; 20] = [
     "eps",
     "group-mode",
     "tol",
+    "window-us",
+    "adaptive",
 ];
 
 impl Parsed {
@@ -130,6 +133,25 @@ mod tests {
         assert_eq!(p.num("shards", 1usize).unwrap(), 4);
         assert_eq!(p.num("queue-depth", 1024usize).unwrap(), 128);
         assert!(p.positionals().is_empty());
+    }
+
+    #[test]
+    fn executor_options_parse_as_values() {
+        let p = Parsed::parse(&sv(&[
+            "--shard-threads",
+            "2,1,3",
+            "--window-us",
+            "250",
+            "--adaptive",
+            "1000:2:2",
+        ]))
+        .unwrap();
+        assert_eq!(p.get("shard-threads"), Some("2,1,3"));
+        assert_eq!(p.num("window-us", 0u64).unwrap(), 250);
+        assert_eq!(p.get("adaptive"), Some("1000:2:2"));
+        assert!(Parsed::parse(&sv(&["--shard-threads"])).is_err());
+        assert!(Parsed::parse(&sv(&["--window-us"])).is_err());
+        assert!(Parsed::parse(&sv(&["--adaptive"])).is_err());
     }
 
     #[test]

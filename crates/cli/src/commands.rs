@@ -8,11 +8,12 @@
 //! dispatch macro is needed on this side of the API. Format and backend
 //! names parse case-insensitively.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use iterl2norm::service::{NormRequest, NormService, Placement, ServiceConfig};
 use iterl2norm::{
-    BackendKind, FormatKind, GroupMode, MethodSpec, NormError, SimdLevel, WhitenSpec,
+    AdaptiveWindow, BackendKind, FormatKind, GroupMode, MethodSpec, NormError, SimdLevel,
+    WhitenSpec,
 };
 use macrosim::{activity_trace, utilization, IterL2NormMacro, MacroConfig};
 use softfloat::{Bf16, Fp16, Fp32};
@@ -54,6 +55,7 @@ USAGE:
       an error instead of a report.
   iterl2norm serve --listen ADDR | --unix PATH [--d LEN] [--format …]
                    [--backend B] [--method M] [--threads N] [--shards S]
+                   [--shard-threads N,N,…] [--window-us U] [--adaptive A]
                    [--queue-depth Q] [--placement P] [--tenants SPEC]
                    [--simd L]
       Serve the engine over the wire protocol (TCP and/or Unix socket)
@@ -71,7 +73,16 @@ native (host f32, fp32 only, bit-identical output). --threads N partitions
 batch rows across N worker threads (output bits never depend on N).
 --shards S runs S independent backend+queue instances, and --queue-depth Q
 bounds each shard's waiting line (further requests are rejected with a
-queue-full error instead of buffering). --placement P picks how requests
+queue-full error instead of buffering). --shard-threads N,N,… sets each
+shard's resident worker count individually (one count per shard, e.g.
+2,1,3 for --shards 3) where --threads applies uniformly; the workers
+spawn once at startup and park when idle. --window-us U holds each
+drained round open U microseconds so concurrent requests can join the
+batch (0, the default, never delays). --adaptive A gates that hold
+behind an arrival-rate estimator: 'default' (1000us buckets, open at 2
+arrivals per bucket) or interval_us:open_at:close_below, e.g. 1000:2:2
+— idle or trickle traffic then skips the window entirely.
+--placement P picks how requests
 spread across shards: round-robin (the default) or request-hash (keyed
 requests stick to one shard, keeping its caches warm). --simd L selects
 the native backend's vector tier: auto (the default — best level the
@@ -151,6 +162,69 @@ fn threads_arg(parsed: &Parsed) -> Result<usize, String> {
     Ok(threads)
 }
 
+/// Resolve `--shard-threads` (comma-separated per-shard worker counts,
+/// e.g. `2,1,3`). `None` when absent — `--threads` then applies to every
+/// shard uniformly. Zero entries are rejected here with the option
+/// named; the count-vs-`--shards` length check happens at service build
+/// ([`NormError::ShardThreadsMismatch`](iterl2norm::NormError)).
+fn shard_threads_arg(parsed: &Parsed) -> Result<Option<Vec<usize>>, String> {
+    let Some(text) = parsed.get("shard-threads") else {
+        return Ok(None);
+    };
+    let counts = text
+        .split(',')
+        .map(|part| {
+            let part = part.trim();
+            match part.parse::<usize>() {
+                Ok(0) => Err(format!(
+                    "option --shard-threads: {}",
+                    NormError::ZeroThreads
+                )),
+                Ok(n) => Ok(n),
+                Err(_) => Err(format!(
+                    "option --shard-threads: cannot parse '{part}' \
+                     (comma-separated per-shard counts, e.g. 2,1,3)"
+                )),
+            }
+        })
+        .collect::<Result<Vec<usize>, String>>()?;
+    Ok(Some(counts))
+}
+
+/// Resolve `--window-us` (default 0: no coalescing hold) into the
+/// service's combining-window duration.
+fn window_arg(parsed: &Parsed) -> Result<Duration, String> {
+    Ok(Duration::from_micros(parsed.num("window-us", 0u64)?))
+}
+
+/// Resolve `--adaptive` into an [`AdaptiveWindow`]: `default` for the
+/// built-in thresholds, or `interval_us:open_at:close_below` (e.g.
+/// `1000:2:2`). Threshold shape is validated at service build
+/// ([`NormError::InvalidAdaptiveWindow`](iterl2norm::NormError)).
+fn adaptive_arg(parsed: &Parsed) -> Result<Option<AdaptiveWindow>, String> {
+    let Some(text) = parsed.get("adaptive") else {
+        return Ok(None);
+    };
+    if text.eq_ignore_ascii_case("default") {
+        return Ok(Some(AdaptiveWindow::default()));
+    }
+    let parts: Vec<&str> = text.split(':').collect();
+    let invalid = || {
+        format!(
+            "option --adaptive: cannot parse '{text}' \
+             (expected 'default' or interval_us:open_at:close_below, e.g. 1000:2:2)"
+        )
+    };
+    let [interval_us, open_at, close_below] = parts.as_slice() else {
+        return Err(invalid());
+    };
+    Ok(Some(AdaptiveWindow {
+        interval: Duration::from_micros(interval_us.parse().map_err(|_| invalid())?),
+        open_at: open_at.parse().map_err(|_| invalid())?,
+        close_below: close_below.parse().map_err(|_| invalid())?,
+    }))
+}
+
 /// Resolve `--shards` (default 1), rejecting 0 with the service's own
 /// error message.
 fn shards_arg(parsed: &Parsed) -> Result<usize, String> {
@@ -215,7 +289,7 @@ fn build_service(
     let queue_depth = queue_depth_arg(parsed)?;
     let placement = placement_arg(parsed)?;
     let simd = simd_arg(parsed)?;
-    ServiceConfig::new(d)
+    let mut config = ServiceConfig::new(d)
         .with_backend(backend)
         .with_format(format)
         .with_method(spec)
@@ -224,8 +298,14 @@ fn build_service(
         .with_queue_depth(queue_depth)
         .with_placement(placement)
         .with_simd(simd)
-        .build()
-        .map_err(|e| e.to_string())
+        .with_window(window_arg(parsed)?);
+    if let Some(counts) = shard_threads_arg(parsed)? {
+        config = config.with_shard_threads(&counts);
+    }
+    if let Some(adaptive) = adaptive_arg(parsed)? {
+        config = config.with_adaptive_window(adaptive);
+    }
+    config.build().map_err(|e| e.to_string())
 }
 
 /// Dispatch a closure over the selected format (emulated execution) — for

@@ -1,0 +1,275 @@
+// normlint: value-path
+//! Adaptive coalescing: the arrival-rate estimator that decides when
+//! the service's combining window is worth opening.
+//!
+//! The coalescing window trades latency for batch size: holding a
+//! round open for `window` lets more requests join the batch, which
+//! wins when traffic is heavy and only adds latency when it is not
+//! (on the checked-in 1-core baselines a static window was within
+//! noise — see `results/BENCH_service.json`). [`ArrivalRateEstimator`]
+//! makes the trade dynamic: it buckets arrivals into fixed intervals
+//! and opens the window only while the measured rate clears a
+//! threshold, with hysteresis so the decision doesn't flap at the
+//! boundary.
+//!
+//! Everything here is a **pure function of the timestamp sequence**
+//! fed to [`record`](ArrivalRateEstimator::record) — no wall-clock
+//! reads, no sleeps (the file opts into normlint's L003 value-path
+//! rule above). Time comes in through the service's
+//! [`Clock`](crate::executor::Clock) seam, which is what lets the
+//! deterministic concurrency tests script arrival patterns and assert
+//! the exact record at which the window opens and closes.
+//!
+//! Whether the window is open never changes output *bits* — only how
+//! requests group into rounds. The adaptive ≡ forced-window ≡
+//! no-window bit-identity tests pin that.
+
+use std::time::Duration;
+
+/// Configuration for the adaptive coalescing window, set via
+/// [`ServiceConfig::with_adaptive_window`](crate::ServiceConfig::with_adaptive_window).
+///
+/// The estimator counts arrivals per `interval`. Once a completed
+/// interval (or the running count inside the current one) reaches
+/// `open_at` arrivals, the window opens; it closes again when a
+/// completed interval's count drops below `close_below`. Requiring
+/// `close_below <= open_at` gives the hysteresis band that keeps the
+/// decision from flapping when the rate sits at the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveWindow {
+    /// Estimator bucket length. Must be non-zero.
+    pub interval: Duration,
+    /// Arrivals per interval at (or above) which the window opens.
+    /// Must be ≥ 1.
+    pub open_at: u32,
+    /// Completed-interval rate below which an open window closes.
+    /// Must be ≤ `open_at`.
+    pub close_below: u32,
+}
+
+impl Default for AdaptiveWindow {
+    /// A 1 ms bucket that opens at 2 arrivals per bucket and closes
+    /// below 2 — "coalesce once requests actually overlap", the
+    /// conservative serving default.
+    fn default() -> Self {
+        AdaptiveWindow {
+            interval: Duration::from_millis(1),
+            open_at: 2,
+            close_below: 2,
+        }
+    }
+}
+
+impl AdaptiveWindow {
+    /// Validate the threshold shape. Called by `ServiceConfig::build`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NormError::InvalidAdaptiveWindow`] naming the violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), crate::NormError> {
+        if self.interval.is_zero() {
+            return Err(crate::NormError::InvalidAdaptiveWindow {
+                reason: "interval must be non-zero",
+            });
+        }
+        if self.open_at == 0 {
+            return Err(crate::NormError::InvalidAdaptiveWindow {
+                reason: "open_at must be at least 1",
+            });
+        }
+        if self.close_below > self.open_at {
+            return Err(crate::NormError::InvalidAdaptiveWindow {
+                reason: "close_below must not exceed open_at",
+            });
+        }
+        Ok(())
+    }
+
+    fn interval_nanos(&self) -> u64 {
+        u64::try_from(self.interval.as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Arrivals-per-interval estimator with hysteresis, driving the
+/// adaptive coalescing window. Deterministic: the open/close state
+/// after any [`record`](ArrivalRateEstimator::record) call depends
+/// only on the timestamp sequence recorded so far.
+#[derive(Debug, Clone)]
+pub struct ArrivalRateEstimator {
+    interval: u64,
+    open_at: u32,
+    close_below: u32,
+    /// Start of the bucket currently being counted.
+    bucket_start: u64,
+    /// Arrivals recorded in the current bucket so far.
+    count: u32,
+    /// Arrival count of the last *completed* bucket.
+    last_rate: u32,
+    open: bool,
+    started: bool,
+}
+
+impl ArrivalRateEstimator {
+    /// An estimator with `config`'s thresholds, starting closed.
+    pub fn new(config: &AdaptiveWindow) -> Self {
+        ArrivalRateEstimator {
+            interval: config.interval_nanos().max(1),
+            open_at: config.open_at,
+            close_below: config.close_below,
+            bucket_start: 0,
+            count: 0,
+            last_rate: 0,
+            open: false,
+            started: false,
+        }
+    }
+
+    /// Record one arrival at `now_nanos` (monotone across calls) and
+    /// return whether the coalescing window is open for it.
+    ///
+    /// Bucket mechanics:
+    /// - The first arrival starts the first bucket at its timestamp.
+    /// - An arrival past the current bucket's end completes the bucket:
+    ///   its count becomes the measured rate, which opens the window at
+    ///   `rate >= open_at` and closes it at `rate < close_below`.
+    /// - A gap spanning two or more whole intervals means traffic died
+    ///   between buckets: the rate is zero and the window closes, no
+    ///   matter how bursty the last active bucket was.
+    /// - Inside a bucket, the window also opens the moment the running
+    ///   count reaches `open_at` — a burst should not wait a full
+    ///   interval for its window.
+    pub fn record(&mut self, now_nanos: u64) -> bool {
+        if !self.started {
+            self.started = true;
+            self.bucket_start = now_nanos;
+            self.count = 0;
+        } else if now_nanos >= self.bucket_start.saturating_add(self.interval) {
+            let elapsed = now_nanos - self.bucket_start;
+            if elapsed >= self.interval.saturating_mul(2) {
+                // At least one whole interval passed with zero arrivals.
+                self.last_rate = 0;
+                self.open = false;
+            } else {
+                self.last_rate = self.count;
+                if self.last_rate >= self.open_at {
+                    self.open = true;
+                } else if self.last_rate < self.close_below {
+                    self.open = false;
+                }
+            }
+            // Re-anchor to the bucket containing `now`, keeping the
+            // bucket grid aligned to the first arrival.
+            self.bucket_start = now_nanos - (elapsed % self.interval);
+            self.count = 0;
+        }
+        self.count = self.count.saturating_add(1);
+        if self.count >= self.open_at {
+            self.open = true;
+        }
+        self.open
+    }
+
+    /// Whether the window is currently open.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// The last completed bucket's arrival count.
+    pub fn rate(&self) -> u32 {
+        self.last_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(interval_us: u64, open_at: u32, close_below: u32) -> AdaptiveWindow {
+        AdaptiveWindow {
+            interval: Duration::from_micros(interval_us),
+            open_at,
+            close_below,
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_thresholds() {
+        assert!(config(100, 4, 2).validate().is_ok());
+        assert!(config(0, 4, 2).validate().is_err());
+        assert!(config(100, 0, 0).validate().is_err());
+        assert!(config(100, 2, 3).validate().is_err());
+        // close_below == open_at is a legal (zero-width) hysteresis band.
+        assert!(config(100, 3, 3).validate().is_ok());
+    }
+
+    #[test]
+    fn window_opens_at_the_pinned_record_not_before() {
+        // interval 1µs = 1000ns, open at 4/interval.
+        let mut est = ArrivalRateEstimator::new(&config(1, 4, 2));
+        assert!(!est.record(0));
+        assert!(!est.record(100));
+        assert!(!est.record(200));
+        // The 4th arrival inside the bucket reaches open_at: opens
+        // immediately, mid-bucket.
+        assert!(est.record(300));
+        assert!(est.is_open());
+    }
+
+    #[test]
+    fn completed_bucket_rate_drives_open_and_hysteresis_drives_close() {
+        // open_at 3, close_below 2: rates of 2 keep an open window open
+        // (hysteresis), rates of 1 close it.
+        let mut est = ArrivalRateEstimator::new(&config(1, 3, 2));
+        // Bucket 1 at [0, 1000): 3 arrivals → opens on the 3rd.
+        assert!(!est.record(0));
+        assert!(!est.record(10));
+        assert!(est.record(20));
+        // Bucket 2 at [1000, 2000): 2 arrivals — completed-rate 3 opened
+        // it; in-band rate 2 must keep it open.
+        assert!(est.record(1000));
+        assert!(est.record(1500));
+        // Bucket 3: its first arrival completes bucket 2 at rate 2 —
+        // still in the hysteresis band, stays open.
+        assert!(est.record(2000));
+        // Bucket 4: completes bucket 3 at rate 1 < close_below → closes.
+        assert!(!est.record(3000));
+        assert!(!est.is_open());
+        assert_eq!(est.rate(), 1);
+    }
+
+    #[test]
+    fn an_idle_gap_closes_the_window_regardless_of_burst_history() {
+        let mut est = ArrivalRateEstimator::new(&config(1, 2, 1));
+        assert!(!est.record(0));
+        assert!(est.record(1)); // burst: open
+                                // Next arrival 10 intervals later: a whole-interval silence sits
+                                // between the buckets — closed, and the burst's count is gone.
+        assert!(!est.record(10_000));
+        assert_eq!(est.rate(), 0);
+        // And it takes a fresh burst to re-open.
+        assert!(est.record(10_010));
+    }
+
+    #[test]
+    fn bucket_grid_stays_anchored_to_the_first_arrival() {
+        let mut est = ArrivalRateEstimator::new(&config(1, 2, 2));
+        assert!(!est.record(500)); // grid anchors at 500
+                                   // 1499 is still inside [500, 1500): same bucket → opens at 2.
+        assert!(est.record(1499));
+        // 1500 starts the next bucket; completed rate 2 >= open_at keeps
+        // it open.
+        assert!(est.record(1500));
+    }
+
+    #[test]
+    fn estimator_is_deterministic_for_a_replayed_script() {
+        let script: Vec<u64> = (0..200u64).map(|i| i * 137 + (i % 7) * 29).collect();
+        let run = |cfg: &AdaptiveWindow| -> Vec<bool> {
+            let mut est = ArrivalRateEstimator::new(cfg);
+            script.iter().map(|&t| est.record(t)).collect()
+        };
+        let cfg = config(1, 5, 3);
+        assert_eq!(run(&cfg), run(&cfg));
+    }
+}

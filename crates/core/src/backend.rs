@@ -50,6 +50,7 @@ use softfloat::{Bf16, Float, Fp16, Fp32, HostF32};
 
 use crate::engine::{MethodSpec, NormPlan, Normalizer};
 use crate::error::NormError;
+use crate::executor::PartitionRunner;
 use crate::hworder::ReduceOrder;
 use crate::simd::{self, SimdKernel, SimdLevel, SimdNative};
 
@@ -263,6 +264,27 @@ pub trait NormBackend: Send {
         threads: usize,
     ) -> Result<usize, NormError>;
 
+    /// [`normalize_batch_bits`](NormBackend::normalize_batch_bits) over an
+    /// injected [`PartitionRunner`] — the resident per-shard pool in the
+    /// serving path. The default implementation executes through the
+    /// thread-count entry point at the runner's width (correct for any
+    /// backend, since output bits never depend on the partition vehicle);
+    /// the built-in backends override it to run their partitioned paths on
+    /// the runner itself, so no scoped threads are spawned per call.
+    ///
+    /// # Errors
+    ///
+    /// The shape errors of
+    /// [`normalize_batch_bits`](NormBackend::normalize_batch_bits).
+    fn normalize_batch_runner(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+        runner: &dyn PartitionRunner,
+    ) -> Result<usize, NormError> {
+        self.normalize_batch_bits(input, out, runner.width().max(1))
+    }
+
     /// Normalize exactly one `d`-length row of bit patterns, additionally
     /// returning the scalar intermediates as [`RowMoments`] — the detailed
     /// path behind reporting front ends (the CLI's `normalize`/`demo`).
@@ -322,6 +344,34 @@ impl<F: Float> BitsEngine<F> {
             &self.decoded,
             &mut self.encoded,
             threads,
+        )?;
+        for (slot, v) in out.iter_mut().zip(&self.encoded) {
+            *slot = v.to_bits();
+        }
+        Ok(rows)
+    }
+
+    fn run_runner(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+        runner: &dyn PartitionRunner,
+    ) -> Result<usize, NormError> {
+        if out.len() != input.len() {
+            return Err(NormError::OutputLengthMismatch {
+                expected: input.len(),
+                actual: out.len(),
+            });
+        }
+        self.decoded.clear();
+        self.decoded.extend(input.iter().map(|&b| F::from_bits(b)));
+        self.encoded.clear();
+        self.encoded.resize(input.len(), F::zero());
+        let rows = self.engine.normalize_batch_runner(
+            &self.plan,
+            &self.decoded,
+            &mut self.encoded,
+            runner,
         )?;
         for (slot, v) in out.iter_mut().zip(&self.encoded) {
             *slot = v.to_bits();
@@ -403,6 +453,15 @@ impl<F: Float> NormBackend for Emulated<F> {
         threads: usize,
     ) -> Result<usize, NormError> {
         self.inner.run(input, out, threads)
+    }
+
+    fn normalize_batch_runner(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+        runner: &dyn PartitionRunner,
+    ) -> Result<usize, NormError> {
+        self.inner.run_runner(input, out, runner)
     }
 
     fn normalize_row_bits_detailed(
@@ -527,6 +586,24 @@ impl NormBackend for NativeF32 {
                 threads,
             ),
             None => self.inner.run(input, out, threads),
+        }
+    }
+
+    fn normalize_batch_runner(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+        runner: &dyn PartitionRunner,
+    ) -> Result<usize, NormError> {
+        match &self.simd {
+            Some(simd) => simd.normalize_batch_runner(
+                &self.inner.plan,
+                self.inner.engine.method(),
+                input,
+                out,
+                runner,
+            ),
+            None => self.inner.run_runner(input, out, runner),
         }
     }
 

@@ -65,6 +65,11 @@
 //! ```
 
 use softfloat::Float;
+use std::sync::{Mutex, PoisonError};
+
+/// One worker's pre-split slice pair, parked behind its own mutex so a
+/// shared `Fn(usize)` can hand out `&mut` output runs without unsafe.
+pub(crate) type PartChunk<'a, F> = Mutex<Option<(&'a [F], &'a mut [F])>>;
 
 use crate::baselines::{ExactRsqrtNorm, Fisr, LutRsqrt};
 use crate::error::NormError;
@@ -666,6 +671,71 @@ impl<F: Float, S: RsqrtScale<F> + Sync> Normalizer<F, S> {
                         normalize_row_in_place(row, params, method, &mut partials);
                     }
                 });
+            }
+        });
+        Ok(rows)
+    }
+
+    /// [`normalize_batch_parallel`](Normalizer::normalize_batch_parallel)
+    /// over an injected execution vehicle: the same contiguous
+    /// `worker_rows` partition, but the parts run on whatever
+    /// [`PartitionRunner`](crate::executor::PartitionRunner) supplies —
+    /// the resident per-shard pool in the
+    /// serving path, scoped threads or the serial loop elsewhere. The
+    /// split depends only on `runner.width()`, so output bits are
+    /// identical to the scoped path at `threads = width` (and to the
+    /// serial path, as ever).
+    ///
+    /// # Errors
+    ///
+    /// The shape errors of [`normalize_batch`](Normalizer::normalize_batch).
+    pub fn normalize_batch_runner(
+        &mut self,
+        plan: &NormPlan<F>,
+        input: &[F],
+        out: &mut [F],
+        runner: &dyn crate::executor::PartitionRunner,
+    ) -> Result<usize, NormError> {
+        let rows = plan.rows_of(input.len())?;
+        if out.len() != input.len() {
+            return Err(NormError::OutputLengthMismatch {
+                expected: input.len(),
+                actual: out.len(),
+            });
+        }
+        let workers = runner.width().min(rows);
+        if workers <= 1 {
+            return self.normalize_batch(plan, input, out);
+        }
+        let d = plan.d();
+        let params = plan.params();
+        let method = &self.method;
+        // Pre-split into disjoint per-part chunks; each part takes its
+        // chunk out of its own (uncontended) mutex, which is what lets a
+        // `Fn(usize)` shared across workers hand out `&mut` output runs
+        // without unsafe.
+        let mut chunks: Vec<PartChunk<'_, F>> = Vec::with_capacity(workers);
+        let mut in_rest = input;
+        let mut out_rest = &mut *out;
+        for wi in 0..workers {
+            let take = worker_rows(rows, workers, wi) * d;
+            let (in_chunk, in_tail) = in_rest.split_at(take);
+            let (out_chunk, out_tail) = out_rest.split_at_mut(take);
+            in_rest = in_tail;
+            out_rest = out_tail;
+            chunks.push(Mutex::new(Some((in_chunk, out_chunk))));
+        }
+        runner.run(workers, &|wi| {
+            let taken = chunks[wi]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            let Some((in_chunk, out_chunk)) = taken else {
+                return;
+            };
+            let mut partials = Vec::with_capacity(partials_capacity(d));
+            for (x_row, out_row) in in_chunk.chunks_exact(d).zip(out_chunk.chunks_exact_mut(d)) {
+                normalize_row_into(x_row, out_row, &params, method, &mut partials);
             }
         });
         Ok(rows)

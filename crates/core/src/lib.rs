@@ -64,20 +64,23 @@
 //! [`ScaleMethod`] registry (or any custom `&dyn RsqrtScale<F>` — the
 //! trait is object-safe).
 
-// `deny` rather than `forbid`: the `simd` and `whiten` modules are the
-// only places in the workspace that need `unsafe` (std::arch intrinsics
-// plus, in `simd`, two u32/f32 slice reinterpretations) and opt back in
-// with a scoped `allow`; every other module stays unsafe-free, enforced
-// at compile time.
+// `deny` rather than `forbid`: the `simd`, `whiten` and `executor`
+// modules are the only places in the workspace that need `unsafe`
+// (std::arch intrinsics, two u32/f32 slice reinterpretations in `simd`,
+// and the resident pool's one lifetime erasure in `executor`) and opt
+// back in with a scoped `allow`; every other module stays unsafe-free,
+// enforced at compile time.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod analytic;
 pub mod backend;
 pub mod baselines;
 mod config;
 mod engine;
 mod error;
+pub mod executor;
 pub mod hworder;
 mod iteration;
 mod layernorm;
@@ -87,6 +90,7 @@ pub mod service;
 pub mod simd;
 pub mod whiten;
 
+pub use adaptive::{AdaptiveWindow, ArrivalRateEstimator};
 pub use backend::{
     build_backend, build_backend_affine, build_backend_simd, BackendKind, ExecFloat, FormatKind,
     NormBackend, RowMoments,
@@ -94,6 +98,9 @@ pub use backend::{
 pub use config::{InitRule, IterConfig, LambdaRule, StopRule, UpdateStyle};
 pub use engine::{MethodSpec, NormPlan, Normalizer, ScaleMethod};
 pub use error::NormError;
+pub use executor::{
+    Clock, PartitionPool, PartitionRunner, RealClock, ScopedRunner, SerialRunner, TestClock,
+};
 pub use hworder::ReduceOrder;
 pub use iteration::{
     a0_from_exponent, apply_update, iterate, lambda_from_exponent, update_step, update_step_fused,
@@ -105,7 +112,7 @@ pub use layernorm::{
 };
 pub use service::{
     NormRequest, NormResponse, NormService, NormServicePool, NormTicket, Placement, Priority,
-    RequestKind, ScalarTrace, ServiceConfig, ServiceStats, ServiceStatsSnapshot,
+    RequestKind, ScalarTrace, ServiceConfig, ServiceStats, ServiceStatsSnapshot, TicketSet,
 };
 pub use simd::SimdLevel;
 pub use whiten::{

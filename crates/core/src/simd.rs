@@ -46,11 +46,13 @@
 use core::fmt;
 
 use softfloat::HostF32;
+use std::sync::{Mutex, PoisonError};
 
 use crate::backend::BackendKind;
 use crate::config::{IterConfig, StopRule};
 use crate::engine::{worker_rows, NormPlan, ScaleMethod};
 use crate::error::NormError;
+use crate::executor::PartitionRunner;
 use crate::hworder::{fold_partials, ReduceOrder, CHUNK, TREE_WIDTH};
 use crate::iteration::{a0_from_exponent, lambda_from_exponent};
 use crate::layernorm::{DimConsts, RsqrtScale};
@@ -322,6 +324,71 @@ impl SimdNative {
                 let ctx = &ctx;
                 scope.spawn(move || self.process_rows(ctx, x_chunk, o_chunk));
             }
+        });
+        Ok(rows)
+    }
+
+    /// [`normalize_batch`](SimdNative::normalize_batch) over an injected
+    /// [`PartitionRunner`]: identical validation, identical
+    /// [`worker_rows`] partition at the runner's width, identical output
+    /// bits — only the execution vehicle changes (the serving path's
+    /// resident pool instead of per-call scoped threads).
+    pub(crate) fn normalize_batch_runner(
+        &self,
+        plan: &NormPlan<HostF32>,
+        method: &ScaleMethod,
+        input: &[u32],
+        out: &mut [u32],
+        runner: &dyn PartitionRunner,
+    ) -> Result<usize, NormError> {
+        if out.len() != input.len() {
+            return Err(NormError::OutputLengthMismatch {
+                expected: input.len(),
+                actual: out.len(),
+            });
+        }
+        let rows = plan.rows_of(input.len())?;
+        let d = plan.d();
+        let ctx = RowCtx {
+            d,
+            inv_d: plan.inv_d().0,
+            sqrt_d: plan.sqrt_d().0,
+            reduce: plan.reduce(),
+            iter_steps: self.iter_steps,
+            method,
+            dims: plan.dims(),
+            gamma: self.gamma.as_deref(),
+            beta: self.beta.as_deref(),
+        };
+        let x = bits_as_f32(input);
+        let o = bits_as_f32_mut(out);
+        let workers = runner.width().min(rows);
+        if workers <= 1 {
+            self.process_rows(&ctx, x, o);
+            return Ok(rows);
+        }
+        // Same per-part mutex hand-off as the generic engine's runner
+        // path: disjoint chunks parked one per part, claimed by index.
+        let mut chunks: Vec<crate::engine::PartChunk<'_, f32>> = Vec::with_capacity(workers);
+        let mut x_rest = x;
+        let mut o_rest = o;
+        for wi in 0..workers {
+            let take = worker_rows(rows, workers, wi) * d;
+            let (x_chunk, x_tail) = x_rest.split_at(take);
+            let (o_chunk, o_tail) = o_rest.split_at_mut(take);
+            x_rest = x_tail;
+            o_rest = o_tail;
+            chunks.push(Mutex::new(Some((x_chunk, o_chunk))));
+        }
+        runner.run(workers, &|wi| {
+            let taken = chunks[wi]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            let Some((x_chunk, o_chunk)) = taken else {
+                return;
+            };
+            self.process_rows(&ctx, x_chunk, o_chunk);
         });
         Ok(rows)
     }

@@ -70,6 +70,11 @@
 use core::fmt;
 
 use softfloat::{Bf16, Float, Fp16, Fp32};
+use std::sync::{Mutex, PoisonError};
+
+/// One worker's pre-split group run (row counts + bit slices), parked
+/// behind its own mutex for the shared-closure `&mut` hand-off.
+type GroupChunk<'a> = Mutex<Option<(&'a [usize], &'a [u32], &'a mut [u32])>>;
 
 use crate::backend::{BackendKind, FormatKind};
 use crate::error::NormError;
@@ -252,6 +257,26 @@ pub trait WhitenExec: Send {
         group_rows: &[usize],
         threads: usize,
     ) -> Result<usize, NormError>;
+
+    /// [`whiten_groups`](WhitenExec::whiten_groups) over an injected
+    /// [`PartitionRunner`](crate::executor::PartitionRunner) — the
+    /// serving path's resident per-shard pool. The default executes
+    /// through the thread-count entry point at the runner's width
+    /// (bits never depend on the vehicle); the native executor
+    /// overrides it to partition groups on the runner itself.
+    ///
+    /// # Errors
+    ///
+    /// The shape errors of [`whiten_groups`](WhitenExec::whiten_groups).
+    fn whiten_groups_runner(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+        group_rows: &[usize],
+        runner: &dyn crate::executor::PartitionRunner,
+    ) -> Result<usize, NormError> {
+        self.whiten_groups(input, out, group_rows, runner.width().max(1))
+    }
 
     /// Whiten exactly one group, additionally returning the scalar
     /// diagnostics as [`WhitenDetail`] — the detailed path behind
@@ -1361,6 +1386,58 @@ impl WhitenExec for NativeWhitenF32 {
                         offset += len;
                     }
                 });
+            }
+        });
+        Ok(rows)
+    }
+
+    fn whiten_groups_runner(
+        &mut self,
+        input: &[u32],
+        out: &mut [u32],
+        group_rows: &[usize],
+        runner: &dyn crate::executor::PartitionRunner,
+    ) -> Result<usize, NormError> {
+        let width = runner.width().max(1);
+        let rows = validate_groups(self.d, input, out, group_rows, width)?;
+        let workers = width.min(group_rows.len());
+        if workers <= 1 {
+            return self.whiten_groups(input, out, group_rows, 1);
+        }
+        // The same group-wise chunking as the scoped path (identical
+        // `chunks(per)` split → identical bits), with the per-part mutex
+        // hand-off the other runner paths use.
+        let per = group_rows.len().div_ceil(workers);
+        let mut parts: Vec<GroupChunk<'_>> = Vec::new();
+        let mut in_rest = input;
+        let mut out_rest = out;
+        for chunk in group_rows.chunks(per) {
+            let take: usize = chunk.iter().map(|&m| m * self.d).sum();
+            let (in_chunk, in_tail) = in_rest.split_at(take);
+            let (out_chunk, out_tail) = out_rest.split_at_mut(take);
+            in_rest = in_tail;
+            out_rest = out_tail;
+            parts.push(Mutex::new(Some((chunk, in_chunk, out_chunk))));
+        }
+        let this = &*self;
+        runner.run(parts.len(), &|wi| {
+            let taken = parts[wi]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            let Some((chunk, in_chunk, out_chunk)) = taken else {
+                return;
+            };
+            let mut scratch = ScratchF32::default();
+            let mut offset = 0;
+            for &m in chunk {
+                let len = m * this.d;
+                this.run_group(
+                    &in_chunk[offset..offset + len],
+                    &mut out_chunk[offset..offset + len],
+                    &mut scratch,
+                );
+                offset += len;
             }
         });
         Ok(rows)

@@ -1,0 +1,207 @@
+//! Adaptive coalescing through the service front door, deterministic:
+//!
+//! * Arrival timestamps come from an injected [`TestClock`], so the
+//!   test scripts the exact record at which the estimator opens and
+//!   closes the window — and observes the decision as wall time: a
+//!   closed window drains immediately (submits return in far less than
+//!   the configured window), an open one holds the full window.
+//! * Whether the window is open may only ever change how requests
+//!   group into rounds — never output bits. Adaptive, forced-window
+//!   and no-window services are checked bit-identical against the same
+//!   serial per-request reference, for normalize *and* whiten traffic,
+//!   across shard counts.
+//!
+//! The estimator's bucket mechanics (thresholds, hysteresis, idle-gap
+//! reset) are pinned record-by-record by the unit tests in
+//! `src/adaptive.rs`; this suite pins the *integration*: admitted
+//! arrivals feed the estimator through the clock seam, and the
+//! resident driver honors the decision.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use iterl2norm::backend::{build_backend, BackendKind, FormatKind};
+use iterl2norm::service::{NormRequest, ServiceConfig};
+use iterl2norm::whiten::{build_whiten, WhitenSpec};
+use iterl2norm::{AdaptiveWindow, MethodSpec, ReduceOrder, SimdLevel, TestClock};
+use workloads::{Distribution, VectorGen};
+
+const D: usize = 16;
+
+fn request_bits(rows: usize, seed: u64) -> Vec<u32> {
+    let gen = VectorGen::new(Distribution::Uniform, seed);
+    let mut bits = Vec::with_capacity(rows * D);
+    for r in 0..rows as u64 {
+        bits.extend(gen.vector_f64(D, r).iter().map(|&v| (v as f32).to_bits()));
+    }
+    bits
+}
+
+/// Serial per-request normalization reference on a fresh backend.
+fn serial_norm(bits: &[u32]) -> Vec<u32> {
+    let mut backend = build_backend(
+        BackendKind::Emulated,
+        FormatKind::Fp32,
+        D,
+        &MethodSpec::iterl2(5),
+        ReduceOrder::HwTree,
+    )
+    .unwrap();
+    let mut out = vec![0u32; bits.len()];
+    backend.normalize_batch_bits(bits, &mut out, 1).unwrap();
+    out
+}
+
+/// Serial whitening reference on a fresh executor.
+fn serial_whiten(bits: &[u32]) -> Vec<u32> {
+    let mut exec = build_whiten(
+        BackendKind::Emulated,
+        FormatKind::Fp32,
+        D,
+        WhitenSpec::default(),
+        SimdLevel::Auto,
+    )
+    .unwrap();
+    let mut out = vec![0u32; bits.len()];
+    exec.whiten_groups(bits, &mut out, &[bits.len() / D], 1)
+        .unwrap();
+    out
+}
+
+#[test]
+fn scripted_arrivals_open_and_close_the_window_at_pinned_records() {
+    // 1 ms estimator buckets, open at 2 arrivals per bucket, and a
+    // 150 ms coalescing window — enormous next to an uncontended
+    // submit, so "did the driver hold the window?" is unambiguous in
+    // the submit's wall time.
+    const WINDOW: Duration = Duration::from_millis(150);
+    const FAST: Duration = Duration::from_millis(75);
+    let clock = Arc::new(TestClock::new());
+    let service = ServiceConfig::new(D)
+        .with_window(WINDOW)
+        .with_adaptive_window(AdaptiveWindow {
+            interval: Duration::from_millis(1),
+            open_at: 2,
+            close_below: 2,
+        })
+        .with_clock(clock.clone())
+        .build()
+        .unwrap();
+    let bits = request_bits(1, 0xADA9);
+    let timed_submit = |label: &str| {
+        let begin = Instant::now();
+        let response = service.submit(NormRequest::bits(&bits)).unwrap();
+        assert_eq!(response.rows(), 1, "{label}");
+        begin.elapsed()
+    };
+
+    // Record 1, clock t = 0: a lone arrival in a fresh bucket — the
+    // window stays closed, the driver drains without holding.
+    assert!(
+        timed_submit("lone arrival") < FAST,
+        "a closed window must not hold the round open"
+    );
+
+    // Record 2, t = 10 ms: a whole-interval idle gap — still closed.
+    clock.advance(Duration::from_millis(10));
+    assert!(
+        timed_submit("arrival after idle gap") < FAST,
+        "an idle gap must keep the window closed"
+    );
+
+    // Records 3 and 4, same t (same bucket): the running count reaches
+    // open_at on record 3 — that submit and the next are both held the
+    // full window by the driver.
+    let held = timed_submit("second arrival in the bucket");
+    assert!(
+        held >= WINDOW,
+        "the open window must hold the round the full {WINDOW:?}, held {held:?}"
+    );
+    let held = timed_submit("third arrival in the bucket");
+    assert!(
+        held >= WINDOW,
+        "the window stays open inside the burst bucket, held {held:?}"
+    );
+
+    // Record 5, t = 20 ms: another whole-interval gap closes it again.
+    clock.advance(Duration::from_millis(10));
+    assert!(
+        timed_submit("arrival after the burst died") < FAST,
+        "an idle gap must close an open window"
+    );
+
+    let stats = service.stats();
+    assert_eq!(stats.requests, 5);
+    assert_eq!(stats.queue_full_rejections, 0);
+}
+
+#[test]
+fn adaptive_forced_and_disabled_windows_are_bit_identical() {
+    // Window policy may regroup rounds, never change bits: every
+    // response from all three policies must equal the same serial
+    // per-request reference, under concurrent mixed-kind traffic.
+    let submitters = 4;
+    let whiten_rows = 6;
+    for shards in [1usize, 2] {
+        let builders: [(&str, ServiceConfig); 3] = [
+            (
+                "adaptive",
+                ServiceConfig::new(D)
+                    .with_window(Duration::from_millis(1))
+                    .with_adaptive_window(AdaptiveWindow::default()),
+            ),
+            (
+                "forced-window",
+                ServiceConfig::new(D).with_window(Duration::from_millis(1)),
+            ),
+            (
+                "no-window",
+                ServiceConfig::new(D).with_window(Duration::ZERO),
+            ),
+        ];
+        for (policy, config) in builders {
+            let service = config
+                .with_shards(shards)
+                .with_whiten(WhitenSpec::default())
+                .build()
+                .unwrap();
+            let barrier = Arc::new(Barrier::new(submitters));
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..submitters)
+                    .map(|who| {
+                        let service = service.clone();
+                        let barrier = Arc::clone(&barrier);
+                        scope.spawn(move || {
+                            let rows = 1 + who % 3;
+                            let norm = request_bits(rows, 0x11AD + who as u64);
+                            let group = request_bits(whiten_rows, 0x22AD + who as u64);
+                            barrier.wait();
+                            let normalized = service.submit(NormRequest::bits(&norm)).unwrap();
+                            let mut ticket = service
+                                .submit_async(NormRequest::whiten_group(&group))
+                                .unwrap();
+                            let whitened = ticket.wait().unwrap();
+                            (norm, normalized, group, whitened)
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    let (norm, normalized, group, whitened) = handle.join().unwrap();
+                    assert_eq!(
+                        normalized.bits(),
+                        &serial_norm(&norm)[..],
+                        "{policy} shards={shards}: normalize bits diverged"
+                    );
+                    assert_eq!(
+                        whitened.bits(),
+                        &serial_whiten(&group)[..],
+                        "{policy} shards={shards}: whiten bits diverged"
+                    );
+                }
+            });
+            let stats = service.stats();
+            assert_eq!(stats.requests, 2 * submitters as u64, "{policy}");
+            assert_eq!(stats.whiten_requests, submitters as u64, "{policy}");
+        }
+    }
+}

@@ -129,8 +129,8 @@ fn async_submit_matches_blocking_and_serial_for_every_method_shard_and_submitter
     // submitter counts {1, 2, 3, 8}. Each submitter pipelines two async
     // tickets around a blocking submit (the intended overlap pattern), on
     // a request-hash-placed service where half the traffic is keyed — so
-    // sticky placement, round-robin fallback, ticket-driven rounds and
-    // blocking-driven rounds all mix in one run.
+    // sticky placement, round-robin fallback, and driver rounds mixing
+    // async and blocking entries all occur in one run.
     let d = 33;
     for (backend, format) in EXEC_POINTS {
         for spec in MethodSpec::REGISTRY {
@@ -372,9 +372,9 @@ fn coalescing_actually_happens_under_concurrent_load() {
 
 #[test]
 fn submit_into_is_bit_identical_under_concurrency() {
-    // The buffer-reusing entry point takes the queue fallback under a
-    // window (its result is copied out of a shared round); output must
-    // still match serial per-request execution exactly.
+    // The buffer-reusing entry point parks in the combining queue under
+    // a window (its result is copied out of a shared driver round);
+    // output must still match serial per-request execution exactly.
     let d = 40;
     let service = ServiceConfig::new(d)
         .with_window(Duration::from_millis(2))

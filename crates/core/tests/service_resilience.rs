@@ -1,17 +1,19 @@
 //! The serving layer's failure-containment contract, enforced:
 //!
 //! * A panicking request (a backend bug mid-execution) must never brick
-//!   the service for everyone else — waiters parked behind the panicking
-//!   leader are woken with a clean [`NormError::ServiceShutdown`], and
-//!   every later submit gets the same clean `Err` instead of a poisoned-
-//!   mutex panic cascade.
+//!   the service for everyone else — the resident driver contains the
+//!   unwind, re-raises it on the submitter whose request was executing,
+//!   wakes everyone else in the round with a clean
+//!   [`NormError::ServiceShutdown`], and every later submit gets the
+//!   same clean `Err` instead of a poisoned-mutex panic cascade.
 //! * A waiter parked mid-round when [`NormService::shutdown`] lands is
 //!   always woken and never hangs: its already-accepted request completes,
 //!   and only *new* submissions are refused (stress-tested with submitters
 //!   racing shutdown).
 //! * A shard whose waiting line is at the configured queue depth rejects
 //!   with [`NormError::QueueFull`] instead of buffering unboundedly behind
-//!   a deliberately slowed backend.
+//!   a deliberately slowed backend — and a request the driver has already
+//!   drained into an executing round no longer occupies a waiting slot.
 //!
 //! The injected backends go through [`ServiceConfig::build_with_backends`],
 //! the same extension point a custom production backend would use. CI runs
@@ -172,9 +174,11 @@ fn panicking_submitter_does_not_brick_the_service() {
     let service = gated_service(&gate, true, 64);
 
     std::thread::scope(|scope| {
-        // Leader: claims the fast path, enters the backend, panics there
-        // once released. The panic must stay on this thread.
-        let leader = {
+        // Victim: its request is drained into the round whose backend
+        // call panics once released. The resident driver contains the
+        // unwind and re-raises it on this submitter — it must never
+        // escape onto an unrelated thread.
+        let victim = {
             let service = service.clone();
             scope.spawn(move || {
                 let bits = row_bits(1);
@@ -185,7 +189,7 @@ fn panicking_submitter_does_not_brick_the_service() {
         };
         gate.await_entered();
 
-        // Follower: enqueues behind the doomed leader and parks.
+        // Follower: enqueues behind the doomed round and parks.
         let follower = {
             let service = service.clone();
             scope.spawn(move || {
@@ -195,13 +199,13 @@ fn panicking_submitter_does_not_brick_the_service() {
         };
         await_accepted(&service, 2);
 
-        // Release the gate: the leader's backend call panics.
+        // Release the gate: the driver's backend call panics.
         gate.open();
 
-        let leader_outcome = leader.join().unwrap();
+        let victim_outcome = victim.join().unwrap();
         assert!(
-            leader_outcome.is_err(),
-            "the panicking submitter itself must observe the unwind"
+            victim_outcome.is_err(),
+            "the panicking request's submitter must observe the unwind"
         );
         // The parked follower is woken with a clean error — never a hang,
         // never a poisoned-mutex panic.
@@ -340,41 +344,44 @@ fn waiter_parked_mid_round_survives_shutdown() {
 }
 
 #[test]
-fn executing_leader_does_not_occupy_its_own_queue_slot() {
-    // With a coalescing window, the leader's request sits in the shard
-    // queue while it sleeps the window open for others to join. The
-    // queue-depth bound must not count that executing request as a
-    // waiter — at depth 1, a second submitter joining during the window
-    // is admitted (and ideally coalesced), not shed with QueueFull.
-    let d = 16;
-    let service = ServiceConfig::new(d)
-        .with_queue_depth(1)
-        .with_window(Duration::from_millis(50))
-        .build()
-        .unwrap();
-    let barrier = Arc::new(Barrier::new(2));
+fn executing_round_does_not_occupy_the_waiting_line() {
+    // Once the resident driver drains a request into an executing round,
+    // that request has left the waiting line — the queue-depth bound
+    // counts only parked entries. At depth 1, a submitter arriving while
+    // another request executes must be admitted, not shed with QueueFull.
+    let gate = Gate::new();
+    let service = gated_service(&gate, false, 1);
+
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..2u32)
-            .map(|who| {
-                let service = service.clone();
-                let barrier = Arc::clone(&barrier);
-                scope.spawn(move || {
-                    let bits: Vec<u32> = (0..d as u32)
-                        .map(|i| (1.0f32 + (i + who) as f32 * 0.5).to_bits())
-                        .collect();
-                    barrier.wait();
-                    service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
-                })
+        let executing = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(5);
+                service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
             })
-            .collect();
-        for handle in handles {
-            assert_eq!(
-                handle.join().unwrap(),
-                Ok(1),
-                "a submitter was shed even though only the leader's own \
-                 request occupied the queue"
-            );
-        }
+        };
+        // The gate admits exactly one backend call at a time, so once we
+        // observe entry the driver has drained the request: the waiting
+        // line is provably empty again.
+        gate.await_entered();
+
+        let queued = {
+            let service = service.clone();
+            scope.spawn(move || {
+                let bits = row_bits(6);
+                service.submit(NormRequest::bits(&bits)).map(|r| r.rows())
+            })
+        };
+        await_accepted(&service, 2);
+
+        gate.open();
+        assert_eq!(executing.join().unwrap(), Ok(1));
+        assert_eq!(
+            queued.join().unwrap(),
+            Ok(1),
+            "a submitter was shed even though the only other request was \
+             already executing, not waiting"
+        );
     });
     assert_eq!(service.stats().queue_full_rejections, 0);
     assert_eq!(service.stats().requests, 2);
@@ -385,8 +392,8 @@ fn submitters_racing_shutdown_always_get_a_clean_outcome() {
     // Loom-style schedule shaking on the real primitives: submitters race
     // a shutdown call over and over; every submit must return either a
     // real result or ServiceShutdown — never hang, never panic. Sweeping
-    // shards and windows varies which protocol path (fast path, combining
-    // queue, window sleep) the race hits.
+    // shards and windows varies which protocol path (idle driver wakeup,
+    // drain-in-progress, coalescing-window hold) the race hits.
     for (shards, window_us) in [(1, 0), (2, 0), (1, 200), (4, 200)] {
         for round in 0..12u32 {
             let service = ServiceConfig::new(D)
@@ -440,8 +447,8 @@ fn elapsed_starts_after_validation_and_stats_split_wait_from_execute() {
     // The documented span covers execution, so it can never be zero…
     assert!(response.elapsed() > Duration::ZERO);
     // …and the aggregate split accounts the same request: executing took
-    // real time, and the uncontended fast path waited (at most) lock
-    // acquisition — far less than it executed.
+    // real time, and the uncontended submit only waited for the driver's
+    // handoff — far less than it executed.
     let stats = service.stats();
     assert!(stats.execute > Duration::ZERO);
     assert!(
@@ -458,14 +465,14 @@ fn ticket_wait_timeout_expires_cleanly_on_a_gated_backend() {
     // A ticket parked behind an in-flight round must honor its deadline:
     // wait_timeout/try_take return None while the gated backend holds the
     // round open, and the same ticket collects normally once the gate
-    // lifts. The bound covers *parked* time — here another submitter
-    // leads the round, so the ticket never drives execution itself.
+    // lifts. The bound covers *parked* time — the resident driver owns
+    // execution, so the ticket's collect path only ever parks.
     let gate = Gate::new();
     let service = gated_service(&gate, false, 64);
 
     std::thread::scope(|scope| {
-        // Leader: fast-path submit, blocked inside the gated backend.
-        let leader = {
+        // A blocking submit whose round is held open inside the backend.
+        let executing = {
             let service = service.clone();
             scope.spawn(move || {
                 let bits = row_bits(40);
@@ -474,7 +481,7 @@ fn ticket_wait_timeout_expires_cleanly_on_a_gated_backend() {
         };
         gate.await_entered();
 
-        // The async request queues behind the stuck leader.
+        // The async request queues behind the stuck round.
         let bits = row_bits(41);
         let mut ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
         assert!(
@@ -492,9 +499,8 @@ fn ticket_wait_timeout_expires_cleanly_on_a_gated_backend() {
         );
 
         gate.open();
-        assert_eq!(leader.join().unwrap(), Ok(1));
-        // Same ticket, same mailbox: now collectable (the leader's round
-        // ran alone, so the ticket drives its own round here).
+        assert_eq!(executing.join().unwrap(), Ok(1));
+        // Same ticket, same mailbox: the driver's next round serves it.
         let response = ticket.wait().unwrap();
         assert_eq!(response.bits(), &bits[..], "identity backend");
     });
@@ -503,50 +509,64 @@ fn ticket_wait_timeout_expires_cleanly_on_a_gated_backend() {
 }
 
 #[test]
-fn ticket_outliving_shutdown_collects_service_shutdown() {
-    // An accepted-but-never-started async request does not outlive its
-    // service: every collect method observes a clean ServiceShutdown
-    // (and the withdrawn payload's pooled buffer is not leaked — the
-    // queue is empty afterwards, so a fresh service build would see it;
-    // observable here as the service staying consistent, not hanging).
+fn tickets_accepted_before_shutdown_still_complete() {
+    // Graceful shutdown drains: the resident driver executes every
+    // request accepted before `shutdown()` landed, so a ticket outliving
+    // the call collects a *real* response through every collect method —
+    // only new submissions are refused. (Contrast with the panic path,
+    // where queued tickets fail with ServiceShutdown; see
+    // `panicking_round_fails_queued_tickets_cleanly`.)
     let service = ServiceConfig::new(D).build().unwrap();
     let bits = row_bits(50);
     let mut waited = service.submit_async(NormRequest::bits(&bits)).unwrap();
     let mut polled = service.submit_async(NormRequest::bits(&bits)).unwrap();
     let mut timed = service.submit_async(NormRequest::bits(&bits)).unwrap();
     service.shutdown();
-    assert_eq!(waited.wait().unwrap_err(), NormError::ServiceShutdown);
+    // New work is refused at the door…
     assert_eq!(
-        polled
-            .try_take()
-            .expect("shutdown outcome is immediate")
-            .unwrap_err(),
+        service.submit_async(NormRequest::bits(&bits)).unwrap_err(),
         NormError::ServiceShutdown
     );
+    // …but the three accepted requests drain with real results.
+    assert_eq!(waited.wait().unwrap().rows(), 1);
     assert_eq!(
         timed
-            .wait_timeout(Duration::from_secs(5))
-            .expect("shutdown outcome is immediate")
-            .unwrap_err(),
-        NormError::ServiceShutdown
+            .wait_timeout(Duration::from_secs(10))
+            .expect("accepted work drains promptly on shutdown")
+            .unwrap()
+            .rows(),
+        1
     );
-    // The tickets were accepted before the shutdown; the failures are
-    // delivered outcomes, not abandonments.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let polled_response = loop {
+        if let Some(result) = polled.try_take() {
+            break result.unwrap();
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the drain never delivered the polled ticket's outcome"
+        );
+        std::thread::yield_now();
+    };
+    assert_eq!(polled_response.rows(), 1);
+    // All three were accepted, executed, and collected — none abandoned.
     let stats = service.stats();
     assert_eq!(stats.requests, 3);
+    assert_eq!(stats.rows, 3);
     assert_eq!(stats.abandoned_tickets, 0);
 }
 
 #[test]
 fn dropped_ticket_behind_a_gated_round_is_recycled_not_stranded() {
     // Drop-without-wait while a round is in flight: the orphaned entry
-    // is still executed by the next round, its buffers return to the
-    // shard pool, the drop is counted, and the service keeps serving.
+    // is still executed by a later driver round, its result buffer goes
+    // straight back to the shard pool, the drop is counted, and the
+    // service keeps serving.
     let gate = Gate::new();
     let service = gated_service(&gate, false, 64);
 
     std::thread::scope(|scope| {
-        let leader = {
+        let executing = {
             let service = service.clone();
             scope.spawn(move || {
                 let bits = row_bits(60);
@@ -561,21 +581,21 @@ fn dropped_ticket_behind_a_gated_round_is_recycled_not_stranded() {
         assert_eq!(service.stats().abandoned_tickets, 1);
 
         gate.open();
-        assert_eq!(leader.join().unwrap(), Ok(1));
+        assert_eq!(executing.join().unwrap(), Ok(1));
     });
 
-    // The next blocking submit's round drains the orphaned entry (its
-    // result buffer goes straight back to the pool) and serves us.
+    // The driver drains the orphaned entry (same round as our submit or
+    // an earlier one — FIFO puts it ahead of us either way) and still
+    // serves new traffic.
     let bits = row_bits(62);
     let response = service.submit(NormRequest::bits(&bits)).unwrap();
     assert_eq!(response.bits(), &bits[..]);
-    assert_eq!(
-        response.batch_requests(),
-        2,
-        "the orphaned request executed alongside ours"
-    );
     let stats = service.stats();
     assert_eq!(stats.requests, 3);
+    assert_eq!(
+        stats.rows, 3,
+        "the orphaned request must execute, not strand in the queue"
+    );
     assert_eq!(stats.abandoned_tickets, 1);
 }
 
@@ -615,15 +635,15 @@ fn async_backpressure_rejects_at_enqueue_time() {
 }
 
 #[test]
-fn panicking_leader_fails_queued_tickets_cleanly() {
-    // The LeaderGuard containment extends to async waiters: a ticket
+fn panicking_round_fails_queued_tickets_cleanly() {
+    // The driver's panic containment extends to async waiters: a ticket
     // queued behind a panicking round collects a clean ServiceShutdown —
     // never a hang, never a poisoned-mutex panic.
     let gate = Gate::new();
     let service = gated_service(&gate, true, 64);
 
     std::thread::scope(|scope| {
-        let leader = {
+        let victim = {
             let service = service.clone();
             scope.spawn(move || {
                 let bits = row_bits(80);
@@ -638,7 +658,7 @@ fn panicking_leader_fails_queued_tickets_cleanly() {
         let mut ticket = service.submit_async(NormRequest::bits(&bits)).unwrap();
 
         gate.open();
-        assert!(leader.join().unwrap().is_err(), "leader observes unwind");
+        assert!(victim.join().unwrap().is_err(), "victim observes unwind");
         assert_eq!(ticket.wait().unwrap_err(), NormError::ServiceShutdown);
     });
     assert!(service.is_shutdown());
@@ -781,8 +801,8 @@ fn high_priority_rides_at_the_front_of_the_next_round() {
     let normal_bits = row_bits(94);
     let high_bits = row_bits(95);
     std::thread::scope(|scope| {
-        // Leader occupies the backend; everything below queues behind it.
-        let leader = {
+        // A round occupies the backend; everything below queues behind it.
+        let executing = {
             let service = service.clone();
             scope.spawn(move || {
                 let bits = row_bits(96);
@@ -801,7 +821,7 @@ fn high_priority_rides_at_the_front_of_the_next_round() {
         await_accepted(&service, 3);
 
         gate.open();
-        assert_eq!(leader.join().unwrap(), Ok(1));
+        assert_eq!(executing.join().unwrap(), Ok(1));
         let normal_response = normal.wait().unwrap();
         let high_response = high.wait().unwrap();
         // Both rode one combined round, bits intact.
@@ -811,7 +831,7 @@ fn high_priority_rides_at_the_front_of_the_next_round() {
     });
 
     let batches = batches.lock().unwrap();
-    assert_eq!(batches.len(), 2, "leader round + one combined round");
+    assert_eq!(batches.len(), 2, "first round + one combined round");
     // The combined round's batch starts with the high request's rows even
     // though the normal request arrived first.
     assert_eq!(
@@ -844,8 +864,8 @@ fn high_priority_is_fifo_within_its_class() {
     let first_high_bits = row_bits(98);
     let second_high_bits = row_bits(99);
     std::thread::scope(|scope| {
-        // Leader occupies the backend; everything below queues behind it.
-        let leader = {
+        // A round occupies the backend; everything below queues behind it.
+        let executing = {
             let service = service.clone();
             scope.spawn(move || {
                 let bits = row_bits(100);
@@ -866,14 +886,14 @@ fn high_priority_is_fifo_within_its_class() {
         await_accepted(&service, 4);
 
         gate.open();
-        assert_eq!(leader.join().unwrap(), Ok(1));
+        assert_eq!(executing.join().unwrap(), Ok(1));
         assert_eq!(normal.wait().unwrap().bits(), &normal_bits[..]);
         assert_eq!(first_high.wait().unwrap().bits(), &first_high_bits[..]);
         assert_eq!(second_high.wait().unwrap().bits(), &second_high_bits[..]);
     });
 
     let batches = batches.lock().unwrap();
-    assert_eq!(batches.len(), 2, "leader round + one combined round");
+    assert_eq!(batches.len(), 2, "first round + one combined round");
     // High beats normal, but within the high class arrival order holds.
     assert_eq!(
         &batches[1][..D],
@@ -987,9 +1007,9 @@ fn poisoned_whiten_lock_fails_closed_not_cascading() {
     assert_eq!(service.submit(NormRequest::bits(&bits)).unwrap().rows(), 1);
 
     // First whitening call: the injected executor panics with the whiten
-    // mutex held, poisoning it. The panic surfaces on this thread (the
-    // submitter leads its own round) — contain it here like a real
-    // worker's panic hook would.
+    // mutex held, poisoning it. The resident driver contains the unwind
+    // and re-raises it on this submitter — catch it here like a real
+    // caller's panic hook would.
     let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let group = row_bits(9);
         let _ = service.submit(NormRequest::whiten_group(&group));

@@ -26,8 +26,9 @@
 //! * [`server`] — the accept/connection loops. One reader thread per
 //!   connection drives requests through `submit_async`, so a single
 //!   connection can pipeline many in-flight tickets; a paired writer
-//!   thread collects tickets **in submission order** and writes response
-//!   or error frames back.
+//!   thread harvests tickets in **completion order** through a
+//!   [`TicketSet`](iterl2norm::TicketSet) and reorders finished frames
+//!   back to **submission order** on the wire.
 //! * [`client`] — a small blocking client (used by the `workloads` load
 //!   generator and the loopback tests) speaking the same codec.
 //!

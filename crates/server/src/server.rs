@@ -9,9 +9,12 @@
 //!   [`submit_async`](iterl2norm::NormService::submit_async), so a single
 //!   connection can pipeline many in-flight tickets without waiting for
 //!   earlier responses;
-//! * the *writer* collects those tickets **in submission order** from a
-//!   bounded channel and writes response/error frames back. The channel
-//!   bound is the per-connection pipelining window: a client that floods
+//! * the *writer* collects those tickets in **completion order** through
+//!   a [`TicketSet`] — so a finished response is harvested (and its shard
+//!   buffer recycled) the moment the resident driver delivers it, never
+//!   parked behind a slower earlier ticket — and a reorder buffer puts
+//!   frames back on the wire in **submission order**. The channel bound
+//!   is the per-connection pipelining window: a client that floods
 //!   faster than responses drain blocks in the reader, which is exactly
 //!   the flow control a byte stream wants.
 //!
@@ -30,6 +33,7 @@
 //! grace it force-closes the sockets of connections still running, so a
 //! peer parked mid-frame or refusing to read can never hang shutdown.
 
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -39,7 +43,7 @@ use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use iterl2norm::{NormError, NormRequest, NormService, NormTicket, Priority};
+use iterl2norm::{NormError, NormRequest, NormService, NormTicket, Priority, TicketSet};
 
 use crate::admission::{Admission, Decision};
 use crate::metrics::{MetricsRegistry, RejectCause, RequestMethod, TenantCounters};
@@ -614,51 +618,129 @@ fn classify(err: &NormError) -> (ErrorCode, RejectCause) {
     }
 }
 
-/// The writer half: drain the channel in order, waiting each ticket to
-/// completion. Exits when the channel disconnects (reader done) or the
-/// socket dies (client gone — remaining tickets still drain so their
-/// buffers return to the shard pools, they just have nowhere to go).
+/// Identity of an in-flight ticket inside the writer's [`TicketSet`]:
+/// its wire sequence (for reordering) and response bookkeeping.
+struct InFlight {
+    seq: u64,
+    request_id: u64,
+    counters: Arc<TenantCounters>,
+}
+
+/// The writer half, waker-native: every arriving item gets a wire
+/// sequence number; tickets go into a [`TicketSet`] and are harvested in
+/// **completion order** with [`TicketSet::wait_any`] — a finished
+/// response is collected (and its shard buffer recycled) the moment the
+/// resident driver fires the ticket's waker, never parked behind a
+/// slower earlier ticket — while a reorder buffer holds finished frames
+/// until their turn so the wire still sees **submission order**.
+///
+/// The loop blocks on exactly one thing at a time, chosen by what the
+/// next wire slot needs: flush it if it is already finished, wait the
+/// set if it is an in-flight ticket, otherwise receive the next item.
+/// Exits when the channel disconnects (reader done) and the set drains;
+/// if the socket dies first (client gone), remaining tickets still
+/// drain so their buffers return to the shard pools, they just have
+/// nowhere to go.
 fn connection_writer<W: Write>(writer: &mut W, rx: Receiver<WriteItem>) {
     let mut socket_dead = false;
-    while let Ok(item) = rx.recv() {
-        let frame = match item {
-            WriteItem::Frame(frame) => frame,
-            WriteItem::Ticket {
+    let mut set = TicketSet::new();
+    // TicketSet slot -> identity, and which wire sequences are in it.
+    let mut in_flight: HashMap<usize, InFlight> = HashMap::new();
+    let mut in_flight_seqs: HashSet<u64> = HashSet::new();
+    // Finished frames parked until their wire turn.
+    let mut ready: BTreeMap<u64, Frame> = BTreeMap::new();
+    let mut next_seq: u64 = 0;
+    let mut next_write: u64 = 0;
+    let mut disconnected = false;
+    loop {
+        // Put every finished frame that is up next on the wire.
+        while let Some(frame) = ready.remove(&next_write) {
+            next_write += 1;
+            if socket_dead {
+                continue;
+            }
+            if write_frame(writer, &frame)
+                .and_then(|_| writer.flush())
+                .is_err()
+            {
+                // Keep draining tickets (see above), stop writing.
+                socket_dead = true;
+            }
+        }
+        // The next wire slot is an in-flight ticket: harvest completions
+        // until it lands (each harvest frees a shard buffer right away,
+        // whichever sequence it belongs to).
+        if in_flight_seqs.contains(&next_write) || (disconnected && !set.is_empty()) {
+            let (slot, outcome) = set
+                .wait_any()
+                .expect("the set holds every in-flight ticket");
+            let InFlight {
+                seq,
                 request_id,
                 counters,
-                mut ticket,
-            } => match ticket.wait() {
-                Ok(response) => {
-                    counters.completed.fetch_add(1, Ordering::Relaxed);
-                    counters
-                        .rows
-                        .fetch_add(response.rows() as u64, Ordering::Relaxed);
-                    Frame::Response(ResponseFrame {
-                        request_id,
-                        rows: response.rows() as u32,
-                        bits: response.bits().to_vec(),
-                    })
-                }
-                Err(err) => {
-                    let (code, cause) = classify(&err);
-                    counters.reject(cause);
-                    Frame::Error(ErrorFrame {
-                        request_id,
-                        code,
-                        message: err.to_string(),
-                    })
-                }
-            },
-        };
-        if socket_dead {
+            } = in_flight.remove(&slot).expect("every slot was registered");
+            in_flight_seqs.remove(&seq);
+            ready.insert(seq, finished_frame(request_id, &counters, outcome));
             continue;
         }
-        if write_frame(writer, &frame)
-            .and_then(|_| writer.flush())
-            .is_err()
-        {
-            // Keep draining tickets (see above), stop writing.
-            socket_dead = true;
+        if disconnected {
+            // Channel closed, set drained, reorder buffer flushed: done.
+            debug_assert!(ready.is_empty() && in_flight.is_empty());
+            return;
+        }
+        match rx.recv() {
+            Ok(WriteItem::Frame(frame)) => {
+                ready.insert(next_seq, frame);
+                next_seq += 1;
+            }
+            Ok(WriteItem::Ticket {
+                request_id,
+                counters,
+                ticket,
+            }) => {
+                let slot = set.insert(ticket);
+                in_flight.insert(
+                    slot,
+                    InFlight {
+                        seq: next_seq,
+                        request_id,
+                        counters,
+                    },
+                );
+                in_flight_seqs.insert(next_seq);
+                next_seq += 1;
+            }
+            Err(_) => disconnected = true,
+        }
+    }
+}
+
+/// Turn a harvested ticket outcome into its wire frame, counting it.
+fn finished_frame(
+    request_id: u64,
+    counters: &TenantCounters,
+    outcome: Result<iterl2norm::NormResponse, NormError>,
+) -> Frame {
+    match outcome {
+        Ok(response) => {
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            counters
+                .rows
+                .fetch_add(response.rows() as u64, Ordering::Relaxed);
+            Frame::Response(ResponseFrame {
+                request_id,
+                rows: response.rows() as u32,
+                bits: response.bits().to_vec(),
+            })
+        }
+        Err(err) => {
+            let (code, cause) = classify(&err);
+            counters.reject(cause);
+            Frame::Error(ErrorFrame {
+                request_id,
+                code,
+                message: err.to_string(),
+            })
         }
     }
 }

@@ -12,10 +12,11 @@
 //! is **pipelined**: each position's final-norm request is submitted
 //! asynchronously ([`NormService::submit_async`]) and collected one
 //! position later, after the next layer stack has run — the head
-//! projection is off the next position's critical path, so concurrent
-//! windows can execute each other's final norms in shared combining
-//! rounds while a lone forward pass simply pays the cost at collect time
-//! (output bits identical either way, like every serving knob). The honest
+//! projection is off the next position's critical path, and the site's
+//! resident shard driver executes the ticket *while* that next layer
+//! stack runs on this thread, batching it with concurrent windows'
+//! final norms when traffic overlaps (output bits identical either
+//! way, like every serving knob). The honest
 //! trade vs the old typed per-worker engines: concurrent workers'
 //! norm submissions serialize (or batch) on each site's shared backend.
 //! That is acceptable here because the matvecs around every norm dominate
@@ -269,11 +270,12 @@ impl<F: ExecFloat> Model<F> {
         // The previous position's final norm, submitted asynchronously:
         // its head projection is off the next position's critical path
         // (the KV caches never see it), so the ticket rides through the
-        // next layer stack before being collected. Under concurrent
-        // evaluation (threaded perplexity windows sharing this model's
-        // services) another window's round may execute it meanwhile;
-        // alone, wait() runs it at collect time — bit-identical either
-        // way.
+        // next layer stack before being collected. The site's resident
+        // shard driver executes it meanwhile — alongside other threads'
+        // requests under concurrent evaluation (threaded perplexity
+        // windows sharing this model's services), alone otherwise —
+        // and wait() at collect time only parks if the round is still
+        // in flight. Bit-identical either way.
         let mut pending_final: Option<NormTicket> = None;
 
         for (pos, &tok) in tokens.iter().enumerate() {

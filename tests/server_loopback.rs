@@ -353,7 +353,7 @@ fn queue_full_surfaces_as_error_frames_over_the_wire() {
             }
         }
     }
-    assert!(ok >= 1, "the leader's own request completes");
+    assert!(ok >= 1, "the request the driver is executing completes");
     assert!(
         queue_full >= 1,
         "a depth-1 queue under a pipelined burst must reject ({ok} ok)"
